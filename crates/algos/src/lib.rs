@@ -1,0 +1,14 @@
+//! # lima-algos
+//!
+//! Script-level ML builtins (paper §2.1: `lm`, `lmDS`, `lmCG`, `gridSearch`,
+//! `l2svm`, `pca`, ...) written in the DML subset and executed by the LIMA
+//! runtime, plus synthetic dataset generators matching the paper's evaluation
+//! datasets (Table 3) and ready-made end-to-end pipelines (Table 2).
+
+pub mod datasets;
+pub mod generators;
+pub mod pipelines;
+pub mod runner;
+pub mod scripts;
+
+pub use runner::{run_script, RunResult};

@@ -1,0 +1,120 @@
+//! Helpers for compiling and running scripts against datasets and
+//! configurations — the entry point used by examples, tests, and the
+//! benchmark harness.
+
+use lima_core::{LimaConfig, LineageCache};
+use lima_lang::{compile_script, CompileError};
+use lima_matrix::Value;
+use lima_runtime::{execute_program, ExecutionContext, RuntimeError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a script run.
+pub struct RunResult {
+    /// Final execution context (symbol table, lineage, stats, stdout).
+    pub ctx: ExecutionContext,
+    /// Wall-clock execution time (excluding compilation).
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Convenience accessor for a result variable.
+    pub fn value(&self, var: &str) -> &Value {
+        &self.ctx.symtab[var]
+    }
+}
+
+/// Errors from [`run_script`].
+#[derive(Debug)]
+pub enum RunError {
+    Compile(CompileError),
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Compile(e) => write!(f, "compile error: {e}"),
+            RunError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Compiles and executes a script with the given configuration and input
+/// datasets (registered under their `read` paths / variable names).
+pub fn run_script(
+    src: &str,
+    config: &LimaConfig,
+    inputs: &[(&str, Value)],
+) -> Result<RunResult, RunError> {
+    run_script_with_cache(src, config, inputs, None)
+}
+
+/// Like [`run_script`], but reusing an existing cache across runs — the
+/// paper's process-wide cache sharing across script invocations (§4.4).
+pub fn run_script_with_cache(
+    src: &str,
+    config: &LimaConfig,
+    inputs: &[(&str, Value)],
+    cache: Option<Arc<LineageCache>>,
+) -> Result<RunResult, RunError> {
+    let program = compile_script(src, config).map_err(RunError::Compile)?;
+    let mut ctx = match cache {
+        Some(c) => ExecutionContext::with_cache(config.clone(), Some(c)),
+        None => ExecutionContext::new(config.clone()),
+    };
+    for (name, value) in inputs {
+        // Register as both a dataset (for `read`) and a live variable.
+        ctx.data.register(*name, value.clone());
+        ctx.set(*name, value.clone());
+    }
+    let t0 = Instant::now();
+    execute_program(&program, &mut ctx).map_err(RunError::Runtime)?;
+    let elapsed = t0.elapsed();
+    Ok(RunResult { ctx, elapsed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lima_matrix::DenseMatrix;
+
+    #[test]
+    fn run_script_executes_and_times() {
+        let r = run_script(
+            "Y = X + 1; s = sum(Y);",
+            &LimaConfig::lima(),
+            &[("X", Value::matrix(DenseMatrix::filled(2, 2, 1.0)))],
+        )
+        .unwrap();
+        assert_eq!(r.value("s").as_f64().unwrap(), 8.0);
+        assert!(r.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn shared_cache_reuses_across_invocations() {
+        let cache = LineageCache::new(LimaConfig::lima());
+        let x = Value::matrix(DenseMatrix::from_fn(30, 10, |i, j| (i * j) as f64 * 0.01));
+        let src = "G = t(X) %*% X; s = sum(G);";
+        let r1 = run_script_with_cache(src, &LimaConfig::lima(), &[("X", x.clone())], Some(cache.clone()))
+            .unwrap();
+        let r2 = run_script_with_cache(src, &LimaConfig::lima(), &[("X", x)], Some(cache.clone()))
+            .unwrap();
+        assert_eq!(r1.value("s").as_f64().unwrap(), r2.value("s").as_f64().unwrap());
+        assert!(lima_core::LimaStats::get(&cache.stats().full_hits) >= 1);
+    }
+
+    #[test]
+    fn compile_and_runtime_errors_are_distinguished() {
+        assert!(matches!(
+            run_script("x = nonsense(", &LimaConfig::base(), &[]),
+            Err(RunError::Compile(_))
+        ));
+        assert!(matches!(
+            run_script("y = read('missing');", &LimaConfig::base(), &[]),
+            Err(RunError::Runtime(_))
+        ));
+    }
+}

@@ -1,0 +1,305 @@
+//! DML-subset builtin function scripts, mirroring SystemDS' script-based
+//! builtins from the paper (Example 1 and §5). Compose them into a program
+//! with [`with_builtins`].
+
+/// `scaleAndShift`: column-wise standardization (μ=0, σ=1), paper Example 1.
+pub const SCALE_AND_SHIFT: &str = "
+scaleAndShift = function(X) return (Y) {
+  mu = colMeans(X);
+  sigma = sqrt(colVars(X));
+  sigma = sigma + (sigma == 0);
+  Y = (X - mu) / sigma;
+}
+";
+
+/// `lmDS`: closed-form linear regression (normal equations), O(m·n² + n³).
+pub const LM_DS: &str = "
+lmDS = function(X, y, icpt = 0, reg = 1e-7) return (B) {
+  if (icpt > 0) {
+    X = cbind(X, matrix(1, nrow(X), 1));
+  }
+  A = t(X) %*% X + diag(matrix(reg, ncol(X), 1));
+  b = t(X) %*% y;
+  B = solve(A, b);
+}
+";
+
+/// `lmCG`: conjugate-gradient linear regression, O(m·n) per iteration.
+pub const LM_CG: &str = "
+lmCG = function(X, y, icpt = 0, reg = 1e-7, tol = 1e-7, maxi = 20) return (B) {
+  if (icpt > 0) {
+    X = cbind(X, matrix(1, nrow(X), 1));
+  }
+  r = 0 - (t(X) %*% y);
+  B = matrix(0, ncol(X), 1);
+  norm_r2 = sum(r * r);
+  norm_r2_tgt = norm_r2 * tol * tol;
+  p = 0 - r;
+  i = 0;
+  while (i < maxi & norm_r2 > norm_r2_tgt) {
+    q = t(X) %*% (X %*% p) + reg * p;
+    alpha = norm_r2 / sum(p * q);
+    B = B + alpha * p;
+    r = r + alpha * q;
+    old_norm_r2 = norm_r2;
+    norm_r2 = sum(r * r);
+    p = (norm_r2 / old_norm_r2) * p - r;
+    i = i + 1;
+  }
+}
+";
+
+/// `lm`: dispatches to `lmDS` (few features) or `lmCG` (many features),
+/// paper Example 1.
+pub const LM: &str = "
+lm = function(X, y, icpt = 0, reg = 1e-7, tol = 1e-7, maxi = 20) return (B) {
+  if (ncol(X) <= 1024) {
+    B = lmDS(X, y, icpt, reg);
+  } else {
+    B = lmCG(X, y, icpt, reg, tol, maxi);
+  }
+}
+";
+
+/// `lmPredict`: predictions honouring the intercept encoding.
+pub const LM_PREDICT: &str = "
+lmPredict = function(X, B, icpt = 0) return (yhat) {
+  if (icpt > 0) {
+    X = cbind(X, matrix(1, nrow(X), 1));
+  }
+  yhat = X %*% B;
+}
+";
+
+/// `l2norm`: squared-error loss used by the paper's grid search.
+pub const L2NORM: &str = "
+l2norm = function(X, y, B, icpt = 0) return (loss) {
+  yhat = lmPredict(X, B, icpt);
+  loss = sum((yhat - y)^2);
+}
+";
+
+/// `l2svm`: L2-regularized binary SVM (labels −1/+1), Newton line search as
+/// in SystemDS.
+pub const L2SVM: &str = "
+l2svm = function(X, Y, icpt = 0, reg = 1.0, tol = 0.001, maxiter = 20) return (w) {
+  if (icpt == 1) {
+    X = cbind(X, matrix(1, nrow(X), 1));
+  }
+  w = matrix(0, ncol(X), 1);
+  g_old = t(X) %*% Y;
+  s = g_old;
+  Xw = matrix(0, nrow(X), 1);
+  iter = 0;
+  continue = 1;
+  while (continue == 1 & iter < maxiter) {
+    step_sz = 0;
+    Xd = X %*% s;
+    wd = reg * sum(w * s);
+    dd = reg * sum(s * s);
+    continue1 = 1;
+    inner = 0;
+    while (continue1 == 1 & inner < 32) {
+      tmp_Xw = Xw + step_sz * Xd;
+      out = 1 - Y * tmp_Xw;
+      sv = out > 0;
+      out = out * sv;
+      g = wd + step_sz * dd - sum(out * Y * Xd);
+      h = dd + sum(Xd * sv * Xd);
+      step_sz = step_sz - g / h;
+      if (g * g / h < 0.0000000001) {
+        continue1 = 0;
+      }
+      inner = inner + 1;
+    }
+    w = w + step_sz * s;
+    Xw = Xw + step_sz * Xd;
+    out = 1 - Y * Xw;
+    sv = out > 0;
+    out = sv * out;
+    obj = 0.5 * sum(out * out) + reg / 2 * sum(w * w);
+    g_new = t(X) %*% (out * Y) - reg * w;
+    tmp = sum(s * g_old);
+    if (step_sz * tmp < tol * obj) {
+      continue = 0;
+    }
+    be = sum(g_new * g_new) / sum(g_old * g_old);
+    s = be * s + g_new;
+    g_old = g_new;
+    iter = iter + 1;
+  }
+}
+";
+
+/// `msvm`: one-vs-all multi-class SVM over `l2svm` with task parallelism
+/// (paper §5.3, ENS).
+pub const MSVM: &str = "
+msvm = function(X, Y, num_classes, icpt = 0, reg = 1.0, tol = 0.001, maxiter = 20) return (W) {
+  W = matrix(0, ncol(X) + icpt, num_classes);
+  parfor (class in 1:num_classes) {
+    Y_local = 2 * (Y == class) - 1;
+    w = l2svm(X, Y_local, icpt, reg, tol, maxiter);
+    W[, class] = w;
+  }
+}
+";
+
+/// `multiLogReg`: softmax regression by gradient descent (simplified from
+/// SystemDS' trust-region solver; iterative with limited internal reuse,
+/// matching its role in the evaluation).
+pub const MULTILOGREG: &str = "
+multiLogReg = function(X, Y, num_classes, icpt = 0, reg = 0.001, maxi = 20) return (B) {
+  if (icpt == 1) {
+    X = cbind(X, matrix(1, nrow(X), 1));
+  }
+  N = nrow(X);
+  D = ncol(X);
+  B = matrix(0, D, num_classes);
+  Y_onehot = table(seq(1, N), Y);
+  step = 1.0;
+  i = 0;
+  while (i < maxi) {
+    scores = X %*% B;
+    m = rowMaxs(scores);
+    escores = exp(scores - m);
+    P = escores / rowSums(escores);
+    G = t(X) %*% (P - Y_onehot) / N + reg * B;
+    B = B - step * G;
+    i = i + 1;
+  }
+}
+";
+
+/// `msvmPredict` / class scores for ensembles.
+pub const MSVM_PREDICT: &str = "
+msvmPredict = function(X, W, icpt = 0) return (scores) {
+  if (icpt == 1) {
+    X = cbind(X, matrix(1, nrow(X), 1));
+  }
+  scores = X %*% W;
+}
+";
+
+/// `pca`: principal component analysis (paper Fig 5): standardize,
+/// covariance, eigen decomposition, descending reorder, project K columns.
+pub const PCA: &str = "
+pca = function(A, K) return (R, evalsTop, evects) {
+  N = nrow(A);
+  D = ncol(A);
+  A = scaleAndShift(A);
+  mu = colSums(A) / N;
+  C = (t(A) %*% A) / (N - 1) - (N / (N - 1)) * (t(mu) %*% mu);
+  [evals, evects0] = eigen(C);
+  dscIdx = order(evals, TRUE);
+  evalsSorted = evals[dscIdx, ];
+  evects = evects0[, dscIdx];
+  R = A %*% evects[, 1:K];
+  evalsTop = evalsSorted[1:K, ];
+}
+";
+
+/// `naiveBayes`: multinomial naive Bayes with Laplace smoothing (paper §5.5,
+/// PCANB). Expects non-negative features and labels 1..C.
+pub const NAIVE_BAYES: &str = "
+naiveBayes = function(X, Y, num_classes, laplace = 1.0) return (prior, condProb) {
+  N = nrow(X);
+  D = ncol(X);
+  Y_onehot = table(seq(1, N), Y);
+  classSums = t(Y_onehot) %*% X;
+  condProb = (classSums + laplace) / (rowSums(classSums) + D * laplace);
+  prior = (t(Y_onehot) %*% matrix(1, N, 1)) / N;
+}
+";
+
+/// `nbPredict`: log-likelihood class scores for naive Bayes.
+pub const NB_PREDICT: &str = "
+nbPredict = function(X, prior, condProb) return (Y) {
+  scores = X %*% t(log(condProb)) + t(log(prior));
+  Y = rowIndexMax(scores);
+}
+";
+
+/// `pageRank`: the paper's deduplication example (Example 4).
+pub const PAGERANK: &str = "
+pageRank = function(G, p, e, u, alpha, maxi) return (p) {
+  for (i in 1:maxi) {
+    t1 = G %*% p;
+    t2 = e %*% (u %*% p);
+    p = alpha * t1 + (1 - alpha) * t2;
+  }
+}
+";
+
+/// All builtin scripts, in dependency order.
+pub const ALL_BUILTINS: &[&str] = &[
+    SCALE_AND_SHIFT,
+    LM_DS,
+    LM_CG,
+    LM,
+    LM_PREDICT,
+    L2NORM,
+    L2SVM,
+    MSVM,
+    MSVM_PREDICT,
+    MULTILOGREG,
+    PCA,
+    NAIVE_BAYES,
+    NB_PREDICT,
+    PAGERANK,
+];
+
+/// Prepends every builtin function definition to a script body.
+pub fn with_builtins(body: &str) -> String {
+    let mut out = String::new();
+    for b in ALL_BUILTINS {
+        out.push_str(b);
+        out.push('\n');
+    }
+    out.push_str(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lima_core::LimaConfig;
+    use lima_lang::compile_script;
+
+    #[test]
+    fn all_builtins_compile() {
+        let program = compile_script(&with_builtins("x = 1;"), &LimaConfig::lima())
+            .expect("builtins compile");
+        for f in [
+            "scaleAndShift",
+            "lmDS",
+            "lmCG",
+            "lm",
+            "lmPredict",
+            "l2norm",
+            "l2svm",
+            "msvm",
+            "msvmPredict",
+            "multiLogReg",
+            "pca",
+            "naiveBayes",
+            "nbPredict",
+            "pageRank",
+        ] {
+            assert!(program.functions.contains_key(f), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn determinism_flags_are_plausible() {
+        let program =
+            compile_script(&with_builtins("x = 1;"), &LimaConfig::lima()).unwrap();
+        // All of these builtins are deterministic (no system-seeded rand,
+        // no prints), so they qualify for multi-level reuse.
+        assert!(program.functions["lmDS"].deterministic);
+        assert!(program.functions["pca"].deterministic);
+        assert!(program.functions["scaleAndShift"].deterministic);
+        // scaleAndShift has no loops/calls: a function-dedup candidate.
+        assert!(program.functions["scaleAndShift"].dedup_ok);
+        assert!(!program.functions["lm"].dedup_ok); // contains calls
+    }
+}

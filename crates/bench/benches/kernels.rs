@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the matrix substrate kernels that dominate
+//! the paper's workloads: GEMM, `tsmm`, solve, eigen, and the reorg ops the
+//! partial rewrites build compensations from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lima_matrix::ops::{
+    cbind, eigen_symmetric, matmult, rbind, slice, solve, transpose, tsmm, TsmmSide,
+};
+use lima_matrix::DenseMatrix;
+use std::hint::black_box;
+
+fn mk(rows: usize, cols: usize, salt: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |i, j| {
+        (((i as u64 * 31 + j as u64 * 17 + salt) % 23) as f64) / 23.0 - 0.5
+    })
+}
+
+fn bench_matmult(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmult");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let a = mk(n, n, 1);
+        let b = mk(n, n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmult(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tsmm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsmm");
+    g.sample_size(10);
+    for (rows, cols) in [(2_000usize, 50usize), (10_000, 100)] {
+        let x = mk(rows, cols, 3);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &rows,
+            |bch, _| bch.iter(|| tsmm(black_box(&x), TsmmSide::Left)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_solve_and_eigen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solvers");
+    g.sample_size(10);
+    let x = mk(500, 60, 5);
+    let a = tsmm(&x, TsmmSide::Left);
+    let spd = {
+        let mut m = a.clone();
+        for i in 0..m.rows() {
+            m.set(i, i, m.get(i, i) + 1.0);
+        }
+        m
+    };
+    let b = mk(60, 1, 7);
+    g.bench_function("solve_60", |bch| {
+        bch.iter(|| solve(black_box(&spd), black_box(&b)).unwrap())
+    });
+    g.bench_function("eigen_60", |bch| {
+        bch.iter(|| eigen_symmetric(black_box(&spd)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_reorg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorg");
+    g.sample_size(10);
+    let x = mk(20_000, 60, 9);
+    let d = mk(20_000, 1, 11);
+    g.bench_function("cbind_20000x60+1", |bch| {
+        bch.iter(|| cbind(black_box(&x), black_box(&d)).unwrap())
+    });
+    let top = mk(10_000, 60, 13);
+    g.bench_function("rbind_2x10000x60", |bch| {
+        bch.iter(|| rbind(black_box(&top), black_box(&top)).unwrap())
+    });
+    g.bench_function("slice_rows", |bch| {
+        bch.iter(|| slice(black_box(&x), 5_000, 14_999, 0, 59).unwrap())
+    });
+    g.bench_function("transpose", |bch| bch.iter(|| transpose(black_box(&x))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmult, bench_tsmm, bench_solve_and_eigen, bench_reorg);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of lineage operations (Fig 6 territory):
+//! per-item tracing cost, memoized hashing/equality on deep traces, dedup
+//! expansion, and serialization round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lima_core::lineage::dedup::DedupPatch;
+use lima_core::lineage::item::{lineage_eq, LinRef, LineageItem};
+use lima_core::lineage::serialize::{deserialize_lineage, serialize_lineage};
+use std::hint::black_box;
+
+fn chain(n: usize) -> LinRef {
+    let mut node = LineageItem::op_with_data("read", "X", vec![]);
+    for _ in 0..n {
+        node = LineageItem::op("+", vec![node.clone(), node]);
+    }
+    node
+}
+
+fn bench_item_creation(c: &mut Criterion) {
+    let x = LineageItem::op_with_data("read", "X", vec![]);
+    let y = LineageItem::op_with_data("read", "Y", vec![]);
+    c.bench_function("item_create_binary", |b| {
+        b.iter(|| LineageItem::op("ba+*", vec![black_box(&x).clone(), black_box(&y).clone()]))
+    });
+}
+
+fn bench_hash_and_eq(c: &mut Criterion) {
+    // First hash walks the chain; repeated hashes are O(1) (memoized).
+    c.bench_function("hash_chain_10k_cold", |b| {
+        b.iter_with_setup(|| chain(10_000), |n| n.hash_value())
+    });
+    let n = chain(10_000);
+    n.hash_value();
+    c.bench_function("hash_chain_10k_warm", |b| b.iter(|| black_box(&n).hash_value()));
+    let a = chain(2_000);
+    let b2 = chain(2_000);
+    c.bench_function("eq_chain_2k_equal", |b| {
+        b.iter(|| assert!(lineage_eq(black_box(&a), black_box(&b2))))
+    });
+    let c2 = chain(2_001);
+    c.bench_function("eq_chain_mismatch_pruned_by_hash", |b| {
+        b.iter(|| assert!(!lineage_eq(black_box(&a), black_box(&c2))))
+    });
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    let p0 = LineageItem::placeholder(0);
+    let p1 = LineageItem::placeholder(1);
+    let body = LineageItem::op(
+        "+",
+        vec![LineageItem::op("ba+*", vec![p0, p1.clone()]), p1],
+    );
+    let patch = DedupPatch::new("loop:bench", 0, 2, vec![("p".into(), body)]);
+    let g = LineageItem::op_with_data("read", "G", vec![]);
+    c.bench_function("dedup_chain_1k_hash", |b| {
+        b.iter_with_setup(
+            || {
+                let mut p = LineageItem::op_with_data("read", "p0", vec![]);
+                for _ in 0..1_000 {
+                    p = LineageItem::dedup(patch.clone(), "p", vec![g.clone(), p]);
+                }
+                p
+            },
+            |p| p.hash_value(),
+        )
+    });
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let root = chain(5_000);
+    c.bench_function("serialize_5k", |b| {
+        b.iter(|| serialize_lineage(black_box(&root)))
+    });
+    let log = serialize_lineage(&root);
+    c.bench_function("deserialize_5k", |b| {
+        b.iter(|| deserialize_lineage(black_box(&log)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_item_creation, bench_hash_and_eq, bench_dedup, bench_serialize
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion end-to-end benches of the reuse machinery: one bench per
+//! evaluation family (Fig 7a partial reuse, Fig 7b multi-level reuse,
+//! Fig 9b HLM, Fig 6a tracing overhead), comparing Base against LIMA
+//! configurations at small scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lima_algos::pipelines;
+use lima_bench::{run_pipeline, Config, DEFAULT_BUDGET};
+
+fn bench_fig6a_tracing(c: &mut Criterion) {
+    let p = pipelines::minibatch_micro(4_000, 78, 32, 1);
+    let mut g = c.benchmark_group("fig6a_minibatch");
+    g.sample_size(10);
+    for cfg in [Config::Base, Config::LT, Config::LTP, Config::LTD] {
+        let config = cfg.to_config(DEFAULT_BUDGET);
+        g.bench_function(cfg.label(), |b| b.iter(|| run_pipeline(&p, &config)));
+    }
+    g.finish();
+}
+
+fn bench_fig7a_partial(c: &mut Criterion) {
+    let p = pipelines::steplm_core(4_000, 80, 30, 30, 3);
+    let mut g = c.benchmark_group("fig7a_steplm_core");
+    g.sample_size(10);
+    for (cfg, label) in [
+        (Config::Base, "Base"),
+        (Config::LimaNoCA, "LIMA"),
+        (Config::Lima, "LIMA-CA"),
+    ] {
+        let config = cfg.to_config(DEFAULT_BUDGET);
+        g.bench_function(label, |b| b.iter(|| run_pipeline(&p, &config)));
+    }
+    g.finish();
+}
+
+fn bench_fig7b_multilevel(c: &mut Criterion) {
+    let p = pipelines::mlogreg_repeat(1_500, 40, 4, 4, 5, 3);
+    let mut g = c.benchmark_group("fig7b_multilevel");
+    g.sample_size(10);
+    for cfg in [Config::Base, Config::LimaFR, Config::LimaMLR] {
+        let config = cfg.to_config(DEFAULT_BUDGET);
+        g.bench_function(cfg.label(), |b| b.iter(|| run_pipeline(&p, &config)));
+    }
+    g.finish();
+}
+
+fn bench_fig9b_hlm(c: &mut Criterion) {
+    let grid = pipelines::hyperparameter_grid(3, 2, 2);
+    let p = pipelines::hlm(8_000, 40, 2, 12, &grid, false, 5);
+    let mut g = c.benchmark_group("fig9b_hlm");
+    g.sample_size(10);
+    for cfg in [Config::Base, Config::Lima] {
+        let config = cfg.to_config(DEFAULT_BUDGET);
+        g.bench_function(cfg.label(), |b| b.iter(|| run_pipeline(&p, &config)));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig6a_tracing,
+    bench_fig7a_partial,
+    bench_fig7b_multilevel,
+    bench_fig9b_hlm
+);
+criterion_main!(benches);

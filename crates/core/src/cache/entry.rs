@@ -1,0 +1,126 @@
+//! Lineage-cache entries and their metadata (paper §4.1/§4.3): data value or
+//! placeholder, cache status, measured computation time, access statistics,
+//! and the lineage-trace height used by the DAG-Height policy.
+
+use lima_matrix::Value;
+use std::path::PathBuf;
+
+/// Lifecycle state of a cache entry.
+#[derive(Debug, Clone)]
+pub enum EntryState {
+    /// Placeholder: some thread is computing the value; others block
+    /// (paper §4.1, task-parallel loops).
+    Computing,
+    /// Value resident in memory.
+    Cached(Value),
+    /// Value evicted to disk; restorable.
+    Spilled { path: PathBuf, bytes: usize },
+    /// Shell: value dropped, statistics retained so future misses can raise
+    /// the entry's eviction score again (paper Fig 8(a): P2 entries get
+    /// evicted, their scores increase due to misses, and they get reused).
+    Evicted,
+}
+
+/// A cache entry; the key (lineage trace) lives in the cache map.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Current state.
+    pub state: EntryState,
+    /// Measured computation time of the cached object in nanoseconds.
+    pub compute_ns: u64,
+    /// Height of the lineage trace (distance from leaves).
+    pub height: u32,
+    /// Logical timestamp of the last access.
+    pub last_access: u64,
+    /// Reuse hits against this entry.
+    pub hits: u64,
+    /// Probes that missed because the value was absent/evicted.
+    pub misses: u64,
+    /// In-memory size of the value in bytes (0 while Computing/Evicted).
+    pub size: usize,
+    /// Entry-group tag: entries caching the *same object* at different
+    /// levels (operation vs. function) share this pointer tag, so spilling
+    /// can be deferred until the whole group is evicted (paper §4.3).
+    pub group: usize,
+}
+
+impl CacheEntry {
+    /// New placeholder entry.
+    pub fn computing(height: u32, now: u64) -> Self {
+        CacheEntry {
+            state: EntryState::Computing,
+            compute_ns: 0,
+            height,
+            last_access: now,
+            hits: 0,
+            misses: 1, // the probe that created the placeholder missed
+            size: 0,
+            group: 0,
+        }
+    }
+
+    /// True when a value is immediately available in memory.
+    pub fn is_resident(&self) -> bool {
+        matches!(self.state, EntryState::Cached(_))
+    }
+
+    /// True while a placeholder is pending.
+    pub fn is_computing(&self) -> bool {
+        matches!(self.state, EntryState::Computing)
+    }
+
+    /// True when the value lives on disk.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.state, EntryState::Spilled { .. })
+    }
+
+    /// Total references — the `(r_h + r_m)` factor of the Cost&Size score.
+    pub fn references(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Cost&Size eviction score `(r_h + r_m) · c(o) / s(o)`; lower scores are
+    /// evicted first (paper Table 1).
+    pub fn cost_size_score(&self) -> f64 {
+        let size = self.size.max(1) as f64;
+        self.references() as f64 * self.compute_ns as f64 / size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placeholder_lifecycle_flags() {
+        let e = CacheEntry::computing(3, 17);
+        assert!(e.is_computing());
+        assert!(!e.is_resident());
+        assert!(!e.is_spilled());
+        assert_eq!(e.misses, 1);
+        assert_eq!(e.height, 3);
+        assert_eq!(e.last_access, 17);
+    }
+
+    #[test]
+    fn cost_size_score_prefers_expensive_small_hot_entries() {
+        let mut cheap_big = CacheEntry::computing(1, 0);
+        cheap_big.state = EntryState::Cached(Value::f64(0.0));
+        cheap_big.compute_ns = 1_000;
+        cheap_big.size = 1_000_000;
+        let mut costly_small = cheap_big.clone();
+        costly_small.compute_ns = 1_000_000;
+        costly_small.size = 1_000;
+        assert!(costly_small.cost_size_score() > cheap_big.cost_size_score());
+        // More references raise the score.
+        let mut hot = cheap_big.clone();
+        hot.hits = 10;
+        assert!(hot.cost_size_score() > cheap_big.cost_size_score());
+    }
+
+    #[test]
+    fn score_handles_zero_size() {
+        let e = CacheEntry::computing(0, 0);
+        assert!(e.cost_size_score().is_finite());
+    }
+}

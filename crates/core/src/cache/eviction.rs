@@ -1,0 +1,160 @@
+//! Eviction policies and scoring functions (paper §4.3, Table 1).
+//!
+//! | Policy      | Scoring function (evict argmin)            |
+//! |-------------|--------------------------------------------|
+//! | LRU         | `Ta(o) / θ` — normalized last access        |
+//! | DAG-Height  | `1 / h(o)` — deep traces evicted first      |
+//! | Cost & Size | `(r_h + r_m) · c(o) / s(o)`                 |
+
+use crate::cache::entry::CacheEntry;
+use crate::config::EvictionPolicy;
+
+/// Normalization context for policies that mix heterogeneous signals
+/// (currently only Hybrid). Computed once per eviction batch.
+#[derive(Debug, Clone, Copy)]
+pub struct Norms {
+    pub max_access: u64,
+    pub max_cost_size: f64,
+}
+
+impl Default for Norms {
+    fn default() -> Self {
+        Norms {
+            max_access: 1,
+            max_cost_size: 1.0,
+        }
+    }
+}
+
+impl Norms {
+    /// Collects normalization bounds from a candidate set.
+    pub fn collect<'a>(entries: impl Iterator<Item = &'a CacheEntry>) -> Norms {
+        let mut n = Norms::default();
+        for e in entries {
+            n.max_access = n.max_access.max(e.last_access);
+            n.max_cost_size = n.max_cost_size.max(e.cost_size_score());
+        }
+        n
+    }
+}
+
+/// Eviction score of an entry under a policy; the entry with the **lowest**
+/// score is evicted first.
+pub fn score(policy: EvictionPolicy, entry: &CacheEntry, norms: &Norms) -> f64 {
+    match policy {
+        EvictionPolicy::Lru => entry.last_access as f64,
+        EvictionPolicy::DagHeight => 1.0 / f64::from(entry.height.max(1)),
+        EvictionPolicy::CostSize => entry.cost_size_score(),
+        EvictionPolicy::Hybrid => {
+            let recency = entry.last_access as f64 / norms.max_access.max(1) as f64;
+            let utility = entry.cost_size_score() / norms.max_cost_size.max(f64::MIN_POSITIVE);
+            0.5 * recency + 0.5 * utility
+        }
+    }
+}
+
+/// Picks the victim among `(index, entry)` candidates: minimal score, ties
+/// broken by older access for determinism.
+pub fn pick_victim<'a, K>(
+    policy: EvictionPolicy,
+    candidates: impl Iterator<Item = (K, &'a CacheEntry)>,
+) -> Option<K> {
+    let all: Vec<(K, &CacheEntry)> = candidates.collect();
+    let norms = Norms::collect(all.iter().map(|(_, e)| *e));
+    let mut best: Option<(K, f64, u64)> = None;
+    for (key, entry) in all {
+        let s = score(policy, entry, &norms);
+        let replace = match &best {
+            None => true,
+            Some((_, bs, ba)) => s < *bs || (s == *bs && entry.last_access < *ba),
+        };
+        if replace {
+            best = Some((key, s, entry.last_access));
+        }
+    }
+    best.map(|(k, _, _)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::entry::EntryState;
+    use lima_matrix::Value;
+
+    fn entry(compute_ns: u64, size: usize, height: u32, last_access: u64, refs: u64) -> CacheEntry {
+        CacheEntry {
+            state: EntryState::Cached(Value::f64(0.0)),
+            compute_ns,
+            height,
+            last_access,
+            hits: refs,
+            misses: 0,
+            size,
+            group: 0,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let old = entry(1, 1, 1, 5, 0);
+        let new = entry(1, 1, 1, 9, 0);
+        let victim = pick_victim(EvictionPolicy::Lru, vec![("old", &old), ("new", &new)].into_iter());
+        assert_eq!(victim, Some("old"));
+    }
+
+    #[test]
+    fn dag_height_evicts_deepest() {
+        let shallow = entry(1, 1, 2, 0, 0);
+        let deep = entry(1, 1, 100, 0, 0);
+        let victim = pick_victim(
+            EvictionPolicy::DagHeight,
+            vec![("shallow", &shallow), ("deep", &deep)].into_iter(),
+        );
+        assert_eq!(victim, Some("deep"));
+        // Height 0 does not divide by zero.
+        assert!(score(EvictionPolicy::DagHeight, &entry(1, 1, 0, 0, 0), &Norms::default()).is_finite());
+    }
+
+    #[test]
+    fn cost_size_evicts_cheap_large_cold_entries() {
+        let cheap_big = entry(1_000, 1_000_000, 1, 0, 1);
+        let costly_small = entry(1_000_000, 1_000, 1, 0, 1);
+        let victim = pick_victim(
+            EvictionPolicy::CostSize,
+            vec![("cheap_big", &cheap_big), ("costly_small", &costly_small)].into_iter(),
+        );
+        assert_eq!(victim, Some("cheap_big"));
+    }
+
+    #[test]
+    fn ties_break_by_age() {
+        let a = entry(10, 10, 1, 3, 1);
+        let b = entry(10, 10, 1, 7, 1);
+        let victim = pick_victim(EvictionPolicy::CostSize, vec![("a", &a), ("b", &b)].into_iter());
+        assert_eq!(victim, Some("a"));
+    }
+
+    #[test]
+    fn hybrid_balances_recency_and_utility() {
+        // Same cost/size: the older entry is evicted. Same age: the cheaper
+        // entry is evicted.
+        let old = entry(1_000, 100, 1, 2, 1);
+        let new = entry(1_000, 100, 1, 9, 1);
+        let victim =
+            pick_victim(EvictionPolicy::Hybrid, vec![("old", &old), ("new", &new)].into_iter());
+        assert_eq!(victim, Some("old"));
+        let cheap = entry(10, 100, 1, 5, 1);
+        let costly = entry(1_000_000, 100, 1, 5, 1);
+        let victim = pick_victim(
+            EvictionPolicy::Hybrid,
+            vec![("cheap", &cheap), ("costly", &costly)].into_iter(),
+        );
+        assert_eq!(victim, Some("cheap"));
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let v: Option<&str> = pick_victim(EvictionPolicy::Lru, std::iter::empty::<(&str, &CacheEntry)>());
+        assert!(v.is_none());
+    }
+}

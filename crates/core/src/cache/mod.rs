@@ -1,0 +1,778 @@
+//! The lineage reuse cache (paper §4): a thread-safe map from lineage traces
+//! to cached values, with placeholder blocking for task parallelism, multi-
+//! level entries, cost-based eviction, disk spilling, and partial-reuse
+//! rewrites.
+
+pub mod costs;
+pub mod entry;
+pub mod eviction;
+pub mod rewrites;
+pub mod spill;
+
+use crate::config::{LimaConfig, ReuseMode};
+use crate::lineage::item::{LinKey, LinRef};
+use crate::stats::LimaStats;
+use costs::IoCostModel;
+use entry::{CacheEntry, EntryState};
+use lima_matrix::Value;
+use parking_lot::{Condvar, Mutex};
+use spill::SpillStore;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Outcome of a full-reuse probe.
+pub enum Probe {
+    /// The value was reused from the cache.
+    Hit(Value),
+    /// The caller must compute the value and fulfil (or abort) the
+    /// reservation; concurrent probes for the same trace block meanwhile.
+    Reserved(Reservation),
+}
+
+/// An outstanding placeholder created by [`LineageCache::acquire`]. Dropping
+/// it without [`Reservation::fulfill`] aborts the placeholder and wakes
+/// waiting threads.
+pub struct Reservation {
+    cache: Arc<LineageCache>,
+    key: LinKey,
+    done: bool,
+}
+
+impl Reservation {
+    /// Stores the computed value with its measured computation time.
+    pub fn fulfill(mut self, value: &Value, compute_ns: u64) {
+        self.done = true;
+        self.cache.fulfill(&self.key, value, compute_ns);
+    }
+
+    /// Abandons the placeholder (e.g. the computation failed).
+    pub fn abort(mut self) {
+        self.done = true;
+        self.cache.abort(&self.key);
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        if !self.done {
+            self.cache.abort(&self.key);
+        }
+    }
+}
+
+struct CacheState {
+    map: HashMap<LinKey, CacheEntry>,
+    resident_bytes: usize,
+}
+
+/// The LIMA lineage cache. Cheap to share (`Arc`); all methods are
+/// thread-safe.
+///
+/// ```
+/// use lima_core::{LimaConfig, LineageCache};
+/// use lima_core::cache::Probe;
+/// use lima_core::lineage::item::LineageItem;
+/// use lima_matrix::{DenseMatrix, Value};
+///
+/// let cache = LineageCache::new(LimaConfig::lima());
+/// let x = LineageItem::op_with_data("read", "X.csv", vec![]);
+/// let gram = LineageItem::op_with_data("tsmm", "LEFT", vec![x]);
+///
+/// // First probe misses: compute and fulfil the reservation.
+/// match cache.acquire(&gram).expect("tsmm is cacheable") {
+///     Probe::Reserved(r) => r.fulfill(&Value::matrix(DenseMatrix::identity(3)), 1_000),
+///     Probe::Hit(_) => unreachable!("fresh cache"),
+/// }
+/// // A structurally equal trace hits, even though it is a different object.
+/// let x2 = LineageItem::op_with_data("read", "X.csv", vec![]);
+/// let gram2 = LineageItem::op_with_data("tsmm", "LEFT", vec![x2]);
+/// assert!(matches!(cache.acquire(&gram2), Some(Probe::Hit(_))));
+/// ```
+pub struct LineageCache {
+    config: LimaConfig,
+    stats: Arc<LimaStats>,
+    io: IoCostModel,
+    spill_store: Option<SpillStore>,
+    state: Mutex<CacheState>,
+    cond: Condvar,
+    clock: AtomicU64,
+}
+
+impl std::fmt::Debug for LineageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "LineageCache {{ entries: {}, resident_bytes: {} }}",
+            st.map.len(),
+            st.resident_bytes
+        )
+    }
+}
+
+impl LineageCache {
+    /// Creates a cache for the given configuration.
+    pub fn new(config: LimaConfig) -> Arc<Self> {
+        let spill_store = if config.spill {
+            SpillStore::new().ok()
+        } else {
+            None
+        };
+        Arc::new(LineageCache {
+            config,
+            stats: Arc::new(LimaStats::new()),
+            io: IoCostModel::new(),
+            spill_store,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                resident_bytes: 0,
+            }),
+            cond: Condvar::new(),
+            clock: AtomicU64::new(1),
+        })
+    }
+
+    /// The configuration this cache was created with.
+    pub fn config(&self) -> &LimaConfig {
+        &self.config
+    }
+
+    /// Shared statistics.
+    pub fn stats(&self) -> &LimaStats {
+        &self.stats
+    }
+
+    /// Shared statistics handle (same counters as [`Self::stats`]).
+    pub fn stats_arc(&self) -> Arc<LimaStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Number of entries currently holding a resident or spilled value.
+    pub fn live_entries(&self) -> usize {
+        let st = self.state.lock();
+        st.map
+            .values()
+            .filter(|e| e.is_resident() || e.is_spilled())
+            .count()
+    }
+
+    /// Bytes of values resident in memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.state.lock().resident_bytes
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn count_hit(&self, item: &LinRef, compute_ns: u64) {
+        use crate::opcodes::{BCALL, FCALL};
+        if item.opcode().starts_with(FCALL) || item.opcode().starts_with(BCALL) {
+            LimaStats::bump(&self.stats.multilevel_hits);
+        } else {
+            LimaStats::bump(&self.stats.full_hits);
+        }
+        LimaStats::add(&self.stats.saved_compute_ns, compute_ns);
+    }
+
+    /// Full-reuse probe (paper §4.1). Returns `None` when the opcode does not
+    /// qualify for caching or reuse is disabled — the caller then executes
+    /// normally without touching the cache.
+    pub fn acquire(self: &Arc<Self>, item: &LinRef) -> Option<Probe> {
+        if !self.reusable(item) {
+            return None;
+        }
+        LimaStats::bump(&self.stats.probes);
+        let key = LinKey(item.clone());
+        let height = item.height();
+        let mut st = self.state.lock();
+        loop {
+            let now = self.tick();
+            match st.map.get_mut(&key) {
+                Some(e) if e.is_resident() => {
+                    e.hits += 1;
+                    e.last_access = now;
+                    let (value, compute_ns) = match &e.state {
+                        EntryState::Cached(v) => (v.clone(), e.compute_ns),
+                        _ => unreachable!("checked resident"),
+                    };
+                    drop(st);
+                    self.count_hit(item, compute_ns);
+                    return Some(Probe::Hit(value));
+                }
+                Some(e) if e.is_spilled() => {
+                    // Restore under a placeholder so concurrent probes wait
+                    // instead of double-reading the file.
+                    let (path, bytes) = match &e.state {
+                        EntryState::Spilled { path, bytes } => (path.clone(), *bytes),
+                        _ => unreachable!("checked spilled"),
+                    };
+                    e.state = EntryState::Computing;
+                    drop(st);
+                    let store = self.spill_store.as_ref().expect("spilled implies store");
+                    let t0 = Instant::now();
+                    let restored = store.restore(&path);
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    self.io.observe_read(bytes, elapsed);
+                    st = self.state.lock();
+                    match restored {
+                        Ok(value) => {
+                            LimaStats::bump(&self.stats.restores);
+                            let size = value.size_in_bytes();
+                            if let Some(e) = st.map.get_mut(&key) {
+                                e.state = EntryState::Cached(value.clone());
+                                e.size = size;
+                                e.hits += 1;
+                                e.last_access = self.tick();
+                                let compute_ns = e.compute_ns;
+                                st.resident_bytes += size;
+                                self.enforce_budget(&mut st);
+                                drop(st);
+                                self.cond.notify_all();
+                                self.count_hit(item, compute_ns);
+                                return Some(Probe::Hit(value));
+                            }
+                            // Entry vanished (should not happen); treat as miss.
+                            continue;
+                        }
+                        Err(_) => {
+                            if let Some(e) = st.map.get_mut(&key) {
+                                e.state = EntryState::Evicted;
+                                e.misses += 1;
+                            }
+                            self.cond.notify_all();
+                            continue;
+                        }
+                    }
+                }
+                Some(e) if e.is_computing() => {
+                    LimaStats::bump(&self.stats.placeholder_waits);
+                    self.cond.wait(&mut st);
+                    continue;
+                }
+                Some(e) => {
+                    // Evicted shell: misses raise the entry's future score.
+                    e.misses += 1;
+                    e.last_access = now;
+                    e.state = EntryState::Computing;
+                    drop(st);
+                    return Some(Probe::Reserved(Reservation {
+                        cache: Arc::clone(self),
+                        key,
+                        done: false,
+                    }));
+                }
+                None => {
+                    st.map.insert(key.clone(), CacheEntry::computing(height, now));
+                    drop(st);
+                    return Some(Probe::Reserved(Reservation {
+                        cache: Arc::clone(self),
+                        key,
+                        done: false,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// True when this item's output qualifies for cache interaction.
+    pub fn reusable(&self, item: &LinRef) -> bool {
+        self.config.reuse.any() && self.config.is_cacheable(item.opcode())
+    }
+
+    /// Whether full (operation-level) reuse is active.
+    pub fn full_reuse(&self) -> bool {
+        matches!(self.config.reuse, ReuseMode::Full | ReuseMode::Hybrid)
+    }
+
+    /// Whether partial-reuse rewrites are active.
+    pub fn partial_reuse(&self) -> bool {
+        matches!(self.config.reuse, ReuseMode::Partial | ReuseMode::Hybrid)
+    }
+
+    /// Non-blocking lookup used by partial-reuse rewrites to fetch component
+    /// values: hits count, misses on shells raise scores, placeholders are
+    /// *not* created and computing entries are not waited on.
+    pub fn peek(&self, item: &LinRef) -> Option<Value> {
+        let key = LinKey(item.clone());
+        let mut st = self.state.lock();
+        let now = self.tick();
+        match st.map.get_mut(&key) {
+            Some(e) if e.is_resident() => {
+                e.hits += 1;
+                e.last_access = now;
+                match &e.state {
+                    EntryState::Cached(v) => Some(v.clone()),
+                    _ => unreachable!(),
+                }
+            }
+            Some(e) if e.is_spilled() => {
+                let (path, bytes) = match &e.state {
+                    EntryState::Spilled { path, bytes } => (path.clone(), *bytes),
+                    _ => unreachable!(),
+                };
+                e.state = EntryState::Computing;
+                drop(st);
+                let store = self.spill_store.as_ref().expect("spilled implies store");
+                let t0 = Instant::now();
+                let restored = store.restore(&path);
+                self.io.observe_read(bytes, t0.elapsed().as_nanos() as u64);
+                let mut st = self.state.lock();
+                let e = st.map.get_mut(&key)?;
+                match restored {
+                    Ok(value) => {
+                        LimaStats::bump(&self.stats.restores);
+                        let size = value.size_in_bytes();
+                        e.state = EntryState::Cached(value.clone());
+                        e.size = size;
+                        e.hits += 1;
+                        e.last_access = self.tick();
+                        st.resident_bytes += size;
+                        self.enforce_budget(&mut st);
+                        drop(st);
+                        self.cond.notify_all();
+                        Some(value)
+                    }
+                    Err(_) => {
+                        e.state = EntryState::Evicted;
+                        e.misses += 1;
+                        drop(st);
+                        self.cond.notify_all();
+                        None
+                    }
+                }
+            }
+            Some(e) => {
+                e.misses += 1;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Directly stores a value (used by compensation plans that want their
+    /// probe item cached after partial reuse, and by tests).
+    pub fn put(self: &Arc<Self>, item: &LinRef, value: &Value, compute_ns: u64) {
+        if !self.reusable(item) {
+            LimaStats::bump(&self.stats.rejected_puts);
+            return;
+        }
+        let key = LinKey(item.clone());
+        let height = item.height();
+        {
+            let mut st = self.state.lock();
+            let now = self.tick();
+            st.map
+                .entry(key.clone())
+                .or_insert_with(|| CacheEntry::computing(height, now));
+        }
+        self.fulfill(&key, value, compute_ns);
+    }
+
+    fn fulfill(&self, key: &LinKey, value: &Value, compute_ns: u64) {
+        let size = value.size_in_bytes();
+        let cacheable_size =
+            size <= self.config.budget_bytes && size >= self.config.min_entry_bytes;
+        let mut st = self.state.lock();
+        let now = self.tick();
+        if let Some(e) = st.map.get_mut(key) {
+            e.compute_ns = e.compute_ns.max(compute_ns);
+            e.last_access = now;
+            if cacheable_size {
+                e.state = EntryState::Cached(value.clone());
+                e.size = size;
+                e.group = value_group(value);
+                st.resident_bytes += size;
+                LimaStats::bump(&self.stats.puts);
+                self.enforce_budget(&mut st);
+            } else {
+                e.state = EntryState::Evicted;
+                e.size = 0;
+                LimaStats::bump(&self.stats.rejected_puts);
+            }
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    fn abort(&self, key: &LinKey) {
+        let mut st = self.state.lock();
+        if let Some(e) = st.map.get_mut(key) {
+            if e.is_computing() {
+                e.state = EntryState::Evicted;
+            }
+        }
+        drop(st);
+        self.cond.notify_all();
+    }
+
+    /// Evicts (spill or delete) until the resident size fits the budget.
+    ///
+    /// Eviction is batched: one pass scores all resident entries under the
+    /// active policy (paper Table 1), sorts ascending, and evicts in order
+    /// until the resident size drops below a hysteresis watermark slightly
+    /// under the budget. This keeps high-pollution workloads (e.g. the Fig 6
+    /// mini-batch probe configuration) from degrading into an O(n²) scan per
+    /// inserted entry, while preserving the per-policy eviction *order*.
+    fn enforce_budget(&self, st: &mut CacheState) {
+        if st.resident_bytes <= self.config.budget_bytes {
+            return;
+        }
+        let watermark = (self.config.budget_bytes as f64
+            * self.config.eviction_watermark.clamp(0.0, 1.0)) as usize;
+        let norms = eviction::Norms::collect(
+            st.map
+                .values()
+                .filter(|e| e.is_resident() && e.size > 0),
+        );
+        let mut scored: Vec<(LinKey, f64, u64)> = st
+            .map
+            .iter()
+            .filter(|(_, e)| e.is_resident() && e.size > 0)
+            .map(|(k, e)| {
+                (
+                    k.clone(),
+                    eviction::score(self.config.policy, e, &norms),
+                    e.last_access,
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.2.cmp(&b.2))
+        });
+        // Group deferral bookkeeping: entries caching the same object defer
+        // spilling until the whole group is evicted (paper §4.3).
+        let mut group_counts: HashMap<usize, usize> = HashMap::new();
+        for e in st.map.values() {
+            if e.is_resident() && e.group != 0 {
+                *group_counts.entry(e.group).or_default() += 1;
+            }
+        }
+        for (vkey, _, _) in scored {
+            if st.resident_bytes <= watermark {
+                break;
+            }
+            let group = st.map[&vkey].group;
+            let shared = group != 0 && group_counts.get(&group).copied().unwrap_or(0) > 1;
+            if group != 0 {
+                if let Some(c) = group_counts.get_mut(&group) {
+                    *c = c.saturating_sub(1);
+                }
+            }
+            let e = st.map.get_mut(&vkey).expect("victim exists");
+            let size = e.size;
+            let compute_ns = e.compute_ns;
+            let value = match std::mem::replace(&mut e.state, EntryState::Evicted) {
+                EntryState::Cached(v) => v,
+                other => {
+                    e.state = other;
+                    continue;
+                }
+            };
+            e.size = 0;
+            st.resident_bytes = st.resident_bytes.saturating_sub(size);
+            if !shared {
+                if let Some(store) = &self.spill_store {
+                    if self.io.worth_spilling(size, compute_ns) {
+                        let t0 = Instant::now();
+                        if let Ok(Some((path, bytes))) = store.spill(&value) {
+                            self.io
+                                .observe_write(bytes, t0.elapsed().as_nanos() as u64);
+                            LimaStats::bump(&self.stats.spills);
+                            LimaStats::add(&self.stats.spill_bytes, bytes as u64);
+                            if let Some(e) = st.map.get_mut(&vkey) {
+                                e.state = EntryState::Spilled { path, bytes };
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
+            LimaStats::bump(&self.stats.evictions);
+        }
+        self.prune_shells(st);
+    }
+
+    /// Bounds bookkeeping growth: evicted shells retain reuse statistics
+    /// (their misses can raise scores, Fig 8a), but unbounded shell growth
+    /// would make every eviction scan slower. Keep at most 4× the number of
+    /// live entries, dropping the least-recently-accessed shells.
+    fn prune_shells(&self, st: &mut CacheState) {
+        let live = st
+            .map
+            .values()
+            .filter(|e| !matches!(e.state, EntryState::Evicted))
+            .count();
+        let max_shells = (live * 4).max(4096);
+        let shells = st.map.len() - live;
+        if shells <= max_shells {
+            return;
+        }
+        let mut shell_keys: Vec<(LinKey, u64)> = st
+            .map
+            .iter()
+            .filter(|(_, e)| matches!(e.state, EntryState::Evicted))
+            .map(|(k, e)| (k.clone(), e.last_access))
+            .collect();
+        shell_keys.sort_by_key(|(_, t)| *t);
+        for (k, _) in shell_keys.into_iter().take(shells - max_shells) {
+            st.map.remove(&k);
+        }
+    }
+
+    /// Drops every entry (tests and phase boundaries in benchmarks).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        if let Some(store) = &self.spill_store {
+            for e in st.map.values() {
+                if let EntryState::Spilled { path, .. } = &e.state {
+                    store.discard(path);
+                }
+            }
+        }
+        st.map.clear();
+        st.resident_bytes = 0;
+        drop(st);
+        self.cond.notify_all();
+    }
+}
+
+/// Identity tag grouping entries that cache the same underlying object
+/// (multi-level entries). 0 means "untagged".
+fn value_group(v: &Value) -> usize {
+    match v {
+        Value::Matrix(m) => Arc::as_ptr(m) as usize,
+        Value::List(l) => Arc::as_ptr(l) as usize,
+        Value::Scalar(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::item::LineageItem;
+    use lima_matrix::DenseMatrix;
+
+    fn cfg(budget: usize) -> LimaConfig {
+        LimaConfig {
+            budget_bytes: budget,
+            spill: false,
+            ..LimaConfig::default()
+        }
+    }
+
+    fn mk_item(op: &str, seed: &str) -> LinRef {
+        LineageItem::op(op, vec![LineageItem::op_with_data("read", seed, vec![])])
+    }
+
+    fn mat(n: usize) -> Value {
+        Value::matrix(DenseMatrix::filled(n, n, 1.0))
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("ba+*", "X");
+        let v = mat(10);
+        match cache.acquire(&item).unwrap() {
+            Probe::Hit(_) => panic!("expected miss"),
+            Probe::Reserved(r) => r.fulfill(&v, 1_000),
+        }
+        // Structurally equal item probes hit.
+        let item2 = mk_item("ba+*", "X");
+        match cache.acquire(&item2).unwrap() {
+            Probe::Hit(got) => assert!(got.approx_eq(&v, 0.0)),
+            Probe::Reserved(_) => panic!("expected hit"),
+        }
+        assert_eq!(LimaStats::get(&cache.stats().full_hits), 1);
+        assert_eq!(LimaStats::get(&cache.stats().puts), 1);
+    }
+
+    #[test]
+    fn non_cacheable_opcodes_bypass_the_cache() {
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("print", "X");
+        assert!(cache.acquire(&item).is_none());
+        let disabled = LineageCache::new(LimaConfig::tracing_only());
+        assert!(disabled.acquire(&mk_item("ba+*", "X")).is_none());
+    }
+
+    #[test]
+    fn aborted_reservations_allow_retry() {
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("ba+*", "X");
+        match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r.abort(),
+            _ => panic!(),
+        }
+        // Next probe must get a reservation again, not deadlock.
+        match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(2), 10),
+            _ => panic!("expected reservation after abort"),
+        }
+        assert!(matches!(cache.acquire(&item).unwrap(), Probe::Hit(_)));
+    }
+
+    #[test]
+    fn dropped_reservation_aborts() {
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("ba+*", "X");
+        {
+            let _r = match cache.acquire(&item).unwrap() {
+                Probe::Reserved(r) => r,
+                _ => panic!(),
+            };
+            // dropped here without fulfill
+        }
+        assert!(matches!(
+            cache.acquire(&item).unwrap(),
+            Probe::Reserved(_)
+        ));
+    }
+
+    #[test]
+    fn eviction_respects_budget() {
+        // Budget fits roughly two of the three 100x100 matrices (80kB each).
+        let cache = LineageCache::new(cfg(170_000));
+        for i in 0..3 {
+            let item = mk_item("ba+*", &format!("X{i}"));
+            match cache.acquire(&item).unwrap() {
+                Probe::Reserved(r) => r.fulfill(&mat(100), 1_000 * (i as u64 + 1)),
+                _ => panic!(),
+            }
+        }
+        assert!(cache.resident_bytes() <= 170_000);
+        assert!(LimaStats::get(&cache.stats().evictions) >= 1);
+        // The cheapest entry (X0) was evicted under Cost&Size.
+        assert!(matches!(
+            cache.acquire(&mk_item("ba+*", "X0")).unwrap(),
+            Probe::Reserved(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_values_are_rejected_not_cached() {
+        let cache = LineageCache::new(cfg(1_000));
+        let item = mk_item("ba+*", "big");
+        match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 1_000),
+            _ => panic!(),
+        }
+        assert_eq!(cache.resident_bytes(), 0);
+        assert_eq!(LimaStats::get(&cache.stats().rejected_puts), 1);
+        // Shell remains; next probe reserves again.
+        assert!(matches!(
+            cache.acquire(&item).unwrap(),
+            Probe::Reserved(_)
+        ));
+    }
+
+    #[test]
+    fn placeholder_blocks_concurrent_probes() {
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("ba+*", "X");
+        let r = match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        let c2 = Arc::clone(&cache);
+        let item2 = mk_item("ba+*", "X");
+        let waiter = std::thread::spawn(move || match c2.acquire(&item2).unwrap() {
+            Probe::Hit(v) => v,
+            Probe::Reserved(_) => panic!("waiter should get the computed value"),
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        r.fulfill(&mat(4), 123);
+        let got = waiter.join().unwrap();
+        assert!(got.approx_eq(&mat(4), 0.0));
+        assert_eq!(LimaStats::get(&cache.stats().placeholder_waits), 1);
+    }
+
+    #[test]
+    fn spilled_entries_restore_on_hit() {
+        let config = LimaConfig {
+            budget_bytes: 100_000,
+            spill: true,
+            ..LimaConfig::default()
+        };
+        let cache = LineageCache::new(config);
+        // Expensive-to-compute entry (so spilling pays off), then push it out
+        // with an entry whose Cost&Size score is even higher.
+        let hot = mk_item("ba+*", "hot");
+        match cache.acquire(&hot).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 60_000_000_000),
+            _ => panic!(),
+        }
+        let filler = mk_item("ba+*", "filler");
+        match cache.acquire(&filler).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(90), 120_000_000_000),
+            _ => panic!(),
+        }
+        assert!(LimaStats::get(&cache.stats().spills) >= 1);
+        match cache.acquire(&mk_item("ba+*", "hot")).unwrap() {
+            Probe::Hit(v) => assert!(v.approx_eq(&mat(100), 0.0)),
+            Probe::Reserved(_) => panic!("expected restore hit"),
+        }
+        assert_eq!(LimaStats::get(&cache.stats().restores), 1);
+    }
+
+    #[test]
+    fn peek_does_not_create_placeholders() {
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("ba+*", "X");
+        assert!(cache.peek(&item).is_none());
+        // No placeholder was created: acquire gets a fresh reservation and
+        // nobody deadlocks.
+        match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(3), 5),
+            _ => panic!(),
+        }
+        assert!(cache.peek(&item).is_some());
+    }
+
+    #[test]
+    fn misses_on_shells_raise_costsize_score() {
+        // Budget fits only one 100x100 matrix (~80kB) at a time.
+        let cache = LineageCache::new(cfg(100_000));
+        let a = mk_item("ba+*", "A");
+        match cache.acquire(&a).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 100_000),
+            _ => panic!(),
+        }
+        // Push A out with a more valuable entry (higher compute cost).
+        let b = mk_item("ba+*", "B");
+        match cache.acquire(&b).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 1_000_000),
+            _ => panic!(),
+        }
+        // A's shell accumulates misses...
+        for _ in 0..100 {
+            assert!(cache.peek(&a).is_none());
+        }
+        // ...so once re-cached, A survives the next budget squeeze over B.
+        match cache.acquire(&a).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 100_000),
+            _ => panic!(),
+        }
+        assert!(matches!(cache.acquire(&a).unwrap(), Probe::Hit(_)));
+        assert!(matches!(cache.acquire(&b).unwrap(), Probe::Reserved(_)));
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("ba+*", "X");
+        match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(5), 5),
+            _ => panic!(),
+        }
+        assert_eq!(cache.live_entries(), 1);
+        cache.clear();
+        assert_eq!(cache.live_entries(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Disk spilling of evicted cache entries (paper §4.3).
+//!
+//! Only matrices are spilled (scalars are too small to matter; lists are
+//! dropped and recomputed). The format is a tiny self-describing binary
+//! header followed by the raw `f64` buffer, written with the `bytes` crate.
+
+use bytes::{Buf, BufMut, BytesMut};
+use lima_matrix::{DenseMatrix, Value};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: u32 = 0x4C49_4D41; // "LIMA"
+
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Manages the spill directory lifecycle; files are removed on drop.
+#[derive(Debug)]
+pub struct SpillStore {
+    dir: PathBuf,
+}
+
+impl SpillStore {
+    /// Creates a per-process spill directory under the system temp dir.
+    pub fn new() -> std::io::Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "lima-spill-{}-{}",
+            std::process::id(),
+            NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir)?;
+        Ok(SpillStore { dir })
+    }
+
+    /// Spills a matrix value; returns the file path and bytes written.
+    /// Returns `None` for non-matrix values (they are not spillable).
+    pub fn spill(&self, value: &Value) -> std::io::Result<Option<(PathBuf, usize)>> {
+        let m = match value {
+            Value::Matrix(m) => m,
+            _ => return Ok(None),
+        };
+        let path = self
+            .dir
+            .join(format!("e{}.bin", NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)));
+        let bytes = write_matrix(&path, m)?;
+        Ok(Some((path, bytes)))
+    }
+
+    /// Restores a previously spilled matrix and deletes the file.
+    pub fn restore(&self, path: &Path) -> std::io::Result<Value> {
+        let m = read_matrix(path)?;
+        let _ = fs::remove_file(path);
+        Ok(Value::matrix(m))
+    }
+
+    /// Removes a spill file without restoring (entry deleted while spilled).
+    pub fn discard(&self, path: &Path) {
+        let _ = fs::remove_file(path);
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn write_matrix(path: &Path, m: &DenseMatrix) -> std::io::Result<usize> {
+    let mut buf = BytesMut::with_capacity(16 + m.len() * 8);
+    buf.put_u32(MAGIC);
+    buf.put_u64(m.rows() as u64);
+    buf.put_u64(m.cols() as u64);
+    for &v in m.data() {
+        buf.put_f64(v);
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(&buf)?;
+    Ok(buf.len())
+}
+
+fn read_matrix(path: &Path) -> std::io::Result<DenseMatrix> {
+    let mut raw = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    if buf.remaining() < 20 || buf.get_u32() != MAGIC {
+        return Err(bad("bad spill file header"));
+    }
+    let rows = buf.get_u64() as usize;
+    let cols = buf.get_u64() as usize;
+    if buf.remaining() != rows * cols * 8 {
+        return Err(bad("truncated spill file"));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(buf.get_f64());
+    }
+    DenseMatrix::new(rows, cols, data).map_err(|e| bad(&e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_and_restore_round_trips() {
+        let store = SpillStore::new().unwrap();
+        let m = DenseMatrix::from_fn(13, 7, |i, j| (i * 7 + j) as f64 * 0.5 - 3.0);
+        let v = Value::matrix(m.clone());
+        let (path, bytes) = store.spill(&v).unwrap().unwrap();
+        assert_eq!(bytes, 20 + 13 * 7 * 8);
+        assert!(path.exists());
+        let back = store.restore(&path).unwrap();
+        assert!(back.as_matrix().unwrap().approx_eq(&m, 0.0));
+        assert!(!path.exists(), "restore deletes the spill file");
+    }
+
+    #[test]
+    fn non_matrix_values_are_not_spilled() {
+        let store = SpillStore::new().unwrap();
+        assert!(store.spill(&Value::f64(1.0)).unwrap().is_none());
+        assert!(store.spill(&Value::list(vec![])).unwrap().is_none());
+    }
+
+    #[test]
+    fn discard_removes_file() {
+        let store = SpillStore::new().unwrap();
+        let v = Value::matrix(DenseMatrix::zeros(2, 2));
+        let (path, _) = store.spill(&v).unwrap().unwrap();
+        store.discard(&path);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let store = SpillStore::new().unwrap();
+        let v = Value::matrix(DenseMatrix::zeros(4, 4));
+        let (path, _) = store.spill(&v).unwrap().unwrap();
+        fs::write(&path, b"garbage").unwrap();
+        assert!(store.restore(&path).is_err());
+        let truncated = {
+            let mut buf = BytesMut::new();
+            buf.put_u32(MAGIC);
+            buf.put_u64(10);
+            buf.put_u64(10);
+            buf.put_f64(1.0);
+            buf
+        };
+        fs::write(&path, &truncated).unwrap();
+        assert!(store.restore(&path).is_err());
+    }
+
+    #[test]
+    fn drop_cleans_directory() {
+        let dir;
+        {
+            let store = SpillStore::new().unwrap();
+            dir = store.dir.clone();
+            let v = Value::matrix(DenseMatrix::zeros(2, 2));
+            store.spill(&v).unwrap();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists());
+    }
+}

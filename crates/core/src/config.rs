@@ -1,0 +1,186 @@
+//! Configuration of lineage tracing and the reuse cache.
+
+use std::collections::HashSet;
+
+/// Which reuse machinery is active (paper §5.1 "cache configurations":
+/// full, partial, hybrid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseMode {
+    /// No reuse; tracing only (configuration `LT` in Fig 6).
+    None,
+    /// Operation-level full reuse only (`LIMA-FR`).
+    Full,
+    /// Partial-reuse rewrites only.
+    Partial,
+    /// Full + partial reuse (the default `LIMA` configuration).
+    Hybrid,
+}
+
+impl ReuseMode {
+    /// True if full (operation-level) reuse is enabled.
+    pub fn full(self) -> bool {
+        matches!(self, ReuseMode::Full | ReuseMode::Hybrid)
+    }
+
+    /// True if partial-reuse rewrites are enabled.
+    pub fn partial(self) -> bool {
+        matches!(self, ReuseMode::Partial | ReuseMode::Hybrid)
+    }
+
+    /// True if any reuse is enabled.
+    pub fn any(self) -> bool {
+        !matches!(self, ReuseMode::None)
+    }
+}
+
+/// Cache eviction policy (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least-recently-used: evict minimal last-access timestamp.
+    Lru,
+    /// DAG-Height: deep lineage traces are assumed to have less reuse
+    /// potential; evict maximal height (score `1/h(o)`).
+    DagHeight,
+    /// Cost & Size (default): evict minimal `(r_h + r_m) · c(o) / s(o)`.
+    CostSize,
+    /// Hybrid (weighted recency + cost/size). The paper abandoned this in
+    /// favour of the parameter-free Cost&Size policy (§4.3); it is kept here
+    /// for the ablation study.
+    Hybrid,
+}
+
+/// Top-level LIMA configuration handed to the runtime and the cache.
+#[derive(Debug, Clone)]
+pub struct LimaConfig {
+    /// Master switch for lineage tracing.
+    pub tracing: bool,
+    /// Deduplicate lineage for last-level loops and functions.
+    pub dedup: bool,
+    /// Reuse machinery (requires `tracing`).
+    pub reuse: ReuseMode,
+    /// Multi-level (function/block) reuse on top of operation reuse.
+    pub multilevel: bool,
+    /// Eviction policy.
+    pub policy: EvictionPolicy,
+    /// Cache budget in bytes (the paper defaults to 5% of the heap; here an
+    /// absolute budget).
+    pub budget_bytes: usize,
+    /// Spill evicted entries to disk when recompute cost exceeds I/O cost.
+    pub spill: bool,
+    /// Compiler assistance: unmarking and reuse-aware rewrites (paper §4.4).
+    pub compiler_assist: bool,
+    /// Opcodes whose outputs qualify for caching; `None` uses the default set.
+    pub cacheable_opcodes: Option<HashSet<String>>,
+    /// Objects larger than the whole budget are never cached; additionally,
+    /// objects smaller than this many bytes are not worth caching as
+    /// individual entries (placeholder pressure); 0 disables the floor.
+    pub min_entry_bytes: usize,
+    /// Batch-eviction hysteresis: eviction stops once the resident size
+    /// drops below `budget × watermark`. Values near 1.0 evict exactly to
+    /// the budget (strict Table-1 semantics, O(n) scan per overflow); lower
+    /// values amortize scans for pollution-heavy workloads.
+    pub eviction_watermark: f64,
+}
+
+impl Default for LimaConfig {
+    fn default() -> Self {
+        LimaConfig {
+            tracing: true,
+            dedup: false,
+            reuse: ReuseMode::Hybrid,
+            multilevel: true,
+            policy: EvictionPolicy::CostSize,
+            budget_bytes: 256 * 1024 * 1024,
+            spill: true,
+            compiler_assist: true,
+            cacheable_opcodes: None,
+            min_entry_bytes: 0,
+            eviction_watermark: 0.8,
+        }
+    }
+}
+
+impl LimaConfig {
+    /// Baseline configuration: no tracing, no reuse (paper's `Base`).
+    pub fn base() -> Self {
+        LimaConfig {
+            tracing: false,
+            dedup: false,
+            reuse: ReuseMode::None,
+            multilevel: false,
+            compiler_assist: false,
+            ..Self::default()
+        }
+    }
+
+    /// Tracing only (`LT`).
+    pub fn tracing_only() -> Self {
+        LimaConfig {
+            tracing: true,
+            reuse: ReuseMode::None,
+            multilevel: false,
+            compiler_assist: false,
+            ..Self::default()
+        }
+    }
+
+    /// Tracing + dedup, no reuse (`LTD`).
+    pub fn tracing_dedup() -> Self {
+        LimaConfig {
+            dedup: true,
+            ..Self::tracing_only()
+        }
+    }
+
+    /// The full LIMA configuration (hybrid reuse, multi-level, C&S eviction).
+    pub fn lima() -> Self {
+        Self::default()
+    }
+
+    /// True when `op` qualifies for caching under this configuration.
+    pub fn is_cacheable(&self, op: &str) -> bool {
+        match &self.cacheable_opcodes {
+            Some(set) => set.contains(op),
+            None => {
+                crate::opcodes::default_cacheable().contains(&op)
+                    || op.starts_with(crate::opcodes::FUSED_PREFIX)
+                    || op.starts_with(crate::opcodes::FCALL)
+                    || op.starts_with(crate::opcodes::BCALL)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_mode_flags() {
+        assert!(!ReuseMode::None.any());
+        assert!(ReuseMode::Full.full() && !ReuseMode::Full.partial());
+        assert!(!ReuseMode::Partial.full() && ReuseMode::Partial.partial());
+        assert!(ReuseMode::Hybrid.full() && ReuseMode::Hybrid.partial());
+    }
+
+    #[test]
+    fn preset_configs() {
+        assert!(!LimaConfig::base().tracing);
+        assert!(LimaConfig::tracing_only().tracing);
+        assert!(!LimaConfig::tracing_only().reuse.any());
+        assert!(LimaConfig::tracing_dedup().dedup);
+        assert!(LimaConfig::lima().reuse.any());
+        assert_eq!(LimaConfig::lima().policy, EvictionPolicy::CostSize);
+    }
+
+    #[test]
+    fn cacheable_respects_override() {
+        let mut cfg = LimaConfig::default();
+        assert!(cfg.is_cacheable("ba+*"));
+        assert!(!cfg.is_cacheable("print"));
+        assert!(cfg.is_cacheable("spoof17"));
+        cfg.cacheable_opcodes = Some(["ba+*".to_string()].into_iter().collect());
+        assert!(cfg.is_cacheable("ba+*"));
+        assert!(!cfg.is_cacheable("tsmm"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # lima-core
+//!
+//! The LIMA framework itself (paper §3–§4): fine-grained lineage tracing with
+//! multi-level deduplication, and lineage-based full/partial reuse with
+//! cost-based eviction.
+//!
+//! The crate is runtime-agnostic: it knows nothing about instructions or
+//! program blocks. The `lima-runtime` crate drives it by
+//!
+//! 1. creating [`lineage::LineageItem`]s *before* executing each instruction,
+//! 2. probing the [`cache::LineageCache`] with the item (full reuse, then
+//!    partial-reuse rewrites), and
+//! 3. registering computed outputs back into the cache.
+
+pub mod cache;
+pub mod config;
+pub mod lineage;
+pub mod opcodes;
+pub mod stats;
+
+pub use cache::LineageCache;
+pub use config::{EvictionPolicy, LimaConfig, ReuseMode};
+pub use lineage::{LinRef, LineageItem, LineageMap};
+pub use stats::LimaStats;

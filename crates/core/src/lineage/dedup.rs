@@ -1,0 +1,418 @@
+//! Lineage deduplication for loops and functions (paper §3.2).
+//!
+//! Repeated executions of a loop body create repeated patterns in the lineage
+//! DAG. Deduplication extracts each *distinct control path* of the body once,
+//! as a **lineage patch** whose leaves are placeholders for the loop inputs
+//! (live-in variables, the loop index, and any system-generated seeds), and
+//! replaces every iteration's sub-DAG with a single dedup item.
+//!
+//! Patches are keyed by a *path bitvector*: bit `i` records whether branch
+//! `i` (IDs assigned depth-first at setup time) evaluated to true. Once all
+//! distinct paths of a body have patches, per-iteration tracing can stop —
+//! only the taken path and the seeds are recorded.
+
+use crate::lineage::item::{hash_parts, LinRef, LineageItem, LineageKind};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_PATCH_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A deduplicated lineage patch: one distinct control path through a loop or
+/// function body, with placeholder leaves for the body inputs.
+#[derive(Debug)]
+pub struct DedupPatch {
+    patch_id: u64,
+    /// Stable key of the owning loop/function (e.g. `"fn:lm"` or `"loop:17"`).
+    block_key: String,
+    /// Taken-branch bitvector identifying the control path.
+    path_key: u64,
+    /// Number of placeholder input slots.
+    num_inputs: usize,
+    /// Output variable name → patch-body root.
+    roots: Vec<(String, LinRef)>,
+}
+
+impl DedupPatch {
+    /// Creates a patch. Roots must only reference [`LineageKind::Placeholder`]
+    /// leaves with slots `< num_inputs`, plus literals.
+    pub fn new(
+        block_key: impl Into<String>,
+        path_key: u64,
+        num_inputs: usize,
+        roots: Vec<(String, LinRef)>,
+    ) -> Arc<Self> {
+        Arc::new(DedupPatch {
+            patch_id: NEXT_PATCH_ID.fetch_add(1, Ordering::Relaxed),
+            block_key: block_key.into(),
+            path_key,
+            num_inputs,
+            roots,
+        })
+    }
+
+    /// Process-unique patch ID.
+    pub fn patch_id(&self) -> u64 {
+        self.patch_id
+    }
+
+    /// Owning loop/function key.
+    pub fn block_key(&self) -> &str {
+        &self.block_key
+    }
+
+    /// Taken-branch bitvector this patch encodes.
+    pub fn path_key(&self) -> u64 {
+        self.path_key
+    }
+
+    /// Number of placeholder slots.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Output name → root pairs.
+    pub fn roots(&self) -> &[(String, LinRef)] {
+        &self.roots
+    }
+
+    /// Root for a named output.
+    pub fn root(&self, output: &str) -> Option<&LinRef> {
+        self.roots
+            .iter()
+            .find(|(name, _)| name == output)
+            .map(|(_, r)| r)
+    }
+
+    /// Total number of nodes across all patch roots (patch dictionary size).
+    pub fn body_size(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<LinRef> = self.roots.iter().map(|(_, r)| r.clone()).collect();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n.id()) {
+                stack.extend(n.inputs().iter().cloned());
+            }
+        }
+        seen.len()
+    }
+
+    /// Hash of the `output` root with placeholder slot `i` bound to `env[i]`.
+    /// This makes a dedup item hash identically to its expansion, which is
+    /// what lets deduplicated and plain traces match (paper §3.2).
+    pub fn parametric_hash(&self, output: &str, env: &[u64]) -> u64 {
+        let root = match self.root(output) {
+            Some(r) => r,
+            // Unknown output: fall back to a tagged hash so lookups still
+            // terminate deterministically.
+            None => return hash_parts("dedup-miss", Some(output), env),
+        };
+        let mut memo: HashMap<u64, u64> = HashMap::new();
+        let mut stack: Vec<LinRef> = vec![root.clone()];
+        while let Some(top) = stack.last() {
+            if memo.contains_key(&top.id()) {
+                stack.pop();
+                continue;
+            }
+            if let LineageKind::Placeholder(slot) = top.kind() {
+                let h = env
+                    .get(*slot as usize)
+                    .copied()
+                    .unwrap_or_else(|| hash_parts("ph-unbound", None, &[u64::from(*slot)]));
+                memo.insert(top.id(), h);
+                stack.pop();
+                continue;
+            }
+            let pending: Vec<LinRef> = top
+                .inputs()
+                .iter()
+                .filter(|i| !memo.contains_key(&i.id()))
+                .cloned()
+                .collect();
+            if pending.is_empty() {
+                let node = stack.pop().expect("non-empty");
+                let ih: Vec<u64> = node.inputs().iter().map(|i| memo[&i.id()]).collect();
+                let h = hash_parts(node.opcode(), node.data(), &ih);
+                memo.insert(node.id(), h);
+            } else {
+                stack.extend(pending);
+            }
+        }
+        memo[&root.id()]
+    }
+
+    /// Materializes the `output` root with placeholders substituted by the
+    /// given input items (used by equality resolution and reconstruction).
+    pub fn expand(&self, output: &str, inputs: &[LinRef]) -> LinRef {
+        let root = match self.root(output) {
+            Some(r) => r.clone(),
+            None => return LineageItem::op_with_data("dedup-miss", output, inputs.to_vec()),
+        };
+        let order = root.topo_order();
+        let mut rebuilt: HashMap<u64, LinRef> = HashMap::new();
+        for node in order {
+            let new = match node.kind() {
+                LineageKind::Placeholder(slot) => inputs
+                    .get(*slot as usize)
+                    .cloned()
+                    .unwrap_or_else(|| node.clone()),
+                LineageKind::Literal => node.clone(),
+                _ => {
+                    let ins: Vec<LinRef> = node
+                        .inputs()
+                        .iter()
+                        .map(|i| rebuilt[&i.id()].clone())
+                        .collect();
+                    match node.data() {
+                        Some(d) => LineageItem::op_with_data(node.opcode(), d, ins),
+                        None => LineageItem::op(node.opcode(), ins),
+                    }
+                }
+            };
+            rebuilt.insert(node.id(), new);
+        }
+        rebuilt[&root.id()].clone()
+    }
+}
+
+/// Runtime tracer for the taken control path and captured seeds of one
+/// iteration (paper §3.2, "bitvector b" plus seed placeholders).
+#[derive(Debug, Default, Clone)]
+pub struct PathTracer {
+    bits: u64,
+    seeds: Vec<i64>,
+}
+
+impl PathTracer {
+    /// Fresh tracer with no branches taken.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the outcome of branch `id` (IDs are assigned depth-first at
+    /// dedup setup; at most 64 branches per body are supported — bodies with
+    /// more fall back to plain tracing).
+    pub fn record_branch(&mut self, id: u32, taken: bool) {
+        if taken {
+            self.bits |= 1u64 << id;
+        }
+    }
+
+    /// Records a system-generated seed encountered during the iteration.
+    pub fn record_seed(&mut self, seed: i64) {
+        self.seeds.push(seed);
+    }
+
+    /// The path bitvector.
+    pub fn path_key(&self) -> u64 {
+        self.bits
+    }
+
+    /// Captured seeds in order of occurrence.
+    pub fn seeds(&self) -> &[i64] {
+        &self.seeds
+    }
+}
+
+/// Per-loop/function registry of lineage patches, shared across iterations
+/// (and across concurrent parfor workers, hence the mutex).
+#[derive(Debug)]
+pub struct DedupRegistry {
+    block_key: String,
+    num_distinct_paths: u64,
+    inner: Mutex<HashMap<u64, Arc<DedupPatch>>>,
+}
+
+impl DedupRegistry {
+    /// Creates a registry for a body with `num_branches` conditional branches
+    /// (2^branches distinct control paths; paper counts these in a single
+    /// pass through the program at setup).
+    pub fn new(block_key: impl Into<String>, num_branches: u32) -> Self {
+        DedupRegistry {
+            block_key: block_key.into(),
+            num_distinct_paths: 1u64
+                .checked_shl(num_branches)
+                .unwrap_or(u64::MAX),
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Owning block key.
+    pub fn block_key(&self) -> &str {
+        &self.block_key
+    }
+
+    /// Patch for a path, if already traced.
+    pub fn get(&self, path_key: u64) -> Option<Arc<DedupPatch>> {
+        self.inner.lock().get(&path_key).cloned()
+    }
+
+    /// Inserts a patch for a path unless one exists; returns the canonical
+    /// patch for that path (first writer wins, so concurrent parfor workers
+    /// converge on one patch instance).
+    pub fn insert(&self, patch: Arc<DedupPatch>) -> Arc<DedupPatch> {
+        let mut map = self.inner.lock();
+        map.entry(patch.path_key()).or_insert(patch).clone()
+    }
+
+    /// True once every distinct control path has a patch — per-iteration
+    /// lineage tracing can then stop (only path bits + seeds are recorded).
+    pub fn is_complete(&self) -> bool {
+        self.inner.lock().len() as u64 >= self.num_distinct_paths
+    }
+
+    /// Number of patches traced so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no patch has been traced yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Snapshot of all patches (for serialization).
+    pub fn patches(&self) -> Vec<Arc<DedupPatch>> {
+        self.inner.lock().values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::item::lineage_eq;
+
+    /// Builds the patch for `out = (in0 + in1) * in0`.
+    fn sample_patch() -> Arc<DedupPatch> {
+        let p0 = LineageItem::placeholder(0);
+        let p1 = LineageItem::placeholder(1);
+        let sum = LineageItem::op("+", vec![p0.clone(), p1]);
+        let out = LineageItem::op("*", vec![sum, p0]);
+        DedupPatch::new("loop:test", 0, 2, vec![("out".into(), out)])
+    }
+
+    fn leaf(name: &str) -> LinRef {
+        LineageItem::op_with_data("read", name, vec![])
+    }
+
+    #[test]
+    fn expansion_substitutes_placeholders() {
+        let patch = sample_patch();
+        let (a, b) = (leaf("A"), leaf("B"));
+        let expanded = patch.expand("out", &[a.clone(), b.clone()]);
+        // Expected: (A + B) * A
+        let expect = LineageItem::op(
+            "*",
+            vec![LineageItem::op("+", vec![a.clone(), b]), a],
+        );
+        assert!(lineage_eq(&expanded, &expect));
+    }
+
+    #[test]
+    fn dedup_item_hash_equals_expansion_hash() {
+        let patch = sample_patch();
+        let (a, b) = (leaf("A"), leaf("B"));
+        let dedup = LineageItem::dedup(patch.clone(), "out", vec![a.clone(), b.clone()]);
+        let expanded = patch.expand("out", &[a, b]);
+        assert_eq!(dedup.hash_value(), expanded.hash_value());
+        assert!(lineage_eq(&dedup, &expanded));
+    }
+
+    #[test]
+    fn dedup_items_with_different_inputs_differ() {
+        let patch = sample_patch();
+        let d1 = LineageItem::dedup(patch.clone(), "out", vec![leaf("A"), leaf("B")]);
+        let d2 = LineageItem::dedup(patch.clone(), "out", vec![leaf("A"), leaf("C")]);
+        assert_ne!(d1.hash_value(), d2.hash_value());
+        assert!(!lineage_eq(&d1, &d2));
+        let d3 = LineageItem::dedup(patch, "out", vec![leaf("A"), leaf("B")]);
+        assert!(lineage_eq(&d1, &d3));
+    }
+
+    #[test]
+    fn chained_dedup_items_model_loop_iterations() {
+        // Mimics PageRank (Example 4): p_{k+1} = patch(G, p_k).
+        let p0 = LineageItem::placeholder(0);
+        let p1 = LineageItem::placeholder(1);
+        let body = LineageItem::op("+", vec![LineageItem::op("ba+*", vec![p0, p1.clone()]), p1]);
+        let patch = DedupPatch::new("loop:pr", 0, 2, vec![("p".into(), body)]);
+        let g = leaf("G");
+        let mut p = leaf("p");
+        for _ in 0..3 {
+            p = LineageItem::dedup(patch.clone(), "p", vec![g.clone(), p]);
+        }
+        // Expanded equivalent.
+        let mut q = leaf("p");
+        for _ in 0..3 {
+            q = LineageItem::op(
+                "+",
+                vec![LineageItem::op("ba+*", vec![g.clone(), q.clone()]), q],
+            );
+        }
+        assert_eq!(p.hash_value(), q.hash_value());
+        assert!(lineage_eq(&p, &q));
+        // Deduplicated DAG is much smaller: 3 dedup items + 2 leaves.
+        assert_eq!(p.dag_size(), 5);
+        assert_eq!(q.dag_size(), 8);
+    }
+
+    #[test]
+    fn path_tracer_builds_bitvector() {
+        let mut t = PathTracer::new();
+        t.record_branch(0, true);
+        t.record_branch(1, false);
+        t.record_branch(2, true);
+        assert_eq!(t.path_key(), 0b101);
+        t.record_seed(42);
+        assert_eq!(t.seeds(), &[42]);
+    }
+
+    #[test]
+    fn registry_completes_when_all_paths_traced() {
+        let reg = DedupRegistry::new("loop:x", 1); // 2 paths
+        assert!(reg.is_empty());
+        assert!(!reg.is_complete());
+        let p0 = LineageItem::placeholder(0);
+        reg.insert(DedupPatch::new("loop:x", 0, 1, vec![("o".into(), p0.clone())]));
+        assert!(!reg.is_complete());
+        reg.insert(DedupPatch::new("loop:x", 1, 1, vec![("o".into(), p0)]));
+        assert!(reg.is_complete());
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(0).is_some());
+        assert!(reg.get(2).is_none());
+    }
+
+    #[test]
+    fn registry_first_writer_wins() {
+        let reg = DedupRegistry::new("loop:y", 0);
+        let ph = LineageItem::placeholder(0);
+        let a = DedupPatch::new("loop:y", 0, 1, vec![("o".into(), ph.clone())]);
+        let b = DedupPatch::new("loop:y", 0, 1, vec![("o".into(), ph)]);
+        let first = reg.insert(a.clone());
+        let second = reg.insert(b);
+        assert_eq!(first.patch_id(), a.patch_id());
+        assert_eq!(second.patch_id(), a.patch_id());
+    }
+
+    #[test]
+    fn seeds_as_patch_inputs_keep_iterations_distinct() {
+        // Non-determinism handling: seed is an input placeholder, so two
+        // iterations with different seeds produce different lineage.
+        let data = LineageItem::placeholder(0);
+        let seed = LineageItem::placeholder(1);
+        let body = LineageItem::op("*", vec![data, seed]);
+        let patch = DedupPatch::new("loop:nd", 0, 2, vec![("o".into(), body)]);
+        let x = leaf("X");
+        let s1 = LineageItem::literal("i:42");
+        let s2 = LineageItem::literal("i:43");
+        let d1 = LineageItem::dedup(patch.clone(), "o", vec![x.clone(), s1]);
+        let d2 = LineageItem::dedup(patch, "o", vec![x, s2]);
+        assert!(!lineage_eq(&d1, &d2));
+    }
+
+    #[test]
+    fn body_size_counts_unique_nodes() {
+        let patch = sample_patch();
+        assert_eq!(patch.body_size(), 4); // 2 placeholders + "+" + "*"
+    }
+}

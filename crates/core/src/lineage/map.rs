@@ -1,0 +1,137 @@
+//! The `LineageMap`: live-variable-name → lineage-item mapping maintained per
+//! execution context (paper §3.1). Thread- and function-local by
+//! construction: every interpreter context owns one.
+
+use crate::lineage::item::{LinRef, LineageItem};
+use std::collections::HashMap;
+
+/// Maps live variable names to the lineage of their current values, and
+/// caches literal lineage items (the paper's `LineageMap`).
+#[derive(Debug, Default)]
+pub struct LineageMap {
+    vars: HashMap<String, LinRef>,
+    literals: HashMap<String, LinRef>,
+}
+
+impl LineageMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lineage of a live variable.
+    pub fn get(&self, var: &str) -> Option<&LinRef> {
+        self.vars.get(var)
+    }
+
+    /// Binds a variable to a lineage item (tracing an instruction output).
+    pub fn set(&mut self, var: impl Into<String>, item: LinRef) {
+        self.vars.insert(var.into(), item);
+    }
+
+    /// `rmvar`: drops the mapping of a removed variable.
+    pub fn remove(&mut self, var: &str) -> Option<LinRef> {
+        self.vars.remove(var)
+    }
+
+    /// `mvvar`: renames a variable, moving its lineage.
+    pub fn rename(&mut self, from: &str, to: impl Into<String>) {
+        if let Some(item) = self.vars.remove(from) {
+            self.vars.insert(to.into(), item);
+        }
+    }
+
+    /// Literal lineage item for a type-tagged encoding, cached so repeated
+    /// uses of the same constant share one node.
+    pub fn literal(&mut self, encoded: &str) -> LinRef {
+        if let Some(item) = self.literals.get(encoded) {
+            return item.clone();
+        }
+        let item = LineageItem::literal(encoded);
+        self.literals.insert(encoded.to_string(), item.clone());
+        item
+    }
+
+    /// All live variable bindings (used when merging parfor worker results).
+    pub fn bindings(&self) -> impl Iterator<Item = (&str, &LinRef)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Clears all bindings (literal cache survives — literals are immutable).
+    pub fn clear(&mut self) {
+        self.vars.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::item::lineage_eq;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_get_remove() {
+        let mut m = LineageMap::new();
+        let x = LineageItem::op_with_data("read", "X", vec![]);
+        m.set("X", x.clone());
+        assert!(lineage_eq(m.get("X").unwrap(), &x));
+        assert!(m.get("Y").is_none());
+        assert!(m.remove("X").is_some());
+        assert!(m.get("X").is_none());
+        assert!(m.remove("X").is_none());
+    }
+
+    #[test]
+    fn rename_moves_lineage() {
+        let mut m = LineageMap::new();
+        let x = LineageItem::op_with_data("read", "X", vec![]);
+        m.set("tmp7", x.clone());
+        m.rename("tmp7", "beta");
+        assert!(m.get("tmp7").is_none());
+        assert!(Arc::ptr_eq(m.get("beta").unwrap(), &x));
+        // renaming a missing variable is a no-op
+        m.rename("missing", "other");
+        assert!(m.get("other").is_none());
+    }
+
+    #[test]
+    fn literal_items_are_cached() {
+        let mut m = LineageMap::new();
+        let a = m.literal("f:1.5");
+        let b = m.literal("f:1.5");
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = m.literal("f:2.5");
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn clear_keeps_literal_cache() {
+        let mut m = LineageMap::new();
+        let lit = m.literal("i:7");
+        m.set("X", lit.clone());
+        m.clear();
+        assert!(m.is_empty());
+        assert!(Arc::ptr_eq(&m.literal("i:7"), &lit));
+    }
+
+    #[test]
+    fn bindings_iterates_live_vars() {
+        let mut m = LineageMap::new();
+        m.set("a", LineageItem::literal("i:1"));
+        m.set("b", LineageItem::literal("i:2"));
+        let mut names: Vec<&str> = m.bindings().map(|(k, _)| k).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(m.len(), 2);
+    }
+}

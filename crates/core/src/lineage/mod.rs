@@ -1,0 +1,12 @@
+//! Lineage DAGs, tracing maps, deduplication, and (de)serialization
+//! (paper §3).
+
+pub mod dedup;
+pub mod item;
+pub mod map;
+pub mod serialize;
+
+pub use dedup::{DedupPatch, DedupRegistry, PathTracer};
+pub use item::{LinRef, LineageItem, LineageKind};
+pub use map::LineageMap;
+pub use serialize::{deserialize_lineage, serialize_lineage};

@@ -1,0 +1,376 @@
+//! Lineage-log serialization and deserialization (paper §3.1, Fig 3).
+//!
+//! The serialized form is a plain-text *lineage log*: one line per lineage
+//! item, inputs referenced by ID, every item serialized exactly once
+//! (memoization over the DAG). Deduplicated graphs serialize their patch
+//! dictionary first, preserving the compression for storage and transfer
+//! (paper §3.2).
+//!
+//! Grammar (one entry per line):
+//!
+//! ```text
+//! ::patch <idx> <block-key> <path-key> <num-inputs>   start a patch
+//! ::root <output-name> (<id>)                         patch output root
+//! ::endpatch                                          end of patch body
+//! (<id>) L <data>                                     literal
+//! (<id>) P <slot>                                     placeholder (in patches)
+//! (<id>) I <opcode> (<id>) (<id>) ... [;<data>]       operation
+//! (<id>) D <patch-idx> <output-name> (<id>) ...       dedup item
+//! ::out (<id>)                                        root of the trace
+//! ```
+
+use crate::lineage::dedup::DedupPatch;
+use crate::lineage::item::{LinRef, LineageItem, LineageKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Escapes a token so it contains no whitespace or backslashes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            ' ' => out.push_str("\\s"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('s') => out.push(' '),
+            Some('t') => out.push('\t'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn write_item_line(out: &mut String, item: &LineageItem, patch_idx: &HashMap<u64, usize>) {
+    match item.kind() {
+        LineageKind::Literal => {
+            let _ = writeln!(
+                out,
+                "({}) L {}",
+                item.id(),
+                escape(item.data().unwrap_or(""))
+            );
+        }
+        LineageKind::Placeholder(slot) => {
+            let _ = writeln!(out, "({}) P {}", item.id(), slot);
+        }
+        LineageKind::Dedup(patch) => {
+            let idx = patch_idx[&patch.patch_id()];
+            let _ = write!(
+                out,
+                "({}) D {} {}",
+                item.id(),
+                idx,
+                escape(item.data().unwrap_or(""))
+            );
+            for i in item.inputs() {
+                let _ = write!(out, " ({})", i.id());
+            }
+            let _ = writeln!(out);
+        }
+        LineageKind::Op => {
+            let _ = write!(out, "({}) I {}", item.id(), escape(item.opcode()));
+            for i in item.inputs() {
+                let _ = write!(out, " ({})", i.id());
+            }
+            if let Some(d) = item.data() {
+                let _ = write!(out, " ;{}", escape(d));
+            }
+            let _ = writeln!(out);
+        }
+    }
+}
+
+/// Serializes a lineage DAG (with its patch dictionary) into a lineage log.
+///
+/// ```
+/// use lima_core::lineage::item::{lineage_eq, LineageItem};
+/// use lima_core::lineage::serialize::{deserialize_lineage, serialize_lineage};
+///
+/// let x = LineageItem::op_with_data("read", "X.csv", vec![]);
+/// let root = LineageItem::op("+", vec![x.clone(), x]);
+/// let log = serialize_lineage(&root);
+/// let back = deserialize_lineage(&log).unwrap();
+/// assert!(lineage_eq(&root, &back));
+/// ```
+pub fn serialize_lineage(root: &LinRef) -> String {
+    let order = root.topo_order();
+    // Collect referenced patches (patch bodies contain no dedup items, so one
+    // level suffices).
+    let mut patches: Vec<Arc<DedupPatch>> = Vec::new();
+    let mut patch_idx: HashMap<u64, usize> = HashMap::new();
+    for item in &order {
+        if let LineageKind::Dedup(p) = item.kind() {
+            if let std::collections::hash_map::Entry::Vacant(e) = patch_idx.entry(p.patch_id()) {
+                e.insert(patches.len());
+                patches.push(p.clone());
+            }
+        }
+    }
+    let mut out = String::new();
+    let empty = HashMap::new();
+    for (idx, patch) in patches.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "::patch {} {} {} {}",
+            idx,
+            escape(patch.block_key()),
+            patch.path_key(),
+            patch.num_inputs()
+        );
+        // Serialize the union of all root bodies once, memoized across roots.
+        let mut emitted: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for (_, proot) in patch.roots() {
+            for item in proot.topo_order() {
+                if emitted.insert(item.id()) {
+                    write_item_line(&mut out, &item, &empty);
+                }
+            }
+        }
+        for (name, proot) in patch.roots() {
+            let _ = writeln!(out, "::root {} ({})", escape(name), proot.id());
+        }
+        let _ = writeln!(out, "::endpatch");
+    }
+    for item in &order {
+        write_item_line(&mut out, item, &patch_idx);
+    }
+    let _ = writeln!(out, "::out ({})", root.id());
+    out
+}
+
+/// Parses an `(id)` token.
+fn parse_ref(tok: &str) -> Result<u64, String> {
+    tok.strip_prefix('(')
+        .and_then(|t| t.strip_suffix(')'))
+        .ok_or_else(|| format!("expected (id), got '{tok}'"))?
+        .parse::<u64>()
+        .map_err(|e| format!("bad id '{tok}': {e}"))
+}
+
+/// Deserializes a lineage log back into a lineage DAG, rebuilding the patch
+/// dictionary. Returns the root item.
+pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
+    let mut items: HashMap<u64, LinRef> = HashMap::new();
+    let mut patches: HashMap<usize, Arc<DedupPatch>> = HashMap::new();
+    // In-progress patch state: (idx, block_key, path_key, num_inputs, roots).
+    type PatchState = (usize, String, u64, usize, Vec<(String, LinRef)>);
+    let mut cur_patch: Option<PatchState> = None;
+    let mut out_root: Option<LinRef> = None;
+
+    for (lineno, line) in log.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: '{line}'", lineno + 1);
+        let toks: Vec<&str> = line.split(' ').collect();
+        match toks[0] {
+            "::patch" => {
+                if toks.len() != 5 {
+                    return Err(err("malformed ::patch"));
+                }
+                let idx = toks[1].parse().map_err(|_| err("bad patch idx"))?;
+                let key = unescape(toks[2]).map_err(|e| err(&e))?;
+                let path = toks[3].parse().map_err(|_| err("bad path key"))?;
+                let n = toks[4].parse().map_err(|_| err("bad num inputs"))?;
+                cur_patch = Some((idx, key, path, n, Vec::new()));
+            }
+            "::root" => {
+                let (_, _, _, _, roots) =
+                    cur_patch.as_mut().ok_or_else(|| err("::root outside patch"))?;
+                if toks.len() != 3 {
+                    return Err(err("malformed ::root"));
+                }
+                let name = unescape(toks[1]).map_err(|e| err(&e))?;
+                let id = parse_ref(toks[2]).map_err(|e| err(&e))?;
+                let item = items.get(&id).ok_or_else(|| err("unknown root id"))?;
+                roots.push((name, item.clone()));
+            }
+            "::endpatch" => {
+                let (idx, key, path, n, roots) =
+                    cur_patch.take().ok_or_else(|| err("::endpatch outside patch"))?;
+                patches.insert(idx, DedupPatch::new(key, path, n, roots));
+            }
+            "::out" => {
+                if toks.len() != 2 {
+                    return Err(err("malformed ::out"));
+                }
+                let id = parse_ref(toks[1]).map_err(|e| err(&e))?;
+                out_root = Some(items.get(&id).ok_or_else(|| err("unknown out id"))?.clone());
+            }
+            _ => {
+                // Item line: (id) KIND ...
+                if toks.len() < 2 {
+                    return Err(err("malformed item"));
+                }
+                let id = parse_ref(toks[0]).map_err(|e| err(&e))?;
+                let item = match toks[1] {
+                    "L" => {
+                        let data = unescape(toks.get(2).copied().unwrap_or("")).map_err(|e| err(&e))?;
+                        LineageItem::literal(data)
+                    }
+                    "P" => {
+                        let slot = toks
+                            .get(2)
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| err("bad placeholder slot"))?;
+                        LineageItem::placeholder(slot)
+                    }
+                    "D" => {
+                        if toks.len() < 4 {
+                            return Err(err("malformed dedup item"));
+                        }
+                        let pidx: usize = toks[2].parse().map_err(|_| err("bad patch idx"))?;
+                        let output = unescape(toks[3]).map_err(|e| err(&e))?;
+                        let patch = patches.get(&pidx).ok_or_else(|| err("unknown patch"))?;
+                        let mut ins = Vec::new();
+                        for tok in &toks[4..] {
+                            let iid = parse_ref(tok).map_err(|e| err(&e))?;
+                            ins.push(items.get(&iid).ok_or_else(|| err("unknown input"))?.clone());
+                        }
+                        LineageItem::dedup(patch.clone(), &output, ins)
+                    }
+                    "I" => {
+                        if toks.len() < 3 {
+                            return Err(err("malformed op item"));
+                        }
+                        let opcode = unescape(toks[2]).map_err(|e| err(&e))?;
+                        let mut ins = Vec::new();
+                        let mut data: Option<String> = None;
+                        for tok in &toks[3..] {
+                            if let Some(rest) = tok.strip_prefix(';') {
+                                data = Some(unescape(rest).map_err(|e| err(&e))?);
+                            } else {
+                                let iid = parse_ref(tok).map_err(|e| err(&e))?;
+                                ins.push(
+                                    items.get(&iid).ok_or_else(|| err("unknown input"))?.clone(),
+                                );
+                            }
+                        }
+                        match data {
+                            Some(d) => LineageItem::op_with_data(opcode, d, ins),
+                            None => LineageItem::op(opcode, ins),
+                        }
+                    }
+                    other => return Err(err(&format!("unknown item kind '{other}'"))),
+                };
+                items.insert(id, item);
+            }
+        }
+    }
+    out_root.ok_or_else(|| "lineage log has no ::out line".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::item::lineage_eq;
+
+    fn leaf(name: &str) -> LinRef {
+        LineageItem::op_with_data("read", name, vec![])
+    }
+
+    #[test]
+    fn round_trip_plain_dag() {
+        let x = leaf("data/X.csv");
+        let y = leaf("data/y.csv");
+        let s = LineageItem::op("+", vec![x.clone(), y]);
+        let root = LineageItem::op("*", vec![s.clone(), s, x]);
+        let log = serialize_lineage(&root);
+        let back = deserialize_lineage(&log).unwrap();
+        assert!(lineage_eq(&root, &back));
+        assert_eq!(root.dag_size(), back.dag_size());
+    }
+
+    #[test]
+    fn shared_nodes_serialize_once() {
+        let x = leaf("X");
+        let root = LineageItem::op("+", vec![x.clone(), x.clone()]);
+        let log = serialize_lineage(&root);
+        let reads = log.lines().filter(|l| l.contains(" I read")).count();
+        assert_eq!(reads, 1);
+    }
+
+    #[test]
+    fn round_trip_with_data_payloads_and_special_chars() {
+        let x = leaf("dir with spaces/X file.csv");
+        let sl = LineageItem::op_with_data("rightIndex", "0 99 0 14\nextra", vec![x]);
+        let log = serialize_lineage(&sl);
+        let back = deserialize_lineage(&log).unwrap();
+        assert!(lineage_eq(&sl, &back));
+        assert_eq!(back.data(), Some("0 99 0 14\nextra"));
+        // backslash handling
+        let lit = LineageItem::literal("s:a\\b c");
+        let log = serialize_lineage(&lit);
+        let back = deserialize_lineage(&log).unwrap();
+        assert_eq!(back.data(), Some("s:a\\b c"));
+    }
+
+    #[test]
+    fn round_trip_deduplicated_dag_preserves_compression() {
+        // PageRank-style chain of dedup items.
+        let p0 = LineageItem::placeholder(0);
+        let p1 = LineageItem::placeholder(1);
+        let body = LineageItem::op("+", vec![LineageItem::op("ba+*", vec![p0, p1.clone()]), p1]);
+        let patch = DedupPatch::new("loop:pr", 3, 2, vec![("p".into(), body)]);
+        let g = leaf("G");
+        let mut p = leaf("p0");
+        for _ in 0..4 {
+            p = LineageItem::dedup(patch.clone(), "p", vec![g.clone(), p]);
+        }
+        let log = serialize_lineage(&p);
+        // Patch body serialized once, not per iteration.
+        assert_eq!(log.matches("ba+*").count(), 1);
+        assert_eq!(log.lines().filter(|l| l.starts_with("::patch")).count(), 1);
+        let back = deserialize_lineage(&log).unwrap();
+        assert!(lineage_eq(&p, &back));
+        assert_eq!(back.dag_size(), p.dag_size());
+        // Patch metadata survives.
+        if let LineageKind::Dedup(bp) = back.kind() {
+            assert_eq!(bp.path_key(), 3);
+            assert_eq!(bp.num_inputs(), 2);
+            assert_eq!(bp.block_key(), "loop:pr");
+        } else {
+            panic!("expected dedup root");
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(deserialize_lineage("").is_err());
+        assert!(deserialize_lineage("(1) Z whatever\n::out (1)").is_err());
+        assert!(deserialize_lineage("(1) I + (9)\n::out (1)").is_err());
+        assert!(deserialize_lineage("::root x (1)").is_err());
+        assert!(deserialize_lineage("::endpatch").is_err());
+        assert!(deserialize_lineage("(1) L x").is_err()); // no ::out
+        assert!(deserialize_lineage("(a) L x\n::out (a)").is_err());
+    }
+
+    #[test]
+    fn round_trip_literals_and_placeholders() {
+        let lit = LineageItem::literal("f:2.5");
+        let root = LineageItem::op("^", vec![lit.clone(), lit]);
+        let back = deserialize_lineage(&serialize_lineage(&root)).unwrap();
+        assert!(lineage_eq(&root, &back));
+    }
+}

@@ -1,0 +1,189 @@
+//! Canonical opcode strings shared between the runtime (which traces lineage)
+//! and the reuse cache (whose partial-reuse rewrites pattern-match on them).
+//!
+//! Keeping these in one place guarantees that a probe item constructed by a
+//! rewrite hashes/compares identically to the item the runtime traced.
+
+/// Matrix multiply `A %*% B` (SystemDS `ba+*`).
+pub const MATMULT: &str = "ba+*";
+/// Transpose-self matrix multiply `XᵀX` (SystemDS `tsmm`).
+pub const TSMM: &str = "tsmm";
+/// Transpose (SystemDS `r'`).
+pub const TRANSPOSE: &str = "r'";
+/// Horizontal concatenation.
+pub const CBIND: &str = "cbind";
+/// Vertical concatenation.
+pub const RBIND: &str = "rbind";
+/// Right indexing (slicing); data string carries the bounds.
+pub const RIGHT_INDEX: &str = "rightIndex";
+/// Column projection by index vector.
+pub const SELECT_COLS: &str = "selectCols";
+/// Row projection by index vector.
+pub const SELECT_ROWS: &str = "selectRows";
+/// Left indexing (sub-block assignment); data string carries the offsets.
+pub const LEFT_INDEX: &str = "leftIndex";
+/// Random matrix generation; data string carries shape/dist/sparsity/seed.
+pub const RAND: &str = "rand";
+/// Sampling without replacement; data string carries range/size/seed.
+pub const SAMPLE: &str = "sample";
+/// Sequence generation.
+pub const SEQ: &str = "seq";
+/// File read; data string carries the (logical) path.
+pub const READ: &str = "read";
+/// Solve linear system.
+pub const SOLVE: &str = "solve";
+/// Diagonal extraction/construction (SystemDS `rdiag`).
+pub const DIAG: &str = "rdiag";
+/// Symmetric eigen decomposition (bundles values+vectors as a list).
+pub const EIGEN: &str = "eigen";
+/// Sort-order indices.
+pub const ORDER: &str = "order";
+/// Row reversal.
+pub const REV: &str = "rev";
+/// Contingency table.
+pub const TABLE: &str = "ctable";
+/// Row-wise argmax.
+pub const ROW_INDEX_MAX: &str = "uarimax";
+/// Number of rows (scalar).
+pub const NROW: &str = "nrow";
+/// Number of columns (scalar).
+pub const NCOL: &str = "ncol";
+/// Full aggregate prefix: `ua<f>` (e.g. `uasum`).
+pub const FULL_AGG_PREFIX: &str = "ua";
+/// Column aggregate prefix: `uac<f>` (e.g. `uacsum` is colSums).
+pub const COL_AGG_PREFIX: &str = "uac";
+/// Row aggregate prefix: `uar<f>`.
+pub const ROW_AGG_PREFIX: &str = "uar";
+/// List construction.
+pub const LIST: &str = "list";
+/// List element access; data string carries the index.
+pub const LIST_GET: &str = "listGet";
+/// Matrix construction filled with a constant.
+pub const MATRIX_FILL: &str = "matrix";
+/// Matrix reshape; data carries target dims.
+pub const RESHAPE: &str = "rshape";
+/// Cast a 1x1 matrix to scalar.
+pub const CAST_SCALAR: &str = "castdts";
+/// Cast a scalar to 1x1 matrix.
+pub const CAST_MATRIX: &str = "castdtm";
+/// String concatenation / formatting (non-cacheable).
+pub const CONCAT: &str = "concat";
+/// Multi-level lineage item bundling a deterministic function call.
+pub const FCALL: &str = "fcall";
+/// Multi-level lineage item bundling a deterministic program block.
+pub const BCALL: &str = "bcall";
+/// Lineage literal marker used in serialized logs.
+pub const LITERAL: &str = "L";
+/// Dedup item marker used in serialized logs.
+pub const DEDUP: &str = "dedup";
+/// Placeholder marker used inside dedup/fused patches.
+pub const PLACEHOLDER: &str = "ph";
+/// Fused-operator marker; the runtime expands fused ops into patches.
+pub const FUSED_PREFIX: &str = "spoof";
+
+/// Column aggregate opcode for a given aggregate function name.
+pub fn col_agg(op: &str) -> String {
+    format!("{COL_AGG_PREFIX}{op}")
+}
+
+/// Row aggregate opcode for a given aggregate function name.
+pub fn row_agg(op: &str) -> String {
+    format!("{ROW_AGG_PREFIX}{op}")
+}
+
+/// Full aggregate opcode for a given aggregate function name.
+pub fn full_agg(op: &str) -> String {
+    format!("{FULL_AGG_PREFIX}{op}")
+}
+
+/// The default set of opcodes whose outputs qualify for the lineage cache.
+/// Mirrors the paper's "set of reusable instruction opcodes" configuration:
+/// compute-bearing operations qualify, bookkeeping and string ops do not.
+pub fn default_cacheable() -> Vec<&'static str> {
+    vec![
+        MATMULT,
+        TSMM,
+        TRANSPOSE,
+        CBIND,
+        RBIND,
+        RIGHT_INDEX,
+        SELECT_COLS,
+        SELECT_ROWS,
+        SOLVE,
+        DIAG,
+        EIGEN,
+        ORDER,
+        REV,
+        TABLE,
+        ROW_INDEX_MAX,
+        "uasum",
+        "uamean",
+        "uamin",
+        "uamax",
+        "uasumsq",
+        "uavar",
+        "uacsum",
+        "uacmean",
+        "uacmin",
+        "uacmax",
+        "uacsumsq",
+        "uacvar",
+        "uarsum",
+        "uarmean",
+        "uarmin",
+        "uarmax",
+        "uarsumsq",
+        "uarvar",
+        "+",
+        "-",
+        "*",
+        "/",
+        "^",
+        "min",
+        "max",
+        "==",
+        "!=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+        "&",
+        "|",
+        "uneg",
+        "abs",
+        "exp",
+        "log",
+        "sqrt",
+        "round",
+        "floor",
+        "ceil",
+        "sign",
+        "sigmoid",
+        "!",
+        RESHAPE,
+        FCALL,
+        BCALL,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_opcode_builders() {
+        assert_eq!(col_agg("sum"), "uacsum");
+        assert_eq!(row_agg("max"), "uarmax");
+        assert_eq!(full_agg("mean"), "uamean");
+    }
+
+    #[test]
+    fn default_cacheable_contains_compute_ops_not_bookkeeping() {
+        let set = default_cacheable();
+        assert!(set.contains(&MATMULT));
+        assert!(set.contains(&TSMM));
+        assert!(!set.contains(&READ));
+        assert!(!set.contains(&RAND));
+        assert!(!set.contains(&CONCAT));
+    }
+}

@@ -1,0 +1,121 @@
+//! Runtime statistics collected by LIMA (paper §5.1: cache misses,
+//! rewrite/spill times, etc.). All counters are atomic so parfor workers can
+//! update them concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregated LIMA statistics. One instance lives next to each cache.
+#[derive(Debug, Default)]
+pub struct LimaStats {
+    /// Lineage items created by tracing.
+    pub items_traced: AtomicU64,
+    /// Dedup items appended instead of full sub-DAGs.
+    pub dedup_items: AtomicU64,
+    /// Lineage patches materialized.
+    pub dedup_patches: AtomicU64,
+    /// Cache probes (full reuse).
+    pub probes: AtomicU64,
+    /// Operation-level full-reuse hits.
+    pub full_hits: AtomicU64,
+    /// Multi-level (function/block) reuse hits.
+    pub multilevel_hits: AtomicU64,
+    /// Partial-reuse rewrite hits.
+    pub partial_hits: AtomicU64,
+    /// Threads that blocked on a placeholder entry being computed elsewhere.
+    pub placeholder_waits: AtomicU64,
+    /// Values stored into the cache.
+    pub puts: AtomicU64,
+    /// Values rejected by the cache (non-cacheable, over budget, ...).
+    pub rejected_puts: AtomicU64,
+    /// Entries evicted by deletion.
+    pub evictions: AtomicU64,
+    /// Entries evicted by spilling to disk.
+    pub spills: AtomicU64,
+    /// Spilled entries restored from disk on a hit.
+    pub restores: AtomicU64,
+    /// Bytes written by spilling.
+    pub spill_bytes: AtomicU64,
+    /// Nanoseconds of compute time saved by reuse (measured cost of the
+    /// reused entries at the time they were cached).
+    pub saved_compute_ns: AtomicU64,
+    /// Nanoseconds spent executing partial-reuse compensation plans.
+    pub compensation_ns: AtomicU64,
+}
+
+impl LimaStats {
+    /// Fresh all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Total reuse hits of any kind.
+    pub fn total_hits(&self) -> u64 {
+        Self::get(&self.full_hits) + Self::get(&self.multilevel_hits) + Self::get(&self.partial_hits)
+    }
+
+    /// Human-readable multi-line report.
+    pub fn report(&self) -> String {
+        format!(
+            "lineage: traced={} dedup_items={} patches={}\n\
+             reuse:   probes={} full={} multilevel={} partial={} waits={}\n\
+             cache:   puts={} rejected={} evictions={} spills={} restores={} spill_bytes={}\n\
+             time:    saved_compute={:.3}s compensation={:.3}s",
+            Self::get(&self.items_traced),
+            Self::get(&self.dedup_items),
+            Self::get(&self.dedup_patches),
+            Self::get(&self.probes),
+            Self::get(&self.full_hits),
+            Self::get(&self.multilevel_hits),
+            Self::get(&self.partial_hits),
+            Self::get(&self.placeholder_waits),
+            Self::get(&self.puts),
+            Self::get(&self.rejected_puts),
+            Self::get(&self.evictions),
+            Self::get(&self.spills),
+            Self::get(&self.restores),
+            Self::get(&self.spill_bytes),
+            Self::get(&self.saved_compute_ns) as f64 / 1e9,
+            Self::get(&self.compensation_ns) as f64 / 1e9,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = LimaStats::new();
+        LimaStats::bump(&s.full_hits);
+        LimaStats::bump(&s.full_hits);
+        LimaStats::add(&s.partial_hits, 3);
+        LimaStats::bump(&s.multilevel_hits);
+        assert_eq!(LimaStats::get(&s.full_hits), 2);
+        assert_eq!(s.total_hits(), 6);
+    }
+
+    #[test]
+    fn report_mentions_key_counters() {
+        let s = LimaStats::new();
+        LimaStats::add(&s.spill_bytes, 1024);
+        let r = s.report();
+        assert!(r.contains("spill_bytes=1024"));
+        assert!(r.contains("probes=0"));
+    }
+}

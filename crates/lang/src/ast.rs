@@ -1,0 +1,101 @@
+//! Abstract syntax tree of the DML subset.
+
+use lima_matrix::ops::BinOp;
+
+/// A call argument, optionally named (`rand(rows=10, ...)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    pub name: Option<String>,
+    pub value: Expr,
+}
+
+/// One side of an index expression `X[rows, cols]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexSel {
+    /// Omitted (`X[, s]` rows side): the full range.
+    All,
+    /// A single expression — a scalar position or a 1-based index vector.
+    Single(Box<Expr>),
+    /// An inclusive range `a:b`.
+    Range(Box<Expr>, Box<Expr>),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Var(String),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// Cell-wise / scalar binary operator.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Matrix multiplication `%*%`.
+    MatMul(Box<Expr>, Box<Expr>),
+    /// Function or builtin call.
+    Call { name: String, args: Vec<Arg> },
+    /// Right indexing `X[rows, cols]`.
+    Index {
+        base: Box<Expr>,
+        rows: IndexSel,
+        cols: IndexSel,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = expr`
+    Assign { target: String, value: Expr },
+    /// `[a, b] = f(...)`
+    MultiAssign { targets: Vec<String>, call: Expr },
+    /// `X[rows, cols] = expr`
+    IndexAssign {
+        target: String,
+        rows: IndexSel,
+        cols: IndexSel,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    For {
+        var: String,
+        from: Expr,
+        to: Expr,
+        by: Option<Expr>,
+        body: Vec<Stmt>,
+        parallel: bool,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    /// `print(expr)`
+    Print(Expr),
+    /// `write(expr, path)`
+    Write(Expr, Expr),
+}
+
+/// A function definition `name = function(params) return (outs) { body }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    pub name: String,
+    /// Parameter names with optional default expressions.
+    pub params: Vec<(String, Option<Expr>)>,
+    pub outputs: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed script.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Script {
+    pub functions: Vec<FunctionDef>,
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,925 @@
+//! Lowers the AST into a `lima-runtime` program: statements become program
+//! blocks, expressions become instruction sequences over temporaries, and
+//! builtins map onto the runtime's instruction set. The runtime's compiler
+//! passes (IDs, determinism, dedup, unmarking, reuse-aware rewrites) run as
+//! the final step.
+
+use crate::ast::{Arg, Expr, FunctionDef, IndexSel, Script, Stmt};
+use crate::parser::{parse, ParseError};
+use lima_core::LimaConfig;
+use lima_matrix::ops::{AggFn, BinOp, TsmmSide, UnOp};
+use lima_runtime::instr::RandDistKind;
+use lima_runtime::{Block, ExprProg, Function, Instr, Op, Operand, Program};
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Compilation error (parse or lowering).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    pub msg: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError { msg: e.to_string() }
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError { msg: msg.into() })
+}
+
+/// Parses, lowers, and runs the runtime compiler passes on a script.
+pub fn compile_script(src: &str, config: &LimaConfig) -> Result<Program, CompileError> {
+    let mut program = compile_script_uncompiled(src)?;
+    lima_runtime::compiler::compile(&mut program, config);
+    Ok(program)
+}
+
+/// Parses and lowers a script without running the compiler passes
+/// (tests and tooling).
+pub fn compile_script_uncompiled(src: &str) -> Result<Program, CompileError> {
+    let ast = parse(src)?;
+    let mut lowerer = Lowerer::new(&ast);
+    let body = lowerer.lower_stmts(&ast.body)?;
+    let mut program = Program::new(body);
+    for fdef in &ast.functions {
+        let fbody = lowerer.lower_stmts(&fdef.body)?;
+        let mut f = Function::new(
+            fdef.name.clone(),
+            fdef.params.iter().map(|(n, _)| n.clone()).collect(),
+            fdef.outputs.clone(),
+            fbody,
+        );
+        f.deterministic = false; // analysis pass fills this in
+        program.add_function(f);
+    }
+    program.fingerprint = fingerprint(src);
+    Ok(program)
+}
+
+fn fingerprint(src: &str) -> u64 {
+    let mut h = lima_core::lineage::item::FxHasher::default();
+    src.hash(&mut h);
+    h.finish()
+}
+
+struct Lowerer {
+    next_temp: usize,
+    user_functions: HashSet<String>,
+    function_defs: Vec<FunctionDef>,
+}
+
+impl Lowerer {
+    fn new(script: &Script) -> Self {
+        Lowerer {
+            next_temp: 0,
+            user_functions: script.functions.iter().map(|f| f.name.clone()).collect(),
+            function_defs: script.functions.clone(),
+        }
+    }
+
+    fn temp(&mut self) -> String {
+        self.next_temp += 1;
+        format!("_t{}", self.next_temp)
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<Block>, CompileError> {
+        let mut blocks = Vec::new();
+        let mut current: Vec<Instr> = Vec::new();
+        macro_rules! flush {
+            () => {
+                if !current.is_empty() {
+                    blocks.push(Block::basic(std::mem::take(&mut current)));
+                }
+            };
+        }
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, value } => {
+                    self.lower_expr_into(value, target, &mut current)?;
+                }
+                Stmt::MultiAssign { targets, call } => {
+                    let Expr::Call { name, args } = call else {
+                        return err("multi-assignment requires a call");
+                    };
+                    self.lower_multi_call(name, args, targets, &mut current)?;
+                }
+                Stmt::IndexAssign {
+                    target,
+                    rows,
+                    cols,
+                    value,
+                } => {
+                    let v = self.lower_expr(value, &mut current)?;
+                    let rl = self.index_start(rows, &mut current)?;
+                    let cl = self.index_start(cols, &mut current)?;
+                    current.push(Instr::new(
+                        Op::LeftIndex,
+                        vec![Operand::var(target), v, rl, cl],
+                        target,
+                    ));
+                }
+                Stmt::Print(e) => {
+                    let v = self.lower_expr(e, &mut current)?;
+                    current.push(Instr::effect(Op::Print, vec![v]));
+                }
+                Stmt::Write(e, path) => {
+                    let v = self.lower_expr(e, &mut current)?;
+                    let p = self.lower_expr(path, &mut current)?;
+                    current.push(Instr::effect(Op::Write, vec![v, p]));
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    flush!();
+                    let pred = self.lower_expr_prog(cond)?;
+                    let t = self.lower_stmts(then_body)?;
+                    let e = self.lower_stmts(else_body)?;
+                    blocks.push(Block::if_else(pred, t, e));
+                }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    by,
+                    body,
+                    parallel,
+                } => {
+                    flush!();
+                    let from = self.lower_expr_prog(from)?;
+                    let to = self.lower_expr_prog(to)?;
+                    let by = match by {
+                        Some(b) => self.lower_expr_prog(b)?,
+                        None => ExprProg::lit(Operand::i64(1)),
+                    };
+                    let b = self.lower_stmts(body)?;
+                    blocks.push(if *parallel {
+                        Block::parfor(var, from, to, by, b)
+                    } else {
+                        Block::for_loop(var, from, to, by, b)
+                    });
+                }
+                Stmt::While { cond, body } => {
+                    flush!();
+                    let pred = self.lower_expr_prog(cond)?;
+                    let b = self.lower_stmts(body)?;
+                    blocks.push(Block::while_loop(pred, b));
+                }
+            }
+        }
+        if !current.is_empty() {
+            blocks.push(Block::basic(current));
+        }
+        Ok(blocks)
+    }
+
+    fn lower_expr_prog(&mut self, e: &Expr) -> Result<ExprProg, CompileError> {
+        let mut instrs = Vec::new();
+        let result = self.lower_expr(e, &mut instrs)?;
+        Ok(ExprProg::new(instrs, result))
+    }
+
+    /// Lowers an expression, directing the final instruction's output to
+    /// `target` when possible (avoids a trailing copy).
+    fn lower_expr_into(
+        &mut self,
+        e: &Expr,
+        target: &str,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        let before = instrs.len();
+        let result = self.lower_expr(e, instrs)?;
+        match result {
+            Operand::Var(v) if instrs.len() > before => {
+                // Retarget the instruction that produced the temp.
+                let last = instrs
+                    .iter_mut()
+                    .rev()
+                    .find(|i| i.outputs.len() == 1 && i.outputs[0] == v);
+                match last {
+                    Some(i) if v.starts_with("_t") => i.outputs[0] = target.to_string(),
+                    _ => instrs.push(Instr::new(Op::Assign, vec![Operand::Var(v)], target)),
+                }
+            }
+            other => instrs.push(Instr::new(Op::Assign, vec![other], target)),
+        }
+        Ok(())
+    }
+
+    fn lower_expr(&mut self, e: &Expr, instrs: &mut Vec<Instr>) -> Result<Operand, CompileError> {
+        Ok(match e {
+            Expr::Int(v) => Operand::i64(*v),
+            Expr::Float(v) => Operand::f64(*v),
+            Expr::Str(s) => Operand::str(s),
+            Expr::Bool(b) => Operand::bool(*b),
+            Expr::Var(v) => Operand::var(v),
+            Expr::Neg(inner) => {
+                let v = self.lower_expr(inner, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Unary(UnOp::Neg), vec![v], &out));
+                Operand::var(out)
+            }
+            Expr::Not(inner) => {
+                let v = self.lower_expr(inner, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Unary(UnOp::Not), vec![v], &out));
+                Operand::var(out)
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.lower_expr(a, instrs)?;
+                let vb = self.lower_expr(b, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Binary(*op), vec![va, vb], &out));
+                Operand::var(out)
+            }
+            Expr::MatMul(a, b) => self.lower_matmul(a, b, instrs)?,
+            Expr::Call { name, args } => self.lower_call(name, args, instrs)?,
+            Expr::Index { base, rows, cols } => self.lower_index(base, rows, cols, instrs)?,
+        })
+    }
+
+    /// Lowers `a %*% b` with the SystemDS-style `tsmm` peephole:
+    /// `t(X) %*% X → tsmm(X, LEFT)` and `X %*% t(X) → tsmm(X, RIGHT)`.
+    fn lower_matmul(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<Operand, CompileError> {
+        fn transposed_of(e: &Expr) -> Option<&Expr> {
+            match e {
+                Expr::Call { name, args }
+                    if name == "t" && args.len() == 1 && args[0].name.is_none() =>
+                {
+                    Some(&args[0].value)
+                }
+                _ => None,
+            }
+        }
+        if let Some(inner) = transposed_of(a) {
+            if inner == b {
+                let v = self.lower_expr(inner, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Tsmm(TsmmSide::Left), vec![v], &out));
+                return Ok(Operand::var(out));
+            }
+        }
+        if let Some(inner) = transposed_of(b) {
+            if inner == a {
+                let v = self.lower_expr(inner, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Tsmm(TsmmSide::Right), vec![v], &out));
+                return Ok(Operand::var(out));
+            }
+        }
+        let va = self.lower_expr(a, instrs)?;
+        let vb = self.lower_expr(b, instrs)?;
+        let out = self.temp();
+        instrs.push(Instr::new(Op::MatMult, vec![va, vb], &out));
+        Ok(Operand::var(out))
+    }
+
+    /// The 1-based start position of an index selector (for left-indexing).
+    fn index_start(
+        &mut self,
+        sel: &IndexSel,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<Operand, CompileError> {
+        Ok(match sel {
+            IndexSel::All => Operand::i64(1),
+            IndexSel::Single(e) | IndexSel::Range(e, _) => self.lower_expr(e, instrs)?,
+        })
+    }
+
+    fn lower_index(
+        &mut self,
+        base: &Expr,
+        rows: &IndexSel,
+        cols: &IndexSel,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<Operand, CompileError> {
+        let mut cur = self.lower_expr(base, instrs)?;
+        // Ranged selectors compile into a single rightIndex when possible.
+        let range_bounds = |sel: &IndexSel| matches!(sel, IndexSel::All | IndexSel::Range(_, _));
+        if range_bounds(rows) && range_bounds(cols) {
+            let (rl, ru) = self.range_ops(rows, instrs)?;
+            let (cl, cu) = self.range_ops(cols, instrs)?;
+            let out = self.temp();
+            instrs.push(Instr::new(Op::RightIndex, vec![cur, rl, ru, cl, cu], &out));
+            return Ok(Operand::var(out));
+        }
+        // Single selectors use select-rows/cols (scalar positions and
+        // 1-based index vectors share the same syntax in DML).
+        match rows {
+            IndexSel::All => {}
+            IndexSel::Single(e) => {
+                let idx = self.lower_expr(e, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(Op::SelectRows, vec![cur, idx], &out));
+                cur = Operand::var(out);
+            }
+            IndexSel::Range(a, b) => {
+                let rl = self.lower_expr(a, instrs)?;
+                let ru = self.lower_expr(b, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(
+                    Op::RightIndex,
+                    vec![cur, rl, ru, Operand::i64(1), Operand::i64(0)],
+                    &out,
+                ));
+                cur = Operand::var(out);
+            }
+        }
+        match cols {
+            IndexSel::All => {}
+            IndexSel::Single(e) => {
+                let idx = self.lower_expr(e, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(Op::SelectCols, vec![cur, idx], &out));
+                cur = Operand::var(out);
+            }
+            IndexSel::Range(a, b) => {
+                let cl = self.lower_expr(a, instrs)?;
+                let cu = self.lower_expr(b, instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(
+                    Op::RightIndex,
+                    vec![cur, Operand::i64(1), Operand::i64(0), cl, cu],
+                    &out,
+                ));
+                cur = Operand::var(out);
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Bounds of a ranged selector as (lo, hi) operands; `All` is `(1, 0)`
+    /// with 0 meaning "to the end".
+    fn range_ops(
+        &mut self,
+        sel: &IndexSel,
+        instrs: &mut Vec<Instr>,
+    ) -> Result<(Operand, Operand), CompileError> {
+        Ok(match sel {
+            IndexSel::All => (Operand::i64(1), Operand::i64(0)),
+            IndexSel::Range(a, b) => (self.lower_expr(a, instrs)?, self.lower_expr(b, instrs)?),
+            IndexSel::Single(_) => unreachable!("caller checks"),
+        })
+    }
+
+    fn lower_multi_call(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        targets: &[String],
+        instrs: &mut Vec<Instr>,
+    ) -> Result<(), CompileError> {
+        if name == "eigen" {
+            if targets.len() != 2 || args.len() != 1 {
+                return err("eigen returns [values, vectors] and takes one argument");
+            }
+            let c = self.lower_expr(&args[0].value, instrs)?;
+            instrs.push(Instr::multi(Op::Eigen, vec![c], targets.to_vec()));
+            return Ok(());
+        }
+        if self.user_functions.contains(name) {
+            let inputs = self.user_call_args(name, args, instrs)?;
+            instrs.push(Instr::multi(
+                Op::FCall(name.to_string()),
+                inputs,
+                targets.to_vec(),
+            ));
+            return Ok(());
+        }
+        err(format!("'{name}' is not a multi-return function"))
+    }
+
+    /// Resolves user-function call arguments (positional + named + defaults)
+    /// into positional operands.
+    fn user_call_args(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        instrs: &mut Vec<Instr>,
+    ) -> Result<Vec<Operand>, CompileError> {
+        let fdef = self
+            .function_defs
+            .iter()
+            .find(|f| f.name == name)
+            .cloned()
+            .ok_or_else(|| CompileError {
+                msg: format!("unknown function '{name}'"),
+            })?;
+        let mut slots: Vec<Option<Operand>> = vec![None; fdef.params.len()];
+        let mut pos = 0usize;
+        for arg in args {
+            let idx = match &arg.name {
+                Some(n) => fdef
+                    .params
+                    .iter()
+                    .position(|(p, _)| p == n)
+                    .ok_or_else(|| CompileError {
+                        msg: format!("function '{name}' has no parameter '{n}'"),
+                    })?,
+                None => {
+                    while pos < slots.len() && slots[pos].is_some() {
+                        pos += 1;
+                    }
+                    if pos >= slots.len() {
+                        return err(format!("too many arguments for '{name}'"));
+                    }
+                    pos
+                }
+            };
+            if slots[idx].is_some() {
+                return err(format!("duplicate argument for parameter {idx} of '{name}'"));
+            }
+            slots[idx] = Some(self.lower_expr(&arg.value, instrs)?);
+        }
+        let mut out = Vec::with_capacity(slots.len());
+        for (slot, (pname, default)) in slots.into_iter().zip(&fdef.params) {
+            match (slot, default) {
+                (Some(v), _) => out.push(v),
+                (None, Some(d)) => out.push(self.lower_expr(d, instrs)?),
+                (None, None) => {
+                    return err(format!("missing argument '{pname}' for '{name}'"));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        instrs: &mut Vec<Instr>,
+    ) -> Result<Operand, CompileError> {
+        // User functions first: single-output call in expression position.
+        if self.user_functions.contains(name) {
+            let inputs = self.user_call_args(name, args, instrs)?;
+            let out = self.temp();
+            instrs.push(Instr::multi(
+                Op::FCall(name.to_string()),
+                inputs,
+                vec![out.clone()],
+            ));
+            return Ok(Operand::var(out));
+        }
+
+        let mut positional = Vec::new();
+        for a in args {
+            if a.name.is_none() {
+                positional.push(&a.value);
+            }
+        }
+        let named = |n: &str| args.iter().find(|a| a.name.as_deref() == Some(n));
+
+        macro_rules! one {
+            ($op:expr) => {{
+                if positional.len() != 1 || args.len() != 1 {
+                    return err(format!("'{name}' takes one argument"));
+                }
+                let v = self.lower_expr(positional[0], instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new($op, vec![v], &out));
+                Ok(Operand::var(out))
+            }};
+        }
+        macro_rules! two {
+            ($op:expr) => {{
+                if positional.len() != 2 || args.len() != 2 {
+                    return err(format!("'{name}' takes two arguments"));
+                }
+                let a = self.lower_expr(positional[0], instrs)?;
+                let b = self.lower_expr(positional[1], instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new($op, vec![a, b], &out));
+                Ok(Operand::var(out))
+            }};
+        }
+
+        match name {
+            "t" => one!(Op::Transpose),
+            "sum" => one!(Op::FullAgg(AggFn::Sum)),
+            "mean" => one!(Op::FullAgg(AggFn::Mean)),
+            "var" => one!(Op::FullAgg(AggFn::Var)),
+            "min" | "max" => {
+                let f = if name == "min" { AggFn::Min } else { AggFn::Max };
+                let b = if name == "min" { BinOp::Min } else { BinOp::Max };
+                match positional.len() {
+                    1 => one!(Op::FullAgg(f)),
+                    2 => two!(Op::Binary(b)),
+                    _ => err(format!("'{name}' takes one or two arguments")),
+                }
+            }
+            "colSums" => one!(Op::ColAgg(AggFn::Sum)),
+            "colMeans" => one!(Op::ColAgg(AggFn::Mean)),
+            "colMins" => one!(Op::ColAgg(AggFn::Min)),
+            "colMaxs" => one!(Op::ColAgg(AggFn::Max)),
+            "colVars" => one!(Op::ColAgg(AggFn::Var)),
+            "rowSums" => one!(Op::RowAgg(AggFn::Sum)),
+            "rowMeans" => one!(Op::RowAgg(AggFn::Mean)),
+            "rowMins" => one!(Op::RowAgg(AggFn::Min)),
+            "rowMaxs" => one!(Op::RowAgg(AggFn::Max)),
+            "rowVars" => one!(Op::RowAgg(AggFn::Var)),
+            "rowIndexMax" => one!(Op::RowIndexMax),
+            "nrow" => one!(Op::Nrow),
+            "ncol" => one!(Op::Ncol),
+            "exp" => one!(Op::Unary(UnOp::Exp)),
+            "log" => one!(Op::Unary(UnOp::Log)),
+            "sqrt" => one!(Op::Unary(UnOp::Sqrt)),
+            "abs" => one!(Op::Unary(UnOp::Abs)),
+            "round" => one!(Op::Unary(UnOp::Round)),
+            "floor" => one!(Op::Unary(UnOp::Floor)),
+            "ceil" => one!(Op::Unary(UnOp::Ceil)),
+            "sign" => one!(Op::Unary(UnOp::Sign)),
+            "sigmoid" => one!(Op::Unary(UnOp::Sigmoid)),
+            "as.scalar" => one!(Op::CastScalar),
+            "as.matrix" => one!(Op::CastMatrix),
+            "rev" => one!(Op::Rev),
+            "diag" => one!(Op::Diag),
+            "solve" => two!(Op::Solve),
+            "table" => two!(Op::Table),
+            "read" => one!(Op::Read),
+            "cbind" | "rbind" => {
+                if positional.len() < 2 {
+                    return err(format!("'{name}' takes at least two arguments"));
+                }
+                let op = if name == "cbind" { Op::Cbind } else { Op::Rbind };
+                let mut acc = self.lower_expr(positional[0], instrs)?;
+                for p in &positional[1..] {
+                    let rhs = self.lower_expr(p, instrs)?;
+                    let out = self.temp();
+                    instrs.push(Instr::new(op.clone(), vec![acc, rhs], &out));
+                    acc = Operand::var(out);
+                }
+                Ok(acc)
+            }
+            "matrix" => {
+                if positional.len() == 3 {
+                    let v = self.lower_expr(positional[0], instrs)?;
+                    let r = self.lower_expr(positional[1], instrs)?;
+                    let c = self.lower_expr(positional[2], instrs)?;
+                    let out = self.temp();
+                    instrs.push(Instr::new(Op::Fill, vec![v, r, c], &out));
+                    Ok(Operand::var(out))
+                } else if positional.len() == 1 {
+                    // matrix(X, rows=, cols=): reshape
+                    let x = self.lower_expr(positional[0], instrs)?;
+                    let (Some(r), Some(c)) = (named("rows"), named("cols")) else {
+                        return err("matrix(X, rows=, cols=) requires named dims");
+                    };
+                    let r = self.lower_expr(&r.value, instrs)?;
+                    let c = self.lower_expr(&c.value, instrs)?;
+                    let out = self.temp();
+                    instrs.push(Instr::new(Op::Reshape, vec![x, r, c], &out));
+                    Ok(Operand::var(out))
+                } else {
+                    err("matrix() takes (v, rows, cols) or (X, rows=, cols=)")
+                }
+            }
+            "rand" => {
+                let get = |n: &str| named(n).map(|a| a.value.clone());
+                let rows = get("rows").ok_or_else(|| CompileError {
+                    msg: "rand requires rows=".into(),
+                })?;
+                let cols = get("cols").ok_or_else(|| CompileError {
+                    msg: "rand requires cols=".into(),
+                })?;
+                let kind = match get("pdf") {
+                    Some(Expr::Str(s)) if s == "normal" => RandDistKind::Normal,
+                    Some(Expr::Str(s)) if s == "uniform" => RandDistKind::Uniform,
+                    None => RandDistKind::Uniform,
+                    Some(other) => {
+                        return err(format!("rand pdf must be a string literal, got {other:?}"))
+                    }
+                };
+                let (p1_default, p2_default) = match kind {
+                    RandDistKind::Uniform => (Expr::Float(0.0), Expr::Float(1.0)),
+                    RandDistKind::Normal => (Expr::Float(0.0), Expr::Float(1.0)),
+                };
+                let p1 = get(if kind == RandDistKind::Uniform { "min" } else { "mean" })
+                    .unwrap_or(p1_default);
+                let p2 = get(if kind == RandDistKind::Uniform { "max" } else { "sd" })
+                    .unwrap_or(p2_default);
+                let sparsity = get("sparsity").unwrap_or(Expr::Float(1.0));
+                let seed = get("seed").unwrap_or(Expr::Int(-1));
+                let ins = vec![
+                    self.lower_expr(&rows, instrs)?,
+                    self.lower_expr(&cols, instrs)?,
+                    self.lower_expr(&p1, instrs)?,
+                    self.lower_expr(&p2, instrs)?,
+                    self.lower_expr(&sparsity, instrs)?,
+                    self.lower_expr(&seed, instrs)?,
+                ];
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Rand(kind), ins, &out));
+                Ok(Operand::var(out))
+            }
+            "sample" => {
+                if positional.len() < 2 || positional.len() > 3 {
+                    return err("sample takes (range, size[, seed])");
+                }
+                let range = self.lower_expr(positional[0], instrs)?;
+                let size = self.lower_expr(positional[1], instrs)?;
+                let seed = if positional.len() == 3 {
+                    self.lower_expr(positional[2], instrs)?
+                } else {
+                    Operand::i64(-1)
+                };
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Sample, vec![range, size, seed], &out));
+                Ok(Operand::var(out))
+            }
+            "seq" => {
+                if positional.len() < 2 || positional.len() > 3 {
+                    return err("seq takes (from, to[, by])");
+                }
+                let f = self.lower_expr(positional[0], instrs)?;
+                let t = self.lower_expr(positional[1], instrs)?;
+                let b = if positional.len() == 3 {
+                    self.lower_expr(positional[2], instrs)?
+                } else {
+                    Operand::f64(1.0)
+                };
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Seq, vec![f, t, b], &out));
+                Ok(Operand::var(out))
+            }
+            "order" => {
+                if positional.is_empty() {
+                    return err("order takes (V[, decreasing])");
+                }
+                let v = self.lower_expr(positional[0], instrs)?;
+                let dec = match named("decreasing") {
+                    Some(a) => self.lower_expr(&a.value, instrs)?,
+                    None if positional.len() > 1 => self.lower_expr(positional[1], instrs)?,
+                    None => Operand::bool(false),
+                };
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Order, vec![v, dec], &out));
+                Ok(Operand::var(out))
+            }
+            "list" => {
+                let mut ins = Vec::new();
+                for p in &positional {
+                    ins.push(self.lower_expr(p, instrs)?);
+                }
+                let out = self.temp();
+                instrs.push(Instr::new(Op::ListNew, ins, &out));
+                Ok(Operand::var(out))
+            }
+            "getElement" => two!(Op::ListGet),
+            "toString" => {
+                if positional.len() != 1 {
+                    return err("toString takes one argument");
+                }
+                let v = self.lower_expr(positional[0], instrs)?;
+                let out = self.temp();
+                instrs.push(Instr::new(Op::Concat, vec![Operand::str(""), v], &out));
+                Ok(Operand::var(out))
+            }
+            "lineage" => {
+                if positional.len() != 1 {
+                    return err("lineage takes one variable argument");
+                }
+                let Expr::Var(v) = positional[0] else {
+                    return err("lineage() requires a variable, not an expression");
+                };
+                let out = self.temp();
+                instrs.push(Instr::new(Op::LineageOf, vec![Operand::var(v)], &out));
+                Ok(Operand::var(out))
+            }
+            "eigen" => err("eigen must be used as [evals, evects] = eigen(C)"),
+            other => err(format!("unknown function '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lima_runtime::{execute_program, ExecutionContext};
+
+    fn run_src(src: &str, cfg: LimaConfig) -> ExecutionContext {
+        let program = compile_script(src, &cfg).expect("compiles");
+        let mut ctx = ExecutionContext::new(cfg);
+        execute_program(&program, &mut ctx).expect("runs");
+        ctx
+    }
+
+    #[test]
+    fn arithmetic_and_assignment() {
+        let ctx = run_src("x = 2 + 3 * 4; y = (2 + 3) * 4; z = 2 ^ 3 ^ 2;", LimaConfig::base());
+        assert_eq!(ctx.symtab["x"].as_f64().unwrap(), 14.0);
+        assert_eq!(ctx.symtab["y"].as_f64().unwrap(), 20.0);
+        // right-associative: 2^(3^2) = 512
+        assert_eq!(ctx.symtab["z"].as_f64().unwrap(), 512.0);
+    }
+
+    #[test]
+    fn matrices_and_builtins() {
+        let ctx = run_src(
+            "X = matrix(2.0, 3, 4);
+             s = sum(X);
+             c = colSums(X);
+             n = nrow(X) * ncol(X);",
+            LimaConfig::base(),
+        );
+        assert_eq!(ctx.symtab["s"].as_f64().unwrap(), 24.0);
+        assert_eq!(ctx.symtab["c"].as_matrix().unwrap().shape(), (1, 4));
+        assert_eq!(ctx.symtab["n"].as_f64().unwrap(), 12.0);
+    }
+
+    #[test]
+    fn tsmm_peephole_fires() {
+        let program = compile_script("G = t(X) %*% X;", &LimaConfig::base()).unwrap();
+        match &program.body[0] {
+            Block::Basic { instrs, .. } => {
+                assert_eq!(instrs.len(), 1);
+                assert!(matches!(instrs[0].op, Op::Tsmm(TsmmSide::Left)));
+            }
+            _ => panic!(),
+        }
+        let program = compile_script("G = X %*% t(X);", &LimaConfig::base()).unwrap();
+        match &program.body[0] {
+            Block::Basic { instrs, .. } => {
+                assert!(matches!(instrs[0].op, Op::Tsmm(TsmmSide::Right)));
+            }
+            _ => panic!(),
+        }
+        // Different operands: no peephole.
+        let program = compile_script("G = t(X) %*% Y;", &LimaConfig::base()).unwrap();
+        match &program.body[0] {
+            Block::Basic { instrs, .. } => {
+                assert!(instrs.iter().any(|i| matches!(i.op, Op::MatMult)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn control_flow_executes() {
+        let ctx = run_src(
+            "s = 0; for (i in 1:10) { s = s + i; }
+             if (s == 55) { ok = 1; } else { ok = 0; }
+             w = 1; while (w < 100) { w = w * 3; }",
+            LimaConfig::base(),
+        );
+        assert_eq!(ctx.symtab["s"].as_f64().unwrap(), 55.0);
+        assert_eq!(ctx.symtab["ok"].as_f64().unwrap(), 1.0);
+        assert_eq!(ctx.symtab["w"].as_f64().unwrap(), 243.0);
+    }
+
+    #[test]
+    fn indexing_forms_execute() {
+        let ctx = run_src(
+            "X = rand(rows=6, cols=5, seed=3);
+             a = X[2:4, 1:2];
+             b = X[, 3];
+             c = X[5, ];
+             s = sample(5, 3, 7);
+             d = X[, s];",
+            LimaConfig::base(),
+        );
+        assert_eq!(ctx.symtab["a"].as_matrix().unwrap().shape(), (3, 2));
+        assert_eq!(ctx.symtab["b"].as_matrix().unwrap().shape(), (6, 1));
+        assert_eq!(ctx.symtab["c"].as_matrix().unwrap().shape(), (1, 5));
+        assert_eq!(ctx.symtab["d"].as_matrix().unwrap().shape(), (6, 3));
+    }
+
+    #[test]
+    fn indexed_assignment_executes() {
+        let ctx = run_src(
+            "B = matrix(0.0, 3, 3);
+             B[2, ] = matrix(7.0, 1, 3);
+             B[1, 1] = as.matrix(5);",
+            LimaConfig::base(),
+        );
+        let b = ctx.symtab["B"].as_matrix().unwrap();
+        assert_eq!(b.get(1, 0), 7.0);
+        assert_eq!(b.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn functions_with_defaults_and_named_args() {
+        let ctx = run_src(
+            "f = function(X, scale = 2.0) return (Y) { Y = X * scale; }
+             A = matrix(3.0, 2, 2);
+             B = f(A);
+             C = f(A, scale = 10.0);
+             D = f(scale = 4.0, X = A);",
+            LimaConfig::base(),
+        );
+        assert_eq!(ctx.symtab["B"].as_matrix().unwrap().get(0, 0), 6.0);
+        assert_eq!(ctx.symtab["C"].as_matrix().unwrap().get(0, 0), 30.0);
+        assert_eq!(ctx.symtab["D"].as_matrix().unwrap().get(0, 0), 12.0);
+    }
+
+    #[test]
+    fn multi_return_functions() {
+        let ctx = run_src(
+            "split = function(X) return (a, b) {
+                a = X[1:2, ]; b = X[3:4, ];
+             }
+             X = rand(rows=4, cols=3, seed=1);
+             [top, bottom] = split(X);",
+            LimaConfig::base(),
+        );
+        assert_eq!(ctx.symtab["top"].as_matrix().unwrap().shape(), (2, 3));
+        assert_eq!(ctx.symtab["bottom"].as_matrix().unwrap().shape(), (2, 3));
+    }
+
+    #[test]
+    fn eigen_multi_assign() {
+        let ctx = run_src(
+            "C = matrix(0.0, 2, 2);
+             C[1, 1] = as.matrix(2); C[2, 2] = as.matrix(5);
+             [evals, evects] = eigen(C);",
+            LimaConfig::base(),
+        );
+        assert_eq!(ctx.symtab["evals"].as_matrix().unwrap().shape(), (2, 1));
+    }
+
+    #[test]
+    fn parfor_executes_in_parallel() {
+        let ctx = run_src(
+            "B = matrix(0.0, 8, 2);
+             parfor (i in 1:8) {
+                B[i, ] = matrix(1.0, 1, 2) * i;
+             }",
+            LimaConfig::lima(),
+        );
+        let b = ctx.symtab["B"].as_matrix().unwrap();
+        for i in 0..8 {
+            assert_eq!(b.get(i, 0), (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn print_and_string_concat() {
+        let ctx = run_src("x = 2; print('x = ' + toString(x));", LimaConfig::base());
+        assert_eq!(ctx.stdout, vec!["x = 2"]);
+    }
+
+    #[test]
+    fn compile_errors_are_reported() {
+        assert!(compile_script("x = unknownFn(1)", &LimaConfig::base()).is_err());
+        assert!(compile_script("x = rand(cols=2)", &LimaConfig::base()).is_err());
+        assert!(compile_script("f = function(a) return (b) { b = a; } x = f()", &LimaConfig::base()).is_err());
+        assert!(compile_script("f = function(a) return (b) { b = a; } x = f(1, 2)", &LimaConfig::base()).is_err());
+        assert!(compile_script("x = eigen(C)", &LimaConfig::base()).is_err());
+        assert!(compile_script("x = 1 +", &LimaConfig::base()).is_err());
+    }
+
+    #[test]
+    fn lineage_builtin_returns_serialized_log() {
+        let ctx = run_src(
+            "X = matrix(1.0, 2, 2);
+             Y = X + X;
+             l = lineage(Y);
+             print(l);",
+            LimaConfig::lima(),
+        );
+        let log = ctx.stdout.join("");
+        assert!(log.contains("::out"), "log: {log}");
+        assert!(log.contains(" I +"), "log: {log}");
+        // The printed log deserializes back into a valid lineage DAG.
+        assert!(lima_core::lineage::serialize::deserialize_lineage(&log).is_ok());
+        // lineage() on an expression is a compile error; without tracing it
+        // is a runtime error.
+        assert!(compile_script("l = lineage(1 + 2);", &LimaConfig::base()).is_err());
+        let program = compile_script("X = matrix(1.0, 1, 1); l = lineage(X);", &LimaConfig::base()).unwrap();
+        let mut c = lima_runtime::ExecutionContext::new(LimaConfig::base());
+        assert!(lima_runtime::execute_program(&program, &mut c).is_err());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let a1 = compile_script_uncompiled("x = 1").unwrap();
+        let a2 = compile_script_uncompiled("x = 1").unwrap();
+        let b = compile_script_uncompiled("x = 2").unwrap();
+        assert_eq!(a1.fingerprint, a2.fingerprint);
+        assert_ne!(a1.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn string_plus_concatenates_at_runtime() {
+        // `+` with a string operand must concatenate, mirroring DML.
+        let ctx = run_src("msg = 'n=' + 5; print(msg);", LimaConfig::base());
+        assert_eq!(ctx.stdout, vec!["n=5"]);
+    }
+}

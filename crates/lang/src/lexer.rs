@@ -1,0 +1,318 @@
+//! Lexer for the DML subset.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    True,
+    False,
+    If,
+    Else,
+    For,
+    ParFor,
+    While,
+    In,
+    Function,
+    Return,
+    // punctuation / operators
+    Assign,    // =
+    Eq,        // ==
+    Neq,       // !=
+    Le,        // <=
+    Ge,        // >=
+    Lt,        // <
+    Gt,        // >
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    MatMul, // %*%
+    And,    // &
+    Or,     // |
+    Not,    // !
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Semicolon,
+    Eof,
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a script. `#` starts a line comment.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let err = |line: usize, msg: String| LexError { line, msg };
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' | '.' if c != '.' || chars.get(i + 1).is_some_and(char::is_ascii_digit) => {
+                let start = i;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                // exponent
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                        j += 1;
+                    }
+                    if j < chars.len() && chars[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad number '{text}'")))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| err(line, format!("bad integer '{text}'")))?,
+                    )
+                };
+                tokens.push(Token { kind, line });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = match text.as_str() {
+                    "TRUE" => TokenKind::True,
+                    "FALSE" => TokenKind::False,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "for" => TokenKind::For,
+                    "parfor" => TokenKind::ParFor,
+                    "while" => TokenKind::While,
+                    "in" => TokenKind::In,
+                    "function" => TokenKind::Function,
+                    "return" => TokenKind::Return,
+                    _ => TokenKind::Ident(text),
+                };
+                tokens.push(Token { kind, line });
+            }
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let start = i;
+                while i < chars.len() && chars[i] != quote {
+                    if chars[i] == '\n' {
+                        return Err(err(line, "unterminated string".into()));
+                    }
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(err(line, "unterminated string".into()));
+                }
+                let text: String = chars[start..i].iter().collect();
+                i += 1;
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    line,
+                });
+            }
+            '%' => {
+                // only %*% supported
+                if chars.get(i + 1) == Some(&'*') && chars.get(i + 2) == Some(&'%') {
+                    tokens.push(Token {
+                        kind: TokenKind::MatMul,
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    return Err(err(line, "unsupported '%' operator (only %*%)".into()));
+                }
+            }
+            _ => {
+                let two = |a: char| chars.get(i + 1) == Some(&a);
+                let (kind, len) = match c {
+                    '=' if two('=') => (TokenKind::Eq, 2),
+                    '=' => (TokenKind::Assign, 1),
+                    '!' if two('=') => (TokenKind::Neq, 2),
+                    '!' => (TokenKind::Not, 1),
+                    '<' if two('=') => (TokenKind::Le, 2),
+                    '<' if two('-') => (TokenKind::Assign, 2), // R-style assign
+                    '<' => (TokenKind::Lt, 1),
+                    '>' if two('=') => (TokenKind::Ge, 2),
+                    '>' => (TokenKind::Gt, 1),
+                    '+' => (TokenKind::Plus, 1),
+                    '-' => (TokenKind::Minus, 1),
+                    '*' => (TokenKind::Star, 1),
+                    '/' => (TokenKind::Slash, 1),
+                    '^' => (TokenKind::Caret, 1),
+                    '&' => (TokenKind::And, if two('&') { 2 } else { 1 }),
+                    '|' => (TokenKind::Or, if two('|') { 2 } else { 1 }),
+                    '(' => (TokenKind::LParen, 1),
+                    ')' => (TokenKind::RParen, 1),
+                    '[' => (TokenKind::LBracket, 1),
+                    ']' => (TokenKind::RBracket, 1),
+                    '{' => (TokenKind::LBrace, 1),
+                    '}' => (TokenKind::RBrace, 1),
+                    ',' => (TokenKind::Comma, 1),
+                    ':' => (TokenKind::Colon, 1),
+                    ';' => (TokenKind::Semicolon, 1),
+                    other => return Err(err(line, format!("unexpected character '{other}'"))),
+                };
+                tokens.push(Token { kind, line });
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_ints_and_floats() {
+        assert_eq!(
+            kinds("1 2.5 1e-5 10E3 7"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1e-5),
+                TokenKind::Float(10e3),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keywords_and_dots() {
+        assert_eq!(
+            kinds("for x as.scalar TRUE parfor"),
+            vec![
+                TokenKind::For,
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("as.scalar".into()),
+                TokenKind::True,
+                TokenKind::ParFor,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(
+            kinds(r#"'abc' "d e f""#),
+            vec![
+                TokenKind::Str("abc".into()),
+                TokenKind::Str("d e f".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators_and_matmul() {
+        assert_eq!(
+            kinds("a = b %*% c; a == b; a <= 1; x <- 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::MatMul,
+                TokenKind::Ident("c".into()),
+                TokenKind::Semicolon,
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("b".into()),
+                TokenKind::Semicolon,
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Int(1),
+                TokenKind::Semicolon,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("a %% b").is_err());
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = tokenize("a = 1 # comment\nb = 2").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[3].line, 2);
+        assert_eq!(toks.len(), 7);
+    }
+
+    #[test]
+    fn unexpected_characters_error() {
+        assert!(tokenize("a @ b").is_err());
+    }
+}

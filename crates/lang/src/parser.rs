@@ -1,0 +1,694 @@
+//! Recursive-descent parser for the DML subset.
+//!
+//! Operator precedence (loosest to tightest), following R:
+//! `|`, `&`, `!`, comparisons, `+ -`, `* /`, `%*%`, unary `-`, `^`
+//! (right-associative), postfix indexing.
+
+use crate::ast::{Arg, Expr, FunctionDef, IndexSel, Script, Stmt};
+use crate::lexer::{tokenize, Token, TokenKind};
+use lima_matrix::ops::BinOp;
+use std::fmt;
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError {
+            line: e.line,
+            msg: e.msg,
+        }
+    }
+}
+
+/// Parses a script into an AST.
+pub fn parse(src: &str) -> Result<Script, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.script()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn next(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.next();
+                Ok(name)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn skip_semis(&mut self) {
+        while matches!(self.peek(), TokenKind::Semicolon) {
+            self.next();
+        }
+    }
+
+    fn script(&mut self) -> Result<Script, ParseError> {
+        let mut script = Script::default();
+        self.skip_semis();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            // function definition: IDENT = function (
+            if let TokenKind::Ident(_) = self.peek() {
+                if matches!(self.peek2(), TokenKind::Assign)
+                    && matches!(
+                        self.tokens.get(self.pos + 2).map(|t| &t.kind),
+                        Some(TokenKind::Function)
+                    )
+                {
+                    script.functions.push(self.function_def()?);
+                    self.skip_semis();
+                    continue;
+                }
+            }
+            script.body.push(self.statement()?);
+            self.skip_semis();
+        }
+        Ok(script)
+    }
+
+    fn function_def(&mut self) -> Result<FunctionDef, ParseError> {
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::Assign, "'='")?;
+        self.expect(&TokenKind::Function, "'function'")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        while !matches!(self.peek(), TokenKind::RParen) {
+            let pname = self.ident("parameter name")?;
+            let default = if matches!(self.peek(), TokenKind::Assign) {
+                self.next();
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            params.push((pname, default));
+            if matches!(self.peek(), TokenKind::Comma) {
+                self.next();
+            }
+        }
+        self.next(); // )
+        self.expect(&TokenKind::Return, "'return'")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut outputs = Vec::new();
+        while !matches!(self.peek(), TokenKind::RParen) {
+            outputs.push(self.ident("output name")?);
+            if matches!(self.peek(), TokenKind::Comma) {
+                self.next();
+            }
+        }
+        self.next(); // )
+        let body = self.block()?;
+        Ok(FunctionDef {
+            name,
+            params,
+            outputs,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.next();
+            let mut body = Vec::new();
+            self.skip_semis();
+            while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+                body.push(self.statement()?);
+                self.skip_semis();
+            }
+            self.expect(&TokenKind::RBrace, "'}'")?;
+            Ok(body)
+        } else {
+            // single-statement body
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::If => {
+                self.next();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let then_body = self.block()?;
+                let else_body = if matches!(self.peek(), TokenKind::Else) {
+                    self.next();
+                    if matches!(self.peek(), TokenKind::If) {
+                        vec![self.statement()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            TokenKind::For | TokenKind::ParFor => {
+                let parallel = matches!(self.peek(), TokenKind::ParFor);
+                self.next();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let var = self.ident("loop variable")?;
+                self.expect(&TokenKind::In, "'in'")?;
+                let from = self.expr()?;
+                self.expect(&TokenKind::Colon, "':'")?;
+                let to = self.expr()?;
+                let by = if matches!(self.peek(), TokenKind::Comma) {
+                    self.next();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::RParen, "')'")?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    var,
+                    from,
+                    to,
+                    by,
+                    body,
+                    parallel,
+                })
+            }
+            TokenKind::While => {
+                self.next();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::LBracket => {
+                // multi-assign: [a, b] = call
+                self.next();
+                let mut targets = Vec::new();
+                while !matches!(self.peek(), TokenKind::RBracket) {
+                    targets.push(self.ident("assignment target")?);
+                    if matches!(self.peek(), TokenKind::Comma) {
+                        self.next();
+                    }
+                }
+                self.next(); // ]
+                self.expect(&TokenKind::Assign, "'='")?;
+                let call = self.expr()?;
+                if !matches!(call, Expr::Call { .. }) {
+                    return self.err("multi-assignment requires a function call");
+                }
+                Ok(Stmt::MultiAssign { targets, call })
+            }
+            TokenKind::Ident(name) => {
+                // print/write statements, indexed assignment, or assignment
+                if name == "print" && matches!(self.peek2(), TokenKind::LParen) {
+                    self.next();
+                    self.next();
+                    let e = self.expr()?;
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    return Ok(Stmt::Print(e));
+                }
+                if name == "write" && matches!(self.peek2(), TokenKind::LParen) {
+                    self.next();
+                    self.next();
+                    let e = self.expr()?;
+                    self.expect(&TokenKind::Comma, "','")?;
+                    let path = self.expr()?;
+                    self.expect(&TokenKind::RParen, "')'")?;
+                    return Ok(Stmt::Write(e, path));
+                }
+                self.next();
+                match self.peek().clone() {
+                    TokenKind::Assign => {
+                        self.next();
+                        let value = self.expr()?;
+                        Ok(Stmt::Assign {
+                            target: name,
+                            value,
+                        })
+                    }
+                    TokenKind::LBracket => {
+                        self.next();
+                        let (rows, cols) = self.index_selectors()?;
+                        self.expect(&TokenKind::Assign, "'='")?;
+                        let value = self.expr()?;
+                        Ok(Stmt::IndexAssign {
+                            target: name,
+                            rows,
+                            cols,
+                            value,
+                        })
+                    }
+                    other => self.err(format!("expected '=' or '[' after '{name}', found {other:?}")),
+                }
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+
+    /// Parses the inside of `[...]` up to and including the `]`.
+    fn index_selectors(&mut self) -> Result<(IndexSel, IndexSel), ParseError> {
+        let rows = if matches!(self.peek(), TokenKind::Comma) {
+            IndexSel::All
+        } else {
+            self.index_sel()?
+        };
+        let cols = if matches!(self.peek(), TokenKind::Comma) {
+            self.next();
+            if matches!(self.peek(), TokenKind::RBracket) {
+                IndexSel::All
+            } else {
+                self.index_sel()?
+            }
+        } else {
+            IndexSel::All
+        };
+        self.expect(&TokenKind::RBracket, "']'")?;
+        Ok((rows, cols))
+    }
+
+    fn index_sel(&mut self) -> Result<IndexSel, ParseError> {
+        let a = self.expr_no_colon()?;
+        if matches!(self.peek(), TokenKind::Colon) {
+            self.next();
+            let b = self.expr_no_colon()?;
+            Ok(IndexSel::Range(Box::new(a), Box::new(b)))
+        } else {
+            Ok(IndexSel::Single(Box::new(a)))
+        }
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    /// Inside index selectors `:` separates ranges, so it must not be eaten
+    /// by expressions; the normal grammar has no binary `:` so this is the
+    /// same parser, kept separate for clarity.
+    fn expr_no_colon(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), TokenKind::Or) {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while matches!(self.peek(), TokenKind::And) {
+            self.next();
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::Not) {
+            self.next();
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Neq => BinOp::Neq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.next();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.matmul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.matmul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn matmul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while matches!(self.peek(), TokenKind::MatMul) {
+            self.next();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::MatMul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.next();
+            let inner = self.unary_expr()?;
+            // Fold negative literals.
+            return Ok(match inner {
+                Expr::Int(v) => Expr::Int(-v),
+                Expr::Float(v) => Expr::Float(-v),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        self.pow_expr()
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, ParseError> {
+        let base = self.postfix_expr()?;
+        if matches!(self.peek(), TokenKind::Caret) {
+            self.next();
+            let exp = self.unary_expr()?; // right-assoc, allows -1 exponents
+            Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while matches!(self.peek(), TokenKind::LBracket) {
+            self.next();
+            let (rows, cols) = self.index_selectors()?;
+            e = Expr::Index {
+                base: Box::new(e),
+                rows,
+                cols,
+            };
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.next();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.next();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.next();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::True => {
+                self.next();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.next();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::LParen => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.next();
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.next();
+                    let mut args = Vec::new();
+                    while !matches!(self.peek(), TokenKind::RParen) {
+                        // named argument: IDENT '=' expr (but not '==')
+                        let arg_name = if let TokenKind::Ident(n) = self.peek().clone() {
+                            if matches!(self.peek2(), TokenKind::Assign) {
+                                self.next();
+                                self.next();
+                                Some(n)
+                            } else {
+                                None
+                            }
+                        } else {
+                            None
+                        };
+                        let value = self.expr()?;
+                        args.push(Arg {
+                            name: arg_name,
+                            value,
+                        });
+                        if matches!(self.peek(), TokenKind::Comma) {
+                            self.next();
+                        }
+                    }
+                    self.next(); // )
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => self.err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::collapsible_match)] // nested matches read clearer in AST asserts
+    use super::*;
+
+    #[test]
+    fn parses_assignments_and_precedence() {
+        let s = parse("y = a + b * c ^ 2;").unwrap();
+        match &s.body[0] {
+            Stmt::Assign { target, value } => {
+                assert_eq!(target, "y");
+                // a + (b * (c ^ 2))
+                match value {
+                    Expr::Binary(BinOp::Add, _, rhs) => match rhs.as_ref() {
+                        Expr::Binary(BinOp::Mul, _, rhs) => {
+                            assert!(matches!(rhs.as_ref(), Expr::Binary(BinOp::Pow, _, _)));
+                        }
+                        _ => panic!("expected mul"),
+                    },
+                    _ => panic!("expected add"),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn matmul_binds_tighter_than_mul() {
+        let s = parse("z = a * b %*% c").unwrap();
+        match &s.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Binary(BinOp::Mul, _, rhs) => {
+                    assert!(matches!(rhs.as_ref(), Expr::MatMul(_, _)));
+                }
+                _ => panic!("expected * at top"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_indexing_forms() {
+        let s = parse("a = X[1:10, 2]; b = X[, s]; c = X[i, ]; d = X[1:n, 1:k];").unwrap();
+        assert_eq!(s.body.len(), 4);
+        match &s.body[1] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Index { rows, cols, .. } => {
+                    assert_eq!(*rows, IndexSel::All);
+                    assert!(
+                        matches!(cols, IndexSel::Single(e) if matches!(e.as_ref(), Expr::Var(v) if v == "s"))
+                    );
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+        match &s.body[2] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Index { rows, cols, .. } => {
+                    assert!(matches!(rows, IndexSel::Single(_)));
+                    assert_eq!(*cols, IndexSel::All);
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "
+            if (x > 1) { y = 1; } else if (x < 0) { y = 2; } else { y = 3; }
+            for (i in 1:10) { s = s + i; }
+            parfor (j in 1:4, 2) { t = j; }
+            while (s < 100) s = s * 2;
+        ";
+        let s = parse(src).unwrap();
+        assert_eq!(s.body.len(), 4);
+        assert!(matches!(&s.body[0], Stmt::If { else_body, .. } if else_body.len() == 1));
+        assert!(matches!(&s.body[1], Stmt::For { parallel: false, by: None, .. }));
+        assert!(matches!(&s.body[2], Stmt::For { parallel: true, by: Some(_), .. }));
+        assert!(matches!(&s.body[3], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_function_definitions() {
+        let src = "
+            lm = function(X, y, reg = 1e-7) return (B) {
+                A = t(X) %*% X;
+                B = solve(A, t(X) %*% y);
+            }
+            B = lm(X, y);
+        ";
+        let s = parse(src).unwrap();
+        assert_eq!(s.functions.len(), 1);
+        let f = &s.functions[0];
+        assert_eq!(f.name, "lm");
+        assert_eq!(f.params.len(), 3);
+        assert!(f.params[2].1.is_some());
+        assert_eq!(f.outputs, vec!["B"]);
+        assert_eq!(f.body.len(), 2);
+        assert_eq!(s.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_multi_assign_and_named_args() {
+        let src = "[evals, evects] = eigen(C); R = rand(rows=10, cols=5, seed=42);";
+        let s = parse(src).unwrap();
+        assert!(matches!(&s.body[0], Stmt::MultiAssign { targets, .. } if targets.len() == 2));
+        match &s.body[1] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Call { name, args } => {
+                    assert_eq!(name, "rand");
+                    assert!(args.iter().all(|a| a.name.is_some()));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+        assert!(parse("[a, b] = 3").is_err());
+    }
+
+    #[test]
+    fn parses_indexed_assignment() {
+        let s = parse("B[i, ] = t(beta); C[1:2, 3] = x;").unwrap();
+        assert!(matches!(&s.body[0], Stmt::IndexAssign { cols: IndexSel::All, .. }));
+        assert!(matches!(&s.body[1], Stmt::IndexAssign { rows: IndexSel::Range(_, _), .. }));
+    }
+
+    #[test]
+    fn parses_print_write_and_comments() {
+        let s = parse("# header\nprint('loss: ' + l);\nwrite(B, 'out.bin')").unwrap();
+        assert!(matches!(&s.body[0], Stmt::Print(_)));
+        assert!(matches!(&s.body[1], Stmt::Write(_, _)));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let s = parse("x = -3; y = -2.5; z = 2^-1").unwrap();
+        assert!(matches!(&s.body[0], Stmt::Assign { value: Expr::Int(-3), .. }));
+        assert!(matches!(&s.body[1], Stmt::Assign { value: Expr::Float(v), .. } if *v == -2.5));
+        match &s.body[2] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(value, Expr::Binary(BinOp::Pow, _, e) if matches!(e.as_ref(), Expr::Int(-1))));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn error_messages_carry_lines() {
+        let e = parse("x = 1\ny = @").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("if x > 1 { }").is_err());
+        assert!(parse("x 5").is_err());
+    }
+}

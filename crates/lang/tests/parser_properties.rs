@@ -1,0 +1,91 @@
+//! Property tests for the language front-end: total functions (no panics on
+//! arbitrary input), determinism, and structural invariants of compiled
+//! programs.
+
+use lima_core::LimaConfig;
+use lima_lang::{compile_script_uncompiled, parse, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer and parser must never panic, whatever bytes come in.
+    #[test]
+    fn lexer_and_parser_are_total(src in "\\PC*") {
+        let _ = tokenize(&src);
+        let _ = parse(&src);
+        let _ = compile_script_uncompiled(&src);
+    }
+
+    /// Structured garbage built from language fragments must not panic either
+    /// (this exercises deeper parser states than raw bytes do).
+    #[test]
+    fn fragment_soup_is_total(parts in proptest::collection::vec(0usize..16, 0..24)) {
+        let frags = [
+            "x = ", "1 + ", "t(", ")", "[", "]", "for (i in 1:3) ", "{", "}",
+            "function(a) return (b) ", "%*%", "if (", "rand(rows=2, cols=2)",
+            "'str'", ";", ", ",
+        ];
+        let src: String = parts.iter().map(|&i| frags[i]).collect();
+        let _ = parse(&src);
+        let _ = compile_script_uncompiled(&src);
+    }
+
+    /// Parsing is deterministic.
+    #[test]
+    fn parsing_is_deterministic(parts in proptest::collection::vec(0usize..8, 1..10)) {
+        let frags = [
+            "a = 1;", "b = a + 2;", "c = a * b;", "print(c);",
+            "for (i in 1:3) { a = a + i; }", "if (a > 2) { b = 0; }",
+            "M = rand(rows=3, cols=3, seed=1);", "s = sum(M);",
+        ];
+        let src: String = parts.iter().map(|&i| frags[i]).collect();
+        let a = parse(&src).expect("valid fragments");
+        let b = parse(&src).expect("valid fragments");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every valid fragment combination compiles into a program whose blocks
+    /// have unique, nonzero IDs after the compiler passes.
+    #[test]
+    fn compiled_blocks_have_unique_ids(parts in proptest::collection::vec(0usize..8, 1..10)) {
+        let frags = [
+            "a = 1;", "b = a + 2;", "c = a * b;", "print(c);",
+            "for (i in 1:3) { a = a + i; }", "if (a > 2) { b = 0; } else { b = 1; }",
+            "while (a < 10) { a = a * 2; }", "s = a + b;",
+        ];
+        let src: String = parts.iter().map(|&i| frags[i]).collect();
+        let program = lima_lang::compile_script(&src, &LimaConfig::lima()).expect("compiles");
+        let mut ids = Vec::new();
+        collect_ids(&program.body, &mut ids);
+        for f in program.functions.values() {
+            collect_ids(&f.body, &mut ids);
+        }
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "duplicate block ids");
+        prop_assert!(ids.first().is_none_or(|&i| i > 0));
+    }
+}
+
+fn collect_ids(blocks: &[lima_runtime::Block], out: &mut Vec<u64>) {
+    use lima_runtime::Block;
+    for b in blocks {
+        out.push(b.id());
+        match b {
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_ids(then_body, out);
+                collect_ids(else_body, out);
+            }
+            Block::For { body, .. } | Block::While { body, .. } | Block::ParFor { body, .. } => {
+                collect_ids(body, out);
+            }
+            Block::Basic { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Row-major dense `f64` matrix.
+
+use crate::error::{MatrixError, Result};
+use std::fmt;
+
+/// A dense, row-major `f64` matrix.
+///
+/// This is the workhorse data type of the LIMA reproduction. It is cheap to
+/// share (`Arc<DenseMatrix>`), and all kernels treat inputs as immutable,
+/// producing fresh outputs — the discipline the lineage cache depends on.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix from a row-major buffer. The buffer length must be
+    /// exactly `rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::InvalidArgument(format!(
+                "buffer length {} does not match {}x{}",
+                data.len(),
+                rows,
+                cols
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Creates an identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a column vector from a slice.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a row vector from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Builds a matrix from a closure evaluated at each `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Estimated in-memory size in bytes (used by the cache cost model).
+    #[inline]
+    pub fn size_in_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>() + std::mem::size_of::<Self>()
+    }
+
+    /// Unchecked cell accessor (debug-asserted).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Bounds-checked cell accessor.
+    pub fn try_get(&self, row: usize, col: usize) -> Result<f64> {
+        if row >= self.rows {
+            return Err(MatrixError::IndexOutOfBounds {
+                op: "get",
+                index: row,
+                bound: self.rows,
+            });
+        }
+        if col >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                op: "get",
+                index: col,
+                bound: self.cols,
+            });
+        }
+        Ok(self.get(row, col))
+    }
+
+    /// Mutable cell accessor for construction-time code.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Row-major view of the underlying buffer.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major view (construction-time only).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// A single row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// A single row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over rows.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Fraction of non-zero cells; drives sparse-vs-dense cost estimates.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let nnz = self.data.iter().filter(|v| **v != 0.0).count();
+        nnz as f64 / self.data.len() as f64
+    }
+
+    /// True when both shapes and all cells match within `tol` absolutely.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol || (a.is_nan() && b.is_nan()))
+    }
+
+    /// Relative comparison used by tests on larger aggregates: each cell must
+    /// match within `tol * max(1, |a|, |b|)`.
+    pub fn rel_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(&other.data).all(|(a, b)| {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= tol * scale || (a.is_nan() && b.is_nan())
+            })
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                write!(f, "{:10.4} ", self.get(i, j))?;
+            }
+            if self.cols > show_cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_buffer_length() {
+        assert!(DenseMatrix::new(2, 3, vec![0.0; 6]).is_ok());
+        assert!(DenseMatrix::new(2, 3, vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let i3 = DenseMatrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i3.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_is_row_major() {
+        let m = DenseMatrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.data(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn try_get_checks_bounds() {
+        let m = DenseMatrix::zeros(2, 2);
+        assert!(m.try_get(1, 1).is_ok());
+        assert!(m.try_get(2, 0).is_err());
+        assert!(m.try_get(0, 2).is_err());
+    }
+
+    #[test]
+    fn sparsity_counts_nonzeros() {
+        let m = DenseMatrix::new(1, 4, vec![0.0, 1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(m.sparsity(), 0.5);
+        assert_eq!(DenseMatrix::zeros(0, 0).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = DenseMatrix::new(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = DenseMatrix::new(1, 2, vec![1.0 + 1e-12, 2.0]).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        let c = DenseMatrix::zeros(2, 1);
+        assert!(!a.approx_eq(&c, 1.0));
+    }
+
+    #[test]
+    fn vectors_have_expected_shapes() {
+        assert_eq!(DenseMatrix::col_vector(&[1.0, 2.0]).shape(), (2, 1));
+        assert_eq!(DenseMatrix::row_vector(&[1.0, 2.0]).shape(), (1, 2));
+    }
+
+    #[test]
+    fn size_in_bytes_scales_with_cells() {
+        let small = DenseMatrix::zeros(2, 2);
+        let big = DenseMatrix::zeros(20, 20);
+        assert!(big.size_in_bytes() > small.size_in_bytes());
+    }
+}

@@ -1,0 +1,332 @@
+//! Feature-transformation kernels for the paper's pre-processing pipelines:
+//! mean imputation, minority-class oversampling, categorical recoding,
+//! equi-width binning, and one-hot encoding (paper §5.4: APS and KDD98
+//! pre-processing; §5.5: the Autoencoder's batch-wise transform map).
+//!
+//! SystemDS performs these with `transformencode` on frames; here the data is
+//! numerically coded already (categories are small integers, missing values
+//! are NaN), so the kernels operate directly on matrices.
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+use crate::ops::reorg::cbind;
+
+/// Replaces NaN cells in every column with the column mean of the non-NaN
+/// cells (mean imputation, as used for APS).
+pub fn impute_mean(x: &DenseMatrix) -> DenseMatrix {
+    let (m, n) = x.shape();
+    let mut sums = vec![0.0f64; n];
+    let mut counts = vec![0usize; n];
+    for i in 0..m {
+        for (j, &v) in x.row(i).iter().enumerate() {
+            if !v.is_nan() {
+                sums[j] += v;
+                counts[j] += 1;
+            }
+        }
+    }
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, c)| if *c > 0 { s / *c as f64 } else { 0.0 })
+        .collect();
+    DenseMatrix::from_fn(m, n, |i, j| {
+        let v = x.get(i, j);
+        if v.is_nan() {
+            means[j]
+        } else {
+            v
+        }
+    })
+}
+
+/// Oversamples rows whose label (in `y`, a column vector) equals
+/// `minority_label` until it reaches roughly `target_fraction` of the output,
+/// by cyclic duplication. Returns `(X', y')`.
+pub fn oversample_minority(
+    x: &DenseMatrix,
+    y: &DenseMatrix,
+    minority_label: f64,
+    target_fraction: f64,
+) -> Result<(DenseMatrix, DenseMatrix)> {
+    if y.cols() != 1 || y.rows() != x.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "oversample",
+            lhs: x.shape(),
+            rhs: y.shape(),
+        });
+    }
+    if !(0.0..1.0).contains(&target_fraction) {
+        return Err(MatrixError::InvalidArgument(format!(
+            "target fraction {target_fraction} not in [0,1)"
+        )));
+    }
+    let minority: Vec<usize> = (0..y.rows())
+        .filter(|&i| y.get(i, 0) == minority_label)
+        .collect();
+    if minority.is_empty() {
+        return Ok((x.clone(), y.clone()));
+    }
+    let m = x.rows();
+    let k = minority.len();
+    // Solve (k + extra) / (m + extra) >= f for the number of extra rows.
+    let extra = if (k as f64 / m as f64) >= target_fraction {
+        0
+    } else {
+        (((target_fraction * m as f64 - k as f64) / (1.0 - target_fraction)).ceil()) as usize
+    };
+    let mut xd = Vec::with_capacity((m + extra) * x.cols());
+    xd.extend_from_slice(x.data());
+    let mut yd = Vec::with_capacity(m + extra);
+    yd.extend_from_slice(y.data());
+    for e in 0..extra {
+        let src = minority[e % k];
+        xd.extend_from_slice(x.row(src));
+        yd.push(minority_label);
+    }
+    Ok((
+        DenseMatrix::new(m + extra, x.cols(), xd)?,
+        DenseMatrix::new(m + extra, 1, yd)?,
+    ))
+}
+
+/// Recodes an arbitrary-valued column into dense 1-based category codes,
+/// assigning codes by order of first appearance. Returns `(codes, #distinct)`.
+pub fn recode_column(col: &DenseMatrix) -> Result<(DenseMatrix, usize)> {
+    if col.cols() != 1 {
+        return Err(MatrixError::InvalidArgument(
+            "recode expects a column vector".into(),
+        ));
+    }
+    let mut dict: Vec<f64> = Vec::new();
+    let mut codes = Vec::with_capacity(col.rows());
+    for i in 0..col.rows() {
+        let v = col.get(i, 0);
+        let code = match dict.iter().position(|d| *d == v || (d.is_nan() && v.is_nan())) {
+            Some(p) => p + 1,
+            None => {
+                dict.push(v);
+                dict.len()
+            }
+        };
+        codes.push(code as f64);
+    }
+    Ok((DenseMatrix::new(col.rows(), 1, codes)?, dict.len()))
+}
+
+/// Equi-width binning of a numeric column into `bins` 1-based bin codes
+/// (KDD98 pre-processing uses 10 equi-width bins).
+pub fn bin_column(col: &DenseMatrix, bins: usize) -> Result<DenseMatrix> {
+    if col.cols() != 1 {
+        return Err(MatrixError::InvalidArgument(
+            "binning expects a column vector".into(),
+        ));
+    }
+    if bins == 0 {
+        return Err(MatrixError::InvalidArgument("bins must be > 0".into()));
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in col.data() {
+        if v.is_nan() {
+            continue;
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() {
+        // all-NaN column: everything lands in bin 1
+        return Ok(DenseMatrix::filled(col.rows(), 1, 1.0));
+    }
+    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    Ok(DenseMatrix::from_fn(col.rows(), 1, |i, _| {
+        let v = col.get(i, 0);
+        if v.is_nan() {
+            return 1.0;
+        }
+        let b = ((v - lo) / width).floor() as usize;
+        (b.min(bins - 1) + 1) as f64
+    }))
+}
+
+/// One-hot (dummy) encodes a 1-based code column with `num_codes` categories.
+pub fn one_hot(codes: &DenseMatrix, num_codes: usize) -> Result<DenseMatrix> {
+    if codes.cols() != 1 {
+        return Err(MatrixError::InvalidArgument(
+            "one_hot expects a column vector".into(),
+        ));
+    }
+    let mut out = DenseMatrix::zeros(codes.rows(), num_codes);
+    for i in 0..codes.rows() {
+        let v = codes.get(i, 0);
+        if v < 1.0 || v.fract() != 0.0 || v > num_codes as f64 {
+            return Err(MatrixError::InvalidArgument(format!(
+                "one_hot: code {v} out of range 1..={num_codes}"
+            )));
+        }
+        out.set(i, v as usize - 1, 1.0);
+    }
+    Ok(out)
+}
+
+/// Column-wise min-max normalization into `[0, 1]`; constant columns map to 0.
+pub fn normalize_min_max(x: &DenseMatrix) -> DenseMatrix {
+    let (m, n) = x.shape();
+    let mut lo = vec![f64::INFINITY; n];
+    let mut hi = vec![f64::NEG_INFINITY; n];
+    for i in 0..m {
+        for (j, &v) in x.row(i).iter().enumerate() {
+            lo[j] = lo[j].min(v);
+            hi[j] = hi[j].max(v);
+        }
+    }
+    DenseMatrix::from_fn(m, n, |i, j| {
+        let range = hi[j] - lo[j];
+        if range > 0.0 {
+            (x.get(i, j) - lo[j]) / range
+        } else {
+            0.0
+        }
+    })
+}
+
+/// A compiled feature-wise pre-processing map (the Keras-style "pre-processing
+/// layer" used in the Autoencoder comparison): per input column either pass
+/// through normalized, or bin+one-hot, or recode+one-hot.
+#[derive(Debug, Clone)]
+pub enum ColumnTransform {
+    /// Min-max normalize the numeric column.
+    Normalize,
+    /// Equi-width bin into `bins` and one-hot encode.
+    BinOneHot { bins: usize },
+    /// Recode (with a fixed dictionary size) and one-hot encode.
+    RecodeOneHot { num_codes: usize },
+}
+
+/// Applies a per-column transform map, cbinding the encoded outputs.
+pub fn apply_transform_map(x: &DenseMatrix, map: &[ColumnTransform]) -> Result<DenseMatrix> {
+    if map.len() != x.cols() {
+        return Err(MatrixError::InvalidArgument(format!(
+            "transform map has {} entries for {} columns",
+            map.len(),
+            x.cols()
+        )));
+    }
+    let mut out: Option<DenseMatrix> = None;
+    for (j, t) in map.iter().enumerate() {
+        let col = crate::ops::reorg::slice(x, 0, x.rows() - 1, j, j)?;
+        let enc = match t {
+            ColumnTransform::Normalize => normalize_min_max(&col),
+            ColumnTransform::BinOneHot { bins } => one_hot(&bin_column(&col, *bins)?, *bins)?,
+            ColumnTransform::RecodeOneHot { num_codes } => one_hot(&col, *num_codes)?,
+        };
+        out = Some(match out {
+            None => enc,
+            Some(acc) => cbind(&acc, &enc)?,
+        });
+    }
+    out.ok_or_else(|| MatrixError::InvalidArgument("empty transform map".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impute_mean_col_means_are_correct() {
+        // col0: [1, NaN, 5] -> mean 3; col1: [NaN, 4, 8] -> mean 6
+        let x = DenseMatrix::new(3, 2, vec![1.0, f64::NAN, f64::NAN, 4.0, 5.0, 8.0]).unwrap();
+        let y = impute_mean(&x);
+        assert_eq!(y.get(1, 0), 3.0);
+        assert_eq!(y.get(0, 1), 6.0);
+        // all-NaN column maps to 0
+        let z = impute_mean(&DenseMatrix::new(2, 1, vec![f64::NAN, f64::NAN]).unwrap());
+        assert_eq!(z.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn oversample_reaches_target_fraction() {
+        let x = DenseMatrix::from_fn(10, 2, |i, j| (i * 2 + j) as f64);
+        let y = DenseMatrix::from_fn(10, 1, |i, _| if i < 2 { 1.0 } else { 0.0 });
+        let (x2, y2) = oversample_minority(&x, &y, 1.0, 0.4).unwrap();
+        let k = y2.data().iter().filter(|v| **v == 1.0).count();
+        let frac = k as f64 / y2.rows() as f64;
+        assert!(frac >= 0.4 - 1e-9, "fraction {frac}");
+        assert_eq!(x2.rows(), y2.rows());
+        // duplicated rows are copies of minority rows
+        assert_eq!(x2.row(10), x.row(0));
+    }
+
+    #[test]
+    fn oversample_noop_cases() {
+        let x = DenseMatrix::zeros(4, 1);
+        let y = DenseMatrix::filled(4, 1, 1.0);
+        // already all minority
+        let (x2, _) = oversample_minority(&x, &y, 1.0, 0.5).unwrap();
+        assert_eq!(x2.rows(), 4);
+        // label absent
+        let (x3, _) = oversample_minority(&x, &y, 2.0, 0.5).unwrap();
+        assert_eq!(x3.rows(), 4);
+        assert!(oversample_minority(&x, &DenseMatrix::zeros(3, 1), 1.0, 0.5).is_err());
+        assert!(oversample_minority(&x, &y, 1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn recode_assigns_first_appearance_codes() {
+        let c = DenseMatrix::new(5, 1, vec![7.0, 3.0, 7.0, 9.0, 3.0]).unwrap();
+        let (codes, n) = recode_column(&c).unwrap();
+        assert_eq!(codes.data(), &[1.0, 2.0, 1.0, 3.0, 2.0]);
+        assert_eq!(n, 3);
+        assert!(recode_column(&DenseMatrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn binning_is_equi_width() {
+        let c = DenseMatrix::new(5, 1, vec![0.0, 2.5, 5.0, 7.5, 10.0]).unwrap();
+        let b = bin_column(&c, 2).unwrap();
+        assert_eq!(b.data(), &[1.0, 1.0, 2.0, 2.0, 2.0]);
+        // constant column lands in bin 1
+        let b = bin_column(&DenseMatrix::filled(3, 1, 4.0), 5).unwrap();
+        assert_eq!(b.data(), &[1.0, 1.0, 1.0]);
+        assert!(bin_column(&c, 0).is_err());
+    }
+
+    #[test]
+    fn one_hot_encodes_codes() {
+        let c = DenseMatrix::new(3, 1, vec![2.0, 1.0, 3.0]).unwrap();
+        let oh = one_hot(&c, 3).unwrap();
+        assert_eq!(oh.shape(), (3, 3));
+        assert_eq!(oh.row(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(oh.row(1), &[1.0, 0.0, 0.0]);
+        assert_eq!(oh.row(2), &[0.0, 0.0, 1.0]);
+        assert!(one_hot(&DenseMatrix::filled(1, 1, 4.0), 3).is_err());
+        assert!(one_hot(&DenseMatrix::filled(1, 1, 0.0), 3).is_err());
+    }
+
+    #[test]
+    fn normalize_min_max_bounds() {
+        let x = DenseMatrix::new(3, 2, vec![0.0, 5.0, 5.0, 5.0, 10.0, 5.0]).unwrap();
+        let n = normalize_min_max(&x);
+        assert_eq!(n.get(0, 0), 0.0);
+        assert_eq!(n.get(1, 0), 0.5);
+        assert_eq!(n.get(2, 0), 1.0);
+        // constant column -> all zeros
+        assert_eq!(n.get(0, 1), 0.0);
+        assert_eq!(n.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn transform_map_encodes_and_concatenates() {
+        let x = DenseMatrix::new(4, 2, vec![0.0, 1.0, 5.0, 2.0, 10.0, 1.0, 2.0, 2.0]).unwrap();
+        let map = vec![
+            ColumnTransform::Normalize,
+            ColumnTransform::RecodeOneHot { num_codes: 2 },
+        ];
+        let out = apply_transform_map(&x, &map).unwrap();
+        assert_eq!(out.shape(), (4, 3));
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(2, 0), 1.0);
+        assert_eq!(out.row(0)[1..], [1.0, 0.0]);
+        assert!(apply_transform_map(&x, &[ColumnTransform::Normalize]).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text matrix I/O: the format the runtime's `write` instruction emits
+//! and its `read` instruction loads when a path is not served by the
+//! in-memory data registry.
+//!
+//! Format: an optional `rows cols` header line followed by one
+//! comma-separated row per line. Files without the header are parsed as bare
+//! CSV with dimensions inferred.
+
+use crate::dense::DenseMatrix;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Writes a matrix with a `rows cols` header and comma-separated rows.
+pub fn write_matrix_text(path: &Path, m: &DenseMatrix) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "{} {}", m.rows(), m.cols())?;
+    for i in 0..m.rows() {
+        let mut first = true;
+        for v in m.row(i) {
+            if !first {
+                write!(w, ",")?;
+            }
+            write!(w, "{v}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads a matrix written by [`write_matrix_text`], or bare header-less CSV.
+pub fn read_matrix_text(path: &Path) -> std::io::Result<DenseMatrix> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut lines = reader.lines();
+
+    let first = match lines.next() {
+        Some(l) => l?,
+        None => return Err(bad("empty matrix file".into())),
+    };
+    // Header detection: exactly two whitespace-separated positive integers.
+    let header: Option<(usize, usize)> = {
+        let toks: Vec<&str> = first.split_whitespace().collect();
+        if toks.len() == 2 {
+            match (toks[0].parse::<usize>(), toks[1].parse::<usize>()) {
+                (Ok(r), Ok(c)) if !first.contains(',') => Some((r, c)),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    };
+
+    let parse_row = |line: &str| -> std::io::Result<Vec<f64>> {
+        line.split(',')
+            .map(|t| {
+                let t = t.trim();
+                if t.eq_ignore_ascii_case("nan") {
+                    Ok(f64::NAN)
+                } else {
+                    t.parse::<f64>()
+                        .map_err(|e| bad(format!("bad cell '{t}': {e}")))
+                }
+            })
+            .collect()
+    };
+
+    let mut data = Vec::new();
+    let mut cols = None;
+    let mut push_row = |line: &str, data: &mut Vec<f64>| -> std::io::Result<()> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        let row = parse_row(line)?;
+        match cols {
+            None => cols = Some(row.len()),
+            Some(c) if c == row.len() => {}
+            Some(c) => {
+                return Err(bad(format!(
+                    "ragged row: expected {c} cells, found {}",
+                    row.len()
+                )))
+            }
+        }
+        data.extend(row);
+        Ok(())
+    };
+
+    if header.is_none() {
+        push_row(&first, &mut data)?;
+    }
+    for line in lines {
+        push_row(&line?, &mut data)?;
+    }
+
+    let (rows, cols) = match header {
+        Some((r, c)) => (r, c),
+        None => {
+            let c = cols.ok_or_else(|| bad("empty matrix file".into()))?;
+            (data.len() / c, c)
+        }
+    };
+    DenseMatrix::new(rows, cols, data).map_err(|e| bad(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lima-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_with_header() {
+        let m = DenseMatrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 0.5 - 2.0);
+        let p = tmp("rt.csv");
+        write_matrix_text(&p, &m).unwrap();
+        let back = read_matrix_text(&p).unwrap();
+        assert!(back.approx_eq(&m, 0.0));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn reads_bare_csv_without_header() {
+        let p = tmp("bare.csv");
+        std::fs::write(&p, "1,2.5,3\n4,5,6\n").unwrap();
+        let m = read_matrix_text(&p).unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 1), 2.5);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn reads_nan_cells() {
+        let p = tmp("nan.csv");
+        std::fs::write(&p, "1,NaN\nnan,4\n").unwrap();
+        let m = read_matrix_text(&p).unwrap();
+        assert!(m.get(0, 1).is_nan());
+        assert!(m.get(1, 0).is_nan());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let p = tmp("bad.csv");
+        std::fs::write(&p, "1,2\n3\n").unwrap();
+        assert!(read_matrix_text(&p).is_err()); // ragged
+        std::fs::write(&p, "").unwrap();
+        assert!(read_matrix_text(&p).is_err()); // empty
+        std::fs::write(&p, "a,b\n").unwrap();
+        assert!(read_matrix_text(&p).is_err()); // non-numeric
+        std::fs::remove_file(&p).unwrap();
+        assert!(read_matrix_text(&p).is_err()); // missing file
+    }
+
+    #[test]
+    fn single_cell_and_column_vectors() {
+        let p = tmp("one.csv");
+        std::fs::write(&p, "42\n").unwrap();
+        let m = read_matrix_text(&p).unwrap();
+        assert_eq!(m.shape(), (1, 1));
+        std::fs::write(&p, "1\n2\n3\n").unwrap();
+        let m = read_matrix_text(&p).unwrap();
+        assert_eq!(m.shape(), (3, 1));
+        std::fs::remove_file(&p).unwrap();
+    }
+}

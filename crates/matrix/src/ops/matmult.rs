@@ -1,0 +1,307 @@
+//! Matrix multiplication kernels: GEMM, transpose, and `tsmm` (Xᵀ X).
+//!
+//! GEMM is cache-blocked and optionally multi-threaded over row panels using
+//! crossbeam scoped threads; `tsmm` exploits the symmetry of the result the
+//! way SystemDS' dedicated `tsmm` instruction does — it is the operator that
+//! dominates the `lmDS` workloads in the paper's evaluation.
+
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Rows per parallel panel; below this GEMM stays single-threaded.
+const PAR_ROW_THRESHOLD: usize = 256;
+/// Minimum FLOP count (m*n*k) before threads are spawned.
+const PAR_FLOP_THRESHOLD: usize = 2_000_000;
+/// Cache-blocking tile edge for the k dimension.
+const BLOCK_K: usize = 64;
+
+/// Number of worker threads for parallel kernels (physical parallelism capped
+/// at 8 to stay deterministic-ish on CI machines).
+pub fn kernel_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Sparsity threshold below which the left operand is converted to CSR and
+/// multiplied sparsely (SystemDS-style dense/sparse dispatch).
+const SPARSE_DISPATCH_THRESHOLD: f64 = 0.15;
+/// Minimum cell count before sparsity estimation is worth the scan.
+const SPARSE_DISPATCH_MIN_CELLS: usize = 64 * 64;
+
+/// Matrix multiply `A (m×k) %*% B (k×n)` with dense/sparse dispatch: very
+/// sparse left operands (e.g. PageRank link matrices) take a CSR kernel.
+pub fn matmult(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "ba+*",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if a.len() >= SPARSE_DISPATCH_MIN_CELLS && a.sparsity() < SPARSE_DISPATCH_THRESHOLD {
+        return crate::sparse::CsrMatrix::from_dense(a).matmult_dense(b);
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    let flops = m * n * k;
+    let threads = kernel_threads();
+    if m >= PAR_ROW_THRESHOLD && flops >= PAR_FLOP_THRESHOLD && threads > 1 {
+        let chunk = m.div_ceil(threads);
+        let out_data = out.data_mut();
+        crossbeam::thread::scope(|s| {
+            for (t, out_chunk) in out_data.chunks_mut(chunk * n).enumerate() {
+                let row0 = t * chunk;
+                s.spawn(move |_| {
+                    gemm_panel(a, b, out_chunk, row0, out_chunk.len() / n);
+                });
+            }
+        })
+        .expect("gemm worker panicked");
+    } else {
+        let rows = m;
+        gemm_panel(a, b, out.data_mut(), 0, rows);
+    }
+    Ok(out)
+}
+
+/// Computes `rows` rows of the product starting at `row0` into `out_panel`.
+fn gemm_panel(a: &DenseMatrix, b: &DenseMatrix, out_panel: &mut [f64], row0: usize, rows: usize) {
+    let k = a.cols();
+    let n = b.cols();
+    // i-k-j loop order with k blocking: streams through B row-major.
+    #[allow(clippy::needless_range_loop)] // kk indexes both arow and b rows
+    for kb in (0..k).step_by(BLOCK_K) {
+        let kend = (kb + BLOCK_K).min(k);
+        for i in 0..rows {
+            let arow = a.row(row0 + i);
+            let orow = &mut out_panel[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let aik = arow[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = b.row(kk);
+                for j in 0..n {
+                    orow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+}
+
+/// Transpose.
+pub fn transpose(a: &DenseMatrix) -> DenseMatrix {
+    let (m, n) = a.shape();
+    let mut out = DenseMatrix::zeros(n, m);
+    // Tiled transpose for cache friendliness.
+    const T: usize = 32;
+    for ib in (0..m).step_by(T) {
+        for jb in (0..n).step_by(T) {
+            for i in ib..(ib + T).min(m) {
+                for j in jb..(jb + T).min(n) {
+                    out.set(j, i, a.get(i, j));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Transpose-self matrix multiply `tsmm`: computes `Xᵀ X` (left) or `X Xᵀ`
+/// (right), exploiting the symmetry of the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsmmSide {
+    /// `Xᵀ X` — SystemDS `tsmm ... LEFT`.
+    Left,
+    /// `X Xᵀ` — SystemDS `tsmm ... RIGHT`.
+    Right,
+}
+
+/// `tsmm(X)`: symmetric rank-k update.
+pub fn tsmm(x: &DenseMatrix, side: TsmmSide) -> DenseMatrix {
+    match side {
+        TsmmSide::Left => tsmm_left(x),
+        TsmmSide::Right => {
+            let xt = transpose(x);
+            tsmm_left(&xt)
+        }
+    }
+}
+
+fn tsmm_left(x: &DenseMatrix) -> DenseMatrix {
+    let (m, n) = x.shape();
+    let threads = kernel_threads();
+    let mut out = DenseMatrix::zeros(n, n);
+    if m * n * n >= PAR_FLOP_THRESHOLD && threads > 1 && m >= threads {
+        // Each worker accumulates a partial Gram matrix over a row stripe;
+        // partials are summed afterwards. This mirrors SystemDS' parallel tsmm.
+        let chunk = m.div_ceil(threads);
+        let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(m);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(s.spawn(move |_| {
+                    let mut acc = vec![0.0f64; n * n];
+                    gram_upper(x, lo, hi, &mut acc);
+                    acc
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("tsmm worker")).collect()
+        })
+        .expect("tsmm scope");
+        let out_data = out.data_mut();
+        for p in partials {
+            for (o, v) in out_data.iter_mut().zip(p) {
+                *o += v;
+            }
+        }
+    } else {
+        gram_upper(x, 0, m, out.data_mut());
+    }
+    // Mirror the upper triangle into the lower.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = out.get(i, j);
+            out.set(j, i, v);
+        }
+    }
+    out
+}
+
+/// Accumulates the upper triangle of `X[lo..hi,:]ᵀ X[lo..hi,:]` into `acc`.
+fn gram_upper(x: &DenseMatrix, lo: usize, hi: usize, acc: &mut [f64]) {
+    let n = x.cols();
+    for r in lo..hi {
+        let row = x.row(r);
+        for i in 0..n {
+            let xi = row[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let arow = &mut acc[i * n..(i + 1) * n];
+            for j in i..n {
+                arow[j] += xi * row[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> DenseMatrix {
+        DenseMatrix::new(rows, cols, v.to_vec()).unwrap()
+    }
+
+    fn naive_mm(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_matmult_matches_hand_result() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmult(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmult_rejects_shape_mismatch() {
+        let a = m(2, 3, &[0.0; 6]);
+        let b = m(2, 3, &[0.0; 6]);
+        assert!(matmult(&a, &b).is_err());
+    }
+
+    #[test]
+    fn blocked_matmult_matches_naive_on_odd_shapes() {
+        let a = DenseMatrix::from_fn(17, 71, |i, j| ((i * 31 + j * 7) % 13) as f64 - 6.0);
+        let b = DenseMatrix::from_fn(71, 23, |i, j| ((i * 5 + j * 11) % 7) as f64 - 3.0);
+        let fast = matmult(&a, &b).unwrap();
+        let slow = naive_mm(&a, &b);
+        assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn parallel_matmult_matches_naive() {
+        // Large enough to cross both parallel thresholds.
+        let a = DenseMatrix::from_fn(300, 80, |i, j| ((i + 2 * j) % 17) as f64 * 0.25);
+        let b = DenseMatrix::from_fn(80, 90, |i, j| ((3 * i + j) % 11) as f64 * 0.5 - 2.0);
+        let fast = matmult(&a, &b).unwrap();
+        let slow = naive_mm(&a, &b);
+        assert!(fast.rel_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn sparse_dispatch_matches_dense_path() {
+        // 2% dense 100x100 left operand crosses the dispatch threshold.
+        let a = DenseMatrix::from_fn(100, 100, |i, j| {
+            if (i * 100 + j) % 50 == 0 {
+                (i + j) as f64 * 0.5 - 3.0
+            } else {
+                0.0
+            }
+        });
+        assert!(a.sparsity() < 0.15);
+        let b = DenseMatrix::from_fn(100, 20, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
+        let got = matmult(&a, &b).unwrap();
+        let slow = naive_mm(&a, &b);
+        assert!(got.rel_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = DenseMatrix::from_fn(13, 37, |i, j| (i * 100 + j) as f64);
+        let t = transpose(&a);
+        assert_eq!(t.shape(), (37, 13));
+        assert_eq!(t.get(5, 7), a.get(7, 5));
+        assert!(transpose(&t).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn tsmm_left_matches_explicit_product() {
+        let x = DenseMatrix::from_fn(40, 9, |i, j| ((i * j + 3) % 5) as f64 - 2.0);
+        let expect = naive_mm(&transpose(&x), &x);
+        let got = tsmm(&x, TsmmSide::Left);
+        assert!(got.approx_eq(&expect, 1e-9));
+        // Result must be exactly symmetric by construction.
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(got.get(i, j), got.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn tsmm_right_matches_explicit_product() {
+        let x = DenseMatrix::from_fn(6, 15, |i, j| (i as f64) - (j as f64) * 0.5);
+        let expect = naive_mm(&x, &transpose(&x));
+        let got = tsmm(&x, TsmmSide::Right);
+        assert!(got.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn parallel_tsmm_matches_serial() {
+        let x = DenseMatrix::from_fn(2_000, 40, |i, j| ((i * 7 + j * 13) % 19) as f64 * 0.1);
+        let got = tsmm(&x, TsmmSide::Left);
+        let expect = naive_mm(&transpose(&x), &x);
+        assert!(got.rel_eq(&expect, 1e-12));
+    }
+}

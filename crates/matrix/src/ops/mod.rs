@@ -1,0 +1,24 @@
+//! Operator kernels dispatched by LIMA runtime instructions.
+//!
+//! Each submodule implements one family of SystemDS-style operators:
+//!
+//! * [`elementwise`] — cell-wise binary/unary/scalar operators,
+//! * [`mod@matmult`] — GEMM, matrix-vector, `tsmm` (Xᵀ X), transpose,
+//! * [`agg`] — full/row/column aggregates,
+//! * [`reorg`] — cbind/rbind/slicing/diag/table/seq/order,
+//! * [`mod@solve`] — dense linear solvers (Cholesky with LU fallback),
+//! * [`eigen`] — symmetric eigen decomposition (cyclic Jacobi).
+
+pub mod agg;
+pub mod eigen;
+pub mod elementwise;
+pub mod matmult;
+pub mod reorg;
+pub mod solve;
+
+pub use agg::*;
+pub use eigen::*;
+pub use elementwise::*;
+pub use matmult::*;
+pub use reorg::*;
+pub use solve::*;

@@ -1,0 +1,170 @@
+//! Property tests of the matrix substrate: algebraic laws of the kernels the
+//! runtime and the partial-reuse rewrites depend on.
+
+use lima_matrix::ops::{
+    cbind, col_agg, ew_matrix_matrix, ew_matrix_scalar, ew_unary, full_agg, matmult, rbind,
+    row_agg, slice, transpose, tsmm, AggFn, BinOp, TsmmSide, UnOp,
+};
+use lima_matrix::rand_gen::{rand_matrix, sample_without_replacement, RandDist};
+use lima_matrix::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+fn det_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(rows.max(1), cols.max(1), |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((j as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add(seed.wrapping_mul(0x94D049BB133111EB));
+        ((h >> 20) % 1000) as f64 / 100.0 - 5.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition((m, k, n) in (1usize..7, 1usize..7, 1usize..7),
+                                        seed in 0u64..1000) {
+        let a = det_matrix(m, k, seed);
+        let b = det_matrix(k, n, seed ^ 1);
+        let c = det_matrix(k, n, seed ^ 2);
+        let lhs = matmult(&a, &ew_matrix_matrix(BinOp::Add, &b, &c).unwrap()).unwrap();
+        let rhs = ew_matrix_matrix(
+            BinOp::Add,
+            &matmult(&a, &b).unwrap(),
+            &matmult(&a, &c).unwrap(),
+        ).unwrap();
+        prop_assert!(lhs.rel_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn transpose_reverses_products((m, k, n) in (1usize..7, 1usize..7, 1usize..7),
+                                   seed in 0u64..1000) {
+        let a = det_matrix(m, k, seed);
+        let b = det_matrix(k, n, seed ^ 3);
+        let lhs = transpose(&matmult(&a, &b).unwrap());
+        let rhs = matmult(&transpose(&b), &transpose(&a)).unwrap();
+        prop_assert!(lhs.rel_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn tsmm_equals_explicit_gram((m, n) in (1usize..10, 1usize..8), seed in 0u64..1000) {
+        let x = det_matrix(m, n, seed);
+        let explicit = matmult(&transpose(&x), &x).unwrap();
+        prop_assert!(tsmm(&x, TsmmSide::Left).rel_eq(&explicit, 1e-9));
+        let explicit_r = matmult(&x, &transpose(&x)).unwrap();
+        prop_assert!(tsmm(&x, TsmmSide::Right).rel_eq(&explicit_r, 1e-9));
+    }
+
+    #[test]
+    fn cbind_rbind_slice_round_trip((m, k1, k2) in (1usize..8, 1usize..6, 1usize..6),
+                                    seed in 0u64..1000) {
+        let a = det_matrix(m, k1, seed);
+        let b = det_matrix(m, k2, seed ^ 4);
+        let c = cbind(&a, &b).unwrap();
+        prop_assert!(slice(&c, 0, m - 1, 0, k1 - 1).unwrap().approx_eq(&a, 0.0));
+        prop_assert!(slice(&c, 0, m - 1, k1, k1 + k2 - 1).unwrap().approx_eq(&b, 0.0));
+        let ta = det_matrix(k1, m, seed ^ 5);
+        let tb = det_matrix(k2, m, seed ^ 6);
+        let r = rbind(&ta, &tb).unwrap();
+        prop_assert!(slice(&r, 0, k1 - 1, 0, m - 1).unwrap().approx_eq(&ta, 0.0));
+        prop_assert!(slice(&r, k1, k1 + k2 - 1, 0, m - 1).unwrap().approx_eq(&tb, 0.0));
+    }
+
+    #[test]
+    fn transpose_swaps_cbind_rbind((m, k1, k2) in (1usize..8, 1usize..6, 1usize..6),
+                                   seed in 0u64..1000) {
+        let a = det_matrix(m, k1, seed);
+        let b = det_matrix(m, k2, seed ^ 7);
+        let lhs = transpose(&cbind(&a, &b).unwrap());
+        let rhs = rbind(&transpose(&a), &transpose(&b)).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 0.0));
+    }
+
+    #[test]
+    fn aggregates_are_consistent((m, n) in (1usize..9, 1usize..9), seed in 0u64..1000) {
+        let x = det_matrix(m, n, seed);
+        let total = full_agg(&x, AggFn::Sum);
+        let via_cols = full_agg(&col_agg(&x, AggFn::Sum), AggFn::Sum);
+        let via_rows = full_agg(&row_agg(&x, AggFn::Sum), AggFn::Sum);
+        prop_assert!((total - via_cols).abs() <= 1e-9 * total.abs().max(1.0));
+        prop_assert!((total - via_rows).abs() <= 1e-9 * total.abs().max(1.0));
+        prop_assert!(full_agg(&x, AggFn::Min) <= full_agg(&x, AggFn::Max));
+    }
+
+    #[test]
+    fn elementwise_scalar_laws(v in -100.0f64..100.0, (m, n) in (1usize..6, 1usize..6),
+                               seed in 0u64..1000) {
+        let x = det_matrix(m, n, seed);
+        // x + v - v == x
+        let back = ew_matrix_scalar(BinOp::Sub, &ew_matrix_scalar(BinOp::Add, &x, v), v);
+        prop_assert!(back.rel_eq(&x, 1e-9));
+        // abs(x) >= 0, sign(x)*abs(x) == x
+        let a = ew_unary(UnOp::Abs, &x);
+        prop_assert!(a.data().iter().all(|&c| c >= 0.0));
+        let s = ew_unary(UnOp::Sign, &x);
+        let prod = ew_matrix_matrix(BinOp::Mul, &s, &a).unwrap();
+        prop_assert!(prod.rel_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn csr_round_trip_and_spmm((m, k, n) in (1usize..8, 1usize..8, 1usize..6),
+                               seed in 0u64..1000) {
+        let mut d = det_matrix(m, k, seed);
+        // Sparsify deterministically.
+        for (idx, v) in d.data_mut().iter_mut().enumerate() {
+            if idx % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let sp = CsrMatrix::from_dense(&d);
+        prop_assert!(sp.to_dense().approx_eq(&d, 0.0));
+        let b = det_matrix(k, n, seed ^ 9);
+        let fast = sp.matmult_dense(&b).unwrap();
+        let slow = matmult(&d, &b).unwrap();
+        prop_assert!(fast.rel_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn rand_respects_seed_and_bounds(seed in 0u64..10_000, (m, n) in (1usize..12, 1usize..12)) {
+        let a = rand_matrix(m, n, RandDist::Uniform { min: -1.0, max: 1.0 }, 1.0, seed).unwrap();
+        let b = rand_matrix(m, n, RandDist::Uniform { min: -1.0, max: 1.0 }, 1.0, seed).unwrap();
+        prop_assert!(a.approx_eq(&b, 0.0));
+        prop_assert!(a.data().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn sample_is_a_partial_permutation(range in 1usize..200, seed in 0u64..10_000) {
+        let size = range / 2 + 1;
+        let s = sample_without_replacement(range, size, seed).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for &v in s.data() {
+            prop_assert!(v >= 1.0 && v <= range as f64);
+            prop_assert!(seen.insert(v as i64));
+        }
+    }
+
+    #[test]
+    fn solve_inverts_spd_systems(n in 1usize..12, seed in 0u64..1000) {
+        let x = det_matrix(n + 3, n, seed);
+        let mut a = tsmm(&x, TsmmSide::Left);
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + (n as f64));
+        }
+        let b = det_matrix(n, 2, seed ^ 11);
+        let sol = lima_matrix::ops::solve(&a, &b).unwrap();
+        let back = matmult(&a, &sol).unwrap();
+        prop_assert!(back.rel_eq(&b, 1e-7));
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrices(n in 1usize..8, seed in 0u64..500) {
+        let x = det_matrix(n + 2, n, seed);
+        let a = tsmm(&x, TsmmSide::Left);
+        let r = lima_matrix::ops::eigen_symmetric(&a).unwrap();
+        // A == V diag(λ) Vᵀ
+        let vl = DenseMatrix::from_fn(n, n, |i, j| r.vectors.get(i, j) * r.values.get(j, 0));
+        let back = matmult(&vl, &transpose(&r.vectors)).unwrap();
+        prop_assert!(back.rel_eq(&a, 1e-6));
+    }
+}

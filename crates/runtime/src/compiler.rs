@@ -1,0 +1,1018 @@
+//! Compilation passes over programs (paper §2.2, §3.2 setup, §4.4):
+//!
+//! 1. **Block/branch ID assignment** — stable IDs for block-level cache keys
+//!    and depth-first branch IDs for dedup path bitvectors.
+//! 2. **Determinism analysis** — functions/blocks with no system-seeded
+//!    randomness and no side effects qualify for multi-level reuse.
+//! 3. **Dedup eligibility** — last-level loops/functions (no nested loops or
+//!    calls) with ≤ 63 branches qualify for lineage deduplication.
+//! 4. **Unmarking** (compiler assistance) — instructions producing
+//!    loop-carried variables never interact with the cache.
+//! 5. **Reuse-aware rewrites** (compiler assistance) — e.g. splitting
+//!    `tsmm(cbind(X, d))` inside loops to avoid materializing the cbind
+//!    (the `LIMA-CA` configuration of Fig 7(a)).
+
+use crate::instr::{Instr, Op, Operand};
+use crate::lva;
+use crate::program::{Block, ExprProg, Program};
+use lima_core::LimaConfig;
+use lima_matrix::ops::TsmmSide;
+use lima_matrix::ScalarValue;
+use std::collections::{HashMap, HashSet};
+
+/// Runs all compilation passes in place.
+pub fn compile(program: &mut Program, config: &LimaConfig) {
+    assign_ids(program);
+    analyze_determinism(program);
+    analyze_dedup(program);
+    compute_dedup_outputs(program);
+    if config.compiler_assist {
+        unmark_loop_carried(program);
+        if config.reuse.any() {
+            rewrite_tsmm_cbind(program);
+            rewrite_speculative_projection(program);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- block IDs
+
+fn assign_ids(program: &mut Program) {
+    let mut next = 1u64;
+    assign_ids_blocks(&mut program.body, &mut next);
+    let mut names: Vec<String> = program.functions.keys().cloned().collect();
+    names.sort();
+    for name in names {
+        let f = program.functions.get_mut(&name).expect("known function");
+        assign_ids_blocks(&mut f.body, &mut next);
+    }
+}
+
+fn assign_ids_blocks(blocks: &mut [Block], next: &mut u64) {
+    for b in blocks {
+        match b {
+            Block::Basic { id, .. } => {
+                *id = *next;
+                *next += 1;
+            }
+            Block::If {
+                id,
+                then_body,
+                else_body,
+                ..
+            } => {
+                *id = *next;
+                *next += 1;
+                assign_ids_blocks(then_body, next);
+                assign_ids_blocks(else_body, next);
+            }
+            Block::For { id, body, .. } | Block::While { id, body, .. } => {
+                *id = *next;
+                *next += 1;
+                assign_ids_blocks(body, next);
+            }
+            Block::ParFor { id, body, results, .. } => {
+                *id = *next;
+                *next += 1;
+                assign_ids_blocks(body, next);
+                let _ = results;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- determinism
+
+/// True when the instruction is deterministic and side-effect free, given
+/// the set of functions currently known deterministic.
+fn instr_deterministic(i: &Instr, det_fns: &HashSet<String>) -> bool {
+    if i.op.has_side_effects() {
+        return false;
+    }
+    if let Op::FCall(name) = &i.op {
+        return det_fns.contains(name);
+    }
+    if i.op.is_random() {
+        // Deterministic only with an explicit non-negative seed (system
+        // seeds make repeated executions differ).
+        return match i.inputs.last() {
+            Some(Operand::Lit(ScalarValue::I64(s))) => *s >= 0,
+            Some(Operand::Lit(ScalarValue::F64(s))) => *s >= 0.0,
+            _ => false,
+        };
+    }
+    true
+}
+
+fn expr_deterministic(e: &ExprProg, det_fns: &HashSet<String>) -> bool {
+    e.instrs.iter().all(|i| instr_deterministic(i, det_fns))
+}
+
+/// True when all instructions in `blocks` are deterministic.
+pub fn blocks_deterministic(blocks: &[Block], det_fns: &HashSet<String>) -> bool {
+    blocks.iter().all(|b| match b {
+        Block::Basic { instrs, .. } => instrs.iter().all(|i| instr_deterministic(i, det_fns)),
+        Block::If {
+            pred,
+            then_body,
+            else_body,
+            ..
+        } => {
+            expr_deterministic(pred, det_fns)
+                && blocks_deterministic(then_body, det_fns)
+                && blocks_deterministic(else_body, det_fns)
+        }
+        Block::For {
+            from, to, by, body, ..
+        }
+        | Block::ParFor {
+            from, to, by, body, ..
+        } => {
+            expr_deterministic(from, det_fns)
+                && expr_deterministic(to, det_fns)
+                && expr_deterministic(by, det_fns)
+                && blocks_deterministic(body, det_fns)
+        }
+        Block::While { pred, body, .. } => {
+            expr_deterministic(pred, det_fns) && blocks_deterministic(body, det_fns)
+        }
+    })
+}
+
+fn analyze_determinism(program: &mut Program) {
+    // Fixpoint from "nothing is deterministic": monotone and safe under
+    // recursion.
+    let mut det: HashSet<String> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for (name, f) in &program.functions {
+            if !det.contains(name) && blocks_deterministic(&f.body, &det) {
+                det.insert(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (name, f) in program.functions.iter_mut() {
+        f.deterministic = det.contains(name);
+    }
+    let det2 = det.clone();
+    mark_block_determinism(&mut program.body, &det2);
+    for f in program.functions.values_mut() {
+        mark_block_determinism(&mut f.body, &det2);
+    }
+}
+
+fn mark_block_determinism(blocks: &mut [Block], det_fns: &HashSet<String>) {
+    for b in blocks {
+        match b {
+            Block::For {
+                body,
+                deterministic,
+                ..
+            } => {
+                *deterministic = blocks_deterministic(body, det_fns);
+                mark_block_determinism(body, det_fns);
+            }
+            Block::While {
+                body,
+                deterministic,
+                ..
+            } => {
+                *deterministic = blocks_deterministic(body, det_fns);
+                mark_block_determinism(body, det_fns);
+            }
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                mark_block_determinism(then_body, det_fns);
+                mark_block_determinism(else_body, det_fns);
+            }
+            Block::ParFor { body, results, .. } => {
+                // Also fill parfor result variables: variables written in the
+                // body that exist before the loop — approximated as writes
+                // that are also live-in (carried) or left-indexed results.
+                *results = parfor_results(body);
+                mark_block_determinism(body, det_fns);
+            }
+            Block::Basic { .. } => {}
+        }
+    }
+}
+
+/// Result variables of a parfor body: variables updated via left-indexing or
+/// read-then-written (carried) — these must be merged across workers.
+fn parfor_results(body: &[Block]) -> Vec<String> {
+    let live_in = lva::live_in(body);
+    let writes = lva::writes(body);
+    writes
+        .into_iter()
+        .filter(|w| live_in.contains(w))
+        .collect()
+}
+
+// ------------------------------------------------------------------- dedup
+
+fn analyze_dedup(program: &mut Program) {
+    analyze_dedup_blocks(&mut program.body);
+    for f in program.functions.values_mut() {
+        analyze_dedup_blocks(&mut f.body);
+        // Function dedup: last-level bodies (no loops, no calls) only.
+        if body_is_last_level(&f.body) {
+            let branches = assign_branch_ids(&mut f.body, 0);
+            f.dedup_ok = branches <= 63;
+            if !f.dedup_ok {
+                clear_branch_ids(&mut f.body);
+            }
+        }
+    }
+}
+
+fn analyze_dedup_blocks(blocks: &mut [Block]) {
+    for b in blocks {
+        match b {
+            Block::For { body, dedup_ok, .. } | Block::While { body, dedup_ok, .. } => {
+                if body_is_last_level(body) {
+                    let branches = assign_branch_ids(body, 0);
+                    *dedup_ok = branches <= 63;
+                    if !*dedup_ok {
+                        clear_branch_ids(body);
+                    }
+                } else {
+                    analyze_dedup_blocks(body);
+                }
+            }
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                analyze_dedup_blocks(then_body);
+                analyze_dedup_blocks(else_body);
+            }
+            Block::ParFor { body, .. } => analyze_dedup_blocks(body),
+            Block::Basic { .. } => {}
+        }
+    }
+}
+
+/// Last-level body: only basic blocks and conditionals, and no function
+/// calls (paper: "functions that do not contain loops or other function
+/// calls", and last-level loops).
+fn body_is_last_level(blocks: &[Block]) -> bool {
+    blocks.iter().all(|b| match b {
+        Block::Basic { instrs, .. } => !instrs.iter().any(|i| matches!(i.op, Op::FCall(_))),
+        Block::If {
+            pred,
+            then_body,
+            else_body,
+            ..
+        } => {
+            !pred.instrs.iter().any(|i| matches!(i.op, Op::FCall(_)))
+                && body_is_last_level(then_body)
+                && body_is_last_level(else_body)
+        }
+        _ => false,
+    })
+}
+
+/// Assigns branch IDs depth-first (paper §3.2); returns the number of
+/// branches.
+fn assign_branch_ids(blocks: &mut [Block], mut next: u32) -> u32 {
+    for b in blocks {
+        if let Block::If {
+            branch_id,
+            then_body,
+            else_body,
+            ..
+        } = b
+        {
+            *branch_id = Some(next);
+            next += 1;
+            next = assign_branch_ids(then_body, next);
+            next = assign_branch_ids(else_body, next);
+        }
+    }
+    next
+}
+
+fn clear_branch_ids(blocks: &mut [Block]) {
+    for b in blocks {
+        if let Block::If {
+            branch_id,
+            then_body,
+            else_body,
+            ..
+        } = b
+        {
+            *branch_id = None;
+            clear_branch_ids(then_body);
+            clear_branch_ids(else_body);
+        }
+    }
+}
+
+/// Computes the live-out variable sets that receive dedup items (paper:
+/// "we obtain the inputs and outputs of the loop body from live variable
+/// analysis"). A written variable is live-out when it is carried into the
+/// next iteration or possibly read after the loop; dead temporaries get no
+/// dedup items and drop out of the patches entirely.
+fn compute_dedup_outputs(program: &mut Program) {
+    dedup_outputs_pass(&mut program.body, &std::collections::BTreeSet::new());
+    for f in program.functions.values_mut() {
+        let outs: std::collections::BTreeSet<String> = f.outputs.iter().cloned().collect();
+        if f.dedup_ok {
+            let li: std::collections::BTreeSet<String> =
+                lva::live_in(&f.body).into_iter().collect();
+            f.dedup_outputs = lva::writes(&f.body)
+                .into_iter()
+                .filter(|w| outs.contains(w) || li.contains(w))
+                .collect();
+        }
+        dedup_outputs_pass(&mut f.body, &outs);
+    }
+}
+
+fn dedup_outputs_pass(blocks: &mut [Block], after: &std::collections::BTreeSet<String>) {
+    // suffix[i] = variables read by blocks[i..] plus `after`.
+    let n = blocks.len();
+    let mut suffix: Vec<std::collections::BTreeSet<String>> = vec![after.clone(); n + 1];
+    for i in (0..n).rev() {
+        let mut s = suffix[i + 1].clone();
+        s.extend(lva::collect_reads(std::slice::from_ref(&blocks[i])));
+        suffix[i] = s;
+    }
+    for (i, b) in blocks.iter_mut().enumerate() {
+        match b {
+            Block::For {
+                body,
+                dedup_ok,
+                dedup_outputs,
+                ..
+            }
+            | Block::While {
+                body,
+                dedup_ok,
+                dedup_outputs,
+                ..
+            } => {
+                if *dedup_ok {
+                    let li: std::collections::BTreeSet<String> =
+                        lva::live_in(body).into_iter().collect();
+                    let live_after = &suffix[i + 1];
+                    *dedup_outputs = lva::writes(body)
+                        .into_iter()
+                        .filter(|w| li.contains(w) || live_after.contains(w))
+                        .collect();
+                }
+                // suffix[i] includes this loop's own body reads — the
+                // conservative live-after for anything nested (a next
+                // iteration may read it).
+                let inner = suffix[i].clone();
+                dedup_outputs_pass(body, &inner);
+            }
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let inner = suffix[i].clone();
+                dedup_outputs_pass(then_body, &inner);
+                dedup_outputs_pass(else_body, &inner);
+            }
+            Block::ParFor { body, .. } => {
+                let inner = suffix[i].clone();
+                dedup_outputs_pass(body, &inner);
+            }
+            Block::Basic { .. } => {}
+        }
+    }
+}
+
+// --------------------------------------------------------------- unmarking
+
+fn unmark_loop_carried(program: &mut Program) {
+    unmark_blocks(&mut program.body);
+    for f in program.functions.values_mut() {
+        unmark_blocks(&mut f.body);
+    }
+}
+
+fn unmark_blocks(blocks: &mut [Block]) {
+    for b in blocks {
+        match b {
+            Block::For { body, .. } | Block::While { body, .. } | Block::ParFor { body, .. } => {
+                let carried: HashSet<String> = {
+                    let li = lva::live_in(body);
+                    let ws = lva::writes(body);
+                    li.into_iter().filter(|v| ws.contains(v)).collect()
+                };
+                unmark_tainted(body, &carried);
+                unmark_blocks(body);
+            }
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                unmark_blocks(then_body);
+                unmark_blocks(else_body);
+            }
+            Block::Basic { .. } => {}
+        }
+    }
+}
+
+/// Unmarks instructions (transitively) depending on loop-carried variables:
+/// their lineage differs in every iteration, so caching them only pollutes
+/// the cache (paper §4.4, "Unmarking Intermediates").
+fn unmark_tainted(blocks: &mut [Block], carried: &HashSet<String>) {
+    let mut tainted: HashSet<String> = carried.clone();
+    // Two passes propagate taint through straight-line code and one level of
+    // back-edges (the carried set itself covers the loop back-edge).
+    for _ in 0..2 {
+        taint_pass(blocks, &mut tainted);
+    }
+    apply_unmark(blocks, &tainted);
+}
+
+fn taint_pass(blocks: &[Block], tainted: &mut HashSet<String>) {
+    for b in blocks {
+        match b {
+            Block::Basic { instrs, .. } => {
+                for i in instrs {
+                    if i.reads().any(|r| tainted.contains(r)) {
+                        for w in i.writes() {
+                            tainted.insert(w.to_string());
+                        }
+                    }
+                }
+            }
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                taint_pass(then_body, tainted);
+                taint_pass(else_body, tainted);
+            }
+            Block::For { body, .. } | Block::While { body, .. } | Block::ParFor { body, .. } => {
+                taint_pass(body, tainted);
+            }
+        }
+    }
+}
+
+fn apply_unmark(blocks: &mut [Block], tainted: &HashSet<String>) {
+    for b in blocks {
+        match b {
+            Block::Basic { instrs, .. } => {
+                for i in instrs {
+                    if i.reads().any(|r| tainted.contains(r))
+                        || i.writes().any(|w| tainted.contains(w))
+                    {
+                        i.no_cache = true;
+                    }
+                }
+            }
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                apply_unmark(then_body, tainted);
+                apply_unmark(else_body, tainted);
+            }
+            Block::For { body, .. } | Block::While { body, .. } | Block::ParFor { body, .. } => {
+                apply_unmark(body, tainted);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- reuse-aware rewrite
+
+/// Rewrites `Z = cbind(X, d); W = tsmm(Z)` inside loop bodies (with
+/// loop-invariant `X`, loop-local `Z`) into a compensation-style plan that
+/// avoids materializing the cbind entirely — the `LIMA-CA` behaviour of
+/// Fig 7(a). The split pieces (`tsmm(X)`, `t(X)`) become loop-invariant and
+/// are served from the lineage cache after the first iteration.
+fn rewrite_tsmm_cbind(program: &mut Program) {
+    rewrite_blocks(&mut program.body);
+    for f in program.functions.values_mut() {
+        rewrite_blocks(&mut f.body);
+    }
+}
+
+fn rewrite_blocks(blocks: &mut [Block]) {
+    for b in blocks {
+        match b {
+            Block::For { body, .. } | Block::While { body, .. } | Block::ParFor { body, .. } => {
+                let writes: HashSet<String> = lva::writes(body).into_iter().collect();
+                rewrite_in_loop(body, &writes);
+                rewrite_blocks(body);
+            }
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                rewrite_blocks(then_body);
+                rewrite_blocks(else_body);
+            }
+            Block::Basic { .. } => {}
+        }
+    }
+}
+
+fn rewrite_in_loop(blocks: &mut [Block], loop_writes: &HashSet<String>) {
+    for b in blocks {
+        let Block::Basic { id, instrs } = b else {
+            continue;
+        };
+        // Count reads of every variable in this basic block.
+        let mut read_counts: HashMap<String, usize> = HashMap::new();
+        for i in instrs.iter() {
+            for r in i.reads() {
+                *read_counts.entry(r.to_string()).or_default() += 1;
+            }
+        }
+        let mut k = 0;
+        while k + 1 < instrs.len() {
+            let fire = {
+                let (a, b) = (&instrs[k], &instrs[k + 1]);
+                match (&a.op, &b.op) {
+                    (Op::Cbind, Op::Tsmm(TsmmSide::Left)) => {
+                        let z = &a.outputs[0];
+                        let x = a.inputs[0].as_var();
+                        b.inputs.first().and_then(Operand::as_var) == Some(z.as_str())
+                            && read_counts.get(z).copied().unwrap_or(0) == 1
+                            && x.is_some_and(|x| !loop_writes.contains(x))
+                    }
+                    _ => false,
+                }
+            };
+            if fire {
+                let cbind = instrs[k].clone();
+                let tsmm = instrs[k + 1].clone();
+                let x = cbind.inputs[0].clone();
+                let d = cbind.inputs[1].clone();
+                let w = tsmm.outputs[0].clone();
+                let t = |s: &str| format!("__ca{id}_{s}");
+                let plan = vec![
+                    Instr::new(Op::Tsmm(TsmmSide::Left), vec![x.clone()], t("xx")),
+                    Instr::new(Op::Transpose, vec![x.clone()], t("xt")),
+                    Instr::new(Op::MatMult, vec![Operand::var(t("xt")), d.clone()], t("xd")),
+                    Instr::new(Op::Tsmm(TsmmSide::Left), vec![d.clone()], t("dd")),
+                    Instr::new(
+                        Op::Cbind,
+                        vec![Operand::var(t("xx")), Operand::var(t("xd"))],
+                        t("top"),
+                    ),
+                    Instr::new(Op::Transpose, vec![Operand::var(t("xd"))], t("dxt")),
+                    Instr::new(
+                        Op::Cbind,
+                        vec![Operand::var(t("dxt")), Operand::var(t("dd"))],
+                        t("bot"),
+                    ),
+                    Instr::new(
+                        Op::Rbind,
+                        vec![Operand::var(t("top")), Operand::var(t("bot"))],
+                        w,
+                    ),
+                ];
+                instrs.splice(k..k + 2, plan);
+                k += 8;
+            } else {
+                k += 1;
+            }
+        }
+    }
+}
+
+// ------------------------------------------- speculative projection rewrite
+
+/// Rewrites `T = Y[, 1:k]; W = X %*% T` into `F = X %*% Y; W = F[, 1:k]`
+/// (paper §4.4, second example: "if an outer loop calls PCA for different K,
+/// a dedicated rewrite speculatively computes A·evect for more efficient
+/// partial reuse"). The full product `F` is loop-invariant across a K sweep,
+/// so it is computed once and every projection becomes a cheap slice.
+///
+/// The rewrite fires only when the slice covers all rows starting at column 1
+/// (a prefix projection) and the sliced matrix is not used elsewhere in the
+/// block — mirroring the cost-based conservatism the paper describes.
+fn rewrite_speculative_projection(program: &mut Program) {
+    speculative_blocks(&mut program.body);
+    for f in program.functions.values_mut() {
+        speculative_blocks(&mut f.body);
+    }
+}
+
+fn speculative_blocks(blocks: &mut [Block]) {
+    for b in blocks {
+        match b {
+            Block::Basic { id, instrs } => rewrite_projection_in_block(*id, instrs),
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                speculative_blocks(then_body);
+                speculative_blocks(else_body);
+            }
+            Block::For { body, .. } | Block::While { body, .. } | Block::ParFor { body, .. } => {
+                speculative_blocks(body);
+            }
+        }
+    }
+}
+
+fn rewrite_projection_in_block(id: u64, instrs: &mut Vec<Instr>) {
+    let mut read_counts: HashMap<String, usize> = HashMap::new();
+    for i in instrs.iter() {
+        for r in i.reads() {
+            *read_counts.entry(r.to_string()).or_default() += 1;
+        }
+    }
+    let mut k = 0;
+    while k + 1 < instrs.len() {
+        let fire = {
+            let (a, b) = (&instrs[k], &instrs[k + 1]);
+            match (&a.op, &b.op) {
+                (Op::RightIndex, Op::MatMult) => {
+                    // a: T = Y[1:0, 1:cu]  (full rows, column prefix)
+                    let t = &a.outputs[0];
+                    let full_rows = matches!(
+                        (&a.inputs[1], &a.inputs[2]),
+                        (Operand::Lit(ScalarValue::I64(1)), Operand::Lit(ScalarValue::I64(0)))
+                    );
+                    let col_prefix =
+                        matches!(&a.inputs[3], Operand::Lit(ScalarValue::I64(1)));
+                    full_rows
+                        && col_prefix
+                        && b.inputs.get(1).and_then(Operand::as_var) == Some(t.as_str())
+                        && read_counts.get(t).copied().unwrap_or(0) == 1
+                }
+                _ => false,
+            }
+        };
+        if fire {
+            let slice_i = instrs[k].clone();
+            let mm_i = instrs[k + 1].clone();
+            let full = format!("__sp{id}_{k}");
+            let plan = vec![
+                Instr::new(
+                    Op::MatMult,
+                    vec![mm_i.inputs[0].clone(), slice_i.inputs[0].clone()],
+                    full.clone(),
+                ),
+                Instr::new(
+                    Op::RightIndex,
+                    vec![
+                        Operand::var(full),
+                        Operand::i64(1),
+                        Operand::i64(0),
+                        slice_i.inputs[3].clone(),
+                        slice_i.inputs[4].clone(),
+                    ],
+                    mm_i.outputs[0].clone(),
+                ),
+            ];
+            instrs.splice(k..k + 2, plan);
+            k += 2;
+        } else {
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::RandDistKind;
+    use crate::program::Function;
+    use lima_matrix::ops::BinOp;
+
+    fn mm(a: &str, b: &str, out: &str) -> Instr {
+        Instr::new(Op::MatMult, vec![Operand::var(a), Operand::var(b)], out)
+    }
+
+    fn rand_sys(out: &str) -> Instr {
+        Instr::new(
+            Op::Rand(RandDistKind::Uniform),
+            vec![
+                Operand::i64(2),
+                Operand::i64(2),
+                Operand::f64(0.0),
+                Operand::f64(1.0),
+                Operand::f64(1.0),
+                Operand::i64(-1),
+            ],
+            out,
+        )
+    }
+
+    #[test]
+    fn ids_are_assigned_and_unique() {
+        let mut p = Program::new(vec![
+            Block::basic(vec![]),
+            Block::if_else(ExprProg::var("c"), vec![Block::basic(vec![])], vec![]),
+        ]);
+        compile(&mut p, &LimaConfig::default());
+        let id0 = p.body[0].id();
+        let id1 = p.body[1].id();
+        assert_ne!(id0, 0);
+        assert_ne!(id0, id1);
+    }
+
+    #[test]
+    fn determinism_analysis_flags_randomness_and_effects() {
+        let mut p = Program::new(vec![]);
+        p.add_function(Function::new(
+            "pure",
+            vec!["X".into()],
+            vec!["Y".into()],
+            vec![Block::basic(vec![mm("X", "X", "Y")])],
+        ));
+        p.add_function(Function::new(
+            "rng",
+            vec![],
+            vec!["Y".into()],
+            vec![Block::basic(vec![rand_sys("Y")])],
+        ));
+        p.add_function(Function::new(
+            "caller",
+            vec![],
+            vec!["Y".into()],
+            vec![Block::basic(vec![Instr::multi(
+                Op::FCall("rng".into()),
+                vec![],
+                vec!["Y".into()],
+            )])],
+        ));
+        p.add_function(Function::new(
+            "printer",
+            vec!["X".into()],
+            vec!["X".into()],
+            vec![Block::basic(vec![Instr::effect(
+                Op::Print,
+                vec![Operand::var("X")],
+            )])],
+        ));
+        compile(&mut p, &LimaConfig::default());
+        assert!(p.functions["pure"].deterministic);
+        assert!(!p.functions["rng"].deterministic);
+        assert!(!p.functions["caller"].deterministic);
+        assert!(!p.functions["printer"].deterministic);
+    }
+
+    #[test]
+    fn explicit_seed_rand_is_deterministic() {
+        let mut p = Program::new(vec![]);
+        let mut instr = rand_sys("Y");
+        instr.inputs[5] = Operand::i64(42);
+        p.add_function(Function::new(
+            "seeded",
+            vec![],
+            vec!["Y".into()],
+            vec![Block::basic(vec![instr])],
+        ));
+        compile(&mut p, &LimaConfig::default());
+        assert!(p.functions["seeded"].deterministic);
+    }
+
+    #[test]
+    fn dedup_eligibility_and_branch_ids() {
+        let body = vec![
+            Block::basic(vec![mm("G", "p", "t1")]),
+            Block::if_else(
+                ExprProg::var("c"),
+                vec![Block::basic(vec![mm("t1", "p", "p")])],
+                vec![Block::basic(vec![mm("p", "t1", "p")])],
+            ),
+        ];
+        let mut p = Program::new(vec![Block::for_loop(
+            "i",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(3)),
+            ExprProg::lit(Operand::i64(1)),
+            body,
+        )]);
+        compile(&mut p, &LimaConfig::default());
+        match &p.body[0] {
+            Block::For { dedup_ok, body, .. } => {
+                assert!(dedup_ok);
+                match &body[1] {
+                    Block::If { branch_id, .. } => assert_eq!(*branch_id, Some(0)),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nested_loops_are_not_last_level() {
+        let inner = Block::for_loop(
+            "j",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(2)),
+            ExprProg::lit(Operand::i64(1)),
+            vec![Block::basic(vec![mm("X", "X", "X")])],
+        );
+        let mut p = Program::new(vec![Block::for_loop(
+            "i",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(2)),
+            ExprProg::lit(Operand::i64(1)),
+            vec![inner],
+        )]);
+        compile(&mut p, &LimaConfig::default());
+        match &p.body[0] {
+            Block::For { dedup_ok, body, .. } => {
+                assert!(!dedup_ok);
+                // The inner loop IS last-level.
+                match &body[0] {
+                    Block::For { dedup_ok, .. } => assert!(dedup_ok),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unmarking_taints_loop_carried_chains() {
+        // X = (X + X) * 2 inside a loop: both instructions unmarked;
+        // Y = A %*% A is invariant and stays cacheable.
+        let body = vec![Block::basic(vec![
+            Instr::new(
+                Op::Binary(BinOp::Add),
+                vec![Operand::var("X"), Operand::var("X")],
+                "t",
+            ),
+            Instr::new(
+                Op::Binary(BinOp::Mul),
+                vec![Operand::var("t"), Operand::f64(2.0)],
+                "X",
+            ),
+            mm("A", "A", "Y"),
+        ])];
+        let mut p = Program::new(vec![Block::for_loop(
+            "i",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(3)),
+            ExprProg::lit(Operand::i64(1)),
+            body,
+        )]);
+        compile(&mut p, &LimaConfig::default());
+        match &p.body[0] {
+            Block::For { body, .. } => match &body[0] {
+                Block::Basic { instrs, .. } => {
+                    assert!(instrs[0].no_cache);
+                    assert!(instrs[1].no_cache);
+                    assert!(!instrs[2].no_cache);
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn tsmm_cbind_rewrite_fires_in_loops() {
+        let body = vec![Block::basic(vec![
+            Instr::new(
+                Op::Cbind,
+                vec![Operand::var("X"), Operand::var("d")],
+                "Z",
+            ),
+            Instr::new(Op::Tsmm(TsmmSide::Left), vec![Operand::var("Z")], "W"),
+        ])];
+        let mut p = Program::new(vec![Block::for_loop(
+            "i",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(3)),
+            ExprProg::lit(Operand::i64(1)),
+            body,
+        )]);
+        compile(&mut p, &LimaConfig::default());
+        match &p.body[0] {
+            Block::For { body, .. } => match &body[0] {
+                Block::Basic { instrs, .. } => {
+                    assert_eq!(instrs.len(), 8, "cbind+tsmm replaced by 8-instr plan");
+                    assert!(matches!(instrs[0].op, Op::Tsmm(_)));
+                    assert!(matches!(instrs.last().unwrap().op, Op::Rbind));
+                    assert_eq!(instrs.last().unwrap().outputs[0], "W");
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn speculative_projection_rewrite_fires() {
+        // T = Y[, 1:k]; W = X %*% T  ->  F = X %*% Y; W = F[, 1:k]
+        let mut p = Program::new(vec![Block::basic(vec![
+            Instr::new(
+                Op::RightIndex,
+                vec![
+                    Operand::var("Y"),
+                    Operand::i64(1),
+                    Operand::i64(0),
+                    Operand::i64(1),
+                    Operand::var("k"),
+                ],
+                "T",
+            ),
+            Instr::new(Op::MatMult, vec![Operand::var("X"), Operand::var("T")], "W"),
+        ])]);
+        compile(&mut p, &LimaConfig::default());
+        match &p.body[0] {
+            Block::Basic { instrs, .. } => {
+                assert_eq!(instrs.len(), 2);
+                assert!(matches!(instrs[0].op, Op::MatMult));
+                assert!(matches!(instrs[1].op, Op::RightIndex));
+                assert_eq!(instrs[1].outputs[0], "W");
+            }
+            _ => panic!(),
+        }
+        // Without compiler assistance nothing changes.
+        let mut p2 = Program::new(vec![Block::basic(vec![
+            Instr::new(
+                Op::RightIndex,
+                vec![
+                    Operand::var("Y"),
+                    Operand::i64(1),
+                    Operand::i64(0),
+                    Operand::i64(1),
+                    Operand::var("k"),
+                ],
+                "T",
+            ),
+            Instr::new(Op::MatMult, vec![Operand::var("X"), Operand::var("T")], "W"),
+        ])]);
+        compile(&mut p2, &LimaConfig::base());
+        match &p2.body[0] {
+            Block::Basic { instrs, .. } => assert!(matches!(instrs[0].op, Op::RightIndex)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn speculative_projection_skips_non_prefix_slices() {
+        // Row-restricted slice: not a pure column-prefix projection.
+        let mut p = Program::new(vec![Block::basic(vec![
+            Instr::new(
+                Op::RightIndex,
+                vec![
+                    Operand::var("Y"),
+                    Operand::i64(2),
+                    Operand::i64(5),
+                    Operand::i64(1),
+                    Operand::var("k"),
+                ],
+                "T",
+            ),
+            Instr::new(Op::MatMult, vec![Operand::var("X"), Operand::var("T")], "W"),
+        ])]);
+        compile(&mut p, &LimaConfig::default());
+        match &p.body[0] {
+            Block::Basic { instrs, .. } => assert!(matches!(instrs[0].op, Op::RightIndex)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn tsmm_cbind_rewrite_skips_when_z_is_reused() {
+        let body = vec![Block::basic(vec![
+            Instr::new(
+                Op::Cbind,
+                vec![Operand::var("X"), Operand::var("d")],
+                "Z",
+            ),
+            Instr::new(Op::Tsmm(TsmmSide::Left), vec![Operand::var("Z")], "W"),
+            mm("Z", "Z", "V"), // Z read again → rewrite must not fire
+        ])];
+        let mut p = Program::new(vec![Block::for_loop(
+            "i",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(3)),
+            ExprProg::lit(Operand::i64(1)),
+            body,
+        )]);
+        compile(&mut p, &LimaConfig::default());
+        match &p.body[0] {
+            Block::For { body, .. } => match &body[0] {
+                Block::Basic { instrs, .. } => assert_eq!(instrs.len(), 3),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+}

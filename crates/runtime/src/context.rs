@@ -1,0 +1,289 @@
+//! Execution context: symbol table, lineage map, cache handle, data registry,
+//! seed generation, and dedup state. One context per thread of execution
+//! (parfor workers get their own, paper §3.3).
+
+use crate::error::{Result, RuntimeError};
+use lima_core::lineage::dedup::{DedupRegistry, PathTracer};
+use lima_core::lineage::item::{LinRef, LineageItem};
+use lima_core::{LimaConfig, LimaStats, LineageCache, LineageMap};
+use lima_matrix::Value;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Registry of named datasets served to `read` instructions. The paper
+/// assumes immutable input files (§3.4); registering a dataset under a path
+/// models exactly that.
+#[derive(Debug, Default)]
+pub struct DataRegistry {
+    inner: Mutex<HashMap<String, Value>>,
+}
+
+impl DataRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a dataset.
+    pub fn register(&self, path: impl Into<String>, value: Value) {
+        self.inner.lock().insert(path.into(), value);
+    }
+
+    /// Fetches a dataset.
+    pub fn get(&self, path: &str) -> Option<Value> {
+        self.inner.lock().get(path).cloned()
+    }
+}
+
+/// State while tracing a dedup-managed loop/function iteration.
+#[derive(Debug)]
+pub struct DedupTrace {
+    /// Placeholder slots used by the body inputs (live-ins + index).
+    pub base_inputs: u32,
+    /// Next placeholder slot to hand to a seed capture.
+    pub next_seed_slot: u32,
+}
+
+/// Per-thread execution context.
+pub struct ExecutionContext {
+    /// Live variables.
+    pub symtab: HashMap<String, Value>,
+    /// Lineage of live variables (thread- and function-local, paper §3.1).
+    pub lineage: LineageMap,
+    /// LIMA configuration.
+    pub config: LimaConfig,
+    /// Reuse cache (present when tracing is enabled; reuse flags inside the
+    /// config decide whether it is probed).
+    pub cache: Option<Arc<LineageCache>>,
+    /// Statistics (shared with the cache when present).
+    pub stats: Arc<LimaStats>,
+    /// Dataset registry backing `read`.
+    pub data: Arc<DataRegistry>,
+    /// System seed source for `rand`/`sample` without explicit seeds.
+    seed_counter: Arc<AtomicU64>,
+    /// Dedup patch registries keyed by `fingerprint:block_id`.
+    pub dedup_registries: Arc<Mutex<HashMap<String, Arc<DedupRegistry>>>>,
+    /// Set while executing inside a dedup-managed body in *tracing* mode.
+    pub dedup_trace: Option<DedupTrace>,
+    /// Taken-path / seed tracer, set inside dedup-managed bodies.
+    pub path_tracer: Option<PathTracer>,
+    /// Suppresses per-instruction tracing (dedup lightweight mode).
+    pub suppress_tracing: bool,
+    /// Collected `print` output.
+    pub stdout: Vec<String>,
+    /// Script fingerprint (stable cache keys for block-level reuse).
+    pub fingerprint: u64,
+    /// Recursion depth guard for function calls.
+    pub call_depth: usize,
+}
+
+impl ExecutionContext {
+    /// Fresh context. A cache is created automatically when the configuration
+    /// enables reuse.
+    pub fn new(config: LimaConfig) -> Self {
+        let cache = if config.tracing && config.reuse.any() {
+            Some(LineageCache::new(config.clone()))
+        } else {
+            None
+        };
+        Self::with_cache(config, cache)
+    }
+
+    /// Context sharing an existing cache (parfor workers, multi-script reuse).
+    pub fn with_cache(config: LimaConfig, cache: Option<Arc<LineageCache>>) -> Self {
+        // Share the cache's stats when present so hits/puts land in one place.
+        let stats = match &cache {
+            Some(c) => c.stats_arc(),
+            None => Arc::new(LimaStats::new()),
+        };
+        ExecutionContext {
+            symtab: HashMap::new(),
+            lineage: LineageMap::new(),
+            config,
+            cache,
+            stats,
+            data: Arc::new(DataRegistry::new()),
+            seed_counter: Arc::new(AtomicU64::new(0xC0FFEE)),
+            dedup_registries: Arc::new(Mutex::new(HashMap::new())),
+            dedup_trace: None,
+            path_tracer: None,
+            suppress_tracing: false,
+            stdout: Vec::new(),
+            fingerprint: 0,
+            call_depth: 0,
+        }
+    }
+
+    /// A worker context sharing cache, data, seeds, and dedup registries, but
+    /// with its own symbol table / lineage map (paper §3.3: "we trace lineage
+    /// in a worker-local manner, but individual lineage graphs share their
+    /// common input lineage").
+    pub fn fork_worker(&self) -> Self {
+        ExecutionContext {
+            symtab: self.symtab.clone(),
+            lineage: clone_lineage_map(&self.lineage),
+            config: self.config.clone(),
+            cache: self.cache.clone(),
+            stats: Arc::clone(&self.stats),
+            data: Arc::clone(&self.data),
+            seed_counter: Arc::clone(&self.seed_counter),
+            dedup_registries: Arc::clone(&self.dedup_registries),
+            dedup_trace: None,
+            path_tracer: None,
+            suppress_tracing: self.suppress_tracing,
+            stdout: Vec::new(),
+            fingerprint: self.fingerprint,
+            call_depth: self.call_depth,
+        }
+    }
+
+    /// A callee context for a function call: same shared infrastructure,
+    /// fresh symbol table and lineage map.
+    pub fn fork_function(&self) -> Self {
+        let mut ctx = self.fork_worker();
+        ctx.symtab.clear();
+        ctx.lineage.clear();
+        ctx.call_depth = self.call_depth + 1;
+        ctx
+    }
+
+    /// True when per-instruction lineage tracing is active right now.
+    pub fn tracing(&self) -> bool {
+        self.config.tracing && !self.suppress_tracing
+    }
+
+    /// Generates a system seed (captured in lineage, paper §3.1).
+    pub fn next_system_seed(&self) -> i64 {
+        self.seed_counter.fetch_add(1, Ordering::Relaxed) as i64
+    }
+
+    /// Resets the seed counter (reproducible benchmark runs).
+    pub fn reset_seed_counter(&self, base: u64) {
+        self.seed_counter.store(base, Ordering::Relaxed);
+    }
+
+    /// Reads a variable value.
+    pub fn get(&self, var: &str) -> Result<&Value> {
+        self.symtab
+            .get(var)
+            .ok_or_else(|| RuntimeError::UndefinedVariable(var.to_string()))
+    }
+
+    /// Binds a variable value.
+    pub fn set(&mut self, var: impl Into<String>, value: Value) {
+        self.symtab.insert(var.into(), value);
+    }
+
+    /// Lineage of a live variable, synthesizing a `read`-style leaf for
+    /// externally bound inputs (e.g. matrices preloaded by a harness).
+    pub fn lineage_of_var(&mut self, var: &str) -> LinRef {
+        if let Some(item) = self.lineage.get(var) {
+            return item.clone();
+        }
+        let leaf = LineageItem::op_with_data(lima_core::opcodes::READ, format!("var:{var}"), vec![]);
+        if let Some(Value::Matrix(m)) = self.symtab.get(var) {
+            leaf.set_shape(m.rows(), m.cols());
+        }
+        self.lineage.set(var, leaf.clone());
+        leaf
+    }
+
+    /// Dedup registry for a block, created on first use.
+    pub fn dedup_registry(&self, block_key: &str, num_branches: u32) -> Arc<DedupRegistry> {
+        let mut map = self.dedup_registries.lock();
+        map.entry(block_key.to_string())
+            .or_insert_with(|| Arc::new(DedupRegistry::new(block_key, num_branches)))
+            .clone()
+    }
+}
+
+/// LineageMap has no Clone (literal cache identity does not matter); copy the
+/// live bindings.
+fn clone_lineage_map(src: &LineageMap) -> LineageMap {
+    let mut dst = LineageMap::new();
+    for (name, item) in src.bindings() {
+        dst.set(name, item.clone());
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lima_matrix::DenseMatrix;
+
+    #[test]
+    fn data_registry_round_trip() {
+        let reg = DataRegistry::new();
+        assert!(reg.get("x").is_none());
+        reg.register("x", Value::f64(2.0));
+        assert_eq!(reg.get("x").unwrap().as_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn context_creates_cache_only_when_reuse_enabled() {
+        assert!(ExecutionContext::new(LimaConfig::base()).cache.is_none());
+        assert!(ExecutionContext::new(LimaConfig::tracing_only()).cache.is_none());
+        assert!(ExecutionContext::new(LimaConfig::lima()).cache.is_some());
+    }
+
+    #[test]
+    fn system_seeds_are_unique_and_resettable() {
+        let ctx = ExecutionContext::new(LimaConfig::base());
+        let a = ctx.next_system_seed();
+        let b = ctx.next_system_seed();
+        assert_ne!(a, b);
+        ctx.reset_seed_counter(7);
+        assert_eq!(ctx.next_system_seed(), 7);
+    }
+
+    #[test]
+    fn lineage_of_external_input_synthesizes_leaf_with_shape() {
+        let mut ctx = ExecutionContext::new(LimaConfig::lima());
+        ctx.set("X", Value::matrix(DenseMatrix::zeros(3, 4)));
+        let lin = ctx.lineage_of_var("X");
+        assert_eq!(lin.opcode(), "read");
+        assert_eq!(lin.shape(), Some((3, 4)));
+        // Stable across calls.
+        assert!(std::sync::Arc::ptr_eq(&ctx.lineage_of_var("X"), &lin));
+    }
+
+    #[test]
+    fn fork_worker_shares_cache_and_seeds() {
+        let mut ctx = ExecutionContext::new(LimaConfig::lima());
+        ctx.set("X", Value::f64(1.0));
+        ctx.lineage_of_var("X");
+        let w = ctx.fork_worker();
+        assert!(w.symtab.contains_key("X"));
+        assert!(w.lineage.get("X").is_some());
+        assert!(Arc::ptr_eq(
+            w.cache.as_ref().unwrap(),
+            ctx.cache.as_ref().unwrap()
+        ));
+        let _ = ctx.next_system_seed();
+        let s1 = w.next_system_seed();
+        let s2 = ctx.next_system_seed();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn fork_function_starts_clean() {
+        let mut ctx = ExecutionContext::new(LimaConfig::lima());
+        ctx.set("X", Value::f64(1.0));
+        let f = ctx.fork_function();
+        assert!(f.symtab.is_empty());
+        assert_eq!(f.call_depth, 1);
+    }
+
+    #[test]
+    fn dedup_registry_is_shared_per_key() {
+        let ctx = ExecutionContext::new(LimaConfig::lima());
+        let a = ctx.dedup_registry("0:loop1", 2);
+        let b = ctx.dedup_registry("0:loop1", 2);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = ctx.dedup_registry("0:loop2", 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -1,0 +1,72 @@
+//! Runtime error type.
+
+use lima_matrix::MatrixError;
+use std::fmt;
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Errors raised while executing a LIMA program.
+#[derive(Debug, Clone)]
+pub enum RuntimeError {
+    /// A matrix kernel failed (shape mismatch, singular system, ...).
+    Kernel(MatrixError),
+    /// A variable was read before being defined.
+    UndefinedVariable(String),
+    /// A function call could not be resolved.
+    UndefinedFunction(String),
+    /// Wrong number / type of operands for an instruction.
+    BadOperands { op: String, msg: String },
+    /// A `read` referenced a dataset that was never registered.
+    UnknownDataset(String),
+    /// Type error at script level (e.g. matrix used as predicate).
+    TypeError(String),
+    /// Reconstruction from lineage hit an unsupported item.
+    Reconstruct(String),
+    /// I/O failure (write instruction, lineage log).
+    Io(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Kernel(e) => write!(f, "kernel error: {e}"),
+            RuntimeError::UndefinedVariable(v) => write!(f, "undefined variable '{v}'"),
+            RuntimeError::UndefinedFunction(v) => write!(f, "undefined function '{v}'"),
+            RuntimeError::BadOperands { op, msg } => write!(f, "bad operands for {op}: {msg}"),
+            RuntimeError::UnknownDataset(p) => write!(f, "unknown dataset '{p}'"),
+            RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
+            RuntimeError::Reconstruct(m) => write!(f, "reconstruct: {m}"),
+            RuntimeError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<MatrixError> for RuntimeError {
+    fn from(e: MatrixError) -> Self {
+        RuntimeError::Kernel(e)
+    }
+}
+
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e: RuntimeError = MatrixError::Singular("solve").into();
+        assert!(e.to_string().contains("solve"));
+        assert!(RuntimeError::UndefinedVariable("x".into())
+            .to_string()
+            .contains("'x'"));
+        assert!(RuntimeError::UnknownDataset("d".into()).to_string().contains("'d'"));
+    }
+}

@@ -1,0 +1,1051 @@
+//! The interpreter: executes program blocks and instructions with LIMA's
+//! lineage tracing, multi-level reuse, partial reuse, and deduplication woven
+//! into the pre/post-processing of each instruction (paper §3.1, §4.1).
+
+use crate::context::{DedupTrace, ExecutionContext};
+use crate::error::{Result, RuntimeError};
+use crate::instr::{Instr, Op, Operand};
+use crate::kernels::{display, execute_kernel, resolve_bounds};
+use crate::lva;
+use crate::parfor;
+use crate::program::{Block, ExprProg, Function, Program};
+use lima_core::cache::rewrites::try_partial_reuse;
+use lima_core::cache::Probe;
+use lima_core::lineage::dedup::{DedupPatch, PathTracer};
+use lima_core::lineage::item::{LinRef, LineageItem};
+use lima_core::opcodes as oc;
+use lima_core::LimaStats;
+use lima_matrix::{ScalarValue, Value};
+use std::time::Instant;
+
+/// Maximum function-call recursion depth. Kept modest: the interpreter
+/// recurses natively per call level, and ML scripts are not deeply recursive.
+const MAX_CALL_DEPTH: usize = 64;
+
+/// Executes a compiled program in the given context.
+pub fn execute_program(program: &Program, ctx: &mut ExecutionContext) -> Result<()> {
+    ctx.fingerprint = program.fingerprint;
+    execute_blocks(&program.body, program, ctx)
+}
+
+/// Executes a sequence of blocks.
+pub fn execute_blocks(blocks: &[Block], program: &Program, ctx: &mut ExecutionContext) -> Result<()> {
+    for block in blocks {
+        execute_block(block, program, ctx)?;
+    }
+    Ok(())
+}
+
+fn execute_block(block: &Block, program: &Program, ctx: &mut ExecutionContext) -> Result<()> {
+    match block {
+        Block::Basic { instrs, .. } => {
+            for i in instrs {
+                execute_instr(i, program, ctx)?;
+            }
+            Ok(())
+        }
+        Block::If {
+            branch_id,
+            pred,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let taken = eval_expr(pred, program, ctx)?
+                .as_scalar()
+                .map_err(|e| RuntimeError::TypeError(e.to_string()))?
+                .as_bool()
+                .map_err(|e| RuntimeError::TypeError(e.to_string()))?;
+            if let (Some(id), Some(tracer)) = (branch_id, ctx.path_tracer.as_mut()) {
+                tracer.record_branch(*id, taken);
+            }
+            if taken {
+                execute_blocks(then_body, program, ctx)
+            } else {
+                execute_blocks(else_body, program, ctx)
+            }
+        }
+        Block::For {
+            id,
+            var,
+            from,
+            to,
+            by,
+            body,
+            dedup_ok,
+            deterministic,
+            dedup_outputs,
+        } => {
+            let from = eval_scalar_i64(from, program, ctx)?;
+            let to = eval_scalar_i64(to, program, ctx)?;
+            let by = eval_scalar_i64(by, program, ctx)?;
+            if by == 0 {
+                return Err(RuntimeError::TypeError("for step must be nonzero".into()));
+            }
+            let extra = format!("for:{from}:{to}:{by}");
+            let reused = try_block_reuse(*id, &extra, body, program, ctx, |ctx| {
+                run_for_iterations(
+                    *id, var, from, to, by, body, *dedup_ok, dedup_outputs, program, ctx,
+                )
+            })?;
+            if !reused {
+                run_for_iterations(
+                    *id, var, from, to, by, body, *dedup_ok, dedup_outputs, program, ctx,
+                )?;
+            }
+            let _ = deterministic;
+            Ok(())
+        }
+        Block::While {
+            id,
+            pred,
+            body,
+            dedup_ok,
+            dedup_outputs,
+            ..
+        } => {
+            let mut guard = 0usize;
+            loop {
+                let go = eval_expr(pred, program, ctx)?
+                    .as_scalar()
+                    .map_err(|e| RuntimeError::TypeError(e.to_string()))?
+                    .as_bool()
+                    .map_err(|e| RuntimeError::TypeError(e.to_string()))?;
+                if !go {
+                    break;
+                }
+                if *dedup_ok && ctx.config.dedup && ctx.tracing() {
+                    run_dedup_iteration(
+                        &format!("{}:while{}", ctx.fingerprint, id),
+                        None,
+                        body,
+                        dedup_outputs,
+                        program,
+                        ctx,
+                    )?;
+                } else {
+                    execute_blocks(body, program, ctx)?;
+                }
+                guard += 1;
+                if guard > 100_000_000 {
+                    return Err(RuntimeError::TypeError("while loop exceeded 1e8 iterations".into()));
+                }
+            }
+            Ok(())
+        }
+        Block::ParFor {
+            var,
+            from,
+            to,
+            by,
+            body,
+            results,
+            degree,
+            ..
+        } => {
+            let from = eval_scalar_i64(from, program, ctx)?;
+            let to = eval_scalar_i64(to, program, ctx)?;
+            let by = eval_scalar_i64(by, program, ctx)?;
+            parfor::execute_parfor(var, from, to, by, body, results, *degree, program, ctx)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_for_iterations(
+    id: u64,
+    var: &str,
+    from: i64,
+    to: i64,
+    by: i64,
+    body: &[Block],
+    dedup_ok: bool,
+    dedup_outputs: &[String],
+    program: &Program,
+    ctx: &mut ExecutionContext,
+) -> Result<()> {
+    let dedup = dedup_ok && ctx.config.dedup && ctx.tracing() && ctx.dedup_trace.is_none();
+    let mut i = from;
+    while (by > 0 && i <= to) || (by < 0 && i >= to) {
+        ctx.set(var, Value::i64(i));
+        if dedup {
+            run_dedup_iteration(
+                &format!("{}:for{}", ctx.fingerprint, id),
+                Some((var, i)),
+                body,
+                dedup_outputs,
+                program,
+                ctx,
+            )?;
+        } else {
+            execute_blocks(body, program, ctx)?;
+        }
+        i += by;
+    }
+    Ok(())
+}
+
+/// Evaluates an expression program, returning the result value.
+fn eval_expr(e: &ExprProg, program: &Program, ctx: &mut ExecutionContext) -> Result<Value> {
+    for i in &e.instrs {
+        execute_instr(i, program, ctx)?;
+    }
+    resolve_operand(&e.result, ctx)
+}
+
+fn eval_scalar_i64(e: &ExprProg, program: &Program, ctx: &mut ExecutionContext) -> Result<i64> {
+    let v = eval_expr(e, program, ctx)?;
+    match &v {
+        Value::Scalar(s) => s.as_i64().map_err(|e| RuntimeError::TypeError(e.to_string())),
+        Value::Matrix(m) if m.shape() == (1, 1) && m.get(0, 0).fract() == 0.0 => {
+            Ok(m.get(0, 0) as i64)
+        }
+        other => Err(RuntimeError::TypeError(format!(
+            "expected integer bound, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn resolve_operand(op: &Operand, ctx: &ExecutionContext) -> Result<Value> {
+    match op {
+        Operand::Var(v) => ctx.get(v).cloned(),
+        Operand::Lit(s) => Ok(Value::Scalar(s.clone())),
+    }
+}
+
+/// One iteration of a dedup-managed loop body (paper §3.2). See module docs
+/// in `lima_core::lineage::dedup` for the protocol.
+#[allow(clippy::too_many_arguments)]
+fn run_dedup_iteration(
+    block_key: &str,
+    idx: Option<(&str, i64)>,
+    body: &[Block],
+    outputs: &[String],
+    program: &Program,
+    ctx: &mut ExecutionContext,
+) -> Result<()> {
+    let inputs = lva::live_in(body);
+    // Inputs present in the symbol table, with their current (outer) lineage.
+    let mut bound_inputs: Vec<(String, LinRef)> = Vec::new();
+    for v in &inputs {
+        if ctx.symtab.contains_key(v) && Some(v.as_str()) != idx.map(|(n, _)| n) {
+            let lin = ctx.lineage_of_var(v);
+            bound_inputs.push((v.clone(), lin));
+        }
+    }
+    let num_branches = count_branches(body);
+    let registry = ctx.dedup_registry(block_key, num_branches);
+
+    ctx.path_tracer = Some(PathTracer::new());
+    let complete = registry.is_complete();
+    let base_inputs = bound_inputs.len() as u32 + u32::from(idx.is_some());
+
+    let result = if complete {
+        // Lightweight mode: only the taken path and seeds are recorded.
+        ctx.suppress_tracing = true;
+        let r = execute_blocks(body, program, ctx);
+        ctx.suppress_tracing = false;
+        r
+    } else {
+        // Tracing mode: swap in a temporary lineage map with placeholders.
+        let mut temp = lima_core::LineageMap::new();
+        for (slot, (var, _)) in bound_inputs.iter().enumerate() {
+            temp.set(var, LineageItem::placeholder(slot as u32));
+        }
+        if let Some((ivar, _)) = idx {
+            temp.set(ivar, LineageItem::placeholder(bound_inputs.len() as u32));
+        }
+        let saved = std::mem::replace(&mut ctx.lineage, temp);
+        ctx.dedup_trace = Some(DedupTrace {
+            base_inputs,
+            next_seed_slot: base_inputs,
+        });
+        let r = execute_blocks(body, program, ctx);
+        ctx.dedup_trace = None;
+        let temp = std::mem::replace(&mut ctx.lineage, saved);
+        if r.is_ok() {
+            let tracer = ctx.path_tracer.as_ref().expect("tracer set");
+            let bits = tracer.path_key();
+            if registry.get(bits).is_none() {
+                let roots: Vec<(String, LinRef)> = outputs
+                    .iter()
+                    .filter_map(|v| temp.get(v).map(|l| (v.clone(), l.clone())))
+                    .collect();
+                let num_inputs = base_inputs as usize + tracer.seeds().len();
+                registry.insert(DedupPatch::new(block_key, bits, num_inputs, roots));
+                LimaStats::bump(&ctx.stats.dedup_patches);
+            }
+        }
+        r
+    };
+    result?;
+
+    // Append one dedup item per written output (paper: "a single dedup
+    // lineage item ... is added onto the global lineage DAG").
+    let tracer = ctx.path_tracer.take().expect("tracer set");
+    let patch = registry.get(tracer.path_key()).ok_or_else(|| {
+        RuntimeError::TypeError(format!(
+            "dedup patch missing for path {} of {block_key} (branch count mismatch)",
+            tracer.path_key()
+        ))
+    })?;
+    let mut dedup_inputs: Vec<LinRef> = bound_inputs.iter().map(|(_, l)| l.clone()).collect();
+    if let Some((_, i)) = idx {
+        dedup_inputs.push(ctx.lineage.literal(&ScalarValue::I64(i).lineage_literal()));
+    }
+    for &seed in tracer.seeds() {
+        dedup_inputs.push(ctx.lineage.literal(&ScalarValue::I64(seed).lineage_literal()));
+    }
+    for (name, _) in patch.roots() {
+        let item = LineageItem::dedup(patch.clone(), name, dedup_inputs.clone());
+        if let Some(Value::Matrix(m)) = ctx.symtab.get(name) {
+            item.set_shape(m.rows(), m.cols());
+        }
+        ctx.lineage.set(name, item);
+        LimaStats::bump(&ctx.stats.dedup_items);
+    }
+    Ok(())
+}
+
+fn count_branches(blocks: &[Block]) -> u32 {
+    let mut n = 0;
+    for b in blocks {
+        if let Block::If {
+            then_body,
+            else_body,
+            ..
+        } = b
+        {
+            n += 1 + count_branches(then_body) + count_branches(else_body);
+        }
+    }
+    n
+}
+
+/// Attempts block-level (multi-level) reuse of a loop block. Returns true if
+/// the block was reused; false if the caller must execute it (paper §4.1,
+/// "Multi-level Reuse").
+fn try_block_reuse(
+    block_id: u64,
+    extra: &str,
+    body: &[Block],
+    _program: &Program,
+    ctx: &mut ExecutionContext,
+    _exec: impl FnOnce(&mut ExecutionContext) -> Result<()>,
+) -> Result<bool> {
+    if !ctx.config.multilevel
+        || !ctx.tracing()
+        || ctx.dedup_trace.is_some()
+        || ctx.path_tracer.is_some()
+    {
+        return Ok(false);
+    }
+    let Some(cache) = ctx.cache.clone() else {
+        return Ok(false);
+    };
+    if !cache.full_reuse() || !block_is_deterministic_shallow(body) {
+        return Ok(false);
+    }
+    // Only last-level loop bodies qualify: blocks wrapping function calls or
+    // nested loops would bundle large intermediate sets into single cache
+    // entries (pollution); calls are covered by function-level reuse instead.
+    if !body_is_last_level_shallow(body) {
+        return Ok(false);
+    }
+    let live_in = lva::live_in(body);
+    let outputs = lva::writes(body);
+    // All live-ins must be bound; scalar live-ins fold into the key by value.
+    let mut lin_inputs = Vec::new();
+    let mut scalar_key = String::new();
+    for var in &live_in {
+        match ctx.symtab.get(var) {
+            Some(Value::Scalar(s)) => {
+                scalar_key.push('|');
+                scalar_key.push_str(var);
+                scalar_key.push('=');
+                scalar_key.push_str(&s.lineage_literal());
+            }
+            Some(_) => lin_inputs.push(ctx.lineage_of_var(var)),
+            None => return Ok(false),
+        }
+    }
+    let data = format!("{}:{block_id}:{extra}{scalar_key}", ctx.fingerprint);
+    let item = LineageItem::op_with_data(oc::BCALL, data, lin_inputs);
+    match cache.acquire(&item) {
+        Some(Probe::Hit(Value::List(bundle))) if bundle.len() == 2 => {
+            let (names, values) = (&bundle[0], &bundle[1]);
+            let (Value::List(names), Value::List(values)) = (names, values) else {
+                return Ok(false);
+            };
+            for (i, (name, value)) in names.iter().zip(values.iter()).enumerate() {
+                let Value::Scalar(ScalarValue::Str(name)) = name else {
+                    continue;
+                };
+                ctx.set(name.to_string(), value.clone());
+                let out_lin =
+                    LineageItem::op_with_data(oc::LIST_GET, i.to_string(), vec![item.clone()]);
+                if let Value::Matrix(m) = value {
+                    out_lin.set_shape(m.rows(), m.cols());
+                }
+                ctx.lineage.set(name.to_string(), out_lin);
+            }
+            Ok(true)
+        }
+        Some(Probe::Hit(_)) => Ok(false),
+        Some(Probe::Reserved(r)) => {
+            let t0 = Instant::now();
+            let res = _exec(ctx);
+            match res {
+                Ok(()) => {
+                    let mut names = Vec::new();
+                    let mut values = Vec::new();
+                    for var in &outputs {
+                        if let Some(v) = ctx.symtab.get(var) {
+                            names.push(Value::str(var));
+                            values.push(v.clone());
+                        }
+                    }
+                    let bundle = Value::list(vec![Value::list(names), Value::list(values)]);
+                    r.fulfill(&bundle, t0.elapsed().as_nanos() as u64);
+                    Ok(true)
+                }
+                Err(e) => {
+                    r.abort();
+                    Err(e)
+                }
+            }
+        }
+        None => Ok(false),
+    }
+}
+
+/// Last-level check for block-level reuse: only basic blocks and
+/// conditionals, no function calls.
+fn body_is_last_level_shallow(blocks: &[Block]) -> bool {
+    blocks.iter().all(|b| match b {
+        Block::Basic { instrs, .. } => !instrs.iter().any(|i| matches!(i.op, Op::FCall(_))),
+        Block::If {
+            pred,
+            then_body,
+            else_body,
+            ..
+        } => {
+            !pred.instrs.iter().any(|i| matches!(i.op, Op::FCall(_)))
+                && body_is_last_level_shallow(then_body)
+                && body_is_last_level_shallow(else_body)
+        }
+        _ => false,
+    })
+}
+
+/// Shallow determinism check used for block-level reuse: no random ops with
+/// system seeds, no side effects, no function calls (calls are handled by
+/// function-level reuse instead).
+fn block_is_deterministic_shallow(blocks: &[Block]) -> bool {
+    fn instr_ok(i: &Instr) -> bool {
+        if i.op.has_side_effects() {
+            return false;
+        }
+        if matches!(i.op, Op::FCall(_)) {
+            return false;
+        }
+        if i.op.is_random() {
+            // Only an explicit non-negative literal seed is deterministic.
+            let seed = i.inputs.last();
+            return matches!(seed, Some(Operand::Lit(ScalarValue::I64(s))) if *s >= 0);
+        }
+        true
+    }
+    fn expr_ok(e: &ExprProg) -> bool {
+        e.instrs.iter().all(instr_ok)
+    }
+    blocks.iter().all(|b| match b {
+        Block::Basic { instrs, .. } => instrs.iter().all(instr_ok),
+        Block::If {
+            pred,
+            then_body,
+            else_body,
+            ..
+        } => {
+            expr_ok(pred)
+                && block_is_deterministic_shallow(then_body)
+                && block_is_deterministic_shallow(else_body)
+        }
+        Block::For {
+            from,
+            to,
+            by,
+            body,
+            ..
+        }
+        | Block::ParFor {
+            from,
+            to,
+            by,
+            body,
+            ..
+        } => expr_ok(from) && expr_ok(to) && expr_ok(by) && block_is_deterministic_shallow(body),
+        Block::While { pred, body, .. } => expr_ok(pred) && block_is_deterministic_shallow(body),
+    })
+}
+
+/// Executes one instruction with LIMA pre/post-processing.
+pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContext) -> Result<()> {
+    match &instr.op {
+        Op::Rmvar => {
+            for o in &instr.inputs {
+                if let Some(v) = o.as_var() {
+                    ctx.symtab.remove(v);
+                    ctx.lineage.remove(v);
+                }
+            }
+            return Ok(());
+        }
+        Op::Mvvar => {
+            let from = instr.inputs[0]
+                .as_var()
+                .ok_or_else(|| RuntimeError::TypeError("mvvar needs a variable".into()))?
+                .to_string();
+            let to = instr.outputs[0].clone();
+            if let Some(v) = ctx.symtab.remove(&from) {
+                ctx.symtab.insert(to.clone(), v);
+            }
+            ctx.lineage.rename(&from, to);
+            return Ok(());
+        }
+        Op::Print => {
+            let v = resolve_operand(&instr.inputs[0], ctx)?;
+            let line = display(&v);
+            ctx.stdout.push(line);
+            return Ok(());
+        }
+        Op::Write => {
+            return execute_write(instr, ctx);
+        }
+        Op::LineageOf => {
+            let var = instr.inputs[0].as_var().ok_or_else(|| {
+                RuntimeError::TypeError("lineage() requires a variable".into())
+            })?;
+            if !ctx.config.tracing {
+                return Err(RuntimeError::TypeError(
+                    "lineage() requires lineage tracing to be enabled".into(),
+                ));
+            }
+            let var = var.to_string();
+            let lin = ctx.lineage_of_var(&var);
+            let log = lima_core::lineage::serialize::serialize_lineage(&lin);
+            let out = instr.outputs[0].clone();
+            ctx.set(out, Value::str(&log));
+            return Ok(());
+        }
+        Op::FCall(name) => {
+            return execute_fcall(name, instr, program, ctx);
+        }
+        _ => {}
+    }
+
+    // 1. Resolve operand values; generate system seeds where requested.
+    let mut resolved: Vec<Value> = Vec::with_capacity(instr.inputs.len());
+    for o in &instr.inputs {
+        resolved.push(resolve_operand(o, ctx)?);
+    }
+    let mut seed: Option<i64> = None;
+    if instr.op.is_random() {
+        let slot = resolved.len() - 1;
+        let s = match &resolved[slot] {
+            Value::Scalar(sv) => sv.as_i64().unwrap_or(-1),
+            _ => -1,
+        };
+        let s = if s < 0 { ctx.next_system_seed() } else { s };
+        resolved[slot] = Value::i64(s);
+        seed = Some(s);
+        // In lightweight dedup mode no lineage is traced, so the seed must be
+        // recorded here; in tracing mode `seed_lineage` records it.
+        if ctx.suppress_tracing {
+            if let Some(tracer) = ctx.path_tracer.as_mut() {
+                tracer.record_seed(s);
+            }
+        }
+    }
+
+    // 2. Trace lineage before execution (paper §3.1 footnote: tracing before
+    //    execution facilitates reuse).
+    let traced = if ctx.tracing() {
+        Some(trace_instr(instr, &resolved, seed, ctx)?)
+    } else {
+        None
+    };
+
+    // Assign is pure lineage/value plumbing: bind and return.
+    if matches!(instr.op, Op::Assign) {
+        let value = resolved[0].clone();
+        bind_outputs(instr, vec![value], traced.map(|t| t.0), ctx);
+        return Ok(());
+    }
+
+    // 3. Probe the reuse cache (full, then partial).
+    let mut reservation = None;
+    if let (Some((item, rewrite_vals)), Some(cache)) = (&traced, ctx.cache.clone()) {
+        let eligible = !instr.no_cache
+            && ctx.dedup_trace.is_none()
+            && cache.full_reuse()
+            && !instr.op.is_random();
+        if eligible {
+            match cache.acquire(item) {
+                Some(Probe::Hit(value)) => {
+                    let outputs = unbundle(value, instr.outputs.len());
+                    bind_outputs(instr, outputs, Some(item.clone()), ctx);
+                    return Ok(());
+                }
+                Some(Probe::Reserved(r)) => {
+                    let t0 = Instant::now();
+                    if let Some(hit) = try_partial_reuse(&cache, item, rewrite_vals) {
+                        // The compensation time is the best available proxy
+                        // for this entry's recompute cost.
+                        r.fulfill(&hit.value, t0.elapsed().as_nanos() as u64);
+                        bind_outputs(instr, vec![hit.value], Some(item.clone()), ctx);
+                        return Ok(());
+                    }
+                    reservation = Some(r);
+                }
+                None => {}
+            }
+        } else if cache.partial_reuse() && !instr.no_cache && ctx.dedup_trace.is_none() {
+            // Partial-only configurations still rewrite without reserving.
+            if let Some(hit) = try_partial_reuse(&cache, item, rewrite_vals) {
+                bind_outputs(instr, vec![hit.value], Some(item.clone()), ctx);
+                return Ok(());
+            }
+        }
+    }
+
+    // 4. Execute the kernel.
+    let t0 = Instant::now();
+    let out = match execute_kernel(&instr.op, &resolved, ctx) {
+        Ok(v) => v,
+        Err(e) => {
+            if let Some(r) = reservation {
+                r.abort();
+            }
+            return Err(e);
+        }
+    };
+    let elapsed = t0.elapsed().as_nanos() as u64;
+
+    // 5. Register the output in the cache.
+    if let Some(r) = reservation {
+        let bundled = bundle(&out);
+        r.fulfill(&bundled, elapsed);
+    }
+
+    bind_outputs(instr, out, traced.map(|t| t.0), ctx);
+    Ok(())
+}
+
+/// Bundles kernel outputs for caching: single output as-is, multi-output as a
+/// list.
+fn bundle(out: &[Value]) -> Value {
+    if out.len() == 1 {
+        out[0].clone()
+    } else {
+        Value::list(out.to_vec())
+    }
+}
+
+/// Reverses [`bundle`] for a cache hit.
+fn unbundle(v: Value, n: usize) -> Vec<Value> {
+    if n <= 1 {
+        return vec![v];
+    }
+    match v {
+        Value::List(items) => items.as_ref().clone(),
+        other => vec![other],
+    }
+}
+
+fn bind_outputs(
+    instr: &Instr,
+    values: Vec<Value>,
+    item: Option<LinRef>,
+    ctx: &mut ExecutionContext,
+) {
+    let multi = instr.outputs.len() > 1;
+    for (i, (name, value)) in instr.outputs.iter().zip(values).enumerate() {
+        if let Some(base) = &item {
+            let out_lin = if multi {
+                LineageItem::op_with_data(oc::LIST_GET, i.to_string(), vec![base.clone()])
+            } else {
+                base.clone()
+            };
+            if let Value::Matrix(m) = &value {
+                out_lin.set_shape(m.rows(), m.cols());
+            }
+            ctx.lineage.set(name, out_lin);
+        }
+        ctx.set(name, value);
+    }
+}
+
+/// Builds the lineage item for an instruction, together with the input values
+/// aligned to the item's inputs (consumed by partial-reuse rewrites).
+#[allow(clippy::type_complexity)]
+fn trace_instr(
+    instr: &Instr,
+    resolved: &[Value],
+    seed: Option<i64>,
+    ctx: &mut ExecutionContext,
+) -> Result<(LinRef, Vec<Value>)> {
+    LimaStats::bump(&ctx.stats.items_traced);
+    let opcode = instr.op.opcode();
+    // Helper: lineage for operand k (matrix/list by variable lineage; scalars
+    // by value — making equal parameters match regardless of provenance).
+    macro_rules! operand_lin {
+        ($k:expr) => {{
+            match &resolved[$k] {
+                Value::Scalar(s) => ctx.lineage.literal(&s.lineage_literal()),
+                _ => match &instr.inputs[$k] {
+                    Operand::Var(v) => ctx.lineage_of_var(v),
+                    Operand::Lit(s) => ctx.lineage.literal(&s.lineage_literal()),
+                },
+            }
+        }};
+    }
+    let item: (LinRef, Vec<Value>) = match &instr.op {
+        Op::RightIndex => {
+            let x = operand_lin!(0);
+            let shape = match &resolved[0] {
+                Value::Matrix(m) => m.shape(),
+                other => {
+                    return Err(RuntimeError::TypeError(format!(
+                        "rightIndex on {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            let b: Vec<i64> = (1..5)
+                .map(|k| match &resolved[k] {
+                    Value::Scalar(s) => s.as_i64().unwrap_or(-1),
+                    _ => -1,
+                })
+                .collect();
+            let (rl, ru, cl, cu) = resolve_bounds(shape, b[0], b[1], b[2], b[3])?;
+            (
+                LineageItem::op_with_data(opcode, format!("{rl} {ru} {cl} {cu}"), vec![x]),
+                vec![resolved[0].clone()],
+            )
+        }
+        Op::LeftIndex => {
+            let x = operand_lin!(0);
+            let s = operand_lin!(1);
+            let rl = resolved[2].as_f64().unwrap_or(0.0) as i64;
+            let cl = resolved[3].as_f64().unwrap_or(0.0) as i64;
+            (
+                LineageItem::op_with_data(opcode, format!("{} {}", rl - 1, cl - 1), vec![x, s]),
+                vec![resolved[0].clone(), resolved[1].clone()],
+            )
+        }
+        Op::Fill => {
+            let v = resolved[0].as_f64().unwrap_or(f64::NAN);
+            let rows = resolved[1].as_f64().unwrap_or(0.0) as i64;
+            let cols = resolved[2].as_f64().unwrap_or(0.0) as i64;
+            (
+                LineageItem::op_with_data(opcode, format!("{v} {rows} {cols}"), vec![]),
+                vec![],
+            )
+        }
+        Op::Rand(kind) => {
+            let rows = resolved[0].as_f64().unwrap_or(0.0) as i64;
+            let cols = resolved[1].as_f64().unwrap_or(0.0) as i64;
+            let p1 = resolved[2].as_f64().unwrap_or(0.0);
+            let p2 = resolved[3].as_f64().unwrap_or(0.0);
+            let sp = resolved[4].as_f64().unwrap_or(1.0);
+            let seed_item = seed_lineage(seed.unwrap_or(-1), ctx);
+            (
+                LineageItem::op_with_data(
+                    opcode,
+                    format!("{rows} {cols} {} {p1} {p2} {sp}", kind.name()),
+                    vec![seed_item],
+                ),
+                vec![],
+            )
+        }
+        Op::Sample => {
+            let range = resolved[0].as_f64().unwrap_or(0.0) as i64;
+            let size = resolved[1].as_f64().unwrap_or(0.0) as i64;
+            let seed_item = seed_lineage(seed.unwrap_or(-1), ctx);
+            (
+                LineageItem::op_with_data(opcode, format!("{range} {size}"), vec![seed_item]),
+                vec![],
+            )
+        }
+        Op::Seq => {
+            let f = resolved[0].as_f64().unwrap_or(f64::NAN);
+            let t = resolved[1].as_f64().unwrap_or(f64::NAN);
+            let b = resolved[2].as_f64().unwrap_or(f64::NAN);
+            (
+                LineageItem::op_with_data(opcode, format!("{f} {t} {b}"), vec![]),
+                vec![],
+            )
+        }
+        Op::Read => {
+            let path = match &resolved[0] {
+                Value::Scalar(ScalarValue::Str(s)) => s.to_string(),
+                _ => "?".into(),
+            };
+            (LineageItem::op_with_data(opcode, path, vec![]), vec![])
+        }
+        Op::Tsmm(side) => {
+            let x = operand_lin!(0);
+            let side = match side {
+                lima_matrix::ops::TsmmSide::Left => "LEFT",
+                lima_matrix::ops::TsmmSide::Right => "RIGHT",
+            };
+            (
+                LineageItem::op_with_data(opcode, side, vec![x]),
+                vec![resolved[0].clone()],
+            )
+        }
+        Op::Order => {
+            let v = operand_lin!(0);
+            let dec = resolved[1]
+                .as_scalar()
+                .ok()
+                .and_then(|s| s.as_bool().ok())
+                .unwrap_or(false);
+            (
+                LineageItem::op_with_data(opcode, if dec { "desc" } else { "asc" }, vec![v]),
+                vec![resolved[0].clone()],
+            )
+        }
+        Op::Reshape => {
+            let x = operand_lin!(0);
+            let rows = resolved[1].as_f64().unwrap_or(0.0) as i64;
+            let cols = resolved[2].as_f64().unwrap_or(0.0) as i64;
+            (
+                LineageItem::op_with_data(opcode, format!("{rows} {cols}"), vec![x]),
+                vec![resolved[0].clone()],
+            )
+        }
+        Op::ListGet => {
+            let l = operand_lin!(0);
+            let idx = resolved[1].as_f64().unwrap_or(0.0) as i64;
+            (
+                LineageItem::op_with_data(opcode, idx.to_string(), vec![l]),
+                vec![resolved[0].clone()],
+            )
+        }
+        Op::Fused(spec) => {
+            let inputs: Vec<LinRef> = (0..instr.inputs.len()).map(|k| operand_lin!(k)).collect();
+            (spec.expand_lineage(&inputs), resolved.to_vec())
+        }
+        _ => {
+            let inputs: Vec<LinRef> = (0..instr.inputs.len()).map(|k| operand_lin!(k)).collect();
+            (LineageItem::op(opcode, inputs), resolved.to_vec())
+        }
+    };
+    Ok(item)
+}
+
+/// Lineage input carrying a `rand`/`sample` seed: a placeholder slot while a
+/// dedup patch is being traced, a literal otherwise (paper §3.2, "Handling of
+/// Non-Determinism").
+fn seed_lineage(seed: i64, ctx: &mut ExecutionContext) -> LinRef {
+    if let Some(dt) = ctx.dedup_trace.as_mut() {
+        let slot = dt.next_seed_slot;
+        dt.next_seed_slot += 1;
+        if let Some(tracer) = ctx.path_tracer.as_mut() {
+            tracer.record_seed(seed);
+        }
+        LineageItem::placeholder(slot)
+    } else {
+        ctx.lineage.literal(&ScalarValue::I64(seed).lineage_literal())
+    }
+}
+
+fn execute_write(instr: &Instr, ctx: &mut ExecutionContext) -> Result<()> {
+    let value = resolve_operand(&instr.inputs[0], ctx)?;
+    let path = match resolve_operand(&instr.inputs[1], ctx)? {
+        Value::Scalar(ScalarValue::Str(s)) => s.to_string(),
+        other => {
+            return Err(RuntimeError::TypeError(format!(
+                "write path must be a string, got {}",
+                other.type_name()
+            )))
+        }
+    };
+    match &value {
+        Value::Matrix(m) => {
+            lima_matrix::io::write_matrix_text(std::path::Path::new(&path), m)?;
+        }
+        other => std::fs::write(&path, display(other))?,
+    }
+    // For every write, also write the lineage log (paper §3.1).
+    if ctx.tracing() {
+        if let Some(var) = instr.inputs[0].as_var() {
+            let lin = ctx.lineage_of_var(var);
+            let log = lima_core::lineage::serialize::serialize_lineage(&lin);
+            std::fs::write(format!("{path}.lineage"), log)?;
+        }
+    }
+    Ok(())
+}
+
+fn execute_fcall(
+    name: &str,
+    instr: &Instr,
+    program: &Program,
+    ctx: &mut ExecutionContext,
+) -> Result<()> {
+    let func = program
+        .functions
+        .get(name)
+        .ok_or_else(|| RuntimeError::UndefinedFunction(name.to_string()))?;
+    if ctx.call_depth >= MAX_CALL_DEPTH {
+        return Err(RuntimeError::TypeError(format!(
+            "call depth exceeded at '{name}'"
+        )));
+    }
+    if instr.inputs.len() != func.params.len() {
+        return Err(RuntimeError::BadOperands {
+            op: format!("fcall:{name}"),
+            msg: format!(
+                "expected {} arguments, got {}",
+                func.params.len(),
+                instr.inputs.len()
+            ),
+        });
+    }
+    let args: Vec<Value> = instr
+        .inputs
+        .iter()
+        .map(|o| resolve_operand(o, ctx))
+        .collect::<Result<_>>()?;
+    // Lineage of arguments (matrices by lineage, scalars by value).
+    let arg_items: Option<Vec<LinRef>> = if ctx.tracing() {
+        Some(
+            instr
+                .inputs
+                .iter()
+                .zip(&args)
+                .map(|(o, v)| match v {
+                    Value::Scalar(s) => ctx.lineage.literal(&s.lineage_literal()),
+                    _ => match o {
+                        Operand::Var(var) => ctx.lineage_of_var(var),
+                        Operand::Lit(s) => ctx.lineage.literal(&s.lineage_literal()),
+                    },
+                })
+                .collect(),
+        )
+    } else {
+        None
+    };
+
+    // Multi-level (function) reuse: probe before executing (paper §4.1).
+    let mut reservation = None;
+    let mut fcall_item = None;
+    if let (Some(items), Some(cache)) = (&arg_items, ctx.cache.clone()) {
+        if ctx.config.multilevel
+            && cache.full_reuse()
+            && func.deterministic
+            && ctx.dedup_trace.is_none()
+        {
+            let item = LineageItem::op_with_data(
+                format!("{}:{name}", oc::FCALL),
+                name.to_string(),
+                items.clone(),
+            );
+            match cache.acquire(&item) {
+                Some(Probe::Hit(bundle)) => {
+                    let outputs = unbundle(bundle, instr.outputs.len());
+                    bind_outputs(instr, outputs, Some(item), ctx);
+                    return Ok(());
+                }
+                Some(Probe::Reserved(r)) => {
+                    reservation = Some(r);
+                    fcall_item = Some(item);
+                }
+                None => {}
+            }
+        }
+    }
+
+    // Execute the function body in a fresh context.
+    let t0 = Instant::now();
+    let mut callee = ctx.fork_function();
+    for (param, value) in func.params.iter().zip(args.iter()) {
+        callee.set(param, value.clone());
+    }
+    if let Some(items) = &arg_items {
+        for (param, item) in func.params.iter().zip(items.iter()) {
+            callee.lineage.set(param, item.clone());
+        }
+    }
+    let res = execute_function_body(func, program, &mut callee);
+    ctx.stdout.append(&mut callee.stdout);
+    if let Err(e) = res {
+        if let Some(r) = reservation {
+            r.abort();
+        }
+        return Err(e);
+    }
+    let elapsed = t0.elapsed().as_nanos() as u64;
+
+    // Collect outputs.
+    let mut out_values = Vec::with_capacity(func.outputs.len());
+    let mut out_lineage = Vec::with_capacity(func.outputs.len());
+    for out in &func.outputs {
+        let v = callee
+            .symtab
+            .get(out)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UndefinedVariable(format!("{name} output '{out}'")))?;
+        out_lineage.push(callee.lineage.get(out).cloned());
+        out_values.push(v);
+    }
+
+    if let (Some(r), Some(item)) = (reservation, fcall_item) {
+        let bundled = bundle(&out_values);
+        r.fulfill(&bundled, elapsed);
+        bind_outputs(instr, out_values, Some(item), ctx);
+        return Ok(());
+    }
+
+    // No function-level reuse: propagate precise op-level lineage.
+    for ((target, value), lin) in instr
+        .outputs
+        .iter()
+        .zip(out_values)
+        .zip(out_lineage)
+    {
+        if let Some(l) = lin {
+            if let Value::Matrix(m) = &value {
+                l.set_shape(m.rows(), m.cols());
+            }
+            ctx.lineage.set(target, l);
+        }
+        ctx.set(target, value);
+    }
+    Ok(())
+}
+
+/// Executes a function body, driving function-level deduplication when the
+/// function qualifies (paper §3.2, "Function Deduplication").
+fn execute_function_body(
+    func: &Function,
+    program: &Program,
+    callee: &mut ExecutionContext,
+) -> Result<()> {
+    if func.dedup_ok && callee.config.dedup && callee.tracing() && callee.dedup_trace.is_none() {
+        run_dedup_iteration(
+            &format!("{}:fn:{}", callee.fingerprint, func.name),
+            None,
+            &func.body,
+            &func.dedup_outputs,
+            program,
+            callee,
+        )
+    } else {
+        execute_blocks(&func.body, program, callee)
+    }
+}

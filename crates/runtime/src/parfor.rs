@@ -1,0 +1,193 @@
+//! Task-parallel `parfor` loops (paper §3.3 and §4.1).
+//!
+//! Iterations run on worker threads. Each worker owns a forked context —
+//! worker-local symbol table and lineage map sharing the common input lineage
+//! — while all workers share the thread-safe lineage cache (whose placeholder
+//! entries prevent redundant computation across the first wave of
+//! iterations). Results are merged back by comparing against the initial
+//! value of each result variable, and result lineage is linearized with a
+//! merge item.
+
+use crate::context::ExecutionContext;
+use crate::error::{Result, RuntimeError};
+use crate::interp::execute_blocks;
+use crate::program::{Block, Program};
+use lima_core::lineage::item::{LinRef, LineageItem};
+use lima_matrix::{DenseMatrix, Value};
+
+/// Default worker cap (matches the matrix-kernel thread cap).
+fn default_degree() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_parfor(
+    var: &str,
+    from: i64,
+    to: i64,
+    by: i64,
+    body: &[Block],
+    results: &[String],
+    degree: Option<usize>,
+    program: &Program,
+    ctx: &mut ExecutionContext,
+) -> Result<()> {
+    if by == 0 {
+        return Err(RuntimeError::TypeError("parfor step must be nonzero".into()));
+    }
+    let mut iterations = Vec::new();
+    let mut i = from;
+    while (by > 0 && i <= to) || (by < 0 && i >= to) {
+        iterations.push(i);
+        i += by;
+    }
+    if iterations.is_empty() {
+        return Ok(());
+    }
+    let workers = degree.unwrap_or_else(default_degree).max(1).min(iterations.len());
+
+    // Snapshot initial result values for the merge.
+    let initial: Vec<(String, Option<Value>)> = results
+        .iter()
+        .map(|r| (r.clone(), ctx.symtab.get(r).cloned()))
+        .collect();
+
+    if workers == 1 {
+        // Degenerate case: serial execution in place.
+        for i in iterations {
+            ctx.set(var, Value::i64(i));
+            execute_blocks(body, program, ctx)?;
+        }
+        return Ok(());
+    }
+
+    // Contiguous chunks per worker (the parfor optimizer in SystemDS would
+    // choose; contiguous chunks preserve per-worker temporal locality).
+    let chunk = iterations.len().div_ceil(workers);
+    struct WorkerOut {
+        results: Vec<(String, Option<Value>, Option<LinRef>)>,
+        stdout: Vec<String>,
+    }
+    let outs: Vec<Result<WorkerOut>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(iterations.len());
+            if lo >= hi {
+                break;
+            }
+            let iters = iterations[lo..hi].to_vec();
+            let mut wctx = ctx.fork_worker();
+            let var = var.to_string();
+            let results = results.to_vec();
+            handles.push(s.spawn(move |_| -> Result<WorkerOut> {
+                for i in iters {
+                    wctx.set(var.clone(), Value::i64(i));
+                    execute_blocks(body, program, &mut wctx)?;
+                }
+                let results = results
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.clone(),
+                            wctx.symtab.get(r).cloned(),
+                            wctx.lineage.get(r).cloned(),
+                        )
+                    })
+                    .collect();
+                Ok(WorkerOut {
+                    results,
+                    stdout: std::mem::take(&mut wctx.stdout),
+                })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parfor worker panicked"))
+            .collect()
+    })
+    .expect("parfor scope");
+
+    let mut worker_outs = Vec::with_capacity(outs.len());
+    for o in outs {
+        worker_outs.push(o?);
+    }
+
+    // Merge results: cells differing from the initial value win (SystemDS'
+    // result-merge-with-compare); scalars take the last differing worker.
+    for (idx, (rvar, init)) in initial.iter().enumerate() {
+        let mut merged = init.clone();
+        let mut lineage_roots: Vec<LinRef> = Vec::new();
+        for w in &worker_outs {
+            let (_, val, lin) = &w.results[idx];
+            if let Some(l) = lin {
+                lineage_roots.push(l.clone());
+            }
+            let Some(val) = val else { continue };
+            merged = Some(match (&merged, init, val) {
+                (Some(Value::Matrix(acc)), Some(Value::Matrix(init_m)), Value::Matrix(wm))
+                    if acc.shape() == wm.shape() && init_m.shape() == wm.shape() =>
+                {
+                    let mut out = acc.as_ref().clone();
+                    merge_noninitial(&mut out, init_m, wm);
+                    Value::matrix(out)
+                }
+                _ => val.clone(),
+            });
+        }
+        if let Some(m) = merged {
+            ctx.set(rvar, m);
+        }
+        if !lineage_roots.is_empty() && ctx.tracing() {
+            // Linearized merged lineage (paper §3.3: "worker results are
+            // merged by taking their lineage roots").
+            let item = LineageItem::op_with_data("rmerge", rvar.clone(), lineage_roots);
+            if let Some(Value::Matrix(m)) = ctx.symtab.get(rvar) {
+                item.set_shape(m.rows(), m.cols());
+            }
+            ctx.lineage.set(rvar, item);
+        }
+    }
+    // The loop variable does not survive the parfor (body-local scope).
+    ctx.symtab.remove(var);
+    ctx.lineage.remove(var);
+    for w in &mut worker_outs {
+        ctx.stdout.append(&mut w.stdout);
+    }
+    Ok(())
+}
+
+/// Copies every cell of `worker` that differs from `init` into `acc`.
+fn merge_noninitial(acc: &mut DenseMatrix, init: &DenseMatrix, worker: &DenseMatrix) {
+    let (a, i, w) = (acc.data_mut(), init.data(), worker.data());
+    for k in 0..a.len() {
+        if w[k] != i[k] || (w[k].is_nan() && !i[k].is_nan()) {
+            a[k] = w[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_non_initial_cells() {
+        let init = DenseMatrix::zeros(2, 2);
+        let mut acc = init.clone();
+        let w1 = DenseMatrix::new(2, 2, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let w2 = DenseMatrix::new(2, 2, vec![0.0, 0.0, 0.0, 2.0]).unwrap();
+        merge_noninitial(&mut acc, &init, &w1);
+        merge_noninitial(&mut acc, &init, &w2);
+        assert_eq!(acc.data(), &[1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn default_degree_is_bounded() {
+        let d = default_degree();
+        assert!((1..=8).contains(&d));
+    }
+}

@@ -1,0 +1,295 @@
+//! Program representation (paper §2.2, "program compilation"): a hierarchy of
+//! program blocks whose leaves are instruction sequences, plus a function
+//! registry. Control flow and variable scoping are handled by the runtime
+//! itself, not a host language.
+
+use crate::instr::{Instr, Operand};
+use std::collections::HashMap;
+
+/// A tiny straight-line expression program: instructions plus the operand
+/// holding the result. Used for `if`/`while` predicates and loop bounds,
+/// which SystemDS compiles into their own DAGs.
+#[derive(Debug, Clone)]
+pub struct ExprProg {
+    /// Instructions evaluated in order (temporaries live in the symbol table).
+    pub instrs: Vec<Instr>,
+    /// The operand that carries the result after execution.
+    pub result: Operand,
+}
+
+impl ExprProg {
+    /// A literal expression with no instructions.
+    pub fn lit(op: Operand) -> Self {
+        ExprProg {
+            instrs: Vec::new(),
+            result: op,
+        }
+    }
+
+    /// A plain variable reference.
+    pub fn var(name: impl Into<String>) -> Self {
+        Self::lit(Operand::Var(name.into()))
+    }
+
+    /// Instructions followed by a result operand.
+    pub fn new(instrs: Vec<Instr>, result: Operand) -> Self {
+        ExprProg { instrs, result }
+    }
+}
+
+/// A program block (paper Fig 1: operations, control-flow blocks, functions).
+#[derive(Debug, Clone)]
+pub enum Block {
+    /// Straight-line instruction sequence.
+    Basic {
+        /// Stable block ID (assigned by the compiler pass).
+        id: u64,
+        instrs: Vec<Instr>,
+    },
+    /// Conditional.
+    If {
+        id: u64,
+        /// Branch position inside a dedup-eligible body, assigned depth-first
+        /// (paper §3.2 "Loop Deduplication Setup"); `None` outside dedup scope.
+        branch_id: Option<u32>,
+        pred: ExprProg,
+        then_body: Vec<Block>,
+        else_body: Vec<Block>,
+    },
+    /// Counted loop.
+    For {
+        id: u64,
+        var: String,
+        from: ExprProg,
+        to: ExprProg,
+        by: ExprProg,
+        body: Vec<Block>,
+        /// Set by the compiler when the body qualifies for lineage
+        /// deduplication (last-level, ≤63 branches).
+        dedup_ok: bool,
+        /// True when the block is deterministic (multi-level reuse candidate).
+        deterministic: bool,
+        /// Live-out variables of the body (written and possibly read after
+        /// the loop or carried into the next iteration); only these receive
+        /// dedup items — dead temporaries are dropped from the trace.
+        dedup_outputs: Vec<String>,
+    },
+    /// Condition-controlled loop.
+    While {
+        id: u64,
+        pred: ExprProg,
+        body: Vec<Block>,
+        dedup_ok: bool,
+        deterministic: bool,
+        dedup_outputs: Vec<String>,
+    },
+    /// Task-parallel counted loop (paper §3.3): iterations execute on worker
+    /// threads with worker-local lineage and a result merge.
+    ParFor {
+        id: u64,
+        var: String,
+        from: ExprProg,
+        to: ExprProg,
+        by: ExprProg,
+        body: Vec<Block>,
+        /// Result variables merged across workers (filled by the compiler:
+        /// variables that exist before the loop and are updated inside).
+        results: Vec<String>,
+        /// Worker threads; `None` picks a default.
+        degree: Option<usize>,
+    },
+}
+
+impl Block {
+    /// Basic block constructor (ID assigned later by the compiler).
+    pub fn basic(instrs: Vec<Instr>) -> Block {
+        Block::Basic { id: 0, instrs }
+    }
+
+    /// If/else constructor.
+    pub fn if_else(pred: ExprProg, then_body: Vec<Block>, else_body: Vec<Block>) -> Block {
+        Block::If {
+            id: 0,
+            branch_id: None,
+            pred,
+            then_body,
+            else_body,
+        }
+    }
+
+    /// For-loop constructor.
+    pub fn for_loop(
+        var: impl Into<String>,
+        from: ExprProg,
+        to: ExprProg,
+        by: ExprProg,
+        body: Vec<Block>,
+    ) -> Block {
+        Block::For {
+            id: 0,
+            var: var.into(),
+            from,
+            to,
+            by,
+            body,
+            dedup_ok: false,
+            deterministic: false,
+            dedup_outputs: Vec::new(),
+        }
+    }
+
+    /// While-loop constructor.
+    pub fn while_loop(pred: ExprProg, body: Vec<Block>) -> Block {
+        Block::While {
+            id: 0,
+            pred,
+            body,
+            dedup_ok: false,
+            deterministic: false,
+            dedup_outputs: Vec::new(),
+        }
+    }
+
+    /// ParFor constructor.
+    pub fn parfor(
+        var: impl Into<String>,
+        from: ExprProg,
+        to: ExprProg,
+        by: ExprProg,
+        body: Vec<Block>,
+    ) -> Block {
+        Block::ParFor {
+            id: 0,
+            var: var.into(),
+            from,
+            to,
+            by,
+            body,
+            results: Vec::new(),
+            degree: None,
+        }
+    }
+
+    /// The block's stable ID.
+    pub fn id(&self) -> u64 {
+        match self {
+            Block::Basic { id, .. }
+            | Block::If { id, .. }
+            | Block::For { id, .. }
+            | Block::While { id, .. }
+            | Block::ParFor { id, .. } => *id,
+        }
+    }
+}
+
+/// A script-level function (paper Example 1: `gridSearch`, `lm`, `lmDS`, ...).
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    /// Parameter names, bound positionally at call sites.
+    pub params: Vec<String>,
+    /// Output variable names returned to the caller.
+    pub outputs: Vec<String>,
+    pub body: Vec<Block>,
+    /// Set by the compiler: no non-deterministic ops or calls, no side
+    /// effects — the function qualifies for multi-level reuse (memoization).
+    pub deterministic: bool,
+    /// Set by the compiler: body qualifies for function-level lineage
+    /// deduplication (no loops or nested calls, ≤63 branches).
+    pub dedup_ok: bool,
+    /// Live-out variables of the body for function dedup (outputs + carried).
+    pub dedup_outputs: Vec<String>,
+}
+
+impl Function {
+    /// New function; analysis flags are filled in by the compiler.
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<String>,
+        outputs: Vec<String>,
+        body: Vec<Block>,
+    ) -> Self {
+        Function {
+            name: name.into(),
+            params,
+            outputs,
+            body,
+            deterministic: false,
+            dedup_ok: false,
+            dedup_outputs: Vec::new(),
+        }
+    }
+}
+
+/// A complete program: top-level blocks plus the function registry.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub body: Vec<Block>,
+    pub functions: HashMap<String, Function>,
+    /// Script fingerprint making block IDs stable across compilations of the
+    /// same source (used in block-level cache keys).
+    pub fingerprint: u64,
+}
+
+impl Program {
+    /// Program from top-level blocks.
+    pub fn new(body: Vec<Block>) -> Self {
+        Program {
+            body,
+            functions: HashMap::new(),
+            fingerprint: 0,
+        }
+    }
+
+    /// Registers a function.
+    pub fn add_function(&mut self, f: Function) {
+        self.functions.insert(f.name.clone(), f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Instr, Op};
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let b = Block::basic(vec![Instr::new(Op::Assign, vec![Operand::f64(1.0)], "x")]);
+        assert_eq!(b.id(), 0);
+        let f = Block::for_loop(
+            "i",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(3)),
+            ExprProg::lit(Operand::i64(1)),
+            vec![b],
+        );
+        match &f {
+            Block::For { var, dedup_ok, .. } => {
+                assert_eq!(var, "i");
+                assert!(!dedup_ok);
+            }
+            _ => panic!(),
+        }
+        let w = Block::while_loop(ExprProg::var("c"), vec![]);
+        assert!(matches!(w, Block::While { .. }));
+        let p = Block::parfor(
+            "i",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(2)),
+            ExprProg::lit(Operand::i64(1)),
+            vec![],
+        );
+        assert!(matches!(p, Block::ParFor { .. }));
+        let i = Block::if_else(ExprProg::var("c"), vec![], vec![]);
+        assert!(matches!(i, Block::If { branch_id: None, .. }));
+    }
+
+    #[test]
+    fn program_registers_functions() {
+        let mut p = Program::new(vec![]);
+        p.add_function(Function::new("lm", vec!["X".into()], vec!["B".into()], vec![]));
+        assert!(p.functions.contains_key("lm"));
+        assert_eq!(p.functions["lm"].params, vec!["X"]);
+        assert!(!p.functions["lm"].deterministic);
+    }
+}

@@ -1,0 +1,483 @@
+//! Re-computation from lineage (paper §3.1, Fig 3 "reconstruct"): generates a
+//! straight-line runtime program from a lineage DAG that — given the same
+//! inputs — computes exactly the same intermediate. Deduplicated sub-DAGs are
+//! resolved through their patches before code generation.
+
+use crate::context::ExecutionContext;
+use crate::error::{Result, RuntimeError};
+use crate::instr::{Instr, Op, Operand, RandDistKind};
+use crate::interp::execute_instr;
+use crate::program::Program;
+use lima_core::lineage::item::{LinRef, LineageKind};
+use lima_core::opcodes as oc;
+use lima_matrix::ops::{AggFn, BinOp, TsmmSide, UnOp};
+use lima_matrix::{ScalarValue, Value};
+use std::collections::HashMap;
+
+/// A program reconstructed from lineage: instructions plus the variable
+/// holding the final result.
+#[derive(Debug)]
+pub struct ReconstructedProgram {
+    pub instrs: Vec<Instr>,
+    pub result_var: String,
+}
+
+/// Generates a runtime program from a lineage DAG. In contrast to the
+/// original program it contains no control flow — only the operations that
+/// computed the output.
+pub fn reconstruct(root: &LinRef) -> Result<ReconstructedProgram> {
+    // Resolve dedup items up front (paper: patches compile into functions;
+    // expansion is the semantically equivalent straight-line form).
+    let root = expand_dedup(root);
+    let order = root.topo_order();
+    let mut instrs = Vec::with_capacity(order.len());
+    let var_of = |id: u64| format!("t{id}");
+    let mut emitted: HashMap<u64, String> = HashMap::new();
+    for item in &order {
+        let out = var_of(item.id());
+        let instr = build_instr(item, &emitted, &out)?;
+        if let Some(i) = instr {
+            instrs.push(i);
+        }
+        emitted.insert(item.id(), out);
+    }
+    Ok(ReconstructedProgram {
+        instrs,
+        result_var: var_of(root.id()),
+    })
+}
+
+/// Executes a reconstructed program against a context (whose data registry
+/// must serve the original `read` paths and external inputs) and returns the
+/// recomputed value.
+pub fn recompute(root: &LinRef, ctx: &mut ExecutionContext) -> Result<Value> {
+    let prog = reconstruct(root)?;
+    let empty = Program::default();
+    for i in &prog.instrs {
+        execute_instr(i, &empty, ctx)?;
+    }
+    ctx.get(&prog.result_var).cloned()
+}
+
+/// Fully expands dedup items into plain sub-DAGs.
+fn expand_dedup(root: &LinRef) -> LinRef {
+    // `resolve` only expands the top item; rebuild bottom-up so nested dedup
+    // inputs are expanded too.
+    let order = root.topo_order();
+    let mut rebuilt: HashMap<u64, LinRef> = HashMap::new();
+    for item in order {
+        let resolved = item.resolve();
+        let resolved = if resolved.id() != item.id() {
+            // The expansion may itself reference unexpanded inputs; expand
+            // recursively (patch bodies contain no dedup items, so inputs
+            // were already rebuilt).
+            expand_with(&resolved, &rebuilt)
+        } else {
+            expand_with(&item, &rebuilt)
+        };
+        rebuilt.insert(item.id(), resolved);
+    }
+    rebuilt[&root.id()].clone()
+}
+
+fn expand_with(item: &LinRef, rebuilt: &HashMap<u64, LinRef>) -> LinRef {
+    use lima_core::lineage::item::LineageItem;
+    let order = item.topo_order();
+    let mut local: HashMap<u64, LinRef> = HashMap::new();
+    for node in order {
+        if let Some(r) = rebuilt.get(&node.id()) {
+            local.insert(node.id(), r.clone());
+            continue;
+        }
+        let new = if node.inputs().is_empty() {
+            node.clone()
+        } else {
+            let ins: Vec<LinRef> = node
+                .inputs()
+                .iter()
+                .map(|i| local.get(&i.id()).cloned().unwrap_or_else(|| i.clone()))
+                .collect();
+            let changed = ins
+                .iter()
+                .zip(node.inputs())
+                .any(|(a, b)| a.id() != b.id());
+            if changed {
+                match node.data() {
+                    Some(d) => LineageItem::op_with_data(node.opcode(), d, ins),
+                    None => LineageItem::op(node.opcode(), ins),
+                }
+            } else {
+                node.clone()
+            }
+        };
+        local.insert(node.id(), new);
+    }
+    local[&item.id()].clone()
+}
+
+fn parse_nums(data: &str, op: &str) -> Result<Vec<f64>> {
+    data.split(' ')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| RuntimeError::Reconstruct(format!("{op}: bad data '{data}'")))
+        })
+        .collect()
+}
+
+/// Builds the instruction recomputing a single lineage item. Returns `None`
+/// for items that need no instruction.
+fn build_instr(
+    item: &LinRef,
+    emitted: &HashMap<u64, String>,
+    out: &str,
+) -> Result<Option<Instr>> {
+    let opcode = item.opcode();
+    let in_var = |k: usize| -> Result<Operand> {
+        let input = item.inputs().get(k).ok_or_else(|| {
+            RuntimeError::Reconstruct(format!("{opcode}: missing input {k}"))
+        })?;
+        Ok(Operand::var(emitted.get(&input.id()).ok_or_else(|| {
+            RuntimeError::Reconstruct(format!("{opcode}: input {k} not emitted"))
+        })?))
+    };
+    let all_vars = || -> Result<Vec<Operand>> {
+        (0..item.inputs().len()).map(in_var).collect()
+    };
+    // Seed inputs are literal items; decode to a literal operand.
+    let seed_operand = |k: usize| -> Result<Operand> {
+        let input = item.inputs().get(k).ok_or_else(|| {
+            RuntimeError::Reconstruct(format!("{opcode}: missing seed input"))
+        })?;
+        match input.kind() {
+            LineageKind::Literal => {
+                let sv = ScalarValue::from_lineage_literal(input.data().unwrap_or(""))
+                    .ok_or_else(|| RuntimeError::Reconstruct("bad seed literal".into()))?;
+                Ok(Operand::Lit(sv))
+            }
+            _ => in_var(k),
+        }
+    };
+
+    let instr = match item.kind() {
+        LineageKind::Literal => {
+            let sv = ScalarValue::from_lineage_literal(item.data().unwrap_or(""))
+                .ok_or_else(|| RuntimeError::Reconstruct(format!("bad literal '{:?}'", item.data())))?;
+            Instr::new(Op::Assign, vec![Operand::Lit(sv)], out)
+        }
+        LineageKind::Placeholder(slot) => {
+            return Err(RuntimeError::Reconstruct(format!(
+                "unresolved placeholder slot {slot}"
+            )))
+        }
+        LineageKind::Dedup(_) => {
+            return Err(RuntimeError::Reconstruct(
+                "dedup item survived expansion".into(),
+            ))
+        }
+        LineageKind::Op => {
+            let data = item.data().unwrap_or("");
+            match opcode {
+                oc::READ => Instr::new(Op::Read, vec![Operand::str(data)], out),
+                oc::MATRIX_FILL => {
+                    let n = parse_nums(data, opcode)?;
+                    if n.len() != 3 {
+                        return Err(RuntimeError::Reconstruct("fill expects 3 params".into()));
+                    }
+                    Instr::new(
+                        Op::Fill,
+                        vec![
+                            Operand::f64(n[0]),
+                            Operand::i64(n[1] as i64),
+                            Operand::i64(n[2] as i64),
+                        ],
+                        out,
+                    )
+                }
+                oc::RAND => {
+                    // data: "rows cols dist p1 p2 sparsity"
+                    let parts: Vec<&str> = data.split(' ').collect();
+                    if parts.len() != 6 {
+                        return Err(RuntimeError::Reconstruct("rand expects 6 params".into()));
+                    }
+                    let kind = match parts[2] {
+                        "uniform" => RandDistKind::Uniform,
+                        "normal" => RandDistKind::Normal,
+                        other => {
+                            return Err(RuntimeError::Reconstruct(format!(
+                                "unknown distribution '{other}'"
+                            )))
+                        }
+                    };
+                    let p = |s: &str| {
+                        s.parse::<f64>().map_err(|_| {
+                            RuntimeError::Reconstruct(format!("rand: bad param '{s}'"))
+                        })
+                    };
+                    Instr::new(
+                        Op::Rand(kind),
+                        vec![
+                            Operand::i64(p(parts[0])? as i64),
+                            Operand::i64(p(parts[1])? as i64),
+                            Operand::f64(p(parts[3])?),
+                            Operand::f64(p(parts[4])?),
+                            Operand::f64(p(parts[5])?),
+                            seed_operand(0)?,
+                        ],
+                        out,
+                    )
+                }
+                oc::SAMPLE => {
+                    let n = parse_nums(data, opcode)?;
+                    if n.len() != 2 {
+                        return Err(RuntimeError::Reconstruct("sample expects 2 params".into()));
+                    }
+                    Instr::new(
+                        Op::Sample,
+                        vec![
+                            Operand::i64(n[0] as i64),
+                            Operand::i64(n[1] as i64),
+                            seed_operand(0)?,
+                        ],
+                        out,
+                    )
+                }
+                oc::SEQ => {
+                    let n = parse_nums(data, opcode)?;
+                    if n.len() != 3 {
+                        return Err(RuntimeError::Reconstruct("seq expects 3 params".into()));
+                    }
+                    Instr::new(
+                        Op::Seq,
+                        vec![Operand::f64(n[0]), Operand::f64(n[1]), Operand::f64(n[2])],
+                        out,
+                    )
+                }
+                oc::RIGHT_INDEX => {
+                    let n = parse_nums(data, opcode)?;
+                    if n.len() != 4 {
+                        return Err(RuntimeError::Reconstruct("rightIndex expects 4 bounds".into()));
+                    }
+                    // Stored bounds are 0-based inclusive; operands are 1-based.
+                    Instr::new(
+                        Op::RightIndex,
+                        vec![
+                            in_var(0)?,
+                            Operand::i64(n[0] as i64 + 1),
+                            Operand::i64(n[1] as i64 + 1),
+                            Operand::i64(n[2] as i64 + 1),
+                            Operand::i64(n[3] as i64 + 1),
+                        ],
+                        out,
+                    )
+                }
+                oc::LEFT_INDEX => {
+                    let n = parse_nums(data, opcode)?;
+                    if n.len() != 2 {
+                        return Err(RuntimeError::Reconstruct("leftIndex expects 2 offsets".into()));
+                    }
+                    Instr::new(
+                        Op::LeftIndex,
+                        vec![
+                            in_var(0)?,
+                            in_var(1)?,
+                            Operand::i64(n[0] as i64 + 1),
+                            Operand::i64(n[1] as i64 + 1),
+                        ],
+                        out,
+                    )
+                }
+                oc::TSMM => {
+                    let side = if data == "RIGHT" {
+                        TsmmSide::Right
+                    } else {
+                        TsmmSide::Left
+                    };
+                    Instr::new(Op::Tsmm(side), vec![in_var(0)?], out)
+                }
+                oc::ORDER => Instr::new(
+                    Op::Order,
+                    vec![in_var(0)?, Operand::bool(data == "desc")],
+                    out,
+                ),
+                oc::RESHAPE => {
+                    let n = parse_nums(data, opcode)?;
+                    Instr::new(
+                        Op::Reshape,
+                        vec![
+                            in_var(0)?,
+                            Operand::i64(n[0] as i64),
+                            Operand::i64(n[1] as i64),
+                        ],
+                        out,
+                    )
+                }
+                oc::LIST_GET => {
+                    let idx: i64 = data
+                        .parse()
+                        .map_err(|_| RuntimeError::Reconstruct("bad list index".into()))?;
+                    // Lineage stores 0-based output indices; runtime ListGet
+                    // is 1-based.
+                    Instr::new(Op::ListGet, vec![in_var(0)?, Operand::i64(idx + 1)], out)
+                }
+                oc::MATMULT => Instr::new(Op::MatMult, all_vars()?, out),
+                oc::TRANSPOSE => Instr::new(Op::Transpose, all_vars()?, out),
+                oc::CBIND => Instr::new(Op::Cbind, all_vars()?, out),
+                oc::RBIND => Instr::new(Op::Rbind, all_vars()?, out),
+                oc::SOLVE => Instr::new(Op::Solve, all_vars()?, out),
+                oc::DIAG => Instr::new(Op::Diag, all_vars()?, out),
+                oc::EIGEN => Instr::multi(
+                    Op::Eigen,
+                    all_vars()?,
+                    vec![format!("{out}"), format!("{out}_vec")],
+                ),
+                oc::REV => Instr::new(Op::Rev, all_vars()?, out),
+                oc::TABLE => Instr::new(Op::Table, all_vars()?, out),
+                oc::ROW_INDEX_MAX => Instr::new(Op::RowIndexMax, all_vars()?, out),
+                oc::NROW => Instr::new(Op::Nrow, all_vars()?, out),
+                oc::NCOL => Instr::new(Op::Ncol, all_vars()?, out),
+                oc::CAST_SCALAR => Instr::new(Op::CastScalar, all_vars()?, out),
+                oc::CAST_MATRIX => Instr::new(Op::CastMatrix, all_vars()?, out),
+                oc::LIST => Instr::new(Op::ListNew, all_vars()?, out),
+                oc::SELECT_COLS => Instr::new(Op::SelectCols, all_vars()?, out),
+                oc::SELECT_ROWS => Instr::new(Op::SelectRows, all_vars()?, out),
+                oc::CONCAT => Instr::new(Op::Concat, all_vars()?, out),
+                other => {
+                    if let Some(b) = BinOp::from_opcode(other) {
+                        Instr::new(Op::Binary(b), all_vars()?, out)
+                    } else if let Some(u) = UnOp::from_opcode(other) {
+                        Instr::new(Op::Unary(u), all_vars()?, out)
+                    } else if let Some(f) = other
+                        .strip_prefix(oc::COL_AGG_PREFIX)
+                        .and_then(AggFn::from_name)
+                    {
+                        Instr::new(Op::ColAgg(f), all_vars()?, out)
+                    } else if let Some(f) = other
+                        .strip_prefix(oc::ROW_AGG_PREFIX)
+                        .and_then(AggFn::from_name)
+                    {
+                        Instr::new(Op::RowAgg(f), all_vars()?, out)
+                    } else if let Some(f) = other
+                        .strip_prefix(oc::FULL_AGG_PREFIX)
+                        .and_then(AggFn::from_name)
+                    {
+                        Instr::new(Op::FullAgg(f), all_vars()?, out)
+                    } else {
+                        return Err(RuntimeError::Reconstruct(format!(
+                            "unsupported opcode '{other}' (multi-level items cannot be \
+                             reconstructed; re-trace with multi-level reuse disabled)"
+                        )));
+                    }
+                }
+            }
+        }
+    };
+    Ok(Some(instr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lima_core::lineage::dedup::DedupPatch;
+    use lima_core::lineage::item::LineageItem;
+    use lima_core::LimaConfig;
+    use lima_matrix::DenseMatrix;
+
+    fn ctx_with(path: &str, m: DenseMatrix) -> ExecutionContext {
+        let ctx = ExecutionContext::new(LimaConfig::base());
+        ctx.data.register(path, Value::matrix(m));
+        ctx
+    }
+
+    #[test]
+    fn reconstructs_simple_expression() {
+        // lineage of (X + X) * X
+        let x = LineageItem::op_with_data(oc::READ, "X.csv", vec![]);
+        let s = LineageItem::op("+", vec![x.clone(), x.clone()]);
+        let root = LineageItem::op("*", vec![s, x]);
+        let m = DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64 + 1.0);
+        let mut ctx = ctx_with("X.csv", m.clone());
+        let got = recompute(&root, &mut ctx).unwrap();
+        let expect = DenseMatrix::from_fn(3, 2, |i, j| {
+            let v = m.get(i, j);
+            (v + v) * v
+        });
+        assert!(got.as_matrix().unwrap().approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn reconstructs_rand_with_captured_seed() {
+        let seed = LineageItem::literal("i:42");
+        let root = LineageItem::op_with_data(oc::RAND, "3 4 uniform 0 1 1", vec![seed]);
+        let mut ctx = ExecutionContext::new(LimaConfig::base());
+        let got = recompute(&root, &mut ctx).unwrap();
+        let expect = lima_matrix::rand_gen::rand_matrix(
+            3,
+            4,
+            lima_matrix::rand_gen::RandDist::Uniform { min: 0.0, max: 1.0 },
+            1.0,
+            42,
+        )
+        .unwrap();
+        assert!(got.as_matrix().unwrap().approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn reconstructs_slicing_with_stored_bounds() {
+        let x = LineageItem::op_with_data(oc::READ, "X", vec![]);
+        let root = LineageItem::op_with_data(oc::RIGHT_INDEX, "1 2 0 1", vec![x]);
+        let m = DenseMatrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let mut ctx = ctx_with("X", m.clone());
+        let got = recompute(&root, &mut ctx).unwrap();
+        let expect = lima_matrix::ops::slice(&m, 1, 2, 0, 1).unwrap();
+        assert!(got.as_matrix().unwrap().approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn reconstructs_through_dedup_items() {
+        // PageRank-like: p = G %*% p + p, three deduplicated iterations.
+        let p0 = LineageItem::placeholder(0);
+        let p1 = LineageItem::placeholder(1);
+        let body = LineageItem::op(
+            "+",
+            vec![LineageItem::op(oc::MATMULT, vec![p0, p1.clone()]), p1],
+        );
+        let patch = DedupPatch::new("loop:pr", 0, 2, vec![("p".into(), body)]);
+        let g = LineageItem::op_with_data(oc::READ, "G", vec![]);
+        let mut p = LineageItem::op_with_data(oc::READ, "p0", vec![]);
+        for _ in 0..3 {
+            p = LineageItem::dedup(patch.clone(), "p", vec![g.clone(), p]);
+        }
+        let gm = DenseMatrix::from_fn(3, 3, |i, j| ((i + j) % 2) as f64 * 0.5);
+        let pm = DenseMatrix::filled(3, 1, 1.0);
+        let mut ctx = ExecutionContext::new(LimaConfig::base());
+        ctx.data.register("G", Value::matrix(gm.clone()));
+        ctx.data.register("p0", Value::matrix(pm.clone()));
+        let got = recompute(&p, &mut ctx).unwrap();
+        // Reference: three plain iterations.
+        let mut r = pm;
+        for _ in 0..3 {
+            let gp = lima_matrix::ops::matmult(&gm, &r).unwrap();
+            r = lima_matrix::ops::ew_matrix_matrix(BinOp::Add, &gp, &r).unwrap();
+        }
+        assert!(got.as_matrix().unwrap().approx_eq(&r, 1e-12));
+    }
+
+    #[test]
+    fn unsupported_items_are_rejected() {
+        let ph = LineageItem::placeholder(0);
+        assert!(reconstruct(&ph).is_err());
+        let fcall = LineageItem::op_with_data("fcall:lm", "lm", vec![]);
+        assert!(reconstruct(&fcall).is_err());
+    }
+
+    #[test]
+    fn literals_reconstruct_to_assignments() {
+        let a = LineageItem::literal("f:2.5");
+        let b = LineageItem::literal("f:4");
+        let root = LineageItem::op("*", vec![a, b]);
+        let mut ctx = ExecutionContext::new(LimaConfig::base());
+        let got = recompute(&root, &mut ctx).unwrap();
+        assert_eq!(got.as_f64().unwrap(), 10.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Multi-level reuse on the PCA pipeline (paper Fig 5 / Example 5): a K
+//! sweep over `pca` probes whole function calls first, then blocks, then
+//! individual operations — the covariance, eigen decomposition, and the
+//! projection are computed once and reused across K.
+//!
+//! ```text
+//! cargo run --release --example pca_pipeline
+//! ```
+
+use lima::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let pipeline = pipelines::pcalm(30_000, 40, &[5, 10, 15, 20, 25], 11);
+
+    for (label, config) in [
+        ("Base", LimaConfig::base()),
+        (
+            "LIMA-FR (ops only)",
+            LimaConfig {
+                multilevel: false,
+                ..LimaConfig::lima()
+            },
+        ),
+        ("LIMA (multi-level)", LimaConfig::lima()),
+    ] {
+        let t0 = Instant::now();
+        let result = run_script(&pipeline.script, &config, &pipeline.input_refs())
+            .expect("pipeline runs");
+        let elapsed = t0.elapsed();
+        let best = result.value("best").as_f64().unwrap();
+        print!("{label:22} {elapsed:>10.3?}   best adj-R2 = {best:.4}");
+        if config.tracing {
+            print!(
+                "   (hits: {} op, {} fn/block, {} partial)",
+                LimaStats::get(&result.ctx.stats.full_hits),
+                LimaStats::get(&result.ctx.stats.multilevel_hits),
+                LimaStats::get(&result.ctx.stats.partial_hits),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,262 @@
+//! `limac` — command-line runner for LIMA scripts.
+//!
+//! ```text
+//! limac run <script.dml> [options]       execute a script
+//!     --config base|lt|ltd|lima          LIMA configuration (default lima)
+//!     --policy lru|dag-height|cost-size|hybrid
+//!     --budget-mb <N>                    cache budget (default 512)
+//!     --dedup                            enable lineage deduplication
+//!     --no-compiler-assist               disable §4.4 rewrites/unmarking
+//!     --stats                            print LIMA statistics after the run
+//!     --lineage <VAR>                    print VAR's lineage log after the run
+//!     --seed <N>                         system-seed base (reproducible runs)
+//!
+//! limac lineage-diff <a.lineage> <b.lineage>
+//!     compare two lineage logs (paper Example 3's debugging workflow)
+//!
+//! limac recompute <trace.lineage>
+//!     reconstruct and re-execute a lineage log; `read` paths load from disk
+//! ```
+//!
+//! Scripts `read(...)` matrix text/CSV files from disk and `write(...)`
+//! results (plus `<path>.lineage` logs) back.
+
+use lima::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("lineage-diff") => cmd_lineage_diff(&args[1..]),
+        Some("recompute") => cmd_recompute(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::from(2);
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("limac: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:\n  limac run <script> [--config base|lt|ltd|lima] [--policy P] \
+[--budget-mb N] [--dedup] [--no-compiler-assist] [--stats] [--lineage VAR] [--seed N]\n  \
+limac lineage-diff <a.lineage> <b.lineage>\n  limac recompute <trace.lineage>\n";
+
+/// Parses the `run` option list into a configuration.
+fn parse_run_options(args: &[String]) -> Result<(String, LimaConfig, RunFlags), String> {
+    let mut script_path = None;
+    let mut config = LimaConfig::lima();
+    let mut flags = RunFlags::default();
+    let mut i = 0;
+    let take_value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                let v = take_value(args, &mut i, "--config")?;
+                config = match v.as_str() {
+                    "base" => LimaConfig::base(),
+                    "lt" => LimaConfig::tracing_only(),
+                    "ltd" => LimaConfig::tracing_dedup(),
+                    "lima" => LimaConfig::lima(),
+                    other => return Err(format!("unknown config '{other}'")),
+                };
+            }
+            "--policy" => {
+                let v = take_value(args, &mut i, "--policy")?;
+                config.policy = match v.as_str() {
+                    "lru" => EvictionPolicy::Lru,
+                    "dag-height" => EvictionPolicy::DagHeight,
+                    "cost-size" => EvictionPolicy::CostSize,
+                    "hybrid" => EvictionPolicy::Hybrid,
+                    other => return Err(format!("unknown policy '{other}'")),
+                };
+            }
+            "--budget-mb" => {
+                let v = take_value(args, &mut i, "--budget-mb")?;
+                let mb: usize = v.parse().map_err(|_| format!("bad budget '{v}'"))?;
+                config.budget_bytes = mb * 1024 * 1024;
+            }
+            "--dedup" => config.dedup = true,
+            "--no-compiler-assist" => config.compiler_assist = false,
+            "--stats" => flags.stats = true,
+            "--lineage" => flags.lineage_var = Some(take_value(args, &mut i, "--lineage")?),
+            "--seed" => {
+                let v = take_value(args, &mut i, "--seed")?;
+                flags.seed = Some(v.parse().map_err(|_| format!("bad seed '{v}'"))?);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            path => {
+                if script_path.replace(path.to_string()).is_some() {
+                    return Err("multiple script paths given".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    let script_path = script_path.ok_or("missing script path")?;
+    Ok((script_path, config, flags))
+}
+
+#[derive(Default)]
+struct RunFlags {
+    stats: bool,
+    lineage_var: Option<String>,
+    seed: Option<u64>,
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (path, config, flags) = parse_run_options(args)?;
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let program = compile_script(&src, &config).map_err(|e| e.to_string())?;
+    let mut ctx = ExecutionContext::new(config);
+    if let Some(seed) = flags.seed {
+        ctx.reset_seed_counter(seed);
+    }
+    execute_program(&program, &mut ctx).map_err(|e| e.to_string())?;
+    for line in &ctx.stdout {
+        println!("{line}");
+    }
+    if let Some(var) = &flags.lineage_var {
+        let lin = ctx
+            .lineage
+            .get(var)
+            .ok_or_else(|| format!("no lineage for variable '{var}'"))?;
+        print!("{}", serialize_lineage(lin));
+    }
+    if flags.stats {
+        eprintln!("{}", ctx.stats.report());
+    }
+    Ok(())
+}
+
+/// Normalizes a lineage-log line for diffing: the session-specific IDs are
+/// stripped so only structure and payloads compare.
+fn normalize_log_line(line: &str) -> String {
+    line.split(' ')
+        .map(|tok| {
+            if tok.starts_with('(') && tok.ends_with(')') && tok[1..tok.len() - 1].parse::<u64>().is_ok()
+            {
+                "(#)".to_string()
+            } else {
+                tok.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn cmd_lineage_diff(args: &[String]) -> Result<(), String> {
+    let [a_path, b_path] = args else {
+        return Err("lineage-diff takes exactly two files".into());
+    };
+    let read = |p: &String| -> Result<String, String> {
+        std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))
+    };
+    let (a_log, b_log) = (read(a_path)?, read(b_path)?);
+    // Validate both logs parse.
+    let a = deserialize_lineage(&a_log).map_err(|e| format!("{a_path}: {e}"))?;
+    let b = deserialize_lineage(&b_log).map_err(|e| format!("{b_path}: {e}"))?;
+    if lima::lima_core::lineage::item::lineage_eq(&a, &b) {
+        println!("lineage logs are equivalent ({} nodes)", a.dag_size());
+        return Ok(());
+    }
+    println!("lineage logs DIFFER:");
+    let a_lines: Vec<String> = a_log.lines().map(normalize_log_line).collect();
+    let b_lines: Vec<String> = b_log.lines().map(normalize_log_line).collect();
+    let n = a_lines.len().max(b_lines.len());
+    let mut shown = 0;
+    for i in 0..n {
+        let la = a_lines.get(i).map(String::as_str).unwrap_or("<missing>");
+        let lb = b_lines.get(i).map(String::as_str).unwrap_or("<missing>");
+        if la != lb {
+            println!("  - {la}\n  + {lb}");
+            shown += 1;
+            if shown >= 20 {
+                println!("  ... (truncated)");
+                break;
+            }
+        }
+    }
+    Err("traces are not equivalent".into())
+}
+
+fn cmd_recompute(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("recompute takes exactly one lineage log".into());
+    };
+    let log = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let root = deserialize_lineage(&log).map_err(|e| format!("{path}: {e}"))?;
+    let mut ctx = ExecutionContext::new(LimaConfig::base());
+    let value = recompute(&root, &mut ctx).map_err(|e| e.to_string())?;
+    match &value {
+        Value::Matrix(m) => {
+            println!("recomputed matrix {}x{}:", m.rows(), m.cols());
+            print!("{}", lima::lima_runtime::kernels::display(&value));
+        }
+        other => println!("recomputed value: {}", lima::lima_runtime::kernels::display(other)),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_options_parse() {
+        let args: Vec<String> = [
+            "s.dml",
+            "--config",
+            "ltd",
+            "--policy",
+            "lru",
+            "--budget-mb",
+            "64",
+            "--stats",
+            "--lineage",
+            "B",
+            "--seed",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (path, config, flags) = parse_run_options(&args).unwrap();
+        assert_eq!(path, "s.dml");
+        assert!(config.dedup);
+        assert_eq!(config.policy, EvictionPolicy::Lru);
+        assert_eq!(config.budget_bytes, 64 * 1024 * 1024);
+        assert!(flags.stats);
+        assert_eq!(flags.lineage_var.as_deref(), Some("B"));
+        assert_eq!(flags.seed, Some(7));
+    }
+
+    #[test]
+    fn run_options_reject_garbage() {
+        let to_args = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(parse_run_options(&to_args(&["--config"])).is_err());
+        assert!(parse_run_options(&to_args(&["s", "--config", "nope"])).is_err());
+        assert!(parse_run_options(&to_args(&["s", "--what"])).is_err());
+        assert!(parse_run_options(&to_args(&["a", "b"])).is_err());
+        assert!(parse_run_options(&to_args(&[])).is_err());
+    }
+
+    #[test]
+    fn log_lines_normalize_ids() {
+        assert_eq!(normalize_log_line("(12) I + (3) (4)"), "(#) I + (#) (#)");
+        assert_eq!(normalize_log_line("(12) L f:0.1"), "(#) L f:0.1");
+        assert_eq!(normalize_log_line("::out (9)"), "::out (#)");
+    }
+}

@@ -1,0 +1,286 @@
+//! Property-based tests (proptest) of the paper's core invariants:
+//!
+//! * the algebraic identities behind every partial-reuse rewrite,
+//! * lineage hashing/equality/serialization laws,
+//! * dedup ≡ plain trace equivalence under random loop shapes, and
+//! * the global invariant that reuse never changes program results, checked
+//!   over randomly generated scripts.
+
+use lima::prelude::*;
+use lima_core::lineage::item::{lineage_eq, LinRef, LineageItem};
+use lima_matrix::ops::{
+    cbind, col_agg, ew_matrix_matrix, matmult, rbind, row_agg, slice, transpose, tsmm, AggFn,
+    BinOp, TsmmSide,
+};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| DenseMatrix::new(rows, cols, data).expect("sized"))
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8, 1usize..8, 1usize..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----------------------------------------- rewrite identities (paper §4.2)
+
+    #[test]
+    fn tsmm_rbind_identity((m1, m2, n) in dims(),
+                           seed in 0u64..1000) {
+        let a = det_matrix(m1, n, seed);
+        let b = det_matrix(m2, n, seed ^ 1);
+        let whole = tsmm(&rbind(&a, &b).unwrap(), TsmmSide::Left);
+        let parts = ew_matrix_matrix(
+            BinOp::Add,
+            &tsmm(&a, TsmmSide::Left),
+            &tsmm(&b, TsmmSide::Left),
+        ).unwrap();
+        prop_assert!(whole.rel_eq(&parts, 1e-9));
+    }
+
+    #[test]
+    fn mm_rbind_identity((m1, m2, k) in dims(), n in 1usize..6, seed in 0u64..1000) {
+        let a = det_matrix(m1, k, seed);
+        let b = det_matrix(m2, k, seed ^ 2);
+        let y = det_matrix(k, n, seed ^ 3);
+        let whole = matmult(&rbind(&a, &b).unwrap(), &y).unwrap();
+        let parts = rbind(&matmult(&a, &y).unwrap(), &matmult(&b, &y).unwrap()).unwrap();
+        prop_assert!(whole.rel_eq(&parts, 1e-9));
+    }
+
+    #[test]
+    fn mm_cbind_identity((m, k1, k2) in dims(), n in 1usize..6, seed in 0u64..1000) {
+        let x = det_matrix(m, n, seed);
+        let y = det_matrix(n, k1, seed ^ 4);
+        let dy = det_matrix(n, k2, seed ^ 5);
+        let whole = matmult(&x, &cbind(&y, &dy).unwrap()).unwrap();
+        let parts = cbind(&matmult(&x, &y).unwrap(), &matmult(&x, &dy).unwrap()).unwrap();
+        prop_assert!(whole.rel_eq(&parts, 1e-9));
+    }
+
+    #[test]
+    fn tsmm_cbind_blocked_identity((m, k1, k2) in dims(), seed in 0u64..1000) {
+        let x = det_matrix(m, k1, seed);
+        let dx = det_matrix(m, k2, seed ^ 6);
+        let whole = tsmm(&cbind(&x, &dx).unwrap(), TsmmSide::Left);
+        let xtdx = matmult(&transpose(&x), &dx).unwrap();
+        let top = cbind(&tsmm(&x, TsmmSide::Left), &xtdx).unwrap();
+        let bottom = cbind(&transpose(&xtdx), &tsmm(&dx, TsmmSide::Left)).unwrap();
+        let parts = rbind(&top, &bottom).unwrap();
+        prop_assert!(whole.rel_eq(&parts, 1e-9));
+    }
+
+    #[test]
+    fn colagg_cbind_identity((m, k1, k2) in dims(), seed in 0u64..1000) {
+        let x = det_matrix(m, k1, seed);
+        let dx = det_matrix(m, k2, seed ^ 7);
+        for f in [AggFn::Sum, AggFn::Min, AggFn::Max, AggFn::Mean] {
+            let whole = col_agg(&cbind(&x, &dx).unwrap(), f);
+            let parts = cbind(&col_agg(&x, f), &col_agg(&dx, f)).unwrap();
+            prop_assert!(whole.rel_eq(&parts, 1e-9));
+        }
+    }
+
+    #[test]
+    fn rowagg_rbind_identity((m1, m2, n) in dims(), seed in 0u64..1000) {
+        let x = det_matrix(m1, n, seed);
+        let dx = det_matrix(m2, n, seed ^ 8);
+        for f in [AggFn::Sum, AggFn::Min, AggFn::Max] {
+            let whole = row_agg(&rbind(&x, &dx).unwrap(), f);
+            let parts = rbind(&row_agg(&x, f), &row_agg(&dx, f)).unwrap();
+            prop_assert!(whole.rel_eq(&parts, 1e-9));
+        }
+    }
+
+    #[test]
+    fn mm_indexed_identity((m, n, k) in dims(), seed in 0u64..1000) {
+        let x = det_matrix(m, n, seed);
+        let y = det_matrix(n, k, seed ^ 9);
+        let xy = matmult(&x, &y).unwrap();
+        for c in 0..k {
+            let yk = slice(&y, 0, n - 1, 0, c).unwrap();
+            let whole = matmult(&x, &yk).unwrap();
+            let part = slice(&xy, 0, m - 1, 0, c).unwrap();
+            prop_assert!(whole.rel_eq(&part, 1e-9));
+        }
+    }
+
+    #[test]
+    fn ew_cbind_identity((m, k1, k2) in dims(), seed in 0u64..1000) {
+        let x = det_matrix(m, k1, seed);
+        let dx = det_matrix(m, k2, seed ^ 10);
+        let y = det_matrix(m, k1, seed ^ 11);
+        let dy = det_matrix(m, k2, seed ^ 12);
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max] {
+            let whole = ew_matrix_matrix(
+                op,
+                &cbind(&x, &dx).unwrap(),
+                &cbind(&y, &dy).unwrap(),
+            ).unwrap();
+            let parts = cbind(
+                &ew_matrix_matrix(op, &x, &y).unwrap(),
+                &ew_matrix_matrix(op, &dx, &dy).unwrap(),
+            ).unwrap();
+            prop_assert!(whole.rel_eq(&parts, 1e-9));
+        }
+    }
+
+    // ------------------------------------------------ basic matrix laws
+
+    #[test]
+    fn transpose_involution(m in small_matrix(5, 7)) {
+        prop_assert!(transpose(&transpose(&m)).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_associativity((m, n, k) in dims(), seed in 0u64..1000) {
+        let a = det_matrix(m, n, seed);
+        let b = det_matrix(n, k, seed ^ 13);
+        let c = det_matrix(k, 3, seed ^ 14);
+        let left = matmult(&matmult(&a, &b).unwrap(), &c).unwrap();
+        let right = matmult(&a, &matmult(&b, &c).unwrap()).unwrap();
+        prop_assert!(left.rel_eq(&right, 1e-8));
+    }
+
+    #[test]
+    fn solve_residual_is_small(n in 2usize..10, seed in 0u64..1000) {
+        // SPD system: A = XᵀX + I.
+        let x = det_matrix(n + 2, n, seed);
+        let mut a = tsmm(&x, TsmmSide::Left);
+        for i in 0..n { a.set(i, i, a.get(i, i) + 1.0); }
+        let b = det_matrix(n, 1, seed ^ 15);
+        let sol = lima_matrix::ops::solve(&a, &b).unwrap();
+        let ax = matmult(&a, &sol).unwrap();
+        prop_assert!(ax.rel_eq(&b, 1e-7));
+    }
+
+    // --------------------------------------------------- lineage laws
+
+    #[test]
+    fn lineage_serialization_round_trips(shape in lineage_dag(4)) {
+        let log = serialize_lineage(&shape);
+        let back = deserialize_lineage(&log).unwrap();
+        prop_assert!(lineage_eq(&shape, &back));
+        prop_assert_eq!(shape.dag_size(), back.dag_size());
+        prop_assert_eq!(shape.hash_value(), back.hash_value());
+    }
+
+    #[test]
+    fn structurally_equal_dags_are_equal(shape_seed in 0u64..500, depth in 1usize..6) {
+        let a = seeded_dag(shape_seed, depth);
+        let b = seeded_dag(shape_seed, depth);
+        prop_assert_eq!(a.hash_value(), b.hash_value());
+        prop_assert!(lineage_eq(&a, &b));
+        let c = seeded_dag(shape_seed + 1, depth);
+        // Different seeds give different leaf payloads → unequal DAGs.
+        prop_assert!(!lineage_eq(&a, &c));
+    }
+
+    // ------------------------------- reuse-never-changes-results, via scripts
+
+    #[test]
+    fn random_scripts_are_reuse_invariant(ops in proptest::collection::vec(0u8..6, 1..12),
+                                          loop_iters in 1i64..5) {
+        let script = random_script(&ops, loop_iters);
+        let x = Value::matrix(det_matrix(12, 6, 42));
+        let base = run_script(&script, &LimaConfig::base(), &[("X", x.clone())]).unwrap();
+        for cfg in [
+            LimaConfig::tracing_only(),
+            LimaConfig::tracing_dedup(),
+            LimaConfig::lima(),
+        ] {
+            let r = run_script(&script, &cfg, &[("X", x.clone())]).unwrap();
+            prop_assert!(
+                base.value("out").approx_eq(r.value("out"), 1e-7),
+                "script diverged under {:?}:\n{}", cfg.reuse, script
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_traces_equal_plain_traces(ops in proptest::collection::vec(0u8..6, 1..8),
+                                       loop_iters in 2i64..6) {
+        let script = random_script(&ops, loop_iters);
+        let x = Value::matrix(det_matrix(10, 5, 7));
+        let plain = run_script(&script, &LimaConfig::tracing_only(), &[("X", x.clone())]).unwrap();
+        let dedup = run_script(&script, &LimaConfig::tracing_dedup(), &[("X", x)]).unwrap();
+        let lp = plain.ctx.lineage.get("out").unwrap();
+        let ld = dedup.ctx.lineage.get("out").unwrap();
+        prop_assert_eq!(lp.hash_value(), ld.hash_value());
+        prop_assert!(lineage_eq(lp, ld));
+    }
+}
+
+/// Deterministic pseudo-random matrix (proptest shrinks dimensions; values
+/// come from a cheap hash so reruns are stable).
+fn det_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(rows.max(1), cols.max(1), |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(j as u64)
+            .wrapping_mul(1442695040888963407)
+            .wrapping_add(seed.wrapping_mul(2862933555777941757));
+        ((h >> 16) % 2000) as f64 / 200.0 - 5.0
+    })
+}
+
+/// Strategy producing random lineage DAGs with sharing and literals.
+fn lineage_dag(max_depth: usize) -> impl Strategy<Value = LinRef> {
+    let leaf = prop_oneof![
+        (0u64..100).prop_map(|v| LineageItem::literal(format!("i:{v}"))),
+        "[a-z]{1,6}".prop_map(|p| LineageItem::op_with_data("read", p, vec![])),
+    ];
+    leaf.prop_recursive(max_depth as u32, 64, 3, |inner| {
+        (
+            prop_oneof![
+                Just("+"),
+                Just("*"),
+                Just("ba+*"),
+                Just("cbind"),
+                Just("uacsum")
+            ],
+            proptest::collection::vec(inner, 1..3),
+        )
+            .prop_map(|(op, inputs)| LineageItem::op(op, inputs))
+    })
+}
+
+/// Deterministic DAG from a seed (for structural-equality tests).
+fn seeded_dag(seed: u64, depth: usize) -> LinRef {
+    let mut node = LineageItem::op_with_data("read", format!("leaf{seed}"), vec![]);
+    for level in 0..depth {
+        let op = ["+", "*", "ba+*"][(seed as usize + level) % 3];
+        node = LineageItem::op(op, vec![node.clone(), node]);
+    }
+    node
+}
+
+/// Generates a small deterministic script from opcode choices: a
+/// straight-line prefix, a loop with an accumulator, and a conditional.
+fn random_script(ops: &[u8], loop_iters: i64) -> String {
+    let mut body = String::from("A = X;\nacc = X * 0;\n");
+    for (k, op) in ops.iter().enumerate() {
+        let stmt = match op % 6 {
+            0 => "A = A + X;",
+            1 => "A = A * 2;",
+            2 => "A = t(t(A));",
+            3 => "A = A - colMeans(A);",
+            4 => "A = A / (1 + abs(A));",
+            _ => "A = A + sigmoid(A);",
+        };
+        body.push_str(stmt);
+        body.push('\n');
+        if k == ops.len() / 2 {
+            body.push_str(&format!(
+                "for (i in 1:{loop_iters}) {{\n  if (i <= {h}) {{ acc = acc + A * i; }} else {{ acc = acc - A; }}\n}}\n",
+                h = loop_iters / 2 + 1
+            ));
+        }
+    }
+    body.push_str("out = sum(acc) + sum(A);\n");
+    body
+}
