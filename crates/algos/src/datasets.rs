@@ -10,9 +10,7 @@
 //! observes that lineage reuse is "largely invariant to data skew" (§5.4),
 //! so these stand-ins preserve the relative speedups Fig 9(f) reports.
 
-use lima_matrix::frame::{
-    bin_column, impute_mean, one_hot, oversample_minority, recode_column,
-};
+use lima_matrix::frame::{bin_column, impute_mean, one_hot, oversample_minority, recode_column};
 use lima_matrix::ops::{cbind, matmult, slice};
 use lima_matrix::rand_gen::{rand_matrix, RandDist};
 use lima_matrix::DenseMatrix;
@@ -23,10 +21,28 @@ use rand::{Rng, SeedableRng};
 pub fn synthetic_regression(n: usize, d: usize, seed: u64) -> (DenseMatrix, DenseMatrix) {
     let x = rand_matrix(n, d, RandDist::Uniform { min: 0.0, max: 1.0 }, 1.0, seed)
         .expect("valid params");
-    let w = rand_matrix(d, 1, RandDist::Normal { mean: 0.0, std: 1.0 }, 1.0, seed ^ 0xabc)
-        .expect("valid params");
-    let noise = rand_matrix(n, 1, RandDist::Normal { mean: 0.0, std: 0.1 }, 1.0, seed ^ 0xdef)
-        .expect("valid params");
+    let w = rand_matrix(
+        d,
+        1,
+        RandDist::Normal {
+            mean: 0.0,
+            std: 1.0,
+        },
+        1.0,
+        seed ^ 0xabc,
+    )
+    .expect("valid params");
+    let noise = rand_matrix(
+        n,
+        1,
+        RandDist::Normal {
+            mean: 0.0,
+            std: 0.1,
+        },
+        1.0,
+        seed ^ 0xdef,
+    )
+    .expect("valid params");
     let mut y = matmult(&x, &w).expect("shapes agree");
     for (yi, ni) in y.data_mut().iter_mut().zip(noise.data()) {
         *yi += ni;
@@ -47,7 +63,10 @@ pub fn synthetic_classification(
     let means = rand_matrix(
         classes,
         d,
-        RandDist::Uniform { min: -1.0, max: 1.0 },
+        RandDist::Uniform {
+            min: -1.0,
+            max: 1.0,
+        },
         1.0,
         seed ^ 0x77,
     )
@@ -112,8 +131,17 @@ pub fn aps_like_raw(
     seed: u64,
 ) -> (DenseMatrix, DenseMatrix) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut x = rand_matrix(n, d, RandDist::Normal { mean: 0.0, std: 1.0 }, 1.0, seed ^ 0x5)
-        .expect("valid params");
+    let mut x = rand_matrix(
+        n,
+        d,
+        RandDist::Normal {
+            mean: 0.0,
+            std: 1.0,
+        },
+        1.0,
+        seed ^ 0x5,
+    )
+    .expect("valid params");
     let mut y = DenseMatrix::zeros(n, 1);
     for i in 0..n {
         let is_minority = rng.gen::<f64>() < minority;
@@ -181,11 +209,7 @@ pub fn kdd98_like_raw(
 /// continuous columns into `bins` equi-width bins, one-hot encode both.
 /// The output width is the sum of the cardinalities plus `num_num * bins`
 /// (KDD98: 469 → 7,909 columns).
-pub fn kdd98_like_preprocess(
-    x: &DenseMatrix,
-    num_cat: usize,
-    bins: usize,
-) -> DenseMatrix {
+pub fn kdd98_like_preprocess(x: &DenseMatrix, num_cat: usize, bins: usize) -> DenseMatrix {
     let n = x.rows();
     let mut out: Option<DenseMatrix> = None;
     for j in 0..x.cols() {

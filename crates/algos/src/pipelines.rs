@@ -464,7 +464,14 @@ pub fn pcanb_with(
 /// Autoencoder (Fig 10a): two hidden layers (sizes `h1`, 2), batch-wise
 /// pre-processing (min-max normalization) inside the training loop — the
 /// pre-processing lineage is identical across epochs, so LIMA reuses it.
-pub fn autoencoder(n: usize, d: usize, h1: usize, batch: usize, epochs: usize, seed: u64) -> Pipeline {
+pub fn autoencoder(
+    n: usize,
+    d: usize,
+    h1: usize,
+    batch: usize,
+    epochs: usize,
+    seed: u64,
+) -> Pipeline {
     let (x, _) = datasets::synthetic_classification(n, d, 2, seed);
     let n_batches = n / batch;
     // The batch-wise pre-processing map (normalize + quadratic feature
@@ -544,7 +551,13 @@ pub fn minibatch_micro(rows: usize, cols: usize, batch: usize, seed: u64) -> Pip
 /// slicing + normalization is identical across epochs (reuse potential at
 /// *shallow* lineage heights — where the DAG-Height policy shines), while
 /// the model update chain is loop-carried and unmarked.
-pub fn minibatch_train(rows: usize, cols: usize, batch: usize, epochs: usize, seed: u64) -> Pipeline {
+pub fn minibatch_train(
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    epochs: usize,
+    seed: u64,
+) -> Pipeline {
     let x = lima_matrix::rand_gen::rand_matrix(
         rows,
         cols,

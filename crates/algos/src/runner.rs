@@ -98,11 +98,19 @@ mod tests {
         let cache = LineageCache::new(LimaConfig::lima());
         let x = Value::matrix(DenseMatrix::from_fn(30, 10, |i, j| (i * j) as f64 * 0.01));
         let src = "G = t(X) %*% X; s = sum(G);";
-        let r1 = run_script_with_cache(src, &LimaConfig::lima(), &[("X", x.clone())], Some(cache.clone()))
-            .unwrap();
+        let r1 = run_script_with_cache(
+            src,
+            &LimaConfig::lima(),
+            &[("X", x.clone())],
+            Some(cache.clone()),
+        )
+        .unwrap();
         let r2 = run_script_with_cache(src, &LimaConfig::lima(), &[("X", x)], Some(cache.clone()))
             .unwrap();
-        assert_eq!(r1.value("s").as_f64().unwrap(), r2.value("s").as_f64().unwrap());
+        assert_eq!(
+            r1.value("s").as_f64().unwrap(),
+            r2.value("s").as_f64().unwrap()
+        );
         assert!(lima_core::LimaStats::get(&cache.stats().full_hits) >= 1);
     }
 

@@ -291,8 +291,7 @@ mod tests {
 
     #[test]
     fn determinism_flags_are_plausible() {
-        let program =
-            compile_script(&with_builtins("x = 1;"), &LimaConfig::lima()).unwrap();
+        let program = compile_script(&with_builtins("x = 1;"), &LimaConfig::lima()).unwrap();
         // All of these builtins are deterministic (no system-seeded rand,
         // no prints), so they qualify for multi-level reuse.
         assert!(program.functions["lmDS"].deterministic);

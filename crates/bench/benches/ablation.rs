@@ -45,7 +45,9 @@ fn bench_policy_sweep(c: &mut Criterion) {
             eviction_watermark: 0.98,
             ..LimaConfig::lima()
         };
-        g.bench_function(format!("{policy:?}"), |b| b.iter(|| run_pipeline(&p, &config)));
+        g.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| run_pipeline(&p, &config))
+        });
     }
     g.finish();
 }

@@ -33,10 +33,7 @@ fn bench_cache_throughput(c: &mut Criterion) {
     g.sample_size(10);
     // Probe-hit throughput.
     let cache = LineageCache::new(LimaConfig::default());
-    let item = LineageItem::op(
-        "ba+*",
-        vec![LineageItem::op_with_data("read", "X", vec![])],
-    );
+    let item = LineageItem::op("ba+*", vec![LineageItem::op_with_data("read", "X", vec![])]);
     match cache.acquire(&item).expect("cacheable") {
         Probe::Reserved(r) => r.fulfill(&Value::matrix(DenseMatrix::zeros(32, 32)), 1_000),
         Probe::Hit(_) => unreachable!("fresh cache"),

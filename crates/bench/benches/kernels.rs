@@ -83,5 +83,11 @@ fn bench_reorg(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_matmult, bench_tsmm, bench_solve_and_eigen, bench_reorg);
+criterion_group!(
+    benches,
+    bench_matmult,
+    bench_tsmm,
+    bench_solve_and_eigen,
+    bench_reorg
+);
 criterion_main!(benches);

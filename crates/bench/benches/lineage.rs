@@ -31,7 +31,9 @@ fn bench_hash_and_eq(c: &mut Criterion) {
     });
     let n = chain(10_000);
     n.hash_value();
-    c.bench_function("hash_chain_10k_warm", |b| b.iter(|| black_box(&n).hash_value()));
+    c.bench_function("hash_chain_10k_warm", |b| {
+        b.iter(|| black_box(&n).hash_value())
+    });
     let a = chain(2_000);
     let b2 = chain(2_000);
     c.bench_function("eq_chain_2k_equal", |b| {
@@ -46,10 +48,7 @@ fn bench_hash_and_eq(c: &mut Criterion) {
 fn bench_dedup(c: &mut Criterion) {
     let p0 = LineageItem::placeholder(0);
     let p1 = LineageItem::placeholder(1);
-    let body = LineageItem::op(
-        "+",
-        vec![LineageItem::op("ba+*", vec![p0, p1.clone()]), p1],
-    );
+    let body = LineageItem::op("+", vec![LineageItem::op("ba+*", vec![p0, p1.clone()]), p1]);
     let patch = DedupPatch::new("loop:bench", 0, 2, vec![("p".into(), body)]);
     let g = LineageItem::op_with_data("read", "G", vec![]);
     c.bench_function("dedup_chain_1k_hash", |b| {

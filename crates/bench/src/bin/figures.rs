@@ -13,8 +13,7 @@
 
 use lima_algos::pipelines::{self, Pipeline};
 use lima_bench::{
-    median, print_table, run_pipeline, scaled, secs, speedup, time_pipeline, Config,
-    DEFAULT_BUDGET,
+    median, print_table, run_pipeline, scaled, secs, speedup, time_pipeline, Config, DEFAULT_BUDGET,
 };
 use std::time::Duration;
 
@@ -120,12 +119,14 @@ fn fig6b() {
         // bodies themselves are counted via the traced items.
         let ltd_items = lima_core::LimaStats::get(&ltd.ctx.stats.items_traced)
             + lima_core::LimaStats::get(&ltd.ctx.stats.dedup_items);
-        items[0]
-            .1
-            .push(format!("{:.3}", (lt_items as usize * ITEM_BYTES) as f64 / 1e6));
-        items[1]
-            .1
-            .push(format!("{:.3}", (ltd_items as usize * ITEM_BYTES) as f64 / 1e6));
+        items[0].1.push(format!(
+            "{:.3}",
+            (lt_items as usize * ITEM_BYTES) as f64 / 1e6
+        ));
+        items[1].1.push(format!(
+            "{:.3}",
+            (ltd_items as usize * ITEM_BYTES) as f64 / 1e6
+        ));
         items[2].1.push(lt_items.to_string());
         items[3].1.push(ltd_items.to_string());
     }
@@ -470,7 +471,11 @@ fn binarize_labels(y: &lima_matrix::DenseMatrix) -> lima_matrix::DenseMatrix {
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN labels"));
         v[v.len() / 2]
     };
-    lima_matrix::DenseMatrix::from_fn(y.rows(), 1, |i, _| if y.get(i, 0) > med { 2.0 } else { 1.0 })
+    lima_matrix::DenseMatrix::from_fn(
+        y.rows(),
+        1,
+        |i, _| if y.get(i, 0) > med { 2.0 } else { 1.0 },
+    )
 }
 
 fn trunc_cols(x: &lima_matrix::DenseMatrix, k: usize) -> lima_matrix::DenseMatrix {
@@ -572,7 +577,10 @@ fn tab1() {
         &[
             ("LRU".to_string(), vec!["Ta(o)/theta".to_string()]),
             ("DAG-Height".to_string(), vec!["1/h(o)".to_string()]),
-            ("Cost&Size".to_string(), vec!["(rh+rm)*c(o)/s(o)".to_string()]),
+            (
+                "Cost&Size".to_string(),
+                vec!["(rh+rm)*c(o)/s(o)".to_string()],
+            ),
             (
                 "Hybrid*".to_string(),
                 vec!["0.5*recency + 0.5*utility (abandoned in the paper)".to_string()],
@@ -589,23 +597,53 @@ fn tab2() {
         &[
             (
                 "HL2SVM".to_string(),
-                vec!["#=70".into(), "{0,1}".into(), "1e-12".into(), "N/A".into(), "".into()],
+                vec![
+                    "#=70".into(),
+                    "{0,1}".into(),
+                    "1e-12".into(),
+                    "N/A".into(),
+                    "".into(),
+                ],
             ),
             (
                 "HLM".to_string(),
-                vec!["[1e-5,1e0]".into(), "{0,1}".into(), "[1e-12,1e-8]".into(), "N/A".into(), "yes".into()],
+                vec![
+                    "[1e-5,1e0]".into(),
+                    "{0,1}".into(),
+                    "[1e-12,1e-8]".into(),
+                    "N/A".into(),
+                    "yes".into(),
+                ],
             ),
             (
                 "HCV".to_string(),
-                vec!["[1e-5,1e0]".into(), "{0}".into(), "[1e-12,1e-8]".into(), "N/A".into(), "yes".into()],
+                vec![
+                    "[1e-5,1e0]".into(),
+                    "{0}".into(),
+                    "[1e-12,1e-8]".into(),
+                    "N/A".into(),
+                    "yes".into(),
+                ],
             ),
             (
                 "ENS".to_string(),
-                vec!["#=3".into(), "{0}".into(), "1e-12".into(), "[1K,5K]".into(), "(yes)".into()],
+                vec![
+                    "#=3".into(),
+                    "{0}".into(),
+                    "1e-12".into(),
+                    "[1K,5K]".into(),
+                    "(yes)".into(),
+                ],
             ),
             (
                 "PCALM".to_string(),
-                vec!["N/A".into(), "N/A".into(), "N/A".into(), "K>=10%".into(), "".into()],
+                vec![
+                    "N/A".into(),
+                    "N/A".into(),
+                    "N/A".into(),
+                    "K>=10%".into(),
+                    "".into(),
+                ],
             ),
         ],
     );
@@ -621,7 +659,9 @@ fn tab3() {
     let kx = ds::kdd98_like_preprocess(&kx_raw, 12, 10);
     print_table(
         "Table 3: dataset characteristics (scaled-down stand-ins)",
-        &["dataset", "nrow(X0)", "ncol(X0)", "nrow(X)", "ncol(X)", "task"],
+        &[
+            "dataset", "nrow(X0)", "ncol(X0)", "nrow(X)", "ncol(X)", "task",
+        ],
         &[
             (
                 "APS-like".to_string(),

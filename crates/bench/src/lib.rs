@@ -144,9 +144,21 @@ impl Config {
             Config::Coarse => {
                 // Only function-call results qualify for caching.
                 let fcalls = [
-                    "lm", "lmDS", "lmCG", "lmPredict", "l2norm", "l2svm", "msvm",
-                    "msvmPredict", "multiLogReg", "pca", "naiveBayes", "nbPredict",
-                    "scaleAndShift", "pageRank", "ensScore",
+                    "lm",
+                    "lmDS",
+                    "lmCG",
+                    "lmPredict",
+                    "l2norm",
+                    "l2svm",
+                    "msvm",
+                    "msvmPredict",
+                    "multiLogReg",
+                    "pca",
+                    "naiveBayes",
+                    "nbPredict",
+                    "scaleAndShift",
+                    "pageRank",
+                    "ensScore",
                 ]
                 .iter()
                 .map(|f| format!("fcall:{f}"))
@@ -180,16 +192,13 @@ pub const DEFAULT_BUDGET: usize = 512 * 1024 * 1024;
 /// Runs a pipeline under a configuration `reps` times, returning the
 /// per-repetition durations (each repetition uses a fresh cache).
 pub fn time_pipeline(p: &Pipeline, config: &LimaConfig, reps: usize) -> Vec<Duration> {
-    (0..reps)
-        .map(|_| run_pipeline(p, config).elapsed)
-        .collect()
+    (0..reps).map(|_| run_pipeline(p, config).elapsed).collect()
 }
 
 /// Runs a pipeline once.
 pub fn run_pipeline(p: &Pipeline, config: &LimaConfig) -> RunResult {
-    run_script(&p.script, config, &p.input_refs()).unwrap_or_else(|e| {
-        panic!("pipeline {} failed under {:?}: {e}", p.name, config.reuse)
-    })
+    run_script(&p.script, config, &p.input_refs())
+        .unwrap_or_else(|e| panic!("pipeline {} failed under {:?}: {e}", p.name, config.reuse))
 }
 
 /// Median of a set of durations.
@@ -280,6 +289,9 @@ mod tests {
     #[test]
     fn scaled_has_floor() {
         assert!(scaled(100) >= 16);
-        assert_eq!(speedup(Duration::from_secs(2), Duration::from_secs(1)), "2.00x");
+        assert_eq!(
+            speedup(Duration::from_secs(2), Duration::from_secs(1)),
+            "2.00x"
+        );
     }
 }

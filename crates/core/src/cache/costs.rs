@@ -110,7 +110,10 @@ mod tests {
             m.observe_write(1_000_000_000, 10_000_000_000);
         }
         let after = m.est_write_ns(1_000_000_000);
-        assert!(after > before * 5, "estimate should grow: {before} -> {after}");
+        assert!(
+            after > before * 5,
+            "estimate should grow: {before} -> {after}"
+        );
         // Degenerate observations are ignored.
         m.observe_write(0, 100);
         m.observe_read(100, 0);

@@ -98,7 +98,10 @@ mod tests {
     fn lru_evicts_oldest() {
         let old = entry(1, 1, 1, 5, 0);
         let new = entry(1, 1, 1, 9, 0);
-        let victim = pick_victim(EvictionPolicy::Lru, vec![("old", &old), ("new", &new)].into_iter());
+        let victim = pick_victim(
+            EvictionPolicy::Lru,
+            vec![("old", &old), ("new", &new)].into_iter(),
+        );
         assert_eq!(victim, Some("old"));
     }
 
@@ -112,7 +115,12 @@ mod tests {
         );
         assert_eq!(victim, Some("deep"));
         // Height 0 does not divide by zero.
-        assert!(score(EvictionPolicy::DagHeight, &entry(1, 1, 0, 0, 0), &Norms::default()).is_finite());
+        assert!(score(
+            EvictionPolicy::DagHeight,
+            &entry(1, 1, 0, 0, 0),
+            &Norms::default()
+        )
+        .is_finite());
     }
 
     #[test]
@@ -130,7 +138,10 @@ mod tests {
     fn ties_break_by_age() {
         let a = entry(10, 10, 1, 3, 1);
         let b = entry(10, 10, 1, 7, 1);
-        let victim = pick_victim(EvictionPolicy::CostSize, vec![("a", &a), ("b", &b)].into_iter());
+        let victim = pick_victim(
+            EvictionPolicy::CostSize,
+            vec![("a", &a), ("b", &b)].into_iter(),
+        );
         assert_eq!(victim, Some("a"));
     }
 
@@ -140,8 +151,10 @@ mod tests {
         // entry is evicted.
         let old = entry(1_000, 100, 1, 2, 1);
         let new = entry(1_000, 100, 1, 9, 1);
-        let victim =
-            pick_victim(EvictionPolicy::Hybrid, vec![("old", &old), ("new", &new)].into_iter());
+        let victim = pick_victim(
+            EvictionPolicy::Hybrid,
+            vec![("old", &old), ("new", &new)].into_iter(),
+        );
         assert_eq!(victim, Some("old"));
         let cheap = entry(10, 100, 1, 5, 1);
         let costly = entry(1_000_000, 100, 1, 5, 1);
@@ -154,7 +167,10 @@ mod tests {
 
     #[test]
     fn empty_candidates_yield_none() {
-        let v: Option<&str> = pick_victim(EvictionPolicy::Lru, std::iter::empty::<(&str, &CacheEntry)>());
+        let v: Option<&str> = pick_victim(
+            EvictionPolicy::Lru,
+            std::iter::empty::<(&str, &CacheEntry)>(),
+        );
         assert!(v.is_none());
     }
 }

@@ -18,9 +18,10 @@ use lima_matrix::Value;
 use parking_lot::{Condvar, Mutex};
 use spill::SpillStore;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Outcome of a full-reuse probe.
 pub enum Probe {
@@ -98,6 +99,9 @@ pub struct LineageCache {
     state: Mutex<CacheState>,
     cond: Condvar,
     clock: AtomicU64,
+    /// Consecutive spill-write failures; at `config.spill_failure_limit` the
+    /// circuit breaker opens and evictions stop attempting to spill.
+    spill_breaker: AtomicU32,
 }
 
 impl std::fmt::Debug for LineageCache {
@@ -116,7 +120,7 @@ impl LineageCache {
     /// Creates a cache for the given configuration.
     pub fn new(config: LimaConfig) -> Arc<Self> {
         let spill_store = if config.spill {
-            SpillStore::new().ok()
+            SpillStore::with_faults(config.faults.clone()).ok()
         } else {
             None
         };
@@ -131,6 +135,7 @@ impl LineageCache {
             }),
             cond: Condvar::new(),
             clock: AtomicU64::new(1),
+            spill_breaker: AtomicU32::new(0),
         })
     }
 
@@ -180,6 +185,11 @@ impl LineageCache {
     /// Full-reuse probe (paper §4.1). Returns `None` when the opcode does not
     /// qualify for caching or reuse is disabled — the caller then executes
     /// normally without touching the cache.
+    ///
+    /// Failure semantics: a spilled entry whose restore fails degrades to a
+    /// miss (the caller recomputes), and a placeholder whose fulfiller never
+    /// finishes within `config.placeholder_timeout_ms` is taken over by the
+    /// waiting probe instead of blocking forever.
     pub fn acquire(self: &Arc<Self>, item: &LinRef) -> Option<Probe> {
         if !self.reusable(item) {
             return None;
@@ -187,35 +197,39 @@ impl LineageCache {
         LimaStats::bump(&self.stats.probes);
         let key = LinKey(item.clone());
         let height = item.height();
+        // Total placeholder-wait bound for this probe: armed on the first
+        // Computing encounter and not reset by wake-ups for other entries.
+        let mut wait_deadline: Option<Instant> = None;
         let mut st = self.state.lock();
         loop {
             let now = self.tick();
-            match st.map.get_mut(&key) {
-                Some(e) if e.is_resident() => {
+            let Some(e) = st.map.get_mut(&key) else {
+                st.map
+                    .insert(key.clone(), CacheEntry::computing(height, now));
+                drop(st);
+                return Some(Probe::Reserved(Reservation {
+                    cache: Arc::clone(self),
+                    key,
+                    done: false,
+                }));
+            };
+            match &e.state {
+                EntryState::Cached(v) => {
+                    let value = v.clone();
+                    let compute_ns = e.compute_ns;
                     e.hits += 1;
                     e.last_access = now;
-                    let (value, compute_ns) = match &e.state {
-                        EntryState::Cached(v) => (v.clone(), e.compute_ns),
-                        _ => unreachable!("checked resident"),
-                    };
                     drop(st);
                     self.count_hit(item, compute_ns);
                     return Some(Probe::Hit(value));
                 }
-                Some(e) if e.is_spilled() => {
+                EntryState::Spilled { path, bytes } => {
                     // Restore under a placeholder so concurrent probes wait
                     // instead of double-reading the file.
-                    let (path, bytes) = match &e.state {
-                        EntryState::Spilled { path, bytes } => (path.clone(), *bytes),
-                        _ => unreachable!("checked spilled"),
-                    };
+                    let (path, bytes) = (path.clone(), *bytes);
                     e.state = EntryState::Computing;
                     drop(st);
-                    let store = self.spill_store.as_ref().expect("spilled implies store");
-                    let t0 = Instant::now();
-                    let restored = store.restore(&path);
-                    let elapsed = t0.elapsed().as_nanos() as u64;
-                    self.io.observe_read(bytes, elapsed);
+                    let restored = self.timed_restore(&path, bytes);
                     st = self.state.lock();
                     match restored {
                         Ok(value) => {
@@ -238,6 +252,9 @@ impl LineageCache {
                             continue;
                         }
                         Err(_) => {
+                            // Missing or corrupt spill file: degrade to a
+                            // miss so the caller recomputes.
+                            LimaStats::bump(&self.stats.restore_failures);
                             if let Some(e) = st.map.get_mut(&key) {
                                 e.state = EntryState::Evicted;
                                 e.misses += 1;
@@ -247,12 +264,45 @@ impl LineageCache {
                         }
                     }
                 }
-                Some(e) if e.is_computing() => {
+                EntryState::Computing => {
                     LimaStats::bump(&self.stats.placeholder_waits);
-                    self.cond.wait(&mut st);
+                    let timeout_ms = self.config.placeholder_timeout_ms;
+                    if timeout_ms == 0 {
+                        self.cond.wait(&mut st);
+                        continue;
+                    }
+                    let deadline = *wait_deadline
+                        .get_or_insert_with(|| Instant::now() + Duration::from_millis(timeout_ms));
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    let timed_out =
+                        remaining.is_zero() || self.cond.wait_for(&mut st, remaining).timed_out();
+                    if timed_out {
+                        // Re-check under the lock: the fulfiller may have won
+                        // the race against the timeout.
+                        if let Some(e) = st.map.get_mut(&key) {
+                            if e.is_computing() {
+                                // Presume the fulfiller dead and take over
+                                // the computation; should it fulfil after
+                                // all, it overwrites with the same value
+                                // (identical lineage), which is benign.
+                                LimaStats::bump(&self.stats.placeholder_timeouts);
+                                e.misses += 1;
+                                e.last_access = self.tick();
+                                drop(st);
+                                return Some(Probe::Reserved(Reservation {
+                                    cache: Arc::clone(self),
+                                    key,
+                                    done: false,
+                                }));
+                            }
+                        }
+                        // The entry moved on; re-arm the deadline in case a
+                        // new placeholder appears later in this probe.
+                        wait_deadline = None;
+                    }
                     continue;
                 }
-                Some(e) => {
+                EntryState::Evicted => {
                     // Evicted shell: misses raise the entry's future score.
                     e.misses += 1;
                     e.last_access = now;
@@ -264,17 +314,21 @@ impl LineageCache {
                         done: false,
                     }));
                 }
-                None => {
-                    st.map.insert(key.clone(), CacheEntry::computing(height, now));
-                    drop(st);
-                    return Some(Probe::Reserved(Reservation {
-                        cache: Arc::clone(self),
-                        key,
-                        done: false,
-                    }));
-                }
             }
         }
+    }
+
+    /// Restores a spilled value, folding the measured read time into the I/O
+    /// model. A missing spill store reports as a restore failure instead of
+    /// panicking.
+    fn timed_restore(&self, path: &Path, bytes: usize) -> std::io::Result<Value> {
+        let store = self.spill_store.as_ref().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::NotFound, "spill store unavailable")
+        })?;
+        let t0 = Instant::now();
+        let restored = store.restore(path);
+        self.io.observe_read(bytes, t0.elapsed().as_nanos() as u64);
+        restored
     }
 
     /// True when this item's output qualifies for cache interaction.
@@ -299,26 +353,19 @@ impl LineageCache {
         let key = LinKey(item.clone());
         let mut st = self.state.lock();
         let now = self.tick();
-        match st.map.get_mut(&key) {
-            Some(e) if e.is_resident() => {
+        let e = st.map.get_mut(&key)?;
+        match &e.state {
+            EntryState::Cached(v) => {
+                let value = v.clone();
                 e.hits += 1;
                 e.last_access = now;
-                match &e.state {
-                    EntryState::Cached(v) => Some(v.clone()),
-                    _ => unreachable!(),
-                }
+                Some(value)
             }
-            Some(e) if e.is_spilled() => {
-                let (path, bytes) = match &e.state {
-                    EntryState::Spilled { path, bytes } => (path.clone(), *bytes),
-                    _ => unreachable!(),
-                };
+            EntryState::Spilled { path, bytes } => {
+                let (path, bytes) = (path.clone(), *bytes);
                 e.state = EntryState::Computing;
                 drop(st);
-                let store = self.spill_store.as_ref().expect("spilled implies store");
-                let t0 = Instant::now();
-                let restored = store.restore(&path);
-                self.io.observe_read(bytes, t0.elapsed().as_nanos() as u64);
+                let restored = self.timed_restore(&path, bytes);
                 let mut st = self.state.lock();
                 let e = st.map.get_mut(&key)?;
                 match restored {
@@ -336,6 +383,9 @@ impl LineageCache {
                         Some(value)
                     }
                     Err(_) => {
+                        // Degrade to a miss; waiters on the placeholder wake
+                        // and recompute.
+                        LimaStats::bump(&self.stats.restore_failures);
                         e.state = EntryState::Evicted;
                         e.misses += 1;
                         drop(st);
@@ -344,11 +394,10 @@ impl LineageCache {
                     }
                 }
             }
-            Some(e) => {
+            EntryState::Computing | EntryState::Evicted => {
                 e.misses += 1;
                 None
             }
-            None => None,
         }
     }
 
@@ -422,11 +471,8 @@ impl LineageCache {
         }
         let watermark = (self.config.budget_bytes as f64
             * self.config.eviction_watermark.clamp(0.0, 1.0)) as usize;
-        let norms = eviction::Norms::collect(
-            st.map
-                .values()
-                .filter(|e| e.is_resident() && e.size > 0),
-        );
+        let norms =
+            eviction::Norms::collect(st.map.values().filter(|e| e.is_resident() && e.size > 0));
         let mut scored: Vec<(LinKey, f64, u64)> = st
             .map
             .iter()
@@ -475,19 +521,29 @@ impl LineageCache {
             };
             e.size = 0;
             st.resident_bytes = st.resident_bytes.saturating_sub(size);
-            if !shared {
+            if !shared && !self.spill_disabled() {
                 if let Some(store) = &self.spill_store {
                     if self.io.worth_spilling(size, compute_ns) {
                         let t0 = Instant::now();
-                        if let Ok(Some((path, bytes))) = store.spill(&value) {
-                            self.io
-                                .observe_write(bytes, t0.elapsed().as_nanos() as u64);
-                            LimaStats::bump(&self.stats.spills);
-                            LimaStats::add(&self.stats.spill_bytes, bytes as u64);
-                            if let Some(e) = st.map.get_mut(&vkey) {
-                                e.state = EntryState::Spilled { path, bytes };
+                        match store.spill(&value) {
+                            Ok(Some((path, bytes))) => {
+                                self.spill_breaker.store(0, Ordering::Relaxed);
+                                self.io.observe_write(bytes, t0.elapsed().as_nanos() as u64);
+                                LimaStats::bump(&self.stats.spills);
+                                LimaStats::add(&self.stats.spill_bytes, bytes as u64);
+                                if let Some(e) = st.map.get_mut(&vkey) {
+                                    e.state = EntryState::Spilled { path, bytes };
+                                }
+                                continue;
                             }
-                            continue;
+                            // Non-matrix values are simply not spillable.
+                            Ok(None) => {}
+                            // Write failure: fall back to delete-eviction and
+                            // feed the circuit breaker.
+                            Err(_) => {
+                                LimaStats::bump(&self.stats.spill_failures);
+                                self.spill_breaker.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 }
@@ -522,6 +578,14 @@ impl LineageCache {
         for (k, _) in shell_keys.into_iter().take(shells - max_shells) {
             st.map.remove(&k);
         }
+    }
+
+    /// True once the spill circuit breaker has opened: after
+    /// `config.spill_failure_limit` consecutive write failures, evictions
+    /// stop attempting to spill (0 disables the breaker).
+    pub fn spill_disabled(&self) -> bool {
+        let limit = self.config.spill_failure_limit;
+        limit != 0 && self.spill_breaker.load(Ordering::Relaxed) >= limit
     }
 
     /// Drops every entry (tests and phase boundaries in benchmarks).
@@ -628,10 +692,7 @@ mod tests {
             };
             // dropped here without fulfill
         }
-        assert!(matches!(
-            cache.acquire(&item).unwrap(),
-            Probe::Reserved(_)
-        ));
+        assert!(matches!(cache.acquire(&item).unwrap(), Probe::Reserved(_)));
     }
 
     #[test]
@@ -665,10 +726,7 @@ mod tests {
         assert_eq!(cache.resident_bytes(), 0);
         assert_eq!(LimaStats::get(&cache.stats().rejected_puts), 1);
         // Shell remains; next probe reserves again.
-        assert!(matches!(
-            cache.acquire(&item).unwrap(),
-            Probe::Reserved(_)
-        ));
+        assert!(matches!(cache.acquire(&item).unwrap(), Probe::Reserved(_)));
     }
 
     #[test]
@@ -760,6 +818,162 @@ mod tests {
         }
         assert!(matches!(cache.acquire(&a).unwrap(), Probe::Hit(_)));
         assert!(matches!(cache.acquire(&b).unwrap(), Probe::Reserved(_)));
+    }
+
+    #[test]
+    fn aborted_reservation_wakes_all_blocked_waiters() {
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("ba+*", "X");
+        let r = match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        let t0 = Instant::now();
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&cache);
+                let it = mk_item("ba+*", "X");
+                std::thread::spawn(move || match c.acquire(&it).unwrap() {
+                    Probe::Hit(_) => "hit",
+                    Probe::Reserved(r) => {
+                        r.fulfill(&mat(4), 10);
+                        "reserved"
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        drop(r); // implicit abort
+        let outcomes: Vec<&str> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+        // Exactly one waiter takes over the computation; the rest reuse it.
+        assert_eq!(outcomes.iter().filter(|o| **o == "reserved").count(), 1);
+        assert_eq!(outcomes.iter().filter(|o| **o == "hit").count(), 2);
+        // All waiters woke well within the placeholder timeout (60 s default).
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn placeholder_timeout_converts_waiter_into_takeover() {
+        let config = LimaConfig {
+            placeholder_timeout_ms: 100,
+            ..cfg(1 << 20)
+        };
+        let cache = LineageCache::new(config);
+        let item = mk_item("ba+*", "X");
+        let r = match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        // Simulate a fulfiller dying without aborting: leak the reservation
+        // so no notify ever arrives for this placeholder.
+        std::mem::forget(r);
+        let c = Arc::clone(&cache);
+        let it = mk_item("ba+*", "X");
+        let waiter = std::thread::spawn(move || match c.acquire(&it).unwrap() {
+            Probe::Reserved(r) => {
+                r.fulfill(&mat(3), 10);
+                true
+            }
+            Probe::Hit(_) => false,
+        });
+        assert!(
+            waiter.join().unwrap(),
+            "waiter must take the placeholder over"
+        );
+        assert!(LimaStats::get(&cache.stats().placeholder_timeouts) >= 1);
+        // The takeover's value is now served normally.
+        assert!(matches!(cache.acquire(&item).unwrap(), Probe::Hit(_)));
+    }
+
+    #[test]
+    fn spill_write_failure_falls_back_to_delete_evict() {
+        use crate::faults::{FaultInjector, FaultSite};
+        let inj = Arc::new(FaultInjector::new(0).fail_every(FaultSite::SpillWrite, 1));
+        let config = LimaConfig {
+            budget_bytes: 100_000,
+            spill: true,
+            spill_failure_limit: 0, // breaker off: every eviction tries
+            faults: Some(Arc::clone(&inj)),
+            ..LimaConfig::default()
+        };
+        let cache = LineageCache::new(config);
+        let hot = mk_item("ba+*", "hot");
+        match cache.acquire(&hot).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 60_000_000_000),
+            _ => panic!(),
+        }
+        let filler = mk_item("ba+*", "filler");
+        match cache.acquire(&filler).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(90), 120_000_000_000),
+            _ => panic!(),
+        }
+        assert!(inj.injected(FaultSite::SpillWrite) >= 1);
+        assert!(LimaStats::get(&cache.stats().spill_failures) >= 1);
+        assert_eq!(LimaStats::get(&cache.stats().spills), 0);
+        assert!(LimaStats::get(&cache.stats().evictions) >= 1);
+        // The victim is a graceful miss, not an error.
+        assert!(matches!(
+            cache.acquire(&mk_item("ba+*", "hot")).unwrap(),
+            Probe::Reserved(_)
+        ));
+    }
+
+    #[test]
+    fn spill_circuit_breaker_stops_attempts_after_limit() {
+        use crate::faults::{FaultInjector, FaultSite};
+        let inj = Arc::new(FaultInjector::new(0).fail_every(FaultSite::SpillWrite, 1));
+        let config = LimaConfig {
+            budget_bytes: 100_000,
+            spill: true,
+            spill_failure_limit: 2,
+            faults: Some(Arc::clone(&inj)),
+            ..LimaConfig::default()
+        };
+        let cache = LineageCache::new(config);
+        for i in 0..6 {
+            let item = mk_item("ba+*", &format!("X{i}"));
+            match cache.acquire(&item).unwrap() {
+                Probe::Reserved(r) => r.fulfill(&mat(100), 60_000_000_000),
+                _ => panic!(),
+            }
+        }
+        // Two consecutive failures opened the breaker; later evictions never
+        // reached the spill store again.
+        assert!(cache.spill_disabled());
+        assert_eq!(inj.occurrences(FaultSite::SpillWrite), 2);
+        assert_eq!(LimaStats::get(&cache.stats().spill_failures), 2);
+        assert!(LimaStats::get(&cache.stats().evictions) >= 4);
+    }
+
+    #[test]
+    fn corrupted_spill_degrades_to_miss_and_recomputes() {
+        use crate::faults::{FaultInjector, FaultSite};
+        let inj = Arc::new(FaultInjector::new(0).fail_every(FaultSite::SpillCorrupt, 1));
+        let config = LimaConfig {
+            budget_bytes: 100_000,
+            spill: true,
+            faults: Some(inj),
+            ..LimaConfig::default()
+        };
+        let cache = LineageCache::new(config);
+        let hot = mk_item("ba+*", "hot");
+        match cache.acquire(&hot).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 60_000_000_000),
+            _ => panic!(),
+        }
+        let filler = mk_item("ba+*", "filler");
+        match cache.acquire(&filler).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(90), 120_000_000_000),
+            _ => panic!(),
+        }
+        assert!(LimaStats::get(&cache.stats().spills) >= 1);
+        // The corrupted file fails its checksum on restore: graceful miss.
+        match cache.acquire(&mk_item("ba+*", "hot")).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 60_000_000_000),
+            Probe::Hit(_) => panic!("corrupt restore must not produce a value"),
+        }
+        assert!(LimaStats::get(&cache.stats().restore_failures) >= 1);
+        assert_eq!(LimaStats::get(&cache.stats().restores), 0);
     }
 
     #[test]

@@ -142,8 +142,12 @@ fn try_mm_rewrites(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Optio
     if a_lin.opcode() == op::TRANSPOSE && b_lin.opcode() == op::RBIND {
         if let [inner] = a_lin.inputs() {
             if inner.opcode() == op::RBIND {
-                let [xa, _xb] = inner.inputs() else { return None };
-                let [ya, _yb] = b_lin.inputs() else { return None };
+                let [xa, _xb] = inner.inputs() else {
+                    return None;
+                };
+                let [ya, _yb] = b_lin.inputs() else {
+                    return None;
+                };
                 let probe = probe_mm(
                     &LineageItem::op(op::TRANSPOSE, vec![xa.clone()]),
                     &ya.clone(),
@@ -168,7 +172,9 @@ fn try_mm_rewrites(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Optio
 
     // (1) rbind(X,ΔX) %*% Y → rbind(X%*%Y, ΔX%*%Y)
     if a_lin.opcode() == op::RBIND {
-        let [x, _dx] = a_lin.inputs() else { return None };
+        let [x, _dx] = a_lin.inputs() else {
+            return None;
+        };
         if let Some(xy) = peek_matrix(cache, &probe_mm(x, b_lin)) {
             let nx = xy.rows();
             if nx < av.rows() && xy.cols() == bv.cols() {
@@ -247,7 +253,9 @@ fn try_tsmm_rewrites(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Opt
 
     // (5) tsmm(rbind(X,ΔX)) → tsmm(X) + tsmm(ΔX)
     if c_lin.opcode() == op::RBIND {
-        let [x, _dx] = c_lin.inputs() else { return None };
+        let [x, _dx] = c_lin.inputs() else {
+            return None;
+        };
         if let Some(ts) = peek_matrix(cache, &probe_tsmm(x)) {
             let nx = x.shape().map(|(r, _)| r)?;
             if nx < cv.rows() && ts.cols() == cv.cols() {
@@ -315,8 +323,12 @@ fn try_ew_cbind(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Option<P
     if av.shape() != bv.shape() {
         return None;
     }
-    let [x, _dx] = a_lin.inputs() else { return None };
-    let [y, _dy] = b_lin.inputs() else { return None };
+    let [x, _dx] = a_lin.inputs() else {
+        return None;
+    };
+    let [y, _dy] = b_lin.inputs() else {
+        return None;
+    };
     let probe = LineageItem::op(item.opcode(), vec![x.clone(), y.clone()]);
     let head = peek_matrix(cache, &probe)?;
     let k = head.cols();
@@ -346,7 +358,9 @@ fn try_colagg_cbind(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Opti
         return None;
     }
     let cv = as_matrix(vals.first()?)?;
-    let [x, _dx] = c_lin.inputs() else { return None };
+    let [x, _dx] = c_lin.inputs() else {
+        return None;
+    };
     let probe = LineageItem::op(item.opcode(), vec![x.clone()]);
     let head = peek_matrix(cache, &probe)?;
     let k = head.cols();
@@ -372,7 +386,9 @@ fn try_rowagg_rbind(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Opti
         return None;
     }
     let rv = as_matrix(vals.first()?)?;
-    let [x, _dx] = r_lin.inputs() else { return None };
+    let [x, _dx] = r_lin.inputs() else {
+        return None;
+    };
     let probe = LineageItem::op(item.opcode(), vec![x.clone()]);
     let head = peek_matrix(cache, &probe)?;
     let n = head.rows();
@@ -395,7 +411,9 @@ fn try_transpose_cbind(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> O
         return None;
     }
     let cv = as_matrix(vals.first()?)?;
-    let [x, _dx] = c_lin.inputs() else { return None };
+    let [x, _dx] = c_lin.inputs() else {
+        return None;
+    };
     let head = peek_matrix(cache, &LineageItem::op(op::TRANSPOSE, vec![x.clone()]))?;
     let k = head.rows(); // t(X) is k × m
     if k >= cv.cols() || head.cols() != cv.rows() {
@@ -423,8 +441,12 @@ fn try_ew_rbind(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Option<P
     if av.shape() != bv.shape() {
         return None;
     }
-    let [x, _dx] = a_lin.inputs() else { return None };
-    let [y, _dy] = b_lin.inputs() else { return None };
+    let [x, _dx] = a_lin.inputs() else {
+        return None;
+    };
+    let [y, _dy] = b_lin.inputs() else {
+        return None;
+    };
     let probe = LineageItem::op(item.opcode(), vec![x.clone(), y.clone()]);
     let head = peek_matrix(cache, &probe)?;
     let n = head.rows();
@@ -459,7 +481,9 @@ fn try_fullagg_concat(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Op
         _ => return None,
     };
     let cv = as_matrix(vals.first()?)?;
-    let [x, _dx] = c_lin.inputs() else { return None };
+    let [x, _dx] = c_lin.inputs() else {
+        return None;
+    };
     let probe = LineageItem::op(item.opcode(), vec![x.clone()]);
     let head = match cache.peek(&probe) {
         Some(Value::Scalar(s)) => s.as_f64().ok()?,
@@ -524,8 +548,12 @@ mod tests {
         rb.set_shape(8, 4);
         let item = probe_mm(&rb, &y);
         let rv = rbind(&xv, &dxv).unwrap();
-        let hit = try_partial_reuse(&c, &item, &[Value::matrix(rv.clone()), Value::matrix(yv.clone())])
-            .expect("rewrite fires");
+        let hit = try_partial_reuse(
+            &c,
+            &item,
+            &[Value::matrix(rv.clone()), Value::matrix(yv.clone())],
+        )
+        .expect("rewrite fires");
         assert_eq!(hit.rewrite, "mm-rbind-left");
         let expect = matmult(&rv, &yv).unwrap();
         assert!(hit.value.as_matrix().unwrap().rel_eq(&expect, 1e-12));
@@ -546,9 +574,12 @@ mod tests {
         let cb = LineageItem::op(op::CBIND, vec![y.clone(), dy]);
         let item = probe_mm(&x, &cb);
         let cv = cbind(&yv, &dyv).unwrap();
-        let hit =
-            try_partial_reuse(&c, &item, &[Value::matrix(xv.clone()), Value::matrix(cv.clone())])
-                .expect("rewrite fires");
+        let hit = try_partial_reuse(
+            &c,
+            &item,
+            &[Value::matrix(xv.clone()), Value::matrix(cv.clone())],
+        )
+        .expect("rewrite fires");
         assert_eq!(hit.rewrite, "mm-cbind-right");
         let expect = matmult(&xv, &cv).unwrap();
         assert!(hit.value.as_matrix().unwrap().rel_eq(&expect, 1e-12));
@@ -560,8 +591,12 @@ mod tests {
         let item = probe_mm(&x, &cb1);
         let ones = DenseMatrix::filled(4, 1, 1.0);
         let cv1 = cbind(&yv, &ones).unwrap();
-        let hit = try_partial_reuse(&c, &item, &[Value::matrix(xv.clone()), Value::matrix(cv1.clone())])
-            .expect("ones rewrite fires");
+        let hit = try_partial_reuse(
+            &c,
+            &item,
+            &[Value::matrix(xv.clone()), Value::matrix(cv1.clone())],
+        )
+        .expect("ones rewrite fires");
         assert_eq!(hit.rewrite, "mm-cbind-ones");
         let expect = matmult(&xv, &cv1).unwrap();
         assert!(hit.value.as_matrix().unwrap().rel_eq(&expect, 1e-12));
@@ -590,7 +625,11 @@ mod tests {
         let c = cache();
         let (x, dx) = (leaf("X", 6, 3), leaf("dX", 2, 3));
         let (xv, dxv) = (mat(6, 3, 1), mat(2, 3, 2));
-        c.put(&probe_tsmm(&x), &Value::matrix(tsmm(&xv, TsmmSide::Left)), 1_000);
+        c.put(
+            &probe_tsmm(&x),
+            &Value::matrix(tsmm(&xv, TsmmSide::Left)),
+            1_000,
+        );
 
         let rb = LineageItem::op(op::RBIND, vec![x, dx]);
         let item = probe_tsmm(&rb);
@@ -606,7 +645,11 @@ mod tests {
         let c = cache();
         let (x, dx) = (leaf("X", 8, 3), leaf("dX", 8, 2));
         let (xv, dxv) = (mat(8, 3, 1), mat(8, 2, 2));
-        c.put(&probe_tsmm(&x), &Value::matrix(tsmm(&xv, TsmmSide::Left)), 1_000);
+        c.put(
+            &probe_tsmm(&x),
+            &Value::matrix(tsmm(&xv, TsmmSide::Left)),
+            1_000,
+        );
 
         let cb = LineageItem::op(op::CBIND, vec![x, dx]);
         let item = probe_tsmm(&cb);
@@ -622,7 +665,11 @@ mod tests {
         let c = cache();
         let x = leaf("X", 9, 4);
         let xv = mat(9, 4, 5);
-        c.put(&probe_tsmm(&x), &Value::matrix(tsmm(&xv, TsmmSide::Left)), 1_000);
+        c.put(
+            &probe_tsmm(&x),
+            &Value::matrix(tsmm(&xv, TsmmSide::Left)),
+            1_000,
+        );
 
         let ones_lin = LineageItem::op_with_data(op::MATRIX_FILL, "1 9 1", vec![]);
         ones_lin.set_shape(9, 1);
@@ -744,7 +791,11 @@ mod tests {
         let cv = cbind(&xv, &dxv).unwrap();
         let hit = try_partial_reuse(&c, &item, &[Value::matrix(cv.clone())]).expect("fires");
         assert_eq!(hit.rewrite, "transpose-cbind");
-        assert!(hit.value.as_matrix().unwrap().rel_eq(&transpose(&cv), 1e-12));
+        assert!(hit
+            .value
+            .as_matrix()
+            .unwrap()
+            .rel_eq(&transpose(&cv), 1e-12));
     }
 
     #[test]
@@ -779,7 +830,11 @@ mod tests {
         let c = cache();
         let x = leaf("X", 4, 3);
         let xv = mat(4, 3, 1);
-        for (fname, f) in [("sum", AggFn::Sum), ("max", AggFn::Max), ("min", AggFn::Min)] {
+        for (fname, f) in [
+            ("sum", AggFn::Sum),
+            ("max", AggFn::Max),
+            ("min", AggFn::Min),
+        ] {
             let probe = LineageItem::op(op::full_agg(fname), vec![x.clone()]);
             c.put(&probe, &Value::f64(agg::full_agg(&xv, f)), 1_000);
         }
@@ -787,7 +842,11 @@ mod tests {
         let dxv = mat(4, 2, 2);
         let cb = LineageItem::op(op::CBIND, vec![x.clone(), dx]);
         let cv = cbind(&xv, &dxv).unwrap();
-        for (fname, f) in [("sum", AggFn::Sum), ("max", AggFn::Max), ("min", AggFn::Min)] {
+        for (fname, f) in [
+            ("sum", AggFn::Sum),
+            ("max", AggFn::Max),
+            ("min", AggFn::Min),
+        ] {
             let item = LineageItem::op(op::full_agg(fname), vec![cb.clone()]);
             let hit = try_partial_reuse(&c, &item, &[Value::matrix(cv.clone())])
                 .unwrap_or_else(|| panic!("{fname} fires"));
@@ -820,7 +879,11 @@ mod tests {
         let c = LineageCache::new(cfg);
         let (x, dx) = (leaf("X", 6, 3), leaf("dX", 2, 3));
         let xv = mat(6, 3, 1);
-        c.put(&probe_tsmm(&x), &Value::matrix(tsmm(&xv, TsmmSide::Left)), 1_000);
+        c.put(
+            &probe_tsmm(&x),
+            &Value::matrix(tsmm(&xv, TsmmSide::Left)),
+            1_000,
+        );
         let rb = LineageItem::op(op::RBIND, vec![x, dx]);
         let item = probe_tsmm(&rb);
         let rv = mat(8, 3, 1);

@@ -1,36 +1,66 @@
 //! Disk spilling of evicted cache entries (paper §4.3).
 //!
 //! Only matrices are spilled (scalars are too small to matter; lists are
-//! dropped and recomputed). The format is a tiny self-describing binary
-//! header followed by the raw `f64` buffer, written with the `bytes` crate.
+//! dropped and recomputed). The format (version 2) is a self-describing
+//! binary header, the raw `f64` buffer, and a trailing FNV-1a-64 checksum
+//! over everything before it, written with the `bytes` crate. The checksum
+//! detects every single-byte corruption (each FNV step is injective in both
+//! operands modulo 2^64), so a damaged spill file always restores to a clean
+//! error — never to a silently wrong matrix.
+//!
+//! A [`crate::faults::FaultInjector`] can be attached to exercise write
+//! failures, read failures, and on-disk corruption deterministically.
 
+use crate::faults::{FaultInjector, FaultSite};
 use bytes::{Buf, BufMut, BytesMut};
 use lima_matrix::{DenseMatrix, Value};
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const MAGIC: u32 = 0x4C49_4D41; // "LIMA"
+const VERSION: u32 = 2;
+/// magic + version + rows + cols.
+const HEADER_BYTES: usize = 4 + 4 + 8 + 8;
+/// Trailing FNV-1a-64 checksum.
+const TRAILER_BYTES: usize = 8;
 
 static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// FNV-1a 64-bit hash of `data`.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// Manages the spill directory lifecycle; files are removed on drop.
 #[derive(Debug)]
 pub struct SpillStore {
     dir: PathBuf,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl SpillStore {
     /// Creates a per-process spill directory under the system temp dir.
     pub fn new() -> std::io::Result<Self> {
+        Self::with_faults(None)
+    }
+
+    /// [`Self::new`] with an optional fault-injection harness attached.
+    pub fn with_faults(faults: Option<Arc<FaultInjector>>) -> std::io::Result<Self> {
         let dir = std::env::temp_dir().join(format!(
             "lima-spill-{}-{}",
             std::process::id(),
             NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
         ));
         fs::create_dir_all(&dir)?;
-        Ok(SpillStore { dir })
+        Ok(SpillStore { dir, faults })
     }
 
     /// Spills a matrix value; returns the file path and bytes written.
@@ -40,15 +70,33 @@ impl SpillStore {
             Value::Matrix(m) => m,
             _ => return Ok(None),
         };
-        let path = self
-            .dir
-            .join(format!("e{}.bin", NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)));
+        if let Some(f) = &self.faults {
+            if f.should_fail(FaultSite::SpillWrite) {
+                return Err(FaultInjector::io_error(FaultSite::SpillWrite));
+            }
+        }
+        let path = self.dir.join(format!(
+            "e{}.bin",
+            NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+        ));
         let bytes = write_matrix(&path, m)?;
+        if let Some(f) = &self.faults {
+            if f.should_fail(FaultSite::SpillCorrupt) {
+                // Flip one byte at a position derived from the injection
+                // count; the damage is found at restore time, not now.
+                corrupt_file(&path, f.injected(FaultSite::SpillCorrupt))?;
+            }
+        }
         Ok(Some((path, bytes)))
     }
 
     /// Restores a previously spilled matrix and deletes the file.
     pub fn restore(&self, path: &Path) -> std::io::Result<Value> {
+        if let Some(f) = &self.faults {
+            if f.should_fail(FaultSite::SpillRead) {
+                return Err(FaultInjector::io_error(FaultSite::SpillRead));
+            }
+        }
         let m = read_matrix(path)?;
         let _ = fs::remove_file(path);
         Ok(Value::matrix(m))
@@ -66,14 +114,30 @@ impl Drop for SpillStore {
     }
 }
 
+/// XORs a deterministic position of the file with a nonzero mask (fault
+/// injection and corruption tests).
+pub fn corrupt_file(path: &Path, salt: u64) -> std::io::Result<()> {
+    let mut raw = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut raw)?;
+    if raw.is_empty() {
+        return Ok(());
+    }
+    let pos = (salt as usize).wrapping_mul(0x9E37_79B9) % raw.len();
+    raw[pos] ^= 0x01 | (salt as u8 & 0xFE);
+    fs::write(path, raw)
+}
+
 fn write_matrix(path: &Path, m: &DenseMatrix) -> std::io::Result<usize> {
-    let mut buf = BytesMut::with_capacity(16 + m.len() * 8);
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + m.len() * 8 + TRAILER_BYTES);
     buf.put_u32(MAGIC);
+    buf.put_u32(VERSION);
     buf.put_u64(m.rows() as u64);
     buf.put_u64(m.cols() as u64);
     for &v in m.data() {
         buf.put_f64(v);
     }
+    let checksum = fnv1a(&buf);
+    buf.put_u64(checksum);
     let mut f = fs::File::create(path)?;
     f.write_all(&buf)?;
     Ok(buf.len())
@@ -82,14 +146,26 @@ fn write_matrix(path: &Path, m: &DenseMatrix) -> std::io::Result<usize> {
 fn read_matrix(path: &Path) -> std::io::Result<DenseMatrix> {
     let mut raw = Vec::new();
     fs::File::open(path)?.read_to_end(&mut raw)?;
-    let mut buf = &raw[..];
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-    if buf.remaining() < 20 || buf.get_u32() != MAGIC {
+    if raw.len() < HEADER_BYTES + TRAILER_BYTES {
+        return Err(bad("spill file too short"));
+    }
+    let (body, trailer) = raw.split_at(raw.len() - TRAILER_BYTES);
+    let mut t = trailer;
+    if fnv1a(body) != t.get_u64() {
+        return Err(bad("spill file checksum mismatch"));
+    }
+    let mut buf = body;
+    if buf.get_u32() != MAGIC {
         return Err(bad("bad spill file header"));
+    }
+    let version = buf.get_u32();
+    if version != VERSION {
+        return Err(bad(&format!("unsupported spill format version {version}")));
     }
     let rows = buf.get_u64() as usize;
     let cols = buf.get_u64() as usize;
-    if buf.remaining() != rows * cols * 8 {
+    if rows.checked_mul(cols).and_then(|n| n.checked_mul(8)) != Some(buf.remaining()) {
         return Err(bad("truncated spill file"));
     }
     let mut data = Vec::with_capacity(rows * cols);
@@ -109,7 +185,7 @@ mod tests {
         let m = DenseMatrix::from_fn(13, 7, |i, j| (i * 7 + j) as f64 * 0.5 - 3.0);
         let v = Value::matrix(m.clone());
         let (path, bytes) = store.spill(&v).unwrap().unwrap();
-        assert_eq!(bytes, 20 + 13 * 7 * 8);
+        assert_eq!(bytes, HEADER_BYTES + 13 * 7 * 8 + TRAILER_BYTES);
         assert!(path.exists());
         let back = store.restore(&path).unwrap();
         assert!(back.as_matrix().unwrap().approx_eq(&m, 0.0));
@@ -142,13 +218,84 @@ mod tests {
         let truncated = {
             let mut buf = BytesMut::new();
             buf.put_u32(MAGIC);
+            buf.put_u32(VERSION);
             buf.put_u64(10);
             buf.put_u64(10);
             buf.put_f64(1.0);
+            let checksum = fnv1a(&buf);
+            buf.put_u64(checksum);
             buf
         };
         fs::write(&path, &truncated).unwrap();
         assert!(store.restore(&path).is_err());
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_detected() {
+        let store = SpillStore::new().unwrap();
+        let m = DenseMatrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let (path, bytes) = store.spill(&Value::matrix(m)).unwrap().unwrap();
+        let clean = fs::read(&path).unwrap();
+        assert_eq!(clean.len(), bytes);
+        // Every byte position, corrupted, must fail the restore.
+        for pos in 0..clean.len() {
+            let mut damaged = clean.clone();
+            damaged[pos] ^= 0x40;
+            fs::write(&path, &damaged).unwrap();
+            assert!(
+                store.restore(&path).is_err(),
+                "corruption at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn old_format_versions_are_rejected() {
+        let store = SpillStore::new().unwrap();
+        let (path, _) = store
+            .spill(&Value::matrix(DenseMatrix::zeros(2, 2)))
+            .unwrap()
+            .unwrap();
+        // A structurally valid file with a wrong version (checksum fixed up).
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAGIC);
+        buf.put_u32(1);
+        buf.put_u64(1);
+        buf.put_u64(1);
+        buf.put_f64(2.0);
+        let checksum = fnv1a(&buf);
+        buf.put_u64(checksum);
+        fs::write(&path, &buf).unwrap();
+        let err = store.restore(&path).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn injected_write_and_read_faults_surface_as_errors() {
+        let inj = Arc::new(
+            FaultInjector::new(0)
+                .fail_at(FaultSite::SpillWrite, &[0])
+                .fail_at(FaultSite::SpillRead, &[1]),
+        );
+        let store = SpillStore::with_faults(Some(Arc::clone(&inj))).unwrap();
+        let v = Value::matrix(DenseMatrix::zeros(2, 2));
+        assert!(store.spill(&v).is_err(), "first write fails");
+        let (path, _) = store.spill(&v).unwrap().unwrap();
+        assert!(store.restore(&path).is_ok(), "first read passes");
+        let (path, _) = store.spill(&v).unwrap().unwrap();
+        assert!(store.restore(&path).is_err(), "second read fails");
+        assert_eq!(inj.injected(FaultSite::SpillWrite), 1);
+        assert_eq!(inj.injected(FaultSite::SpillRead), 1);
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_at_restore() {
+        let inj = Arc::new(FaultInjector::new(0).fail_every(FaultSite::SpillCorrupt, 1));
+        let store = SpillStore::with_faults(Some(inj)).unwrap();
+        let v = Value::matrix(DenseMatrix::from_fn(5, 5, |i, j| (i * j) as f64));
+        let (path, _) = store.spill(&v).unwrap().unwrap();
+        let err = store.restore(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "got: {err}");
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Configuration of lineage tracing and the reuse cache.
 
+use crate::faults::FaultInjector;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Which reuse machinery is active (paper §5.1 "cache configurations":
 /// full, partial, hybrid).
@@ -80,6 +82,17 @@ pub struct LimaConfig {
     /// the budget (strict Table-1 semantics, O(n) scan per overflow); lower
     /// values amortize scans for pollution-heavy workloads.
     pub eviction_watermark: f64,
+    /// Upper bound (milliseconds) a probe blocks on another thread's
+    /// placeholder before assuming the fulfiller died and taking over the
+    /// computation itself. 0 waits forever (the pre-hardening behaviour).
+    pub placeholder_timeout_ms: u64,
+    /// Circuit breaker: after this many *consecutive* spill-write failures
+    /// the cache stops attempting to spill (evictions degrade to deletes).
+    /// 0 disables the breaker.
+    pub spill_failure_limit: u32,
+    /// Deterministic fault-injection harness; `None` (the default) injects
+    /// nothing and is the production configuration.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for LimaConfig {
@@ -96,6 +109,9 @@ impl Default for LimaConfig {
             cacheable_opcodes: None,
             min_entry_bytes: 0,
             eviction_watermark: 0.8,
+            placeholder_timeout_ms: 60_000,
+            spill_failure_limit: 3,
+            faults: None,
         }
     }
 }
@@ -137,6 +153,12 @@ impl LimaConfig {
         Self::default()
     }
 
+    /// Attaches a fault-injection harness (robustness tests).
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// True when `op` qualifies for caching under this configuration.
     pub fn is_cacheable(&self, op: &str) -> bool {
         match &self.cacheable_opcodes {
@@ -171,6 +193,23 @@ mod tests {
         assert!(LimaConfig::tracing_dedup().dedup);
         assert!(LimaConfig::lima().reuse.any());
         assert_eq!(LimaConfig::lima().policy, EvictionPolicy::CostSize);
+    }
+
+    #[test]
+    fn faults_default_off_and_attach_via_builder() {
+        use crate::faults::{FaultInjector, FaultSite};
+        assert!(LimaConfig::lima().faults.is_none());
+        assert!(LimaConfig::base().faults.is_none());
+        let inj = Arc::new(FaultInjector::new(1).fail_at(FaultSite::SpillRead, &[0]));
+        let cfg = LimaConfig::lima().with_faults(Arc::clone(&inj));
+        assert!(cfg
+            .faults
+            .as_ref()
+            .unwrap()
+            .should_fail(FaultSite::SpillRead));
+        // The config clones share the injector's counters.
+        let cfg2 = cfg.clone();
+        assert_eq!(cfg2.faults.unwrap().occurrences(FaultSite::SpillRead), 1);
     }
 
     #[test]

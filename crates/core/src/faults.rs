@@ -1,0 +1,226 @@
+//! Deterministic, seeded fault injection for robustness testing.
+//!
+//! A [`FaultInjector`] is threaded through [`crate::LimaConfig`] (and from
+//! there into the cache, the spill store, and the runtime). Each fault *site*
+//! counts how often it is consulted; a per-site trigger decides which of
+//! those occurrences actually fail. All triggers are deterministic functions
+//! of the seed, the site, and the occurrence (or iteration) index, so a
+//! failing run replays bit-identically.
+//!
+//! Production configurations carry no injector (`faults: None`) and pay only
+//! an `Option` check at each site.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Code locations where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Spill-file write fails (evict-by-spill degrades to evict-by-delete).
+    SpillWrite,
+    /// A successfully written spill file gets one byte flipped on disk.
+    SpillCorrupt,
+    /// Spill-file read fails before any bytes are returned.
+    SpillRead,
+    /// A cache reservation holder "dies" without fulfilling or aborting its
+    /// placeholder; waiters must recover via the placeholder wait timeout.
+    FulfillerDeath,
+    /// A parfor worker panics at the start of an iteration.
+    WorkerPanic,
+}
+
+const SITES: [FaultSite; 5] = [
+    FaultSite::SpillWrite,
+    FaultSite::SpillCorrupt,
+    FaultSite::SpillRead,
+    FaultSite::FulfillerDeath,
+    FaultSite::WorkerPanic,
+];
+
+fn site_index(site: FaultSite) -> usize {
+    SITES.iter().position(|s| *s == site).expect("known site")
+}
+
+/// Which occurrences of a site fail.
+#[derive(Debug, Clone, Default)]
+enum Trigger {
+    /// Site never fails (the default for unconfigured sites).
+    #[default]
+    Never,
+    /// Exactly the listed 0-based occurrence (or iteration) indices fail.
+    At(HashSet<u64>),
+    /// Every `n`-th occurrence fails (occurrences `n-1`, `2n-1`, ...).
+    Every(u64),
+    /// Each occurrence fails independently with this probability, decided by
+    /// a hash of `(seed, site, occurrence)` — deterministic per seed.
+    Probability(f64),
+}
+
+/// Deterministic fault plan plus per-site occurrence / injection counters.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    seed: u64,
+    triggers: [Trigger; SITES.len()],
+    occurrences: [AtomicU64; SITES.len()],
+    injected: [AtomicU64; SITES.len()],
+}
+
+/// splitmix64 finalizer — the same mixer the vendored RNG seeds with.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Injector with no active faults; combine with the `fail_*` builders.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Fails exactly the given 0-based occurrence indices of `site`.
+    pub fn fail_at(mut self, site: FaultSite, occurrences: &[u64]) -> Self {
+        self.triggers[site_index(site)] = Trigger::At(occurrences.iter().copied().collect());
+        self
+    }
+
+    /// Fails every `n`-th occurrence of `site` (`n == 0` disables the site).
+    pub fn fail_every(mut self, site: FaultSite, n: u64) -> Self {
+        self.triggers[site_index(site)] = if n == 0 {
+            Trigger::Never
+        } else {
+            Trigger::Every(n)
+        };
+        self
+    }
+
+    /// Fails each occurrence of `site` independently with probability `p`,
+    /// derived deterministically from the seed.
+    pub fn fail_with_probability(mut self, site: FaultSite, p: f64) -> Self {
+        self.triggers[site_index(site)] = Trigger::Probability(p.clamp(0.0, 1.0));
+        self
+    }
+
+    fn decide(&self, site: FaultSite, index: u64) -> bool {
+        match &self.triggers[site_index(site)] {
+            Trigger::Never => false,
+            Trigger::At(set) => set.contains(&index),
+            Trigger::Every(n) => (index + 1).is_multiple_of(*n),
+            Trigger::Probability(p) => {
+                let h = mix(self.seed ^ mix(site_index(site) as u64) ^ index);
+                ((h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < *p
+            }
+        }
+    }
+
+    /// Consults the site with an auto-incremented occurrence counter. Returns
+    /// true when this occurrence must fail.
+    pub fn should_fail(&self, site: FaultSite) -> bool {
+        let occ = self.occurrences[site_index(site)].fetch_add(1, Ordering::Relaxed);
+        let fire = self.decide(site, occ);
+        if fire {
+            self.injected[site_index(site)].fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Consults the site keyed by an explicit index (e.g. a parfor iteration
+    /// number) so the decision is independent of thread interleaving.
+    pub fn should_fail_at(&self, site: FaultSite, index: u64) -> bool {
+        self.occurrences[site_index(site)].fetch_add(1, Ordering::Relaxed);
+        let fire = self.decide(site, index);
+        if fire {
+            self.injected[site_index(site)].fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// How often the site has been consulted.
+    pub fn occurrences(&self, site: FaultSite) -> u64 {
+        self.occurrences[site_index(site)].load(Ordering::Relaxed)
+    }
+
+    /// How many faults have actually fired at the site.
+    pub fn injected(&self, site: FaultSite) -> u64 {
+        self.injected[site_index(site)].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// An `InvalidData` I/O error marking an injected failure.
+    pub fn io_error(site: FaultSite) -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("injected fault: {site:?}"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_sites_never_fire() {
+        let inj = FaultInjector::new(7);
+        for _ in 0..100 {
+            assert!(!inj.should_fail(FaultSite::SpillWrite));
+        }
+        assert_eq!(inj.occurrences(FaultSite::SpillWrite), 100);
+        assert_eq!(inj.injected(FaultSite::SpillWrite), 0);
+    }
+
+    #[test]
+    fn fail_at_fires_exactly_the_listed_occurrences() {
+        let inj = FaultInjector::new(0).fail_at(FaultSite::SpillRead, &[0, 3]);
+        let fired: Vec<bool> = (0..5)
+            .map(|_| inj.should_fail(FaultSite::SpillRead))
+            .collect();
+        assert_eq!(fired, [true, false, false, true, false]);
+        assert_eq!(inj.injected(FaultSite::SpillRead), 2);
+        // Other sites are unaffected.
+        assert!(!inj.should_fail(FaultSite::SpillWrite));
+    }
+
+    #[test]
+    fn fail_every_hits_each_nth() {
+        let inj = FaultInjector::new(0).fail_every(FaultSite::SpillCorrupt, 3);
+        let fired: Vec<bool> = (0..7)
+            .map(|_| inj.should_fail(FaultSite::SpillCorrupt))
+            .collect();
+        assert_eq!(fired, [false, false, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let a = FaultInjector::new(42).fail_with_probability(FaultSite::WorkerPanic, 0.5);
+        let b = FaultInjector::new(42).fail_with_probability(FaultSite::WorkerPanic, 0.5);
+        let fa: Vec<bool> = (0..64)
+            .map(|_| a.should_fail(FaultSite::WorkerPanic))
+            .collect();
+        let fb: Vec<bool> = (0..64)
+            .map(|_| b.should_fail(FaultSite::WorkerPanic))
+            .collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(|&f| f) && fa.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn indexed_decisions_ignore_call_order() {
+        let inj = FaultInjector::new(0).fail_at(FaultSite::WorkerPanic, &[5]);
+        assert!(!inj.should_fail_at(FaultSite::WorkerPanic, 9));
+        assert!(inj.should_fail_at(FaultSite::WorkerPanic, 5));
+        assert!(!inj.should_fail_at(FaultSite::WorkerPanic, 5 + 1));
+        assert_eq!(inj.total_injected(), 1);
+    }
+}

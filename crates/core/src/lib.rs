@@ -14,11 +14,13 @@
 
 pub mod cache;
 pub mod config;
+pub mod faults;
 pub mod lineage;
 pub mod opcodes;
 pub mod stats;
 
 pub use cache::LineageCache;
 pub use config::{EvictionPolicy, LimaConfig, ReuseMode};
+pub use faults::{FaultInjector, FaultSite};
 pub use lineage::{LinRef, LineageItem, LineageMap};
 pub use stats::LimaStats;

@@ -230,9 +230,7 @@ impl DedupRegistry {
     pub fn new(block_key: impl Into<String>, num_branches: u32) -> Self {
         DedupRegistry {
             block_key: block_key.into(),
-            num_distinct_paths: 1u64
-                .checked_shl(num_branches)
-                .unwrap_or(u64::MAX),
+            num_distinct_paths: 1u64.checked_shl(num_branches).unwrap_or(u64::MAX),
             inner: Mutex::new(HashMap::new()),
         }
     }
@@ -301,10 +299,7 @@ mod tests {
         let (a, b) = (leaf("A"), leaf("B"));
         let expanded = patch.expand("out", &[a.clone(), b.clone()]);
         // Expected: (A + B) * A
-        let expect = LineageItem::op(
-            "*",
-            vec![LineageItem::op("+", vec![a.clone(), b]), a],
-        );
+        let expect = LineageItem::op("*", vec![LineageItem::op("+", vec![a.clone(), b]), a]);
         assert!(lineage_eq(&expanded, &expect));
     }
 
@@ -373,7 +368,12 @@ mod tests {
         assert!(reg.is_empty());
         assert!(!reg.is_complete());
         let p0 = LineageItem::placeholder(0);
-        reg.insert(DedupPatch::new("loop:x", 0, 1, vec![("o".into(), p0.clone())]));
+        reg.insert(DedupPatch::new(
+            "loop:x",
+            0,
+            1,
+            vec![("o".into(), p0.clone())],
+        ));
         assert!(!reg.is_complete());
         reg.insert(DedupPatch::new("loop:x", 1, 1, vec![("o".into(), p0)]));
         assert!(reg.is_complete());

@@ -196,8 +196,9 @@ pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
                 cur_patch = Some((idx, key, path, n, Vec::new()));
             }
             "::root" => {
-                let (_, _, _, _, roots) =
-                    cur_patch.as_mut().ok_or_else(|| err("::root outside patch"))?;
+                let (_, _, _, _, roots) = cur_patch
+                    .as_mut()
+                    .ok_or_else(|| err("::root outside patch"))?;
                 if toks.len() != 3 {
                     return Err(err("malformed ::root"));
                 }
@@ -207,8 +208,9 @@ pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
                 roots.push((name, item.clone()));
             }
             "::endpatch" => {
-                let (idx, key, path, n, roots) =
-                    cur_patch.take().ok_or_else(|| err("::endpatch outside patch"))?;
+                let (idx, key, path, n, roots) = cur_patch
+                    .take()
+                    .ok_or_else(|| err("::endpatch outside patch"))?;
                 patches.insert(idx, DedupPatch::new(key, path, n, roots));
             }
             "::out" => {
@@ -226,7 +228,8 @@ pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
                 let id = parse_ref(toks[0]).map_err(|e| err(&e))?;
                 let item = match toks[1] {
                     "L" => {
-                        let data = unescape(toks.get(2).copied().unwrap_or("")).map_err(|e| err(&e))?;
+                        let data =
+                            unescape(toks.get(2).copied().unwrap_or("")).map_err(|e| err(&e))?;
                         LineageItem::literal(data)
                     }
                     "P" => {

@@ -40,6 +40,16 @@ pub struct LimaStats {
     pub saved_compute_ns: AtomicU64,
     /// Nanoseconds spent executing partial-reuse compensation plans.
     pub compensation_ns: AtomicU64,
+    /// Spill writes that failed (entry fell back to delete-eviction).
+    pub spill_failures: AtomicU64,
+    /// Spilled entries whose restore failed (missing/corrupt file); the
+    /// probe degraded to a miss and the value was recomputed.
+    pub restore_failures: AtomicU64,
+    /// Placeholder waits that timed out and took over the computation from a
+    /// presumed-dead fulfiller.
+    pub placeholder_timeouts: AtomicU64,
+    /// Parfor workers that panicked (isolated and surfaced as errors).
+    pub worker_panics: AtomicU64,
 }
 
 impl LimaStats {
@@ -65,7 +75,9 @@ impl LimaStats {
 
     /// Total reuse hits of any kind.
     pub fn total_hits(&self) -> u64 {
-        Self::get(&self.full_hits) + Self::get(&self.multilevel_hits) + Self::get(&self.partial_hits)
+        Self::get(&self.full_hits)
+            + Self::get(&self.multilevel_hits)
+            + Self::get(&self.partial_hits)
     }
 
     /// Human-readable multi-line report.
@@ -74,6 +86,7 @@ impl LimaStats {
             "lineage: traced={} dedup_items={} patches={}\n\
              reuse:   probes={} full={} multilevel={} partial={} waits={}\n\
              cache:   puts={} rejected={} evictions={} spills={} restores={} spill_bytes={}\n\
+             faults:  spill_failures={} restore_failures={} placeholder_timeouts={} worker_panics={}\n\
              time:    saved_compute={:.3}s compensation={:.3}s",
             Self::get(&self.items_traced),
             Self::get(&self.dedup_items),
@@ -89,6 +102,10 @@ impl LimaStats {
             Self::get(&self.spills),
             Self::get(&self.restores),
             Self::get(&self.spill_bytes),
+            Self::get(&self.spill_failures),
+            Self::get(&self.restore_failures),
+            Self::get(&self.placeholder_timeouts),
+            Self::get(&self.worker_panics),
             Self::get(&self.saved_compute_ns) as f64 / 1e9,
             Self::get(&self.compensation_ns) as f64 / 1e9,
         )
@@ -117,5 +134,11 @@ mod tests {
         let r = s.report();
         assert!(r.contains("spill_bytes=1024"));
         assert!(r.contains("probes=0"));
+        LimaStats::bump(&s.restore_failures);
+        LimaStats::bump(&s.placeholder_timeouts);
+        let r = s.report();
+        assert!(r.contains("restore_failures=1"));
+        assert!(r.contains("placeholder_timeouts=1"));
+        assert!(r.contains("worker_panics=0"));
     }
 }

@@ -11,10 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn item(tag: &str) -> LinRef {
-    LineageItem::op(
-        "ba+*",
-        vec![LineageItem::op_with_data("read", tag, vec![])],
-    )
+    LineageItem::op("ba+*", vec![LineageItem::op_with_data("read", tag, vec![])])
 }
 
 #[test]
@@ -48,10 +45,7 @@ fn contended_key_computes_exactly_once() {
     // 5 distinct keys → exactly 5 computations across 400 probes.
     assert_eq!(computed.load(Ordering::SeqCst), 5);
     assert_eq!(LimaStats::get(&cache.stats().puts), 5);
-    assert_eq!(
-        LimaStats::get(&cache.stats().probes),
-        (threads * 50) as u64
-    );
+    assert_eq!(LimaStats::get(&cache.stats().probes), (threads * 50) as u64);
 }
 
 #[test]

@@ -37,7 +37,10 @@ pub enum Expr {
     /// Matrix multiplication `%*%`.
     MatMul(Box<Expr>, Box<Expr>),
     /// Function or builtin call.
-    Call { name: String, args: Vec<Arg> },
+    Call {
+        name: String,
+        args: Vec<Arg>,
+    },
     /// Right indexing `X[rows, cols]`.
     Index {
         base: Box<Expr>,
@@ -50,9 +53,15 @@ pub enum Expr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `x = expr`
-    Assign { target: String, value: Expr },
+    Assign {
+        target: String,
+        value: Expr,
+    },
     /// `[a, b] = f(...)`
-    MultiAssign { targets: Vec<String>, call: Expr },
+    MultiAssign {
+        targets: Vec<String>,
+        call: Expr,
+    },
     /// `X[rows, cols] = expr`
     IndexAssign {
         target: String,

@@ -444,7 +444,9 @@ impl Lowerer {
                 }
             };
             if slots[idx].is_some() {
-                return err(format!("duplicate argument for parameter {idx} of '{name}'"));
+                return err(format!(
+                    "duplicate argument for parameter {idx} of '{name}'"
+                ));
             }
             slots[idx] = Some(self.lower_expr(&arg.value, instrs)?);
         }
@@ -517,8 +519,16 @@ impl Lowerer {
             "mean" => one!(Op::FullAgg(AggFn::Mean)),
             "var" => one!(Op::FullAgg(AggFn::Var)),
             "min" | "max" => {
-                let f = if name == "min" { AggFn::Min } else { AggFn::Max };
-                let b = if name == "min" { BinOp::Min } else { BinOp::Max };
+                let f = if name == "min" {
+                    AggFn::Min
+                } else {
+                    AggFn::Max
+                };
+                let b = if name == "min" {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 match positional.len() {
                     1 => one!(Op::FullAgg(f)),
                     2 => two!(Op::Binary(b)),
@@ -558,7 +568,11 @@ impl Lowerer {
                 if positional.len() < 2 {
                     return err(format!("'{name}' takes at least two arguments"));
                 }
-                let op = if name == "cbind" { Op::Cbind } else { Op::Rbind };
+                let op = if name == "cbind" {
+                    Op::Cbind
+                } else {
+                    Op::Rbind
+                };
                 let mut acc = self.lower_expr(positional[0], instrs)?;
                 for p in &positional[1..] {
                     let rhs = self.lower_expr(p, instrs)?;
@@ -611,10 +625,18 @@ impl Lowerer {
                     RandDistKind::Uniform => (Expr::Float(0.0), Expr::Float(1.0)),
                     RandDistKind::Normal => (Expr::Float(0.0), Expr::Float(1.0)),
                 };
-                let p1 = get(if kind == RandDistKind::Uniform { "min" } else { "mean" })
-                    .unwrap_or(p1_default);
-                let p2 = get(if kind == RandDistKind::Uniform { "max" } else { "sd" })
-                    .unwrap_or(p2_default);
+                let p1 = get(if kind == RandDistKind::Uniform {
+                    "min"
+                } else {
+                    "mean"
+                })
+                .unwrap_or(p1_default);
+                let p2 = get(if kind == RandDistKind::Uniform {
+                    "max"
+                } else {
+                    "sd"
+                })
+                .unwrap_or(p2_default);
                 let sparsity = get("sparsity").unwrap_or(Expr::Float(1.0));
                 let seed = get("seed").unwrap_or(Expr::Int(-1));
                 let ins = vec![
@@ -723,7 +745,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_assignment() {
-        let ctx = run_src("x = 2 + 3 * 4; y = (2 + 3) * 4; z = 2 ^ 3 ^ 2;", LimaConfig::base());
+        let ctx = run_src(
+            "x = 2 + 3 * 4; y = (2 + 3) * 4; z = 2 ^ 3 ^ 2;",
+            LimaConfig::base(),
+        );
         assert_eq!(ctx.symtab["x"].as_f64().unwrap(), 14.0);
         assert_eq!(ctx.symtab["y"].as_f64().unwrap(), 20.0);
         // right-associative: 2^(3^2) = 512
@@ -879,8 +904,16 @@ mod tests {
     fn compile_errors_are_reported() {
         assert!(compile_script("x = unknownFn(1)", &LimaConfig::base()).is_err());
         assert!(compile_script("x = rand(cols=2)", &LimaConfig::base()).is_err());
-        assert!(compile_script("f = function(a) return (b) { b = a; } x = f()", &LimaConfig::base()).is_err());
-        assert!(compile_script("f = function(a) return (b) { b = a; } x = f(1, 2)", &LimaConfig::base()).is_err());
+        assert!(compile_script(
+            "f = function(a) return (b) { b = a; } x = f()",
+            &LimaConfig::base()
+        )
+        .is_err());
+        assert!(compile_script(
+            "f = function(a) return (b) { b = a; } x = f(1, 2)",
+            &LimaConfig::base()
+        )
+        .is_err());
         assert!(compile_script("x = eigen(C)", &LimaConfig::base()).is_err());
         assert!(compile_script("x = 1 +", &LimaConfig::base()).is_err());
     }
@@ -902,7 +935,11 @@ mod tests {
         // lineage() on an expression is a compile error; without tracing it
         // is a runtime error.
         assert!(compile_script("l = lineage(1 + 2);", &LimaConfig::base()).is_err());
-        let program = compile_script("X = matrix(1.0, 1, 1); l = lineage(X);", &LimaConfig::base()).unwrap();
+        let program = compile_script(
+            "X = matrix(1.0, 1, 1); l = lineage(X);",
+            &LimaConfig::base(),
+        )
+        .unwrap();
         let mut c = lima_runtime::ExecutionContext::new(LimaConfig::base());
         assert!(lima_runtime::execute_program(&program, &mut c).is_err());
     }

@@ -20,13 +20,13 @@ pub enum TokenKind {
     Function,
     Return,
     // punctuation / operators
-    Assign,    // =
-    Eq,        // ==
-    Neq,       // !=
-    Le,        // <=
-    Ge,        // >=
-    Lt,        // <
-    Gt,        // >
+    Assign, // =
+    Eq,     // ==
+    Neq,    // !=
+    Le,     // <=
+    Ge,     // >=
+    Lt,     // <
+    Gt,     // >
     Plus,
     Minus,
     Star,

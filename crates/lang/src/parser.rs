@@ -293,7 +293,9 @@ impl Parser {
                             value,
                         })
                     }
-                    other => self.err(format!("expected '=' or '[' after '{name}', found {other:?}")),
+                    other => self.err(format!(
+                        "expected '=' or '[' after '{name}', found {other:?}"
+                    )),
                 }
             }
             other => self.err(format!("unexpected token {other:?}")),
@@ -614,8 +616,22 @@ mod tests {
         let s = parse(src).unwrap();
         assert_eq!(s.body.len(), 4);
         assert!(matches!(&s.body[0], Stmt::If { else_body, .. } if else_body.len() == 1));
-        assert!(matches!(&s.body[1], Stmt::For { parallel: false, by: None, .. }));
-        assert!(matches!(&s.body[2], Stmt::For { parallel: true, by: Some(_), .. }));
+        assert!(matches!(
+            &s.body[1],
+            Stmt::For {
+                parallel: false,
+                by: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &s.body[2],
+            Stmt::For {
+                parallel: true,
+                by: Some(_),
+                ..
+            }
+        ));
         assert!(matches!(&s.body[3], Stmt::While { .. }));
     }
 
@@ -660,8 +676,20 @@ mod tests {
     #[test]
     fn parses_indexed_assignment() {
         let s = parse("B[i, ] = t(beta); C[1:2, 3] = x;").unwrap();
-        assert!(matches!(&s.body[0], Stmt::IndexAssign { cols: IndexSel::All, .. }));
-        assert!(matches!(&s.body[1], Stmt::IndexAssign { rows: IndexSel::Range(_, _), .. }));
+        assert!(matches!(
+            &s.body[0],
+            Stmt::IndexAssign {
+                cols: IndexSel::All,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &s.body[1],
+            Stmt::IndexAssign {
+                rows: IndexSel::Range(_, _),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -674,11 +702,19 @@ mod tests {
     #[test]
     fn negative_literals_fold() {
         let s = parse("x = -3; y = -2.5; z = 2^-1").unwrap();
-        assert!(matches!(&s.body[0], Stmt::Assign { value: Expr::Int(-3), .. }));
+        assert!(matches!(
+            &s.body[0],
+            Stmt::Assign {
+                value: Expr::Int(-3),
+                ..
+            }
+        ));
         assert!(matches!(&s.body[1], Stmt::Assign { value: Expr::Float(v), .. } if *v == -2.5));
         match &s.body[2] {
             Stmt::Assign { value, .. } => {
-                assert!(matches!(value, Expr::Binary(BinOp::Pow, _, e) if matches!(e.as_ref(), Expr::Int(-1))));
+                assert!(
+                    matches!(value, Expr::Binary(BinOp::Pow, _, e) if matches!(e.as_ref(), Expr::Int(-1)))
+                );
             }
             _ => panic!(),
         }

@@ -68,8 +68,14 @@ mod tests {
             bound: 4,
         };
         assert!(e.to_string().contains("index 9"));
-        assert!(MatrixError::Singular("solve").to_string().contains("singular"));
-        assert!(MatrixError::NoConvergence("eigen").to_string().contains("converge"));
-        assert!(MatrixError::InvalidArgument("x".into()).to_string().contains("x"));
+        assert!(MatrixError::Singular("solve")
+            .to_string()
+            .contains("singular"));
+        assert!(MatrixError::NoConvergence("eigen")
+            .to_string()
+            .contains("converge"));
+        assert!(MatrixError::InvalidArgument("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

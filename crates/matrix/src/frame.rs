@@ -102,7 +102,10 @@ pub fn recode_column(col: &DenseMatrix) -> Result<(DenseMatrix, usize)> {
     let mut codes = Vec::with_capacity(col.rows());
     for i in 0..col.rows() {
         let v = col.get(i, 0);
-        let code = match dict.iter().position(|d| *d == v || (d.is_nan() && v.is_nan())) {
+        let code = match dict
+            .iter()
+            .position(|d| *d == v || (d.is_nan() && v.is_nan()))
+        {
             Some(p) => p + 1,
             None => {
                 dict.push(v);
@@ -138,7 +141,11 @@ pub fn bin_column(col: &DenseMatrix, bins: usize) -> Result<DenseMatrix> {
         // all-NaN column: everything lands in bin 1
         return Ok(DenseMatrix::filled(col.rows(), 1, 1.0));
     }
-    let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+    let width = if hi > lo {
+        (hi - lo) / bins as f64
+    } else {
+        1.0
+    };
     Ok(DenseMatrix::from_fn(col.rows(), 1, |i, _| {
         let v = col.get(i, 0);
         if v.is_nan() {

@@ -112,12 +112,8 @@ mod tests {
     #[test]
     fn reconstruction_av_equals_v_lambda() {
         // Symmetric test matrix.
-        let a = DenseMatrix::new(
-            3,
-            3,
-            vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0],
-        )
-        .unwrap();
+        let a =
+            DenseMatrix::new(3, 3, vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]).unwrap();
         let r = eigen_symmetric(&a).unwrap();
         let av = matmult(&a, &r.vectors).unwrap();
         // V·diag(λ)

@@ -153,7 +153,10 @@ fn tsmm_left(x: &DenseMatrix) -> DenseMatrix {
                     acc
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("tsmm worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tsmm worker"))
+                .collect()
         })
         .expect("tsmm scope");
         let out_data = out.data_mut();

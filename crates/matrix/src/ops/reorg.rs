@@ -108,12 +108,7 @@ pub fn select_rows(a: &DenseMatrix, rows: &[usize]) -> Result<DenseMatrix> {
 
 /// Left-indexing `X[rl:ru, cl:cu] = S`: returns a fresh matrix with the
 /// sub-block replaced (inputs stay immutable, preserving lineage semantics).
-pub fn left_index(
-    a: &DenseMatrix,
-    s: &DenseMatrix,
-    rl: usize,
-    cl: usize,
-) -> Result<DenseMatrix> {
+pub fn left_index(a: &DenseMatrix, s: &DenseMatrix, rl: usize, cl: usize) -> Result<DenseMatrix> {
     if rl + s.rows() > a.rows() || cl + s.cols() > a.cols() {
         return Err(MatrixError::DimensionMismatch {
             op: "leftIndex",
@@ -153,7 +148,9 @@ pub fn diag(a: &DenseMatrix) -> Result<DenseMatrix> {
 /// `seq(from, to, by)` as a column vector.
 pub fn seq(from: f64, to: f64, by: f64) -> Result<DenseMatrix> {
     if by == 0.0 {
-        return Err(MatrixError::InvalidArgument("seq step must be nonzero".into()));
+        return Err(MatrixError::InvalidArgument(
+            "seq step must be nonzero".into(),
+        ));
     }
     let n = if (by > 0.0 && from > to) || (by < 0.0 && from < to) {
         0
@@ -236,7 +233,9 @@ pub fn order_index(v: &DenseMatrix, decreasing: bool) -> Result<DenseMatrix> {
             ord
         }
     });
-    Ok(DenseMatrix::from_fn(v.rows(), 1, |i, _| (idx[i] + 1) as f64))
+    Ok(DenseMatrix::from_fn(v.rows(), 1, |i, _| {
+        (idx[i] + 1) as f64
+    }))
 }
 
 /// Reverses the rows of a matrix (`rev`).
@@ -323,7 +322,10 @@ mod tests {
 
     #[test]
     fn seq_generates_inclusive_ranges() {
-        assert_eq!(seq(1.0, 5.0, 1.0).unwrap().data(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(
+            seq(1.0, 5.0, 1.0).unwrap().data(),
+            &[1.0, 2.0, 3.0, 4.0, 5.0]
+        );
         assert_eq!(seq(5.0, 1.0, -2.0).unwrap().data(), &[5.0, 3.0, 1.0]);
         assert_eq!(seq(1.0, 0.0, 1.0).unwrap().rows(), 0);
         assert!(seq(0.0, 1.0, 0.0).is_err());
@@ -356,7 +358,10 @@ mod tests {
     #[test]
     fn order_index_sorts_both_ways() {
         let v = m(4, 1, &[3.0, 1.0, 4.0, 2.0]);
-        assert_eq!(order_index(&v, false).unwrap().data(), &[2.0, 4.0, 1.0, 3.0]);
+        assert_eq!(
+            order_index(&v, false).unwrap().data(),
+            &[2.0, 4.0, 1.0, 3.0]
+        );
         assert_eq!(order_index(&v, true).unwrap().data(), &[3.0, 1.0, 4.0, 2.0]);
         assert!(order_index(&m(1, 2, &[0.0, 0.0]), false).is_err());
     }

@@ -125,9 +125,24 @@ mod tests {
 
     #[test]
     fn normal_has_plausible_moments() {
-        let a = rand_matrix(200, 50, RandDist::Normal { mean: 3.0, std: 2.0 }, 1.0, 99).unwrap();
+        let a = rand_matrix(
+            200,
+            50,
+            RandDist::Normal {
+                mean: 3.0,
+                std: 2.0,
+            },
+            1.0,
+            99,
+        )
+        .unwrap();
         let mean = a.data().iter().sum::<f64>() / a.len() as f64;
-        let var = a.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / a.len() as f64;
+        let var = a
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / a.len() as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

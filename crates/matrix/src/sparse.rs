@@ -154,8 +154,8 @@ mod tests {
 
     #[test]
     fn triplets_round_trip_through_dense() {
-        let m = CsrMatrix::from_triplets(3, 3, vec![(0, 1, 2.0), (2, 0, 5.0), (1, 1, -1.0)])
-            .unwrap();
+        let m =
+            CsrMatrix::from_triplets(3, 3, vec![(0, 1, 2.0), (2, 0, 5.0), (1, 1, -1.0)]).unwrap();
         let d = m.to_dense();
         assert_eq!(d.get(0, 1), 2.0);
         assert_eq!(d.get(2, 0), 5.0);
@@ -180,7 +180,13 @@ mod tests {
 
     #[test]
     fn spmm_matches_dense_matmult() {
-        let d = DenseMatrix::from_fn(6, 5, |i, j| if (i + j) % 3 == 0 { (i + 1) as f64 } else { 0.0 });
+        let d = DenseMatrix::from_fn(6, 5, |i, j| {
+            if (i + j) % 3 == 0 {
+                (i + 1) as f64
+            } else {
+                0.0
+            }
+        });
         let sp = CsrMatrix::from_dense(&d);
         let b = DenseMatrix::from_fn(5, 4, |i, j| (i * 4 + j) as f64 * 0.5);
         let got = sp.matmult_dense(&b).unwrap();

@@ -71,7 +71,9 @@ fn assign_ids_blocks(blocks: &mut [Block], next: &mut u64) {
                 *next += 1;
                 assign_ids_blocks(body, next);
             }
-            Block::ParFor { id, body, results, .. } => {
+            Block::ParFor {
+                id, body, results, ..
+            } => {
                 *id = *next;
                 *next += 1;
                 assign_ids_blocks(body, next);
@@ -209,10 +211,7 @@ fn mark_block_determinism(blocks: &mut [Block], det_fns: &HashSet<String>) {
 fn parfor_results(body: &[Block]) -> Vec<String> {
     let live_in = lva::live_in(body);
     let writes = lva::writes(body);
-    writes
-        .into_iter()
-        .filter(|w| live_in.contains(w))
-        .collect()
+    writes.into_iter().filter(|w| live_in.contains(w)).collect()
 }
 
 // ------------------------------------------------------------------- dedup
@@ -648,10 +647,12 @@ fn rewrite_projection_in_block(id: u64, instrs: &mut Vec<Instr>) {
                     let t = &a.outputs[0];
                     let full_rows = matches!(
                         (&a.inputs[1], &a.inputs[2]),
-                        (Operand::Lit(ScalarValue::I64(1)), Operand::Lit(ScalarValue::I64(0)))
+                        (
+                            Operand::Lit(ScalarValue::I64(1)),
+                            Operand::Lit(ScalarValue::I64(0))
+                        )
                     );
-                    let col_prefix =
-                        matches!(&a.inputs[3], Operand::Lit(ScalarValue::I64(1)));
+                    let col_prefix = matches!(&a.inputs[3], Operand::Lit(ScalarValue::I64(1)));
                     full_rows
                         && col_prefix
                         && b.inputs.get(1).and_then(Operand::as_var) == Some(t.as_str())
@@ -886,11 +887,7 @@ mod tests {
     #[test]
     fn tsmm_cbind_rewrite_fires_in_loops() {
         let body = vec![Block::basic(vec![
-            Instr::new(
-                Op::Cbind,
-                vec![Operand::var("X"), Operand::var("d")],
-                "Z",
-            ),
+            Instr::new(Op::Cbind, vec![Operand::var("X"), Operand::var("d")], "Z"),
             Instr::new(Op::Tsmm(TsmmSide::Left), vec![Operand::var("Z")], "W"),
         ])];
         let mut p = Program::new(vec![Block::for_loop(
@@ -991,11 +988,7 @@ mod tests {
     #[test]
     fn tsmm_cbind_rewrite_skips_when_z_is_reused() {
         let body = vec![Block::basic(vec![
-            Instr::new(
-                Op::Cbind,
-                vec![Operand::var("X"), Operand::var("d")],
-                "Z",
-            ),
+            Instr::new(Op::Cbind, vec![Operand::var("X"), Operand::var("d")], "Z"),
             Instr::new(Op::Tsmm(TsmmSide::Left), vec![Operand::var("Z")], "W"),
             mm("Z", "Z", "V"), // Z read again → rewrite must not fire
         ])];

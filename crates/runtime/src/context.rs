@@ -182,7 +182,8 @@ impl ExecutionContext {
         if let Some(item) = self.lineage.get(var) {
             return item.clone();
         }
-        let leaf = LineageItem::op_with_data(lima_core::opcodes::READ, format!("var:{var}"), vec![]);
+        let leaf =
+            LineageItem::op_with_data(lima_core::opcodes::READ, format!("var:{var}"), vec![]);
         if let Some(Value::Matrix(m)) = self.symtab.get(var) {
             leaf.set_shape(m.rows(), m.cols());
         }
@@ -225,7 +226,9 @@ mod tests {
     #[test]
     fn context_creates_cache_only_when_reuse_enabled() {
         assert!(ExecutionContext::new(LimaConfig::base()).cache.is_none());
-        assert!(ExecutionContext::new(LimaConfig::tracing_only()).cache.is_none());
+        assert!(ExecutionContext::new(LimaConfig::tracing_only())
+            .cache
+            .is_none());
         assert!(ExecutionContext::new(LimaConfig::lima()).cache.is_some());
     }
 

@@ -25,6 +25,9 @@ pub enum RuntimeError {
     Reconstruct(String),
     /// I/O failure (write instruction, lineage log).
     Io(String),
+    /// A parfor worker panicked; the panic was isolated to the worker and
+    /// surfaced here with its payload message instead of aborting the process.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -38,6 +41,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::TypeError(m) => write!(f, "type error: {m}"),
             RuntimeError::Reconstruct(m) => write!(f, "reconstruct: {m}"),
             RuntimeError::Io(m) => write!(f, "i/o error: {m}"),
+            RuntimeError::WorkerPanic(m) => write!(f, "parfor worker panicked: {m}"),
         }
     }
 }
@@ -67,6 +71,11 @@ mod tests {
         assert!(RuntimeError::UndefinedVariable("x".into())
             .to_string()
             .contains("'x'"));
-        assert!(RuntimeError::UnknownDataset("d".into()).to_string().contains("'d'"));
+        assert!(RuntimeError::UnknownDataset("d".into())
+            .to_string()
+            .contains("'d'"));
+        assert!(RuntimeError::WorkerPanic("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -271,9 +271,7 @@ mod tests {
         assert!(spec.execute(std::slice::from_ref(&x)).is_err()); // arity
         let y = Value::matrix(DenseMatrix::zeros(3, 3));
         assert!(spec.execute(&[x.clone(), y]).is_err()); // shape mismatch
-        assert!(spec
-            .execute(&[Value::f64(1.0), Value::f64(2.0)])
-            .is_err()); // no matrix
+        assert!(spec.execute(&[Value::f64(1.0), Value::f64(2.0)]).is_err()); // no matrix
         assert!(spec.execute(&[x, Value::str("s")]).is_err()); // non-numeric
     }
 

@@ -341,7 +341,10 @@ mod tests {
         );
         assert_eq!(
             RandDistKind::Normal.dist(2.0, 3.0),
-            RandDist::Normal { mean: 2.0, std: 3.0 }
+            RandDist::Normal {
+                mean: 2.0,
+                std: 3.0
+            }
         );
         assert_eq!(RandDistKind::Uniform.name(), "uniform");
         assert_eq!(RandDistKind::Normal.name(), "normal");
@@ -351,7 +354,10 @@ mod tests {
     fn operand_constructors() {
         assert_eq!(Operand::var("x").as_var(), Some("x"));
         assert_eq!(Operand::f64(1.0).as_var(), None);
-        assert_eq!(Operand::str("s"), Operand::Lit(ScalarValue::Str("s".into())));
+        assert_eq!(
+            Operand::str("s"),
+            Operand::Lit(ScalarValue::Str("s".into()))
+        );
         assert_eq!(Operand::bool(true), Operand::Lit(ScalarValue::Bool(true)));
         assert_eq!(Operand::i64(3), Operand::Lit(ScalarValue::I64(3)));
     }

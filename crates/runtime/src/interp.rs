@@ -29,7 +29,11 @@ pub fn execute_program(program: &Program, ctx: &mut ExecutionContext) -> Result<
 }
 
 /// Executes a sequence of blocks.
-pub fn execute_blocks(blocks: &[Block], program: &Program, ctx: &mut ExecutionContext) -> Result<()> {
+pub fn execute_blocks(
+    blocks: &[Block],
+    program: &Program,
+    ctx: &mut ExecutionContext,
+) -> Result<()> {
     for block in blocks {
         execute_block(block, program, ctx)?;
     }
@@ -85,12 +89,30 @@ fn execute_block(block: &Block, program: &Program, ctx: &mut ExecutionContext) -
             let extra = format!("for:{from}:{to}:{by}");
             let reused = try_block_reuse(*id, &extra, body, program, ctx, |ctx| {
                 run_for_iterations(
-                    *id, var, from, to, by, body, *dedup_ok, dedup_outputs, program, ctx,
+                    *id,
+                    var,
+                    from,
+                    to,
+                    by,
+                    body,
+                    *dedup_ok,
+                    dedup_outputs,
+                    program,
+                    ctx,
                 )
             })?;
             if !reused {
                 run_for_iterations(
-                    *id, var, from, to, by, body, *dedup_ok, dedup_outputs, program, ctx,
+                    *id,
+                    var,
+                    from,
+                    to,
+                    by,
+                    body,
+                    *dedup_ok,
+                    dedup_outputs,
+                    program,
+                    ctx,
                 )?;
             }
             let _ = deterministic;
@@ -128,7 +150,9 @@ fn execute_block(block: &Block, program: &Program, ctx: &mut ExecutionContext) -
                 }
                 guard += 1;
                 if guard > 100_000_000 {
-                    return Err(RuntimeError::TypeError("while loop exceeded 1e8 iterations".into()));
+                    return Err(RuntimeError::TypeError(
+                        "while loop exceeded 1e8 iterations".into(),
+                    ));
                 }
             }
             Ok(())
@@ -196,7 +220,9 @@ fn eval_expr(e: &ExprProg, program: &Program, ctx: &mut ExecutionContext) -> Res
 fn eval_scalar_i64(e: &ExprProg, program: &Program, ctx: &mut ExecutionContext) -> Result<i64> {
     let v = eval_expr(e, program, ctx)?;
     match &v {
-        Value::Scalar(s) => s.as_i64().map_err(|e| RuntimeError::TypeError(e.to_string())),
+        Value::Scalar(s) => s
+            .as_i64()
+            .map_err(|e| RuntimeError::TypeError(e.to_string())),
         Value::Matrix(m) if m.shape() == (1, 1) && m.get(0, 0).fract() == 0.0 => {
             Ok(m.get(0, 0) as i64)
         }
@@ -295,7 +321,10 @@ fn run_dedup_iteration(
         dedup_inputs.push(ctx.lineage.literal(&ScalarValue::I64(i).lineage_literal()));
     }
     for &seed in tracer.seeds() {
-        dedup_inputs.push(ctx.lineage.literal(&ScalarValue::I64(seed).lineage_literal()));
+        dedup_inputs.push(
+            ctx.lineage
+                .literal(&ScalarValue::I64(seed).lineage_literal()),
+        );
     }
     for (name, _) in patch.roots() {
         let item = LineageItem::dedup(patch.clone(), name, dedup_inputs.clone());
@@ -473,18 +502,10 @@ fn block_is_deterministic_shallow(blocks: &[Block]) -> bool {
                 && block_is_deterministic_shallow(else_body)
         }
         Block::For {
-            from,
-            to,
-            by,
-            body,
-            ..
+            from, to, by, body, ..
         }
         | Block::ParFor {
-            from,
-            to,
-            by,
-            body,
-            ..
+            from, to, by, body, ..
         } => expr_ok(from) && expr_ok(to) && expr_ok(by) && block_is_deterministic_shallow(body),
         Block::While { pred, body, .. } => expr_ok(pred) && block_is_deterministic_shallow(body),
     })
@@ -524,9 +545,9 @@ pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContex
             return execute_write(instr, ctx);
         }
         Op::LineageOf => {
-            let var = instr.inputs[0].as_var().ok_or_else(|| {
-                RuntimeError::TypeError("lineage() requires a variable".into())
-            })?;
+            let var = instr.inputs[0]
+                .as_var()
+                .ok_or_else(|| RuntimeError::TypeError("lineage() requires a variable".into()))?;
             if !ctx.config.tracing {
                 return Err(RuntimeError::TypeError(
                     "lineage() requires lineage tracing to be enabled".into(),
@@ -607,7 +628,19 @@ pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContex
                         bind_outputs(instr, vec![hit.value], Some(item.clone()), ctx);
                         return Ok(());
                     }
-                    reservation = Some(r);
+                    let fulfiller_dies = ctx.config.faults.as_ref().is_some_and(|f| {
+                        f.should_fail(lima_core::faults::FaultSite::FulfillerDeath)
+                    });
+                    if fulfiller_dies {
+                        // Simulate a fulfiller dying without aborting: leak
+                        // the reservation so the placeholder never resolves.
+                        // Blocked probes recover via the placeholder wait
+                        // timeout (takeover); this probe computes normally
+                        // but stores nothing.
+                        std::mem::forget(r);
+                    } else {
+                        reservation = Some(r);
+                    }
                 }
                 None => {}
             }
@@ -859,7 +892,8 @@ fn seed_lineage(seed: i64, ctx: &mut ExecutionContext) -> LinRef {
         }
         LineageItem::placeholder(slot)
     } else {
-        ctx.lineage.literal(&ScalarValue::I64(seed).lineage_literal())
+        ctx.lineage
+            .literal(&ScalarValue::I64(seed).lineage_literal())
     }
 }
 
@@ -1012,12 +1046,7 @@ fn execute_fcall(
     }
 
     // No function-level reuse: propagate precise op-level lineage.
-    for ((target, value), lin) in instr
-        .outputs
-        .iter()
-        .zip(out_values)
-        .zip(out_lineage)
-    {
+    for ((target, value), lin) in instr.outputs.iter().zip(out_values).zip(out_lineage) {
         if let Some(l) = lin {
             if let Value::Matrix(m) = &value {
                 l.set_shape(m.rows(), m.cols());

@@ -17,7 +17,10 @@ fn bad(op: &Op, msg: impl Into<String>) -> RuntimeError {
 
 fn need(inputs: &[Value], n: usize, op: &Op) -> Result<()> {
     if inputs.len() != n {
-        return Err(bad(op, format!("expected {n} operands, got {}", inputs.len())));
+        return Err(bad(
+            op,
+            format!("expected {n} operands, got {}", inputs.len()),
+        ));
     }
     Ok(())
 }
@@ -25,7 +28,10 @@ fn need(inputs: &[Value], n: usize, op: &Op) -> Result<()> {
 fn mat<'a>(v: &'a Value, op: &Op) -> Result<&'a DenseMatrix> {
     match v {
         Value::Matrix(m) => Ok(m),
-        other => Err(bad(op, format!("expected matrix, got {}", other.type_name()))),
+        other => Err(bad(
+            op,
+            format!("expected matrix, got {}", other.type_name()),
+        )),
     }
 }
 
@@ -44,7 +50,10 @@ fn int(v: &Value, op: &Op) -> Result<i64> {
                 Err(bad(op, format!("{f} is not an integer")))
             }
         }
-        other => Err(bad(op, format!("expected integer, got {}", other.type_name()))),
+        other => Err(bad(
+            op,
+            format!("expected integer, got {}", other.type_name()),
+        )),
     }
 }
 
@@ -74,7 +83,10 @@ fn index_vector(v: &Value, op: &Op) -> Result<Vec<usize>> {
             let x = s.as_f64().map_err(|e| bad(op, e.to_string()))?;
             Ok(vec![conv(x)?])
         }
-        other => Err(bad(op, format!("expected index, got {}", other.type_name()))),
+        other => Err(bad(
+            op,
+            format!("expected index, got {}", other.type_name()),
+        )),
     }
 }
 
@@ -215,11 +227,9 @@ pub fn execute_kernel(op: &Op, inputs: &[Value], ctx: &ExecutionContext) -> Resu
             let range = usize_arg(&inputs[0], op)?;
             let size = usize_arg(&inputs[1], op)?;
             let seed = int(&inputs[2], op)?;
-            vec![Value::matrix(lima_matrix::rand_gen::sample_without_replacement(
-                range,
-                size,
-                seed as u64,
-            )?)]
+            vec![Value::matrix(
+                lima_matrix::rand_gen::sample_without_replacement(range, size, seed as u64)?,
+            )]
         }
         Op::Seq => {
             need(inputs, 3, op)?;
@@ -316,13 +326,20 @@ pub fn execute_kernel(op: &Op, inputs: &[Value], ctx: &ExecutionContext) -> Resu
             need(inputs, 1, op)?;
             let m = mat(&inputs[0], op)?;
             if m.shape() != (1, 1) {
-                return Err(bad(op, format!("as.scalar on {}x{} matrix", m.rows(), m.cols())));
+                return Err(bad(
+                    op,
+                    format!("as.scalar on {}x{} matrix", m.rows(), m.cols()),
+                ));
             }
             vec![Value::f64(m.get(0, 0))]
         }
         Op::CastMatrix => {
             need(inputs, 1, op)?;
-            vec![Value::matrix(DenseMatrix::filled(1, 1, num(&inputs[0], op)?))]
+            vec![Value::matrix(DenseMatrix::filled(
+                1,
+                1,
+                num(&inputs[0], op)?,
+            ))]
         }
         Op::Reshape => {
             need(inputs, 3, op)?;
@@ -330,21 +347,29 @@ pub fn execute_kernel(op: &Op, inputs: &[Value], ctx: &ExecutionContext) -> Resu
             let rows = usize_arg(&inputs[1], op)?;
             let cols = usize_arg(&inputs[2], op)?;
             if rows * cols != x.len() {
-                return Err(bad(op, format!("cannot reshape {} cells to {rows}x{cols}", x.len())));
+                return Err(bad(
+                    op,
+                    format!("cannot reshape {} cells to {rows}x{cols}", x.len()),
+                ));
             }
-            vec![Value::matrix(DenseMatrix::new(rows, cols, x.data().to_vec())?)]
+            vec![Value::matrix(DenseMatrix::new(
+                rows,
+                cols,
+                x.data().to_vec(),
+            )?)]
         }
         Op::ListNew => {
             vec![Value::list(inputs.to_vec())]
         }
         Op::ListGet => {
             need(inputs, 2, op)?;
-            let list = inputs[0]
-                .as_list()
-                .map_err(|e| bad(op, e.to_string()))?;
+            let list = inputs[0].as_list().map_err(|e| bad(op, e.to_string()))?;
             let idx = usize_arg(&inputs[1], op)?;
             if idx == 0 || idx > list.len() {
-                return Err(bad(op, format!("list index {idx} out of 1..={}", list.len())));
+                return Err(bad(
+                    op,
+                    format!("list index {idx} out of 1..={}", list.len()),
+                ));
             }
             vec![list[idx - 1].clone()]
         }
@@ -375,7 +400,12 @@ pub fn display(v: &Value) -> String {
         Value::Matrix(m) => {
             let mut out = String::new();
             for i in 0..m.rows().min(10) {
-                let row: Vec<String> = m.row(i).iter().take(10).map(|v| format!("{v:.4}")).collect();
+                let row: Vec<String> = m
+                    .row(i)
+                    .iter()
+                    .take(10)
+                    .map(|v| format!("{v:.4}"))
+                    .collect();
                 out.push_str(&row.join(" "));
                 out.push('\n');
             }
@@ -426,8 +456,12 @@ mod tests {
         assert_eq!(mm[0].as_matrix().unwrap().data(), &[4.0, 6.0]);
         let ms = execute_kernel(&op, &[m(1, 2, &[1.0, 2.0]), Value::f64(1.0)], &c).unwrap();
         assert_eq!(ms[0].as_matrix().unwrap().data(), &[2.0, 3.0]);
-        let sm = execute_kernel(&Op::Binary(BinOp::Sub), &[Value::f64(1.0), m(1, 1, &[3.0])], &c)
-            .unwrap();
+        let sm = execute_kernel(
+            &Op::Binary(BinOp::Sub),
+            &[Value::f64(1.0), m(1, 1, &[3.0])],
+            &c,
+        )
+        .unwrap();
         assert_eq!(sm[0].as_matrix().unwrap().get(0, 0), -2.0);
         let ss = execute_kernel(&op, &[Value::f64(1.0), Value::f64(2.0)], &c).unwrap();
         assert_eq!(ss[0].as_f64().unwrap(), 3.0);
@@ -439,7 +473,13 @@ mod tests {
         let x = m(3, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
         let out = execute_kernel(
             &Op::RightIndex,
-            &[x.clone(), Value::i64(2), Value::i64(3), Value::i64(1), Value::i64(2)],
+            &[
+                x.clone(),
+                Value::i64(2),
+                Value::i64(3),
+                Value::i64(1),
+                Value::i64(2),
+            ],
             &c,
         )
         .unwrap();
@@ -447,7 +487,13 @@ mod tests {
         // 0 means "to the end".
         let out = execute_kernel(
             &Op::RightIndex,
-            &[x, Value::i64(1), Value::i64(0), Value::i64(3), Value::i64(0)],
+            &[
+                x,
+                Value::i64(1),
+                Value::i64(0),
+                Value::i64(3),
+                Value::i64(0),
+            ],
             &c,
         )
         .unwrap();
@@ -459,12 +505,8 @@ mod tests {
         let c = ctx();
         let x = m(3, 3, &[0.0; 9]);
         let s = m(1, 2, &[7.0, 8.0]);
-        let out = execute_kernel(
-            &Op::LeftIndex,
-            &[x, s, Value::i64(2), Value::i64(2)],
-            &c,
-        )
-        .unwrap();
+        let out =
+            execute_kernel(&Op::LeftIndex, &[x, s, Value::i64(2), Value::i64(2)], &c).unwrap();
         let om = out[0].as_matrix().unwrap();
         assert_eq!(om.get(1, 1), 7.0);
         assert_eq!(om.get(1, 2), 8.0);
@@ -507,7 +549,8 @@ mod tests {
     #[test]
     fn read_resolves_registered_datasets() {
         let c = ctx();
-        c.data.register("data/X.csv", m(2, 2, &[1.0, 2.0, 3.0, 4.0]));
+        c.data
+            .register("data/X.csv", m(2, 2, &[1.0, 2.0, 3.0, 4.0]));
         let out = execute_kernel(&Op::Read, &[Value::str("data/X.csv")], &c).unwrap();
         assert_eq!(out[0].as_matrix().unwrap().get(1, 1), 4.0);
         assert!(matches!(
@@ -556,9 +599,12 @@ mod tests {
     fn reshape_preserves_row_major_order() {
         let c = ctx();
         let x = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let out = execute_kernel(&Op::Reshape, &[x.clone(), Value::i64(3), Value::i64(2)], &c)
-            .unwrap();
-        assert_eq!(out[0].as_matrix().unwrap().data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out =
+            execute_kernel(&Op::Reshape, &[x.clone(), Value::i64(3), Value::i64(2)], &c).unwrap();
+        assert_eq!(
+            out[0].as_matrix().unwrap().data(),
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        );
         assert!(execute_kernel(&Op::Reshape, &[x, Value::i64(4), Value::i64(2)], &c).is_err());
     }
 

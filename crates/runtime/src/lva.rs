@@ -110,10 +110,7 @@ fn scan(blocks: &[Block], written: &mut BTreeSet<String>, inputs: &mut BTreeSet<
                 scan(else_body, &mut else_written, inputs);
                 // Only variables written on *both* paths are definitely
                 // written after the conditional.
-                *written = then_written
-                    .intersection(&else_written)
-                    .cloned()
-                    .collect();
+                *written = then_written.intersection(&else_written).cloned().collect();
             }
             Block::For {
                 var,
@@ -197,10 +194,20 @@ fn collect_writes(blocks: &[Block], out: &mut BTreeSet<String>) {
                 collect_writes(else_body, out);
             }
             Block::For {
-                var, body, from, to, by, ..
+                var,
+                body,
+                from,
+                to,
+                by,
+                ..
             }
             | Block::ParFor {
-                var, body, from, to, by, ..
+                var,
+                body,
+                from,
+                to,
+                by,
+                ..
             } => {
                 out.insert(var.clone());
                 for e in [from, to, by] {

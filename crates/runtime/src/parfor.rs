@@ -7,13 +7,26 @@
 //! iterations). Results are merged back by comparing against the initial
 //! value of each result variable, and result lineage is linearized with a
 //! merge item.
+//!
+//! Failure semantics: a panicking worker is isolated with `catch_unwind` and
+//! surfaces as [`RuntimeError::WorkerPanic`] instead of aborting the process.
+//! The first failure (by worker index, so deterministically) is propagated;
+//! sibling workers observe a shared cancellation flag and stop at their next
+//! iteration boundary. Unwinding drops any cache [`Reservation`]s a worker
+//! held, which aborts the placeholders and wakes blocked waiters.
+//!
+//! [`Reservation`]: lima_core::cache::Reservation
 
 use crate::context::ExecutionContext;
 use crate::error::{Result, RuntimeError};
 use crate::interp::execute_blocks;
 use crate::program::{Block, Program};
+use lima_core::faults::FaultSite;
 use lima_core::lineage::item::{LinRef, LineageItem};
+use lima_core::LimaStats;
 use lima_matrix::{DenseMatrix, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Default worker cap (matches the matrix-kernel thread cap).
 fn default_degree() -> usize {
@@ -36,7 +49,9 @@ pub(crate) fn execute_parfor(
     ctx: &mut ExecutionContext,
 ) -> Result<()> {
     if by == 0 {
-        return Err(RuntimeError::TypeError("parfor step must be nonzero".into()));
+        return Err(RuntimeError::TypeError(
+            "parfor step must be nonzero".into(),
+        ));
     }
     let mut iterations = Vec::new();
     let mut i = from;
@@ -47,7 +62,10 @@ pub(crate) fn execute_parfor(
     if iterations.is_empty() {
         return Ok(());
     }
-    let workers = degree.unwrap_or_else(default_degree).max(1).min(iterations.len());
+    let workers = degree
+        .unwrap_or_else(default_degree)
+        .max(1)
+        .min(iterations.len());
 
     // Snapshot initial result values for the merge.
     let initial: Vec<(String, Option<Value>)> = results
@@ -56,12 +74,28 @@ pub(crate) fn execute_parfor(
         .collect();
 
     if workers == 1 {
-        // Degenerate case: serial execution in place.
-        for i in iterations {
-            ctx.set(var, Value::i64(i));
-            execute_blocks(body, program, ctx)?;
-        }
-        return Ok(());
+        // Degenerate case: serial execution in place, with the same panic
+        // isolation as the threaded path.
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+            for i in iterations {
+                maybe_inject_panic(ctx, i);
+                ctx.set(var, Value::i64(i));
+                execute_blocks(body, program, ctx)?;
+            }
+            Ok(())
+        }));
+        // The loop variable does not survive the parfor (body-local scope),
+        // matching the threaded path where it never enters the parent
+        // context at all.
+        ctx.symtab.remove(var);
+        ctx.lineage.remove(var);
+        return match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                LimaStats::bump(&ctx.stats.worker_panics);
+                Err(RuntimeError::WorkerPanic(panic_message(payload)))
+            }
+        };
     }
 
     // Contiguous chunks per worker (the parfor optimizer in SystemDS would
@@ -71,7 +105,11 @@ pub(crate) fn execute_parfor(
         results: Vec<(String, Option<Value>, Option<LinRef>)>,
         stdout: Vec<String>,
     }
+    // Set by the first failing worker; siblings stop at their next iteration
+    // boundary instead of computing results that will be discarded.
+    let cancel = AtomicBool::new(false);
     let outs: Vec<Result<WorkerOut>> = crossbeam::thread::scope(|s| {
+        let cancel = &cancel;
         let mut handles = Vec::new();
         for w in 0..workers {
             let lo = w * chunk;
@@ -81,36 +119,63 @@ pub(crate) fn execute_parfor(
             }
             let iters = iterations[lo..hi].to_vec();
             let mut wctx = ctx.fork_worker();
+            let stats = std::sync::Arc::clone(&wctx.stats);
             let var = var.to_string();
             let results = results.to_vec();
             handles.push(s.spawn(move |_| -> Result<WorkerOut> {
-                for i in iters {
-                    wctx.set(var.clone(), Value::i64(i));
-                    execute_blocks(body, program, &mut wctx)?;
-                }
-                let results = results
-                    .iter()
-                    .map(|r| {
-                        (
-                            r.clone(),
-                            wctx.symtab.get(r).cloned(),
-                            wctx.lineage.get(r).cloned(),
-                        )
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<WorkerOut> {
+                    for i in iters {
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        maybe_inject_panic(&wctx, i);
+                        wctx.set(var.clone(), Value::i64(i));
+                        execute_blocks(body, program, &mut wctx)?;
+                    }
+                    let results = results
+                        .iter()
+                        .map(|r| {
+                            (
+                                r.clone(),
+                                wctx.symtab.get(r).cloned(),
+                                wctx.lineage.get(r).cloned(),
+                            )
+                        })
+                        .collect();
+                    Ok(WorkerOut {
+                        results,
+                        stdout: std::mem::take(&mut wctx.stdout),
                     })
-                    .collect();
-                Ok(WorkerOut {
-                    results,
-                    stdout: std::mem::take(&mut wctx.stdout),
-                })
+                }));
+                match outcome {
+                    Ok(Ok(out)) => Ok(out),
+                    Ok(Err(e)) => {
+                        cancel.store(true, Ordering::Relaxed);
+                        Err(e)
+                    }
+                    Err(payload) => {
+                        // The unwind already dropped the worker's context and
+                        // with it any held cache reservations (their Drop
+                        // aborts the placeholders, waking blocked waiters).
+                        cancel.store(true, Ordering::Relaxed);
+                        LimaStats::bump(&stats.worker_panics);
+                        Err(RuntimeError::WorkerPanic(panic_message(payload)))
+                    }
+                }
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("parfor worker panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(payload) => Err(RuntimeError::WorkerPanic(panic_message(payload))),
+            })
             .collect()
     })
-    .expect("parfor scope");
+    .map_err(|payload| RuntimeError::WorkerPanic(panic_message(payload)))?;
 
+    // Propagate the first failure by worker index — deterministic regardless
+    // of which worker failed first in wall-clock time.
     let mut worker_outs = Vec::with_capacity(outs.len());
     for o in outs {
         worker_outs.push(o?);
@@ -160,6 +225,29 @@ pub(crate) fn execute_parfor(
     Ok(())
 }
 
+/// Fault injection: panic at the start of a parfor iteration. The decision is
+/// keyed by the iteration value, not a call counter, so it is independent of
+/// how iterations interleave across workers.
+fn maybe_inject_panic(ctx: &ExecutionContext, iteration: i64) {
+    if let Some(f) = &ctx.config.faults {
+        if f.should_fail_at(FaultSite::WorkerPanic, iteration.unsigned_abs()) {
+            panic!("injected fault: parfor worker panic at iteration {iteration}");
+        }
+    }
+}
+
+/// Renders a panic payload (usually a `&str` or `String`) for
+/// [`RuntimeError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Copies every cell of `worker` that differs from `init` into `acc`.
 fn merge_noninitial(acc: &mut DenseMatrix, init: &DenseMatrix, worker: &DenseMatrix) {
     let (a, i, w) = (acc.data_mut(), init.data(), worker.data());
@@ -189,5 +277,15 @@ mod tests {
     fn default_degree_is_bounded() {
         let d = default_degree();
         assert!((1..=8).contains(&d));
+    }
+
+    #[test]
+    fn panic_messages_extract_common_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(p), "static str");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p), "formatted 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert_eq!(panic_message(p), "opaque panic payload");
     }
 }

@@ -281,13 +281,24 @@ mod tests {
         );
         assert!(matches!(p, Block::ParFor { .. }));
         let i = Block::if_else(ExprProg::var("c"), vec![], vec![]);
-        assert!(matches!(i, Block::If { branch_id: None, .. }));
+        assert!(matches!(
+            i,
+            Block::If {
+                branch_id: None,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn program_registers_functions() {
         let mut p = Program::new(vec![]);
-        p.add_function(Function::new("lm", vec!["X".into()], vec!["B".into()], vec![]));
+        p.add_function(Function::new(
+            "lm",
+            vec!["X".into()],
+            vec!["B".into()],
+            vec![],
+        ));
         assert!(p.functions.contains_key("lm"));
         assert_eq!(p.functions["lm"].params, vec!["X"]);
         assert!(!p.functions["lm"].deterministic);

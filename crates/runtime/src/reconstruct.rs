@@ -97,10 +97,7 @@ fn expand_with(item: &LinRef, rebuilt: &HashMap<u64, LinRef>) -> LinRef {
                 .iter()
                 .map(|i| local.get(&i.id()).cloned().unwrap_or_else(|| i.clone()))
                 .collect();
-            let changed = ins
-                .iter()
-                .zip(node.inputs())
-                .any(|(a, b)| a.id() != b.id());
+            let changed = ins.iter().zip(node.inputs()).any(|(a, b)| a.id() != b.id());
             if changed {
                 match node.data() {
                     Some(d) => LineageItem::op_with_data(node.opcode(), d, ins),
@@ -127,28 +124,24 @@ fn parse_nums(data: &str, op: &str) -> Result<Vec<f64>> {
 
 /// Builds the instruction recomputing a single lineage item. Returns `None`
 /// for items that need no instruction.
-fn build_instr(
-    item: &LinRef,
-    emitted: &HashMap<u64, String>,
-    out: &str,
-) -> Result<Option<Instr>> {
+fn build_instr(item: &LinRef, emitted: &HashMap<u64, String>, out: &str) -> Result<Option<Instr>> {
     let opcode = item.opcode();
     let in_var = |k: usize| -> Result<Operand> {
-        let input = item.inputs().get(k).ok_or_else(|| {
-            RuntimeError::Reconstruct(format!("{opcode}: missing input {k}"))
-        })?;
+        let input = item
+            .inputs()
+            .get(k)
+            .ok_or_else(|| RuntimeError::Reconstruct(format!("{opcode}: missing input {k}")))?;
         Ok(Operand::var(emitted.get(&input.id()).ok_or_else(|| {
             RuntimeError::Reconstruct(format!("{opcode}: input {k} not emitted"))
         })?))
     };
-    let all_vars = || -> Result<Vec<Operand>> {
-        (0..item.inputs().len()).map(in_var).collect()
-    };
+    let all_vars = || -> Result<Vec<Operand>> { (0..item.inputs().len()).map(in_var).collect() };
     // Seed inputs are literal items; decode to a literal operand.
     let seed_operand = |k: usize| -> Result<Operand> {
-        let input = item.inputs().get(k).ok_or_else(|| {
-            RuntimeError::Reconstruct(format!("{opcode}: missing seed input"))
-        })?;
+        let input = item
+            .inputs()
+            .get(k)
+            .ok_or_else(|| RuntimeError::Reconstruct(format!("{opcode}: missing seed input")))?;
         match input.kind() {
             LineageKind::Literal => {
                 let sv = ScalarValue::from_lineage_literal(input.data().unwrap_or(""))
@@ -161,8 +154,10 @@ fn build_instr(
 
     let instr = match item.kind() {
         LineageKind::Literal => {
-            let sv = ScalarValue::from_lineage_literal(item.data().unwrap_or(""))
-                .ok_or_else(|| RuntimeError::Reconstruct(format!("bad literal '{:?}'", item.data())))?;
+            let sv =
+                ScalarValue::from_lineage_literal(item.data().unwrap_or("")).ok_or_else(|| {
+                    RuntimeError::Reconstruct(format!("bad literal '{:?}'", item.data()))
+                })?;
             Instr::new(Op::Assign, vec![Operand::Lit(sv)], out)
         }
         LineageKind::Placeholder(slot) => {
@@ -256,7 +251,9 @@ fn build_instr(
                 oc::RIGHT_INDEX => {
                     let n = parse_nums(data, opcode)?;
                     if n.len() != 4 {
-                        return Err(RuntimeError::Reconstruct("rightIndex expects 4 bounds".into()));
+                        return Err(RuntimeError::Reconstruct(
+                            "rightIndex expects 4 bounds".into(),
+                        ));
                     }
                     // Stored bounds are 0-based inclusive; operands are 1-based.
                     Instr::new(
@@ -274,7 +271,9 @@ fn build_instr(
                 oc::LEFT_INDEX => {
                     let n = parse_nums(data, opcode)?;
                     if n.len() != 2 {
-                        return Err(RuntimeError::Reconstruct("leftIndex expects 2 offsets".into()));
+                        return Err(RuntimeError::Reconstruct(
+                            "leftIndex expects 2 offsets".into(),
+                        ));
                     }
                     Instr::new(
                         Op::LeftIndex,

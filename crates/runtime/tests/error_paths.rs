@@ -11,7 +11,11 @@ use lima_runtime::{
     RuntimeError,
 };
 
-fn run(mut p: Program, config: LimaConfig, data: &[(&str, Value)]) -> Result<ExecutionContext, RuntimeError> {
+fn run(
+    mut p: Program,
+    config: LimaConfig,
+    data: &[(&str, Value)],
+) -> Result<ExecutionContext, RuntimeError> {
     compile(&mut p, &config);
     let mut ctx = ExecutionContext::new(config);
     for (k, v) in data {
@@ -158,7 +162,10 @@ fn spilled_entries_survive_and_restore_through_pipelines() {
     let base = lima_algos::run_script(&p.script, &LimaConfig::base(), &p.input_refs()).unwrap();
     let lima = lima_algos::run_script(&p.script, &config, &p.input_refs()).unwrap();
     for out in ["s1", "s2", "s3"] {
-        assert!(base.value(out).approx_eq(lima.value(out), 1e-9), "{out} diverged");
+        assert!(
+            base.value(out).approx_eq(lima.value(out), 1e-9),
+            "{out} diverged"
+        );
     }
 }
 
@@ -190,8 +197,16 @@ fn nested_function_calls_compose_with_reuse() {
     // outer calls inner twice; inner is deterministic — reuse at both levels.
     let mut p = Program::new(vec![Block::basic(vec![
         Instr::new(Op::Read, vec![Operand::str("X")], "X"),
-        Instr::multi(Op::FCall("outer".into()), vec![Operand::var("X")], vec!["r1".into()]),
-        Instr::multi(Op::FCall("outer".into()), vec![Operand::var("X")], vec!["r2".into()]),
+        Instr::multi(
+            Op::FCall("outer".into()),
+            vec![Operand::var("X")],
+            vec!["r1".into()],
+        ),
+        Instr::multi(
+            Op::FCall("outer".into()),
+            vec![Operand::var("X")],
+            vec!["r2".into()],
+        ),
     ])]);
     p.add_function(Function::new(
         "inner",
@@ -208,8 +223,16 @@ fn nested_function_calls_compose_with_reuse() {
         vec!["A".into()],
         vec!["S".into()],
         vec![Block::basic(vec![
-            Instr::multi(Op::FCall("inner".into()), vec![Operand::var("A")], vec!["G1".into()]),
-            Instr::multi(Op::FCall("inner".into()), vec![Operand::var("A")], vec!["G2".into()]),
+            Instr::multi(
+                Op::FCall("inner".into()),
+                vec![Operand::var("A")],
+                vec!["G1".into()],
+            ),
+            Instr::multi(
+                Op::FCall("inner".into()),
+                vec![Operand::var("A")],
+                vec!["G2".into()],
+            ),
             Instr::new(
                 Op::Binary(BinOp::Add),
                 vec![Operand::var("G1"), Operand::var("G2")],

@@ -42,17 +42,27 @@ fn straight_line_program_computes_and_traces() {
         read("X", "X"),
         read("Y", "Y"),
         mm("X", "Y", "Z"),
-        Instr::new(Op::FullAgg(lima_matrix::ops::AggFn::Sum), vec![Operand::var("Z")], "s"),
+        Instr::new(
+            Op::FullAgg(lima_matrix::ops::AggFn::Sum),
+            vec![Operand::var("Z")],
+            "s",
+        ),
     ])]);
     let x = mk_matrix(6, 4, 1);
     let y = mk_matrix(4, 3, 2);
     let ctx = run(
         &mut p,
         LimaConfig::lima(),
-        &[("X", Value::matrix(x.clone())), ("Y", Value::matrix(y.clone()))],
+        &[
+            ("X", Value::matrix(x.clone())),
+            ("Y", Value::matrix(y.clone())),
+        ],
     );
     let expect = lima_matrix::ops::matmult(&x, &y).unwrap();
-    assert!(ctx.symtab["Z"].as_matrix().unwrap().approx_eq(&expect, 1e-12));
+    assert!(ctx.symtab["Z"]
+        .as_matrix()
+        .unwrap()
+        .approx_eq(&expect, 1e-12));
     let s = ctx.symtab["s"].as_f64().unwrap();
     assert!((s - lima_matrix::ops::full_agg(&expect, lima_matrix::ops::AggFn::Sum)).abs() < 1e-9);
     // Lineage exists for Z and records the matmult.
@@ -143,7 +153,10 @@ fn partial_reuse_fires_for_tsmm_cbind() {
     let ctx = run(
         &mut p,
         config,
-        &[("X", Value::matrix(x.clone())), ("d", Value::matrix(d.clone()))],
+        &[
+            ("X", Value::matrix(x.clone())),
+            ("d", Value::matrix(d.clone())),
+        ],
     );
     assert_eq!(LimaStats::get(&ctx.stats.partial_hits), 1);
     let z = lima_matrix::ops::cbind(&x, &d).unwrap();
@@ -199,7 +212,12 @@ fn dedup_compresses_loop_lineage() {
     let lp = ctx_p.lineage.get("p").unwrap();
     assert!(lima_core::lineage::item::lineage_eq(ld, lp));
     // ...but the deduplicated DAG is much smaller.
-    assert!(ld.dag_size() < lp.dag_size(), "{} vs {}", ld.dag_size(), lp.dag_size());
+    assert!(
+        ld.dag_size() < lp.dag_size(),
+        "{} vs {}",
+        ld.dag_size(),
+        lp.dag_size()
+    );
     assert_eq!(LimaStats::get(&ctx_d.stats.dedup_patches), 1);
     assert!(LimaStats::get(&ctx_d.stats.dedup_items) >= 10);
     // Dedup traces serialize compactly and round-trip.
@@ -247,7 +265,10 @@ fn dedup_with_branches_traces_each_path_once() {
     let ctx = run(&mut p, cfg, &[("x0", x0)]);
     // (1+1+1+1)*2*2*2 = wait: 3 adds then 3 muls: ((1+3) * 8) = 32
     let expect = DenseMatrix::filled(2, 2, 32.0);
-    assert!(ctx.symtab["x"].as_matrix().unwrap().approx_eq(&expect, 1e-12));
+    assert!(ctx.symtab["x"]
+        .as_matrix()
+        .unwrap()
+        .approx_eq(&expect, 1e-12));
     assert_eq!(LimaStats::get(&ctx.stats.dedup_patches), 2);
 }
 
@@ -373,8 +394,16 @@ fn function_calls_and_multilevel_reuse() {
     // at function level.
     let mut p = Program::new(vec![Block::basic(vec![
         read("X", "X"),
-        Instr::multi(Op::FCall("gram".into()), vec![Operand::var("X")], vec!["G1".into()]),
-        Instr::multi(Op::FCall("gram".into()), vec![Operand::var("X")], vec!["G2".into()]),
+        Instr::multi(
+            Op::FCall("gram".into()),
+            vec![Operand::var("X")],
+            vec!["G1".into()],
+        ),
+        Instr::multi(
+            Op::FCall("gram".into()),
+            vec![Operand::var("X")],
+            vec!["G2".into()],
+        ),
     ])]);
     p.add_function(Function::new(
         "gram",
@@ -387,7 +416,11 @@ fn function_calls_and_multilevel_reuse() {
         )])],
     ));
     let x = mk_matrix(12, 4, 5);
-    let ctx = run(&mut p, LimaConfig::lima(), &[("X", Value::matrix(x.clone()))]);
+    let ctx = run(
+        &mut p,
+        LimaConfig::lima(),
+        &[("X", Value::matrix(x.clone()))],
+    );
     assert_eq!(ctx.symtab["G1"], ctx.symtab["G2"]);
     assert_eq!(LimaStats::get(&ctx.stats.multilevel_hits), 1);
     let expect = lima_matrix::ops::tsmm(&x, TsmmSide::Left);
@@ -448,7 +481,7 @@ fn while_loop_and_predicates() {
 }
 
 #[test]
-fn write_emits_lineage_log(){
+fn write_emits_lineage_log() {
     let dir = std::env::temp_dir().join(format!("lima-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("out.csv");
@@ -506,7 +539,11 @@ fn reconstruction_reproduces_traced_intermediate() {
         ),
     ])]);
     let x = mk_matrix(8, 3, 11);
-    let ctx = run(&mut p, LimaConfig::lima(), &[("X", Value::matrix(x.clone()))]);
+    let ctx = run(
+        &mut p,
+        LimaConfig::lima(),
+        &[("X", Value::matrix(x.clone()))],
+    );
     let lin = ctx.lineage.get("H").unwrap().clone();
     let mut rctx = ExecutionContext::new(LimaConfig::base());
     rctx.data.register("X", Value::matrix(x));
@@ -531,7 +568,10 @@ fn partial_only_mode_rewrites_without_full_reuse() {
     let ctx = run(
         &mut p,
         config,
-        &[("X", Value::matrix(x.clone())), ("d", Value::matrix(d.clone()))],
+        &[
+            ("X", Value::matrix(x.clone())),
+            ("d", Value::matrix(d.clone())),
+        ],
     );
     // Partial mode still caches values for rewrite lookups via put-on-compute?
     // No: partial-only relies on previously cached values. Without full

@@ -62,7 +62,11 @@ fn main() {
     println!("\n-- lineage diff (dev vs prod) --");
     for (d, p) in dev_log.lines().zip(prod_log.lines()) {
         // Input IDs are session-specific; compare the payloads.
-        let strip = |s: &str| s.split_once(' ').map(|x| x.1.to_string()).unwrap_or_default();
+        let strip = |s: &str| {
+            s.split_once(' ')
+                .map(|x| x.1.to_string())
+                .unwrap_or_default()
+        };
         if strip(d) != strip(p) {
             println!("  dev : {d}\n  prod: {p}");
         }

@@ -26,8 +26,8 @@ fn main() {
         ("LIMA (hybrid reuse)", LimaConfig::lima()),
     ] {
         let t0 = Instant::now();
-        let result = run_script(&pipeline.script, &config, &pipeline.input_refs())
-            .expect("pipeline runs");
+        let result =
+            run_script(&pipeline.script, &config, &pipeline.input_refs()).expect("pipeline runs");
         let elapsed = t0.elapsed();
         println!(
             "{label:24} {elapsed:>10.3?}   best loss = {:.6}",

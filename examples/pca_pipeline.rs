@@ -25,8 +25,8 @@ fn main() {
         ("LIMA (multi-level)", LimaConfig::lima()),
     ] {
         let t0 = Instant::now();
-        let result = run_script(&pipeline.script, &config, &pipeline.input_refs())
-            .expect("pipeline runs");
+        let result =
+            run_script(&pipeline.script, &config, &pipeline.input_refs()).expect("pipeline runs");
         let elapsed = t0.elapsed();
         let best = result.value("best").as_f64().unwrap();
         print!("{label:22} {elapsed:>10.3?}   best adj-R2 = {best:.4}");

@@ -20,8 +20,8 @@ fn main() {
     ";
     let x = DenseMatrix::from_fn(1_000, 20, |i, j| ((i * 7 + j * 13) % 97) as f64 / 97.0);
     let config = LimaConfig::lima();
-    let result = run_script(script, &config, &[("X", Value::matrix(x.clone()))])
-        .expect("script runs");
+    let result =
+        run_script(script, &config, &[("X", Value::matrix(x.clone()))]).expect("script runs");
 
     println!("s = {}", result.value("s").as_f64().unwrap());
     println!("\n-- LIMA statistics --\n{}", result.ctx.stats.report());
@@ -30,7 +30,10 @@ fn main() {
     // the paper's `lineage(X)` built-in.
     let lineage = result.ctx.lineage.get("C").expect("traced").clone();
     let log = serialize_lineage(&lineage);
-    println!("\n-- lineage log of C ({} nodes) --\n{log}", lineage.dag_size());
+    println!(
+        "\n-- lineage log of C ({} nodes) --\n{log}",
+        lineage.dag_size()
+    );
 
     // The log round-trips and identifies the intermediate exactly.
     let restored = deserialize_lineage(&log).expect("well-formed log");

@@ -146,7 +146,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn normalize_log_line(line: &str) -> String {
     line.split(' ')
         .map(|tok| {
-            if tok.starts_with('(') && tok.ends_with(')') && tok[1..tok.len() - 1].parse::<u64>().is_ok()
+            if tok.starts_with('(')
+                && tok.ends_with(')')
+                && tok[1..tok.len() - 1].parse::<u64>().is_ok()
             {
                 "(#)".to_string()
             } else {
@@ -205,7 +207,10 @@ fn cmd_recompute(args: &[String]) -> Result<(), String> {
             println!("recomputed matrix {}x{}:", m.rows(), m.cols());
             print!("{}", lima::lima_runtime::kernels::display(&value));
         }
-        other => println!("recomputed value: {}", lima::lima_runtime::kernels::display(other)),
+        other => println!(
+            "recomputed value: {}",
+            lima::lima_runtime::kernels::display(other)
+        ),
     }
     Ok(())
 }

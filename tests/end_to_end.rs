@@ -69,10 +69,24 @@ fn reuse_cache_is_shared_across_script_invocations() {
     let cache = LineageCache::new(LimaConfig::lima());
     let x = Value::matrix(DenseMatrix::from_fn(200, 20, |i, j| ((i + j) % 7) as f64));
     let script = standardize_script();
-    let r1 = run_script_with_cache(&script, &LimaConfig::lima(), &[("X", x.clone())], Some(Arc::clone(&cache))).unwrap();
-    let before = LimaStats::get(&cache.stats().full_hits) + LimaStats::get(&cache.stats().multilevel_hits);
-    let r2 = run_script_with_cache(&script, &LimaConfig::lima(), &[("X", x)], Some(Arc::clone(&cache))).unwrap();
-    let after = LimaStats::get(&cache.stats().full_hits) + LimaStats::get(&cache.stats().multilevel_hits);
+    let r1 = run_script_with_cache(
+        &script,
+        &LimaConfig::lima(),
+        &[("X", x.clone())],
+        Some(Arc::clone(&cache)),
+    )
+    .unwrap();
+    let before =
+        LimaStats::get(&cache.stats().full_hits) + LimaStats::get(&cache.stats().multilevel_hits);
+    let r2 = run_script_with_cache(
+        &script,
+        &LimaConfig::lima(),
+        &[("X", x)],
+        Some(Arc::clone(&cache)),
+    )
+    .unwrap();
+    let after =
+        LimaStats::get(&cache.stats().full_hits) + LimaStats::get(&cache.stats().multilevel_hits);
     assert!(after > before, "second invocation must hit the cache");
     assert!(r1.value("s").approx_eq(r2.value("s"), 1e-12));
 }
@@ -92,7 +106,9 @@ fn parfor_workers_share_the_cache_safely() {
         total = sum(B);
         ",
     );
-    let x = Value::matrix(DenseMatrix::from_fn(300, 12, |i, j| ((i * j) % 17) as f64 * 0.1));
+    let x = Value::matrix(DenseMatrix::from_fn(300, 12, |i, j| {
+        ((i * j) % 17) as f64 * 0.1
+    }));
     let lima = run_script(&script, &LimaConfig::lima(), &[("X", x.clone())]).unwrap();
     let base = run_script(&script, &LimaConfig::base(), &[("X", x)]).unwrap();
     assert!(lima.value("total").approx_eq(base.value("total"), 1e-9));
@@ -111,7 +127,11 @@ fn eviction_under_pressure_preserves_correctness() {
 
 #[test]
 fn every_eviction_policy_is_correct() {
-    for policy in [EvictionPolicy::Lru, EvictionPolicy::DagHeight, EvictionPolicy::CostSize] {
+    for policy in [
+        EvictionPolicy::Lru,
+        EvictionPolicy::DagHeight,
+        EvictionPolicy::CostSize,
+    ] {
         let mut config = LimaConfig::lima();
         config.policy = policy;
         config.budget_bytes = 256 * 1024;

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` for structured
+//! fork-join parallelism (matrix kernels, parfor workers, concurrency
+//! tests). Since Rust 1.63 the standard library provides the same guarantee
+//! via `std::thread::scope`; this crate adapts the crossbeam calling
+//! convention (closures receive the scope handle, `join` returns a
+//! `thread::Result`) onto it so the no-network build environment needs no
+//! external dependency.
+
+pub mod thread {
+    /// Result alias matching `crossbeam::thread::scope`'s panic-capturing
+    /// return type.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Scope handle passed to the closure and to each spawned worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // A plain copy of a shared reference; manual impls keep the derive
+    // machinery from demanding bounds on the lifetimes.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Join handle for a scoped worker thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result; a panicking worker
+        /// yields `Err` with the panic payload instead of aborting.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. As with crossbeam, the closure
+        /// receives the scope handle so workers can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; every thread spawned through the handle
+    /// is joined before `scope` returns. Unlike crossbeam this cannot observe
+    /// unjoined panicked children (std re-raises them), so the result is
+    /// always `Ok` when `f` itself returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_workers_and_collects_results() {
+        let data = [1, 2, 3, 4];
+        let sum: i32 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn joined_worker_panics_are_captured_not_propagated() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| -> i32 { panic!("worker died") });
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn workers_can_spawn_siblings_through_the_handle() {
+        let v = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 7).join().unwrap());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

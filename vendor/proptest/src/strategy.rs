@@ -1,0 +1,407 @@
+//! Strategy trait and combinators for the vendored proptest stand-in.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A recipe for generating values of `Self::Value` from a [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, `branch` builds
+    /// composite values out of an inner strategy. `depth` bounds recursion;
+    /// the `_desired_size`/`_expected_branch` parameters exist for signature
+    /// compatibility with upstream proptest and are ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        // Level 0 is leaves only; each further level mixes leaves with one
+        // more layer of branching, weighted toward leaves so expected sizes
+        // stay small.
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let layer = branch(strat).boxed();
+            strat = Union::weighted(vec![(2, leaf.clone()), (3, layer)]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe generation, used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice among `arms`.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::weighted(arms.into_iter().map(|a| (1, a)).collect())
+    }
+
+    /// Choice among `arms` with the given relative weights.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.usize_in(0, self.total as usize) as u32;
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.generate(rng);
+            }
+            pick -= w;
+        }
+        self.arms.last().expect("nonempty").1.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) * span) >> 64;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let v = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+// ------------------------------------------------------------ string patterns
+
+/// `&str` strategies interpret the string as a micro-regex: a sequence of
+/// atoms (`[class]`, escape, or literal char), each optionally repeated with
+/// `{m,n}`, `*` (0..=8), or `+` (1..=8). `\PC` means "any printable char".
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Choice among explicit chars (expanded from classes).
+    Class(Vec<char>),
+    /// Any printable character (`\PC` and `.`).
+    AnyPrintable,
+    /// A literal character.
+    Lit(char),
+}
+
+fn printable(rng: &mut TestRng) -> char {
+    // Mostly ASCII with a sprinkle of multibyte chars to keep lexers honest.
+    match rng.usize_in(0, 10) {
+        0 => char::from_u32(0x00C0 + rng.usize_in(0, 0x100) as u32).unwrap_or('é'),
+        _ => (0x20u8 + rng.usize_in(0, 0x5F) as u8) as char,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '-' => {
+                // Range like a-z when bracketed by endpoints; literal '-'
+                // otherwise.
+                let (Some(lo), Some(&hi)) = (prev, chars.peek()) else {
+                    out.push('-');
+                    prev = None;
+                    continue;
+                };
+                if hi == ']' {
+                    out.push('-');
+                    continue;
+                }
+                chars.next();
+                let (lo, hi) = (lo as u32, hi as u32);
+                for v in lo..=hi {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                }
+                prev = None;
+            }
+            c => {
+                out.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push('a');
+    }
+    out
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            (0, 9)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 9)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 2)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let mut parts = spec.splitn(2, ',');
+            let lo: usize = parts.next().unwrap_or("1").trim().parse().unwrap_or(1);
+            let hi: usize = parts
+                .next()
+                .map(|s| s.trim().parse().unwrap_or(lo))
+                .unwrap_or(lo);
+            (lo, hi.max(lo) + 1)
+        }
+        _ => (1, 2),
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '.' => Atom::AnyPrintable,
+            '\\' => match chars.next() {
+                // \PC — "printable character" (the unicode-category escape
+                // the lexer-fuzz test uses). Consume the category letter.
+                Some('P') | Some('p') => {
+                    chars.next();
+                    Atom::AnyPrintable
+                }
+                Some('n') => Atom::Lit('\n'),
+                Some('t') => Atom::Lit('\t'),
+                Some(other) => Atom::Lit(other),
+                None => Atom::Lit('\\'),
+            },
+            lit => Atom::Lit(lit),
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        let n = rng.usize_in(lo, hi);
+        for _ in 0..n {
+            match &atom {
+                Atom::Class(set) => out.push(set[rng.usize_in(0, set.len())]),
+                Atom::AnyPrintable => out.push(printable(rng)),
+                Atom::Lit(ch) => out.push(*ch),
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- any::<T>()
+
+/// Types with a default "arbitrary" strategy (numeric subset).
+pub trait ArbitraryValue: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy form of [`ArbitraryValue`], returned by `any::<T>()`.
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite spread around zero; property tests here never need NaN/inf.
+        (rng.next_f64() - 0.5) * 2e6
+    }
+}
