@@ -1,0 +1,128 @@
+//! Criterion benches for the crash-safe persistent reuse cache:
+//!
+//! * raw persist throughput (atomic value write + WAL commit) per value size,
+//! * startup recovery latency as a function of manifest length,
+//! * cold vs warm-restart gridsearch-LM end-to-end (the headline win:
+//!   a second process reusing a prior process's cache).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lima_algos::pipelines;
+use lima_algos::runner::run_script;
+use lima_core::cache::persist::PersistentCacheStore;
+use lima_core::lineage::item::LineageItem;
+use lima_core::LimaConfig;
+use lima_matrix::{DenseMatrix, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "lima-bench-persist-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn matrix(rows: usize, cols: usize) -> Value {
+    let data: Vec<f64> = (0..rows * cols).map(|i| (i % 97) as f64 * 0.5).collect();
+    Value::matrix(DenseMatrix::new(rows, cols, data).expect("shape"))
+}
+
+fn bench_persist_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("persist_write");
+    g.sample_size(10);
+    for dim in [64usize, 256, 1024] {
+        let value = matrix(dim, dim);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dim}x{dim}")),
+            &dim,
+            |b, _| {
+                let dir = tmp_dir("write");
+                let (store, _, _) = PersistentCacheStore::open(&dir, 0, None).expect("open");
+                let mut i = 0u64;
+                b.iter(|| {
+                    let root = LineageItem::op_with_data("read", format!("var:m{i}"), vec![]);
+                    i += 1;
+                    store.persist(&root, &value, 1_000).expect("persist")
+                });
+                drop(store);
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_recovery_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("persist_recovery");
+    g.sample_size(10);
+    for entries in [16usize, 128, 512] {
+        let dir = tmp_dir("recover");
+        {
+            let (store, _, _) = PersistentCacheStore::open(&dir, 0, None).expect("open");
+            let value = matrix(32, 32);
+            for i in 0..entries {
+                let root = LineageItem::op_with_data("read", format!("var:m{i}"), vec![]);
+                store.persist(&root, &value, 1_000).expect("persist");
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, _| {
+            b.iter(|| PersistentCacheStore::open(&dir, 0, None).expect("open"))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+fn bench_warm_restart(c: &mut Criterion) {
+    let grid = pipelines::hyperparameter_grid(3, 2, 2);
+    let p = pipelines::hlm(2_000, 30, 2, 10, &grid, false, 5);
+    let inputs = p.input_refs();
+    let mut g = c.benchmark_group("gridsearch_lm_restart");
+    g.sample_size(10);
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let dir = tmp_dir("cold");
+            let r = run_script(
+                &p.script,
+                &LimaConfig::lima().with_persistence(&dir),
+                &inputs,
+            )
+            .expect("run");
+            let _ = std::fs::remove_dir_all(&dir);
+            r.elapsed
+        })
+    });
+    g.bench_function("warm", |b| {
+        // One prior "process" fills the store; each iteration restarts on it.
+        let dir = tmp_dir("warm");
+        run_script(
+            &p.script,
+            &LimaConfig::lima().with_persistence(&dir),
+            &inputs,
+        )
+        .expect("seed");
+        b.iter(|| {
+            run_script(
+                &p.script,
+                &LimaConfig::lima().with_persistence(&dir),
+                &inputs,
+            )
+            .expect("run")
+            .elapsed
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_persist_write,
+    bench_recovery_scan,
+    bench_warm_restart
+);
+criterion_main!(benches);

@@ -42,6 +42,12 @@ pub struct CacheEntry {
     /// levels (operation vs. function) share this pointer tag, so spilling
     /// can be deferred until the whole group is evicted (paper §4.3).
     pub group: usize,
+    /// Manifest ID in the persistent cache store, when the entry has been
+    /// durably written (or was recovered from disk).
+    pub persist_id: Option<u64>,
+    /// True when the entry was repopulated from a prior process by startup
+    /// recovery; hits against it count as `persist_hits`.
+    pub from_persist: bool,
 }
 
 impl CacheEntry {
@@ -56,6 +62,8 @@ impl CacheEntry {
             misses: 1, // the probe that created the placeholder missed
             size: 0,
             group: 0,
+            persist_id: None,
+            from_persist: false,
         }
     }
 

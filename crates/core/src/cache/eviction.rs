@@ -91,6 +91,8 @@ mod tests {
             misses: 0,
             size,
             group: 0,
+            persist_id: None,
+            from_persist: false,
         }
     }
 

@@ -6,6 +6,7 @@
 pub mod costs;
 pub mod entry;
 pub mod eviction;
+pub mod persist;
 pub mod rewrites;
 pub mod spill;
 
@@ -16,6 +17,7 @@ use costs::IoCostModel;
 use entry::{CacheEntry, EntryState};
 use lima_matrix::Value;
 use parking_lot::{Condvar, Mutex};
+use persist::PersistentCacheStore;
 use spill::SpillStore;
 use std::collections::HashMap;
 use std::path::Path;
@@ -102,6 +104,12 @@ pub struct LineageCache {
     /// Consecutive spill-write failures; at `config.spill_failure_limit` the
     /// circuit breaker opens and evictions stop attempting to spill.
     spill_breaker: AtomicU32,
+    /// Crash-safe durable store; present when `config.persist_enabled` and
+    /// the persist directory was usable.
+    persist_store: Option<PersistentCacheStore>,
+    /// Consecutive persistent-write failures; shares
+    /// `config.spill_failure_limit` as its circuit-breaker threshold.
+    persist_breaker: AtomicU32,
 }
 
 impl std::fmt::Debug for LineageCache {
@@ -117,14 +125,28 @@ impl std::fmt::Debug for LineageCache {
 }
 
 impl LineageCache {
-    /// Creates a cache for the given configuration.
+    /// Creates a cache for the given configuration. With persistence enabled
+    /// this runs the startup recovery pass: entries a prior process durably
+    /// committed are validated and repopulated as warm cache entries. An
+    /// unusable persist directory degrades to a memory-only cache.
     pub fn new(config: LimaConfig) -> Arc<Self> {
         let spill_store = if config.spill {
             SpillStore::with_faults(config.faults.clone()).ok()
         } else {
             None
         };
-        Arc::new(LineageCache {
+        let mut recovered = Vec::new();
+        let persist_store = match (&config.persist_enabled, &config.persist_dir) {
+            (true, Some(dir)) => {
+                PersistentCacheStore::open(dir, config.persist_budget_bytes, config.faults.clone())
+                    .map(|(store, entries, report)| {
+                        recovered = entries;
+                        (store, report)
+                    })
+            }
+            _ => None,
+        };
+        let mut cache = LineageCache {
             config,
             stats: Arc::new(LimaStats::new()),
             io: IoCostModel::new(),
@@ -136,7 +158,39 @@ impl LineageCache {
             cond: Condvar::new(),
             clock: AtomicU64::new(1),
             spill_breaker: AtomicU32::new(0),
-        })
+            persist_store: None,
+            persist_breaker: AtomicU32::new(0),
+        };
+        if let Some((store, report)) = persist_store {
+            LimaStats::add(&cache.stats.persist_recovered, report.recovered);
+            LimaStats::add(&cache.stats.persist_dropped, report.dropped);
+            if report.torn_tail_truncated {
+                LimaStats::bump(&cache.stats.persist_torn_truncations);
+            }
+            LimaStats::add(&cache.stats.persist_orphans_gcd, report.orphans_gcd);
+            cache.persist_store = Some(store);
+            let mut st = cache.state.lock();
+            for e in recovered {
+                let key = LinKey(e.root.clone());
+                let size = e.value.size_in_bytes();
+                if size > cache.config.budget_bytes {
+                    continue; // respect the memory budget; stays on disk
+                }
+                let now = cache.tick();
+                let mut entry = CacheEntry::computing(e.root.height(), now);
+                entry.state = EntryState::Cached(e.value);
+                entry.size = size;
+                entry.misses = 0;
+                entry.compute_ns = e.compute_ns;
+                entry.persist_id = Some(e.persist_id);
+                entry.from_persist = true;
+                st.resident_bytes += size;
+                st.map.insert(key, entry);
+            }
+            cache.enforce_budget(&mut st);
+            drop(st);
+        }
+        Arc::new(cache)
     }
 
     /// The configuration this cache was created with.
@@ -217,9 +271,13 @@ impl LineageCache {
                 EntryState::Cached(v) => {
                     let value = v.clone();
                     let compute_ns = e.compute_ns;
+                    let from_persist = e.from_persist;
                     e.hits += 1;
                     e.last_access = now;
                     drop(st);
+                    if from_persist {
+                        LimaStats::bump(&self.stats.persist_hits);
+                    }
                     self.count_hit(item, compute_ns);
                     return Some(Probe::Hit(value));
                 }
@@ -241,10 +299,14 @@ impl LineageCache {
                                 e.hits += 1;
                                 e.last_access = self.tick();
                                 let compute_ns = e.compute_ns;
+                                let from_persist = e.from_persist;
                                 st.resident_bytes += size;
                                 self.enforce_budget(&mut st);
                                 drop(st);
                                 self.cond.notify_all();
+                                if from_persist {
+                                    LimaStats::bump(&self.stats.persist_hits);
+                                }
                                 self.count_hit(item, compute_ns);
                                 return Some(Probe::Hit(value));
                             }
@@ -357,6 +419,9 @@ impl LineageCache {
         match &e.state {
             EntryState::Cached(v) => {
                 let value = v.clone();
+                if e.from_persist {
+                    LimaStats::bump(&self.stats.persist_hits);
+                }
                 e.hits += 1;
                 e.last_access = now;
                 Some(value)
@@ -426,6 +491,7 @@ impl LineageCache {
             size <= self.config.budget_bytes && size >= self.config.min_entry_bytes;
         let mut st = self.state.lock();
         let now = self.tick();
+        let mut persistable = false;
         if let Some(e) = st.map.get_mut(key) {
             e.compute_ns = e.compute_ns.max(compute_ns);
             e.last_access = now;
@@ -433,6 +499,7 @@ impl LineageCache {
                 e.state = EntryState::Cached(value.clone());
                 e.size = size;
                 e.group = value_group(value);
+                persistable = e.persist_id.is_none();
                 st.resident_bytes += size;
                 LimaStats::bump(&self.stats.puts);
                 self.enforce_budget(&mut st);
@@ -444,6 +511,56 @@ impl LineageCache {
         }
         drop(st);
         self.cond.notify_all();
+        if persistable {
+            self.persist_entry(key, value, compute_ns);
+        }
+    }
+
+    /// Durably writes a freshly fulfilled entry to the persistent store (when
+    /// configured). Runs outside the cache lock: the disk write must not block
+    /// concurrent probes. Failures leave the entry memory-only and feed the
+    /// persistence circuit breaker.
+    fn persist_entry(&self, key: &LinKey, value: &Value, compute_ns: u64) {
+        use crate::opcodes::{BCALL, FCALL};
+        let Some(store) = &self.persist_store else {
+            return;
+        };
+        if self.persist_disabled() || store.crashed() {
+            return;
+        }
+        // Multi-level entries alias values cached at operation level and
+        // cannot be reconstructed from their lineage; persist only entries
+        // whose recovery invariant (reconstruct == cached value) is checkable.
+        let op = key.0.opcode();
+        if op.starts_with(FCALL) || op.starts_with(BCALL) {
+            return;
+        }
+        match store.persist(&key.0, value, compute_ns) {
+            Ok(Some(outcome)) => {
+                self.persist_breaker.store(0, Ordering::Relaxed);
+                LimaStats::bump(&self.stats.persist_writes);
+                LimaStats::add(&self.stats.persist_bytes, outcome.bytes);
+                LimaStats::add(&self.stats.persist_tombstones, outcome.evicted);
+                let mut st = self.state.lock();
+                if let Some(e) = st.map.get_mut(key) {
+                    e.persist_id = Some(outcome.id);
+                }
+            }
+            Ok(None) => {} // value kind not persisted (lists)
+            Err(_) => {
+                LimaStats::bump(&self.stats.persist_failures);
+                self.persist_breaker.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// True once the persistence circuit breaker has opened: after
+    /// `config.spill_failure_limit` consecutive durable-write failures the
+    /// cache stops attempting to persist (entries stay memory-only). 0
+    /// disables the breaker.
+    pub fn persist_disabled(&self) -> bool {
+        let limit = self.config.spill_failure_limit;
+        limit != 0 && self.persist_breaker.load(Ordering::Relaxed) >= limit
     }
 
     fn abort(&self, key: &LinKey) {
@@ -588,13 +705,24 @@ impl LineageCache {
         limit != 0 && self.spill_breaker.load(Ordering::Relaxed) >= limit
     }
 
-    /// Drops every entry (tests and phase boundaries in benchmarks).
+    /// Drops every entry (tests and phase boundaries in benchmarks). With
+    /// persistence enabled, each durable entry gets an eviction tombstone so
+    /// a later process does not recover cleared state.
     pub fn clear(&self) {
         let mut st = self.state.lock();
         if let Some(store) = &self.spill_store {
             for e in st.map.values() {
                 if let EntryState::Spilled { path, .. } = &e.state {
                     store.discard(path);
+                }
+            }
+        }
+        if let Some(store) = &self.persist_store {
+            for e in st.map.values() {
+                if let Some(id) = e.persist_id {
+                    if store.tombstone(id).unwrap_or(false) {
+                        LimaStats::bump(&self.stats.persist_tombstones);
+                    }
                 }
             }
         }
@@ -988,5 +1116,97 @@ mod tests {
         cache.clear();
         assert_eq!(cache.live_entries(), 0);
         assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    fn persist_dir(tag: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("lima-cache-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn warm_restart_recovers_entries_and_counts_persist_hits() {
+        let dir = persist_dir("warm");
+        let mkcfg = || LimaConfig {
+            spill: false,
+            ..LimaConfig::lima().with_persistence(&dir)
+        };
+        let v = mat(6);
+        {
+            // "First process": compute and durably persist one entry.
+            let cache = LineageCache::new(mkcfg());
+            match cache.acquire(&mk_item("ba+*", "X")).unwrap() {
+                Probe::Reserved(r) => r.fulfill(&v, 7_000),
+                Probe::Hit(_) => panic!("fresh cache"),
+            }
+            assert_eq!(LimaStats::get(&cache.stats().persist_writes), 1);
+            assert!(LimaStats::get(&cache.stats().persist_bytes) > 0);
+        }
+        // "Second process": recovery repopulates the entry; the first probe
+        // hits without any fulfil in this lifetime.
+        let cache = LineageCache::new(mkcfg());
+        assert_eq!(LimaStats::get(&cache.stats().persist_recovered), 1);
+        match cache.acquire(&mk_item("ba+*", "X")).unwrap() {
+            Probe::Hit(got) => {
+                assert!(got.approx_eq(&v, 0.0));
+            }
+            Probe::Reserved(_) => panic!("expected warm-restart hit"),
+        }
+        assert_eq!(LimaStats::get(&cache.stats().persist_hits), 1);
+        assert_eq!(LimaStats::get(&cache.stats().full_hits), 1);
+        // The recovered entry keeps its persist ID: no duplicate durable
+        // write when it is fulfilled again after an eviction.
+        assert_eq!(LimaStats::get(&cache.stats().persist_writes), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_tombstones_persisted_entries() {
+        let dir = persist_dir("clear");
+        let mkcfg = || LimaConfig {
+            spill: false,
+            ..LimaConfig::lima().with_persistence(&dir)
+        };
+        {
+            let cache = LineageCache::new(mkcfg());
+            match cache.acquire(&mk_item("ba+*", "X")).unwrap() {
+                Probe::Reserved(r) => r.fulfill(&mat(4), 100),
+                _ => panic!(),
+            }
+            cache.clear();
+            assert_eq!(LimaStats::get(&cache.stats().persist_tombstones), 1);
+        }
+        let cache = LineageCache::new(mkcfg());
+        assert_eq!(LimaStats::get(&cache.stats().persist_recovered), 0);
+        assert!(matches!(
+            cache.acquire(&mk_item("ba+*", "X")).unwrap(),
+            Probe::Reserved(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multilevel_entries_are_not_persisted() {
+        let dir = persist_dir("ml");
+        {
+            let cache = LineageCache::new(LimaConfig {
+                spill: false,
+                ..LimaConfig::lima().with_persistence(&dir)
+            });
+            let item = LineageItem::op_with_data(
+                format!("{}f", crate::opcodes::FCALL),
+                "args",
+                vec![mk_item("ba+*", "X")],
+            );
+            match cache.acquire(&item).unwrap() {
+                Probe::Reserved(r) => r.fulfill(&mat(4), 100),
+                _ => panic!(),
+            }
+            assert_eq!(LimaStats::get(&cache.stats().persist_writes), 0);
+        }
+        let cache = LineageCache::new(LimaConfig::lima().with_persistence(&dir));
+        assert_eq!(LimaStats::get(&cache.stats().persist_recovered), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

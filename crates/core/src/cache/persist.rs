@@ -1,0 +1,867 @@
+//! Crash-safe persistent reuse cache (durable lineage + values).
+//!
+//! The paper's lineage log is designed for serialization and full
+//! reconstruction of intermediates (§3); this module makes the reuse cache
+//! itself survive process death. A [`PersistentCacheStore`] pairs an
+//! append-only *manifest WAL* with a directory of checksummed *value files*:
+//!
+//! ```text
+//! <persist_dir>/manifest.wal      append-only record log
+//! <persist_dir>/values/v<id>.val  one committed value per entry
+//! <persist_dir>/values/v<id>.tmp  in-flight value write (GC'd on recovery)
+//! ```
+//!
+//! **Commit protocol** (per entry): (1) the value is written to `v<id>.tmp`
+//! and fsynced, (2) the temp file is atomically renamed to `v<id>.val`,
+//! (3) a `Put` record — serialized lineage via
+//! [`crate::lineage::serialize::serialize_lineage`] plus metadata — is
+//! appended to the WAL and fsynced. *The WAL append is the commit point*: a
+//! value file without a WAL record is an orphan and is garbage-collected; a
+//! WAL record whose value file is missing or corrupt is dropped.
+//!
+//! **Recovery** scans the WAL front to back, truncates a torn tail at the
+//! last valid record, replays tombstones, validates every surviving value
+//! file (FNV-1a-64 checksum), garbage-collects orphans, and returns the
+//! consistent subset of entries. An unusable directory degrades to an empty
+//! store — recovery never errors.
+//!
+//! **Crash points** ([`crate::faults::PERSIST_CRASH_POINTS`]) simulate
+//! process death at every step of the commit protocol: mid-rename
+//! ([`FaultSite::PersistRename`]), between value commit and manifest append
+//! ([`FaultSite::PersistCommit`]), and mid-WAL-append
+//! ([`FaultSite::PersistWalAppend`]). Once a crash point fires the store
+//! refuses all further writes, so the on-disk state observed by the next
+//! recovery is exactly the state at the moment of the simulated crash.
+
+use crate::faults::{FaultInjector, FaultSite};
+use crate::lineage::item::LinRef;
+use crate::lineage::serialize::{deserialize_lineage, serialize_lineage};
+use bytes::{Buf, BufMut, BytesMut};
+use lima_matrix::{DenseMatrix, ScalarValue, Value};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Value-file magic: "LIMV".
+const VALUE_MAGIC: u32 = 0x4C49_4D56;
+const VALUE_VERSION: u32 = 1;
+/// WAL record kinds.
+const REC_PUT: u8 = 1;
+const REC_TOMBSTONE: u8 = 2;
+/// Upper bound on a single WAL record payload; anything larger is treated as
+/// a torn/garbage tail during recovery.
+const MAX_RECORD_BYTES: usize = 256 * 1024 * 1024;
+
+/// FNV-1a 64-bit hash (same construction as the spill format).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One entry recovered from disk on startup.
+pub struct RecoveredEntry {
+    /// Deserialized lineage root (the cache key).
+    pub root: LinRef,
+    /// Validated value.
+    pub value: Value,
+    /// Measured computation time persisted with the entry.
+    pub compute_ns: u64,
+    /// Manifest ID of the entry (stable across restarts).
+    pub persist_id: u64,
+}
+
+/// What startup recovery found and repaired.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Entries whose lineage parsed and whose value file verified.
+    pub recovered: u64,
+    /// Committed entries dropped (missing/corrupt value file or unparseable
+    /// lineage).
+    pub dropped: u64,
+    /// Whether a torn WAL tail was truncated at the last valid record.
+    pub torn_tail_truncated: bool,
+    /// Orphaned value/temp files garbage-collected.
+    pub orphans_gcd: u64,
+}
+
+/// Outcome of a successful [`PersistentCacheStore::persist`] call.
+pub struct PersistOutcome {
+    /// Manifest ID assigned to the entry.
+    pub id: u64,
+    /// Bytes written to the value file.
+    pub bytes: u64,
+    /// Entries tombstoned to keep the store inside its disk budget.
+    pub evicted: u64,
+}
+
+struct StoreState {
+    wal: fs::File,
+    /// Live entries: manifest ID → value-file bytes (insertion order = ID
+    /// order, which is the FIFO used by disk-budget eviction).
+    live: BTreeMap<u64, u64>,
+    total_bytes: u64,
+}
+
+/// Durable store for reuse-cache entries. All writes go through the commit
+/// protocol described in the module docs; all methods are thread-safe.
+pub struct PersistentCacheStore {
+    values_dir: PathBuf,
+    state: Mutex<StoreState>,
+    next_id: AtomicU64,
+    /// Disk budget for value files; 0 = unbounded.
+    budget_bytes: u64,
+    faults: Option<Arc<FaultInjector>>,
+    /// Set when a crash point fires: the simulated process is dead and no
+    /// further bytes may reach disk.
+    crashed: AtomicBool,
+}
+
+impl std::fmt::Debug for PersistentCacheStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        write!(
+            f,
+            "PersistentCacheStore {{ entries: {}, bytes: {} }}",
+            st.live.len(),
+            st.total_bytes
+        )
+    }
+}
+
+impl PersistentCacheStore {
+    /// Opens (or creates) the store rooted at `dir`, running the recovery
+    /// pass. Returns `None` when the directory is unusable — the caller
+    /// degrades to a memory-only cache, never an error.
+    pub fn open(
+        dir: &Path,
+        budget_bytes: u64,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Option<(Self, Vec<RecoveredEntry>, RecoveryReport)> {
+        let values_dir = dir.join("values");
+        fs::create_dir_all(&values_dir).ok()?;
+        let manifest = dir.join("manifest.wal");
+        let (puts, torn_offset, max_id) = scan_manifest(&manifest);
+        let mut report = RecoveryReport::default();
+
+        // Truncate the torn tail so no partially written record is ever
+        // visible to a later scan (or appended over mid-record).
+        if let Some(off) = torn_offset {
+            report.torn_tail_truncated = true;
+            let f = fs::OpenOptions::new().write(true).open(&manifest).ok()?;
+            f.set_len(off).ok()?;
+            let _ = f.sync_all();
+        }
+
+        // Validate surviving entries: lineage must parse, value must verify.
+        let mut recovered = Vec::new();
+        let mut live = BTreeMap::new();
+        let mut total_bytes = 0u64;
+        for (id, rec) in puts {
+            let path = values_dir.join(format!("v{id}.val"));
+            let root = match deserialize_lineage(&rec.lineage) {
+                Ok(r) => r,
+                Err(_) => {
+                    report.dropped += 1;
+                    let _ = fs::remove_file(&path);
+                    continue;
+                }
+            };
+            match read_value_file(&path) {
+                Ok(value) => {
+                    live.insert(id, rec.value_bytes);
+                    total_bytes += rec.value_bytes;
+                    recovered.push(RecoveredEntry {
+                        root,
+                        value,
+                        compute_ns: rec.compute_ns,
+                        persist_id: id,
+                    });
+                }
+                Err(_) => {
+                    report.dropped += 1;
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        report.recovered = recovered.len() as u64;
+
+        // Garbage-collect orphans: temp files and value files with no
+        // committed manifest record.
+        if let Ok(entries) = fs::read_dir(&values_dir) {
+            for e in entries.flatten() {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                let committed = name
+                    .strip_prefix('v')
+                    .and_then(|s| s.strip_suffix(".val"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .is_some_and(|id| live.contains_key(&id));
+                if !committed && fs::remove_file(e.path()).is_ok() {
+                    report.orphans_gcd += 1;
+                }
+            }
+        }
+
+        let wal = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&manifest)
+            .ok()?;
+        Some((
+            PersistentCacheStore {
+                values_dir,
+                state: Mutex::new(StoreState {
+                    wal,
+                    live,
+                    total_bytes,
+                }),
+                next_id: AtomicU64::new(max_id + 1),
+                budget_bytes,
+                faults,
+                crashed: AtomicBool::new(false),
+            },
+            recovered,
+            report,
+        ))
+    }
+
+    /// True once a crash point has fired; every later write is refused.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Number of live (committed, not tombstoned) entries.
+    pub fn live_entries(&self) -> usize {
+        self.state.lock().live.len()
+    }
+
+    /// Bytes of committed value files.
+    pub fn persisted_bytes(&self) -> u64 {
+        self.state.lock().total_bytes
+    }
+
+    fn crash_here(&self, site: FaultSite) -> std::io::Result<()> {
+        if let Some(f) = &self.faults {
+            if f.should_fail(site) {
+                self.crashed.store(true, Ordering::Relaxed);
+                return Err(std::io::Error::other(format!("injected crash: {site:?}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn dead(&self) -> std::io::Result<()> {
+        if self.crashed() {
+            return Err(std::io::Error::other("store crashed"));
+        }
+        Ok(())
+    }
+
+    /// Durably persists one cache entry. Returns `Ok(None)` for values the
+    /// store does not persist (lists). Errors leave the on-disk state
+    /// recoverable: at worst an orphan value/temp file or a torn WAL tail,
+    /// both repaired by the next recovery pass.
+    pub fn persist(
+        &self,
+        root: &LinRef,
+        value: &Value,
+        compute_ns: u64,
+    ) -> std::io::Result<Option<PersistOutcome>> {
+        self.dead()?;
+        let Some(encoded) = encode_value(value) else {
+            return Ok(None);
+        };
+        let lineage = serialize_lineage(root);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock();
+
+        // Step 1: value file to <id>.tmp, fsynced.
+        let tmp = self.values_dir.join(format!("v{id}.tmp"));
+        let fin = self.values_dir.join(format!("v{id}.val"));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&encoded)?;
+        f.sync_all()?;
+        drop(f);
+
+        // Crash point: process dies before the rename — only the temp file
+        // exists; recovery GCs it.
+        self.crash_here(FaultSite::PersistRename)?;
+
+        // Step 2: atomic rename to the committed name.
+        fs::rename(&tmp, &fin)?;
+
+        // Crash point: value committed, manifest record never written — the
+        // value file is an orphan; recovery GCs it.
+        self.crash_here(FaultSite::PersistCommit)?;
+
+        // Step 3: manifest append (the commit point).
+        let mut payload = BytesMut::new();
+        payload.put_u8(REC_PUT);
+        payload.put_u64(id);
+        payload.put_u64(compute_ns);
+        payload.put_u64(encoded.len() as u64);
+        payload.put_u32(lineage.len() as u32);
+        payload.put_slice(lineage.as_bytes());
+        let record = frame_record(&payload);
+
+        // Crash point: process dies mid-append — a prefix of the record
+        // reaches disk; recovery truncates the torn tail.
+        if let Some(fi) = &self.faults {
+            if fi.should_fail(FaultSite::PersistWalAppend) {
+                self.crashed.store(true, Ordering::Relaxed);
+                let torn = &record[..record.len() / 2];
+                let _ = st.wal.write_all(torn);
+                let _ = st.wal.sync_data();
+                return Err(std::io::Error::other("injected crash: PersistWalAppend"));
+            }
+        }
+        st.wal.write_all(&record)?;
+        st.wal.sync_data()?;
+
+        st.live.insert(id, encoded.len() as u64);
+        st.total_bytes += encoded.len() as u64;
+
+        // Disk budget: tombstone the oldest entries (FIFO by manifest ID)
+        // until the new entry fits.
+        let mut evicted = 0u64;
+        if self.budget_bytes > 0 {
+            while st.total_bytes > self.budget_bytes && st.live.len() > 1 {
+                let Some((&old, &bytes)) = st.live.iter().next() else {
+                    break;
+                };
+                if old == id {
+                    break;
+                }
+                self.append_tombstone(&mut st, old)?;
+                st.live.remove(&old);
+                st.total_bytes -= bytes;
+                let _ = fs::remove_file(self.values_dir.join(format!("v{old}.val")));
+                evicted += 1;
+            }
+        }
+
+        Ok(Some(PersistOutcome {
+            id,
+            bytes: encoded.len() as u64,
+            evicted,
+        }))
+    }
+
+    /// Appends an eviction tombstone for `id` and deletes its value file.
+    /// Unknown/already-tombstoned IDs are a no-op.
+    pub fn tombstone(&self, id: u64) -> std::io::Result<bool> {
+        self.dead()?;
+        let mut st = self.state.lock();
+        let Some(bytes) = st.live.remove(&id) else {
+            return Ok(false);
+        };
+        st.total_bytes -= bytes;
+        self.append_tombstone(&mut st, id)?;
+        let _ = fs::remove_file(self.values_dir.join(format!("v{id}.val")));
+        Ok(true)
+    }
+
+    fn append_tombstone(&self, st: &mut StoreState, id: u64) -> std::io::Result<()> {
+        let mut payload = BytesMut::new();
+        payload.put_u8(REC_TOMBSTONE);
+        payload.put_u64(id);
+        let record = frame_record(&payload);
+        st.wal.write_all(&record)?;
+        st.wal.sync_data()
+    }
+}
+
+/// Frames a payload as `len ∥ payload ∥ fnv1a(payload)`.
+fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut rec = BytesMut::with_capacity(payload.len() + 12);
+    rec.put_u32(payload.len() as u32);
+    rec.put_slice(payload);
+    rec.put_u64(fnv1a(payload));
+    rec.to_vec()
+}
+
+struct PutRec {
+    compute_ns: u64,
+    value_bytes: u64,
+    lineage: String,
+}
+
+/// Scans the manifest, returning surviving puts (tombstones applied), the
+/// byte offset of a torn tail (if any), and the highest manifest ID seen.
+fn scan_manifest(path: &Path) -> (BTreeMap<u64, PutRec>, Option<u64>, u64) {
+    let mut puts: BTreeMap<u64, PutRec> = BTreeMap::new();
+    let mut max_id = 0u64;
+    let raw = match fs::read(path) {
+        Ok(r) => r,
+        Err(_) => return (puts, None, 0),
+    };
+    let mut off = 0usize;
+    let torn = loop {
+        if off == raw.len() {
+            break None; // clean end
+        }
+        let rest = &raw[off..];
+        if rest.len() < 4 {
+            break Some(off as u64);
+        }
+        let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_RECORD_BYTES || rest.len() < 4 + len + 8 {
+            break Some(off as u64);
+        }
+        let payload = &rest[4..4 + len];
+        let mut trailer = &rest[4 + len..4 + len + 8];
+        if fnv1a(payload) != trailer.get_u64() {
+            break Some(off as u64);
+        }
+        match parse_payload(payload) {
+            Some(Record::Put { id, rec }) => {
+                max_id = max_id.max(id);
+                puts.insert(id, rec);
+            }
+            Some(Record::Tombstone { id }) => {
+                max_id = max_id.max(id);
+                puts.remove(&id);
+            }
+            // Checksummed but semantically malformed (unknown kind, bad
+            // lengths): written by a future/corrupted writer — stop here.
+            None => break Some(off as u64),
+        }
+        off += 4 + len + 8;
+    };
+    (puts, torn, max_id)
+}
+
+enum Record {
+    Put { id: u64, rec: PutRec },
+    Tombstone { id: u64 },
+}
+
+fn parse_payload(mut p: &[u8]) -> Option<Record> {
+    if p.remaining() < 9 {
+        return None;
+    }
+    let kind = p.get_u8();
+    let id = p.get_u64();
+    match kind {
+        REC_PUT => {
+            if p.remaining() < 20 {
+                return None;
+            }
+            let compute_ns = p.get_u64();
+            let value_bytes = p.get_u64();
+            let lin_len = p.get_u32() as usize;
+            if p.remaining() != lin_len {
+                return None;
+            }
+            let lineage = String::from_utf8(p.to_vec()).ok()?;
+            Some(Record::Put {
+                id,
+                rec: PutRec {
+                    compute_ns,
+                    value_bytes,
+                    lineage,
+                },
+            })
+        }
+        REC_TOMBSTONE => {
+            if p.remaining() != 0 {
+                return None;
+            }
+            Some(Record::Tombstone { id })
+        }
+        _ => None,
+    }
+}
+
+/// Serializes a value into the checksummed value-file format. Lists are not
+/// persisted (`None`).
+fn encode_value(value: &Value) -> Option<Vec<u8>> {
+    let mut buf = BytesMut::new();
+    buf.put_u32(VALUE_MAGIC);
+    buf.put_u32(VALUE_VERSION);
+    match value {
+        Value::Matrix(m) => {
+            buf.put_u8(0);
+            buf.put_u64(m.rows() as u64);
+            buf.put_u64(m.cols() as u64);
+            for &v in m.data() {
+                buf.put_f64(v);
+            }
+        }
+        Value::Scalar(s) => {
+            buf.put_u8(1);
+            let lit = s.lineage_literal();
+            buf.put_u32(lit.len() as u32);
+            buf.put_slice(lit.as_bytes());
+        }
+        Value::List(_) => return None,
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64(checksum);
+    Some(buf.to_vec())
+}
+
+/// Reads and verifies a value file written by [`encode_value`].
+fn read_value_file(path: &Path) -> std::io::Result<Value> {
+    let mut raw = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut raw)?;
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    if raw.len() < 9 + 8 {
+        return Err(bad("value file too short"));
+    }
+    let (body, trailer) = raw.split_at(raw.len() - 8);
+    let mut t = trailer;
+    if fnv1a(body) != t.get_u64() {
+        return Err(bad("value file checksum mismatch"));
+    }
+    let mut buf = body;
+    if buf.get_u32() != VALUE_MAGIC {
+        return Err(bad("bad value file magic"));
+    }
+    let version = buf.get_u32();
+    if version != VALUE_VERSION {
+        return Err(bad(&format!("unsupported value format version {version}")));
+    }
+    match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 16 {
+                return Err(bad("truncated matrix header"));
+            }
+            let rows = buf.get_u64() as usize;
+            let cols = buf.get_u64() as usize;
+            if rows.checked_mul(cols).and_then(|n| n.checked_mul(8)) != Some(buf.remaining()) {
+                return Err(bad("truncated matrix value file"));
+            }
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                data.push(buf.get_f64());
+            }
+            DenseMatrix::new(rows, cols, data)
+                .map(Value::matrix)
+                .map_err(|e| bad(&e.to_string()))
+        }
+        1 => {
+            if buf.remaining() < 4 {
+                return Err(bad("truncated scalar header"));
+            }
+            let len = buf.get_u32() as usize;
+            if buf.remaining() != len {
+                return Err(bad("truncated scalar value file"));
+            }
+            let lit = std::str::from_utf8(buf).map_err(|_| bad("scalar not UTF-8"))?;
+            ScalarValue::from_lineage_literal(lit)
+                .map(Value::Scalar)
+                .ok_or_else(|| bad("bad scalar literal"))
+        }
+        other => Err(bad(&format!("unknown value tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::item::{lineage_eq, LineageItem};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "lima-persist-test-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn item(seed: &str) -> LinRef {
+        LineageItem::op(
+            "ba+*",
+            vec![LineageItem::op_with_data("read", seed, vec![])],
+        )
+    }
+
+    fn mat(n: usize) -> Value {
+        Value::matrix(DenseMatrix::from_fn(n, n, |i, j| (i * n + j) as f64 * 0.5))
+    }
+
+    fn open(dir: &Path) -> (PersistentCacheStore, Vec<RecoveredEntry>, RecoveryReport) {
+        PersistentCacheStore::open(dir, 0, None).expect("store opens")
+    }
+
+    #[test]
+    fn persist_then_recover_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let (store, rec, rep) = open(&dir);
+            assert!(rec.is_empty());
+            assert_eq!(rep, RecoveryReport::default());
+            store.persist(&item("X"), &mat(4), 1_000).unwrap().unwrap();
+            store
+                .persist(&item("Y"), &Value::f64(2.5), 2_000)
+                .unwrap()
+                .unwrap();
+            // Lists are not persisted.
+            assert!(store
+                .persist(&item("L"), &Value::list(vec![]), 1)
+                .unwrap()
+                .is_none());
+        }
+        let (_store, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 2);
+        assert_eq!(rep.dropped, 0);
+        assert!(!rep.torn_tail_truncated);
+        assert_eq!(rep.orphans_gcd, 0);
+        let x = rec
+            .iter()
+            .find(|e| lineage_eq(&e.root, &item("X")))
+            .unwrap();
+        assert!(x.value.approx_eq(&mat(4), 0.0));
+        assert_eq!(x.compute_ns, 1_000);
+        let y = rec
+            .iter()
+            .find(|e| lineage_eq(&e.root, &item("Y")))
+            .unwrap();
+        assert_eq!(y.value.as_f64().unwrap(), 2.5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tombstoned_entries_do_not_recover() {
+        let dir = tmp_dir("tombstone");
+        let id = {
+            let (store, _, _) = open(&dir);
+            let a = store.persist(&item("A"), &mat(3), 10).unwrap().unwrap();
+            store.persist(&item("B"), &mat(3), 20).unwrap().unwrap();
+            assert!(store.tombstone(a.id).unwrap());
+            assert!(!store.tombstone(a.id).unwrap(), "double tombstone no-ops");
+            a.id
+        };
+        let (store, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 1);
+        assert!(lineage_eq(&rec[0].root, &item("B")));
+        assert!(rec.iter().all(|e| e.persist_id != id));
+        assert_eq!(store.live_entries(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_and_earlier_records_survive() {
+        let dir = tmp_dir("torn");
+        {
+            let (store, _, _) = open(&dir);
+            store.persist(&item("A"), &mat(3), 10).unwrap().unwrap();
+            store.persist(&item("B"), &mat(3), 20).unwrap().unwrap();
+        }
+        // Append garbage prefix of a record (torn tail).
+        let manifest = dir.join("manifest.wal");
+        let clean_len = fs::metadata(&manifest).unwrap().len();
+        let mut f = fs::OpenOptions::new().append(true).open(&manifest).unwrap();
+        f.write_all(&[0, 0, 0, 99, 1, 2, 3]).unwrap();
+        drop(f);
+        let (_s, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 2);
+        assert!(rep.torn_tail_truncated);
+        assert_eq!(fs::metadata(&manifest).unwrap().len(), clean_len);
+        assert_eq!(rec.len(), 2);
+        // A second recovery is clean (truncation is durable).
+        let (_s, _rec, rep2) = open(&dir);
+        assert!(!rep2.torn_tail_truncated);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_value_files_are_dropped_not_served() {
+        let dir = tmp_dir("corruptval");
+        let id = {
+            let (store, _, _) = open(&dir);
+            let o = store.persist(&item("A"), &mat(4), 10).unwrap().unwrap();
+            store.persist(&item("B"), &mat(4), 20).unwrap().unwrap();
+            o.id
+        };
+        let victim = dir.join("values").join(format!("v{id}.val"));
+        let mut raw = fs::read(&victim).unwrap();
+        let pos = raw.len() / 2;
+        raw[pos] ^= 0x40;
+        fs::write(&victim, &raw).unwrap();
+        let (_s, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 1);
+        assert_eq!(rep.dropped, 1);
+        assert!(lineage_eq(&rec[0].root, &item("B")));
+        assert!(!victim.exists(), "corrupt value file is deleted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_value_files_are_dropped() {
+        let dir = tmp_dir("missingval");
+        let id = {
+            let (store, _, _) = open(&dir);
+            store.persist(&item("A"), &mat(4), 10).unwrap().unwrap().id
+        };
+        fs::remove_file(dir.join("values").join(format!("v{id}.val"))).unwrap();
+        let (_s, rec, rep) = open(&dir);
+        assert!(rec.is_empty());
+        assert_eq!(rep.dropped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_value_and_temp_files_are_garbage_collected() {
+        let dir = tmp_dir("orphans");
+        {
+            let (store, _, _) = open(&dir);
+            store.persist(&item("A"), &mat(3), 10).unwrap().unwrap();
+        }
+        let values = dir.join("values");
+        fs::write(values.join("v999.val"), b"orphan").unwrap();
+        fs::write(values.join("v1000.tmp"), b"in-flight").unwrap();
+        fs::write(values.join("junk.bin"), b"noise").unwrap();
+        let (_s, rec, rep) = open(&dir);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rep.orphans_gcd, 3);
+        assert!(!values.join("v999.val").exists());
+        assert!(!values.join("v1000.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unparseable_lineage_is_dropped() {
+        let dir = tmp_dir("badlineage");
+        {
+            let (store, _, _) = open(&dir);
+            store.persist(&item("A"), &mat(3), 10).unwrap().unwrap();
+        }
+        // Hand-craft a put record with garbage lineage but a valid frame.
+        {
+            let mut payload = BytesMut::new();
+            payload.put_u8(REC_PUT);
+            payload.put_u64(7777);
+            payload.put_u64(0);
+            payload.put_u64(0);
+            let lin = b"not a lineage log";
+            payload.put_u32(lin.len() as u32);
+            payload.put_slice(lin);
+            let rec = frame_record(&payload);
+            let mut f = fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("manifest.wal"))
+                .unwrap();
+            f.write_all(&rec).unwrap();
+        }
+        let (_s, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 1);
+        assert_eq!(rep.dropped, 1);
+        assert_eq!(rec.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_budget_evicts_oldest_with_tombstones() {
+        let dir = tmp_dir("budget");
+        // Each 8x8 matrix encodes to 9 + 16 + 512 + 8 = 545 bytes; a budget
+        // of 1200 holds two.
+        let (store, _, _) = PersistentCacheStore::open(&dir, 1200, None).unwrap();
+        let a = store.persist(&item("A"), &mat(8), 10).unwrap().unwrap();
+        assert_eq!(a.evicted, 0);
+        let b = store.persist(&item("B"), &mat(8), 20).unwrap().unwrap();
+        assert_eq!(b.evicted, 0);
+        let c = store.persist(&item("C"), &mat(8), 30).unwrap().unwrap();
+        assert_eq!(c.evicted, 1, "oldest entry tombstoned to fit the budget");
+        assert_eq!(store.live_entries(), 2);
+        drop(store);
+        let (_s, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 2);
+        assert!(rec.iter().all(|e| !lineage_eq(&e.root, &item("A"))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_wal_append_leaves_recoverable_torn_tail() {
+        let dir = tmp_dir("crashwal");
+        let inj = Arc::new(FaultInjector::new(0).fail_at(FaultSite::PersistWalAppend, &[1]));
+        {
+            let (store, _, _) = PersistentCacheStore::open(&dir, 0, Some(inj)).unwrap();
+            store.persist(&item("A"), &mat(3), 10).unwrap().unwrap();
+            assert!(store.persist(&item("B"), &mat(3), 20).is_err());
+            assert!(store.crashed());
+            // Dead process: later writes refuse without touching disk.
+            assert!(store.persist(&item("C"), &mat(3), 30).is_err());
+        }
+        let (_s, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 1, "only the committed entry survives");
+        assert!(rep.torn_tail_truncated);
+        assert!(lineage_eq(&rec[0].root, &item("A")));
+        // B's committed value file became an orphan of the torn record.
+        assert_eq!(rep.orphans_gcd, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_value_commit_and_manifest_append_gcs_orphan() {
+        let dir = tmp_dir("crashcommit");
+        let inj = Arc::new(FaultInjector::new(0).fail_at(FaultSite::PersistCommit, &[1]));
+        {
+            let (store, _, _) = PersistentCacheStore::open(&dir, 0, Some(inj)).unwrap();
+            store.persist(&item("A"), &mat(3), 10).unwrap().unwrap();
+            assert!(store.persist(&item("B"), &mat(3), 20).is_err());
+        }
+        let (_s, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 1);
+        assert!(!rep.torn_tail_truncated);
+        assert_eq!(rep.orphans_gcd, 1, "orphan value file GC'd");
+        assert!(lineage_eq(&rec[0].root, &item("A")));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_rename_gcs_temp_file() {
+        let dir = tmp_dir("crashrename");
+        let inj = Arc::new(FaultInjector::new(0).fail_at(FaultSite::PersistRename, &[0]));
+        {
+            let (store, _, _) = PersistentCacheStore::open(&dir, 0, Some(inj)).unwrap();
+            assert!(store.persist(&item("A"), &mat(3), 10).is_err());
+        }
+        let (_s, rec, rep) = open(&dir);
+        assert!(rec.is_empty());
+        assert_eq!(rep.orphans_gcd, 1, "temp file GC'd");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unusable_directory_degrades_to_none() {
+        // A file where the directory should be.
+        let path = tmp_dir("notadir");
+        fs::write(&path, b"file").unwrap();
+        assert!(PersistentCacheStore::open(&path, 0, None).is_none());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn value_file_single_byte_corruption_is_always_detected() {
+        let dir = tmp_dir("valcorrupt");
+        let (store, _, _) = open(&dir);
+        let id = store.persist(&item("A"), &mat(3), 10).unwrap().unwrap().id;
+        let path = dir.join("values").join(format!("v{id}.val"));
+        let clean = fs::read(&path).unwrap();
+        for pos in 0..clean.len() {
+            let mut damaged = clean.clone();
+            damaged[pos] ^= 0x20;
+            fs::write(&path, &damaged).unwrap();
+            assert!(
+                read_value_file(&path).is_err(),
+                "corruption at byte {pos} went undetected"
+            );
+        }
+        fs::write(&path, &clean).unwrap();
+        assert!(read_value_file(&path).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

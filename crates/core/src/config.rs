@@ -2,6 +2,7 @@
 
 use crate::faults::FaultInjector;
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Which reuse machinery is active (paper §5.1 "cache configurations":
@@ -88,8 +89,20 @@ pub struct LimaConfig {
     pub placeholder_timeout_ms: u64,
     /// Circuit breaker: after this many *consecutive* spill-write failures
     /// the cache stops attempting to spill (evictions degrade to deletes).
+    /// The persistent cache store reuses the same limit for its own writes.
     /// 0 disables the breaker.
     pub spill_failure_limit: u32,
+    /// Durably persist reuse-cache entries across process restarts. Requires
+    /// `persist_dir`; without one the flag is ignored.
+    pub persist_enabled: bool,
+    /// Directory holding the persistent manifest WAL and value files. The
+    /// same directory can be reopened by a later process to warm-start the
+    /// cache. An unusable directory degrades to an empty cache, never an
+    /// error.
+    pub persist_dir: Option<PathBuf>,
+    /// Disk budget for persisted value files; the oldest entries are
+    /// tombstoned once the total exceeds it. 0 means unbounded.
+    pub persist_budget_bytes: u64,
     /// Deterministic fault-injection harness; `None` (the default) injects
     /// nothing and is the production configuration.
     pub faults: Option<Arc<FaultInjector>>,
@@ -111,6 +124,9 @@ impl Default for LimaConfig {
             eviction_watermark: 0.8,
             placeholder_timeout_ms: 60_000,
             spill_failure_limit: 3,
+            persist_enabled: false,
+            persist_dir: None,
+            persist_budget_bytes: 1 << 30,
             faults: None,
         }
     }
@@ -156,6 +172,15 @@ impl LimaConfig {
     /// Attaches a fault-injection harness (robustness tests).
     pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enables the crash-safe persistent cache store rooted at `dir`. A later
+    /// process pointing at the same directory recovers the surviving entries
+    /// on startup.
+    pub fn with_persistence(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_enabled = true;
+        self.persist_dir = Some(dir.into());
         self
     }
 

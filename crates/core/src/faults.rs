@@ -27,14 +27,35 @@ pub enum FaultSite {
     FulfillerDeath,
     /// A parfor worker panics at the start of an iteration.
     WorkerPanic,
+    /// Crash point: the process dies mid-WAL-append — only a prefix of the
+    /// manifest record reaches disk (torn tail).
+    PersistWalAppend,
+    /// Crash point: the process dies between committing the value file
+    /// (rename done) and appending the manifest record (orphan value file).
+    PersistCommit,
+    /// Crash point: the process dies mid-rename — the temp value file exists
+    /// but the final value file and the manifest record do not.
+    PersistRename,
 }
 
-const SITES: [FaultSite; 5] = [
+const SITES: [FaultSite; 8] = [
     FaultSite::SpillWrite,
     FaultSite::SpillCorrupt,
     FaultSite::SpillRead,
     FaultSite::FulfillerDeath,
     FaultSite::WorkerPanic,
+    FaultSite::PersistWalAppend,
+    FaultSite::PersistCommit,
+    FaultSite::PersistRename,
+];
+
+/// The named crash points of the persistent cache store, in WAL commit-path
+/// order. The recovery harness iterates this list to simulate a crash at
+/// every site.
+pub const PERSIST_CRASH_POINTS: [FaultSite; 3] = [
+    FaultSite::PersistRename,
+    FaultSite::PersistCommit,
+    FaultSite::PersistWalAppend,
 ];
 
 fn site_index(site: FaultSite) -> usize {

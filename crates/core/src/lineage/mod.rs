@@ -9,4 +9,4 @@ pub mod serialize;
 pub use dedup::{DedupPatch, DedupRegistry, PathTracer};
 pub use item::{LinRef, LineageItem, LineageKind};
 pub use map::LineageMap;
-pub use serialize::{deserialize_lineage, serialize_lineage};
+pub use serialize::{deserialize_lineage, serialize_lineage, LineageParseError};

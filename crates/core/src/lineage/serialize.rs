@@ -167,9 +167,56 @@ fn parse_ref(tok: &str) -> Result<u64, String> {
         .map_err(|e| format!("bad id '{tok}': {e}"))
 }
 
+/// Parse error from [`deserialize_lineage`]: what went wrong and where.
+/// Malformed input — including arbitrary bytes — always surfaces as this
+/// error, never as a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageParseError {
+    /// 1-based line number of the offending line; 0 when the log as a whole
+    /// is malformed (e.g. missing `::out`).
+    pub line: usize,
+    /// Description of the problem, including an excerpt of the line.
+    pub message: String,
+}
+
+impl std::fmt::Display for LineageParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for LineageParseError {}
+
+impl LineageParseError {
+    fn whole_log(message: impl Into<String>) -> Self {
+        LineageParseError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+/// Bounds the line excerpt embedded in error messages so adversarial inputs
+/// do not produce adversarially sized errors.
+fn excerpt(line: &str) -> String {
+    const MAX: usize = 80;
+    if line.len() <= MAX {
+        return line.to_string();
+    }
+    let cut = (0..=MAX)
+        .rev()
+        .find(|i| line.is_char_boundary(*i))
+        .unwrap_or(0);
+    format!("{}…", &line[..cut])
+}
+
 /// Deserializes a lineage log back into a lineage DAG, rebuilding the patch
 /// dictionary. Returns the root item.
-pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
+pub fn deserialize_lineage(log: &str) -> Result<LinRef, LineageParseError> {
     let mut items: HashMap<u64, LinRef> = HashMap::new();
     let mut patches: HashMap<usize, Arc<DedupPatch>> = HashMap::new();
     // In-progress patch state: (idx, block_key, path_key, num_inputs, roots).
@@ -182,7 +229,10 @@ pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
         if line.is_empty() {
             continue;
         }
-        let err = |msg: &str| format!("line {}: {msg}: '{line}'", lineno + 1);
+        let err = |msg: &str| LineageParseError {
+            line: lineno + 1,
+            message: format!("{msg}: '{}'", excerpt(line)),
+        };
         let toks: Vec<&str> = line.split(' ').collect();
         match toks[0] {
             "::patch" => {
@@ -233,10 +283,19 @@ pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
                         LineageItem::literal(data)
                     }
                     "P" => {
-                        let slot = toks
+                        let slot: u32 = toks
                             .get(2)
                             .and_then(|t| t.parse().ok())
                             .ok_or_else(|| err("bad placeholder slot"))?;
+                        // Inside a patch body, a slot must address one of the
+                        // declared patch inputs.
+                        if let Some((_, _, _, n, _)) = &cur_patch {
+                            if slot as usize >= *n {
+                                return Err(err(&format!(
+                                    "placeholder slot {slot} out of range for patch with {n} inputs"
+                                )));
+                            }
+                        }
                         LineageItem::placeholder(slot)
                     }
                     "D" => {
@@ -246,10 +305,20 @@ pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
                         let pidx: usize = toks[2].parse().map_err(|_| err("bad patch idx"))?;
                         let output = unescape(toks[3]).map_err(|e| err(&e))?;
                         let patch = patches.get(&pidx).ok_or_else(|| err("unknown patch"))?;
+                        if patch.root(&output).is_none() {
+                            return Err(err(&format!("unknown patch output '{output}'")));
+                        }
                         let mut ins = Vec::new();
                         for tok in &toks[4..] {
                             let iid = parse_ref(tok).map_err(|e| err(&e))?;
                             ins.push(items.get(&iid).ok_or_else(|| err("unknown input"))?.clone());
+                        }
+                        if ins.len() != patch.num_inputs() {
+                            return Err(err(&format!(
+                                "dedup item has {} inputs, patch expects {}",
+                                ins.len(),
+                                patch.num_inputs()
+                            )));
                         }
                         LineageItem::dedup(patch.clone(), &output, ins)
                     }
@@ -281,7 +350,12 @@ pub fn deserialize_lineage(log: &str) -> Result<LinRef, String> {
             }
         }
     }
-    out_root.ok_or_else(|| "lineage log has no ::out line".to_string())
+    if cur_patch.is_some() {
+        return Err(LineageParseError::whole_log(
+            "unterminated ::patch (missing ::endpatch)",
+        ));
+    }
+    out_root.ok_or_else(|| LineageParseError::whole_log("lineage log has no ::out line"))
 }
 
 #[cfg(test)]

@@ -50,6 +50,25 @@ pub struct LimaStats {
     pub placeholder_timeouts: AtomicU64,
     /// Parfor workers that panicked (isolated and surfaced as errors).
     pub worker_panics: AtomicU64,
+    /// Entries durably written to the persistent cache store.
+    pub persist_writes: AtomicU64,
+    /// Persistent writes that failed (entry stays memory-only).
+    pub persist_failures: AtomicU64,
+    /// Bytes of value files written by the persistent store.
+    pub persist_bytes: AtomicU64,
+    /// Eviction tombstones appended to the persistent manifest.
+    pub persist_tombstones: AtomicU64,
+    /// Reuse hits served by entries recovered from a prior process.
+    pub persist_hits: AtomicU64,
+    /// Entries repopulated from disk during startup recovery.
+    pub persist_recovered: AtomicU64,
+    /// Committed entries dropped during recovery (missing/corrupt value file
+    /// or unparseable lineage).
+    pub persist_dropped: AtomicU64,
+    /// Recoveries that truncated a torn WAL tail (at most 1 per startup).
+    pub persist_torn_truncations: AtomicU64,
+    /// Orphaned value files garbage-collected during recovery.
+    pub persist_orphans_gcd: AtomicU64,
 }
 
 impl LimaStats {
@@ -87,6 +106,8 @@ impl LimaStats {
              reuse:   probes={} full={} multilevel={} partial={} waits={}\n\
              cache:   puts={} rejected={} evictions={} spills={} restores={} spill_bytes={}\n\
              faults:  spill_failures={} restore_failures={} placeholder_timeouts={} worker_panics={}\n\
+             persist: writes={} failures={} bytes={} tombstones={} hits={}\n\
+             recover: recovered={} dropped={} torn_truncations={} orphans_gcd={}\n\
              time:    saved_compute={:.3}s compensation={:.3}s",
             Self::get(&self.items_traced),
             Self::get(&self.dedup_items),
@@ -106,6 +127,15 @@ impl LimaStats {
             Self::get(&self.restore_failures),
             Self::get(&self.placeholder_timeouts),
             Self::get(&self.worker_panics),
+            Self::get(&self.persist_writes),
+            Self::get(&self.persist_failures),
+            Self::get(&self.persist_bytes),
+            Self::get(&self.persist_tombstones),
+            Self::get(&self.persist_hits),
+            Self::get(&self.persist_recovered),
+            Self::get(&self.persist_dropped),
+            Self::get(&self.persist_torn_truncations),
+            Self::get(&self.persist_orphans_gcd),
             Self::get(&self.saved_compute_ns) as f64 / 1e9,
             Self::get(&self.compensation_ns) as f64 / 1e9,
         )

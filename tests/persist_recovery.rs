@@ -1,0 +1,239 @@
+//! Crash-recovery harness for the persistent reuse cache.
+//!
+//! Simulates process death at every named crash point of the persistence
+//! commit protocol ([`lima_core::faults::PERSIST_CRASH_POINTS`]), reopens
+//! the store, and asserts the recovery invariant:
+//!
+//! * the crashed run still computes baseline-equal results (persistence
+//!   failures degrade durability, never answers);
+//! * the recovered store is a *consistent subset* — every recovered entry,
+//!   reconstructed from its persisted lineage via the runtime's
+//!   [`recompute`], equals the value on disk (i.e. the reuse-off baseline
+//!   computation of that lineage);
+//! * no torn or orphaned record is ever served;
+//! * a warm-restart run of gridsearch-LM over the same persist directory
+//!   records persistent-cache hits in `LimaStats`.
+//!
+//! The seed matrix is controlled by `LIMA_FAULT_SEEDS` (comma-separated
+//! u64s); CI runs several seeds so the crash schedule varies per PR.
+
+use lima::prelude::*;
+use lima_core::cache::persist::PersistentCacheStore;
+use lima_core::faults::{FaultInjector, FaultSite, PERSIST_CRASH_POINTS};
+use lima_matrix::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn seeds() -> Vec<u64> {
+    std::env::var("LIMA_FAULT_SEEDS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![0, 7, 42])
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "lima-recovery-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Reconstructs a recovered entry's lineage with the reuse-off baseline
+/// executor and compares against the value recovered from disk.
+fn assert_reconstructs_to_baseline(
+    entries: &[lima_core::cache::persist::RecoveredEntry],
+    inputs: &[(&str, Value)],
+    what: &str,
+) {
+    for e in entries {
+        let mut ctx = ExecutionContext::new(LimaConfig::base());
+        for (name, v) in inputs {
+            // Serve both script-level `read <name>` leaves and the synthetic
+            // `read var:<name>` leaves minted for live input variables.
+            ctx.data.register(*name, v.clone());
+            ctx.data.register(format!("var:{name}"), v.clone());
+        }
+        let recomputed = recompute(&e.root, &mut ctx)
+            .unwrap_or_else(|err| panic!("{what}: recovered lineage must reconstruct: {err}"));
+        assert!(
+            recomputed.approx_eq(&e.value, 1e-9),
+            "{what}: recovered value diverges from its lineage reconstruction"
+        );
+    }
+}
+
+/// Crash at every named crash point, at several occurrence indices, across
+/// the seed matrix: the crashed run stays correct, and recovery yields a
+/// consistent, reconstructable subset.
+#[test]
+fn crash_at_every_point_recovers_consistent_reconstructable_subset() {
+    let grid = pipelines::hyperparameter_grid(2, 2, 1);
+    for seed in seeds() {
+        // Serial gridsearch-LM keeps the persist-attempt order (and with it
+        // the crash schedule) deterministic per seed.
+        let p = pipelines::hlm(40, 8, 2, 4, &grid, false, seed);
+        let inputs = p.input_refs();
+        let baseline = run_script(&p.script, &LimaConfig::base(), &inputs).unwrap();
+
+        for site in PERSIST_CRASH_POINTS {
+            for occ in [0u64, 2, 5] {
+                let dir = tmp_dir("crash");
+                let inj = Arc::new(FaultInjector::new(seed).fail_at(site, &[occ]));
+                let config = LimaConfig::lima()
+                    .with_persistence(&dir)
+                    .with_faults(Arc::clone(&inj));
+                let run = run_script(&p.script, &config, &inputs).unwrap();
+
+                // A persistence crash must never change answers.
+                let tag = format!("seed={seed} site={site:?} occ={occ}");
+                assert!(
+                    run.value("best").approx_eq(baseline.value("best"), 1e-9),
+                    "{tag}: best loss diverged from the reuse-off baseline"
+                );
+                assert!(
+                    run.value("L").approx_eq(baseline.value("L"), 1e-9),
+                    "{tag}: loss matrix diverged from the reuse-off baseline"
+                );
+                let crashed = inj.injected(site) > 0;
+                if crashed {
+                    assert!(
+                        LimaStats::get(&run.ctx.stats.persist_failures) >= 1,
+                        "{tag}: crash fired but persist_failures stayed 0"
+                    );
+                }
+                drop(run);
+
+                // "Next process": recovery must hand back a consistent
+                // subset, repairing whatever the crash left behind.
+                let (store, recovered, report) =
+                    PersistentCacheStore::open(&dir, 0, None).expect("dir is usable");
+                assert_eq!(
+                    store.live_entries(),
+                    recovered.len(),
+                    "{tag}: live entries disagree with recovered list"
+                );
+                match site {
+                    // Torn WAL tails only arise from mid-append crashes.
+                    FaultSite::PersistWalAppend => {}
+                    _ => assert!(!report.torn_tail_truncated, "{tag}: unexpected torn tail"),
+                }
+                if crashed {
+                    // Every crash point leaves debris (a temp file, an
+                    // orphaned value file, or a torn record + orphan) that
+                    // recovery must have repaired, not served.
+                    assert!(
+                        report.orphans_gcd >= 1 || report.torn_tail_truncated,
+                        "{tag}: crash left no repaired debris? report: {report:?}"
+                    );
+                }
+                assert_reconstructs_to_baseline(&recovered, &inputs, &tag);
+                drop(store);
+
+                // Recovery is idempotent: a second reopen finds a clean store
+                // with the same entry count and nothing left to repair.
+                let (_s2, recovered2, report2) =
+                    PersistentCacheStore::open(&dir, 0, None).expect("dir is usable");
+                assert_eq!(recovered2.len(), recovered.len(), "{tag}: not idempotent");
+                assert!(!report2.torn_tail_truncated, "{tag}: torn tail resurfaced");
+                assert_eq!(report2.orphans_gcd, 0, "{tag}: orphans resurfaced");
+                assert_eq!(report2.dropped, 0, "{tag}: drops resurfaced");
+
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+/// A second process pointed at the same persist directory warm-starts: the
+/// recovered entries serve hits (counted as `persist_hits`) and the results
+/// still equal the reuse-off baseline.
+#[test]
+fn warm_restart_gridsearch_lm_records_persistent_cache_hits() {
+    let dir = tmp_dir("warm");
+    let grid = pipelines::hyperparameter_grid(3, 2, 2);
+    let p = pipelines::hlm(60, 12, 2, 6, &grid, true, 7);
+    let inputs = p.input_refs();
+    let baseline = run_script(&p.script, &LimaConfig::base(), &inputs).unwrap();
+
+    // First process: cold cache, entries durably persisted as they are
+    // computed.
+    let r1 = run_script(
+        &p.script,
+        &LimaConfig::lima().with_persistence(&dir),
+        &inputs,
+    )
+    .unwrap();
+    assert!(r1.value("best").approx_eq(baseline.value("best"), 1e-9));
+    assert!(r1.value("L").approx_eq(baseline.value("L"), 1e-9));
+    let s1 = &r1.ctx.stats;
+    assert!(
+        LimaStats::get(&s1.persist_writes) >= 1,
+        "first run persisted nothing"
+    );
+    assert_eq!(LimaStats::get(&s1.persist_hits), 0, "cold start cannot hit");
+    drop(r1);
+
+    // Second process: a fresh cache over the same directory recovers the
+    // manifest and serves warm hits without recomputing.
+    let r2 = run_script(
+        &p.script,
+        &LimaConfig::lima().with_persistence(&dir),
+        &inputs,
+    )
+    .unwrap();
+    let s2 = &r2.ctx.stats;
+    assert!(
+        LimaStats::get(&s2.persist_recovered) >= 1,
+        "second run recovered nothing"
+    );
+    assert!(
+        LimaStats::get(&s2.persist_hits) >= 1,
+        "warm restart must serve at least one persistent-cache hit"
+    );
+    assert!(r2.value("best").approx_eq(baseline.value("best"), 1e-9));
+    assert!(r2.value("L").approx_eq(baseline.value("L"), 1e-9));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Probabilistic mixed-crash sweep driven by the seed matrix: whatever
+/// combination of crash points fires first, the run stays baseline-equal and
+/// recovery stays consistent.
+#[test]
+fn probabilistic_crash_schedule_stays_consistent() {
+    let grid = pipelines::hyperparameter_grid(2, 2, 1);
+    for seed in seeds() {
+        let p = pipelines::hlm(40, 8, 2, 4, &grid, false, seed);
+        let inputs = p.input_refs();
+        let baseline = run_script(&p.script, &LimaConfig::base(), &inputs).unwrap();
+
+        let dir = tmp_dir("prob");
+        let mut inj = FaultInjector::new(seed);
+        for site in PERSIST_CRASH_POINTS {
+            inj = inj.fail_with_probability(site, 0.25);
+        }
+        let inj = Arc::new(inj);
+        let config = LimaConfig::lima()
+            .with_persistence(&dir)
+            .with_faults(Arc::clone(&inj));
+        let run = run_script(&p.script, &config, &inputs).unwrap();
+        assert!(run.value("best").approx_eq(baseline.value("best"), 1e-9));
+        assert!(run.value("L").approx_eq(baseline.value("L"), 1e-9));
+        drop(run);
+
+        let (_store, recovered, _report) =
+            PersistentCacheStore::open(&dir, 0, None).expect("dir is usable");
+        assert_reconstructs_to_baseline(&recovered, &inputs, &format!("prob seed={seed}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
