@@ -1,0 +1,221 @@
+//! Affine index expressions over a single loop variable.
+//!
+//! The parfor dependence checker models every index expression as
+//! `coeff · i + offset` where `i` is the parfor loop variable, `coeff` is a
+//! compile-time integer constant, and `offset` is loop-invariant (either a
+//! known integer or a canonical symbolic form such as `((fi-1)*nHP)`).
+//! Anything that cannot be brought into this shape is "not affine" and the
+//! checker rejects conservatively.
+//!
+//! The key disjointness fact: if `coeff != 0`, two distinct iterations
+//! `i1 != i2` produce distinct indices `coeff·i1 + b != coeff·i2 + b`, so
+//! writes indexed by the expression never collide across iterations.
+
+/// Loop-invariant part of an affine expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Offset {
+    /// A compile-time integer constant.
+    Const(i64),
+    /// A loop-invariant value in canonical structural form; two equal strings
+    /// denote the same value in every iteration.
+    Sym(String),
+}
+
+impl Offset {
+    fn sym_repr(&self) -> String {
+        match self {
+            Offset::Const(c) => c.to_string(),
+            Offset::Sym(s) => s.clone(),
+        }
+    }
+}
+
+/// An affine expression `coeff · i + offset` in the parfor loop variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Affine {
+    /// Integer coefficient of the loop variable.
+    pub coeff: i64,
+    /// Loop-invariant offset.
+    pub offset: Offset,
+}
+
+impl Affine {
+    /// The loop variable itself: `1·i + 0`.
+    pub fn loop_var() -> Self {
+        Affine {
+            coeff: 1,
+            offset: Offset::Const(0),
+        }
+    }
+
+    /// A compile-time constant.
+    pub fn konst(c: i64) -> Self {
+        Affine {
+            coeff: 0,
+            offset: Offset::Const(c),
+        }
+    }
+
+    /// A loop-invariant value identified by a canonical symbol (typically a
+    /// variable name not written inside the loop body).
+    pub fn invariant(sym: impl Into<String>) -> Self {
+        Affine {
+            coeff: 0,
+            offset: Offset::Sym(sym.into()),
+        }
+    }
+
+    /// True when the expression's value is loop-invariant.
+    pub fn is_invariant(&self) -> bool {
+        self.coeff == 0
+    }
+
+    /// True when distinct iterations are guaranteed distinct values.
+    pub fn separates_iterations(&self) -> bool {
+        self.coeff != 0
+    }
+
+    /// Structural equality of the index expression: same coefficient and the
+    /// same canonical offset.
+    pub fn same_index(&self, other: &Affine) -> bool {
+        self.coeff == other.coeff && self.offset.sym_repr() == other.offset.sym_repr()
+    }
+
+    /// Sum of two affine expressions.
+    pub fn add(&self, other: &Affine) -> Option<Affine> {
+        Some(Affine {
+            coeff: self.coeff.checked_add(other.coeff)?,
+            offset: offset_combine(&self.offset, &other.offset, "+"),
+        })
+    }
+
+    /// Difference of two affine expressions.
+    pub fn sub(&self, other: &Affine) -> Option<Affine> {
+        Some(Affine {
+            coeff: self.coeff.checked_sub(other.coeff)?,
+            offset: offset_combine(&self.offset, &other.offset, "-"),
+        })
+    }
+
+    /// Product of two affine expressions. Defined when at least one side is
+    /// invariant; a varying side may only be scaled by a *known integer*
+    /// constant (scaling by a symbolic invariant would make the coefficient
+    /// unprovably nonzero).
+    pub fn mul(&self, other: &Affine) -> Option<Affine> {
+        match (self.is_invariant(), other.is_invariant()) {
+            (true, true) => Some(Affine {
+                coeff: 0,
+                offset: offset_combine(&self.offset, &other.offset, "*"),
+            }),
+            (true, false) => scale(other, &self.offset),
+            (false, true) => scale(self, &other.offset),
+            (false, false) => None, // quadratic in the loop variable
+        }
+    }
+}
+
+/// Scales a varying affine expression by an invariant factor.
+fn scale(varying: &Affine, factor: &Offset) -> Option<Affine> {
+    match factor {
+        Offset::Const(c) => Some(Affine {
+            coeff: varying.coeff.checked_mul(*c)?,
+            offset: match &varying.offset {
+                Offset::Const(b) => Offset::Const(b.checked_mul(*c)?),
+                Offset::Sym(s) => Offset::Sym(format!("({s}*{c})")),
+            },
+        }),
+        // Symbolic factor: cannot prove the scaled coefficient nonzero.
+        Offset::Sym(_) => None,
+    }
+}
+
+/// Combines two offsets; constants fold, anything else becomes a canonical
+/// symbolic form.
+fn offset_combine(a: &Offset, b: &Offset, op: &str) -> Offset {
+    match (a, b, op) {
+        (Offset::Const(x), Offset::Const(y), "+") => x
+            .checked_add(*y)
+            .map(Offset::Const)
+            .unwrap_or_else(|| Offset::Sym(format!("({x}+{y})"))),
+        (Offset::Const(x), Offset::Const(y), "-") => x
+            .checked_sub(*y)
+            .map(Offset::Const)
+            .unwrap_or_else(|| Offset::Sym(format!("({x}-{y})"))),
+        (Offset::Const(x), Offset::Const(y), "*") => x
+            .checked_mul(*y)
+            .map(Offset::Const)
+            .unwrap_or_else(|| Offset::Sym(format!("({x}*{y})"))),
+        _ => Offset::Sym(format!("({}{op}{})", a.sym_repr(), b.sym_repr())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_var_arithmetic() {
+        let i = Affine::loop_var();
+        // i + 1
+        let e = i.add(&Affine::konst(1)).unwrap();
+        assert_eq!(e.coeff, 1);
+        assert_eq!(e.offset, Offset::Const(1));
+        assert!(e.separates_iterations());
+        // 3 * i - 2
+        let e = Affine::konst(3)
+            .mul(&i)
+            .unwrap()
+            .sub(&Affine::konst(2))
+            .unwrap();
+        assert_eq!(e.coeff, 3);
+        assert_eq!(e.offset, Offset::Const(-2));
+        // i - i is invariant
+        let z = i.sub(&i).unwrap();
+        assert!(z.is_invariant());
+        assert!(!z.separates_iterations());
+    }
+
+    #[test]
+    fn symbolic_invariant_offsets_compare_structurally() {
+        // (fi-1)*nHP + i, built twice, compares equal.
+        let build = || {
+            let fi = Affine::invariant("fi");
+            let nhp = Affine::invariant("nHP");
+            let base = fi.sub(&Affine::konst(1)).unwrap().mul(&nhp).unwrap();
+            base.add(&Affine::loop_var()).unwrap()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.coeff, 1);
+        assert!(a.separates_iterations());
+        assert!(a.same_index(&b));
+        // Different invariant offsets do not compare equal.
+        let other = Affine::invariant("fj")
+            .sub(&Affine::konst(1))
+            .unwrap()
+            .mul(&Affine::invariant("nHP"))
+            .unwrap()
+            .add(&Affine::loop_var())
+            .unwrap();
+        assert!(!a.same_index(&other));
+    }
+
+    #[test]
+    fn unprovable_shapes_are_rejected() {
+        let i = Affine::loop_var();
+        // i * i is quadratic.
+        assert!(i.mul(&i).is_none());
+        // i * n with symbolic n: coefficient not provably nonzero.
+        assert!(i.mul(&Affine::invariant("n")).is_none());
+        // i * 0 is fine (degrades to an invariant).
+        let z = i.mul(&Affine::konst(0)).unwrap();
+        assert!(z.is_invariant());
+    }
+
+    #[test]
+    fn invariant_products_stay_invariant() {
+        let e = Affine::invariant("a").mul(&Affine::invariant("b")).unwrap();
+        assert!(e.is_invariant());
+        let f = Affine::invariant("a").mul(&Affine::invariant("b")).unwrap();
+        assert!(e.same_index(&f));
+    }
+}

@@ -1,0 +1,72 @@
+//! `lima-lint` — lint serialized lineage logs.
+//!
+//! Usage: `lima-lint <log-file>... ` (or `-` for stdin). Prints one typed
+//! diagnostic per problem (`file: [kind] node (id): message`) and exits
+//! non-zero when any log fails; clean logs print nothing unless `--verbose`.
+
+use lima_analysis::lint_log;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut verbose = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: lima-lint [--verbose] <lineage-log>...\n\
+                     Lints serialized lineage logs ('-' reads stdin). Exits 1 \
+                     when any log has diagnostics."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("lima-lint: no input files (try --help)");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        let log = if path == "-" {
+            let mut buf = String::new();
+            match std::io::stdin().read_to_string(&mut buf) {
+                Ok(_) => buf,
+                Err(e) => {
+                    eprintln!("lima-lint: stdin: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("lima-lint: {path}: {e}");
+                    failed = true;
+                    continue;
+                }
+            }
+        };
+        let diags = lint_log(&log);
+        if diags.is_empty() {
+            if verbose {
+                println!("{path}: ok");
+            }
+        } else {
+            failed = true;
+            for d in &diags {
+                println!("{path}: {d}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,160 @@
+//! Determinism & cache-eligibility dataflow analysis (paper §4.1, §4.3).
+//!
+//! Every instruction is classified on the [`OpClass`] lattice
+//! (`Deterministic < Seeded < NonDeterministic < SideEffecting`, join = max)
+//! and per-function classes are derived bottom-up over the call graph: a
+//! function's class is the join of its instructions' classes, where a call
+//! contributes the callee's class. The runtime lowers each instruction to a
+//! [`ClassSource`] (applying syntactic refinements such as "rand with an
+//! explicit literal seed is deterministic") and this module solves the
+//! interprocedural fixpoint.
+
+use lima_core::opcodes::OpClass;
+use std::collections::HashMap;
+
+/// The determinism contribution of one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassSource {
+    /// An intrinsic operation with a known class.
+    Fixed(OpClass),
+    /// A call to a named function: contributes the callee's class.
+    Call(String),
+}
+
+impl ClassSource {
+    /// The class this source contributes given the current per-function
+    /// classes.
+    pub fn eval(&self, classes: &HashMap<String, OpClass>) -> OpClass {
+        match self {
+            ClassSource::Fixed(c) => *c,
+            // Unknown callees (undefined functions) are conservatively
+            // non-deterministic; execution will fail before reuse matters.
+            ClassSource::Call(name) => classes
+                .get(name)
+                .copied()
+                .unwrap_or(OpClass::NonDeterministic),
+        }
+    }
+}
+
+/// Solves the call-graph fixpoint: `bodies` maps each function name to the
+/// class sources of its instructions (across all nested blocks). Returns the
+/// least fixpoint, i.e. each function's class assuming the best about
+/// recursive cycles — a self-recursive function whose body is otherwise pure
+/// solves to `Deterministic`.
+pub fn solve_call_graph(bodies: &HashMap<String, Vec<ClassSource>>) -> HashMap<String, OpClass> {
+    let mut classes: HashMap<String, OpClass> = bodies
+        .keys()
+        .map(|k| (k.clone(), OpClass::Deterministic))
+        .collect();
+    // Kleene iteration from bottom; the lattice has height 4 and the
+    // transfer function is monotone, so this terminates quickly.
+    loop {
+        let mut changed = false;
+        for (name, sources) in bodies {
+            let class = sources
+                .iter()
+                .fold(OpClass::Deterministic, |acc, s| acc.join(s.eval(&classes)));
+            if let Some(slot) = classes.get_mut(name) {
+                if *slot != class {
+                    *slot = class;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return classes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(c: OpClass) -> ClassSource {
+        ClassSource::Fixed(c)
+    }
+
+    #[test]
+    fn pure_functions_solve_deterministic() {
+        let mut bodies = HashMap::new();
+        bodies.insert(
+            "f".to_string(),
+            vec![fixed(OpClass::Deterministic), fixed(OpClass::Deterministic)],
+        );
+        let classes = solve_call_graph(&bodies);
+        assert_eq!(classes["f"], OpClass::Deterministic);
+    }
+
+    #[test]
+    fn classes_propagate_through_calls() {
+        let mut bodies = HashMap::new();
+        bodies.insert("noisy".to_string(), vec![fixed(OpClass::NonDeterministic)]);
+        bodies.insert(
+            "caller".to_string(),
+            vec![
+                fixed(OpClass::Deterministic),
+                ClassSource::Call("noisy".into()),
+            ],
+        );
+        bodies.insert(
+            "outer".to_string(),
+            vec![ClassSource::Call("caller".into())],
+        );
+        let classes = solve_call_graph(&bodies);
+        assert_eq!(classes["noisy"], OpClass::NonDeterministic);
+        assert_eq!(classes["caller"], OpClass::NonDeterministic);
+        assert_eq!(classes["outer"], OpClass::NonDeterministic);
+    }
+
+    #[test]
+    fn side_effects_dominate_and_seeded_stays_eligible() {
+        let mut bodies = HashMap::new();
+        bodies.insert(
+            "printer".to_string(),
+            vec![fixed(OpClass::Seeded), fixed(OpClass::SideEffecting)],
+        );
+        bodies.insert("sampler".to_string(), vec![fixed(OpClass::Seeded)]);
+        let classes = solve_call_graph(&bodies);
+        assert_eq!(classes["printer"], OpClass::SideEffecting);
+        assert!(!classes["printer"].reuse_eligible());
+        assert_eq!(classes["sampler"], OpClass::Seeded);
+        assert!(classes["sampler"].reuse_eligible());
+    }
+
+    #[test]
+    fn recursion_solves_to_least_fixpoint() {
+        let mut bodies = HashMap::new();
+        bodies.insert(
+            "rec".to_string(),
+            vec![
+                fixed(OpClass::Deterministic),
+                ClassSource::Call("rec".into()),
+            ],
+        );
+        let classes = solve_call_graph(&bodies);
+        assert_eq!(classes["rec"], OpClass::Deterministic);
+        // Mutual recursion through a non-deterministic partner degrades both.
+        let mut bodies = HashMap::new();
+        bodies.insert("a".to_string(), vec![ClassSource::Call("b".into())]);
+        bodies.insert(
+            "b".to_string(),
+            vec![
+                fixed(OpClass::NonDeterministic),
+                ClassSource::Call("a".into()),
+            ],
+        );
+        let classes = solve_call_graph(&bodies);
+        assert_eq!(classes["a"], OpClass::NonDeterministic);
+        assert_eq!(classes["b"], OpClass::NonDeterministic);
+    }
+
+    #[test]
+    fn unknown_callee_is_conservative() {
+        let mut bodies = HashMap::new();
+        bodies.insert("f".to_string(), vec![ClassSource::Call("undefined".into())]);
+        let classes = solve_call_graph(&bodies);
+        assert_eq!(classes["f"], OpClass::NonDeterministic);
+    }
+}

@@ -1,0 +1,290 @@
+//! Parfor dependence checking (paper §2: parfor result merging).
+//!
+//! A `parfor` merges each worker's writes to *result variables* (variables
+//! that are live-in and written in the body) back into the parent scope by
+//! cell-difference. Two iterations writing the same cell race: the merged
+//! value depends on worker scheduling. This pass proves, per result
+//! variable, that all cross-iteration writes are disjoint — every indexed
+//! write must address the variable through an affine function of the loop
+//! variable with a provably nonzero coefficient — and rejects conservatively
+//! otherwise. The runtime lowers its instructions into [`ResultWrite`]s; the
+//! decision procedure here is IR-agnostic.
+
+use crate::affine::Affine;
+
+/// One write to a parfor result variable, as lowered by the runtime.
+#[derive(Debug, Clone)]
+pub struct ResultWrite {
+    /// The result variable written.
+    pub var: String,
+    /// Affine row index of the write (None when not provably affine).
+    pub row: Option<Affine>,
+    /// Affine column index of the write (None when not provably affine).
+    pub col: Option<Affine>,
+    /// True when the write replaces the whole variable (any non-indexed
+    /// assignment), or occurs somewhere the index cannot be reasoned about
+    /// (e.g. under a nested loop over a different variable).
+    pub whole: bool,
+}
+
+impl ResultWrite {
+    /// An indexed (sub-block) write.
+    pub fn indexed(var: impl Into<String>, row: Option<Affine>, col: Option<Affine>) -> Self {
+        ResultWrite {
+            var: var.into(),
+            row,
+            col,
+            whole: false,
+        }
+    }
+
+    /// A whole-variable write.
+    pub fn whole(var: impl Into<String>) -> Self {
+        ResultWrite {
+            var: var.into(),
+            row: None,
+            col: None,
+            whole: true,
+        }
+    }
+}
+
+/// Why a parfor cannot be proven race-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParforViolation {
+    /// A result variable is (re)assigned as a whole; every iteration writes
+    /// every cell.
+    WholeVarWrite {
+        /// Offending result variable.
+        var: String,
+    },
+    /// All indexed writes to the variable use loop-invariant indices; every
+    /// iteration writes the same cells.
+    LoopInvariantIndex {
+        /// Offending result variable.
+        var: String,
+    },
+    /// An index expression is not affine in the loop variable, so
+    /// disjointness cannot be established.
+    NonAffineIndex {
+        /// Offending result variable.
+        var: String,
+    },
+    /// Multiple writes to the variable separate iterations through different
+    /// index expressions; their footprints may overlap across iterations.
+    ConflictingWrites {
+        /// Offending result variable.
+        var: String,
+    },
+}
+
+impl ParforViolation {
+    /// The result variable the violation is about.
+    pub fn var(&self) -> &str {
+        match self {
+            ParforViolation::WholeVarWrite { var }
+            | ParforViolation::LoopInvariantIndex { var }
+            | ParforViolation::NonAffineIndex { var }
+            | ParforViolation::ConflictingWrites { var } => var,
+        }
+    }
+}
+
+impl std::fmt::Display for ParforViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParforViolation::WholeVarWrite { var } => write!(
+                f,
+                "parfor result variable '{var}' is assigned as a whole; \
+                 concurrent iterations race on every cell"
+            ),
+            ParforViolation::LoopInvariantIndex { var } => write!(
+                f,
+                "parfor result variable '{var}' is written at a loop-invariant \
+                 index; concurrent iterations race on the same cells"
+            ),
+            ParforViolation::NonAffineIndex { var } => write!(
+                f,
+                "cannot prove parfor writes to result variable '{var}' \
+                 disjoint: index is not affine in the loop variable"
+            ),
+            ParforViolation::ConflictingWrites { var } => write!(
+                f,
+                "writes to parfor result variable '{var}' use conflicting \
+                 index expressions; iterations may overlap"
+            ),
+        }
+    }
+}
+
+/// Decides whether the given result-variable writes of a parfor body are
+/// provably disjoint across iterations. `trip_at_most_one` short-circuits
+/// the check for loops with a statically known trip count of zero or one
+/// (a single iteration cannot race with itself).
+///
+/// Acceptance rule per result variable: there must exist one dimension (row
+/// or column) in which *every* write uses the *same* affine index with a
+/// nonzero loop-variable coefficient. That dimension then partitions the
+/// written cells by iteration.
+pub fn check_parfor_writes(
+    writes: &[ResultWrite],
+    trip_at_most_one: bool,
+) -> Result<(), ParforViolation> {
+    if trip_at_most_one {
+        return Ok(());
+    }
+    let mut vars: Vec<&str> = writes.iter().map(|w| w.var.as_str()).collect();
+    vars.dedup();
+    vars.sort_unstable();
+    vars.dedup();
+    for var in vars {
+        let group: Vec<&ResultWrite> = writes.iter().filter(|w| w.var == var).collect();
+        check_var(var, &group)?;
+    }
+    Ok(())
+}
+
+fn check_var(var: &str, group: &[&ResultWrite]) -> Result<(), ParforViolation> {
+    if group.iter().any(|w| w.whole) {
+        return Err(ParforViolation::WholeVarWrite { var: var.into() });
+    }
+    // Accept if some dimension separates iterations consistently across all
+    // writes to this variable.
+    fn row_of(w: &ResultWrite) -> Option<&Affine> {
+        w.row.as_ref()
+    }
+    fn col_of(w: &ResultWrite) -> Option<&Affine> {
+        w.col.as_ref()
+    }
+    for dim in [row_of as fn(&ResultWrite) -> Option<&Affine>, col_of] {
+        let idxs: Vec<&Affine> = group.iter().filter_map(|w| dim(w)).collect();
+        if idxs.len() == group.len()
+            && idxs.iter().all(|a| a.separates_iterations())
+            && idxs.windows(2).all(|p| p[0].same_index(p[1]))
+        {
+            return Ok(());
+        }
+    }
+    // Classification of the failure, most specific first.
+    let separates = |w: &ResultWrite| {
+        [w.row.as_ref(), w.col.as_ref()]
+            .into_iter()
+            .flatten()
+            .any(Affine::separates_iterations)
+    };
+    if let Some(w) = group.iter().find(|w| !separates(w)) {
+        if w.row.is_none() || w.col.is_none() {
+            return Err(ParforViolation::NonAffineIndex { var: var.into() });
+        }
+        return Err(ParforViolation::LoopInvariantIndex { var: var.into() });
+    }
+    Err(ParforViolation::ConflictingWrites { var: var.into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aff(coeff: i64, konst: i64) -> Option<Affine> {
+        let mut a = Affine::konst(konst);
+        a.coeff = coeff;
+        Some(a)
+    }
+
+    #[test]
+    fn disjoint_row_and_column_writes_accepted() {
+        // L[i, 1] = ...
+        let w = [ResultWrite::indexed("L", aff(1, 0), aff(0, 1))];
+        assert!(check_parfor_writes(&w, false).is_ok());
+        // W[, class] = ...  (row slice invariant, column varies)
+        let w = [ResultWrite::indexed("W", aff(0, 1), aff(1, 0))];
+        assert!(check_parfor_writes(&w, false).is_ok());
+        // Offset and scaled indices are fine: B[2*i - 1, 1].
+        let w = [ResultWrite::indexed("B", aff(2, -1), aff(0, 1))];
+        assert!(check_parfor_writes(&w, false).is_ok());
+    }
+
+    #[test]
+    fn multiple_agreeing_writes_accepted() {
+        // L[i, 1] = x; L[i, 2] = y;  — same varying row index.
+        let w = [
+            ResultWrite::indexed("L", aff(1, 0), aff(0, 1)),
+            ResultWrite::indexed("L", aff(1, 0), aff(0, 2)),
+        ];
+        assert!(check_parfor_writes(&w, false).is_ok());
+    }
+
+    #[test]
+    fn whole_variable_write_rejected() {
+        let w = [ResultWrite::whole("acc")];
+        assert_eq!(
+            check_parfor_writes(&w, false),
+            Err(ParforViolation::WholeVarWrite { var: "acc".into() })
+        );
+    }
+
+    #[test]
+    fn loop_invariant_index_rejected() {
+        // R[1, 1] = f(i)  — every iteration writes the same cell.
+        let w = [ResultWrite::indexed("R", aff(0, 1), aff(0, 1))];
+        assert_eq!(
+            check_parfor_writes(&w, false),
+            Err(ParforViolation::LoopInvariantIndex { var: "R".into() })
+        );
+    }
+
+    #[test]
+    fn non_affine_index_rejected() {
+        let w = [ResultWrite::indexed("R", None, aff(0, 1))];
+        assert_eq!(
+            check_parfor_writes(&w, false),
+            Err(ParforViolation::NonAffineIndex { var: "R".into() })
+        );
+    }
+
+    #[test]
+    fn overlapping_offsets_rejected() {
+        // R[i, 1] and R[i + 1, 1] collide across adjacent iterations.
+        let w = [
+            ResultWrite::indexed("R", aff(1, 0), aff(0, 1)),
+            ResultWrite::indexed("R", aff(1, 1), aff(0, 1)),
+        ];
+        assert_eq!(
+            check_parfor_writes(&w, false),
+            Err(ParforViolation::ConflictingWrites { var: "R".into() })
+        );
+        // Mixed dimensions: R[i, 1] and R[1, i] may collide at (1, 1)-style
+        // intersections; no single dimension separates all writes.
+        let w = [
+            ResultWrite::indexed("R", aff(1, 0), aff(0, 1)),
+            ResultWrite::indexed("R", aff(0, 1), aff(1, 0)),
+        ];
+        assert_eq!(
+            check_parfor_writes(&w, false),
+            Err(ParforViolation::ConflictingWrites { var: "R".into() })
+        );
+    }
+
+    #[test]
+    fn single_trip_loops_skip_the_check() {
+        let w = [ResultWrite::indexed("R", aff(0, 1), aff(0, 1))];
+        assert!(check_parfor_writes(&w, true).is_ok());
+    }
+
+    #[test]
+    fn independent_variables_checked_separately() {
+        let w = [
+            ResultWrite::indexed("A", aff(1, 0), aff(0, 1)),
+            ResultWrite::indexed("B", aff(0, 1), aff(1, 0)),
+        ];
+        assert!(check_parfor_writes(&w, false).is_ok());
+        let w = [
+            ResultWrite::indexed("A", aff(1, 0), aff(0, 1)),
+            ResultWrite::whole("B"),
+        ];
+        assert_eq!(
+            check_parfor_writes(&w, false),
+            Err(ParforViolation::WholeVarWrite { var: "B".into() })
+        );
+    }
+}

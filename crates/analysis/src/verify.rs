@@ -1,0 +1,182 @@
+//! Lineage-log linting: parse + structural verification of serialized
+//! lineage logs, with typed diagnostics. The DAG-level invariants live in
+//! [`lima_core::lineage::verify`] (so the interpreter and persistent-cache
+//! recovery can check in-memory DAGs without this crate); this module layers
+//! the textual checks only a serialized log can violate — duplicate node
+//! ids, which the parser silently resolves by overwriting.
+
+pub use lima_core::lineage::verify::{verify_dag, Verifier, VerifyError, VerifyErrorKind};
+use lima_core::lineage::{deserialize_lineage, LineageParseError};
+use std::collections::HashMap;
+
+/// One problem found in a lineage log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintDiagnostic {
+    /// The log does not parse (malformed lines, dangling or forward input
+    /// references, bad patch structure, ...).
+    Parse(LineageParseError),
+    /// The parsed DAG violates a structural invariant.
+    Verify(VerifyError),
+    /// The same node id is defined twice with different content; the parser
+    /// silently keeps the later definition, changing every earlier use.
+    DuplicateId {
+        /// 1-based line of the second, conflicting definition.
+        line: usize,
+        /// The re-defined node id.
+        id: u64,
+    },
+}
+
+impl LintDiagnostic {
+    /// Offending node id, when the diagnostic is about one.
+    pub fn node(&self) -> Option<u64> {
+        match self {
+            LintDiagnostic::Parse(_) => None,
+            LintDiagnostic::Verify(v) => v.node,
+            LintDiagnostic::DuplicateId { id, .. } => Some(*id),
+        }
+    }
+}
+
+impl std::fmt::Display for LintDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintDiagnostic::Parse(e) => write!(f, "parse error: {e}"),
+            LintDiagnostic::Verify(e) => write!(f, "invalid lineage: {e}"),
+            LintDiagnostic::DuplicateId { line, id } => write!(
+                f,
+                "line {line}: node id {id} redefined with different content \
+                 (earlier uses silently rebind)"
+            ),
+        }
+    }
+}
+
+/// Lints a serialized lineage log. An empty result means the log parses and
+/// its DAG satisfies every lineage invariant.
+pub fn lint_log(log: &str) -> Vec<LintDiagnostic> {
+    let mut out = Vec::new();
+
+    // Textual pass: duplicate item-definition ids. Identical re-emissions
+    // (the same item serialized into two patch bodies) are benign; a second
+    // definition with different content silently rewires earlier uses.
+    let mut defs: HashMap<u64, &str> = HashMap::new();
+    for (lineno, line) in log.lines().enumerate() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('(') else {
+            continue;
+        };
+        let Some((id_tok, _)) = rest.split_once(')') else {
+            continue;
+        };
+        let Ok(id) = id_tok.parse::<u64>() else {
+            continue;
+        };
+        match defs.get(&id) {
+            Some(prev) if *prev != line => {
+                out.push(LintDiagnostic::DuplicateId {
+                    line: lineno + 1,
+                    id,
+                });
+            }
+            Some(_) => {}
+            None => {
+                defs.insert(id, line);
+            }
+        }
+    }
+
+    match deserialize_lineage(log) {
+        Err(e) => out.push(LintDiagnostic::Parse(e)),
+        Ok(root) => {
+            if let Err(e) = verify_dag(&root) {
+                out.push(LintDiagnostic::Verify(e));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lima_core::lineage::serialize::serialize_lineage;
+    use lima_core::lineage::{DedupPatch, LineageItem};
+
+    #[test]
+    fn clean_logs_produce_no_diagnostics() {
+        let x = LineageItem::op_with_data("read", "X", vec![]);
+        let root = LineageItem::op("+", vec![x.clone(), x]);
+        assert!(lint_log(&serialize_lineage(&root)).is_empty());
+
+        let p0 = LineageItem::placeholder(0);
+        let body = LineageItem::op("exp", vec![p0]);
+        let patch = DedupPatch::new("loop:1", 0, 1, vec![("o".into(), body)]);
+        let mut p = LineageItem::op_with_data("read", "p", vec![]);
+        for _ in 0..3 {
+            p = LineageItem::dedup(patch.clone(), "o", vec![p]);
+        }
+        assert!(lint_log(&serialize_lineage(&p)).is_empty());
+    }
+
+    #[test]
+    fn dangling_input_is_a_parse_diagnostic() {
+        let diags = lint_log("(1) I + (99)\n::out (1)\n");
+        assert_eq!(diags.len(), 1);
+        assert!(matches!(&diags[0], LintDiagnostic::Parse(e) if e.line == 1));
+    }
+
+    #[test]
+    fn bare_placeholder_is_a_verify_diagnostic() {
+        let diags = lint_log("(1) P 0\n::out (1)\n");
+        assert_eq!(diags.len(), 1);
+        match &diags[0] {
+            LintDiagnostic::Verify(v) => {
+                assert_eq!(v.kind, VerifyErrorKind::PlaceholderOutsidePatch);
+                assert!(v.node.is_some());
+            }
+            other => panic!("expected verify diagnostic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflicting_duplicate_ids_are_flagged() {
+        let log = "(1) L i:1\n(2) I exp (1)\n(1) L i:2\n::out (2)\n";
+        let diags = lint_log(log);
+        assert!(diags
+            .iter()
+            .any(|d| matches!(d, LintDiagnostic::DuplicateId { id: 1, line: 3 })));
+        // Identical re-definitions stay silent.
+        let log = "(1) L i:1\n(1) L i:1\n::out (1)\n";
+        assert!(lint_log(log).is_empty());
+    }
+
+    #[test]
+    fn path_key_collision_is_reported_with_node_id() {
+        let log = "\
+::patch 0 loop:k 1 1
+(1) P 0
+(2) I exp (1)
+::root o (2)
+::endpatch
+::patch 1 loop:k 1 1
+(3) P 0
+(4) I log (3)
+::root o (4)
+::endpatch
+(5) L i:7
+(6) D 0 o (5)
+(7) D 1 o (5)
+(8) I + (6) (7)
+::out (8)
+";
+        let diags = lint_log(log);
+        assert_eq!(diags.len(), 1);
+        match &diags[0] {
+            LintDiagnostic::Verify(v) => {
+                assert_eq!(v.kind, VerifyErrorKind::PatchConflict);
+            }
+            other => panic!("expected patch conflict, got {other:?}"),
+        }
+    }
+}

@@ -619,14 +619,16 @@ impl LineageCache {
             if st.resident_bytes <= watermark {
                 break;
             }
-            let group = st.map[&vkey].group;
+            let Some(e) = st.map.get_mut(&vkey) else {
+                continue;
+            };
+            let group = e.group;
             let shared = group != 0 && group_counts.get(&group).copied().unwrap_or(0) > 1;
             if group != 0 {
                 if let Some(c) = group_counts.get_mut(&group) {
                     *c = c.saturating_sub(1);
                 }
             }
-            let e = st.map.get_mut(&vkey).expect("victim exists");
             let size = e.size;
             let compute_ns = e.compute_ns;
             let value = match std::mem::replace(&mut e.state, EntryState::Evicted) {

@@ -160,7 +160,8 @@ impl PersistentCacheStore {
             let _ = f.sync_all();
         }
 
-        // Validate surviving entries: lineage must parse, value must verify.
+        // Validate surviving entries: lineage must parse, the parsed DAG must
+        // satisfy the lineage invariants, and the value file must verify.
         let mut recovered = Vec::new();
         let mut live = BTreeMap::new();
         let mut total_bytes = 0u64;
@@ -174,6 +175,16 @@ impl PersistentCacheStore {
                     continue;
                 }
             };
+            // A structurally invalid DAG would poison cache probes (its hash
+            // can collide with a legitimate trace without ever comparing
+            // equal); drop the entry rather than repopulate from it. Scope is
+            // per entry: distinct programs sharing a store may reuse block
+            // keys, which must not read as cross-entry patch conflicts.
+            if crate::lineage::verify::verify_dag(&root).is_err() {
+                report.dropped += 1;
+                let _ = fs::remove_file(&path);
+                continue;
+            }
             match read_value_file(&path) {
                 Ok(value) => {
                     live.insert(id, rec.value_bytes);
@@ -747,6 +758,38 @@ mod tests {
             payload.put_u64(0);
             payload.put_u64(0);
             let lin = b"not a lineage log";
+            payload.put_u32(lin.len() as u32);
+            payload.put_slice(lin);
+            let rec = frame_record(&payload);
+            let mut f = fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("manifest.wal"))
+                .unwrap();
+            f.write_all(&rec).unwrap();
+        }
+        let (_s, rec, rep) = open(&dir);
+        assert_eq!(rep.recovered, 1);
+        assert_eq!(rep.dropped, 1);
+        assert_eq!(rec.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn structurally_invalid_lineage_is_dropped() {
+        let dir = tmp_dir("invalidlineage");
+        {
+            let (store, _, _) = open(&dir);
+            store.persist(&item("A"), &mat(3), 10).unwrap().unwrap();
+        }
+        // A record whose lineage parses but violates the DAG invariants:
+        // a placeholder leaf outside any patch body.
+        {
+            let mut payload = BytesMut::new();
+            payload.put_u8(REC_PUT);
+            payload.put_u64(7778);
+            payload.put_u64(0);
+            payload.put_u64(0);
+            let lin = b"(1) P 0\n::out (1)\n";
             payload.put_u32(lin.len() as u32);
             payload.put_slice(lin);
             let rec = frame_record(&payload);

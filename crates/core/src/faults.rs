@@ -59,7 +59,17 @@ pub const PERSIST_CRASH_POINTS: [FaultSite; 3] = [
 ];
 
 fn site_index(site: FaultSite) -> usize {
-    SITES.iter().position(|s| *s == site).expect("known site")
+    // Total by construction: one slot per variant, in `SITES` order.
+    match site {
+        FaultSite::SpillWrite => 0,
+        FaultSite::SpillCorrupt => 1,
+        FaultSite::SpillRead => 2,
+        FaultSite::FulfillerDeath => 3,
+        FaultSite::WorkerPanic => 4,
+        FaultSite::PersistWalAppend => 5,
+        FaultSite::PersistCommit => 6,
+        FaultSite::PersistRename => 7,
+    }
 }
 
 /// Which occurrences of a site fail.

@@ -130,10 +130,14 @@ impl DedupPatch {
                 .cloned()
                 .collect();
             if pending.is_empty() {
-                let node = stack.pop().expect("non-empty");
-                let ih: Vec<u64> = node.inputs().iter().map(|i| memo[&i.id()]).collect();
-                let h = hash_parts(node.opcode(), node.data(), &ih);
-                memo.insert(node.id(), h);
+                let ih: Vec<u64> = top
+                    .inputs()
+                    .iter()
+                    .map(|i| memo.get(&i.id()).copied().unwrap_or(0))
+                    .collect();
+                let h = hash_parts(top.opcode(), top.data(), &ih);
+                memo.insert(top.id(), h);
+                stack.pop();
             } else {
                 stack.extend(pending);
             }

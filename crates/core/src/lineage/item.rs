@@ -238,14 +238,18 @@ impl LineageItem {
                 .cloned()
                 .collect();
             if pending.is_empty() {
-                let node = stack.pop().expect("non-empty stack");
-                let h = node.compute_local_hash();
-                let _ = node.hash.set(h);
+                let h = top.compute_local_hash();
+                let _ = top.hash.set(h);
+                stack.pop();
             } else {
                 stack.extend(pending);
             }
         }
-        *self.hash.get().expect("hash just computed")
+        // The loop hashed every reachable node, including `self`.
+        self.hash
+            .get()
+            .copied()
+            .unwrap_or_else(|| self.compute_local_hash())
     }
 
     /// Hash of this node assuming all inputs are hashed. For dedup items,
@@ -256,7 +260,7 @@ impl LineageItem {
                 let env: Vec<u64> = self
                     .inputs
                     .iter()
-                    .map(|i| *i.hash.get().expect("inputs hashed"))
+                    .map(|i| i.hash.get().copied().unwrap_or_else(|| i.hash_value()))
                     .collect();
                 let output = self.data.as_deref().unwrap_or("");
                 patch.parametric_hash(output, &env)
@@ -273,7 +277,7 @@ impl LineageItem {
                 let input_hashes: Vec<u64> = self
                     .inputs
                     .iter()
-                    .map(|i| *i.hash.get().expect("inputs hashed"))
+                    .map(|i| i.hash.get().copied().unwrap_or_else(|| i.hash_value()))
                     .collect();
                 hash_parts(&self.opcode, self.data.as_deref(), &input_hashes)
             }
@@ -325,19 +329,20 @@ impl LineageItem {
                 .cloned()
                 .collect();
             if pending.is_empty() {
-                let node = stack.pop().expect("non-empty");
-                let h = node
+                let h = top
                     .inputs
                     .iter()
-                    .map(|i| *i.height.get().expect("inputs measured") + 1)
+                    .map(|i| i.height.get().copied().unwrap_or_else(|| i.height()) + 1)
                     .max()
                     .unwrap_or(0);
-                let _ = node.height.set(h);
+                let _ = top.height.set(h);
+                stack.pop();
             } else {
                 stack.extend(pending);
             }
         }
-        *self.height.get().expect("height just computed")
+        // The loop measured every reachable node, including `self`.
+        self.height.get().copied().unwrap_or(0)
     }
 
     /// Approximate in-memory size of the DAG in bytes (Fig 6(b)).
@@ -369,9 +374,9 @@ impl LineageItem {
                 continue;
             }
             if state.get(&top.id) == Some(&false) {
-                let node = stack.pop().expect("non-empty");
-                state.insert(node.id, true);
-                order.push(node);
+                state.insert(top.id, true);
+                order.push(Arc::clone(top));
+                stack.pop();
                 continue;
             }
             state.insert(top.id, false);

@@ -5,8 +5,10 @@ pub mod dedup;
 pub mod item;
 pub mod map;
 pub mod serialize;
+pub mod verify;
 
 pub use dedup::{DedupPatch, DedupRegistry, PathTracer};
 pub use item::{LinRef, LineageItem, LineageKind};
 pub use map::LineageMap;
 pub use serialize::{deserialize_lineage, serialize_lineage, LineageParseError};
+pub use verify::{verify_dag, Verifier, VerifyError, VerifyErrorKind};

@@ -96,74 +96,210 @@ pub fn full_agg(op: &str) -> String {
     format!("{FULL_AGG_PREFIX}{op}")
 }
 
-/// The default set of opcodes whose outputs qualify for the lineage cache.
-/// Mirrors the paper's "set of reusable instruction opcodes" configuration:
-/// compute-bearing operations qualify, bookkeeping and string ops do not.
-pub fn default_cacheable() -> Vec<&'static str> {
-    vec![
-        MATMULT,
-        TSMM,
-        TRANSPOSE,
-        CBIND,
-        RBIND,
-        RIGHT_INDEX,
-        SELECT_COLS,
-        SELECT_ROWS,
-        SOLVE,
-        DIAG,
-        EIGEN,
-        ORDER,
-        REV,
-        TABLE,
-        ROW_INDEX_MAX,
-        "uasum",
-        "uamean",
-        "uamin",
-        "uamax",
-        "uasumsq",
-        "uavar",
-        "uacsum",
-        "uacmean",
-        "uacmin",
-        "uacmax",
-        "uacsumsq",
-        "uacvar",
-        "uarsum",
-        "uarmean",
-        "uarmin",
-        "uarmax",
-        "uarsumsq",
-        "uarvar",
-        "+",
-        "-",
-        "*",
-        "/",
-        "^",
-        "min",
-        "max",
-        "==",
-        "!=",
-        "<",
-        "<=",
-        ">",
-        ">=",
-        "&",
-        "|",
-        "uneg",
-        "abs",
-        "exp",
-        "log",
-        "sqrt",
-        "round",
-        "floor",
-        "ceil",
-        "sign",
-        "sigmoid",
-        "!",
-        RESHAPE,
-        FCALL,
-        BCALL,
+/// Determinism class of an operation, ordered as a join-semilattice:
+/// `Deterministic < Seeded < NonDeterministic < SideEffecting`.
+///
+/// * `Deterministic` — output is a pure function of the inputs.
+/// * `Seeded` — pseudo-random, but replayable once the seed is pinned
+///   (an explicit literal seed, or a system seed captured in the lineage).
+/// * `NonDeterministic` — not replayable even with captured parameters.
+/// * `SideEffecting` — interacts with the outside world; must never be
+///   skipped or memoized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Pure function of its inputs.
+    Deterministic,
+    /// Replayable given a pinned seed.
+    Seeded,
+    /// Not replayable.
+    NonDeterministic,
+    /// Externally visible effect.
+    SideEffecting,
+}
+
+impl OpClass {
+    /// Least upper bound: the class of a computation combining both.
+    pub fn join(self, other: OpClass) -> OpClass {
+        self.max(other)
+    }
+
+    /// True when results of this class may be reused from the lineage cache
+    /// (deterministic, or seeded with the seed recorded in the lineage).
+    pub fn reuse_eligible(self) -> bool {
+        self <= OpClass::Seeded
+    }
+}
+
+/// One row of the opcode classification table: determinism class plus
+/// whether outputs of the opcode qualify for the lineage cache by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpcodeInfo {
+    /// Determinism class.
+    pub class: OpClass,
+    /// Default cache eligibility (compute-bearing ops qualify, bookkeeping
+    /// and string ops do not).
+    pub cacheable: bool,
+}
+
+/// The single classification table shared by the tracer, the compiler's
+/// unmarking pass, and `lima-analysis`. Every opcode the runtime can emit
+/// appears here; prefixed families (`spoof*`, `fcall:*`, `bcall*`) are
+/// resolved by [`opcode_info`].
+pub const OPCODE_TABLE: &[(&str, OpcodeInfo)] = &{
+    const DC: OpcodeInfo = OpcodeInfo {
+        class: OpClass::Deterministic,
+        cacheable: true,
+    };
+    const DN: OpcodeInfo = OpcodeInfo {
+        class: OpClass::Deterministic,
+        cacheable: false,
+    };
+    const SEED: OpcodeInfo = OpcodeInfo {
+        class: OpClass::Seeded,
+        cacheable: false,
+    };
+    const EFFECT: OpcodeInfo = OpcodeInfo {
+        class: OpClass::SideEffecting,
+        cacheable: false,
+    };
+    [
+        // Compute-bearing deterministic ops: reuse-eligible and cacheable.
+        (MATMULT, DC),
+        (TSMM, DC),
+        (TRANSPOSE, DC),
+        (CBIND, DC),
+        (RBIND, DC),
+        (RIGHT_INDEX, DC),
+        (SELECT_COLS, DC),
+        (SELECT_ROWS, DC),
+        (SOLVE, DC),
+        (DIAG, DC),
+        (EIGEN, DC),
+        (ORDER, DC),
+        (REV, DC),
+        (TABLE, DC),
+        (ROW_INDEX_MAX, DC),
+        ("uasum", DC),
+        ("uamean", DC),
+        ("uamin", DC),
+        ("uamax", DC),
+        ("uasumsq", DC),
+        ("uavar", DC),
+        ("uacsum", DC),
+        ("uacmean", DC),
+        ("uacmin", DC),
+        ("uacmax", DC),
+        ("uacsumsq", DC),
+        ("uacvar", DC),
+        ("uarsum", DC),
+        ("uarmean", DC),
+        ("uarmin", DC),
+        ("uarmax", DC),
+        ("uarsumsq", DC),
+        ("uarvar", DC),
+        ("+", DC),
+        ("-", DC),
+        ("*", DC),
+        ("/", DC),
+        ("^", DC),
+        ("min", DC),
+        ("max", DC),
+        ("==", DC),
+        ("!=", DC),
+        ("<", DC),
+        ("<=", DC),
+        (">", DC),
+        (">=", DC),
+        ("&", DC),
+        ("|", DC),
+        ("uneg", DC),
+        ("abs", DC),
+        ("exp", DC),
+        ("log", DC),
+        ("sqrt", DC),
+        ("round", DC),
+        ("floor", DC),
+        ("ceil", DC),
+        ("sign", DC),
+        ("sigmoid", DC),
+        ("!", DC),
+        (RESHAPE, DC),
+        (FCALL, DC),
+        (BCALL, DC),
+        // Deterministic bookkeeping / cheap ops: not worth caching.
+        (LEFT_INDEX, DN),
+        (SEQ, DN),
+        (READ, DN),
+        (NROW, DN),
+        (NCOL, DN),
+        (MATRIX_FILL, DN),
+        (CAST_SCALAR, DN),
+        (CAST_MATRIX, DN),
+        (LIST, DN),
+        (LIST_GET, DN),
+        (CONCAT, DN),
+        ("assign", DN),
+        ("mvvar", DN),
+        ("rmvar", DN),
+        ("lineage", DN),
+        (LITERAL, DN),
+        (DEDUP, DN),
+        (PLACEHOLDER, DN),
+        // Pseudo-random creation ops: deterministic once the seed is pinned.
+        (RAND, SEED),
+        (SAMPLE, SEED),
+        // Externally visible effects.
+        ("print", EFFECT),
+        ("write", EFFECT),
     ]
+};
+
+fn table_lookup(op: &str) -> Option<OpcodeInfo> {
+    use std::collections::HashMap;
+    use std::sync::OnceLock;
+    static INDEX: OnceLock<HashMap<&'static str, OpcodeInfo>> = OnceLock::new();
+    INDEX
+        .get_or_init(|| OPCODE_TABLE.iter().copied().collect())
+        .get(op)
+        .copied()
+}
+
+/// Classification for an opcode string, resolving prefixed families:
+/// fused operators (`spoof*`) and multi-level items (`fcall:*`/`bcall*`) are
+/// deterministic and cacheable (multi-level items only exist for bodies the
+/// compiler already proved deterministic). Unknown opcodes conservatively
+/// classify as non-deterministic and non-cacheable.
+pub fn opcode_info(op: &str) -> OpcodeInfo {
+    if let Some(info) = table_lookup(op) {
+        return info;
+    }
+    if op.starts_with(FUSED_PREFIX) || op.starts_with(FCALL) || op.starts_with(BCALL) {
+        return OpcodeInfo {
+            class: OpClass::Deterministic,
+            cacheable: true,
+        };
+    }
+    OpcodeInfo {
+        class: OpClass::NonDeterministic,
+        cacheable: false,
+    }
+}
+
+/// Determinism class of an opcode (see [`opcode_info`]).
+pub fn classify_opcode(op: &str) -> OpClass {
+    opcode_info(op).class
+}
+
+/// The default set of opcodes whose outputs qualify for the lineage cache.
+/// Mirrors the paper's "set of reusable instruction opcodes" configuration;
+/// derived from [`OPCODE_TABLE`] so cacheability and determinism cannot
+/// drift apart.
+pub fn default_cacheable() -> Vec<&'static str> {
+    OPCODE_TABLE
+        .iter()
+        .filter(|(_, info)| info.cacheable)
+        .map(|(op, _)| *op)
+        .collect()
 }
 
 #[cfg(test)]
@@ -175,6 +311,49 @@ mod tests {
         assert_eq!(col_agg("sum"), "uacsum");
         assert_eq!(row_agg("max"), "uarmax");
         assert_eq!(full_agg("mean"), "uamean");
+    }
+
+    #[test]
+    fn classification_table_and_lattice() {
+        assert_eq!(classify_opcode(MATMULT), OpClass::Deterministic);
+        assert_eq!(classify_opcode(READ), OpClass::Deterministic);
+        assert_eq!(classify_opcode(RAND), OpClass::Seeded);
+        assert_eq!(classify_opcode(SAMPLE), OpClass::Seeded);
+        assert_eq!(classify_opcode("print"), OpClass::SideEffecting);
+        assert_eq!(classify_opcode("write"), OpClass::SideEffecting);
+        // Prefixed families resolve; unknown opcodes are conservative.
+        assert_eq!(classify_opcode("spoof17"), OpClass::Deterministic);
+        assert!(opcode_info("spoof17").cacheable);
+        assert_eq!(classify_opcode("fcall:lm"), OpClass::Deterministic);
+        assert_eq!(classify_opcode("no-such-op"), OpClass::NonDeterministic);
+        assert!(!opcode_info("no-such-op").cacheable);
+        // Lattice: join is max, reuse eligibility cuts below NonDeterministic.
+        assert_eq!(
+            OpClass::Deterministic.join(OpClass::Seeded),
+            OpClass::Seeded
+        );
+        assert_eq!(
+            OpClass::Seeded.join(OpClass::SideEffecting),
+            OpClass::SideEffecting
+        );
+        assert!(OpClass::Deterministic.reuse_eligible());
+        assert!(OpClass::Seeded.reuse_eligible());
+        assert!(!OpClass::NonDeterministic.reuse_eligible());
+        assert!(!OpClass::SideEffecting.reuse_eligible());
+    }
+
+    #[test]
+    fn cacheable_set_is_consistent_with_classification() {
+        // Anything cacheable by default must also be reuse-eligible —
+        // otherwise the tracer would cache values it can never trust.
+        for (op, info) in OPCODE_TABLE {
+            if info.cacheable {
+                assert!(
+                    info.class.reuse_eligible(),
+                    "{op} cacheable but not eligible"
+                );
+            }
+        }
     }
 
     #[test]

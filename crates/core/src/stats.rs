@@ -69,6 +69,12 @@ pub struct LimaStats {
     pub persist_torn_truncations: AtomicU64,
     /// Orphaned value files garbage-collected during recovery.
     pub persist_orphans_gcd: AtomicU64,
+    /// Instructions the static determinism analysis unmarked for caching
+    /// (loop-carried, non-deterministic, or side-effecting; paper §4.3).
+    pub ops_unmarked: AtomicU64,
+    /// Functions the analysis classified reuse-ineligible (non-deterministic
+    /// bodies are excluded from function-level multi-level reuse, §4.1).
+    pub funcs_reuse_ineligible: AtomicU64,
 }
 
 impl LimaStats {
@@ -108,6 +114,7 @@ impl LimaStats {
              faults:  spill_failures={} restore_failures={} placeholder_timeouts={} worker_panics={}\n\
              persist: writes={} failures={} bytes={} tombstones={} hits={}\n\
              recover: recovered={} dropped={} torn_truncations={} orphans_gcd={}\n\
+             analyze: ops_unmarked={} funcs_reuse_ineligible={}\n\
              time:    saved_compute={:.3}s compensation={:.3}s",
             Self::get(&self.items_traced),
             Self::get(&self.dedup_items),
@@ -136,6 +143,8 @@ impl LimaStats {
             Self::get(&self.persist_dropped),
             Self::get(&self.persist_torn_truncations),
             Self::get(&self.persist_orphans_gcd),
+            Self::get(&self.ops_unmarked),
+            Self::get(&self.funcs_reuse_ineligible),
             Self::get(&self.saved_compute_ns) as f64 / 1e9,
             Self::get(&self.compensation_ns) as f64 / 1e9,
         )
@@ -170,5 +179,10 @@ mod tests {
         assert!(r.contains("restore_failures=1"));
         assert!(r.contains("placeholder_timeouts=1"));
         assert!(r.contains("worker_panics=0"));
+        LimaStats::add(&s.ops_unmarked, 5);
+        LimaStats::bump(&s.funcs_reuse_ineligible);
+        let r = s.report();
+        assert!(r.contains("ops_unmarked=5"));
+        assert!(r.contains("funcs_reuse_ineligible=1"));
     }
 }

@@ -41,7 +41,8 @@ fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
 /// Parses, lowers, and runs the runtime compiler passes on a script.
 pub fn compile_script(src: &str, config: &LimaConfig) -> Result<Program, CompileError> {
     let mut program = compile_script_uncompiled(src)?;
-    lima_runtime::compiler::compile(&mut program, config);
+    lima_runtime::compiler::compile(&mut program, config)
+        .map_err(|e| CompileError { msg: e.to_string() })?;
     Ok(program)
 }
 

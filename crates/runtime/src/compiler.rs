@@ -2,37 +2,96 @@
 //!
 //! 1. **Block/branch ID assignment** — stable IDs for block-level cache keys
 //!    and depth-first branch IDs for dedup path bitvectors.
-//! 2. **Determinism analysis** — functions/blocks with no system-seeded
-//!    randomness and no side effects qualify for multi-level reuse.
-//! 3. **Dedup eligibility** — last-level loops/functions (no nested loops or
+//! 2. **Determinism analysis** — every instruction is classified on the
+//!    `lima-analysis` [`OpClass`] lattice and classes propagate bottom-up
+//!    through the block hierarchy and call graph; only `Deterministic`
+//!    functions/blocks qualify for multi-level reuse.
+//! 3. **Parfor dependence check** — writes to parfor result variables must
+//!    be provably disjoint across iterations (affine index analysis on the
+//!    loop variable); racy scripts fail compilation.
+//! 4. **Dedup eligibility** — last-level loops/functions (no nested loops or
 //!    calls) with ≤ 63 branches qualify for lineage deduplication.
-//! 4. **Unmarking** (compiler assistance) — instructions producing
+//! 5. **Unmarking** (compiler assistance) — instructions producing
 //!    loop-carried variables never interact with the cache.
-//! 5. **Reuse-aware rewrites** (compiler assistance) — e.g. splitting
+//! 6. **Reuse-aware rewrites** (compiler assistance) — e.g. splitting
 //!    `tsmm(cbind(X, d))` inside loops to avoid materializing the cbind
 //!    (the `LIMA-CA` configuration of Fig 7(a)).
 
 use crate::instr::{Instr, Op, Operand};
 use crate::lva;
 use crate::program::{Block, ExprProg, Program};
+use lima_analysis::{
+    check_parfor_writes, solve_call_graph, Affine, ClassSource, ParforViolation, ResultWrite,
+};
+use lima_core::opcodes::{classify_opcode, OpClass};
 use lima_core::LimaConfig;
-use lima_matrix::ops::TsmmSide;
+use lima_matrix::ops::{BinOp, TsmmSide};
 use lima_matrix::ScalarValue;
 use std::collections::{HashMap, HashSet};
 
-/// Runs all compilation passes in place.
-pub fn compile(program: &mut Program, config: &LimaConfig) {
+/// A program rejected by static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A parfor body's writes to a result variable are not provably disjoint
+    /// across iterations, so parallel execution could race.
+    ParforDependence {
+        /// Stable ID of the offending `ParFor` block.
+        block_id: u64,
+        /// Why disjointness could not be established.
+        violation: ParforViolation,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::ParforDependence {
+                block_id,
+                violation,
+            } => write!(
+                f,
+                "parfor (block {block_id}) cannot run in parallel: {violation}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Counters produced by the static-analysis passes; stored on the program
+/// and folded into `LimaStats` when it executes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompileReport {
+    /// Instructions newly unmarked (`no_cache`) by the loop-carried taint
+    /// pass.
+    pub ops_unmarked: u64,
+    /// Functions whose class is not `Deterministic` and which are therefore
+    /// ineligible for function-level reuse.
+    pub funcs_reuse_ineligible: u64,
+}
+
+/// Runs all compilation passes in place. Fails when the parfor dependence
+/// check cannot prove result-variable writes disjoint across iterations.
+pub fn compile(program: &mut Program, config: &LimaConfig) -> Result<CompileReport, CompileError> {
     assign_ids(program);
-    analyze_determinism(program);
+    let funcs_reuse_ineligible = analyze_determinism(program);
+    check_parfor_dependences(program)?;
     analyze_dedup(program);
     compute_dedup_outputs(program);
+    let mut ops_unmarked = 0u64;
     if config.compiler_assist {
-        unmark_loop_carried(program);
+        unmark_loop_carried(program, &mut ops_unmarked);
         if config.reuse.any() {
             rewrite_tsmm_cbind(program);
             rewrite_speculative_projection(program);
         }
     }
+    let report = CompileReport {
+        ops_unmarked,
+        funcs_reuse_ineligible,
+    };
+    program.analysis = report;
+    Ok(report)
 }
 
 // ---------------------------------------------------------------- block IDs
@@ -43,8 +102,9 @@ fn assign_ids(program: &mut Program) {
     let mut names: Vec<String> = program.functions.keys().cloned().collect();
     names.sort();
     for name in names {
-        let f = program.functions.get_mut(&name).expect("known function");
-        assign_ids_blocks(&mut f.body, &mut next);
+        if let Some(f) = program.functions.get_mut(&name) {
+            assign_ids_blocks(&mut f.body, &mut next);
+        }
     }
 }
 
@@ -85,121 +145,174 @@ fn assign_ids_blocks(blocks: &mut [Block], next: &mut u64) {
 
 // ------------------------------------------------------------- determinism
 
-/// True when the instruction is deterministic and side-effect free, given
-/// the set of functions currently known deterministic.
-fn instr_deterministic(i: &Instr, det_fns: &HashSet<String>) -> bool {
-    if i.op.has_side_effects() {
-        return false;
-    }
+/// The determinism contribution of one instruction: calls defer to the
+/// callee's class; everything else is looked up in the `lima-core` opcode
+/// classification table, refined by the explicit-seed rule.
+pub fn instr_class_source(i: &Instr) -> ClassSource {
     if let Op::FCall(name) = &i.op {
-        return det_fns.contains(name);
+        return ClassSource::Call(name.clone());
     }
-    if i.op.is_random() {
-        // Deterministic only with an explicit non-negative seed (system
-        // seeds make repeated executions differ).
-        return match i.inputs.last() {
-            Some(Operand::Lit(ScalarValue::I64(s))) => *s >= 0,
-            Some(Operand::Lit(ScalarValue::F64(s))) => *s >= 0.0,
-            _ => false,
-        };
+    let mut class = classify_opcode(&i.op.opcode());
+    // Seeded randomness with an explicit non-negative literal seed is
+    // reproducible across executions.
+    if i.op.is_random() && has_explicit_seed(i) {
+        class = OpClass::Deterministic;
     }
-    true
+    ClassSource::Fixed(class)
 }
 
-fn expr_deterministic(e: &ExprProg, det_fns: &HashSet<String>) -> bool {
-    e.instrs.iter().all(|i| instr_deterministic(i, det_fns))
+fn has_explicit_seed(i: &Instr) -> bool {
+    match i.inputs.last() {
+        Some(Operand::Lit(ScalarValue::I64(s))) => *s >= 0,
+        Some(Operand::Lit(ScalarValue::F64(s))) => *s >= 0.0,
+        _ => false,
+    }
 }
 
-/// True when all instructions in `blocks` are deterministic.
-pub fn blocks_deterministic(blocks: &[Block], det_fns: &HashSet<String>) -> bool {
-    blocks.iter().all(|b| match b {
-        Block::Basic { instrs, .. } => instrs.iter().all(|i| instr_deterministic(i, det_fns)),
-        Block::If {
-            pred,
-            then_body,
-            else_body,
-            ..
-        } => {
-            expr_deterministic(pred, det_fns)
-                && blocks_deterministic(then_body, det_fns)
-                && blocks_deterministic(else_body, det_fns)
-        }
-        Block::For {
-            from, to, by, body, ..
-        }
-        | Block::ParFor {
-            from, to, by, body, ..
-        } => {
-            expr_deterministic(from, det_fns)
-                && expr_deterministic(to, det_fns)
-                && expr_deterministic(by, det_fns)
-                && blocks_deterministic(body, det_fns)
-        }
-        Block::While { pred, body, .. } => {
-            expr_deterministic(pred, det_fns) && blocks_deterministic(body, det_fns)
-        }
-    })
-}
-
-fn analyze_determinism(program: &mut Program) {
-    // Fixpoint from "nothing is deterministic": monotone and safe under
-    // recursion.
-    let mut det: HashSet<String> = HashSet::new();
-    loop {
-        let mut changed = false;
-        for (name, f) in &program.functions {
-            if !det.contains(name) && blocks_deterministic(&f.body, &det) {
-                det.insert(name.clone());
-                changed = true;
+fn collect_class_sources(blocks: &[Block], out: &mut Vec<ClassSource>) {
+    let expr = |e: &ExprProg, out: &mut Vec<ClassSource>| {
+        out.extend(e.instrs.iter().map(instr_class_source));
+    };
+    for b in blocks {
+        match b {
+            Block::Basic { instrs, .. } => out.extend(instrs.iter().map(instr_class_source)),
+            Block::If {
+                pred,
+                then_body,
+                else_body,
+                ..
+            } => {
+                expr(pred, out);
+                collect_class_sources(then_body, out);
+                collect_class_sources(else_body, out);
+            }
+            Block::For {
+                from, to, by, body, ..
+            }
+            | Block::ParFor {
+                from, to, by, body, ..
+            } => {
+                expr(from, out);
+                expr(to, out);
+                expr(by, out);
+                collect_class_sources(body, out);
+            }
+            Block::While { pred, body, .. } => {
+                expr(pred, out);
+                collect_class_sources(body, out);
             }
         }
-        if !changed {
-            break;
-        }
-    }
-    for (name, f) in program.functions.iter_mut() {
-        f.deterministic = det.contains(name);
-    }
-    let det2 = det.clone();
-    mark_block_determinism(&mut program.body, &det2);
-    for f in program.functions.values_mut() {
-        mark_block_determinism(&mut f.body, &det2);
     }
 }
 
-fn mark_block_determinism(blocks: &mut [Block], det_fns: &HashSet<String>) {
+/// Join of the classes of all instructions in `blocks`, given per-function
+/// classes (an empty map is conservative about calls).
+pub fn blocks_class(blocks: &[Block], classes: &HashMap<String, OpClass>) -> OpClass {
+    let mut sources = Vec::new();
+    collect_class_sources(blocks, &mut sources);
+    sources
+        .iter()
+        .fold(OpClass::Deterministic, |acc, s| acc.join(s.eval(classes)))
+}
+
+/// Solves per-function determinism classes over the call graph and marks
+/// functions and loop blocks. Returns the number of functions ineligible for
+/// function-level reuse.
+fn analyze_determinism(program: &mut Program) -> u64 {
+    let mut bodies: HashMap<String, Vec<ClassSource>> = HashMap::new();
+    for (name, f) in &program.functions {
+        let mut sources = Vec::new();
+        collect_class_sources(&f.body, &mut sources);
+        bodies.insert(name.clone(), sources);
+    }
+    let classes = solve_call_graph(&bodies);
+    let recursive = functions_on_call_cycles(&bodies);
+    let mut ineligible = 0u64;
+    for (name, f) in program.functions.iter_mut() {
+        let class = classes
+            .get(name)
+            .copied()
+            .unwrap_or(OpClass::NonDeterministic);
+        // Function-level reuse (memoization) requires full determinism:
+        // `Seeded` system-seeded randomness differs per execution. Functions
+        // on call-graph cycles are additionally excluded — a recursive call
+        // with identical arguments would re-probe its own pending cache
+        // reservation.
+        f.deterministic = class == OpClass::Deterministic && !recursive.contains(name);
+        if !f.deterministic {
+            ineligible += 1;
+        }
+    }
+    mark_block_determinism(&mut program.body, &classes);
+    for f in program.functions.values_mut() {
+        mark_block_determinism(&mut f.body, &classes);
+    }
+    ineligible
+}
+
+/// Functions that can (transitively) call themselves.
+fn functions_on_call_cycles(bodies: &HashMap<String, Vec<ClassSource>>) -> HashSet<String> {
+    let callees = |name: &str| -> Vec<&String> {
+        bodies
+            .get(name)
+            .map(|sources| {
+                sources
+                    .iter()
+                    .filter_map(|s| match s {
+                        ClassSource::Call(callee) => Some(callee),
+                        ClassSource::Fixed(_) => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let mut on_cycle = HashSet::new();
+    for start in bodies.keys() {
+        let mut stack: Vec<&String> = callees(start);
+        let mut visited: HashSet<&String> = HashSet::new();
+        while let Some(next) = stack.pop() {
+            if next == start {
+                on_cycle.insert(start.clone());
+                break;
+            }
+            if visited.insert(next) {
+                stack.extend(callees(next));
+            }
+        }
+    }
+    on_cycle
+}
+
+fn mark_block_determinism(blocks: &mut [Block], classes: &HashMap<String, OpClass>) {
     for b in blocks {
         match b {
             Block::For {
                 body,
                 deterministic,
                 ..
-            } => {
-                *deterministic = blocks_deterministic(body, det_fns);
-                mark_block_determinism(body, det_fns);
             }
-            Block::While {
+            | Block::While {
                 body,
                 deterministic,
                 ..
             } => {
-                *deterministic = blocks_deterministic(body, det_fns);
-                mark_block_determinism(body, det_fns);
+                *deterministic = blocks_class(body, classes) == OpClass::Deterministic;
+                mark_block_determinism(body, classes);
             }
             Block::If {
                 then_body,
                 else_body,
                 ..
             } => {
-                mark_block_determinism(then_body, det_fns);
-                mark_block_determinism(else_body, det_fns);
+                mark_block_determinism(then_body, classes);
+                mark_block_determinism(else_body, classes);
             }
             Block::ParFor { body, results, .. } => {
                 // Also fill parfor result variables: variables written in the
                 // body that exist before the loop — approximated as writes
                 // that are also live-in (carried) or left-indexed results.
                 *results = parfor_results(body);
-                mark_block_determinism(body, det_fns);
+                mark_block_determinism(body, classes);
             }
             Block::Basic { .. } => {}
         }
@@ -212,6 +325,255 @@ fn parfor_results(body: &[Block]) -> Vec<String> {
     let live_in = lva::live_in(body);
     let writes = lva::writes(body);
     writes.into_iter().filter(|w| live_in.contains(w)).collect()
+}
+
+// ------------------------------------------------------ parfor dependences
+
+/// Rejects parfors whose result-variable writes cannot be proven disjoint
+/// across iterations (paper §2: the merge by cell-difference assumes
+/// iterations touch distinct cells). Runs after `analyze_determinism`, which
+/// fills each parfor's `results` field.
+fn check_parfor_dependences(program: &Program) -> Result<(), CompileError> {
+    check_parfor_blocks(&program.body)?;
+    for f in program.functions.values() {
+        check_parfor_blocks(&f.body)?;
+    }
+    Ok(())
+}
+
+fn check_parfor_blocks(blocks: &[Block]) -> Result<(), CompileError> {
+    for b in blocks {
+        match b {
+            Block::ParFor {
+                id,
+                var,
+                from,
+                to,
+                by,
+                body,
+                results,
+                ..
+            } => {
+                let result_set: HashSet<String> = results.iter().cloned().collect();
+                let writes = lower_parfor_writes(var, body, &result_set);
+                check_parfor_writes(&writes, trip_at_most_one(from, to, by)).map_err(
+                    |violation| CompileError::ParforDependence {
+                        block_id: *id,
+                        violation,
+                    },
+                )?;
+                check_parfor_blocks(body)?;
+            }
+            Block::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                check_parfor_blocks(then_body)?;
+                check_parfor_blocks(else_body)?;
+            }
+            Block::For { body, .. } | Block::While { body, .. } => check_parfor_blocks(body)?,
+            Block::Basic { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+fn expr_lit_i64(e: &ExprProg) -> Option<i64> {
+    if !e.instrs.is_empty() {
+        return None;
+    }
+    match &e.result {
+        Operand::Lit(ScalarValue::I64(v)) => Some(*v),
+        Operand::Lit(ScalarValue::F64(v)) if v.fract() == 0.0 => Some(*v as i64),
+        _ => None,
+    }
+}
+
+/// True when the loop provably runs at most one iteration (a single
+/// iteration cannot race with itself).
+fn trip_at_most_one(from: &ExprProg, to: &ExprProg, by: &ExprProg) -> bool {
+    let (Some(f), Some(t)) = (expr_lit_i64(from), expr_lit_i64(to)) else {
+        return false;
+    };
+    if f == t {
+        return true;
+    }
+    match expr_lit_i64(by) {
+        Some(b) if b > 0 => match f.checked_add(b) {
+            Some(n) => n > t,
+            None => true,
+        },
+        Some(b) if b < 0 => match f.checked_add(b) {
+            Some(n) => n < t,
+            None => true,
+        },
+        _ => false,
+    }
+}
+
+/// Known affine values of scalar temporaries; `None` marks a variable whose
+/// value cannot be expressed affinely in the loop variable.
+type AffEnv = HashMap<String, Option<Affine>>;
+
+/// Lowers a parfor body's writes to its result variables into
+/// [`ResultWrite`]s. Straight-line arithmetic over the loop variable is
+/// folded through an affine environment (`t = 2*i - 1; B[t, 1] = ...`);
+/// indexed writes are modeled by their anchor cell (`LeftIndex` places the
+/// sub-block at `(rl, cl)`). Anything unanalyzable — conditional
+/// assignments, nested loops, non-affine arithmetic — degrades
+/// conservatively so the checker rejects rather than miss a race.
+fn lower_parfor_writes(
+    loop_var: &str,
+    body: &[Block],
+    results: &HashSet<String>,
+) -> Vec<ResultWrite> {
+    let body_writes: HashSet<String> = lva::writes(body).into_iter().collect();
+    let mut env: AffEnv = HashMap::new();
+    let mut out = Vec::new();
+    walk_parfor_body(loop_var, body, results, &body_writes, &mut env, &mut out);
+    out
+}
+
+fn operand_affine(
+    op: &Operand,
+    loop_var: &str,
+    body_writes: &HashSet<String>,
+    env: &AffEnv,
+) -> Option<Affine> {
+    match op {
+        Operand::Lit(ScalarValue::I64(v)) => Some(Affine::konst(*v)),
+        Operand::Lit(ScalarValue::F64(v)) if v.fract() == 0.0 => Some(Affine::konst(*v as i64)),
+        Operand::Lit(_) => None,
+        Operand::Var(v) => {
+            // The environment wins over the loop variable: a body that
+            // reassigns the loop variable shadows its affine meaning.
+            if let Some(a) = env.get(v) {
+                return a.clone();
+            }
+            if v == loop_var {
+                return Some(Affine::loop_var());
+            }
+            if !body_writes.contains(v) {
+                return Some(Affine::invariant(v.clone()));
+            }
+            None
+        }
+    }
+}
+
+fn walk_parfor_body(
+    loop_var: &str,
+    blocks: &[Block],
+    results: &HashSet<String>,
+    body_writes: &HashSet<String>,
+    env: &mut AffEnv,
+    out: &mut Vec<ResultWrite>,
+) {
+    for b in blocks {
+        match b {
+            Block::Basic { instrs, .. } => {
+                for i in instrs {
+                    visit_parfor_instr(loop_var, i, results, body_writes, env, out);
+                }
+            }
+            Block::If {
+                pred,
+                then_body,
+                else_body,
+                ..
+            } => {
+                for i in &pred.instrs {
+                    visit_parfor_instr(loop_var, i, results, body_writes, env, out);
+                }
+                let mut then_env = env.clone();
+                walk_parfor_body(
+                    loop_var,
+                    then_body,
+                    results,
+                    body_writes,
+                    &mut then_env,
+                    out,
+                );
+                let mut else_env = env.clone();
+                walk_parfor_body(
+                    loop_var,
+                    else_body,
+                    results,
+                    body_writes,
+                    &mut else_env,
+                    out,
+                );
+                // A variable assigned under a condition has no single affine
+                // value afterwards.
+                for w in lva::writes(then_body)
+                    .into_iter()
+                    .chain(lva::writes(else_body))
+                {
+                    env.insert(w, None);
+                }
+            }
+            Block::For { .. } | Block::While { .. } | Block::ParFor { .. } => {
+                // Writes under a nested loop repeat per *inner* iteration;
+                // their indices cannot be reasoned about in the outer loop
+                // variable. Treat every result variable touched inside as a
+                // whole-variable write and poison everything it assigns
+                // (including its own loop variable and bound temporaries).
+                for w in lva::writes(std::slice::from_ref(b)) {
+                    if results.contains(&w) {
+                        out.push(ResultWrite::whole(w.clone()));
+                    }
+                    env.insert(w, None);
+                }
+            }
+        }
+    }
+}
+
+fn visit_parfor_instr(
+    loop_var: &str,
+    i: &Instr,
+    results: &HashSet<String>,
+    body_writes: &HashSet<String>,
+    env: &mut AffEnv,
+    out: &mut Vec<ResultWrite>,
+) {
+    // Record writes to result variables.
+    if matches!(i.op, Op::LeftIndex) && i.outputs.len() == 1 && results.contains(&i.outputs[0]) {
+        let row = operand_affine(&i.inputs[2], loop_var, body_writes, env);
+        let col = operand_affine(&i.inputs[3], loop_var, body_writes, env);
+        out.push(ResultWrite::indexed(i.outputs[0].clone(), row, col));
+    } else {
+        for w in i.writes() {
+            if results.contains(w) {
+                out.push(ResultWrite::whole(w.to_string()));
+            }
+        }
+    }
+    // Update the affine environment for scalar temporaries.
+    if let [w] = i.outputs.as_slice() {
+        let val = match &i.op {
+            Op::Assign | Op::CastScalar | Op::CastMatrix => {
+                operand_affine(&i.inputs[0], loop_var, body_writes, env)
+            }
+            Op::Binary(op @ (BinOp::Add | BinOp::Sub | BinOp::Mul)) => {
+                let a = operand_affine(&i.inputs[0], loop_var, body_writes, env);
+                let b = operand_affine(&i.inputs[1], loop_var, body_writes, env);
+                match (a, b, op) {
+                    (Some(a), Some(b), BinOp::Add) => a.add(&b),
+                    (Some(a), Some(b), BinOp::Sub) => a.sub(&b),
+                    (Some(a), Some(b), BinOp::Mul) => a.mul(&b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        env.insert(w.clone(), val);
+    } else {
+        for w in i.writes() {
+            env.insert(w.to_string(), None);
+        }
+    }
 }
 
 // ------------------------------------------------------------------- dedup
@@ -262,7 +624,7 @@ fn analyze_dedup_blocks(blocks: &mut [Block]) {
 /// Last-level body: only basic blocks and conditionals, and no function
 /// calls (paper: "functions that do not contain loops or other function
 /// calls", and last-level loops).
-fn body_is_last_level(blocks: &[Block]) -> bool {
+pub fn body_is_last_level(blocks: &[Block]) -> bool {
     blocks.iter().all(|b| match b {
         Block::Basic { instrs, .. } => !instrs.iter().any(|i| matches!(i.op, Op::FCall(_))),
         Block::If {
@@ -394,14 +756,14 @@ fn dedup_outputs_pass(blocks: &mut [Block], after: &std::collections::BTreeSet<S
 
 // --------------------------------------------------------------- unmarking
 
-fn unmark_loop_carried(program: &mut Program) {
-    unmark_blocks(&mut program.body);
+fn unmark_loop_carried(program: &mut Program, unmarked: &mut u64) {
+    unmark_blocks(&mut program.body, unmarked);
     for f in program.functions.values_mut() {
-        unmark_blocks(&mut f.body);
+        unmark_blocks(&mut f.body, unmarked);
     }
 }
 
-fn unmark_blocks(blocks: &mut [Block]) {
+fn unmark_blocks(blocks: &mut [Block], unmarked: &mut u64) {
     for b in blocks {
         match b {
             Block::For { body, .. } | Block::While { body, .. } | Block::ParFor { body, .. } => {
@@ -410,16 +772,16 @@ fn unmark_blocks(blocks: &mut [Block]) {
                     let ws = lva::writes(body);
                     li.into_iter().filter(|v| ws.contains(v)).collect()
                 };
-                unmark_tainted(body, &carried);
-                unmark_blocks(body);
+                unmark_tainted(body, &carried, unmarked);
+                unmark_blocks(body, unmarked);
             }
             Block::If {
                 then_body,
                 else_body,
                 ..
             } => {
-                unmark_blocks(then_body);
-                unmark_blocks(else_body);
+                unmark_blocks(then_body, unmarked);
+                unmark_blocks(else_body, unmarked);
             }
             Block::Basic { .. } => {}
         }
@@ -429,14 +791,14 @@ fn unmark_blocks(blocks: &mut [Block]) {
 /// Unmarks instructions (transitively) depending on loop-carried variables:
 /// their lineage differs in every iteration, so caching them only pollutes
 /// the cache (paper §4.4, "Unmarking Intermediates").
-fn unmark_tainted(blocks: &mut [Block], carried: &HashSet<String>) {
+fn unmark_tainted(blocks: &mut [Block], carried: &HashSet<String>, unmarked: &mut u64) {
     let mut tainted: HashSet<String> = carried.clone();
     // Two passes propagate taint through straight-line code and one level of
     // back-edges (the carried set itself covers the loop back-edge).
     for _ in 0..2 {
         taint_pass(blocks, &mut tainted);
     }
-    apply_unmark(blocks, &tainted);
+    apply_unmark(blocks, &tainted, unmarked);
 }
 
 fn taint_pass(blocks: &[Block], tainted: &mut HashSet<String>) {
@@ -466,15 +828,17 @@ fn taint_pass(blocks: &[Block], tainted: &mut HashSet<String>) {
     }
 }
 
-fn apply_unmark(blocks: &mut [Block], tainted: &HashSet<String>) {
+fn apply_unmark(blocks: &mut [Block], tainted: &HashSet<String>, unmarked: &mut u64) {
     for b in blocks {
         match b {
             Block::Basic { instrs, .. } => {
                 for i in instrs {
-                    if i.reads().any(|r| tainted.contains(r))
-                        || i.writes().any(|w| tainted.contains(w))
+                    if !i.no_cache
+                        && (i.reads().any(|r| tainted.contains(r))
+                            || i.writes().any(|w| tainted.contains(w)))
                     {
                         i.no_cache = true;
+                        *unmarked += 1;
                     }
                 }
             }
@@ -483,11 +847,11 @@ fn apply_unmark(blocks: &mut [Block], tainted: &HashSet<String>) {
                 else_body,
                 ..
             } => {
-                apply_unmark(then_body, tainted);
-                apply_unmark(else_body, tainted);
+                apply_unmark(then_body, tainted, unmarked);
+                apply_unmark(else_body, tainted, unmarked);
             }
             Block::For { body, .. } | Block::While { body, .. } | Block::ParFor { body, .. } => {
-                apply_unmark(body, tainted);
+                apply_unmark(body, tainted, unmarked);
             }
         }
     }
@@ -723,7 +1087,7 @@ mod tests {
             Block::basic(vec![]),
             Block::if_else(ExprProg::var("c"), vec![Block::basic(vec![])], vec![]),
         ]);
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         let id0 = p.body[0].id();
         let id1 = p.body[1].id();
         assert_ne!(id0, 0);
@@ -764,7 +1128,7 @@ mod tests {
                 vec![Operand::var("X")],
             )])],
         ));
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         assert!(p.functions["pure"].deterministic);
         assert!(!p.functions["rng"].deterministic);
         assert!(!p.functions["caller"].deterministic);
@@ -782,7 +1146,7 @@ mod tests {
             vec!["Y".into()],
             vec![Block::basic(vec![instr])],
         ));
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         assert!(p.functions["seeded"].deterministic);
     }
 
@@ -803,7 +1167,7 @@ mod tests {
             ExprProg::lit(Operand::i64(1)),
             body,
         )]);
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         match &p.body[0] {
             Block::For { dedup_ok, body, .. } => {
                 assert!(dedup_ok);
@@ -832,7 +1196,7 @@ mod tests {
             ExprProg::lit(Operand::i64(1)),
             vec![inner],
         )]);
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         match &p.body[0] {
             Block::For { dedup_ok, body, .. } => {
                 assert!(!dedup_ok);
@@ -870,7 +1234,7 @@ mod tests {
             ExprProg::lit(Operand::i64(1)),
             body,
         )]);
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         match &p.body[0] {
             Block::For { body, .. } => match &body[0] {
                 Block::Basic { instrs, .. } => {
@@ -897,7 +1261,7 @@ mod tests {
             ExprProg::lit(Operand::i64(1)),
             body,
         )]);
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         match &p.body[0] {
             Block::For { body, .. } => match &body[0] {
                 Block::Basic { instrs, .. } => {
@@ -929,7 +1293,7 @@ mod tests {
             ),
             Instr::new(Op::MatMult, vec![Operand::var("X"), Operand::var("T")], "W"),
         ])]);
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         match &p.body[0] {
             Block::Basic { instrs, .. } => {
                 assert_eq!(instrs.len(), 2);
@@ -954,7 +1318,7 @@ mod tests {
             ),
             Instr::new(Op::MatMult, vec![Operand::var("X"), Operand::var("T")], "W"),
         ])]);
-        compile(&mut p2, &LimaConfig::base());
+        compile(&mut p2, &LimaConfig::base()).expect("compiles");
         match &p2.body[0] {
             Block::Basic { instrs, .. } => assert!(matches!(instrs[0].op, Op::RightIndex)),
             _ => panic!(),
@@ -978,7 +1342,7 @@ mod tests {
             ),
             Instr::new(Op::MatMult, vec![Operand::var("X"), Operand::var("T")], "W"),
         ])]);
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         match &p.body[0] {
             Block::Basic { instrs, .. } => assert!(matches!(instrs[0].op, Op::RightIndex)),
             _ => panic!(),
@@ -999,7 +1363,7 @@ mod tests {
             ExprProg::lit(Operand::i64(1)),
             body,
         )]);
-        compile(&mut p, &LimaConfig::default());
+        compile(&mut p, &LimaConfig::default()).expect("compiles");
         match &p.body[0] {
             Block::For { body, .. } => match &body[0] {
                 Block::Basic { instrs, .. } => assert_eq!(instrs.len(), 3),
@@ -1007,5 +1371,206 @@ mod tests {
             },
             _ => panic!(),
         }
+    }
+
+    // ------------------------------------------------- parfor dependences
+
+    fn left_index(target: &str, value: &str, row: Operand, col: Operand) -> Instr {
+        Instr::new(
+            Op::LeftIndex,
+            vec![Operand::var(target), Operand::var(value), row, col],
+            target,
+        )
+    }
+
+    fn parfor_over(var: &str, from: i64, to: i64, body: Vec<Block>) -> Program {
+        Program::new(vec![Block::parfor(
+            var,
+            ExprProg::lit(Operand::i64(from)),
+            ExprProg::lit(Operand::i64(to)),
+            ExprProg::lit(Operand::i64(1)),
+            body,
+        )])
+    }
+
+    #[test]
+    fn racy_parfor_fails_compilation() {
+        // R[1, 1] = x in every iteration: loop-invariant index.
+        let body = vec![Block::basic(vec![left_index(
+            "R",
+            "x",
+            Operand::i64(1),
+            Operand::i64(1),
+        )])];
+        let mut p = parfor_over("i", 1, 4, body);
+        let err = compile(&mut p, &LimaConfig::default()).unwrap_err();
+        let CompileError::ParforDependence {
+            block_id,
+            violation,
+        } = &err;
+        assert_ne!(*block_id, 0);
+        assert_eq!(
+            violation,
+            &ParforViolation::LoopInvariantIndex { var: "R".into() }
+        );
+        assert!(err.to_string().contains("cannot run in parallel"));
+    }
+
+    #[test]
+    fn disjoint_parfor_writes_compile() {
+        let body = vec![Block::basic(vec![left_index(
+            "R",
+            "x",
+            Operand::var("i"),
+            Operand::i64(1),
+        )])];
+        let mut p = parfor_over("i", 1, 4, body);
+        compile(&mut p, &LimaConfig::default()).expect("disjoint writes accepted");
+    }
+
+    #[test]
+    fn whole_variable_parfor_write_rejected() {
+        // acc = acc + i: reassigned as a whole each iteration.
+        let body = vec![Block::basic(vec![Instr::new(
+            Op::Binary(BinOp::Add),
+            vec![Operand::var("acc"), Operand::var("i")],
+            "acc",
+        )])];
+        let mut p = parfor_over("i", 1, 4, body);
+        let CompileError::ParforDependence { violation, .. } =
+            compile(&mut p, &LimaConfig::default()).unwrap_err();
+        assert_eq!(
+            violation,
+            ParforViolation::WholeVarWrite { var: "acc".into() }
+        );
+    }
+
+    #[test]
+    fn affine_temp_chain_accepted() {
+        // t = 2*i; t = t - 1; B[t, 1] = x — folded through the affine env.
+        let body = vec![Block::basic(vec![
+            Instr::new(
+                Op::Binary(BinOp::Mul),
+                vec![Operand::i64(2), Operand::var("i")],
+                "t",
+            ),
+            Instr::new(
+                Op::Binary(BinOp::Sub),
+                vec![Operand::var("t"), Operand::i64(1)],
+                "t",
+            ),
+            left_index("B", "x", Operand::var("t"), Operand::i64(1)),
+        ])];
+        let mut p = parfor_over("i", 1, 4, body);
+        compile(&mut p, &LimaConfig::default()).expect("affine chain accepted");
+    }
+
+    #[test]
+    fn conditionally_assigned_index_rejected() {
+        // if (c) { t = i } else { t = 1 }; R[t, 1] = x — t has no single
+        // affine value after the conditional.
+        let body = vec![
+            Block::if_else(
+                ExprProg::var("c"),
+                vec![Block::basic(vec![Instr::new(
+                    Op::Assign,
+                    vec![Operand::var("i")],
+                    "t",
+                )])],
+                vec![Block::basic(vec![Instr::new(
+                    Op::Assign,
+                    vec![Operand::i64(1)],
+                    "t",
+                )])],
+            ),
+            Block::basic(vec![left_index(
+                "R",
+                "x",
+                Operand::var("t"),
+                Operand::i64(1),
+            )]),
+        ];
+        let mut p = parfor_over("i", 1, 4, body);
+        let CompileError::ParforDependence { violation, .. } =
+            compile(&mut p, &LimaConfig::default()).unwrap_err();
+        assert_eq!(
+            violation,
+            ParforViolation::NonAffineIndex { var: "R".into() }
+        );
+    }
+
+    #[test]
+    fn nested_loop_result_write_rejected() {
+        // parfor i { for j { R[j, 1] = x } } — unanalyzable in i.
+        let inner = Block::for_loop(
+            "j",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(2)),
+            ExprProg::lit(Operand::i64(1)),
+            vec![Block::basic(vec![left_index(
+                "R",
+                "x",
+                Operand::var("j"),
+                Operand::i64(1),
+            )])],
+        );
+        let mut p = parfor_over("i", 1, 4, vec![inner]);
+        let CompileError::ParforDependence { violation, .. } =
+            compile(&mut p, &LimaConfig::default()).unwrap_err();
+        assert_eq!(
+            violation,
+            ParforViolation::WholeVarWrite { var: "R".into() }
+        );
+    }
+
+    #[test]
+    fn single_trip_parfor_skips_dependence_check() {
+        let body = vec![Block::basic(vec![left_index(
+            "R",
+            "x",
+            Operand::i64(1),
+            Operand::i64(1),
+        )])];
+        let mut p = parfor_over("i", 1, 1, body);
+        compile(&mut p, &LimaConfig::default()).expect("single-trip parfor accepted");
+    }
+
+    #[test]
+    fn compile_report_counts_unmarking_and_ineligible_functions() {
+        let body = vec![Block::basic(vec![
+            Instr::new(
+                Op::Binary(BinOp::Add),
+                vec![Operand::var("X"), Operand::var("X")],
+                "t",
+            ),
+            Instr::new(
+                Op::Binary(BinOp::Mul),
+                vec![Operand::var("t"), Operand::f64(2.0)],
+                "X",
+            ),
+        ])];
+        let mut p = Program::new(vec![Block::for_loop(
+            "i",
+            ExprProg::lit(Operand::i64(1)),
+            ExprProg::lit(Operand::i64(3)),
+            ExprProg::lit(Operand::i64(1)),
+            body,
+        )]);
+        p.add_function(Function::new(
+            "rng",
+            vec![],
+            vec!["Y".into()],
+            vec![Block::basic(vec![rand_sys("Y")])],
+        ));
+        p.add_function(Function::new(
+            "pure",
+            vec!["X".into()],
+            vec!["Y".into()],
+            vec![Block::basic(vec![mm("X", "X", "Y")])],
+        ));
+        let report = compile(&mut p, &LimaConfig::default()).expect("compiles");
+        assert_eq!(report.ops_unmarked, 2);
+        assert_eq!(report.funcs_reuse_ineligible, 1);
+        assert_eq!(p.analysis, report);
     }
 }

@@ -77,6 +77,10 @@ pub struct ExecutionContext {
     pub fingerprint: u64,
     /// Recursion depth guard for function calls.
     pub call_depth: usize,
+    /// Incremental structural verifier asserting lineage DAG invariants
+    /// after every block (debug builds only).
+    #[cfg(debug_assertions)]
+    pub verifier: lima_core::lineage::verify::Verifier,
 }
 
 impl ExecutionContext {
@@ -113,6 +117,8 @@ impl ExecutionContext {
             stdout: Vec::new(),
             fingerprint: 0,
             call_depth: 0,
+            #[cfg(debug_assertions)]
+            verifier: Default::default(),
         }
     }
 
@@ -136,6 +142,8 @@ impl ExecutionContext {
             stdout: Vec::new(),
             fingerprint: self.fingerprint,
             call_depth: self.call_depth,
+            #[cfg(debug_assertions)]
+            verifier: Default::default(),
         }
     }
 

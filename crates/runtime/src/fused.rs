@@ -92,11 +92,15 @@ impl FusedSpec {
             let rhs = arg_item(&step.rhs, &acc)?;
             acc = Some(LineageItem::op(step.op.opcode(), vec![lhs, rhs]));
         }
+        let root = acc.ok_or_else(|| RuntimeError::BadOperands {
+            op: "fused".into(),
+            msg: "empty step chain".into(),
+        })?;
         let patch = DedupPatch::new(
             format!("spoof:{name}"),
             0,
             num_inputs,
-            vec![("out".into(), acc.expect("non-empty chain"))],
+            vec![("out".into(), root)],
         );
         Ok(Arc::new(FusedSpec {
             opcode: format!("{}{name}", lima_core::opcodes::FUSED_PREFIX),

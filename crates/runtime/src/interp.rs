@@ -25,6 +25,11 @@ const MAX_CALL_DEPTH: usize = 64;
 /// Executes a compiled program in the given context.
 pub fn execute_program(program: &Program, ctx: &mut ExecutionContext) -> Result<()> {
     ctx.fingerprint = program.fingerprint;
+    LimaStats::add(&ctx.stats.ops_unmarked, program.analysis.ops_unmarked);
+    LimaStats::add(
+        &ctx.stats.funcs_reuse_ineligible,
+        program.analysis.funcs_reuse_ineligible,
+    );
     execute_blocks(&program.body, program, ctx)
 }
 
@@ -36,8 +41,25 @@ pub fn execute_blocks(
 ) -> Result<()> {
     for block in blocks {
         execute_block(block, program, ctx)?;
+        #[cfg(debug_assertions)]
+        debug_verify_lineage(ctx);
     }
     Ok(())
+}
+
+/// Debug-mode structural verification of the live lineage DAG after every
+/// block. Skipped while a dedup trace or path tracer is active: temporary
+/// lineage maps legitimately hold bare placeholders mid-trace.
+#[cfg(debug_assertions)]
+fn debug_verify_lineage(ctx: &mut ExecutionContext) {
+    if !ctx.tracing() || ctx.dedup_trace.is_some() || ctx.path_tracer.is_some() {
+        return;
+    }
+    for (name, root) in ctx.lineage.bindings() {
+        if let Err(e) = ctx.verifier.verify(root) {
+            panic!("lineage verification failed for variable '{name}': {e}");
+        }
+    }
 }
 
 fn execute_block(block: &Block, program: &Program, ctx: &mut ExecutionContext) -> Result<()> {
@@ -291,7 +313,9 @@ fn run_dedup_iteration(
         ctx.dedup_trace = None;
         let temp = std::mem::replace(&mut ctx.lineage, saved);
         if r.is_ok() {
-            let tracer = ctx.path_tracer.as_ref().expect("tracer set");
+            let tracer = ctx.path_tracer.as_ref().ok_or_else(|| {
+                RuntimeError::TypeError("dedup path tracer missing after trace".into())
+            })?;
             let bits = tracer.path_key();
             if registry.get(bits).is_none() {
                 let roots: Vec<(String, LinRef)> = outputs
@@ -309,7 +333,11 @@ fn run_dedup_iteration(
 
     // Append one dedup item per written output (paper: "a single dedup
     // lineage item ... is added onto the global lineage DAG").
-    let tracer = ctx.path_tracer.take().expect("tracer set");
+    let Some(tracer) = ctx.path_tracer.take() else {
+        return Err(RuntimeError::TypeError(
+            "dedup path tracer missing after iteration".into(),
+        ));
+    };
     let patch = registry.get(tracer.path_key()).ok_or_else(|| {
         RuntimeError::TypeError(format!(
             "dedup patch missing for path {} of {block_key} (branch count mismatch)",
@@ -373,13 +401,20 @@ fn try_block_reuse(
     let Some(cache) = ctx.cache.clone() else {
         return Ok(false);
     };
-    if !cache.full_reuse() || !block_is_deterministic_shallow(body) {
+    // Determinism via the shared classification analysis; the empty class
+    // map is conservative about calls, which block-level reuse excludes
+    // anyway (calls are covered by function-level reuse instead).
+    let no_classes = std::collections::HashMap::new();
+    if !cache.full_reuse()
+        || crate::compiler::blocks_class(body, &no_classes)
+            != lima_core::opcodes::OpClass::Deterministic
+    {
         return Ok(false);
     }
     // Only last-level loop bodies qualify: blocks wrapping function calls or
     // nested loops would bundle large intermediate sets into single cache
     // entries (pollution); calls are covered by function-level reuse instead.
-    if !body_is_last_level_shallow(body) {
+    if !crate::compiler::body_is_last_level(body) {
         return Ok(false);
     }
     let live_in = lva::live_in(body);
@@ -447,68 +482,6 @@ fn try_block_reuse(
         }
         None => Ok(false),
     }
-}
-
-/// Last-level check for block-level reuse: only basic blocks and
-/// conditionals, no function calls.
-fn body_is_last_level_shallow(blocks: &[Block]) -> bool {
-    blocks.iter().all(|b| match b {
-        Block::Basic { instrs, .. } => !instrs.iter().any(|i| matches!(i.op, Op::FCall(_))),
-        Block::If {
-            pred,
-            then_body,
-            else_body,
-            ..
-        } => {
-            !pred.instrs.iter().any(|i| matches!(i.op, Op::FCall(_)))
-                && body_is_last_level_shallow(then_body)
-                && body_is_last_level_shallow(else_body)
-        }
-        _ => false,
-    })
-}
-
-/// Shallow determinism check used for block-level reuse: no random ops with
-/// system seeds, no side effects, no function calls (calls are handled by
-/// function-level reuse instead).
-fn block_is_deterministic_shallow(blocks: &[Block]) -> bool {
-    fn instr_ok(i: &Instr) -> bool {
-        if i.op.has_side_effects() {
-            return false;
-        }
-        if matches!(i.op, Op::FCall(_)) {
-            return false;
-        }
-        if i.op.is_random() {
-            // Only an explicit non-negative literal seed is deterministic.
-            let seed = i.inputs.last();
-            return matches!(seed, Some(Operand::Lit(ScalarValue::I64(s))) if *s >= 0);
-        }
-        true
-    }
-    fn expr_ok(e: &ExprProg) -> bool {
-        e.instrs.iter().all(instr_ok)
-    }
-    blocks.iter().all(|b| match b {
-        Block::Basic { instrs, .. } => instrs.iter().all(instr_ok),
-        Block::If {
-            pred,
-            then_body,
-            else_body,
-            ..
-        } => {
-            expr_ok(pred)
-                && block_is_deterministic_shallow(then_body)
-                && block_is_deterministic_shallow(else_body)
-        }
-        Block::For {
-            from, to, by, body, ..
-        }
-        | Block::ParFor {
-            from, to, by, body, ..
-        } => expr_ok(from) && expr_ok(to) && expr_ok(by) && block_is_deterministic_shallow(body),
-        Block::While { pred, body, .. } => expr_ok(pred) && block_is_deterministic_shallow(body),
-    })
 }
 
 /// Executes one instruction with LIMA pre/post-processing.

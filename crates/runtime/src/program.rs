@@ -229,6 +229,9 @@ pub struct Program {
     /// Script fingerprint making block IDs stable across compilations of the
     /// same source (used in block-level cache keys).
     pub fingerprint: u64,
+    /// Static-analysis counters from the compiler passes, folded into
+    /// `LimaStats` when the program executes.
+    pub analysis: crate::compiler::CompileReport,
 }
 
 impl Program {
@@ -238,6 +241,7 @@ impl Program {
             body,
             functions: HashMap::new(),
             fingerprint: 0,
+            analysis: crate::compiler::CompileReport::default(),
         }
     }
 

@@ -16,7 +16,7 @@ fn run(
     config: LimaConfig,
     data: &[(&str, Value)],
 ) -> Result<ExecutionContext, RuntimeError> {
-    compile(&mut p, &config);
+    compile(&mut p, &config).expect("program compiles");
     let mut ctx = ExecutionContext::new(config);
     for (k, v) in data {
         ctx.data.register(*k, v.clone());
@@ -85,7 +85,7 @@ fn failed_kernel_aborts_reservation_cleanly() {
     };
     let config = LimaConfig::lima();
     let mut p = build();
-    compile(&mut p, &config);
+    compile(&mut p, &config).expect("program compiles");
     let mut ctx = ExecutionContext::new(config.clone());
     ctx.data.register("A", Value::matrix(a.clone()));
     ctx.data.register("b", Value::matrix(b.clone()));

@@ -18,7 +18,7 @@ fn mk_matrix(rows: usize, cols: usize, salt: u64) -> DenseMatrix {
 }
 
 fn run(program: &mut Program, config: LimaConfig, data: &[(&str, Value)]) -> ExecutionContext {
-    compile(program, &config);
+    compile(program, &config).expect("program compiles");
     let mut ctx = ExecutionContext::new(config);
     for (k, v) in data {
         ctx.data.register(*k, v.clone());

@@ -253,7 +253,7 @@ fn fused_operator_traces_match_unfused_reuse() {
             "Y",
         ),
     ])]);
-    lima_runtime::compiler::compile(&mut p1, &LimaConfig::lima());
+    lima_runtime::compiler::compile(&mut p1, &LimaConfig::lima()).expect("compiles");
     let mut ctx1 = ExecutionContext::with_cache(LimaConfig::lima(), Some(Arc::clone(&cache)));
     ctx1.data.register("X", Value::matrix(x.clone()));
     execute_program(&p1, &mut ctx1).unwrap();
@@ -266,7 +266,7 @@ fn fused_operator_traces_match_unfused_reuse() {
             "Y",
         ),
     ])]);
-    lima_runtime::compiler::compile(&mut p2, &LimaConfig::lima());
+    lima_runtime::compiler::compile(&mut p2, &LimaConfig::lima()).expect("compiles");
     let mut ctx2 = ExecutionContext::with_cache(LimaConfig::lima(), Some(Arc::clone(&cache)));
     ctx2.data.register("X", Value::matrix(x));
     execute_program(&p2, &mut ctx2).unwrap();
@@ -292,4 +292,36 @@ fn stdout_is_identical_regardless_of_reuse() {
     let lima = run_script(&script, &LimaConfig::lima(), &inputs).unwrap();
     assert_eq!(base.ctx.stdout, lima.ctx.stdout);
     assert_eq!(base.ctx.stdout.len(), 3);
+}
+
+#[test]
+fn racy_parfor_script_fails_compilation() {
+    // Every iteration writes the same cell: a write-write race the parfor
+    // dependence checker must reject at compile time.
+    let err = compile_script(
+        "R = matrix(0, 4, 1);
+         parfor (i in 1:4) {
+           R[1, 1] = as.matrix(i);
+         }",
+        &LimaConfig::lima(),
+    )
+    .expect_err("racy parfor must be rejected");
+    assert!(
+        err.msg.contains("parfor") && err.msg.contains("cannot run in parallel"),
+        "unexpected error message: {}",
+        err.msg
+    );
+
+    // The disjoint variant of the same script compiles and runs correctly.
+    let ok = lima_algos::runner::run_script(
+        "R = matrix(0, 4, 1);
+         parfor (i in 1:4) {
+           R[i, 1] = as.matrix(2 * i);
+         }
+         s = sum(R);",
+        &LimaConfig::lima(),
+        &[],
+    )
+    .expect("disjoint parfor runs");
+    assert!(ok.value("s").approx_eq(&Value::f64(20.0), 1e-12));
 }

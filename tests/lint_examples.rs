@@ -1,0 +1,86 @@
+//! `lima-lint` zero-false-positive guarantee: lineage logs produced by the
+//! example pipelines — plain, multi-level, and deduplicated traces alike —
+//! must lint clean. Every diagnostic on an organically produced log is a
+//! false positive by definition; this test (and the CI `analysis` job built
+//! on it) keeps the linter honest as both sides evolve.
+
+use lima::prelude::*;
+use lima_analysis::lint_log;
+
+/// Runs a pipeline under `config` and lints the serialized lineage of every
+/// live variable.
+fn lint_pipeline(name: &str, pipeline: &lima_algos::pipelines::Pipeline, config: &LimaConfig) {
+    let result = run_script(&pipeline.script, config, &pipeline.input_refs())
+        .unwrap_or_else(|e| panic!("{name}: pipeline runs: {e:?}"));
+    let mut linted = 0;
+    for (var, root) in result.ctx.lineage.bindings() {
+        let log = serialize_lineage(root);
+        let diags = lint_log(&log);
+        assert!(
+            diags.is_empty(),
+            "{name}: lineage of '{var}' produced false positives: {diags:?}"
+        );
+        linted += 1;
+    }
+    assert!(linted > 0, "{name}: no lineage traced");
+}
+
+#[test]
+fn example_pipelines_lint_clean_under_full_lima() {
+    let config = LimaConfig::lima();
+    for (name, p) in [
+        ("pcalm", pipelines::pcalm(200, 8, &[2, 4], 11)),
+        (
+            "gridsearch-lm",
+            pipelines::hlm(
+                120,
+                6,
+                2,
+                1,
+                &pipelines::hyperparameter_grid(2, 1, 1),
+                true,
+                5,
+            ),
+        ),
+        ("l2svm", pipelines::hl2svm(100, 6, 2, 9)),
+        ("pagerank", pipelines::pagerank_pipeline(40, 6, 7)),
+    ] {
+        lint_pipeline(name, &p, &config);
+    }
+}
+
+#[test]
+fn example_pipelines_lint_clean_under_dedup() {
+    // Dedup traces exercise the patch-dictionary half of the log format.
+    let config = LimaConfig::tracing_dedup();
+    for (name, p) in [
+        ("pagerank", pipelines::pagerank_pipeline(40, 8, 7)),
+        ("pcalm", pipelines::pcalm(200, 8, &[2, 4], 11)),
+    ] {
+        lint_pipeline(name, &p, &config);
+    }
+}
+
+#[test]
+fn example_pipelines_lint_clean_with_ops_only_reuse() {
+    let config = LimaConfig {
+        multilevel: false,
+        ..LimaConfig::lima()
+    };
+    let p = pipelines::pcalm(200, 8, &[2, 4], 11);
+    lint_pipeline("pcalm-ops-only", &p, &config);
+}
+
+/// Round-trip through the actual CLI input format: serialized logs must
+/// deserialize back to DAGs the verifier accepts.
+#[test]
+fn serialized_logs_round_trip_and_lint_clean() {
+    let p = pipelines::pagerank_pipeline(30, 5, 3);
+    let result = run_script(&p.script, &LimaConfig::tracing_dedup(), &p.input_refs())
+        .expect("pagerank runs");
+    let root = result.ctx.lineage.get("p").expect("traced").clone();
+    let log = serialize_lineage(&root);
+    let back = deserialize_lineage(&log).expect("round-trips");
+    assert!(lima_core::lineage::item::lineage_eq(&root, &back));
+    assert!(lint_log(&serialize_lineage(&back)).is_empty());
+}
