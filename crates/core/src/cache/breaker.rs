@@ -1,0 +1,181 @@
+//! Half-open circuit breaker for spill and persist I/O.
+//!
+//! PR-1's breakers latched open forever after `spill_failure_limit`
+//! consecutive failures, permanently degrading eviction to delete-only even
+//! when the underlying disk recovered. This breaker adds the classic third
+//! state: after a cooldown window, one *probe* attempt is allowed through —
+//! success closes the breaker again, failure re-opens it for a fresh window.
+//!
+//! `limit == 0` disables the breaker entirely (every attempt allowed);
+//! `cooldown_ms == 0` restores the old latch-open-forever behaviour.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Verdict for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attempt {
+    /// Breaker closed: proceed normally.
+    Allowed,
+    /// Breaker half-open: this is the single probe for the current cooldown
+    /// window — the caller must report the outcome via `record_*`.
+    Probe,
+    /// Breaker open: skip the operation.
+    Rejected,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// Consecutive-failure breaker with half-open probing; see module docs.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    limit: u32,
+    cooldown: Duration,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker opening after `limit` consecutive failures and
+    /// probing once per `cooldown_ms` window.
+    pub fn new(limit: u32, cooldown_ms: u64) -> Self {
+        CircuitBreaker {
+            limit,
+            cooldown: Duration::from_millis(cooldown_ms),
+            state: Mutex::new(State::Closed { failures: 0 }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // The breaker holds no invariants a panicked holder could break:
+        // recover the poisoned guard rather than propagate.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Gate one attempt. `Probe` grants exactly one in-flight attempt per
+    /// cooldown window; concurrent callers see `Rejected` until the probe
+    /// outcome is recorded.
+    pub fn allow(&self) -> Attempt {
+        if self.limit == 0 {
+            return Attempt::Allowed;
+        }
+        let mut st = self.lock();
+        match *st {
+            State::Closed { .. } => Attempt::Allowed,
+            State::Open { since }
+                if !self.cooldown.is_zero() && since.elapsed() >= self.cooldown =>
+            {
+                *st = State::HalfOpen;
+                Attempt::Probe
+            }
+            State::Open { .. } | State::HalfOpen => Attempt::Rejected,
+        }
+    }
+
+    /// Reports success: closes the breaker and resets the failure count.
+    pub fn record_success(&self) {
+        if self.limit == 0 {
+            return;
+        }
+        *self.lock() = State::Closed { failures: 0 };
+    }
+
+    /// Reports a failure: increments toward the limit, or re-opens a fresh
+    /// cooldown window after a failed probe.
+    pub fn record_failure(&self) {
+        if self.limit == 0 {
+            return;
+        }
+        let mut st = self.lock();
+        *st = match *st {
+            State::Closed { failures } if failures + 1 >= self.limit => State::Open {
+                since: Instant::now(),
+            },
+            State::Closed { failures } => State::Closed {
+                failures: failures + 1,
+            },
+            State::Open { .. } | State::HalfOpen => State::Open {
+                since: Instant::now(),
+            },
+        };
+    }
+
+    /// True while the breaker is open or probing (i.e. not fully closed).
+    pub fn is_open(&self) -> bool {
+        if self.limit == 0 {
+            return false;
+        }
+        !matches!(*self.lock(), State::Closed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_consecutive_failures_and_success_resets() {
+        let b = CircuitBreaker::new(3, 60_000);
+        assert_eq!(b.allow(), Attempt::Allowed);
+        b.record_failure();
+        b.record_failure();
+        b.record_success(); // streak broken
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.allow(), Attempt::Allowed);
+        b.record_failure(); // third consecutive → open
+        assert_eq!(b.allow(), Attempt::Rejected);
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn half_open_grants_single_probe_after_cooldown() {
+        let b = CircuitBreaker::new(1, 10);
+        b.record_failure();
+        assert_eq!(b.allow(), Attempt::Rejected);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.allow(), Attempt::Probe);
+        // Concurrent attempts during the probe are rejected.
+        assert_eq!(b.allow(), Attempt::Rejected);
+        b.record_success();
+        assert_eq!(b.allow(), Attempt::Allowed);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_window() {
+        let b = CircuitBreaker::new(1, 10);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.allow(), Attempt::Probe);
+        b.record_failure();
+        assert_eq!(b.allow(), Attempt::Rejected);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(b.allow(), Attempt::Probe);
+    }
+
+    #[test]
+    fn zero_limit_disables_breaker() {
+        let b = CircuitBreaker::new(0, 10);
+        for _ in 0..10 {
+            b.record_failure();
+        }
+        assert_eq!(b.allow(), Attempt::Allowed);
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn zero_cooldown_latches_open_forever() {
+        let b = CircuitBreaker::new(1, 0);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(b.allow(), Attempt::Rejected);
+    }
+}

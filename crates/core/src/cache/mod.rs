@@ -3,6 +3,7 @@
 //! level entries, cost-based eviction, disk spilling, and partial-reuse
 //! rewrites.
 
+pub mod breaker;
 pub mod costs;
 pub mod entry;
 pub mod eviction;
@@ -11,8 +12,12 @@ pub mod rewrites;
 pub mod spill;
 
 use crate::config::{LimaConfig, ReuseMode};
+use crate::governor::ResourceGovernor;
+use crate::interrupt::{Interrupt, InterruptKind};
 use crate::lineage::item::{LinKey, LinRef};
+use crate::retry::RetryPolicy;
 use crate::stats::LimaStats;
+use breaker::{Attempt, CircuitBreaker};
 use costs::IoCostModel;
 use entry::{CacheEntry, EntryState};
 use lima_matrix::Value;
@@ -21,9 +26,14 @@ use persist::PersistentCacheStore;
 use spill::SpillStore;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Wait-slice granularity while blocked on a placeholder with an interrupt
+/// armed: cancellation/deadline is noticed within this bound even when no
+/// notify arrives.
+const INTERRUPT_WAIT_SLICE: Duration = Duration::from_millis(25);
 
 /// Outcome of a full-reuse probe.
 pub enum Probe {
@@ -68,6 +78,9 @@ impl Drop for Reservation {
 struct CacheState {
     map: HashMap<LinKey, CacheEntry>,
     resident_bytes: usize,
+    /// Bytes currently held in spill files (accounted by the governor as the
+    /// spill-buffer category).
+    spilled_bytes: usize,
 }
 
 /// The LIMA lineage cache. Cheap to share (`Arc`); all methods are
@@ -101,15 +114,20 @@ pub struct LineageCache {
     state: Mutex<CacheState>,
     cond: Condvar,
     clock: AtomicU64,
-    /// Consecutive spill-write failures; at `config.spill_failure_limit` the
-    /// circuit breaker opens and evictions stop attempting to spill.
-    spill_breaker: AtomicU32,
+    /// Half-open circuit breaker over spill writes: opens after
+    /// `config.spill_failure_limit` consecutive failures, probes once per
+    /// `config.breaker_cooldown_ms` window.
+    spill_breaker: CircuitBreaker,
     /// Crash-safe durable store; present when `config.persist_enabled` and
     /// the persist directory was usable.
     persist_store: Option<PersistentCacheStore>,
-    /// Consecutive persistent-write failures; shares
-    /// `config.spill_failure_limit` as its circuit-breaker threshold.
-    persist_breaker: AtomicU32,
+    /// Half-open breaker over durable writes; shares the spill limit and
+    /// cooldown.
+    persist_breaker: CircuitBreaker,
+    /// Memory-pressure governor; present when `config.governor_budget_bytes`
+    /// is non-zero. Gates admissions, rewrites, and spilling by pressure
+    /// level and is kept in sync with resident/spilled byte counts.
+    governor: Option<Arc<ResourceGovernor>>,
 }
 
 impl std::fmt::Debug for LineageCache {
@@ -146,20 +164,31 @@ impl LineageCache {
             }
             _ => None,
         };
+        let stats = Arc::new(LimaStats::new());
+        let governor = (config.governor_budget_bytes > 0).then(|| {
+            ResourceGovernor::new(
+                config.governor_budget_bytes,
+                Arc::clone(&stats),
+                config.faults.clone(),
+            )
+        });
+        let (limit, cooldown) = (config.spill_failure_limit, config.breaker_cooldown_ms);
         let mut cache = LineageCache {
             config,
-            stats: Arc::new(LimaStats::new()),
+            stats,
             io: IoCostModel::new(),
             spill_store,
             state: Mutex::new(CacheState {
                 map: HashMap::new(),
                 resident_bytes: 0,
+                spilled_bytes: 0,
             }),
             cond: Condvar::new(),
             clock: AtomicU64::new(1),
-            spill_breaker: AtomicU32::new(0),
+            spill_breaker: CircuitBreaker::new(limit, cooldown),
             persist_store: None,
-            persist_breaker: AtomicU32::new(0),
+            persist_breaker: CircuitBreaker::new(limit, cooldown),
+            governor,
         };
         if let Some((store, report)) = persist_store {
             LimaStats::add(&cache.stats.persist_recovered, report.recovered);
@@ -208,6 +237,36 @@ impl LineageCache {
         Arc::clone(&self.stats)
     }
 
+    /// The memory-pressure governor, when `config.governor_budget_bytes > 0`.
+    pub fn governor(&self) -> Option<Arc<ResourceGovernor>> {
+        self.governor.as_ref().map(Arc::clone)
+    }
+
+    /// Effective cache budget: the configured budget, shrunk by the governor
+    /// under pressure (L1+ halves it).
+    fn effective_budget(&self) -> usize {
+        match &self.governor {
+            Some(g) => g.effective_cache_budget(self.config.budget_bytes),
+            None => self.config.budget_bytes,
+        }
+    }
+
+    /// True while the governor (if any) still admits new cache entries.
+    fn admissions_open(&self) -> bool {
+        match &self.governor {
+            Some(g) => g.admissions_enabled(),
+            None => true,
+        }
+    }
+
+    /// Pushes current byte accounting into the governor (no-op without one).
+    fn sync_governor(&self, st: &CacheState) {
+        if let Some(g) = &self.governor {
+            g.set_cache_bytes(st.resident_bytes);
+            g.set_spill_bytes(st.spilled_bytes);
+        }
+    }
+
     /// Number of entries currently holding a resident or spilled value.
     pub fn live_entries(&self) -> usize {
         let st = self.state.lock();
@@ -245,8 +304,23 @@ impl LineageCache {
     /// finishes within `config.placeholder_timeout_ms` is taken over by the
     /// waiting probe instead of blocking forever.
     pub fn acquire(self: &Arc<Self>, item: &LinRef) -> Option<Probe> {
+        // Without an interrupt the Err branch is unreachable; flatten it.
+        self.acquire_interruptible(item, None).unwrap_or(None)
+    }
+
+    /// [`Self::acquire`] with a session interrupt: a probe blocked on another
+    /// session's placeholder re-checks cancellation/deadline every
+    /// [`INTERRUPT_WAIT_SLICE`] and returns `Err` instead of waiting out
+    /// `placeholder_timeout_ms`. Under governor pressure level L3+
+    /// (no-admission), misses return `Ok(None)` instead of reserving a
+    /// placeholder, so the caller computes without touching the cache.
+    pub fn acquire_interruptible(
+        self: &Arc<Self>,
+        item: &LinRef,
+        interrupt: Option<&Interrupt>,
+    ) -> Result<Option<Probe>, InterruptKind> {
         if !self.reusable(item) {
-            return None;
+            return Ok(None);
         }
         LimaStats::bump(&self.stats.probes);
         let key = LinKey(item.clone());
@@ -254,18 +328,25 @@ impl LineageCache {
         // Total placeholder-wait bound for this probe: armed on the first
         // Computing encounter and not reset by wake-ups for other entries.
         let mut wait_deadline: Option<Instant> = None;
+        // `placeholder_waits` counts probes that blocked, not wait slices.
+        let mut counted_wait = false;
+        let interrupt = interrupt.filter(|i| i.is_armed());
         let mut st = self.state.lock();
         loop {
             let now = self.tick();
             let Some(e) = st.map.get_mut(&key) else {
+                if !self.admissions_open() {
+                    LimaStats::bump(&self.stats.governor_admission_rejects);
+                    return Ok(None);
+                }
                 st.map
                     .insert(key.clone(), CacheEntry::computing(height, now));
                 drop(st);
-                return Some(Probe::Reserved(Reservation {
+                return Ok(Some(Probe::Reserved(Reservation {
                     cache: Arc::clone(self),
                     key,
                     done: false,
-                }));
+                })));
             };
             match &e.state {
                 EntryState::Cached(v) => {
@@ -279,7 +360,7 @@ impl LineageCache {
                         LimaStats::bump(&self.stats.persist_hits);
                     }
                     self.count_hit(item, compute_ns);
-                    return Some(Probe::Hit(value));
+                    return Ok(Some(Probe::Hit(value)));
                 }
                 EntryState::Spilled { path, bytes } => {
                     // Restore under a placeholder so concurrent probes wait
@@ -289,6 +370,9 @@ impl LineageCache {
                     drop(st);
                     let restored = self.timed_restore(&path, bytes);
                     st = self.state.lock();
+                    // Either way the spill file is gone (restore deletes it
+                    // on success; a failed file is abandoned).
+                    st.spilled_bytes = st.spilled_bytes.saturating_sub(bytes);
                     match restored {
                         Ok(value) => {
                             LimaStats::bump(&self.stats.restores);
@@ -308,7 +392,7 @@ impl LineageCache {
                                     LimaStats::bump(&self.stats.persist_hits);
                                 }
                                 self.count_hit(item, compute_ns);
-                                return Some(Probe::Hit(value));
+                                return Ok(Some(Probe::Hit(value)));
                             }
                             // Entry vanished (should not happen); treat as miss.
                             continue;
@@ -321,24 +405,49 @@ impl LineageCache {
                                 e.state = EntryState::Evicted;
                                 e.misses += 1;
                             }
+                            self.sync_governor(&st);
                             self.cond.notify_all();
                             continue;
                         }
                     }
                 }
                 EntryState::Computing => {
-                    LimaStats::bump(&self.stats.placeholder_waits);
-                    let timeout_ms = self.config.placeholder_timeout_ms;
-                    if timeout_ms == 0 {
-                        self.cond.wait(&mut st);
-                        continue;
+                    if !counted_wait {
+                        LimaStats::bump(&self.stats.placeholder_waits);
+                        counted_wait = true;
                     }
-                    let deadline = *wait_deadline
-                        .get_or_insert_with(|| Instant::now() + Duration::from_millis(timeout_ms));
-                    let remaining = deadline.saturating_duration_since(Instant::now());
-                    let timed_out =
-                        remaining.is_zero() || self.cond.wait_for(&mut st, remaining).timed_out();
-                    if timed_out {
+                    if let Some(intr) = interrupt {
+                        intr.check()?;
+                    }
+                    let timeout_ms = self.config.placeholder_timeout_ms;
+                    let deadline = if timeout_ms == 0 {
+                        None
+                    } else {
+                        Some(*wait_deadline.get_or_insert_with(|| {
+                            Instant::now() + Duration::from_millis(timeout_ms)
+                        }))
+                    };
+                    let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+                    // With an interrupt armed, wait in short slices so a
+                    // cancelled/expired session stops blocking promptly even
+                    // when no notify ever arrives for this placeholder.
+                    let slice = match (interrupt.is_some(), remaining) {
+                        (true, Some(r)) => Some(r.min(INTERRUPT_WAIT_SLICE)),
+                        (true, None) => Some(INTERRUPT_WAIT_SLICE),
+                        (false, r) => r,
+                    };
+                    match slice {
+                        None => {
+                            self.cond.wait(&mut st);
+                        }
+                        Some(d) => {
+                            let _ = self.cond.wait_for(&mut st, d);
+                        }
+                    }
+                    if let Some(intr) = interrupt {
+                        intr.check()?;
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
                         // Re-check under the lock: the fulfiller may have won
                         // the race against the timeout.
                         if let Some(e) = st.map.get_mut(&key) {
@@ -351,11 +460,11 @@ impl LineageCache {
                                 e.misses += 1;
                                 e.last_access = self.tick();
                                 drop(st);
-                                return Some(Probe::Reserved(Reservation {
+                                return Ok(Some(Probe::Reserved(Reservation {
                                     cache: Arc::clone(self),
                                     key,
                                     done: false,
-                                }));
+                                })));
                             }
                         }
                         // The entry moved on; re-arm the deadline in case a
@@ -368,13 +477,17 @@ impl LineageCache {
                     // Evicted shell: misses raise the entry's future score.
                     e.misses += 1;
                     e.last_access = now;
+                    if !self.admissions_open() {
+                        LimaStats::bump(&self.stats.governor_admission_rejects);
+                        return Ok(None);
+                    }
                     e.state = EntryState::Computing;
                     drop(st);
-                    return Some(Probe::Reserved(Reservation {
+                    return Ok(Some(Probe::Reserved(Reservation {
                         cache: Arc::clone(self),
                         key,
                         done: false,
-                    }));
+                    })));
                 }
             }
         }
@@ -403,9 +516,20 @@ impl LineageCache {
         matches!(self.config.reuse, ReuseMode::Full | ReuseMode::Hybrid)
     }
 
-    /// Whether partial-reuse rewrites are active.
+    /// Whether partial-reuse rewrites are active. Paused by the governor at
+    /// pressure level L2+ (rewrites speculatively materialize new values).
     pub fn partial_reuse(&self) -> bool {
         matches!(self.config.reuse, ReuseMode::Partial | ReuseMode::Hybrid)
+            && self.rewrites_enabled()
+    }
+
+    /// Whether multilevel (function/block) caching and partial-reuse
+    /// rewrites are allowed under current memory pressure (false at L2+).
+    pub fn rewrites_enabled(&self) -> bool {
+        match &self.governor {
+            Some(g) => g.rewrites_enabled(),
+            None => true,
+        }
     }
 
     /// Non-blocking lookup used by partial-reuse rewrites to fetch component
@@ -432,6 +556,7 @@ impl LineageCache {
                 drop(st);
                 let restored = self.timed_restore(&path, bytes);
                 let mut st = self.state.lock();
+                st.spilled_bytes = st.spilled_bytes.saturating_sub(bytes);
                 let e = st.map.get_mut(&key)?;
                 match restored {
                     Ok(value) => {
@@ -453,6 +578,7 @@ impl LineageCache {
                         LimaStats::bump(&self.stats.restore_failures);
                         e.state = EntryState::Evicted;
                         e.misses += 1;
+                        self.sync_governor(&st);
                         drop(st);
                         self.cond.notify_all();
                         None
@@ -487,15 +613,16 @@ impl LineageCache {
 
     fn fulfill(&self, key: &LinKey, value: &Value, compute_ns: u64) {
         let size = value.size_in_bytes();
-        let cacheable_size =
-            size <= self.config.budget_bytes && size >= self.config.min_entry_bytes;
+        let admit = size <= self.effective_budget()
+            && size >= self.config.min_entry_bytes
+            && self.governor_admits(size);
         let mut st = self.state.lock();
         let now = self.tick();
         let mut persistable = false;
         if let Some(e) = st.map.get_mut(key) {
             e.compute_ns = e.compute_ns.max(compute_ns);
             e.last_access = now;
-            if cacheable_size {
+            if admit {
                 e.state = EntryState::Cached(value.clone());
                 e.size = size;
                 e.group = value_group(value);
@@ -509,11 +636,24 @@ impl LineageCache {
                 LimaStats::bump(&self.stats.rejected_puts);
             }
         }
+        self.sync_governor(&st);
         drop(st);
         self.cond.notify_all();
         if persistable {
             self.persist_entry(key, value, compute_ns);
         }
+    }
+
+    /// Asks the governor (if any) to account a new entry of `bytes`: false
+    /// when admissions are paused (L3+) or the allocation attempt failed
+    /// (injected `AllocFail` / synthetic pressure).
+    fn governor_admits(&self, bytes: usize) -> bool {
+        let Some(g) = &self.governor else { return true };
+        if !g.admissions_enabled() {
+            LimaStats::bump(&self.stats.governor_admission_rejects);
+            return false;
+        }
+        g.try_alloc(bytes)
     }
 
     /// Durably writes a freshly fulfilled entry to the persistent store (when
@@ -525,7 +665,7 @@ impl LineageCache {
         let Some(store) = &self.persist_store else {
             return;
         };
-        if self.persist_disabled() || store.crashed() {
+        if store.crashed() {
             return;
         }
         // Multi-level entries alias values cached at operation level and
@@ -535,9 +675,29 @@ impl LineageCache {
         if op.starts_with(FCALL) || op.starts_with(BCALL) {
             return;
         }
-        match store.persist(&key.0, value, compute_ns) {
+        match self.persist_breaker.allow() {
+            Attempt::Rejected => return,
+            Attempt::Probe => LimaStats::bump(&self.stats.breaker_probes),
+            Attempt::Allowed => {}
+        }
+        // Transient I/O errors get bounded jittered-backoff retries before
+        // they count against the breaker; injected crash points latch
+        // `crashed()` and are never retried.
+        let policy = RetryPolicy::new(
+            self.config.persist_retry_attempts,
+            self.config.persist_retry_base_ms,
+            self.tick(),
+        );
+        let (result, retries) = policy.run(
+            |_| !store.crashed(),
+            || store.persist(&key.0, value, compute_ns),
+        );
+        if retries > 0 {
+            LimaStats::add(&self.stats.persist_retries, u64::from(retries));
+        }
+        match result {
             Ok(Some(outcome)) => {
-                self.persist_breaker.store(0, Ordering::Relaxed);
+                self.persist_breaker.record_success();
                 LimaStats::bump(&self.stats.persist_writes);
                 LimaStats::add(&self.stats.persist_bytes, outcome.bytes);
                 LimaStats::add(&self.stats.persist_tombstones, outcome.evicted);
@@ -549,18 +709,17 @@ impl LineageCache {
             Ok(None) => {} // value kind not persisted (lists)
             Err(_) => {
                 LimaStats::bump(&self.stats.persist_failures);
-                self.persist_breaker.fetch_add(1, Ordering::Relaxed);
+                self.persist_breaker.record_failure();
             }
         }
     }
 
-    /// True once the persistence circuit breaker has opened: after
-    /// `config.spill_failure_limit` consecutive durable-write failures the
-    /// cache stops attempting to persist (entries stay memory-only). 0
-    /// disables the breaker.
+    /// True while the persistence circuit breaker is open (or probing):
+    /// after `config.spill_failure_limit` consecutive durable-write failures
+    /// the cache stops attempting to persist until a half-open probe
+    /// succeeds. 0 disables the breaker.
     pub fn persist_disabled(&self) -> bool {
-        let limit = self.config.spill_failure_limit;
-        limit != 0 && self.persist_breaker.load(Ordering::Relaxed) >= limit
+        self.persist_breaker.is_open()
     }
 
     fn abort(&self, key: &LinKey) {
@@ -583,11 +742,12 @@ impl LineageCache {
     /// mini-batch probe configuration) from degrading into an O(n²) scan per
     /// inserted entry, while preserving the per-policy eviction *order*.
     fn enforce_budget(&self, st: &mut CacheState) {
-        if st.resident_bytes <= self.config.budget_bytes {
+        let budget = self.effective_budget();
+        if st.resident_bytes <= budget {
+            self.sync_governor(st);
             return;
         }
-        let watermark = (self.config.budget_bytes as f64
-            * self.config.eviction_watermark.clamp(0.0, 1.0)) as usize;
+        let watermark = (budget as f64 * self.config.eviction_watermark.clamp(0.0, 1.0)) as usize;
         let norms =
             eviction::Norms::collect(st.map.values().filter(|e| e.is_resident() && e.size > 0));
         let mut scored: Vec<(LinKey, f64, u64)> = st
@@ -640,28 +800,41 @@ impl LineageCache {
             };
             e.size = 0;
             st.resident_bytes = st.resident_bytes.saturating_sub(size);
-            if !shared && !self.spill_disabled() {
+            // At governor level L3+ eviction degrades to delete-only: spill
+            // files are themselves governed memory/disk pressure.
+            if !shared && self.admissions_open() {
                 if let Some(store) = &self.spill_store {
                     if self.io.worth_spilling(size, compute_ns) {
-                        let t0 = Instant::now();
-                        match store.spill(&value) {
-                            Ok(Some((path, bytes))) => {
-                                self.spill_breaker.store(0, Ordering::Relaxed);
-                                self.io.observe_write(bytes, t0.elapsed().as_nanos() as u64);
-                                LimaStats::bump(&self.stats.spills);
-                                LimaStats::add(&self.stats.spill_bytes, bytes as u64);
-                                if let Some(e) = st.map.get_mut(&vkey) {
-                                    e.state = EntryState::Spilled { path, bytes };
+                        match self.spill_breaker.allow() {
+                            Attempt::Rejected => {}
+                            verdict => {
+                                if verdict == Attempt::Probe {
+                                    LimaStats::bump(&self.stats.breaker_probes);
                                 }
-                                continue;
-                            }
-                            // Non-matrix values are simply not spillable.
-                            Ok(None) => {}
-                            // Write failure: fall back to delete-eviction and
-                            // feed the circuit breaker.
-                            Err(_) => {
-                                LimaStats::bump(&self.stats.spill_failures);
-                                self.spill_breaker.fetch_add(1, Ordering::Relaxed);
+                                let t0 = Instant::now();
+                                match store.spill(&value) {
+                                    Ok(Some((path, bytes))) => {
+                                        self.spill_breaker.record_success();
+                                        self.io
+                                            .observe_write(bytes, t0.elapsed().as_nanos() as u64);
+                                        LimaStats::bump(&self.stats.spills);
+                                        LimaStats::add(&self.stats.spill_bytes, bytes as u64);
+                                        st.spilled_bytes += bytes;
+                                        if let Some(e) = st.map.get_mut(&vkey) {
+                                            e.state = EntryState::Spilled { path, bytes };
+                                        }
+                                        continue;
+                                    }
+                                    // Non-matrix values are simply not
+                                    // spillable; no breaker feedback.
+                                    Ok(None) => {}
+                                    // Write failure: fall back to delete-
+                                    // eviction and feed the circuit breaker.
+                                    Err(_) => {
+                                        LimaStats::bump(&self.stats.spill_failures);
+                                        self.spill_breaker.record_failure();
+                                    }
+                                }
                             }
                         }
                     }
@@ -670,6 +843,7 @@ impl LineageCache {
             LimaStats::bump(&self.stats.evictions);
         }
         self.prune_shells(st);
+        self.sync_governor(st);
     }
 
     /// Bounds bookkeeping growth: evicted shells retain reuse statistics
@@ -699,12 +873,12 @@ impl LineageCache {
         }
     }
 
-    /// True once the spill circuit breaker has opened: after
+    /// True while the spill circuit breaker is open (or probing): after
     /// `config.spill_failure_limit` consecutive write failures, evictions
-    /// stop attempting to spill (0 disables the breaker).
+    /// stop attempting to spill until a half-open probe succeeds (0 disables
+    /// the breaker; `config.breaker_cooldown_ms == 0` latches open forever).
     pub fn spill_disabled(&self) -> bool {
-        let limit = self.config.spill_failure_limit;
-        limit != 0 && self.spill_breaker.load(Ordering::Relaxed) >= limit
+        self.spill_breaker.is_open()
     }
 
     /// Drops every entry (tests and phase boundaries in benchmarks). With
@@ -730,6 +904,8 @@ impl LineageCache {
         }
         st.map.clear();
         st.resident_bytes = 0;
+        st.spilled_bytes = 0;
+        self.sync_governor(&st);
         drop(st);
         self.cond.notify_all();
     }
@@ -1210,5 +1386,137 @@ mod tests {
         let cache = LineageCache::new(LimaConfig::lima().with_persistence(&dir));
         assert_eq!(LimaStats::get(&cache.stats().persist_recovered), 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn governor_pressure_walks_ladder_and_gates_cache_admissions() {
+        use crate::governor::PressureLevel;
+        // Governor budget far below the cache budget: resident bytes alone
+        // drive the ladder (mat(100) ≈ 80 kB).
+        let cache = LineageCache::new(cfg(1 << 20).with_governor(100_000));
+        let g = cache.governor().unwrap();
+        assert_eq!(g.level(), PressureLevel::Normal);
+        assert!(cache.partial_reuse() && cache.rewrites_enabled());
+
+        match cache.acquire(&mk_item("ba+*", "A")).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 1_000),
+            _ => panic!(),
+        }
+        // 80 kB / 100 kB = 0.80 → L2: rewrites paused, admissions still open.
+        assert_eq!(g.level(), PressureLevel::NoRewrites);
+        assert!(!cache.partial_reuse());
+        assert!(!cache.rewrites_enabled());
+
+        match cache.acquire(&mk_item("ba+*", "B")).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(50), 1_000),
+            _ => panic!(),
+        }
+        // 100 kB / 100 kB → L4; misses no longer create placeholders.
+        assert_eq!(g.level(), PressureLevel::RejectSessions);
+        assert!(cache.acquire(&mk_item("ba+*", "C")).is_none());
+        assert!(LimaStats::get(&cache.stats().governor_admission_rejects) >= 1);
+        // Existing entries still serve hits at L3+.
+        assert!(matches!(
+            cache.acquire(&mk_item("ba+*", "A")).unwrap(),
+            Probe::Hit(_)
+        ));
+        // Pressure release re-arms every level and counts the recoveries.
+        cache.clear();
+        assert_eq!(g.level(), PressureLevel::Normal);
+        assert_eq!(LimaStats::get(&cache.stats().governor_degrades), 4);
+        assert_eq!(LimaStats::get(&cache.stats().governor_recovers), 4);
+        assert!(matches!(
+            cache.acquire(&mk_item("ba+*", "C")).unwrap(),
+            Probe::Reserved(_)
+        ));
+    }
+
+    #[test]
+    fn interrupted_waiter_unblocks_long_before_placeholder_timeout() {
+        use crate::interrupt::{CancelToken, Interrupt, InterruptKind};
+        let config = LimaConfig {
+            placeholder_timeout_ms: 60_000,
+            ..cfg(1 << 20)
+        };
+        let cache = LineageCache::new(config);
+        let item = mk_item("ba+*", "X");
+        let r = match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        let token = CancelToken::new();
+        let intr = Interrupt {
+            token: Some(Arc::clone(&token)),
+            deadline: None,
+        };
+        let c = Arc::clone(&cache);
+        let it = mk_item("ba+*", "X");
+        let t0 = Instant::now();
+        let waiter = std::thread::spawn(move || c.acquire_interruptible(&it, Some(&intr)).err());
+        std::thread::sleep(Duration::from_millis(50));
+        token.cancel();
+        assert_eq!(waiter.join().unwrap(), Some(InterruptKind::Cancelled));
+        // Recovered in ~one wait slice, not the 60 s placeholder timeout.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        // The placeholder is still owned by `r`; fulfilling works normally.
+        r.fulfill(&mat(3), 10);
+        assert!(matches!(cache.acquire(&item).unwrap(), Probe::Hit(_)));
+    }
+
+    #[test]
+    fn expired_deadline_fails_probe_instead_of_blocking() {
+        use crate::interrupt::{Interrupt, InterruptKind};
+        let cache = LineageCache::new(cfg(1 << 20));
+        let item = mk_item("ba+*", "X");
+        let _r = match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        let intr = Interrupt {
+            token: None,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+        };
+        assert_eq!(
+            cache.acquire_interruptible(&item, Some(&intr)).err(),
+            Some(InterruptKind::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn spill_breaker_half_opens_and_recovers_after_cooldown() {
+        use crate::faults::{FaultInjector, FaultSite};
+        // Only the very first spill write fails; breaker limit 1 opens it.
+        let inj = Arc::new(FaultInjector::new(0).fail_at(FaultSite::SpillWrite, &[0]));
+        let config = LimaConfig {
+            budget_bytes: 100_000,
+            spill: true,
+            spill_failure_limit: 1,
+            breaker_cooldown_ms: 50,
+            // Strict eviction: exactly one entry overflows per fill, so the
+            // second overflow is the post-cooldown probe.
+            eviction_watermark: 1.0,
+            faults: Some(Arc::clone(&inj)),
+            ..LimaConfig::default()
+        };
+        let cache = LineageCache::new(config);
+        let fill = |tag: &str, ns: u64| {
+            let item = mk_item("ba+*", tag);
+            match cache.acquire(&item).unwrap() {
+                Probe::Reserved(r) => r.fulfill(&mat(100), ns),
+                _ => panic!("fresh key"),
+            }
+        };
+        fill("a", 60_000_000_000);
+        fill("b", 120_000_000_000); // evicts "a" → injected failure → open
+        assert!(cache.spill_disabled());
+        assert_eq!(LimaStats::get(&cache.stats().spill_failures), 1);
+        // After the cooldown the next eviction is allowed through as a probe
+        // and succeeds, closing the breaker again.
+        std::thread::sleep(Duration::from_millis(60));
+        fill("c", 240_000_000_000);
+        assert!(!cache.spill_disabled());
+        assert!(LimaStats::get(&cache.stats().breaker_probes) >= 1);
+        assert!(LimaStats::get(&cache.stats().spills) >= 1);
+        assert!(inj.occurrences(FaultSite::SpillWrite) >= 2);
     }
 }

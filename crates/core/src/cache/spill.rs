@@ -71,6 +71,13 @@ impl SpillStore {
             _ => return Ok(None),
         };
         if let Some(f) = &self.faults {
+            if f.should_fail(FaultSite::SlowSpill) {
+                // Latency (not failure) injection: a degraded disk that still
+                // completes writes, exercising deadline checks around I/O.
+                std::thread::sleep(std::time::Duration::from_millis(
+                    crate::faults::SLOW_SPILL_DELAY_MS,
+                ));
+            }
             if f.should_fail(FaultSite::SpillWrite) {
                 return Err(FaultInjector::io_error(FaultSite::SpillWrite));
             }

@@ -92,6 +92,23 @@ pub struct LimaConfig {
     /// The persistent cache store reuses the same limit for its own writes.
     /// 0 disables the breaker.
     pub spill_failure_limit: u32,
+    /// Half-open cooldown for the spill/persist circuit breakers: once open,
+    /// a single probe attempt is allowed through per window of this many
+    /// milliseconds (success closes the breaker again). 0 restores the old
+    /// latch-open-forever behaviour.
+    pub breaker_cooldown_ms: u64,
+    /// Bounded retries (with jittered exponential backoff) for transient
+    /// persist I/O errors before they count against the breaker. 0 disables
+    /// retrying.
+    pub persist_retry_attempts: u32,
+    /// Base backoff delay (milliseconds) before the first persist retry;
+    /// doubles per retry.
+    pub persist_retry_base_ms: u64,
+    /// Process-wide memory budget governed by the
+    /// [`crate::governor::ResourceGovernor`] degradation ladder (resident
+    /// cache bytes + session live variables + spill buffers). 0 disables
+    /// governance entirely (no governor is constructed).
+    pub governor_budget_bytes: usize,
     /// Durably persist reuse-cache entries across process restarts. Requires
     /// `persist_dir`; without one the flag is ignored.
     pub persist_enabled: bool,
@@ -124,6 +141,10 @@ impl Default for LimaConfig {
             eviction_watermark: 0.8,
             placeholder_timeout_ms: 60_000,
             spill_failure_limit: 3,
+            breaker_cooldown_ms: 5_000,
+            persist_retry_attempts: 2,
+            persist_retry_base_ms: 1,
+            governor_budget_bytes: 0,
             persist_enabled: false,
             persist_dir: None,
             persist_budget_bytes: 1 << 30,
@@ -172,6 +193,13 @@ impl LimaConfig {
     /// Attaches a fault-injection harness (robustness tests).
     pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enables the memory-pressure degradation ladder over `budget` bytes
+    /// (see [`crate::governor::ResourceGovernor`]).
+    pub fn with_governor(mut self, budget_bytes: usize) -> Self {
+        self.governor_budget_bytes = budget_bytes;
         self
     }
 

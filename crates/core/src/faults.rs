@@ -36,9 +36,21 @@ pub enum FaultSite {
     /// Crash point: the process dies mid-rename — the temp value file exists
     /// but the final value file and the manifest record do not.
     PersistRename,
+    /// An allocation attempt fails (simulated OOM). Consulted by the
+    /// [`crate::governor::ResourceGovernor`] when admitting new cache
+    /// entries; a fired fault also registers synthetic memory pressure so
+    /// the degradation ladder walks down deterministically.
+    AllocFail,
+    /// Spill-file writes stall: each fired occurrence sleeps
+    /// [`SLOW_SPILL_DELAY_MS`] before proceeding, so deadline checks during
+    /// eviction-heavy phases are exercised.
+    SlowSpill,
 }
 
-const SITES: [FaultSite; 8] = [
+/// Latency (milliseconds) injected per fired [`FaultSite::SlowSpill`].
+pub const SLOW_SPILL_DELAY_MS: u64 = 25;
+
+const SITES: [FaultSite; 10] = [
     FaultSite::SpillWrite,
     FaultSite::SpillCorrupt,
     FaultSite::SpillRead,
@@ -47,6 +59,8 @@ const SITES: [FaultSite; 8] = [
     FaultSite::PersistWalAppend,
     FaultSite::PersistCommit,
     FaultSite::PersistRename,
+    FaultSite::AllocFail,
+    FaultSite::SlowSpill,
 ];
 
 /// The named crash points of the persistent cache store, in WAL commit-path
@@ -69,6 +83,8 @@ fn site_index(site: FaultSite) -> usize {
         FaultSite::PersistWalAppend => 5,
         FaultSite::PersistCommit => 6,
         FaultSite::PersistRename => 7,
+        FaultSite::AllocFail => 8,
+        FaultSite::SlowSpill => 9,
     }
 }
 
@@ -97,7 +113,7 @@ pub struct FaultInjector {
 }
 
 /// splitmix64 finalizer — the same mixer the vendored RNG seeds with.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -1,0 +1,340 @@
+//! Process-wide memory governance: a hysteresis-guarded degradation ladder.
+//!
+//! The [`ResourceGovernor`] accounts resident bytes across three categories —
+//! cache entries, session live variables, and spill buffers — against one
+//! process budget and maps the resulting pressure ratio onto five levels:
+//!
+//! | level | name             | effect                                             |
+//! |-------|------------------|----------------------------------------------------|
+//! | L0    | `Normal`         | —                                                  |
+//! | L1    | `Shrink`         | effective cache budget halved, eviction aggressive |
+//! | L2    | `NoRewrites`     | partial-reuse rewrites + multilevel caching off    |
+//! | L3    | `NoAdmission`    | no new cache entries; eviction is delete-only      |
+//! | L4    | `RejectSessions` | new session admissions fail (`ResourceExhausted`)  |
+//!
+//! Each level has an *enter* watermark (fraction of the budget) and re-arms
+//! only once pressure drops a hysteresis margin below it, so the ladder never
+//! flaps around a single threshold. Transitions are counted in
+//! [`LimaStats`] (`governor_degrades` / `governor_recovers`) and levels are
+//! walked one step at a time so every crossing is observable.
+//!
+//! Allocation attempts consult the [`FaultSite::AllocFail`] fault site: a
+//! fired fault rejects the allocation *and* registers synthetic pressure
+//! (decayed again by later successful allocations), giving tests a
+//! deterministic way to drive the ladder down and back up without real
+//! memory exhaustion. A governor never aborts the process — every effect is
+//! a degraded mode or a typed rejection.
+
+use crate::faults::{FaultInjector, FaultSite};
+use crate::stats::LimaStats;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Rung of the degradation ladder; derives `Ord` so gates can compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// L0 — no degradation.
+    Normal,
+    /// L1 — shrink the effective cache budget and evict aggressively.
+    Shrink,
+    /// L2 — additionally disable partial-reuse rewrites and multilevel
+    /// caching (they create new cache entries speculatively).
+    NoRewrites,
+    /// L3 — additionally stop admitting new cache entries; eviction
+    /// degrades to delete-only (no spill buffers).
+    NoAdmission,
+    /// L4 — additionally reject new session admissions.
+    RejectSessions,
+}
+
+impl PressureLevel {
+    fn from_u8(v: u8) -> PressureLevel {
+        match v {
+            0 => PressureLevel::Normal,
+            1 => PressureLevel::Shrink,
+            2 => PressureLevel::NoRewrites,
+            3 => PressureLevel::NoAdmission,
+            _ => PressureLevel::RejectSessions,
+        }
+    }
+
+    /// Short human-readable name (`L0 normal` … `L4 reject-sessions`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PressureLevel::Normal => "L0 normal",
+            PressureLevel::Shrink => "L1 shrink-cache",
+            PressureLevel::NoRewrites => "L2 no-rewrites",
+            PressureLevel::NoAdmission => "L3 no-admission",
+            PressureLevel::RejectSessions => "L4 reject-sessions",
+        }
+    }
+}
+
+/// Enter watermarks for L1..L4 as fractions of the budget.
+const ENTER: [f64; 4] = [0.70, 0.80, 0.90, 0.97];
+/// A level re-arms only once pressure drops this far below its enter mark.
+const HYSTERESIS: f64 = 0.08;
+/// Synthetic pressure added per injected `AllocFail`, as a budget fraction.
+const SYNTHETIC_STEP_NUM: usize = 1;
+const SYNTHETIC_STEP_DEN: usize = 4;
+/// Synthetic pressure decayed per successful allocation (budget fraction).
+const SYNTHETIC_DECAY_DEN: usize = 8;
+
+/// Shared memory-pressure governor; see the module docs for the ladder.
+#[derive(Debug)]
+pub struct ResourceGovernor {
+    budget_bytes: usize,
+    level: AtomicU8,
+    cache_bytes: AtomicU64,
+    spill_bytes: AtomicU64,
+    session_bytes: AtomicU64,
+    /// Pressure registered by injected allocation failures; decays as
+    /// allocations succeed again.
+    synthetic_bytes: AtomicU64,
+    stats: Arc<LimaStats>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl ResourceGovernor {
+    /// A governor over `budget_bytes` (must be > 0 to be meaningful; a zero
+    /// budget pins the ladder at L4).
+    pub fn new(
+        budget_bytes: usize,
+        stats: Arc<LimaStats>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Arc<Self> {
+        let g = Arc::new(ResourceGovernor {
+            budget_bytes,
+            level: AtomicU8::new(0),
+            cache_bytes: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+            session_bytes: AtomicU64::new(0),
+            synthetic_bytes: AtomicU64::new(0),
+            stats,
+            faults,
+        });
+        g.reevaluate();
+        g
+    }
+
+    /// The configured process budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Total accounted bytes across all categories (incl. synthetic).
+    pub fn used_bytes(&self) -> usize {
+        (self.cache_bytes.load(Ordering::Relaxed)
+            + self.spill_bytes.load(Ordering::Relaxed)
+            + self.session_bytes.load(Ordering::Relaxed)
+            + self.synthetic_bytes.load(Ordering::Relaxed)) as usize
+    }
+
+    /// Current rung of the ladder.
+    pub fn level(&self) -> PressureLevel {
+        PressureLevel::from_u8(self.level.load(Ordering::Acquire))
+    }
+
+    fn pressure(&self) -> f64 {
+        if self.budget_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.used_bytes() as f64 / self.budget_bytes as f64
+    }
+
+    /// Walks the ladder toward the level implied by current pressure, one
+    /// step at a time so every transition is counted.
+    fn reevaluate(&self) {
+        loop {
+            let pressure = self.pressure();
+            let cur = self.level.load(Ordering::Acquire);
+            let next = if cur < 4 && pressure >= ENTER[cur as usize] {
+                cur + 1
+            } else if cur > 0 && pressure < ENTER[(cur - 1) as usize] - HYSTERESIS {
+                cur - 1
+            } else {
+                return;
+            };
+            if self
+                .level
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if next > cur {
+                    LimaStats::bump(&self.stats.governor_degrades);
+                } else {
+                    LimaStats::bump(&self.stats.governor_recovers);
+                }
+            }
+        }
+    }
+
+    /// Records the cache's resident bytes (called after cache mutations).
+    pub fn set_cache_bytes(&self, bytes: usize) {
+        self.cache_bytes.store(bytes as u64, Ordering::Relaxed);
+        self.reevaluate();
+    }
+
+    /// Records the bytes currently held in spill buffers/files.
+    pub fn set_spill_bytes(&self, bytes: usize) {
+        self.spill_bytes.store(bytes as u64, Ordering::Relaxed);
+        self.reevaluate();
+    }
+
+    /// Adjusts the live-variable bytes attributed to sessions.
+    pub fn adjust_session_bytes(&self, delta: i64) {
+        let _ = self
+            .session_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add_signed(delta))
+            });
+        self.reevaluate();
+    }
+
+    /// Attempts to account a new allocation of `bytes`. Consults the
+    /// `AllocFail` fault site: a fired fault rejects the attempt and adds
+    /// synthetic pressure; successes decay synthetic pressure back down.
+    /// Returns false when the allocation must be declined (caller degrades
+    /// gracefully — e.g. the cache skips admitting an entry).
+    pub fn try_alloc(&self, bytes: usize) -> bool {
+        if let Some(inj) = &self.faults {
+            if inj.should_fail(FaultSite::AllocFail) {
+                LimaStats::bump(&self.stats.alloc_failures);
+                let step = (self.budget_bytes * SYNTHETIC_STEP_NUM / SYNTHETIC_STEP_DEN).max(bytes);
+                self.synthetic_bytes
+                    .fetch_add(step as u64, Ordering::Relaxed);
+                self.reevaluate();
+                return false;
+            }
+        }
+        let decay = (self.budget_bytes / SYNTHETIC_DECAY_DEN) as u64;
+        if decay > 0 && self.synthetic_bytes.load(Ordering::Relaxed) > 0 {
+            let _ =
+                self.synthetic_bytes
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                        Some(cur.saturating_sub(decay))
+                    });
+        }
+        self.reevaluate();
+        true
+    }
+
+    /// Effective cache budget under the current level: halved at L1+.
+    pub fn effective_cache_budget(&self, configured: usize) -> usize {
+        if self.level() >= PressureLevel::Shrink {
+            configured / 2
+        } else {
+            configured
+        }
+    }
+
+    /// False at L2+: partial-reuse rewrites and multilevel caching pause.
+    pub fn rewrites_enabled(&self) -> bool {
+        self.level() < PressureLevel::NoRewrites
+    }
+
+    /// False at L3+: the cache stops admitting new entries and eviction
+    /// degrades to delete-only.
+    pub fn admissions_enabled(&self) -> bool {
+        self.level() < PressureLevel::NoAdmission
+    }
+
+    /// False at L4: new session admissions are rejected with a typed error.
+    pub fn sessions_enabled(&self) -> bool {
+        let ok = self.level() < PressureLevel::RejectSessions;
+        if !ok {
+            LimaStats::bump(&self.stats.governor_admission_rejects);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn governor(budget: usize) -> Arc<ResourceGovernor> {
+        ResourceGovernor::new(budget, Arc::new(LimaStats::default()), None)
+    }
+
+    #[test]
+    fn ladder_walks_down_and_back_up_with_hysteresis() {
+        let g = governor(1000);
+        assert_eq!(g.level(), PressureLevel::Normal);
+
+        g.set_cache_bytes(750); // 0.75 ≥ 0.70 → L1
+        assert_eq!(g.level(), PressureLevel::Shrink);
+        assert_eq!(g.stats.governor_degrades.load(Ordering::Relaxed), 1);
+
+        // Hysteresis: dropping to just below the enter mark does NOT re-arm.
+        g.set_cache_bytes(680); // 0.68 ≥ 0.70 − 0.08
+        assert_eq!(g.level(), PressureLevel::Shrink);
+
+        g.set_cache_bytes(400); // 0.40 < 0.62 → back to L0
+        assert_eq!(g.level(), PressureLevel::Normal);
+        assert_eq!(g.stats.governor_recovers.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn extreme_pressure_walks_all_levels_one_at_a_time() {
+        let g = governor(1000);
+        g.set_cache_bytes(2000); // pressure 2.0 → straight past every mark
+        assert_eq!(g.level(), PressureLevel::RejectSessions);
+        assert_eq!(g.stats.governor_degrades.load(Ordering::Relaxed), 4);
+        g.set_cache_bytes(0);
+        assert_eq!(g.level(), PressureLevel::Normal);
+        assert_eq!(g.stats.governor_recovers.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn gates_match_levels() {
+        let g = governor(1000);
+        assert!(g.rewrites_enabled() && g.admissions_enabled() && g.sessions_enabled());
+        assert_eq!(g.effective_cache_budget(100), 100);
+
+        g.set_cache_bytes(850); // → L2
+        assert_eq!(g.level(), PressureLevel::NoRewrites);
+        assert_eq!(g.effective_cache_budget(100), 50);
+        assert!(!g.rewrites_enabled());
+        assert!(g.admissions_enabled());
+
+        g.set_cache_bytes(950); // → L3
+        assert!(!g.admissions_enabled());
+        assert!(g.sessions_enabled());
+
+        g.set_cache_bytes(990); // → L4
+        assert!(!g.sessions_enabled());
+        assert!(g.stats.governor_admission_rejects.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn alloc_fail_injects_synthetic_pressure_that_decays() {
+        use crate::faults::FaultInjector;
+        let inj = Arc::new(FaultInjector::new(1).fail_at(FaultSite::AllocFail, &[0]));
+        let g = ResourceGovernor::new(1000, Arc::new(LimaStats::default()), Some(inj));
+        assert!(!g.try_alloc(64)); // occurrence 0 fires → +250 synthetic
+        assert!(g.stats.alloc_failures.load(Ordering::Relaxed) == 1);
+        assert!(g.used_bytes() >= 250);
+        // Successful allocations decay the synthetic pressure away.
+        assert!(g.try_alloc(64));
+        assert!(g.try_alloc(64));
+        assert_eq!(g.used_bytes(), 0);
+        assert_eq!(g.level(), PressureLevel::Normal);
+    }
+
+    #[test]
+    fn session_bytes_adjust_saturates_and_counts() {
+        let g = governor(1000);
+        g.adjust_session_bytes(300);
+        assert_eq!(g.used_bytes(), 300);
+        g.adjust_session_bytes(-500); // saturates at zero
+        assert_eq!(g.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_budget_pins_ladder_at_reject() {
+        let g = governor(0);
+        assert_eq!(g.level(), PressureLevel::RejectSessions);
+        assert!(!g.sessions_enabled());
+    }
+}

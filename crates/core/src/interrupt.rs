@@ -1,0 +1,138 @@
+//! Cooperative cancellation and deadline primitives.
+//!
+//! A session carries an [`Interrupt`] — an optional shared [`CancelToken`]
+//! plus an optional wall-clock deadline. Interrupts are *cooperative*: the
+//! runtime polls [`Interrupt::check`] at instruction boundaries, at parfor
+//! iteration boundaries, between row chunks of long kernels, and while
+//! blocked on another session's cache placeholder. These primitives live in
+//! `lima-core` (rather than the runtime) so [`crate::LineageCache`]'s
+//! placeholder wait loop can observe them too.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared cancellation flag. Cloning the `Arc` hands the same flag to
+/// workers, kernels, and the cache; once cancelled it stays cancelled.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Requests cancellation. Idempotent; observers notice at their next
+    /// cooperative checkpoint.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a cooperative checkpoint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptKind {
+    /// The session's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The session's deadline passed.
+    DeadlineExceeded,
+}
+
+/// A session's interrupt sources: cancellation wins over the deadline when
+/// both have fired (cancellation is an explicit request).
+#[derive(Debug, Clone, Default)]
+pub struct Interrupt {
+    /// Cooperative cancellation flag shared with whoever may cancel us.
+    pub token: Option<Arc<CancelToken>>,
+    /// Absolute deadline; checkpoints fail once `Instant::now()` passes it.
+    pub deadline: Option<Instant>,
+}
+
+impl Interrupt {
+    /// An interrupt that never fires.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when at least one interrupt source is armed.
+    pub fn is_armed(&self) -> bool {
+        self.token.is_some() || self.deadline.is_some()
+    }
+
+    /// Cooperative checkpoint: `Err` once cancelled or past the deadline.
+    pub fn check(&self) -> Result<(), InterruptKind> {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return Err(InterruptKind::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(InterruptKind::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unarmed_interrupt_never_fires() {
+        let i = Interrupt::none();
+        assert!(!i.is_armed());
+        assert_eq!(i.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_token_fires_once_cancelled() {
+        let token = CancelToken::new();
+        let i = Interrupt {
+            token: Some(Arc::clone(&token)),
+            deadline: None,
+        };
+        assert!(i.is_armed());
+        assert_eq!(i.check(), Ok(()));
+        token.cancel();
+        assert_eq!(i.check(), Err(InterruptKind::Cancelled));
+        // Idempotent.
+        token.cancel();
+        assert_eq!(i.check(), Err(InterruptKind::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_fires_deadline_exceeded() {
+        let i = Interrupt {
+            token: None,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+        };
+        assert_eq!(i.check(), Err(InterruptKind::DeadlineExceeded));
+        let future = Interrupt {
+            token: None,
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+        };
+        assert_eq!(future.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancellation_wins_over_expired_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let i = Interrupt {
+            token: Some(token),
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+        };
+        assert_eq!(i.check(), Err(InterruptKind::Cancelled));
+    }
+}

@@ -15,12 +15,17 @@
 pub mod cache;
 pub mod config;
 pub mod faults;
+pub mod governor;
+pub mod interrupt;
 pub mod lineage;
 pub mod opcodes;
+pub mod retry;
 pub mod stats;
 
 pub use cache::LineageCache;
 pub use config::{EvictionPolicy, LimaConfig, ReuseMode};
 pub use faults::{FaultInjector, FaultSite};
+pub use governor::{PressureLevel, ResourceGovernor};
+pub use interrupt::{CancelToken, Interrupt, InterruptKind};
 pub use lineage::{LinRef, LineageItem, LineageMap};
 pub use stats::LimaStats;

@@ -1,0 +1,155 @@
+//! Bounded, jittered exponential-backoff retry for transient I/O.
+//!
+//! Persistence I/O (WAL appends, value-file writes) can fail transiently —
+//! e.g. a momentarily full page cache or a slow disk — and a single such
+//! blip should not count against the persist circuit breaker. The
+//! [`RetryPolicy`] retries a fallible operation a bounded number of times
+//! with exponentially growing, deterministically jittered delays (full
+//! jitter over `[d/2, d]`, derived from a splitmix64 hash so runs replay
+//! identically); only the post-retry outcome reaches the breaker.
+
+use std::time::Duration;
+
+/// Cap on a single backoff delay so bounded attempts stay bounded in time.
+const MAX_DELAY_MS: u64 = 250;
+
+/// A bounded jittered-exponential-backoff schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try exactly once).
+    pub attempts: u32,
+    /// Base delay before the first retry; doubles per retry.
+    pub base_delay_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` retries starting at `base_delay_ms`.
+    pub fn new(attempts: u32, base_delay_ms: u64, seed: u64) -> Self {
+        RetryPolicy {
+            attempts,
+            base_delay_ms,
+            seed,
+        }
+    }
+
+    /// The jittered delay before retry number `retry` (0-based): full jitter
+    /// over `[d/2, d]` where `d = base · 2^retry`, capped at [`MAX_DELAY_MS`].
+    pub fn delay(&self, retry: u32) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .saturating_mul(1u64 << retry.min(16))
+            .min(MAX_DELAY_MS);
+        if exp == 0 {
+            return Duration::ZERO;
+        }
+        let h = crate::faults::mix(self.seed ^ (u64::from(retry) + 1).wrapping_mul(0x9E37));
+        Duration::from_millis(exp / 2 + h % (exp - exp / 2 + 1))
+    }
+
+    /// Runs `op`, retrying on errors for which `retryable` holds, sleeping
+    /// the backoff delay between attempts. Returns the final result plus the
+    /// number of retries performed (for stats accounting).
+    pub fn run<T>(
+        &self,
+        mut retryable: impl FnMut(&std::io::Error) -> bool,
+        mut op: impl FnMut() -> std::io::Result<T>,
+    ) -> (std::io::Result<T>, u32) {
+        let mut retries = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) if retries < self.attempts && retryable(&e) => {
+                    let delay = self.delay(retries);
+                    retries += 1;
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Err(e) => return (Err(e), retries),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::new(3, 0, 42) // zero base delay: tests don't sleep
+    }
+
+    #[test]
+    fn succeeds_without_retry() {
+        let (res, retries) = policy().run(|_| true, || Ok::<_, io::Error>(7));
+        assert_eq!(res.ok(), Some(7));
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn retries_transient_errors_until_success() {
+        let mut fails = 2;
+        let (res, retries) = policy().run(
+            |_| true,
+            || {
+                if fails > 0 {
+                    fails -= 1;
+                    Err(io::Error::other("transient"))
+                } else {
+                    Ok(5)
+                }
+            },
+        );
+        assert_eq!(res.ok(), Some(5));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn gives_up_after_bounded_attempts() {
+        let mut calls = 0u32;
+        let (res, retries) = policy().run(
+            |_| true,
+            || {
+                calls += 1;
+                Err::<(), _>(io::Error::other("always"))
+            },
+        );
+        assert!(res.is_err());
+        assert_eq!(retries, 3);
+        assert_eq!(calls, 4); // 1 attempt + 3 retries
+    }
+
+    #[test]
+    fn non_retryable_errors_stop_immediately() {
+        let mut calls = 0u32;
+        let (res, retries) = policy().run(
+            |_| false,
+            || {
+                calls += 1;
+                Err::<(), _>(io::Error::other("fatal"))
+            },
+        );
+        assert!(res.is_err());
+        assert_eq!(retries, 0);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn delays_are_deterministic_jittered_and_capped() {
+        let p = RetryPolicy::new(8, 10, 9);
+        let q = RetryPolicy::new(8, 10, 9);
+        for r in 0..8 {
+            let d = p.delay(r);
+            assert_eq!(d, q.delay(r), "same seed → same delay");
+            let exp = (10u64 << r.min(16)).min(250);
+            assert!(d.as_millis() as u64 >= exp / 2);
+            assert!(d.as_millis() as u64 <= exp);
+        }
+        // Different seeds shift the jitter.
+        let other = RetryPolicy::new(8, 10, 10);
+        assert!((0..8).any(|r| p.delay(r) != other.delay(r)));
+    }
+}

@@ -75,6 +75,28 @@ pub struct LimaStats {
     /// Functions the analysis classified reuse-ineligible (non-deterministic
     /// bodies are excluded from function-level multi-level reuse, §4.1).
     pub funcs_reuse_ineligible: AtomicU64,
+    /// Governor ladder transitions toward higher pressure (one per level).
+    pub governor_degrades: AtomicU64,
+    /// Governor ladder transitions back toward normal (one per level).
+    pub governor_recovers: AtomicU64,
+    /// Admissions (cache entries or sessions) rejected by the governor.
+    pub governor_admission_rejects: AtomicU64,
+    /// Allocation attempts rejected (injected `AllocFail` faults).
+    pub alloc_failures: AtomicU64,
+    /// Transient persist I/O errors absorbed by backoff retries.
+    pub persist_retries: AtomicU64,
+    /// Half-open probe attempts granted by the spill/persist breakers.
+    pub breaker_probes: AtomicU64,
+    /// Sessions admitted into a `SessionPool`.
+    pub sessions_started: AtomicU64,
+    /// Sessions that ran to completion.
+    pub sessions_completed: AtomicU64,
+    /// Sessions terminated by cooperative cancellation.
+    pub sessions_cancelled: AtomicU64,
+    /// Sessions terminated by their deadline.
+    pub sessions_deadline_exceeded: AtomicU64,
+    /// Session admissions rejected by the governor (`ResourceExhausted`).
+    pub sessions_rejected: AtomicU64,
 }
 
 impl LimaStats {
@@ -115,6 +137,9 @@ impl LimaStats {
              persist: writes={} failures={} bytes={} tombstones={} hits={}\n\
              recover: recovered={} dropped={} torn_truncations={} orphans_gcd={}\n\
              analyze: ops_unmarked={} funcs_reuse_ineligible={}\n\
+             governor: degrades={} recovers={} admission_rejects={} alloc_failures={} \
+             persist_retries={} breaker_probes={}\n\
+             session: started={} completed={} cancelled={} deadline_exceeded={} rejected={}\n\
              time:    saved_compute={:.3}s compensation={:.3}s",
             Self::get(&self.items_traced),
             Self::get(&self.dedup_items),
@@ -145,6 +170,17 @@ impl LimaStats {
             Self::get(&self.persist_orphans_gcd),
             Self::get(&self.ops_unmarked),
             Self::get(&self.funcs_reuse_ineligible),
+            Self::get(&self.governor_degrades),
+            Self::get(&self.governor_recovers),
+            Self::get(&self.governor_admission_rejects),
+            Self::get(&self.alloc_failures),
+            Self::get(&self.persist_retries),
+            Self::get(&self.breaker_probes),
+            Self::get(&self.sessions_started),
+            Self::get(&self.sessions_completed),
+            Self::get(&self.sessions_cancelled),
+            Self::get(&self.sessions_deadline_exceeded),
+            Self::get(&self.sessions_rejected),
             Self::get(&self.saved_compute_ns) as f64 / 1e9,
             Self::get(&self.compensation_ns) as f64 / 1e9,
         )
@@ -184,5 +220,11 @@ mod tests {
         let r = s.report();
         assert!(r.contains("ops_unmarked=5"));
         assert!(r.contains("funcs_reuse_ineligible=1"));
+        LimaStats::bump(&s.governor_degrades);
+        LimaStats::bump(&s.sessions_deadline_exceeded);
+        let r = s.report();
+        assert!(r.contains("degrades=1"));
+        assert!(r.contains("deadline_exceeded=1"));
+        assert!(r.contains("breaker_probes=0"));
     }
 }

@@ -3,6 +3,9 @@
 //! (parfor workers get their own, paper §3.3).
 
 use crate::error::{Result, RuntimeError};
+use crate::governor::SessionUsage;
+use crate::session::SessionCtl;
+use lima_core::interrupt::{CancelToken, Interrupt};
 use lima_core::lineage::dedup::{DedupRegistry, PathTracer};
 use lima_core::lineage::item::{LinRef, LineageItem};
 use lima_core::{LimaConfig, LimaStats, LineageCache, LineageMap};
@@ -77,6 +80,13 @@ pub struct ExecutionContext {
     pub fingerprint: u64,
     /// Recursion depth guard for function calls.
     pub call_depth: usize,
+    /// Cooperative interrupt state (cancellation token + deadline) when this
+    /// context executes inside a session; checked at instruction/iteration
+    /// boundaries and threaded into cache placeholder waits.
+    pub session: Option<SessionCtl>,
+    /// Live-variable byte accounting against the memory governor. Not shared
+    /// with forked workers (their footprint is transient and merged back).
+    pub usage: Option<SessionUsage>,
     /// Incremental structural verifier asserting lineage DAG invariants
     /// after every block (debug builds only).
     #[cfg(debug_assertions)]
@@ -117,6 +127,8 @@ impl ExecutionContext {
             stdout: Vec::new(),
             fingerprint: 0,
             call_depth: 0,
+            session: None,
+            usage: None,
             #[cfg(debug_assertions)]
             verifier: Default::default(),
         }
@@ -142,6 +154,8 @@ impl ExecutionContext {
             stdout: Vec::new(),
             fingerprint: self.fingerprint,
             call_depth: self.call_depth,
+            session: self.session.clone(),
+            usage: None,
             #[cfg(debug_assertions)]
             verifier: Default::default(),
         }
@@ -160,6 +174,41 @@ impl ExecutionContext {
     /// True when per-instruction lineage tracing is active right now.
     pub fn tracing(&self) -> bool {
         self.config.tracing && !self.suppress_tracing
+    }
+
+    /// Cooperative checkpoint: `Err` with the typed runtime error once the
+    /// session is cancelled or past its deadline; free when no session is
+    /// attached (the common single-script case).
+    pub fn check_interrupt(&self) -> Result<()> {
+        match &self.session {
+            Some(s) => s.check().map_err(RuntimeError::from),
+            None => Ok(()),
+        }
+    }
+
+    /// The interrupt view for cache placeholder waits, when armed.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        self.session.as_ref().map(|s| s.interrupt())
+    }
+
+    /// Arms (or tightens) an execution deadline relative to now, creating a
+    /// session control block with a fresh token when none exists (the
+    /// `limac --timeout-ms` path).
+    pub fn arm_deadline(&mut self, timeout: std::time::Duration) {
+        let deadline = std::time::Instant::now() + timeout;
+        match &mut self.session {
+            Some(s) => s.set_deadline(deadline),
+            None => self.session = Some(SessionCtl::new(CancelToken::new(), Some(deadline))),
+        }
+    }
+
+    /// Re-reports this context's live-variable footprint to the governor.
+    /// Called at block boundaries; a no-op without governed usage tracking.
+    pub fn refresh_usage(&mut self) {
+        if let Some(u) = &mut self.usage {
+            let bytes: usize = self.symtab.values().map(Value::size_in_bytes).sum();
+            u.update(bytes);
+        }
     }
 
     /// Generates a system seed (captured in lineage, paper §3.1).

@@ -28,6 +28,14 @@ pub enum RuntimeError {
     /// A parfor worker panicked; the panic was isolated to the worker and
     /// surfaced here with its payload message instead of aborting the process.
     WorkerPanic(String),
+    /// The session's deadline passed; execution stopped at a cooperative
+    /// checkpoint (instruction boundary, parfor iteration, kernel row chunk,
+    /// or cache placeholder wait).
+    DeadlineExceeded,
+    /// The session's `CancelToken` was cancelled.
+    Cancelled,
+    /// The resource governor rejected an admission (degradation ladder L4).
+    ResourceExhausted(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -42,6 +50,18 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Reconstruct(m) => write!(f, "reconstruct: {m}"),
             RuntimeError::Io(m) => write!(f, "i/o error: {m}"),
             RuntimeError::WorkerPanic(m) => write!(f, "parfor worker panicked: {m}"),
+            RuntimeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            RuntimeError::Cancelled => write!(f, "session cancelled"),
+            RuntimeError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+        }
+    }
+}
+
+impl From<lima_core::InterruptKind> for RuntimeError {
+    fn from(kind: lima_core::InterruptKind) -> Self {
+        match kind {
+            lima_core::InterruptKind::Cancelled => RuntimeError::Cancelled,
+            lima_core::InterruptKind::DeadlineExceeded => RuntimeError::DeadlineExceeded,
         }
     }
 }
@@ -77,5 +97,25 @@ mod tests {
         assert!(RuntimeError::WorkerPanic("boom".into())
             .to_string()
             .contains("boom"));
+        assert!(RuntimeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(RuntimeError::Cancelled.to_string().contains("cancelled"));
+        assert!(RuntimeError::ResourceExhausted("L4".into())
+            .to_string()
+            .contains("L4"));
+    }
+
+    #[test]
+    fn interrupt_kinds_map_to_typed_errors() {
+        use lima_core::InterruptKind;
+        assert!(matches!(
+            RuntimeError::from(InterruptKind::Cancelled),
+            RuntimeError::Cancelled
+        ));
+        assert!(matches!(
+            RuntimeError::from(InterruptKind::DeadlineExceeded),
+            RuntimeError::DeadlineExceeded
+        ));
     }
 }

@@ -1,0 +1,90 @@
+//! Session-side hook into the process-wide memory governor.
+//!
+//! The [`lima_core::ResourceGovernor`] accounts three byte categories: cache
+//! entries and spill buffers (pushed by the cache itself) plus live session
+//! variables, pushed from here. [`SessionUsage`] tracks one session's symbol
+//! table footprint and reports the *delta* on every refresh, so concurrent
+//! sessions compose additively; dropping it (session exit, including panic
+//! unwind) returns the whole contribution.
+
+use lima_core::ResourceGovernor;
+use std::sync::Arc;
+
+/// One session's live-variable contribution to the governor's accounting.
+#[derive(Debug)]
+pub struct SessionUsage {
+    governor: Arc<ResourceGovernor>,
+    current: usize,
+}
+
+impl SessionUsage {
+    /// Zero-byte contribution against `governor`.
+    pub fn new(governor: Arc<ResourceGovernor>) -> Self {
+        SessionUsage {
+            governor,
+            current: 0,
+        }
+    }
+
+    /// Reports the session's current live-variable footprint; only the delta
+    /// since the last refresh is pushed to the governor.
+    pub fn update(&mut self, bytes: usize) {
+        if bytes == self.current {
+            return;
+        }
+        let delta = bytes as i64 - self.current as i64;
+        self.current = bytes;
+        self.governor.adjust_session_bytes(delta);
+    }
+
+    /// Bytes currently accounted for this session.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+}
+
+impl Drop for SessionUsage {
+    fn drop(&mut self) {
+        if self.current > 0 {
+            self.governor.adjust_session_bytes(-(self.current as i64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lima_core::LimaStats;
+
+    fn governor() -> Arc<ResourceGovernor> {
+        ResourceGovernor::new(1_000_000, Arc::new(LimaStats::new()), None)
+    }
+
+    #[test]
+    fn update_pushes_deltas_and_drop_returns_everything() {
+        let g = governor();
+        let mut u = SessionUsage::new(Arc::clone(&g));
+        u.update(1000);
+        assert_eq!(g.used_bytes(), 1000);
+        u.update(400); // shrink
+        assert_eq!(g.used_bytes(), 400);
+        u.update(400); // no-op
+        assert_eq!(g.used_bytes(), 400);
+        drop(u);
+        assert_eq!(g.used_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_sessions_compose_additively() {
+        let g = governor();
+        let mut a = SessionUsage::new(Arc::clone(&g));
+        let mut b = SessionUsage::new(Arc::clone(&g));
+        a.update(300);
+        b.update(500);
+        assert_eq!(g.used_bytes(), 800);
+        drop(a);
+        assert_eq!(g.used_bytes(), 500);
+        drop(b);
+        assert_eq!(g.used_bytes(), 0);
+    }
+}

@@ -40,11 +40,27 @@ pub fn execute_blocks(
     ctx: &mut ExecutionContext,
 ) -> Result<()> {
     for block in blocks {
+        ctx.check_interrupt()?;
         execute_block(block, program, ctx)?;
+        ctx.refresh_usage();
         #[cfg(debug_assertions)]
         debug_verify_lineage(ctx);
     }
     Ok(())
+}
+
+/// Probes the cache with the session interrupt threaded through, so a probe
+/// blocked on a peer's placeholder honours cancellation/deadline instead of
+/// waiting out `placeholder_timeout_ms`.
+fn cache_acquire(
+    cache: &std::sync::Arc<lima_core::LineageCache>,
+    item: &LinRef,
+    ctx: &ExecutionContext,
+) -> Result<Option<Probe>> {
+    let intr = ctx.interrupt();
+    cache
+        .acquire_interruptible(item, intr.as_ref())
+        .map_err(RuntimeError::from)
 }
 
 /// Debug-mode structural verification of the live lineage DAG after every
@@ -405,7 +421,10 @@ fn try_block_reuse(
     // map is conservative about calls, which block-level reuse excludes
     // anyway (calls are covered by function-level reuse instead).
     let no_classes = std::collections::HashMap::new();
+    // `rewrites_enabled` pauses multilevel caching at governor level L2+
+    // (block bundles are the largest speculative entries the cache admits).
     if !cache.full_reuse()
+        || !cache.rewrites_enabled()
         || crate::compiler::blocks_class(body, &no_classes)
             != lima_core::opcodes::OpClass::Deterministic
     {
@@ -436,7 +455,7 @@ fn try_block_reuse(
     }
     let data = format!("{}:{block_id}:{extra}{scalar_key}", ctx.fingerprint);
     let item = LineageItem::op_with_data(oc::BCALL, data, lin_inputs);
-    match cache.acquire(&item) {
+    match cache_acquire(&cache, &item, ctx)? {
         Some(Probe::Hit(Value::List(bundle))) if bundle.len() == 2 => {
             let (names, values) = (&bundle[0], &bundle[1]);
             let (Value::List(names), Value::List(values)) = (names, values) else {
@@ -486,6 +505,7 @@ fn try_block_reuse(
 
 /// Executes one instruction with LIMA pre/post-processing.
 pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContext) -> Result<()> {
+    ctx.check_interrupt()?;
     match &instr.op {
         Op::Rmvar => {
             for o in &instr.inputs {
@@ -586,7 +606,7 @@ pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContex
             && cache.full_reuse()
             && !instr.op.is_random();
         if eligible {
-            match cache.acquire(item) {
+            match cache_acquire(&cache, item, ctx)? {
                 Some(Probe::Hit(value)) => {
                     let outputs = unbundle(value, instr.outputs.len());
                     bind_outputs(instr, outputs, Some(item.clone()), ctx);
@@ -954,6 +974,7 @@ fn execute_fcall(
     if let (Some(items), Some(cache)) = (&arg_items, ctx.cache.clone()) {
         if ctx.config.multilevel
             && cache.full_reuse()
+            && cache.rewrites_enabled()
             && func.deterministic
             && ctx.dedup_trace.is_none()
         {
@@ -962,7 +983,7 @@ fn execute_fcall(
                 name.to_string(),
                 items.clone(),
             );
-            match cache.acquire(&item) {
+            match cache_acquire(&cache, &item, ctx)? {
                 Some(Probe::Hit(bundle)) => {
                     let outputs = unbundle(bundle, instr.outputs.len());
                     bind_outputs(instr, outputs, Some(item), ctx);

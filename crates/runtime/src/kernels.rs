@@ -120,6 +120,58 @@ pub fn resolve_bounds(
     Ok((rl - 1, ru - 1, cl - 1, cu - 1))
 }
 
+/// Rows per chunk in session-interruptible kernels: a deadline or
+/// cancellation lands within one chunk's worth of work even inside a single
+/// large matrix multiply.
+const KERNEL_CHUNK_ROWS: usize = 128;
+
+/// Row-chunked matrix multiply with a cooperative interrupt checkpoint
+/// between chunks. Bit-exact with `ops::matmult`: the row partition leaves
+/// every output element's k-ascending accumulation order unchanged (the
+/// parallel kernel splits rows the same way).
+fn matmult_checkpointed(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    ctx: &ExecutionContext,
+) -> Result<DenseMatrix> {
+    if a.cols() != b.rows() {
+        // Canonical dimension error from the uncut kernel.
+        return Ok(ops::matmult(a, b)?);
+    }
+    let (m, n) = (a.rows(), b.cols());
+    let mut data = Vec::with_capacity(m * n);
+    let mut r0 = 0;
+    while r0 < m {
+        ctx.check_interrupt()?;
+        let r1 = (r0 + KERNEL_CHUNK_ROWS).min(m);
+        let chunk = ops::slice(a, r0, r1 - 1, 0, a.cols() - 1)?;
+        let out = ops::matmult(&chunk, b)?;
+        data.extend_from_slice(out.data());
+        r0 = r1;
+    }
+    Ok(DenseMatrix::new(m, n, data)?)
+}
+
+/// Row-chunked `t(X) %*% X` with interrupt checkpoints: the Gram matrices of
+/// row stripes sum to the full Gram matrix. The stripe-sum order differs
+/// from the fused kernel's accumulation, so results agree to FP tolerance
+/// rather than bit-exactly (the parallel tsmm kernel already reorders the
+/// same way).
+fn tsmm_left_checkpointed(x: &DenseMatrix, ctx: &ExecutionContext) -> Result<DenseMatrix> {
+    let n = x.cols();
+    let mut acc = DenseMatrix::zeros(n, n);
+    let mut r0 = 0;
+    while r0 < x.rows() {
+        ctx.check_interrupt()?;
+        let r1 = (r0 + KERNEL_CHUNK_ROWS).min(x.rows());
+        let stripe = ops::slice(x, r0, r1 - 1, 0, n - 1)?;
+        let partial = ops::tsmm(&stripe, ops::TsmmSide::Left);
+        acc = ops::ew_matrix_matrix(BinOp::Add, &acc, &partial)?;
+        r0 = r1;
+    }
+    Ok(acc)
+}
+
 /// Executes a pure instruction kernel. `Rand`/`Sample` expect their seed
 /// operand already resolved to a concrete value by the interpreter.
 pub fn execute_kernel(op: &Op, inputs: &[Value], ctx: &ExecutionContext) -> Result<Vec<Value>> {
@@ -137,14 +189,26 @@ pub fn execute_kernel(op: &Op, inputs: &[Value], ctx: &ExecutionContext) -> Resu
         }
         Op::MatMult => {
             need(inputs, 2, op)?;
-            vec![Value::matrix(ops::matmult(
-                mat(&inputs[0], op)?,
-                mat(&inputs[1], op)?,
-            )?)]
+            let a = mat(&inputs[0], op)?;
+            let b = mat(&inputs[1], op)?;
+            if ctx.session.is_some() && a.rows() > KERNEL_CHUNK_ROWS && a.cols() > 0 {
+                vec![Value::matrix(matmult_checkpointed(a, b, ctx)?)]
+            } else {
+                vec![Value::matrix(ops::matmult(a, b)?)]
+            }
         }
         Op::Tsmm(side) => {
             need(inputs, 1, op)?;
-            vec![Value::matrix(ops::tsmm(mat(&inputs[0], op)?, *side))]
+            let x = mat(&inputs[0], op)?;
+            if ctx.session.is_some()
+                && *side == ops::TsmmSide::Left
+                && x.rows() > KERNEL_CHUNK_ROWS
+                && x.cols() > 0
+            {
+                vec![Value::matrix(tsmm_left_checkpointed(x, ctx)?)]
+            } else {
+                vec![Value::matrix(ops::tsmm(x, *side))]
+            }
         }
         Op::Transpose => {
             need(inputs, 1, op)?;

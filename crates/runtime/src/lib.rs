@@ -16,6 +16,7 @@ pub mod compiler;
 pub mod context;
 pub mod error;
 pub mod fused;
+pub mod governor;
 pub mod instr;
 pub mod interp;
 pub mod kernels;
@@ -23,9 +24,12 @@ pub mod lva;
 pub mod parfor;
 pub mod program;
 pub mod reconstruct;
+pub mod session;
 
 pub use context::{DataRegistry, ExecutionContext};
 pub use error::{Result, RuntimeError};
+pub use governor::SessionUsage;
 pub use instr::{Instr, Op, Operand};
 pub use interp::execute_program;
 pub use program::{Block, ExprProg, Function, Program};
+pub use session::{SessionCtl, SessionHandle, SessionOptions, SessionOutcome, SessionPool};

@@ -78,6 +78,7 @@ pub(crate) fn execute_parfor(
         // isolation as the threaded path.
         let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
             for i in iterations {
+                ctx.check_interrupt()?;
                 maybe_inject_panic(ctx, i);
                 ctx.set(var, Value::i64(i));
                 execute_blocks(body, program, ctx)?;
@@ -128,6 +129,10 @@ pub(crate) fn execute_parfor(
                         if cancel.load(Ordering::Relaxed) {
                             break;
                         }
+                        // Session cancellation/deadline stops every worker at
+                        // its next iteration boundary; the error unwinds
+                        // through the sibling-cancel path below.
+                        wctx.check_interrupt()?;
                         maybe_inject_panic(&wctx, i);
                         wctx.set(var.clone(), Value::i64(i));
                         execute_blocks(body, program, &mut wctx)?;

@@ -1,0 +1,327 @@
+//! Resource-governed concurrent sessions over one shared reuse cache.
+//!
+//! A [`SessionPool`] executes compiled programs concurrently against a single
+//! [`LineageCache`], so lineage-keyed entries computed by one session are
+//! reused by its peers (the paper's process-wide cache sharing across script
+//! invocations, §4.4 — made explicit and failure-safe here).
+//!
+//! Every session carries a [`CancelToken`] plus an optional deadline. Both
+//! are checked *cooperatively*: at instruction boundaries, at parfor
+//! iteration boundaries, between row chunks of long kernels, and while
+//! blocked on another session's placeholder entry (the wait is sliced so a
+//! cancelled waiter recovers in milliseconds instead of burning
+//! `placeholder_timeout_ms`). A cancelled or expired session surfaces as a
+//! typed [`RuntimeError::Cancelled`] / [`RuntimeError::DeadlineExceeded`] and
+//! unwinds through the interpreter's normal error paths, which abort any
+//! in-flight placeholder reservations — peer sessions blocked on them wake
+//! immediately and take over the computation.
+//!
+//! When the pool's configuration enables the
+//! [`lima_core::ResourceGovernor`] (`governor_budget_bytes > 0`), each
+//! session additionally reports its live-variable footprint, and session
+//! admission is refused with a typed [`RuntimeError::ResourceExhausted`] at
+//! pressure level L4.
+
+use crate::context::{DataRegistry, ExecutionContext};
+use crate::error::{Result, RuntimeError};
+use crate::governor::SessionUsage;
+use crate::interp::execute_program;
+use crate::program::Program;
+use lima_core::interrupt::{CancelToken, Interrupt, InterruptKind};
+use lima_core::{LimaConfig, LimaStats, LineageCache, ResourceGovernor};
+use lima_matrix::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cooperative interrupt state carried by an executing session's context.
+/// Cloned into parfor worker contexts so workers observe the same token and
+/// deadline as the session that spawned them.
+#[derive(Debug, Clone)]
+pub struct SessionCtl {
+    token: Arc<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl SessionCtl {
+    /// Control block from a token and an optional absolute deadline.
+    pub fn new(token: Arc<CancelToken>, deadline: Option<Instant>) -> Self {
+        SessionCtl { token, deadline }
+    }
+
+    /// The session's cancellation token.
+    pub fn token(&self) -> &Arc<CancelToken> {
+        &self.token
+    }
+
+    /// Installs (or replaces) the absolute deadline.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// The interrupt view handed to cache waits.
+    pub fn interrupt(&self) -> Interrupt {
+        Interrupt {
+            token: Some(Arc::clone(&self.token)),
+            deadline: self.deadline,
+        }
+    }
+
+    /// Cooperative checkpoint: `Err` once cancelled or past the deadline.
+    pub fn check(&self) -> std::result::Result<(), InterruptKind> {
+        self.interrupt().check()
+    }
+}
+
+/// Per-session options for [`SessionPool::spawn`].
+#[derive(Default)]
+pub struct SessionOptions {
+    /// Relative deadline; the session fails with
+    /// [`RuntimeError::DeadlineExceeded`] at its next checkpoint past it.
+    pub timeout: Option<Duration>,
+    /// External cancellation token; one is created when absent. Cancelling it
+    /// fails the session with [`RuntimeError::Cancelled`].
+    pub token: Option<Arc<CancelToken>>,
+    /// Variables bound (and datasets registered) before execution.
+    pub inputs: Vec<(String, Value)>,
+    /// System-seed base for reproducible `rand`/`sample`.
+    pub seed: Option<u64>,
+}
+
+impl SessionOptions {
+    /// Empty options: no deadline, fresh token, no inputs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a relative deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches an external cancellation token.
+    pub fn with_token(mut self, token: Arc<CancelToken>) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// Binds an input variable (also registered as a `read` dataset).
+    pub fn with_input(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.inputs.push((name.into(), value));
+        self
+    }
+
+    /// Fixes the system-seed base.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// Result of a completed session.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// Pool-unique session id.
+    pub id: u64,
+    /// Final symbol table.
+    pub values: HashMap<String, Value>,
+    /// Collected `print` output.
+    pub stdout: Vec<String>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl SessionOutcome {
+    /// Convenience accessor for a result variable.
+    pub fn value(&self, var: &str) -> &Value {
+        &self.values[var]
+    }
+}
+
+/// Handle to an in-flight session.
+#[derive(Debug)]
+pub struct SessionHandle {
+    id: u64,
+    token: Arc<CancelToken>,
+    join: std::thread::JoinHandle<Result<SessionOutcome>>,
+}
+
+impl SessionHandle {
+    /// Pool-unique session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The session's cancellation token.
+    pub fn token(&self) -> &Arc<CancelToken> {
+        &self.token
+    }
+
+    /// Requests cooperative cancellation; the session fails with
+    /// [`RuntimeError::Cancelled`] at its next checkpoint.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Waits for the session. A panicked session thread surfaces as
+    /// [`RuntimeError::WorkerPanic`], never a pool-wide abort.
+    pub fn join(self) -> Result<SessionOutcome> {
+        match self.join.join() {
+            Ok(r) => r,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(RuntimeError::WorkerPanic(msg))
+            }
+        }
+    }
+}
+
+/// Executes compiled programs as concurrent sessions over one shared cache,
+/// data registry, and statistics block. See the module docs.
+pub struct SessionPool {
+    config: LimaConfig,
+    cache: Option<Arc<LineageCache>>,
+    data: Arc<DataRegistry>,
+    stats: Arc<LimaStats>,
+    next_id: AtomicU64,
+}
+
+impl SessionPool {
+    /// A pool over `config`. The shared cache is created exactly when a
+    /// solo [`ExecutionContext::new`] would create one (tracing + reuse).
+    pub fn new(config: LimaConfig) -> Self {
+        let cache = if config.tracing && config.reuse.any() {
+            Some(LineageCache::new(config.clone()))
+        } else {
+            None
+        };
+        let stats = match &cache {
+            Some(c) => c.stats_arc(),
+            None => Arc::new(LimaStats::new()),
+        };
+        SessionPool {
+            config,
+            cache,
+            data: Arc::new(DataRegistry::new()),
+            stats,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The shared reuse cache (None when the configuration disables reuse).
+    pub fn cache(&self) -> Option<Arc<LineageCache>> {
+        self.cache.clone()
+    }
+
+    /// The shared memory-pressure governor, when configured.
+    pub fn governor(&self) -> Option<Arc<ResourceGovernor>> {
+        self.cache.as_ref().and_then(|c| c.governor())
+    }
+
+    /// Shared statistics (same instance the cache reports into).
+    pub fn stats(&self) -> Arc<LimaStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Shared dataset registry backing `read` across all sessions.
+    pub fn data(&self) -> Arc<DataRegistry> {
+        Arc::clone(&self.data)
+    }
+
+    /// Admits and starts a session on its own thread. Fails immediately with
+    /// [`RuntimeError::ResourceExhausted`] when the governor sits at L4.
+    pub fn spawn(&self, program: Arc<Program>, opts: SessionOptions) -> Result<SessionHandle> {
+        if let Some(g) = self.governor() {
+            if !g.sessions_enabled() {
+                LimaStats::bump(&self.stats.sessions_rejected);
+                return Err(RuntimeError::ResourceExhausted(format!(
+                    "session admission rejected at pressure level {}",
+                    g.level().as_str()
+                )));
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let token = opts.token.unwrap_or_default();
+        let deadline = opts.timeout.map(|t| Instant::now() + t);
+        LimaStats::bump(&self.stats.sessions_started);
+
+        let config = self.config.clone();
+        let cache = self.cache.clone();
+        let data = Arc::clone(&self.data);
+        let stats = Arc::clone(&self.stats);
+        let tok = Arc::clone(&token);
+        let inputs = opts.inputs;
+        let seed = opts.seed;
+        let join = std::thread::Builder::new()
+            .name(format!("lima-session-{id}"))
+            .spawn(move || {
+                run_session(
+                    id, &program, inputs, seed, config, cache, data, &stats, tok, deadline,
+                )
+            })
+            .map_err(|e| RuntimeError::Io(e.to_string()))?;
+        Ok(SessionHandle { id, token, join })
+    }
+
+    /// Convenience: spawn one session and wait for it.
+    pub fn run(&self, program: Arc<Program>, opts: SessionOptions) -> Result<SessionOutcome> {
+        self.spawn(program, opts)?.join()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_session(
+    id: u64,
+    program: &Program,
+    inputs: Vec<(String, Value)>,
+    seed: Option<u64>,
+    config: LimaConfig,
+    cache: Option<Arc<LineageCache>>,
+    data: Arc<DataRegistry>,
+    stats: &Arc<LimaStats>,
+    token: Arc<CancelToken>,
+    deadline: Option<Instant>,
+) -> Result<SessionOutcome> {
+    let t0 = Instant::now();
+    let mut ctx = ExecutionContext::with_cache(config, cache);
+    ctx.data = data;
+    ctx.stats = Arc::clone(stats);
+    ctx.session = Some(SessionCtl::new(token, deadline));
+    ctx.usage = ctx
+        .cache
+        .as_ref()
+        .and_then(|c| c.governor())
+        .map(SessionUsage::new);
+    if let Some(s) = seed {
+        ctx.reset_seed_counter(s);
+    }
+    for (name, value) in inputs {
+        ctx.data.register(name.clone(), value.clone());
+        ctx.set(name, value);
+    }
+    let result = execute_program(program, &mut ctx);
+    match &result {
+        Ok(()) => LimaStats::bump(&stats.sessions_completed),
+        Err(RuntimeError::Cancelled) => LimaStats::bump(&stats.sessions_cancelled),
+        Err(RuntimeError::DeadlineExceeded) => LimaStats::bump(&stats.sessions_deadline_exceeded),
+        Err(_) => {}
+    }
+    result?;
+    Ok(SessionOutcome {
+        id,
+        values: std::mem::take(&mut ctx.symtab),
+        stdout: std::mem::take(&mut ctx.stdout),
+        elapsed: t0.elapsed(),
+    })
+}
+
+// Pool behaviour is exercised in `crates/runtime/tests/sessions.rs`: unit
+// tests here cannot compile scripts because the `lima-lang` dev-dependency
+// cycle links a second copy of this crate whose `Program` type does not
+// unify with `crate::Program`.

@@ -1,0 +1,139 @@
+//! SessionPool integration tests: pool-wide reuse, typed cancellation and
+//! deadline errors, and governor-gated admission. These live as integration
+//! tests (not unit tests in `session.rs`) because `lima-lang` is a
+//! dev-dependency of `lima-runtime` and its `Program` type only unifies with
+//! the library build, not the unit-test build.
+
+use lima_core::{CancelToken, LimaConfig, LimaStats, ReuseMode};
+use lima_matrix::{DenseMatrix, Value};
+use lima_runtime::{Program, RuntimeError, SessionOptions, SessionPool};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn compile(src: &str, config: &LimaConfig) -> Arc<Program> {
+    Arc::new(lima_lang::compile_script(src, config).expect("compile"))
+}
+
+fn x(rows: usize, cols: usize) -> Value {
+    Value::matrix(DenseMatrix::from_fn(rows, cols, |i, j| {
+        (i * cols + j) as f64 * 0.01
+    }))
+}
+
+#[test]
+fn sessions_share_reuse_across_the_pool() {
+    let config = LimaConfig::lima();
+    let pool = SessionPool::new(config.clone());
+    let p = compile("G = t(X) %*% X; s = sum(G);", &config);
+    let r1 = pool
+        .run(
+            Arc::clone(&p),
+            SessionOptions::new().with_input("X", x(40, 8)),
+        )
+        .unwrap();
+    let r2 = pool
+        .run(p, SessionOptions::new().with_input("X", x(40, 8)))
+        .unwrap();
+    assert_eq!(
+        r1.value("s").as_f64().unwrap(),
+        r2.value("s").as_f64().unwrap()
+    );
+    let stats = pool.stats();
+    assert!(LimaStats::get(&stats.full_hits) >= 1, "peer reuse expected");
+    assert_eq!(LimaStats::get(&stats.sessions_started), 2);
+    assert_eq!(LimaStats::get(&stats.sessions_completed), 2);
+}
+
+#[test]
+fn pre_cancelled_session_fails_typed_without_poisoning_peers() {
+    let config = LimaConfig::lima();
+    let pool = SessionPool::new(config.clone());
+    let p = compile("G = t(X) %*% X; s = sum(G);", &config);
+    let token = CancelToken::new();
+    token.cancel();
+    let err = pool
+        .run(
+            Arc::clone(&p),
+            SessionOptions::new()
+                .with_token(token)
+                .with_input("X", x(40, 8)),
+        )
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::Cancelled), "got {err}");
+    assert_eq!(LimaStats::get(&pool.stats().sessions_cancelled), 1);
+    // The shared cache stays fully usable for peers.
+    let ok = pool
+        .run(p, SessionOptions::new().with_input("X", x(40, 8)))
+        .unwrap();
+    assert!(ok.value("s").as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn expired_deadline_fails_typed() {
+    let config = LimaConfig::lima();
+    let pool = SessionPool::new(config.clone());
+    // Enough instructions that at least one deadline checkpoint runs after
+    // the (already expired) zero timeout.
+    let p = compile(
+        "acc = 0; for (i in 1:50) { acc = acc + i; } s = acc;",
+        &config,
+    );
+    let err = pool
+        .run(p, SessionOptions::new().with_timeout(Duration::ZERO))
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::DeadlineExceeded), "got {err}");
+    assert_eq!(LimaStats::get(&pool.stats().sessions_deadline_exceeded), 1);
+}
+
+#[test]
+fn governor_at_l4_rejects_admission_with_typed_error() {
+    let config = LimaConfig {
+        reuse: ReuseMode::Hybrid,
+        ..LimaConfig::lima()
+    }
+    .with_governor(1000);
+    let pool = SessionPool::new(config.clone());
+    let g = pool.governor().expect("governor configured");
+    g.adjust_session_bytes(2000); // pressure 2.0 → L4
+    let p = compile("s = 1;", &config);
+    let err = pool.spawn(p, SessionOptions::new()).unwrap_err();
+    match err {
+        RuntimeError::ResourceExhausted(msg) => assert!(msg.contains("L4"), "msg: {msg}"),
+        other => panic!("expected ResourceExhausted, got {other}"),
+    }
+    assert_eq!(LimaStats::get(&pool.stats().sessions_rejected), 1);
+    // Pressure drains → admissions resume.
+    g.adjust_session_bytes(-2000);
+    let p = compile("s = 1;", &config);
+    assert!(pool.run(p, SessionOptions::new()).is_ok());
+}
+
+#[test]
+fn no_reuse_pool_still_runs_sessions() {
+    let config = LimaConfig::base();
+    let pool = SessionPool::new(config.clone());
+    assert!(pool.cache().is_none());
+    let p = compile("s = sum(X);", &config);
+    let r = pool
+        .run(p, SessionOptions::new().with_input("X", x(3, 3)))
+        .unwrap();
+    assert!(r.value("s").as_f64().unwrap() > 0.0);
+    assert_eq!(LimaStats::get(&pool.stats().sessions_completed), 1);
+}
+
+#[test]
+fn cancelling_a_running_session_recovers_quickly() {
+    let config = LimaConfig::lima();
+    let pool = SessionPool::new(config.clone());
+    // A long loop of cheap work: plenty of instruction-boundary checkpoints.
+    let p = compile(
+        "acc = 0; for (i in 1:2000000) { acc = acc + i; } s = acc;",
+        &config,
+    );
+    let h = pool.spawn(p, SessionOptions::new()).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    h.cancel();
+    let err = h.join().unwrap_err();
+    assert!(matches!(err, RuntimeError::Cancelled), "got {err}");
+    assert_eq!(LimaStats::get(&pool.stats().sessions_cancelled), 1);
+}

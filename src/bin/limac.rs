@@ -10,6 +10,7 @@
 //!     --stats                            print LIMA statistics after the run
 //!     --lineage <VAR>                    print VAR's lineage log after the run
 //!     --seed <N>                         system-seed base (reproducible runs)
+//!     --timeout-ms <N>                   abort the run after N milliseconds
 //!
 //! limac lineage-diff <a.lineage> <b.lineage>
 //!     compare two lineage logs (paper Example 3's debugging workflow)
@@ -46,7 +47,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:\n  limac run <script> [--config base|lt|ltd|lima] [--policy P] \
-[--budget-mb N] [--dedup] [--no-compiler-assist] [--stats] [--lineage VAR] [--seed N]\n  \
+[--budget-mb N] [--dedup] [--no-compiler-assist] [--stats] [--lineage VAR] [--seed N] \
+[--timeout-ms N]\n  \
 limac lineage-diff <a.lineage> <b.lineage>\n  limac recompute <trace.lineage>\n";
 
 /// Parses the `run` option list into a configuration.
@@ -96,6 +98,10 @@ fn parse_run_options(args: &[String]) -> Result<(String, LimaConfig, RunFlags), 
                 let v = take_value(args, &mut i, "--seed")?;
                 flags.seed = Some(v.parse().map_err(|_| format!("bad seed '{v}'"))?);
             }
+            "--timeout-ms" => {
+                let v = take_value(args, &mut i, "--timeout-ms")?;
+                flags.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout '{v}'"))?);
+            }
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
             path => {
                 if script_path.replace(path.to_string()).is_some() {
@@ -114,6 +120,7 @@ struct RunFlags {
     stats: bool,
     lineage_var: Option<String>,
     seed: Option<u64>,
+    timeout_ms: Option<u64>,
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -124,7 +131,15 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(seed) = flags.seed {
         ctx.reset_seed_counter(seed);
     }
-    execute_program(&program, &mut ctx).map_err(|e| e.to_string())?;
+    if let Some(ms) = flags.timeout_ms {
+        ctx.arm_deadline(std::time::Duration::from_millis(ms));
+    }
+    execute_program(&program, &mut ctx).map_err(|e| match (&e, flags.timeout_ms) {
+        (RuntimeError::DeadlineExceeded, Some(ms)) => {
+            format!("deadline exceeded: script did not finish within {ms} ms")
+        }
+        _ => e.to_string(),
+    })?;
     for line in &ctx.stdout {
         println!("{line}");
     }
@@ -234,6 +249,8 @@ mod tests {
             "B",
             "--seed",
             "7",
+            "--timeout-ms",
+            "1500",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -246,6 +263,7 @@ mod tests {
         assert!(flags.stats);
         assert_eq!(flags.lineage_var.as_deref(), Some("B"));
         assert_eq!(flags.seed, Some(7));
+        assert_eq!(flags.timeout_ms, Some(1500));
     }
 
     #[test]
@@ -254,6 +272,7 @@ mod tests {
         assert!(parse_run_options(&to_args(&["--config"])).is_err());
         assert!(parse_run_options(&to_args(&["s", "--config", "nope"])).is_err());
         assert!(parse_run_options(&to_args(&["s", "--what"])).is_err());
+        assert!(parse_run_options(&to_args(&["s", "--timeout-ms", "soon"])).is_err());
         assert!(parse_run_options(&to_args(&["a", "b"])).is_err());
         assert!(parse_run_options(&to_args(&[])).is_err());
     }

@@ -45,12 +45,19 @@ pub use lima_runtime;
 pub mod prelude {
     pub use lima_algos::runner::{run_script, run_script_with_cache, RunResult};
     pub use lima_algos::{datasets, pipelines, scripts};
+    pub use lima_core::faults::{FaultInjector, FaultSite};
     pub use lima_core::lineage::serialize::{
         deserialize_lineage, serialize_lineage, LineageParseError,
     };
-    pub use lima_core::{EvictionPolicy, LimaConfig, LimaStats, LineageCache, ReuseMode};
+    pub use lima_core::{
+        CancelToken, EvictionPolicy, LimaConfig, LimaStats, LineageCache, PressureLevel,
+        ResourceGovernor, ReuseMode,
+    };
     pub use lima_lang::compile_script;
     pub use lima_matrix::{DenseMatrix, ScalarValue, Value};
     pub use lima_runtime::reconstruct::{recompute, reconstruct};
-    pub use lima_runtime::{execute_program, ExecutionContext};
+    pub use lima_runtime::{
+        execute_program, ExecutionContext, RuntimeError, SessionHandle, SessionOptions,
+        SessionOutcome, SessionPool,
+    };
 }
