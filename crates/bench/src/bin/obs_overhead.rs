@@ -1,0 +1,88 @@
+//! Overhead guard for lima-obs: a hub that is *attached but disabled* must
+//! cost at most `LIMA_OBS_OVERHEAD_MAX` (default 1.01 = +1%) relative to a
+//! configuration with no hub attached at all, measured on an
+//! instruction-dense workload where the per-instruction gate check is the
+//! dominant difference.
+//!
+//! Methodology: the two configurations are run in strict A/B alternation
+//! (so drift in machine load hits both sides equally) and their medians are
+//! compared. `LIMA_OBS_REPS` overrides the repetition count.
+
+use lima_algos::runner::run_script;
+use lima_core::{LimaConfig, Obs};
+use lima_matrix::{DenseMatrix, Value};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Many small instructions per iteration: interpreter pre/post-processing
+/// (where the obs gate sits) dominates, kernels stay cheap.
+const SCRIPT: &str = "
+    s = 0;
+    for (i in 1:300) {
+      A = X * i;
+      B = A + X;
+      C = B - X;
+      s = s + sum(C);
+    }
+";
+
+fn time_once(config: &LimaConfig, x: &Value) -> Duration {
+    let t0 = Instant::now();
+    let r = run_script(SCRIPT, config, &[("X", x.clone())]).expect("overhead workload runs");
+    let elapsed = t0.elapsed();
+    assert!(r.value("s").as_f64().is_ok());
+    elapsed
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let reps: usize = env_parse("LIMA_OBS_REPS", 15);
+    let max_ratio: f64 = env_parse("LIMA_OBS_OVERHEAD_MAX", 1.01);
+    let x = Value::matrix(DenseMatrix::filled(48, 48, 1.25));
+
+    let detached = LimaConfig::lima();
+    let attached = LimaConfig::lima().with_obs(Arc::new(Obs::disabled()));
+
+    // Warm up caches, allocator, and code paths on both sides.
+    time_once(&detached, &x);
+    time_once(&attached, &x);
+
+    let mut base = Vec::with_capacity(reps);
+    let mut gated = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        base.push(time_once(&detached, &x));
+        gated.push(time_once(&attached, &x));
+    }
+    let base_med = median(base);
+    let gated_med = median(gated);
+    let ratio = gated_med.as_secs_f64() / base_med.as_secs_f64().max(1e-9);
+    println!(
+        "obs_overhead: detached median {:.3}ms, attached-disabled median {:.3}ms, ratio {:.4} (limit {:.4}, {} reps)",
+        base_med.as_secs_f64() * 1e3,
+        gated_med.as_secs_f64() * 1e3,
+        ratio,
+        max_ratio,
+        reps
+    );
+    if ratio > max_ratio {
+        eprintln!(
+            "obs_overhead: FAIL — disabled tracing costs {:.2}% (> {:.2}% allowed)",
+            (ratio - 1.0) * 100.0,
+            (max_ratio - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

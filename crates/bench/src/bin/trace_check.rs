@@ -1,0 +1,56 @@
+//! Validates a Chrome `trace_event` JSON file produced by `limac run
+//! --trace-out` (or an example run with `LIMA_TRACE_OUT` set): parses it with
+//! the serde-free parser, checks per-thread span nesting, and prints a
+//! one-line summary. Exits nonzero on any structural violation — the CI `obs`
+//! job runs it against freshly exported traces.
+//!
+//! ```text
+//! trace_check <trace.json> [--require-lineage]
+//! ```
+
+use lima_core::obs::{check_span_nesting, validate_chrome_trace};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace_check <trace.json> [--require-lineage]");
+        return ExitCode::from(2);
+    };
+    let require_lineage = args.iter().any(|a| a == "--require-lineage");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match validate_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_check: {path}: invalid trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = check_span_nesting(&summary) {
+        eprintln!("trace_check: {path}: span nesting violated: {e}");
+        return ExitCode::FAILURE;
+    }
+    if summary.total_events == 0 {
+        eprintln!("trace_check: {path}: trace contains no events");
+        return ExitCode::FAILURE;
+    }
+    if require_lineage && summary.with_lineage == 0 {
+        eprintln!("trace_check: {path}: no event carries a lineage id");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{path}: ok — {} events ({} spans, {} instants, {} with lineage ids, {} threads)",
+        summary.total_events,
+        summary.spans.len(),
+        summary.instants,
+        summary.with_lineage,
+        summary.tids
+    );
+    ExitCode::SUCCESS
+}

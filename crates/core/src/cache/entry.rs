@@ -2,6 +2,7 @@
 //! placeholder, cache status, measured computation time, access statistics,
 //! and the lineage-trace height used by the DAG-Height policy.
 
+use crate::lineage::item::LinKey;
 use lima_matrix::Value;
 use std::path::PathBuf;
 
@@ -48,6 +49,18 @@ pub struct CacheEntry {
     /// True when the entry was repopulated from a prior process by startup
     /// recovery; hits against it count as `persist_hits`.
     pub from_persist: bool,
+    /// True once this entry has contributed to `saved_compute_ns` (directly
+    /// on its first hit, or transitively when an enclosing composite entry
+    /// was hit). Savings attribution credits each entry at most once.
+    pub credited: bool,
+    /// Nanoseconds this entry actually credited to `saved_compute_ns` when
+    /// it was first hit (0 if never hit, or if a composite hit absorbed it).
+    pub credited_ns: u64,
+    /// For composite (function/block) entries: keys of entries fulfilled
+    /// within this entry's computation window on the same thread. Their
+    /// compute time is a subset of this entry's `compute_ns`, which is what
+    /// lets a composite hit credit only the not-yet-credited remainder.
+    pub children: Vec<LinKey>,
 }
 
 impl CacheEntry {
@@ -64,6 +77,9 @@ impl CacheEntry {
             group: 0,
             persist_id: None,
             from_persist: false,
+            credited: false,
+            credited_ns: 0,
+            children: Vec::new(),
         }
     }
 

@@ -93,6 +93,9 @@ mod tests {
             group: 0,
             persist_id: None,
             from_persist: false,
+            credited: false,
+            credited_ns: 0,
+            children: Vec::new(),
         }
     }
 

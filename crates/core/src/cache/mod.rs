@@ -15,6 +15,7 @@ use crate::config::{LimaConfig, ReuseMode};
 use crate::governor::ResourceGovernor;
 use crate::interrupt::{Interrupt, InterruptKind};
 use crate::lineage::item::{LinKey, LinRef};
+use crate::obs::{EventKind, Obs};
 use crate::retry::RetryPolicy;
 use crate::stats::LimaStats;
 use breaker::{Attempt, CircuitBreaker};
@@ -24,6 +25,7 @@ use lima_matrix::Value;
 use parking_lot::{Condvar, Mutex};
 use persist::PersistentCacheStore;
 use spill::SpillStore;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +36,31 @@ use std::time::{Duration, Instant};
 /// armed: cancellation/deadline is noticed within this bound even when no
 /// notify arrives.
 const INTERRUPT_WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// True for multi-level (function/block) cache keys, whose measured cost
+/// *contains* the cost of constituent entries fulfilled within their window.
+fn is_composite(op: &str) -> bool {
+    op.starts_with(crate::opcodes::FCALL) || op.starts_with(crate::opcodes::BCALL)
+}
+
+/// One open composite (function/block) reservation on the current thread.
+/// Entries fulfilled while a frame is open are that composite's children:
+/// their compute time is a subset of the composite's measured cost.
+struct CompositeFrame {
+    /// Identity of the owning cache (distinct caches may interleave on one
+    /// thread in tests).
+    cache: usize,
+    key: LinKey,
+    children: Vec<LinKey>,
+}
+
+thread_local! {
+    /// Stack of open composite reservations made by this thread. Composite
+    /// bodies execute on the reserving thread, so this suffices to attribute
+    /// constituent fulfills to their enclosing function/block entry (the
+    /// basis of at-most-once `saved_compute_ns` accounting).
+    static COMPOSITE_STACK: RefCell<Vec<CompositeFrame>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Outcome of a full-reuse probe.
 pub enum Probe {
@@ -72,6 +99,48 @@ impl Drop for Reservation {
         if !self.done {
             self.cache.abort(&self.key);
         }
+    }
+}
+
+/// One row of the per-lineage-item cost-attribution report
+/// ([`LineageCache::cost_report`]): the cache's `compute_ns` bookkeeping fed
+/// back to users, keyed by the same lineage item id that obs trace events
+/// carry in `args.lineage_id`.
+#[derive(Debug, Clone)]
+pub struct ItemCost {
+    /// Lineage item id (process-unique; matches trace `args.lineage_id`).
+    pub lineage_id: u64,
+    /// Opcode of the cached item (`fcall:*` / `bcall` for composites).
+    pub opcode: String,
+    /// Lineage DAG height.
+    pub height: u32,
+    /// Measured nanoseconds to compute the value once.
+    pub compute_ns: u64,
+    /// Reuse hits served by this entry.
+    pub hits: u64,
+    /// Probes that missed (including the one creating the entry).
+    pub misses: u64,
+    /// Nanoseconds this entry credited to `saved_compute_ns` (at-most-once
+    /// semantics: composites credit their cost net of constituents).
+    pub saved_ns: u64,
+    /// Whether the value is currently resident in memory.
+    pub resident: bool,
+}
+
+impl ItemCost {
+    /// One-line human rendering used by `limac run --cost-top`.
+    pub fn render(&self) -> String {
+        format!(
+            "#{:<6} {:<12} h={} compute={:.3}ms hits={} misses={} saved={:.3}ms{}",
+            self.lineage_id,
+            self.opcode,
+            self.height,
+            self.compute_ns as f64 / 1e6,
+            self.hits,
+            self.misses,
+            self.saved_ns as f64 / 1e6,
+            if self.resident { " [resident]" } else { "" },
+        )
     }
 }
 
@@ -166,11 +235,15 @@ impl LineageCache {
         };
         let stats = Arc::new(LimaStats::new());
         let governor = (config.governor_budget_bytes > 0).then(|| {
-            ResourceGovernor::new(
+            let g = ResourceGovernor::new(
                 config.governor_budget_bytes,
                 Arc::clone(&stats),
                 config.faults.clone(),
-            )
+            );
+            if let Some(obs) = &config.obs {
+                g.attach_obs(Arc::clone(obs));
+            }
+            g
         });
         let (limit, cooldown) = (config.spill_failure_limit, config.breaker_cooldown_ms);
         let mut cache = LineageCache {
@@ -281,18 +354,146 @@ impl LineageCache {
         self.state.lock().resident_bytes
     }
 
+    /// Per-lineage-item cost attribution: the `top_k` most expensive entries
+    /// the cache has seen (by measured `compute_ns`, ties broken by savings
+    /// then id), with their reuse savings under the at-most-once accounting.
+    /// Includes evicted shells — attribution outlives residency.
+    pub fn cost_report(&self, top_k: usize) -> Vec<ItemCost> {
+        let st = self.state.lock();
+        let mut rows: Vec<ItemCost> = st
+            .map
+            .iter()
+            .map(|(k, e)| ItemCost {
+                lineage_id: k.0.id(),
+                opcode: k.0.opcode().to_string(),
+                height: e.height,
+                compute_ns: e.compute_ns,
+                hits: e.hits,
+                misses: e.misses,
+                saved_ns: e.credited_ns,
+                resident: e.is_resident(),
+            })
+            .collect();
+        drop(st);
+        rows.sort_by(|a, b| {
+            b.compute_ns
+                .cmp(&a.compute_ns)
+                .then(b.saved_ns.cmp(&a.saved_ns))
+                .then(a.lineage_id.cmp(&b.lineage_id))
+        });
+        rows.truncate(top_k);
+        rows
+    }
+
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn count_hit(&self, item: &LinRef, compute_ns: u64) {
-        use crate::opcodes::{BCALL, FCALL};
-        if item.opcode().starts_with(FCALL) || item.opcode().starts_with(BCALL) {
+    /// Observability hub, already gated: `Some` only when attached *and*
+    /// enabled, so call sites pay a single branch when tracing is off.
+    #[inline]
+    fn obs(&self) -> Option<&Arc<Obs>> {
+        match &self.config.obs {
+            Some(o) if o.enabled() => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Counts a hit by kind and credits `credit_ns` (computed by
+    /// [`take_hit_credit`] under the state lock) to `saved_compute_ns`.
+    /// Unlike the old accounting — which credited the entry's full
+    /// `compute_ns` on *every* hit, double-counting composite entries and
+    /// their constituents — each computed nanosecond is now credited at most
+    /// once across the entry's lifetime.
+    fn count_hit(&self, item: &LinRef, credit_ns: u64) {
+        if is_composite(item.opcode()) {
             LimaStats::bump(&self.stats.multilevel_hits);
         } else {
             LimaStats::bump(&self.stats.full_hits);
         }
-        LimaStats::add(&self.stats.saved_compute_ns, compute_ns);
+        LimaStats::add(&self.stats.saved_compute_ns, credit_ns);
+    }
+
+    /// Builds a reservation for `key`, recording a composite frame on this
+    /// thread's attribution stack when the key is a function/block entry so
+    /// constituent fulfills can be tied to it.
+    fn reserve(self: &Arc<Self>, key: LinKey) -> Probe {
+        if let Some(o) = self.obs() {
+            o.record_instant(EventKind::CacheMiss, key.0.opcode(), key.0.id(), 0, 0);
+        }
+        if is_composite(key.0.opcode()) {
+            let me = Arc::as_ptr(self) as usize;
+            COMPOSITE_STACK.with(|s| {
+                s.borrow_mut().push(CompositeFrame {
+                    cache: me,
+                    key: key.clone(),
+                    children: Vec::new(),
+                });
+            });
+        }
+        Probe::Reserved(Reservation {
+            cache: Arc::clone(self),
+            key,
+            done: false,
+        })
+    }
+
+    /// Attribution bookkeeping on fulfill: records `key` as a child of the
+    /// innermost open composite frame (its compute happened within that
+    /// composite's measured window), and for composite keys returns the
+    /// children collected by their own frame. Frames above `key`'s
+    /// (abandoned reservations) are folded into it rather than leaked.
+    fn composite_on_fulfill(&self, key: &LinKey) -> Vec<LinKey> {
+        let me = self as *const Self as usize;
+        COMPOSITE_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if is_composite(key.0.opcode()) {
+                if let Some(pos) = stack.iter().rposition(|f| f.cache == me && f.key == *key) {
+                    let mut children = Vec::new();
+                    for f in stack.drain(pos..) {
+                        children.extend(f.children);
+                    }
+                    if let Some(parent) = stack.last_mut() {
+                        if parent.cache == me {
+                            parent.children.push(key.clone());
+                        }
+                    }
+                    return children;
+                }
+                // Reserved on another thread: attribution not tracked.
+                return Vec::new();
+            }
+            if let Some(parent) = stack.last_mut() {
+                if parent.cache == me {
+                    parent.children.push(key.clone());
+                }
+            }
+            Vec::new()
+        })
+    }
+
+    /// Attribution bookkeeping on abort: pops `key`'s composite frame (if
+    /// any) and reparents its children — the constituents were fulfilled and
+    /// remain cached even though the composite itself failed.
+    fn composite_on_abort(&self, key: &LinKey) {
+        if !is_composite(key.0.opcode()) {
+            return;
+        }
+        let me = self as *const Self as usize;
+        COMPOSITE_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|f| f.cache == me && f.key == *key) {
+                let mut orphans = Vec::new();
+                for f in stack.drain(pos..) {
+                    orphans.extend(f.children);
+                }
+                if let Some(parent) = stack.last_mut() {
+                    if parent.cache == me {
+                        parent.children.extend(orphans);
+                    }
+                }
+            }
+        });
     }
 
     /// Full-reuse probe (paper §4.1). Returns `None` when the opcode does not
@@ -342,24 +543,23 @@ impl LineageCache {
                 st.map
                     .insert(key.clone(), CacheEntry::computing(height, now));
                 drop(st);
-                return Ok(Some(Probe::Reserved(Reservation {
-                    cache: Arc::clone(self),
-                    key,
-                    done: false,
-                })));
+                return Ok(Some(self.reserve(key)));
             };
             match &e.state {
                 EntryState::Cached(v) => {
                     let value = v.clone();
-                    let compute_ns = e.compute_ns;
                     let from_persist = e.from_persist;
                     e.hits += 1;
                     e.last_access = now;
+                    let credit = take_hit_credit(&mut st.map, &key);
                     drop(st);
                     if from_persist {
                         LimaStats::bump(&self.stats.persist_hits);
                     }
-                    self.count_hit(item, compute_ns);
+                    self.count_hit(item, credit);
+                    if let Some(o) = self.obs() {
+                        o.record_instant(EventKind::CacheHit, item.opcode(), item.id(), credit, 0);
+                    }
                     return Ok(Some(Probe::Hit(value)));
                 }
                 EntryState::Spilled { path, bytes } => {
@@ -368,6 +568,7 @@ impl LineageCache {
                     let (path, bytes) = (path.clone(), *bytes);
                     e.state = EntryState::Computing;
                     drop(st);
+                    let restore_t0 = self.obs().map(|o| o.now_ns());
                     let restored = self.timed_restore(&path, bytes);
                     st = self.state.lock();
                     // Either way the spill file is gone (restore deletes it
@@ -382,8 +583,8 @@ impl LineageCache {
                                 e.size = size;
                                 e.hits += 1;
                                 e.last_access = self.tick();
-                                let compute_ns = e.compute_ns;
                                 let from_persist = e.from_persist;
+                                let credit = take_hit_credit(&mut st.map, &key);
                                 st.resident_bytes += size;
                                 self.enforce_budget(&mut st);
                                 drop(st);
@@ -391,7 +592,17 @@ impl LineageCache {
                                 if from_persist {
                                     LimaStats::bump(&self.stats.persist_hits);
                                 }
-                                self.count_hit(item, compute_ns);
+                                self.count_hit(item, credit);
+                                if let (Some(o), Some(t0)) = (self.obs(), restore_t0) {
+                                    o.record_span(
+                                        EventKind::SpillRestore,
+                                        item.opcode(),
+                                        item.id(),
+                                        t0,
+                                        bytes as u64,
+                                        0,
+                                    );
+                                }
                                 return Ok(Some(Probe::Hit(value)));
                             }
                             // Entry vanished (should not happen); treat as miss.
@@ -460,11 +671,7 @@ impl LineageCache {
                                 e.misses += 1;
                                 e.last_access = self.tick();
                                 drop(st);
-                                return Ok(Some(Probe::Reserved(Reservation {
-                                    cache: Arc::clone(self),
-                                    key,
-                                    done: false,
-                                })));
+                                return Ok(Some(self.reserve(key)));
                             }
                         }
                         // The entry moved on; re-arm the deadline in case a
@@ -483,11 +690,7 @@ impl LineageCache {
                     }
                     e.state = EntryState::Computing;
                     drop(st);
-                    return Ok(Some(Probe::Reserved(Reservation {
-                        cache: Arc::clone(self),
-                        key,
-                        done: false,
-                    })));
+                    return Ok(Some(self.reserve(key)));
                 }
             }
         }
@@ -612,6 +815,7 @@ impl LineageCache {
     }
 
     fn fulfill(&self, key: &LinKey, value: &Value, compute_ns: u64) {
+        let children = self.composite_on_fulfill(key);
         let size = value.size_in_bytes();
         let admit = size <= self.effective_budget()
             && size >= self.config.min_entry_bytes
@@ -622,6 +826,11 @@ impl LineageCache {
         if let Some(e) = st.map.get_mut(key) {
             e.compute_ns = e.compute_ns.max(compute_ns);
             e.last_access = now;
+            for c in children {
+                if !e.children.contains(&c) {
+                    e.children.push(c);
+                }
+            }
             if admit {
                 e.state = EntryState::Cached(value.clone());
                 e.size = size;
@@ -639,6 +848,15 @@ impl LineageCache {
         self.sync_governor(&st);
         drop(st);
         self.cond.notify_all();
+        if let Some(o) = self.obs() {
+            o.record_instant(
+                EventKind::CacheFulfill,
+                key.0.opcode(),
+                key.0.id(),
+                compute_ns,
+                u64::from(admit),
+            );
+        }
         if persistable {
             self.persist_entry(key, value, compute_ns);
         }
@@ -688,6 +906,7 @@ impl LineageCache {
             self.config.persist_retry_base_ms,
             self.tick(),
         );
+        let persist_t0 = self.obs().map(|o| o.now_ns());
         let (result, retries) = policy.run(
             |_| !store.crashed(),
             || store.persist(&key.0, value, compute_ns),
@@ -701,6 +920,16 @@ impl LineageCache {
                 LimaStats::bump(&self.stats.persist_writes);
                 LimaStats::add(&self.stats.persist_bytes, outcome.bytes);
                 LimaStats::add(&self.stats.persist_tombstones, outcome.evicted);
+                if let (Some(o), Some(t0)) = (self.obs(), persist_t0) {
+                    o.record_span(
+                        EventKind::PersistWrite,
+                        key.0.opcode(),
+                        key.0.id(),
+                        t0,
+                        outcome.bytes,
+                        0,
+                    );
+                }
                 let mut st = self.state.lock();
                 if let Some(e) = st.map.get_mut(key) {
                     e.persist_id = Some(outcome.id);
@@ -723,6 +952,7 @@ impl LineageCache {
     }
 
     fn abort(&self, key: &LinKey) {
+        self.composite_on_abort(key);
         let mut st = self.state.lock();
         if let Some(e) = st.map.get_mut(key) {
             if e.is_computing() {
@@ -812,6 +1042,7 @@ impl LineageCache {
                                     LimaStats::bump(&self.stats.breaker_probes);
                                 }
                                 let t0 = Instant::now();
+                                let spill_t0 = self.obs().map(|o| o.now_ns());
                                 match store.spill(&value) {
                                     Ok(Some((path, bytes))) => {
                                         self.spill_breaker.record_success();
@@ -820,6 +1051,16 @@ impl LineageCache {
                                         LimaStats::bump(&self.stats.spills);
                                         LimaStats::add(&self.stats.spill_bytes, bytes as u64);
                                         st.spilled_bytes += bytes;
+                                        if let (Some(o), Some(ot0)) = (self.obs(), spill_t0) {
+                                            o.record_span(
+                                                EventKind::SpillWrite,
+                                                vkey.0.opcode(),
+                                                vkey.0.id(),
+                                                ot0,
+                                                bytes as u64,
+                                                0,
+                                            );
+                                        }
                                         if let Some(e) = st.map.get_mut(&vkey) {
                                             e.state = EntryState::Spilled { path, bytes };
                                         }
@@ -909,6 +1150,47 @@ impl LineageCache {
         drop(st);
         self.cond.notify_all();
     }
+}
+
+/// First-hit savings credit (the `saved_compute_ns` at-most-once rule):
+/// returns the nanoseconds this hit may add to the savings counter.
+///
+/// An entry credits only on its first hit. A composite (function/block)
+/// entry credits its measured cost minus whatever its transitive children
+/// (entries computed within its window) already credited, and marks the
+/// whole subtree credited so constituent hits cannot credit the same
+/// nanoseconds again later. Conversely, a constituent hit before the
+/// composite's first hit credits its own cost, which the composite then
+/// subtracts. Must run under the cache state lock.
+#[allow(clippy::mutable_key_type)] // OnceLock caches never change Hash/Eq
+fn take_hit_credit(map: &mut HashMap<LinKey, CacheEntry>, key: &LinKey) -> u64 {
+    let (compute_ns, children) = match map.get_mut(key) {
+        Some(e) if !e.credited => {
+            e.credited = true;
+            (e.compute_ns, e.children.clone())
+        }
+        _ => return 0,
+    };
+    let mut already_credited = 0u64;
+    let mut queue = children;
+    let mut seen: std::collections::HashSet<LinKey> = std::collections::HashSet::new();
+    while let Some(k) = queue.pop() {
+        if !seen.insert(k.clone()) {
+            continue;
+        }
+        if let Some(e) = map.get_mut(&k) {
+            if e.credited {
+                already_credited = already_credited.saturating_add(e.credited_ns);
+            }
+            e.credited = true;
+            queue.extend(e.children.iter().cloned());
+        }
+    }
+    let credit = compute_ns.saturating_sub(already_credited);
+    if let Some(e) = map.get_mut(key) {
+        e.credited_ns = credit;
+    }
+    credit
 }
 
 /// Identity tag grouping entries that cache the same underlying object
@@ -1518,5 +1800,178 @@ mod tests {
         assert!(LimaStats::get(&cache.stats().breaker_probes) >= 1);
         assert!(LimaStats::get(&cache.stats().spills) >= 1);
         assert!(inj.occurrences(FaultSite::SpillWrite) >= 2);
+    }
+
+    /// Fulfils the composite-then-constituent shape of a function call:
+    /// the op entry is computed *inside* the composite's window.
+    fn fulfill_composite_with_child(
+        cache: &Arc<LineageCache>,
+        f_item: &LinRef,
+        op_item: &LinRef,
+        op_ns: u64,
+        f_ns: u64,
+    ) {
+        let rf = match cache.acquire(f_item).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!("composite should miss"),
+        };
+        let ro = match cache.acquire(op_item).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!("op should miss"),
+        };
+        ro.fulfill(&mat(4), op_ns);
+        rf.fulfill(&mat(4), f_ns);
+    }
+
+    /// Regression (savings double-count): a multilevel hit used to credit
+    /// the composite's full `compute_ns` on every probe, *and* constituent
+    /// hits credited their (already included) cost again. Savings must now
+    /// count each computed nanosecond at most once, in either hit order.
+    #[test]
+    fn saved_compute_credits_each_nanosecond_at_most_once() {
+        // Composite hit first: credits its full cost (nothing credited yet),
+        // then the constituent hit credits nothing more.
+        let cache = LineageCache::new(cfg(1 << 24));
+        let f = mk_item("fcall:f", "X");
+        let op = mk_item("tsmm", "X");
+        fulfill_composite_with_child(&cache, &f, &op, 2_000, 5_000);
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 0);
+        assert!(matches!(cache.acquire(&f), Some(Probe::Hit(_))));
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 5_000);
+        assert!(matches!(cache.acquire(&op), Some(Probe::Hit(_))));
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 5_000);
+        // Repeat hits stay flat (first-hit-only crediting).
+        assert!(matches!(cache.acquire(&f), Some(Probe::Hit(_))));
+        assert!(matches!(cache.acquire(&op), Some(Probe::Hit(_))));
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 5_000);
+        // Hit-kind counters still classify by level.
+        assert_eq!(LimaStats::get(&cache.stats().multilevel_hits), 2);
+        assert_eq!(LimaStats::get(&cache.stats().full_hits), 2);
+    }
+
+    #[test]
+    fn saved_compute_constituent_first_then_composite_nets_out() {
+        let cache = LineageCache::new(cfg(1 << 24));
+        let f = mk_item("fcall:f", "X");
+        let op = mk_item("tsmm", "X");
+        fulfill_composite_with_child(&cache, &f, &op, 2_000, 5_000);
+        // Constituent hit first: credits its own 2µs...
+        assert!(matches!(cache.acquire(&op), Some(Probe::Hit(_))));
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 2_000);
+        // ...and the composite then credits only the 3µs remainder.
+        assert!(matches!(cache.acquire(&f), Some(Probe::Hit(_))));
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 5_000);
+    }
+
+    #[test]
+    fn saved_compute_handles_nested_composites() {
+        // g(X) nested inside f(X): f { g { op } }. Marking must recurse so a
+        // later grandchild hit cannot re-credit time f already claimed.
+        let cache = LineageCache::new(cfg(1 << 24));
+        let f = mk_item("fcall:f", "X");
+        let g = mk_item("fcall:g", "X");
+        let op = mk_item("tsmm", "X");
+        let rf = match cache.acquire(&f).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        let rg = match cache.acquire(&g).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        let ro = match cache.acquire(&op).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        ro.fulfill(&mat(4), 1_000);
+        rg.fulfill(&mat(4), 3_000);
+        rf.fulfill(&mat(4), 9_000);
+        assert!(matches!(cache.acquire(&f), Some(Probe::Hit(_))));
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 9_000);
+        assert!(matches!(cache.acquire(&g), Some(Probe::Hit(_))));
+        assert!(matches!(cache.acquire(&op), Some(Probe::Hit(_))));
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 9_000);
+    }
+
+    #[test]
+    fn aborted_composite_reparents_children() {
+        // f fails after its constituent was cached: the constituent's cost
+        // must still be attributed (to the outer scope), and its own hits
+        // credit normally, once.
+        let cache = LineageCache::new(cfg(1 << 24));
+        let f = mk_item("fcall:f", "X");
+        let op = mk_item("tsmm", "X");
+        let rf = match cache.acquire(&f).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        let ro = match cache.acquire(&op).unwrap() {
+            Probe::Reserved(r) => r,
+            _ => panic!(),
+        };
+        ro.fulfill(&mat(4), 2_000);
+        rf.abort();
+        assert!(matches!(cache.acquire(&op), Some(Probe::Hit(_))));
+        assert!(matches!(cache.acquire(&op), Some(Probe::Hit(_))));
+        assert_eq!(LimaStats::get(&cache.stats().saved_compute_ns), 2_000);
+    }
+
+    #[test]
+    fn cost_report_ranks_by_compute_and_carries_lineage_ids() {
+        let cache = LineageCache::new(cfg(1 << 24));
+        let cheap = mk_item("ba+*", "cheap");
+        let costly = mk_item("tsmm", "costly");
+        for (item, ns) in [(&cheap, 1_000u64), (&costly, 50_000)] {
+            match cache.acquire(item).unwrap() {
+                Probe::Reserved(r) => r.fulfill(&mat(4), ns),
+                _ => panic!(),
+            }
+        }
+        assert!(matches!(cache.acquire(&costly), Some(Probe::Hit(_))));
+        let report = cache.cost_report(10);
+        // read leaves are not cached, so exactly the two op entries appear.
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].opcode, "tsmm");
+        assert_eq!(report[0].compute_ns, 50_000);
+        assert_eq!(report[0].hits, 1);
+        assert_eq!(report[0].saved_ns, 50_000);
+        assert_eq!(report[0].lineage_id, costly.id());
+        assert!(report[0].resident);
+        assert_eq!(report[1].opcode, "ba+*");
+        assert_eq!(report[1].saved_ns, 0);
+        let top1 = cache.cost_report(1);
+        assert_eq!(top1.len(), 1);
+        assert!(top1[0].render().contains("tsmm"));
+    }
+
+    #[test]
+    fn cache_emits_obs_events_with_lineage_ids() {
+        use crate::obs::EventKind;
+        let obs = Arc::new(Obs::new());
+        let config = LimaConfig {
+            obs: Some(Arc::clone(&obs)),
+            ..cfg(1 << 24)
+        };
+        let cache = LineageCache::new(config);
+        let item = mk_item("tsmm", "X");
+        match cache.acquire(&item).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(4), 7_000),
+            _ => panic!(),
+        }
+        assert!(matches!(cache.acquire(&item), Some(Probe::Hit(_))));
+        let events = obs.events();
+        let kinds: Vec<EventKind> = events.iter().map(|(_, e)| e.kind).collect();
+        assert!(kinds.contains(&EventKind::CacheMiss));
+        assert!(kinds.contains(&EventKind::CacheFulfill));
+        assert!(kinds.contains(&EventKind::CacheHit));
+        for (_, e) in &events {
+            assert_eq!(e.lineage_id, item.id());
+            assert_eq!(e.name.as_str(), "tsmm");
+        }
+        let hit = events
+            .iter()
+            .find(|(_, e)| e.kind == EventKind::CacheHit)
+            .unwrap();
+        assert_eq!(hit.1.a, 7_000); // first hit credited the full cost
     }
 }

@@ -123,6 +123,10 @@ pub struct LimaConfig {
     /// Deterministic fault-injection harness; `None` (the default) injects
     /// nothing and is the production configuration.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Observability hub (lima-obs): lineage-aware trace events from the
+    /// cache, governor, and runtime flow into its per-thread rings. `None`
+    /// (the default) removes even the per-event gate check from most paths.
+    pub obs: Option<Arc<crate::obs::Obs>>,
 }
 
 impl Default for LimaConfig {
@@ -149,6 +153,7 @@ impl Default for LimaConfig {
             persist_dir: None,
             persist_budget_bytes: 1 << 30,
             faults: None,
+            obs: None,
         }
     }
 }
@@ -193,6 +198,13 @@ impl LimaConfig {
     /// Attaches a fault-injection harness (robustness tests).
     pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches an observability hub; runtime and cache events are recorded
+    /// into it whenever its gate is open (see [`crate::obs::Obs`]).
+    pub fn with_obs(mut self, obs: Arc<crate::obs::Obs>) -> Self {
+        self.obs = Some(obs);
         self
     }
 

@@ -26,7 +26,9 @@
 //! a degraded mode or a typed rejection.
 
 use crate::faults::{FaultInjector, FaultSite};
+use crate::obs::{EventKind, Obs};
 use crate::stats::LimaStats;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
@@ -93,6 +95,10 @@ pub struct ResourceGovernor {
     synthetic_bytes: AtomicU64,
     stats: Arc<LimaStats>,
     faults: Option<Arc<FaultInjector>>,
+    /// Observability hub; ladder transitions are recorded as
+    /// `GovernorShift` events. Locked only on attach and on an actual level
+    /// change (transitions are rare by design — hysteresis).
+    obs: Mutex<Option<Arc<Obs>>>,
 }
 
 impl ResourceGovernor {
@@ -112,9 +118,16 @@ impl ResourceGovernor {
             synthetic_bytes: AtomicU64::new(0),
             stats,
             faults,
+            obs: Mutex::new(None),
         });
         g.reevaluate();
         g
+    }
+
+    /// Attaches an observability hub; subsequent ladder transitions emit
+    /// `GovernorShift` events carrying the from/to levels.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        *self.obs.lock() = Some(obs);
     }
 
     /// The configured process budget.
@@ -164,6 +177,15 @@ impl ResourceGovernor {
                     LimaStats::bump(&self.stats.governor_degrades);
                 } else {
                     LimaStats::bump(&self.stats.governor_recovers);
+                }
+                if let Some(o) = self.obs.lock().as_ref().filter(|o| o.enabled()) {
+                    o.record_instant(
+                        EventKind::GovernorShift,
+                        PressureLevel::from_u8(next).as_str(),
+                        0,
+                        u64::from(cur),
+                        u64::from(next),
+                    );
                 }
             }
         }

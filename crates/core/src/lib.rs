@@ -18,14 +18,16 @@ pub mod faults;
 pub mod governor;
 pub mod interrupt;
 pub mod lineage;
+pub mod obs;
 pub mod opcodes;
 pub mod retry;
 pub mod stats;
 
-pub use cache::LineageCache;
+pub use cache::{ItemCost, LineageCache};
 pub use config::{EvictionPolicy, LimaConfig, ReuseMode};
 pub use faults::{FaultInjector, FaultSite};
 pub use governor::{PressureLevel, ResourceGovernor};
 pub use interrupt::{CancelToken, Interrupt, InterruptKind};
 pub use lineage::{LinRef, LineageItem, LineageMap};
+pub use obs::{Event, EventKind, Obs};
 pub use stats::LimaStats;

@@ -1,102 +1,136 @@
 //! Runtime statistics collected by LIMA (paper §5.1: cache misses,
 //! rewrite/spill times, etc.). All counters are atomic so parfor workers can
 //! update them concurrently.
+//!
+//! The counter list is declared once through `define_stats!`, which derives
+//! both the struct and the [`LimaStats::counters`] iteration order — so the
+//! Prometheus exporter and monotonicity snapshots can never miss a field
+//! added later (the exporter round-trip test enforces this by construction).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Aggregated LIMA statistics. One instance lives next to each cache.
-#[derive(Debug, Default)]
-pub struct LimaStats {
+macro_rules! define_stats {
+    ($($(#[doc = $doc:expr])+ $name:ident,)+) => {
+        /// Aggregated LIMA statistics. One instance lives next to each cache.
+        #[derive(Debug, Default)]
+        pub struct LimaStats {
+            $(
+                $(#[doc = $doc])+
+                pub $name: AtomicU64,
+            )+
+        }
+
+        impl LimaStats {
+            /// Every counter as `(name, handle)`, in declaration order. The
+            /// single source of truth for exporters: `prometheus()` and
+            /// `snapshot()` iterate this list, so a counter added to the
+            /// struct is exported automatically.
+            pub fn counters(&self) -> Vec<(&'static str, &AtomicU64)> {
+                vec![$((stringify!($name), &self.$name),)+]
+            }
+
+            /// Per-counter doc strings, aligned with [`Self::counters`];
+            /// used for Prometheus `# HELP` lines.
+            fn helps() -> &'static [(&'static str, &'static str)] {
+                &[$((stringify!($name), concat!($($doc),+)),)+]
+            }
+        }
+    };
+}
+
+define_stats! {
     /// Lineage items created by tracing.
-    pub items_traced: AtomicU64,
+    items_traced,
     /// Dedup items appended instead of full sub-DAGs.
-    pub dedup_items: AtomicU64,
+    dedup_items,
     /// Lineage patches materialized.
-    pub dedup_patches: AtomicU64,
+    dedup_patches,
     /// Cache probes (full reuse).
-    pub probes: AtomicU64,
+    probes,
     /// Operation-level full-reuse hits.
-    pub full_hits: AtomicU64,
+    full_hits,
     /// Multi-level (function/block) reuse hits.
-    pub multilevel_hits: AtomicU64,
+    multilevel_hits,
     /// Partial-reuse rewrite hits.
-    pub partial_hits: AtomicU64,
+    partial_hits,
     /// Threads that blocked on a placeholder entry being computed elsewhere.
-    pub placeholder_waits: AtomicU64,
+    placeholder_waits,
     /// Values stored into the cache.
-    pub puts: AtomicU64,
+    puts,
     /// Values rejected by the cache (non-cacheable, over budget, ...).
-    pub rejected_puts: AtomicU64,
+    rejected_puts,
     /// Entries evicted by deletion.
-    pub evictions: AtomicU64,
+    evictions,
     /// Entries evicted by spilling to disk.
-    pub spills: AtomicU64,
+    spills,
     /// Spilled entries restored from disk on a hit.
-    pub restores: AtomicU64,
+    restores,
     /// Bytes written by spilling.
-    pub spill_bytes: AtomicU64,
-    /// Nanoseconds of compute time saved by reuse (measured cost of the
-    /// reused entries at the time they were cached).
-    pub saved_compute_ns: AtomicU64,
+    spill_bytes,
+    /// Nanoseconds of compute time saved by reuse. Each computed nanosecond
+    /// is credited at most once: an entry credits on its first hit only, and
+    /// a composite (function/block) entry credits its measured cost minus
+    /// whatever its constituents already credited.
+    saved_compute_ns,
     /// Nanoseconds spent executing partial-reuse compensation plans.
-    pub compensation_ns: AtomicU64,
+    compensation_ns,
     /// Spill writes that failed (entry fell back to delete-eviction).
-    pub spill_failures: AtomicU64,
+    spill_failures,
     /// Spilled entries whose restore failed (missing/corrupt file); the
     /// probe degraded to a miss and the value was recomputed.
-    pub restore_failures: AtomicU64,
+    restore_failures,
     /// Placeholder waits that timed out and took over the computation from a
     /// presumed-dead fulfiller.
-    pub placeholder_timeouts: AtomicU64,
+    placeholder_timeouts,
     /// Parfor workers that panicked (isolated and surfaced as errors).
-    pub worker_panics: AtomicU64,
+    worker_panics,
     /// Entries durably written to the persistent cache store.
-    pub persist_writes: AtomicU64,
+    persist_writes,
     /// Persistent writes that failed (entry stays memory-only).
-    pub persist_failures: AtomicU64,
+    persist_failures,
     /// Bytes of value files written by the persistent store.
-    pub persist_bytes: AtomicU64,
+    persist_bytes,
     /// Eviction tombstones appended to the persistent manifest.
-    pub persist_tombstones: AtomicU64,
+    persist_tombstones,
     /// Reuse hits served by entries recovered from a prior process.
-    pub persist_hits: AtomicU64,
+    persist_hits,
     /// Entries repopulated from disk during startup recovery.
-    pub persist_recovered: AtomicU64,
+    persist_recovered,
     /// Committed entries dropped during recovery (missing/corrupt value file
     /// or unparseable lineage).
-    pub persist_dropped: AtomicU64,
+    persist_dropped,
     /// Recoveries that truncated a torn WAL tail (at most 1 per startup).
-    pub persist_torn_truncations: AtomicU64,
+    persist_torn_truncations,
     /// Orphaned value files garbage-collected during recovery.
-    pub persist_orphans_gcd: AtomicU64,
+    persist_orphans_gcd,
     /// Instructions the static determinism analysis unmarked for caching
     /// (loop-carried, non-deterministic, or side-effecting; paper §4.3).
-    pub ops_unmarked: AtomicU64,
+    ops_unmarked,
     /// Functions the analysis classified reuse-ineligible (non-deterministic
     /// bodies are excluded from function-level multi-level reuse, §4.1).
-    pub funcs_reuse_ineligible: AtomicU64,
+    funcs_reuse_ineligible,
     /// Governor ladder transitions toward higher pressure (one per level).
-    pub governor_degrades: AtomicU64,
+    governor_degrades,
     /// Governor ladder transitions back toward normal (one per level).
-    pub governor_recovers: AtomicU64,
+    governor_recovers,
     /// Admissions (cache entries or sessions) rejected by the governor.
-    pub governor_admission_rejects: AtomicU64,
+    governor_admission_rejects,
     /// Allocation attempts rejected (injected `AllocFail` faults).
-    pub alloc_failures: AtomicU64,
+    alloc_failures,
     /// Transient persist I/O errors absorbed by backoff retries.
-    pub persist_retries: AtomicU64,
+    persist_retries,
     /// Half-open probe attempts granted by the spill/persist breakers.
-    pub breaker_probes: AtomicU64,
+    breaker_probes,
     /// Sessions admitted into a `SessionPool`.
-    pub sessions_started: AtomicU64,
+    sessions_started,
     /// Sessions that ran to completion.
-    pub sessions_completed: AtomicU64,
+    sessions_completed,
     /// Sessions terminated by cooperative cancellation.
-    pub sessions_cancelled: AtomicU64,
+    sessions_cancelled,
     /// Sessions terminated by their deadline.
-    pub sessions_deadline_exceeded: AtomicU64,
+    sessions_deadline_exceeded,
     /// Session admissions rejected by the governor (`ResourceExhausted`).
-    pub sessions_rejected: AtomicU64,
+    sessions_rejected,
 }
 
 impl LimaStats {
@@ -125,6 +159,43 @@ impl LimaStats {
         Self::get(&self.full_hits)
             + Self::get(&self.multilevel_hits)
             + Self::get(&self.partial_hits)
+    }
+
+    /// Point-in-time copy of every counter as `(name, value)`, in
+    /// declaration order. Handy for monotonicity assertions in tests.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counters()
+            .into_iter()
+            .map(|(name, c)| (name, Self::get(c)))
+            .collect()
+    }
+
+    /// Prometheus text-exposition rendering of every counter (plus the
+    /// derived `lima_total_hits`), each with `# HELP` and `# TYPE` lines.
+    /// Scrape-ready: write it to a file or serve it as
+    /// `text/plain; version=0.0.4`.
+    pub fn prometheus(&self) -> String {
+        let helps = Self::helps();
+        let mut out = String::with_capacity(helps.len() * 160);
+        for (i, (name, counter)) in self.counters().into_iter().enumerate() {
+            let help = helps
+                .get(i)
+                .map(|(_, h)| *h)
+                .unwrap_or("")
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "# HELP lima_{name} {help}\n# TYPE lima_{name} counter\nlima_{name} {}\n",
+                Self::get(counter)
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP lima_total_hits Total reuse hits of any kind (full + multilevel + partial).\n\
+             # TYPE lima_total_hits counter\nlima_total_hits {}\n",
+            self.total_hits()
+        ));
+        out
     }
 
     /// Human-readable multi-line report.
@@ -190,6 +261,7 @@ impl LimaStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn counters_accumulate() {
@@ -226,5 +298,53 @@ mod tests {
         assert!(r.contains("degrades=1"));
         assert!(r.contains("deadline_exceeded=1"));
         assert!(r.contains("breaker_probes=0"));
+    }
+
+    /// Satellite: `prometheus()` must round-trip *every* counter in
+    /// `LimaStats` — names, values, and HELP/TYPE metadata.
+    #[test]
+    fn prometheus_round_trips_every_counter() {
+        let s = LimaStats::new();
+        for (i, (_, c)) in s.counters().into_iter().enumerate() {
+            c.store(i as u64 * 7 + 1, Ordering::Relaxed);
+        }
+        let text = s.prometheus();
+
+        // Parse the exposition format back: `name value` sample lines.
+        let mut samples: HashMap<&str, u64> = HashMap::new();
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            let value: u64 = parts.next().unwrap().parse().unwrap();
+            samples.insert(name, value);
+        }
+
+        let counters = s.counters();
+        // Every declared counter appears with its exact value...
+        for (i, (name, _)) in counters.iter().enumerate() {
+            let key = format!("lima_{name}");
+            assert_eq!(
+                samples.get(key.as_str()),
+                Some(&(i as u64 * 7 + 1)),
+                "counter {name} missing or wrong in prometheus output"
+            );
+            assert!(text.contains(&format!("# HELP lima_{name} ")));
+            assert!(text.contains(&format!("# TYPE lima_{name} counter")));
+        }
+        // ...and nothing else except the derived total_hits.
+        assert_eq!(samples.len(), counters.len() + 1);
+        assert_eq!(samples.get("lima_total_hits"), Some(&s.total_hits()));
+    }
+
+    #[test]
+    fn snapshot_matches_counters() {
+        let s = LimaStats::new();
+        LimaStats::add(&s.spills, 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), s.counters().len());
+        assert!(snap.contains(&("spills", 4)));
     }
 }

@@ -14,8 +14,9 @@ use lima_core::cache::Probe;
 use lima_core::lineage::dedup::{DedupPatch, PathTracer};
 use lima_core::lineage::item::{LinRef, LineageItem};
 use lima_core::opcodes as oc;
-use lima_core::LimaStats;
+use lima_core::{EventKind, LimaStats, Obs};
 use lima_matrix::{ScalarValue, Value};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Maximum function-call recursion depth. Kept modest: the interpreter
@@ -47,6 +48,29 @@ pub fn execute_blocks(
         debug_verify_lineage(ctx);
     }
     Ok(())
+}
+
+/// Observability handle for the current context: `Some` only when a hub is
+/// attached *and* its gate is open, so detached configurations pay a single
+/// `Option` check and enabled checks happen once per instruction.
+#[inline]
+fn obs_of(ctx: &ExecutionContext) -> Option<Arc<Obs>> {
+    ctx.config.obs.clone().filter(|o| o.enabled())
+}
+
+/// Closes an instruction span opened at `t0`. `outcome` distinguishes how the
+/// instruction resolved: 0 computed, 1 full reuse hit, 2 partial rewrite.
+fn obs_instr_span(
+    obs: &Option<Arc<Obs>>,
+    t0: Option<u64>,
+    op: &Op,
+    item: Option<&LinRef>,
+    outcome: u64,
+) {
+    if let (Some(o), Some(t0)) = (obs, t0) {
+        let id = item.map_or(0, |i| i.id());
+        o.record_span(EventKind::Instr, &op.opcode(), id, t0, outcome, 0);
+    }
 }
 
 /// Probes the cache with the session interrupt threaded through, so a probe
@@ -461,6 +485,15 @@ fn try_block_reuse(
             let (Value::List(names), Value::List(values)) = (names, values) else {
                 return Ok(false);
             };
+            if let Some(o) = obs_of(ctx) {
+                o.record_instant(
+                    EventKind::BlockReuse,
+                    oc::BCALL,
+                    item.id(),
+                    block_id,
+                    names.len() as u64,
+                );
+            }
             for (i, (name, value)) in names.iter().zip(values.iter()).enumerate() {
                 let Value::Scalar(ScalarValue::Str(name)) = name else {
                     continue;
@@ -559,6 +592,9 @@ pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContex
         _ => {}
     }
 
+    let obs = obs_of(ctx);
+    let obs_t0 = obs.as_ref().map(|o| o.now_ns());
+
     // 1. Resolve operand values; generate system seeds where requested.
     let mut resolved: Vec<Value> = Vec::with_capacity(instr.inputs.len());
     for o in &instr.inputs {
@@ -609,6 +645,7 @@ pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContex
             match cache_acquire(&cache, item, ctx)? {
                 Some(Probe::Hit(value)) => {
                     let outputs = unbundle(value, instr.outputs.len());
+                    obs_instr_span(&obs, obs_t0, &instr.op, Some(item), 1);
                     bind_outputs(instr, outputs, Some(item.clone()), ctx);
                     return Ok(());
                 }
@@ -618,6 +655,16 @@ pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContex
                         // The compensation time is the best available proxy
                         // for this entry's recompute cost.
                         r.fulfill(&hit.value, t0.elapsed().as_nanos() as u64);
+                        if let Some(o) = &obs {
+                            o.record_instant(
+                                EventKind::PartialRewrite,
+                                &instr.op.opcode(),
+                                item.id(),
+                                0,
+                                0,
+                            );
+                        }
+                        obs_instr_span(&obs, obs_t0, &instr.op, Some(item), 2);
                         bind_outputs(instr, vec![hit.value], Some(item.clone()), ctx);
                         return Ok(());
                     }
@@ -640,6 +687,16 @@ pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContex
         } else if cache.partial_reuse() && !instr.no_cache && ctx.dedup_trace.is_none() {
             // Partial-only configurations still rewrite without reserving.
             if let Some(hit) = try_partial_reuse(&cache, item, rewrite_vals) {
+                if let Some(o) = &obs {
+                    o.record_instant(
+                        EventKind::PartialRewrite,
+                        &instr.op.opcode(),
+                        item.id(),
+                        0,
+                        0,
+                    );
+                }
+                obs_instr_span(&obs, obs_t0, &instr.op, Some(item), 2);
                 bind_outputs(instr, vec![hit.value], Some(item.clone()), ctx);
                 return Ok(());
             }
@@ -665,6 +722,7 @@ pub fn execute_instr(instr: &Instr, program: &Program, ctx: &mut ExecutionContex
         r.fulfill(&bundled, elapsed);
     }
 
+    obs_instr_span(&obs, obs_t0, &instr.op, traced.as_ref().map(|t| &t.0), 0);
     bind_outputs(instr, out, traced.map(|t| t.0), ctx);
     Ok(())
 }
@@ -943,6 +1001,8 @@ fn execute_fcall(
             ),
         });
     }
+    let obs = obs_of(ctx);
+    let obs_t0 = obs.as_ref().map(|o| o.now_ns());
     let args: Vec<Value> = instr
         .inputs
         .iter()
@@ -986,6 +1046,9 @@ fn execute_fcall(
             match cache_acquire(&cache, &item, ctx)? {
                 Some(Probe::Hit(bundle)) => {
                     let outputs = unbundle(bundle, instr.outputs.len());
+                    if let (Some(o), Some(t0)) = (&obs, obs_t0) {
+                        o.record_span(EventKind::FCall, name, item.id(), t0, 1, 0);
+                    }
                     bind_outputs(instr, outputs, Some(item), ctx);
                     return Ok(());
                 }
@@ -1035,8 +1098,14 @@ fn execute_fcall(
     if let (Some(r), Some(item)) = (reservation, fcall_item) {
         let bundled = bundle(&out_values);
         r.fulfill(&bundled, elapsed);
+        if let (Some(o), Some(t0)) = (&obs, obs_t0) {
+            o.record_span(EventKind::FCall, name, item.id(), t0, 0, 0);
+        }
         bind_outputs(instr, out_values, Some(item), ctx);
         return Ok(());
+    }
+    if let (Some(o), Some(t0)) = (&obs, obs_t0) {
+        o.record_span(EventKind::FCall, name, 0, t0, 0, 0);
     }
 
     // No function-level reuse: propagate precise op-level lineage.

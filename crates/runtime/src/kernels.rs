@@ -174,7 +174,20 @@ fn tsmm_left_checkpointed(x: &DenseMatrix, ctx: &ExecutionContext) -> Result<Den
 
 /// Executes a pure instruction kernel. `Rand`/`Sample` expect their seed
 /// operand already resolved to a concrete value by the interpreter.
+///
+/// With an observability hub attached and enabled, successful executions are
+/// recorded as `Kernel` spans nested inside the interpreter's `Instr` span.
 pub fn execute_kernel(op: &Op, inputs: &[Value], ctx: &ExecutionContext) -> Result<Vec<Value>> {
+    let obs = ctx.config.obs.as_ref().filter(|o| o.enabled());
+    let t0 = obs.map(|o| o.now_ns());
+    let out = execute_kernel_inner(op, inputs, ctx)?;
+    if let (Some(o), Some(t0)) = (obs, t0) {
+        o.record_span(lima_core::EventKind::Kernel, &op.opcode(), 0, t0, 0, 0);
+    }
+    Ok(out)
+}
+
+fn execute_kernel_inner(op: &Op, inputs: &[Value], ctx: &ExecutionContext) -> Result<Vec<Value>> {
     let out = match op {
         Op::Binary(b) => {
             need(inputs, 2, op)?;

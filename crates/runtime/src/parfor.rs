@@ -23,7 +23,7 @@ use crate::interp::execute_blocks;
 use crate::program::{Block, Program};
 use lima_core::faults::FaultSite;
 use lima_core::lineage::item::{LinRef, LineageItem};
-use lima_core::LimaStats;
+use lima_core::{EventKind, LimaStats};
 use lima_matrix::{DenseMatrix, Value};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -76,6 +76,9 @@ pub(crate) fn execute_parfor(
     if workers == 1 {
         // Degenerate case: serial execution in place, with the same panic
         // isolation as the threaded path.
+        let n_iters = iterations.len() as u64;
+        let obs = ctx.config.obs.clone().filter(|o| o.enabled());
+        let obs_t0 = obs.as_ref().map(|o| o.now_ns());
         let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
             for i in iterations {
                 ctx.check_interrupt()?;
@@ -85,6 +88,9 @@ pub(crate) fn execute_parfor(
             }
             Ok(())
         }));
+        if let (Some(o), Some(t0)) = (&obs, obs_t0) {
+            o.record_span(EventKind::ParforWorker, "parfor", 0, t0, 0, n_iters);
+        }
         // The loop variable does not survive the parfor (body-local scope),
         // matching the threaded path where it never enters the parent
         // context at all.
@@ -125,6 +131,9 @@ pub(crate) fn execute_parfor(
             let results = results.to_vec();
             handles.push(s.spawn(move |_| -> Result<WorkerOut> {
                 let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<WorkerOut> {
+                    let n_iters = iters.len() as u64;
+                    let obs = wctx.config.obs.clone().filter(|o| o.enabled());
+                    let obs_t0 = obs.as_ref().map(|o| o.now_ns());
                     for i in iters {
                         if cancel.load(Ordering::Relaxed) {
                             break;
@@ -136,6 +145,9 @@ pub(crate) fn execute_parfor(
                         maybe_inject_panic(&wctx, i);
                         wctx.set(var.clone(), Value::i64(i));
                         execute_blocks(body, program, &mut wctx)?;
+                    }
+                    if let (Some(o), Some(t0)) = (&obs, obs_t0) {
+                        o.record_span(EventKind::ParforWorker, "parfor", 0, t0, w as u64, n_iters);
                     }
                     let results = results
                         .iter()

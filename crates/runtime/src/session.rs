@@ -28,7 +28,7 @@ use crate::governor::SessionUsage;
 use crate::interp::execute_program;
 use crate::program::Program;
 use lima_core::interrupt::{CancelToken, Interrupt, InterruptKind};
-use lima_core::{LimaConfig, LimaStats, LineageCache, ResourceGovernor};
+use lima_core::{EventKind, LimaConfig, LimaStats, LineageCache, ResourceGovernor};
 use lima_matrix::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -305,12 +305,26 @@ fn run_session(
         ctx.data.register(name.clone(), value.clone());
         ctx.set(name, value);
     }
+    let obs = ctx.config.obs.clone().filter(|o| o.enabled());
+    let obs_t0 = obs.as_ref().map(|o| {
+        o.record_instant(EventKind::SessionStart, "session", 0, id, 0);
+        o.now_ns()
+    });
     let result = execute_program(program, &mut ctx);
     match &result {
         Ok(()) => LimaStats::bump(&stats.sessions_completed),
         Err(RuntimeError::Cancelled) => LimaStats::bump(&stats.sessions_cancelled),
         Err(RuntimeError::DeadlineExceeded) => LimaStats::bump(&stats.sessions_deadline_exceeded),
         Err(_) => {}
+    }
+    if let (Some(o), Some(t0)) = (&obs, obs_t0) {
+        let outcome = match &result {
+            Ok(()) => "completed",
+            Err(RuntimeError::Cancelled) => "cancelled",
+            Err(RuntimeError::DeadlineExceeded) => "deadline",
+            Err(_) => "failed",
+        };
+        o.record_span(EventKind::SessionEnd, outcome, 0, t0, id, 0);
     }
     result?;
     Ok(SessionOutcome {

@@ -6,9 +6,15 @@
 //!
 //! ```text
 //! cargo run --release --example gridsearch_lm
+//! LIMA_TRACE_OUT=trace.json cargo run --release --example gridsearch_lm
 //! ```
+//!
+//! With `LIMA_TRACE_OUT` set, the LIMA run records lineage-aware obs events
+//! and writes a Chrome `trace_event` JSON file — load it in chrome://tracing
+//! or https://ui.perfetto.dev, or validate it with the `trace_check` binary.
 
 use lima::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -20,11 +26,21 @@ fn main() {
     // necessary" (Example 2); LIMA collapses them.
     let grid = pipelines::hyperparameter_grid(4, 2, 3);
     let pipeline = pipelines::hlm_with(x, y, 3, 15, &grid, false);
+    let trace_out = std::env::var("LIMA_TRACE_OUT").ok();
 
-    for (label, config) in [
+    for (label, mut config) in [
         ("Base (no lineage)", LimaConfig::base()),
         ("LIMA (hybrid reuse)", LimaConfig::lima()),
     ] {
+        // Trace only the LIMA run: the baseline has no lineage to attribute.
+        let obs = match (&trace_out, config.tracing) {
+            (Some(_), true) => {
+                let o = Arc::new(Obs::new());
+                config = config.with_obs(Arc::clone(&o));
+                Some(o)
+            }
+            _ => None,
+        };
         let t0 = Instant::now();
         let result =
             run_script(&pipeline.script, &config, &pipeline.input_refs()).expect("pipeline runs");
@@ -35,6 +51,10 @@ fn main() {
         );
         if config.tracing {
             println!("{}", result.ctx.stats.report());
+        }
+        if let (Some(o), Some(path)) = (&obs, &trace_out) {
+            std::fs::write(path, o.chrome_trace()).expect("trace file writes");
+            println!("trace written to {path} ({} events dropped)", o.dropped());
         }
     }
 }

@@ -11,6 +11,14 @@
 //!     --lineage <VAR>                    print VAR's lineage log after the run
 //!     --seed <N>                         system-seed base (reproducible runs)
 //!     --timeout-ms <N>                   abort the run after N milliseconds
+//!     --trace-out <FILE>                 write a Chrome trace_event JSON file
+//!     --trace-sample <N>                 keep 1-in-N high-frequency events
+//!     --cost-top <K>                     per-lineage-item cost report (top K)
+//!     --quiet                            suppress script print() output
+//!
+//! limac stats <script.dml> [run options] [--format prom|text]
+//!     execute a script, then print its statistics (Prometheus text
+//!     exposition by default) to stdout
 //!
 //! limac lineage-diff <a.lineage> <b.lineage>
 //!     compare two lineage logs (paper Example 3's debugging workflow)
@@ -24,11 +32,13 @@
 
 use lima::prelude::*;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("lineage-diff") => cmd_lineage_diff(&args[1..]),
         Some("recompute") => cmd_recompute(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -48,7 +58,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:\n  limac run <script> [--config base|lt|ltd|lima] [--policy P] \
 [--budget-mb N] [--dedup] [--no-compiler-assist] [--stats] [--lineage VAR] [--seed N] \
-[--timeout-ms N]\n  \
+[--timeout-ms N] [--trace-out FILE] [--trace-sample N] [--cost-top K] [--quiet]\n  \
+limac stats <script> [run options] [--format prom|text]\n  \
 limac lineage-diff <a.lineage> <b.lineage>\n  limac recompute <trace.lineage>\n";
 
 /// Parses the `run` option list into a configuration.
@@ -102,6 +113,16 @@ fn parse_run_options(args: &[String]) -> Result<(String, LimaConfig, RunFlags), 
                 let v = take_value(args, &mut i, "--timeout-ms")?;
                 flags.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout '{v}'"))?);
             }
+            "--trace-out" => flags.trace_out = Some(take_value(args, &mut i, "--trace-out")?),
+            "--trace-sample" => {
+                let v = take_value(args, &mut i, "--trace-sample")?;
+                flags.trace_sample = Some(v.parse().map_err(|_| format!("bad sample rate '{v}'"))?);
+            }
+            "--cost-top" => {
+                let v = take_value(args, &mut i, "--cost-top")?;
+                flags.cost_top = Some(v.parse().map_err(|_| format!("bad top-K '{v}'"))?);
+            }
+            "--quiet" => flags.quiet = true,
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
             path => {
                 if script_path.replace(path.to_string()).is_some() {
@@ -121,10 +142,24 @@ struct RunFlags {
     lineage_var: Option<String>,
     seed: Option<u64>,
     timeout_ms: Option<u64>,
+    trace_out: Option<String>,
+    trace_sample: Option<u64>,
+    cost_top: Option<usize>,
+    quiet: bool,
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let (path, config, flags) = parse_run_options(args)?;
+/// Parses, compiles, and executes a `run` invocation; writes the trace file
+/// when requested and hands the finished context back to the caller for
+/// output rendering.
+fn execute_run(args: &[String]) -> Result<(ExecutionContext, RunFlags), String> {
+    let (path, mut config, flags) = parse_run_options(args)?;
+    let obs = flags.trace_out.as_ref().map(|_| Arc::new(Obs::new()));
+    if let Some(o) = &obs {
+        if let Some(n) = flags.trace_sample {
+            o.set_sample_every(n);
+        }
+        config = config.with_obs(Arc::clone(o));
+    }
     let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
     let program = compile_script(&src, &config).map_err(|e| e.to_string())?;
     let mut ctx = ExecutionContext::new(config);
@@ -140,8 +175,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
         _ => e.to_string(),
     })?;
-    for line in &ctx.stdout {
-        println!("{line}");
+    if let (Some(o), Some(out)) = (&obs, &flags.trace_out) {
+        std::fs::write(out, o.chrome_trace()).map_err(|e| format!("{out}: {e}"))?;
+    }
+    Ok((ctx, flags))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (ctx, flags) = execute_run(args)?;
+    if !flags.quiet {
+        for line in &ctx.stdout {
+            println!("{line}");
+        }
     }
     if let Some(var) = &flags.lineage_var {
         let lin = ctx
@@ -151,7 +196,52 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         print!("{}", serialize_lineage(lin));
     }
     if flags.stats {
-        eprintln!("{}", ctx.stats.report());
+        println!("{}", ctx.stats.report());
+    }
+    if let Some(k) = flags.cost_top {
+        match &ctx.cache {
+            Some(cache) => {
+                println!("lineage cost attribution (top {k}):");
+                for item in cache.cost_report(k) {
+                    println!("{}", item.render());
+                }
+            }
+            None => {
+                return Err("--cost-top requires a reuse-enabled config (lt/ltd/lima)".into());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `limac stats <script> [run options] [--format prom|text]`: runs the script
+/// and prints its statistics to stdout in the chosen format. Script print()
+/// output is suppressed so the exposition stays machine-readable.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let mut format = "prom".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--format" {
+            i += 1;
+            format = args
+                .get(i)
+                .cloned()
+                .ok_or_else(|| "--format requires a value".to_string())?;
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    if !matches!(format.as_str(), "prom" | "text") {
+        return Err(format!(
+            "unknown stats format '{format}' (expected prom|text)"
+        ));
+    }
+    let (ctx, _) = execute_run(&rest)?;
+    match format.as_str() {
+        "prom" => print!("{}", ctx.stats.prometheus()),
+        _ => println!("{}", ctx.stats.report()),
     }
     Ok(())
 }
@@ -251,6 +341,13 @@ mod tests {
             "7",
             "--timeout-ms",
             "1500",
+            "--trace-out",
+            "t.json",
+            "--trace-sample",
+            "4",
+            "--cost-top",
+            "10",
+            "--quiet",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -264,6 +361,10 @@ mod tests {
         assert_eq!(flags.lineage_var.as_deref(), Some("B"));
         assert_eq!(flags.seed, Some(7));
         assert_eq!(flags.timeout_ms, Some(1500));
+        assert_eq!(flags.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(flags.trace_sample, Some(4));
+        assert_eq!(flags.cost_top, Some(10));
+        assert!(flags.quiet);
     }
 
     #[test]
@@ -273,6 +374,9 @@ mod tests {
         assert!(parse_run_options(&to_args(&["s", "--config", "nope"])).is_err());
         assert!(parse_run_options(&to_args(&["s", "--what"])).is_err());
         assert!(parse_run_options(&to_args(&["s", "--timeout-ms", "soon"])).is_err());
+        assert!(parse_run_options(&to_args(&["s", "--trace-sample", "often"])).is_err());
+        assert!(parse_run_options(&to_args(&["s", "--trace-out"])).is_err());
+        assert!(parse_run_options(&to_args(&["s", "--cost-top", "all"])).is_err());
         assert!(parse_run_options(&to_args(&["a", "b"])).is_err());
         assert!(parse_run_options(&to_args(&[])).is_err());
     }

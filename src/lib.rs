@@ -49,9 +49,10 @@ pub mod prelude {
     pub use lima_core::lineage::serialize::{
         deserialize_lineage, serialize_lineage, LineageParseError,
     };
+    pub use lima_core::obs::{parse_json, validate_chrome_trace};
     pub use lima_core::{
-        CancelToken, EvictionPolicy, LimaConfig, LimaStats, LineageCache, PressureLevel,
-        ResourceGovernor, ReuseMode,
+        CancelToken, Event, EventKind, EvictionPolicy, ItemCost, LimaConfig, LimaStats,
+        LineageCache, Obs, PressureLevel, ResourceGovernor, ReuseMode,
     };
     pub use lima_lang::compile_script;
     pub use lima_matrix::{DenseMatrix, ScalarValue, Value};

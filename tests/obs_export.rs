@@ -1,0 +1,140 @@
+//! Exporter integration tests (lima-obs): a real dedup'd parfor workload is
+//! traced end-to-end, exported as Chrome `trace_event` JSON, parsed back with
+//! the crate's own (serde-free) JSON parser, and structurally validated —
+//! spans nest per thread, lineage ids are attached, categories are known.
+//! This is the same validation the CI `obs` job runs against
+//! `examples/gridsearch_lm.rs` via `trace_check`.
+
+use lima::lima_core::obs::check_span_nesting;
+use lima::prelude::*;
+use std::sync::Arc;
+
+fn input(rows: usize, cols: usize) -> Value {
+    Value::matrix(DenseMatrix::from_fn(rows, cols, |i, j| {
+        (((i * 31 + j * 17) % 23) as f64) / 23.0 - 0.5
+    }))
+}
+
+/// A dedup-friendly parfor pipeline with an iteration-invariant `tsmm` so the
+/// trace contains cache hits, fulfills, parfor worker spans, and kernel spans.
+fn traced_script() -> String {
+    lima_algos::scripts::with_builtins(
+        "
+        R = matrix(0, 8, 1);
+        parfor (i in 1:8) {
+          G = X * i;
+          R[i, 1] = as.matrix(sum(G) + sum(t(X) %*% X));
+        }
+        s = sum(R);
+        ",
+    )
+}
+
+fn run_traced(sample_every: Option<u64>) -> (Arc<Obs>, f64) {
+    let obs = Arc::new(Obs::new());
+    if let Some(n) = sample_every {
+        obs.set_sample_every(n);
+    }
+    let config = LimaConfig {
+        dedup: true,
+        ..LimaConfig::lima()
+    }
+    .with_obs(Arc::clone(&obs));
+    let result =
+        run_script(&traced_script(), &config, &[("X", input(24, 6))]).expect("traced script runs");
+    let s = result.value("s").as_f64().unwrap();
+    (obs, s)
+}
+
+#[test]
+fn trace_out_emits_valid_chrome_trace_with_nesting_and_lineage() {
+    let (obs, s) = run_traced(None);
+    let baseline = run_script(
+        &traced_script(),
+        &LimaConfig::base(),
+        &[("X", input(24, 6))],
+    )
+    .unwrap()
+    .value("s")
+    .as_f64()
+    .unwrap();
+    assert!((s - baseline).abs() <= 1e-9 * baseline.abs().max(1.0));
+
+    let trace = obs.chrome_trace();
+    let summary = validate_chrome_trace(&trace).expect("exported trace must parse and validate");
+
+    assert!(summary.total_events > 0, "a traced run must produce events");
+    assert!(
+        !summary.spans.is_empty(),
+        "instruction/kernel spans expected"
+    );
+    assert!(
+        summary.with_lineage > 0,
+        "cache and instruction events must carry lineage ids"
+    );
+    // Every recording thread has its own ring/track; on multi-core hosts the
+    // parfor workers add one track each, on single-core hosts the loop runs
+    // serially on the session thread.
+    assert!(summary.tids >= 1, "expected at least one per-thread track");
+
+    check_span_nesting(&summary).expect("spans must nest within each thread");
+
+    // Categories in the export come from a fixed vocabulary.
+    let known = [
+        "instr",
+        "kernel",
+        "multilevel",
+        "cache",
+        "rewrite",
+        "io",
+        "governor",
+        "session",
+        "parfor",
+    ];
+    for span in &summary.spans {
+        assert!(
+            known.contains(&span.cat.as_str()),
+            "unknown category '{}' in export",
+            span.cat
+        );
+    }
+    // Cache activity for the iteration-invariant tsmm must be visible.
+    assert!(
+        summary.spans.iter().any(|sp| sp.cat == "parfor"),
+        "parfor worker spans missing"
+    );
+    assert!(
+        summary.spans.iter().any(|sp| sp.cat == "kernel"),
+        "kernel spans missing"
+    );
+}
+
+#[test]
+fn sampling_thins_high_frequency_events_but_keeps_the_trace_valid() {
+    let (dense_obs, _) = run_traced(None);
+    let (sampled_obs, _) = run_traced(Some(16));
+    let dense = validate_chrome_trace(&dense_obs.chrome_trace()).unwrap();
+    let sampled = validate_chrome_trace(&sampled_obs.chrome_trace()).unwrap();
+    assert!(
+        sampled.total_events < dense.total_events,
+        "1-in-16 sampling must thin the event stream ({} vs {})",
+        sampled.total_events,
+        dense.total_events
+    );
+    check_span_nesting(&sampled).expect("sampled traces still nest");
+}
+
+#[test]
+fn trace_json_survives_a_disk_round_trip() {
+    let (obs, _) = run_traced(None);
+    let dir = std::env::temp_dir().join(format!("lima_obs_export_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    std::fs::write(&path, obs.chrome_trace()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let summary = validate_chrome_trace(&text).expect("trace read back from disk validates");
+    assert!(summary.total_events > 0);
+    let json = parse_json(&text).expect("raw JSON parses");
+    assert!(json.get("traceEvents").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}

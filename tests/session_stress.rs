@@ -61,6 +61,44 @@ fn compile_arc(src: &str, config: &LimaConfig) -> Arc<lima_runtime::Program> {
     Arc::new(compile_script(src, config).expect("script compiles"))
 }
 
+/// Cross-counter consistency: the derived hit total equals the sum of the
+/// per-kind counters and never exceeds the probe count, and savings never
+/// exceed what a hit could have credited. Checked after every concurrent
+/// scenario because these are exactly the invariants racy double-counting
+/// would break.
+fn assert_stats_consistent(stats: &LimaStats, label: &str) {
+    let full = LimaStats::get(&stats.full_hits);
+    let multi = LimaStats::get(&stats.multilevel_hits);
+    let partial = LimaStats::get(&stats.partial_hits);
+    assert_eq!(
+        stats.total_hits(),
+        full + multi + partial,
+        "{label}: total_hits() drifted from the per-kind counters"
+    );
+    assert!(
+        full + multi <= LimaStats::get(&stats.probes),
+        "{label}: more full/multilevel hits than probes"
+    );
+}
+
+/// Monotonicity: every counter in `after` is >= its value in `before`.
+/// Counters only ever accumulate; a decrease means a lost or re-zeroed
+/// update somewhere in the concurrent paths.
+fn assert_counters_monotone(
+    before: &[(&'static str, u64)],
+    after: &[(&'static str, u64)],
+    label: &str,
+) {
+    assert_eq!(before.len(), after.len(), "{label}: counter set changed");
+    for ((name_b, b), (name_a, a)) in before.iter().zip(after) {
+        assert_eq!(name_b, name_a, "{label}: counter order changed");
+        assert!(
+            a >= b,
+            "{label}: counter {name_a} went backwards ({b} -> {a})"
+        );
+    }
+}
+
 /// The core matrix: for every seed, four concurrent sessions run the grid
 /// pipeline over one shared cache while fulfiller death, slow spills, and
 /// allocation failures fire. All sessions must complete with baseline-equal
@@ -123,6 +161,20 @@ fn concurrent_sessions_match_baseline_under_fault_matrix() {
             inj.total_injected() >= 1,
             "seed {seed}: the fault matrix never fired"
         );
+        assert_stats_consistent(&stats, &format!("seed {seed}"));
+
+        // Persist/spill/hit counters must be monotone: re-running the same
+        // workload on the same pool may add to any counter but can never
+        // subtract (lost updates under the fault matrix would show up here).
+        let before = stats.snapshot();
+        pool.run(
+            Arc::clone(&program),
+            SessionOptions::new().with_input("X", x.clone()),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: rerun on warmed pool failed: {e}"));
+        let after = stats.snapshot();
+        assert_counters_monotone(&before, &after, &format!("seed {seed}"));
+        assert_stats_consistent(&stats, &format!("seed {seed} (rerun)"));
     }
 }
 
@@ -186,6 +238,7 @@ fn worker_panics_fail_typed_and_leave_the_pool_usable() {
             "seed {seed}: clean session burned the placeholder timeout"
         );
         assert!(LimaStats::get(&pool.stats().worker_panics) >= 3);
+        assert_stats_consistent(&pool.stats(), &format!("seed {seed} after panics"));
     }
 }
 
@@ -298,6 +351,7 @@ fn governor_walks_the_ladder_down_and_back_up_under_alloc_faults() {
         .run(program, SessionOptions::new().with_input("X", x))
         .expect("recovered pool admits sessions");
     assert!(again.value("s").as_f64().is_ok());
+    assert_stats_consistent(&stats, "governor ladder");
 }
 
 /// Deadline enforcement keeps working while eviction spills crawl
