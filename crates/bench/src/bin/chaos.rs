@@ -1,0 +1,511 @@
+//! Chaos harness for `limad`: hundreds of concurrent zipf-skewed sessions
+//! across tenants, with deterministic fault injection at the service's
+//! sites (connection drops, a slow shard, crash mid-WAL-append), asserting
+//! two invariants that must hold under every fault plan:
+//!
+//! 1. **Baseline equivalence** — every value the service returns is equal to
+//!    the same script executed in-process with no service and no faults.
+//! 2. **Bounded tails** — no request hangs; p99 latency stays under a cap
+//!    (generous by default, tightened in CI), and typed overload/deadline
+//!    errors are the only acceptable non-successes.
+//!
+//! Scenarios (`--fault`): `none`, `conn-drop`, `slow-shard`, `crash-restart`,
+//! `all` (conn-drop + slow-shard; crash-restart runs as its own phase).
+//! Seeds come from `--seed` or the comma-separated `LIMA_FAULT_SEEDS`
+//! environment variable (the CI contract); every trigger decision is a pure
+//! function of the seed, so a failing run replays bit-identically.
+//!
+//! Exit codes: 0 success, 1 invariant violation, 2 usage error.
+
+use lima_algos::runner::run_script;
+use lima_client::{ClientOptions, LimadClient, SubmitOptions};
+use lima_core::faults::{FaultInjector, FaultSite};
+use lima_core::resilience::RetryPolicy;
+use lima_core::{LimaConfig, LimaStats};
+use limad::{LimadConfig, Server, ShardState};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TENANTS: usize = 4;
+const WORKERS: usize = 12;
+
+/// splitmix64 finalizer — the deterministic mixer behind zipf draws and
+/// per-seed corpus parameters.
+fn mix_seed(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    ConnDrop,
+    SlowShard,
+    CrashRestart,
+    All,
+}
+
+impl Fault {
+    fn parse(s: &str) -> Option<Fault> {
+        match s {
+            "none" => Some(Fault::None),
+            "conn-drop" => Some(Fault::ConnDrop),
+            "slow-shard" => Some(Fault::SlowShard),
+            "crash-restart" => Some(Fault::CrashRestart),
+            "all" => Some(Fault::All),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::ConnDrop => "conn-drop",
+            Fault::SlowShard => "slow-shard",
+            Fault::CrashRestart => "crash-restart",
+            Fault::All => "all",
+        }
+    }
+}
+
+struct Args {
+    fault: Fault,
+    sessions: usize,
+    shards: usize,
+    seeds: Vec<u64>,
+    p99_cap_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut fault = Fault::All;
+    let mut sessions = 200usize;
+    let mut shards = 4usize;
+    let mut seed: Option<u64> = None;
+    let mut p99_cap_ms = 10_000u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut need = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--fault" => {
+                let v = need("--fault")?;
+                fault = Fault::parse(&v).ok_or(format!("unknown fault scenario '{v}'"))?;
+            }
+            "--sessions" => {
+                sessions = need("--sessions")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--shards" => shards = need("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = Some(need("--seed")?.parse().map_err(|e| format!("{e}"))?),
+            "--p99-cap-ms" => {
+                p99_cap_ms = need("--p99-cap-ms")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    // --seed wins; otherwise the CI contract: LIMA_FAULT_SEEDS=1,2,3,4,5.
+    let seeds = match seed {
+        Some(s) => vec![s],
+        None => match std::env::var("LIMA_FAULT_SEEDS") {
+            Ok(raw) => raw
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| s.trim().parse().map_err(|e| format!("bad seed '{s}': {e}")))
+                .collect::<Result<Vec<u64>, String>>()?,
+            Err(_) => vec![7],
+        },
+    };
+    if seeds.is_empty() {
+        return Err("no seeds given".into());
+    }
+    Ok(Args {
+        fault,
+        sessions,
+        shards,
+        seeds,
+        p99_cap_ms,
+    })
+}
+
+/// The script corpus: parameterized templates instantiated per seed. Every
+/// script is self-contained and deterministic, so the in-process baseline is
+/// exact.
+fn corpus(seed: u64) -> Vec<String> {
+    let mut scripts = Vec::new();
+    for i in 0..4u64 {
+        let p = 1 + (mix_seed(seed ^ i) % 7);
+        scripts.push(format!(
+            "X = matrix({p}, 40, 12);\nG = t(X) %*% X;\ns = sum(G);\n"
+        ));
+        scripts.push(format!(
+            "X = matrix(2, 30, 30);\nY = X + {p};\nZ = Y * 2;\ns = sum(Z - X);\n"
+        ));
+        scripts.push(format!(
+            "acc = 0;\nfor (i in 1:{n}) {{\n  acc = acc + i * {p};\n}}\ns = acc;\n",
+            n = 50 + p * 10
+        ));
+        scripts.push(format!(
+            "X = matrix({p}, 25, 25);\ns = sum(t(X) %*% X) + {p};\n"
+        ));
+        scripts.push(format!(
+            "X = matrix(3, 50, 8);\nY = X + {p};\ns = sum(X + Y);\n"
+        ));
+        scripts.push(format!(
+            "X = matrix({p}, 20, 20);\nA = X * 3;\nB = A - X;\ns = sum(B) + sum(A);\n"
+        ));
+    }
+    scripts
+}
+
+/// Zipf-skewed index over `n` items (exponent ~1.1): item 0 is hottest, the
+/// tail is long. Deterministic in (seed, draw index).
+fn zipf(seed: u64, draw: u64, n: usize) -> usize {
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(1.1)).collect();
+    let total: f64 = weights.iter().sum();
+    let u = (mix_seed(seed ^ mix_seed(draw)) >> 11) as f64 / (1u64 << 53) as f64;
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w / total;
+        if u < acc {
+            return i;
+        }
+    }
+    n - 1
+}
+
+fn injector_for(fault: Fault, seed: u64) -> Option<Arc<FaultInjector>> {
+    let inj = match fault {
+        Fault::None | Fault::CrashRestart => return None,
+        Fault::ConnDrop => {
+            FaultInjector::new(seed).fail_with_probability(FaultSite::ConnDrop, 0.05)
+        }
+        // Exactly one shard is slow; which one rotates with the seed.
+        Fault::SlowShard => FaultInjector::new(seed).fail_at(FaultSite::SlowShard, &[seed % 4]),
+        Fault::All => FaultInjector::new(seed)
+            .fail_with_probability(FaultSite::ConnDrop, 0.05)
+            .fail_at(FaultSite::SlowShard, &[seed % 4]),
+    };
+    Some(Arc::new(inj))
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn percentile(sorted_ms: &[u64], p: f64) -> u64 {
+    if sorted_ms.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Scrapes `/metrics` over raw HTTP and sanity-checks the exposition.
+fn scrape_metrics(server: &Server) -> Result<(), String> {
+    let mut stream = TcpStream::connect(server.metrics_addr()).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .map_err(|e| e.to_string())?;
+    let mut body = String::new();
+    stream
+        .read_to_string(&mut body)
+        .map_err(|e| e.to_string())?;
+    if !body.starts_with("HTTP/1.0 200") {
+        return Err(format!(
+            "scrape did not return 200: {:?}",
+            body.lines().next()
+        ));
+    }
+    for needle in [
+        "lima_total_hits",
+        "lima_srv_requests",
+        "limad_shard_state{shard=\"0\"}",
+    ] {
+        if !body.contains(needle) {
+            return Err(format!("scrape output missing '{needle}'"));
+        }
+    }
+    Ok(())
+}
+
+struct TrafficReport {
+    latencies_ms: Vec<u64>,
+    mismatches: Vec<String>,
+    hard_errors: Vec<String>,
+    typed_errors: usize,
+}
+
+/// Drives `sessions` zipf-sampled submits from `WORKERS` client threads
+/// against a running server and checks every returned value against the
+/// baseline. Typed Overloaded/DeadlineExceeded responses are tolerated
+/// (counted); anything else — transport errors included, the client retries
+/// those itself — is a hard failure.
+fn drive_traffic(
+    server: &Server,
+    scripts: &[String],
+    baseline: &[f64],
+    sessions: usize,
+    seed: u64,
+) -> TrafficReport {
+    let addr = server.addr().to_string();
+    let next = AtomicUsize::new(0);
+    let report = Mutex::new(TrafficReport {
+        latencies_ms: Vec::with_capacity(sessions),
+        mismatches: Vec::new(),
+        hard_errors: Vec::new(),
+        typed_errors: 0,
+    });
+    std::thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let addr = &addr;
+            let next = &next;
+            let report = &report;
+            scope.spawn(move || {
+                let opts = ClientOptions {
+                    // Scripts are deterministic and idempotent, so retrying a
+                    // submit after an injected connection drop is safe here.
+                    retry_submits: true,
+                    retry: RetryPolicy::new(5, 10, seed ^ worker as u64),
+                    default_deadline: Duration::from_secs(20),
+                    ..ClientOptions::default()
+                };
+                let tenant = format!("tenant-{}", worker % TENANTS);
+                let mut client = LimadClient::new(addr, &tenant, opts);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= sessions {
+                        return;
+                    }
+                    let script_idx = zipf(seed, i as u64, scripts.len());
+                    let submit = SubmitOptions {
+                        outputs: vec!["s".to_string()],
+                        ..SubmitOptions::default()
+                    };
+                    let t0 = Instant::now();
+                    let result = client.submit(&scripts[script_idx], &submit);
+                    let ms = t0.elapsed().as_millis() as u64;
+                    let mut r = report.lock().unwrap();
+                    r.latencies_ms.push(ms);
+                    match result {
+                        Ok(done) => {
+                            let got = done
+                                .value("s")
+                                .and_then(|v| v.as_f64().ok())
+                                .unwrap_or(f64::NAN);
+                            if !approx_eq(got, baseline[script_idx]) {
+                                r.mismatches.push(format!(
+                                    "session {i}: script {script_idx} returned {got}, baseline {}",
+                                    baseline[script_idx]
+                                ));
+                            }
+                        }
+                        Err(e) if e.code().is_some() => r.typed_errors += 1,
+                        Err(e) => r.hard_errors.push(format!("session {i}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    report.into_inner().unwrap()
+}
+
+/// One seeded run of the steady-state scenarios (everything but
+/// crash-restart). Returns an error string on any invariant violation.
+fn run_steady(args: &Args, seed: u64) -> Result<(), String> {
+    let scripts = corpus(seed);
+    let baseline: Vec<f64> = scripts
+        .iter()
+        .map(|s| {
+            run_script(s, &LimaConfig::lima(), &[])
+                .map_err(|e| format!("baseline failed: {e:?}"))?
+                .value("s")
+                .as_f64()
+                .map_err(|e| format!("baseline output: {e:?}"))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let mut template = LimaConfig::lima();
+    template.faults = injector_for(args.fault, seed);
+    let server = Server::start(LimadConfig {
+        shards: args.shards,
+        template,
+        ..LimadConfig::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+
+    let t0 = Instant::now();
+    let report = drive_traffic(&server, &scripts, &baseline, args.sessions, seed);
+    let wall = t0.elapsed();
+
+    if !report.mismatches.is_empty() {
+        return Err(format!(
+            "{} baseline mismatches, first: {}",
+            report.mismatches.len(),
+            report.mismatches[0]
+        ));
+    }
+    if !report.hard_errors.is_empty() {
+        return Err(format!(
+            "{} hard errors, first: {}",
+            report.hard_errors.len(),
+            report.hard_errors[0]
+        ));
+    }
+    let mut sorted = report.latencies_ms.clone();
+    sorted.sort_unstable();
+    let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+    if p99 > args.p99_cap_ms {
+        return Err(format!("p99 {p99}ms exceeds cap {}ms", args.p99_cap_ms));
+    }
+    scrape_metrics(&server)?;
+
+    let drops = LimaStats::get(&server.server_stats().srv_conn_drops);
+    println!(
+        "chaos: seed={seed} fault={} sessions={} ok p50={p50}ms p99={p99}ms \
+         typed_errors={} conn_drops={drops} wall={}ms",
+        args.fault.as_str(),
+        args.sessions,
+        report.typed_errors,
+        wall.as_millis()
+    );
+    Ok(())
+}
+
+/// Crash-restart: phase 1 persists under injected crash points (the WAL
+/// append tears mid-record on one shard), phase 2 restarts over the same
+/// directory and must recover warm — values stay baseline-equal and at least
+/// one request is served from a recovered entry.
+fn run_crash_restart(args: &Args, seed: u64) -> Result<(), String> {
+    let scripts = corpus(seed);
+    let baseline: Vec<f64> = scripts
+        .iter()
+        .map(|s| {
+            run_script(s, &LimaConfig::lima(), &[])
+                .map_err(|e| format!("baseline failed: {e:?}"))?
+                .value("s")
+                .as_f64()
+                .map_err(|e| format!("baseline output: {e:?}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let dir = std::env::temp_dir().join(format!("lima-chaos-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 1: serve with a crash injected mid-WAL-append. The store that
+    // draws the torn append latches crashed and stops persisting; everything
+    // keeps serving from memory.
+    let mut template = LimaConfig::lima();
+    template.faults = Some(Arc::new(
+        FaultInjector::new(seed).fail_at(FaultSite::PersistWalAppend, &[4 + seed % 3]),
+    ));
+    let first = Server::start(LimadConfig {
+        shards: args.shards,
+        template,
+        persist_root: Some(dir.clone()),
+        ..LimadConfig::default()
+    })
+    .map_err(|e| format!("phase-1 start: {e}"))?;
+    let report = drive_traffic(&first, &scripts, &baseline, args.sessions, seed);
+    if !report.mismatches.is_empty() {
+        return Err(format!(
+            "phase 1: {} baseline mismatches under torn WAL, first: {}",
+            report.mismatches.len(),
+            report.mismatches[0]
+        ));
+    }
+    if !report.hard_errors.is_empty() {
+        return Err(format!("phase 1: hard error: {}", report.hard_errors[0]));
+    }
+    let writes: u64 = first
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_writes))
+        .sum();
+    if writes == 0 {
+        return Err("phase 1 persisted nothing; crash-restart proves nothing".into());
+    }
+    first.shutdown();
+
+    // Phase 2: a fresh process over the same directory. Recovery must
+    // tolerate the torn tail, warm at least one shard, and serve re-runs
+    // from recovered entries.
+    let second = Server::start(LimadConfig {
+        shards: args.shards,
+        template: LimaConfig::lima(),
+        persist_root: Some(dir.clone()),
+        ..LimadConfig::default()
+    })
+    .map_err(|e| format!("phase-2 start: {e}"))?;
+    let warm = second
+        .shards()
+        .iter()
+        .filter(|s| s.state() == ShardState::Warm)
+        .count();
+    if warm == 0 {
+        return Err("phase 2: no shard recovered WAL entries".into());
+    }
+    let report = drive_traffic(&second, &scripts, &baseline, args.sessions, seed ^ 0xC0DE);
+    if !report.mismatches.is_empty() {
+        return Err(format!(
+            "phase 2: recovered values diverge from baseline: {}",
+            report.mismatches[0]
+        ));
+    }
+    if !report.hard_errors.is_empty() {
+        return Err(format!("phase 2: hard error: {}", report.hard_errors[0]));
+    }
+    let persist_hits: u64 = second
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_hits))
+        .sum();
+    if persist_hits == 0 {
+        return Err("phase 2: warm restart served zero persist hits".into());
+    }
+    scrape_metrics(&second)?;
+    println!(
+        "chaos: seed={seed} fault=crash-restart sessions={} ok warm_shards={warm} \
+         persist_writes={writes} persist_hits={persist_hits}",
+        args.sessions
+    );
+    drop(second);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "chaos: {e}\nusage: chaos [--fault none|conn-drop|slow-shard|crash-restart|all] \
+                 [--sessions N] [--shards N] [--seed S] [--p99-cap-ms MS]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let t0 = Instant::now();
+    for &seed in &args.seeds {
+        let result = match args.fault {
+            Fault::CrashRestart => run_crash_restart(&args, seed),
+            _ => run_steady(&args, seed),
+        };
+        if let Err(e) = result {
+            eprintln!("chaos: FAIL seed={seed} fault={}: {e}", args.fault.as_str());
+            return ExitCode::from(1);
+        }
+    }
+    println!(
+        "chaos: all {} seed(s) passed fault={} in {}ms",
+        args.seeds.len(),
+        args.fault.as_str(),
+        t0.elapsed().as_millis()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,557 @@
+//! Retrying, deadline-aware client for `limad`.
+//!
+//! The client owns one lazily-(re)connected TCP connection. Idempotent
+//! requests (probe, fetch, cancel, metrics, ping) are retried through the
+//! shared [`RetryPolicy`] with jittered exponential backoff; each retry
+//! spends a token from a client-wide [`RetryBudget`] so a flapping server
+//! cannot trigger an unbounded retry storm. Submits are *not* retried on
+//! transport failure by default (the script may have executed), but
+//! `Overloaded` responses are always safely retryable because the server
+//! sheds before executing anything.
+//!
+//! Deadlines propagate end to end: each call computes its absolute deadline
+//! once, every (re)encoded request carries the *remaining* milliseconds, and
+//! socket read/write timeouts are clamped to that remainder plus a small
+//! grace so the server's own typed `DeadlineExceeded` wins over a raw socket
+//! timeout whenever it can.
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, Request, Response, ServiceError, MAX_FRAME_BYTES,
+};
+use lima_core::resilience::{RetryBudget, RetryPolicy};
+use lima_matrix::Value;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Extra socket-timeout slack beyond the request deadline, giving the server
+/// room to deliver its typed `DeadlineExceeded` response.
+const SOCKET_GRACE: Duration = Duration::from_millis(250);
+
+/// Floor for socket timeouts (`set_read_timeout(Some(ZERO))` is an error).
+const MIN_SOCKET_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Client-side failure taxonomy.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write) after any retries.
+    Io(std::io::Error),
+    /// The peer spoke, but not the protocol (bad frame, wrong request id).
+    Protocol(String),
+    /// A typed error from the service — including client-side deadline
+    /// expiry, which is reported as [`ErrorCode::DeadlineExceeded`] so both
+    /// ends share one exit-code mapping.
+    Service(ServiceError),
+}
+
+impl ClientError {
+    /// The machine-readable error code, when one exists.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Service(e) => Some(e.code),
+            _ => None,
+        }
+    }
+
+    /// Process exit code: the service code's mapping, or 1 for transport
+    /// and protocol failures.
+    pub fn exit_code(&self) -> u8 {
+        self.code().map_or(1, ErrorCode::exit_code)
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Service(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+fn deadline_error(msg: &str) -> ClientError {
+    ClientError::Service(ServiceError {
+        code: ErrorCode::DeadlineExceeded,
+        retry_after_ms: 0,
+        msg: msg.to_string(),
+    })
+}
+
+/// Tunables for a [`LimadClient`].
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Deadline applied when a call does not specify one.
+    pub default_deadline: Duration,
+    /// Backoff schedule shared by transport retries and overload retries.
+    pub retry: RetryPolicy,
+    /// Cap of the client-wide retry token bucket.
+    pub retry_budget_cap: u64,
+    /// Retry submits on transport failure. Off by default: a torn connection
+    /// after the request was written may mean the script already ran.
+    pub retry_submits: bool,
+    /// Largest response frame this client will accept.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(2),
+            default_deadline: Duration::from_secs(30),
+            retry: RetryPolicy::new(4, 10, 0x11AD),
+            retry_budget_cap: 64,
+            retry_submits: false,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Per-submit knobs.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// System-seed base for reproducible `rand`/`sample` in the script.
+    pub seed: Option<u64>,
+    /// Output variables to return.
+    pub outputs: Vec<String>,
+    /// Overrides the client's default deadline for this call.
+    pub deadline: Option<Duration>,
+}
+
+/// A completed submit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submitted {
+    /// Server-assigned session id (target for [`LimadClient::cancel`]).
+    pub session: u64,
+    /// Requested output variables and their values.
+    pub values: Vec<(String, Value)>,
+    /// Collected `print` output.
+    pub stdout: Vec<String>,
+}
+
+impl Submitted {
+    /// The value of a named output, if returned.
+    pub fn value(&self, name: &str) -> Option<&Value> {
+        self.values
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(v))
+    }
+}
+
+/// A connection to one `limad` server on behalf of one tenant.
+#[derive(Debug)]
+pub struct LimadClient {
+    addr: String,
+    tenant: String,
+    opts: ClientOptions,
+    budget: RetryBudget,
+    conn: Option<TcpStream>,
+    next_id: u64,
+}
+
+impl LimadClient {
+    /// A client for `addr` (e.g. `"127.0.0.1:7461"`) identifying as
+    /// `tenant`. Connects lazily on the first call.
+    pub fn new(addr: &str, tenant: &str, opts: ClientOptions) -> Self {
+        let budget = RetryBudget::new(opts.retry_budget_cap);
+        LimadClient {
+            addr: addr.to_string(),
+            tenant: tenant.to_string(),
+            opts,
+            budget,
+            conn: None,
+            next_id: 0,
+        }
+    }
+
+    /// Retry tokens left in the client-wide budget (observability hook).
+    pub fn retry_tokens(&self) -> u64 {
+        self.budget.remaining()
+    }
+
+    /// Runs a script and returns the requested outputs.
+    pub fn submit(&mut self, script: &str, sub: &SubmitOptions) -> Result<Submitted, ClientError> {
+        let deadline = self.deadline(sub.deadline);
+        let tenant = self.tenant.clone();
+        let script = script.to_string();
+        let seed = sub.seed;
+        let outputs = sub.outputs.clone();
+        let resp = self.call(self.opts.retry_submits, deadline, move |deadline_ms| {
+            Request::Submit {
+                tenant: tenant.clone(),
+                script: script.clone(),
+                seed,
+                outputs: outputs.clone(),
+                deadline_ms,
+            }
+        })?;
+        match resp {
+            Response::Submitted {
+                session,
+                values,
+                stdout,
+            } => Ok(Submitted {
+                session,
+                values,
+                stdout,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Does the routed shard hold a cached value for this serialized lineage?
+    pub fn probe(&mut self, lineage: &str) -> Result<bool, ClientError> {
+        let deadline = self.deadline(None);
+        let tenant = self.tenant.clone();
+        let lineage = lineage.to_string();
+        let resp = self.call(true, deadline, move |deadline_ms| Request::Probe {
+            tenant: tenant.clone(),
+            lineage: lineage.clone(),
+            deadline_ms,
+        })?;
+        match resp {
+            Response::Probed { hit } => Ok(hit),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the cached value for this serialized lineage, if any.
+    pub fn fetch(&mut self, lineage: &str) -> Result<Option<Value>, ClientError> {
+        let deadline = self.deadline(None);
+        let tenant = self.tenant.clone();
+        let lineage = lineage.to_string();
+        let resp = self.call(true, deadline, move |deadline_ms| Request::Fetch {
+            tenant: tenant.clone(),
+            lineage: lineage.clone(),
+            deadline_ms,
+        })?;
+        match resp {
+            Response::Fetched(v) => Ok(v),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Cancels a running session; `Ok(false)` means it was not found (it may
+    /// have already finished).
+    pub fn cancel(&mut self, session: u64) -> Result<bool, ClientError> {
+        let deadline = self.deadline(None);
+        let resp = self.call(true, deadline, move |_| Request::Cancel { session })?;
+        match resp {
+            Response::Cancelled { found } => Ok(found),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the aggregated Prometheus metrics text over the wire protocol
+    /// (the server also exposes the same text as HTTP `GET /metrics`).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let deadline = self.deadline(None);
+        let resp = self.call(true, deadline, |_| Request::Metrics)?;
+        match resp {
+            Response::MetricsText(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let deadline = self.deadline(None);
+        let resp = self.call(true, deadline, |_| Request::Ping)?;
+        match resp {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn deadline(&self, per_call: Option<Duration>) -> Instant {
+        Instant::now() + per_call.unwrap_or(self.opts.default_deadline)
+    }
+
+    /// The retry loop: re-encodes the request each attempt with the shrunken
+    /// remaining deadline, reconnects after transport failures, and honors
+    /// server `retry_after_ms` hints for overload responses.
+    fn call(
+        &mut self,
+        idempotent: bool,
+        deadline: Instant,
+        make: impl Fn(u64) -> Request,
+    ) -> Result<Response, ClientError> {
+        let mut retries = 0u32;
+        let max_retries = self.opts.retry.attempts;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(deadline_error(
+                    "deadline elapsed before the request was sent",
+                ));
+            }
+            let remaining = deadline - now;
+            let req = make((remaining.as_millis() as u64).max(1));
+            match self.attempt(&req, remaining) {
+                Ok(Response::Error(e)) if e.code.retryable() => {
+                    if !(retries < max_retries && self.budget.try_spend()) {
+                        return Err(ClientError::Service(e));
+                    }
+                    let delay = self
+                        .opts
+                        .retry
+                        .delay(retries)
+                        .max(Duration::from_millis(e.retry_after_ms));
+                    retries += 1;
+                    if Instant::now() + delay >= deadline {
+                        return Err(ClientError::Service(e));
+                    }
+                    std::thread::sleep(delay);
+                }
+                Ok(Response::Error(e)) => return Err(ClientError::Service(e)),
+                Ok(resp) => {
+                    self.budget.record_success();
+                    return Ok(resp);
+                }
+                Err(err) => {
+                    // The connection is suspect after any failure; rebuild it
+                    // on the next attempt.
+                    self.conn = None;
+                    let transient = matches!(&err, ClientError::Io(_));
+                    if !(transient
+                        && idempotent
+                        && retries < max_retries
+                        && self.budget.try_spend())
+                    {
+                        return Err(err);
+                    }
+                    let delay = self.opts.retry.delay(retries);
+                    retries += 1;
+                    if Instant::now() + delay >= deadline {
+                        return Err(err);
+                    }
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    /// One wire round-trip within `remaining` time.
+    fn attempt(&mut self, req: &Request, remaining: Duration) -> Result<Response, ClientError> {
+        let timeout = (remaining + SOCKET_GRACE).max(MIN_SOCKET_TIMEOUT);
+        if self.conn.is_none() {
+            let addr = self
+                .addr
+                .to_socket_addrs()
+                .map_err(ClientError::Io)?
+                .next()
+                .ok_or_else(|| ClientError::Protocol(format!("unresolvable addr {}", self.addr)))?;
+            let stream = TcpStream::connect_timeout(&addr, self.opts.connect_timeout)
+                .map_err(ClientError::Io)?;
+            stream.set_nodelay(true).map_err(ClientError::Io)?;
+            self.conn = Some(stream);
+        }
+        let stream = self.conn.as_mut().ok_or_else(|| {
+            ClientError::Protocol("connection vanished between connect and use".into())
+        })?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| stream.set_write_timeout(Some(timeout)))
+            .map_err(ClientError::Io)?;
+
+        self.next_id += 1;
+        let id = self.next_id;
+        let (kind, payload) = req.encode();
+        write_frame(stream, kind, id, &payload).map_err(|e| map_io(e, remaining))?;
+        let (rkind, rid, rpayload) =
+            read_frame(stream, self.opts.max_frame_bytes).map_err(|e| map_io(e, remaining))?;
+        if rid != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {rid} does not match request id {id}"
+            )));
+        }
+        Response::decode(rkind, &rpayload)
+            .ok_or_else(|| ClientError::Protocol(format!("undecodable response kind {rkind:#x}")))
+    }
+}
+
+/// A socket timeout while the deadline budget is gone is a deadline, not a
+/// transport flake — report it with the shared typed code.
+fn map_io(e: std::io::Error, remaining: Duration) -> ClientError {
+    let timed_out = matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    );
+    if timed_out && remaining <= SOCKET_GRACE + MIN_SOCKET_TIMEOUT {
+        deadline_error("timed out waiting for the server response")
+    } else if timed_out {
+        deadline_error("socket timeout at the request deadline")
+    } else {
+        ClientError::Io(e)
+    }
+}
+
+fn unexpected(resp: &Response) -> ClientError {
+    ClientError::Protocol(format!("unexpected response variant: {resp:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    fn options(attempts: u32) -> ClientOptions {
+        ClientOptions {
+            retry: RetryPolicy::new(attempts, 1, 9),
+            default_deadline: Duration::from_secs(5),
+            ..ClientOptions::default()
+        }
+    }
+
+    /// A one-shot server thread that answers `n` connections with the given
+    /// behaviour and then exits.
+    fn serve(
+        listener: TcpListener,
+        conns: usize,
+        behave: impl Fn(usize, TcpStream) + Send + 'static,
+    ) {
+        std::thread::spawn(move || {
+            for i in 0..conns {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                behave(i, stream);
+            }
+        });
+    }
+
+    fn answer(mut stream: TcpStream, resp: &Response) {
+        let (kind, id, _payload) = read_frame(&mut stream, MAX_FRAME_BYTES).unwrap();
+        assert!(Request::decode(kind, &_payload).is_some());
+        let (rkind, rpayload) = resp.encode();
+        write_frame(&mut stream, rkind, id, &rpayload).unwrap();
+    }
+
+    #[test]
+    fn ping_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        serve(listener, 1, |_, stream| answer(stream, &Response::Pong));
+        let mut client = LimadClient::new(&addr, "t", options(0));
+        client.ping().unwrap();
+    }
+
+    #[test]
+    fn idempotent_calls_reconnect_after_connection_drop() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // First connection: read the request, then drop without answering.
+        serve(listener, 2, |i, mut stream| {
+            if i == 0 {
+                let mut buf = [0u8; 64];
+                let _ = stream.read(&mut buf);
+                drop(stream);
+            } else {
+                answer(stream, &Response::Probed { hit: true });
+            }
+        });
+        let mut client = LimadClient::new(&addr, "t", options(3));
+        assert!(client.probe("(1) L f:1").unwrap());
+    }
+
+    #[test]
+    fn submits_do_not_retry_transport_failures_by_default() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        serve(listener, 1, |_, mut stream| {
+            let mut buf = [0u8; 64];
+            let _ = stream.read(&mut buf);
+            drop(stream);
+        });
+        let mut client = LimadClient::new(&addr, "t", options(3));
+        let err = client
+            .submit("s = 1;", &SubmitOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn overloaded_responses_are_retried_with_hint() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let overloaded = Response::Error(ServiceError {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: 5,
+            msg: "shedding".into(),
+        });
+        serve(listener, 1, move |_, mut stream| {
+            // Same connection: shed twice, then accept.
+            for round in 0..3 {
+                let (kind, id, payload) = read_frame(&mut stream, MAX_FRAME_BYTES).unwrap();
+                assert!(Request::decode(kind, &payload).is_some());
+                let resp = if round < 2 {
+                    overloaded.clone()
+                } else {
+                    Response::Probed { hit: false }
+                };
+                let (rkind, rpayload) = resp.encode();
+                write_frame(&mut stream, rkind, id, &rpayload).unwrap();
+            }
+        });
+        let mut client = LimadClient::new(&addr, "t", options(3));
+        assert!(!client.probe("(1) L f:1").unwrap());
+        assert!(client.retry_tokens() < 64, "retries should spend budget");
+    }
+
+    #[test]
+    fn typed_server_errors_are_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        serve(listener, 1, |_, stream| {
+            answer(
+                stream,
+                &Response::Error(ServiceError {
+                    code: ErrorCode::Cancelled,
+                    retry_after_ms: 0,
+                    msg: "cancelled".into(),
+                }),
+            );
+        });
+        let mut client = LimadClient::new(&addr, "t", options(3));
+        let err = client.probe("(1) L f:1").unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::Cancelled));
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn malformed_response_is_a_protocol_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        serve(listener, 1, |_, mut stream| {
+            let (_, _, _) = read_frame(&mut stream, MAX_FRAME_BYTES).unwrap();
+            let _ = stream.write_all(b"this is not a frame at all, sorry!!!");
+        });
+        let mut client = LimadClient::new(&addr, "t", options(0));
+        let err = client.ping().unwrap_err();
+        assert!(
+            matches!(err, ClientError::Io(_) | ClientError::Protocol(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn client_side_deadline_maps_to_typed_code() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Server accepts but never answers.
+        serve(listener, 1, |_, stream| {
+            std::thread::sleep(Duration::from_millis(900));
+            drop(stream);
+        });
+        let mut opts = options(0);
+        opts.default_deadline = Duration::from_millis(120);
+        let mut client = LimadClient::new(&addr, "t", opts);
+        let err = client.ping().unwrap_err();
+        assert_eq!(err.code(), Some(ErrorCode::DeadlineExceeded));
+        assert_eq!(err.exit_code(), 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! `lima-client`: the `limad` wire protocol plus a retrying, deadline-aware
+//! client.
+//!
+//! The crate has two layers:
+//!
+//! * [`proto`] — the framed, checksummed wire protocol shared by client and
+//!   server, including the [`proto::ErrorCode`] taxonomy that drives both
+//!   server error responses and CLI process exit codes.
+//! * [`client`] — [`client::LimadClient`], which layers jittered-backoff
+//!   retries (via [`lima_core::resilience`]), a client-wide retry budget,
+//!   and end-to-end deadline propagation over one reconnecting TCP
+//!   connection.
+//!
+//! Deliberately excluded: any dependency on the runtime. The client only
+//! needs matrix values and the resilience primitives, so embedding it in
+//! thin tools stays cheap.
+
+pub mod client;
+pub mod proto;
+
+pub use client::{ClientError, ClientOptions, LimadClient, SubmitOptions, Submitted};
+pub use proto::{ErrorCode, Request, Response, ServiceError};

@@ -1,0 +1,774 @@
+//! The `limad` wire protocol: compact length-framed, checksummed messages.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! +-------+------+--------+-------------+---------+----------+
+//! | magic | kind | req id | payload len | payload | checksum |
+//! |  u32  |  u8  |  u64   |     u32     |  bytes  |   u64    |
+//! +-------+------+--------+-------------+---------+----------+
+//! ```
+//!
+//! The trailing FNV-1a-64 checksum covers everything before it, so a torn or
+//! bit-flipped frame is always detected at the receiver and isolates to that
+//! one connection — never the shard behind it. Payloads larger than the
+//! receiver's frame cap are rejected *before* allocation.
+//!
+//! Every request carries a relative deadline (`deadline_ms`, 0 = server
+//! default) and every response is a typed result: either the
+//! request-specific success variant or a [`ServiceError`] with a machine
+//! [`ErrorCode`] and an optional retry-after hint.
+
+use bytes::{Buf, BufMut, BytesMut};
+use lima_matrix::{DenseMatrix, ScalarValue, Value};
+use std::io::{Read, Write};
+
+/// Frame magic: `"LMD1"`.
+pub const MAGIC: u32 = 0x4C4D_4431;
+/// Fixed frame header size (magic + kind + request id + payload length).
+pub const HEADER_BYTES: usize = 4 + 1 + 8 + 4;
+/// Trailing checksum size.
+pub const TRAILER_BYTES: usize = 8;
+/// Default cap on a frame payload; oversized frames are rejected with a
+/// typed error before any allocation happens.
+pub const MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
+
+/// FNV-1a 64-bit hash (same construction as the spill/persist formats).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Typed failure classes carried in error responses. The same codes drive
+/// `limac`/`limad` process exit codes, so scripts and CI can distinguish a
+/// deadline from a cancellation from resource exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed frame or request payload (isolated to the connection).
+    BadRequest,
+    /// The submitted script failed to compile.
+    Compile,
+    /// The script failed at runtime (kernel error, undefined variable, ...).
+    Runtime,
+    /// The request's deadline passed before completion.
+    DeadlineExceeded,
+    /// The session was cancelled via its token.
+    Cancelled,
+    /// A quota or the resource governor rejected the admission.
+    ResourceExhausted,
+    /// The shard is shedding load (governor ladder L3/L4); retry after the
+    /// hinted delay.
+    Overloaded,
+    /// Probe/fetch/cancel target not found.
+    NotFound,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Stable machine-readable name (used in stderr lines and logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Compile => "compile_error",
+            ErrorCode::Runtime => "runtime_error",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::ResourceExhausted => "resource_exhausted",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Process exit code for CLI surfaces (`limac run`, chaos drivers):
+    /// distinct nonzero codes for the interrupt family, generic `1`
+    /// otherwise (`2` stays reserved for usage errors).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorCode::DeadlineExceeded => 4,
+            ErrorCode::Cancelled => 5,
+            ErrorCode::ResourceExhausted => 6,
+            ErrorCode::Overloaded => 7,
+            _ => 1,
+        }
+    }
+
+    /// True when retrying the same request later may succeed without any
+    /// side effect having happened (the server sheds *before* executing).
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded)
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::Compile => 2,
+            ErrorCode::Runtime => 3,
+            ErrorCode::DeadlineExceeded => 4,
+            ErrorCode::Cancelled => 5,
+            ErrorCode::ResourceExhausted => 6,
+            ErrorCode::Overloaded => 7,
+            ErrorCode::NotFound => 8,
+            ErrorCode::Internal => 9,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::Compile,
+            3 => ErrorCode::Runtime,
+            4 => ErrorCode::DeadlineExceeded,
+            5 => ErrorCode::Cancelled,
+            6 => ErrorCode::ResourceExhausted,
+            7 => ErrorCode::Overloaded,
+            8 => ErrorCode::NotFound,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceError {
+    /// Machine-readable failure class.
+    pub code: ErrorCode,
+    /// Suggested delay before retrying (0 = no hint). Set on `Overloaded`.
+    pub retry_after_ms: u64,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.msg)
+    }
+}
+
+/// Client → server messages. All execution requests carry a relative
+/// `deadline_ms` propagated into the server-side session deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile and execute a script; respond with the named output values.
+    Submit {
+        /// Tenant identity for quota accounting.
+        tenant: String,
+        /// Script source (DML subset).
+        script: String,
+        /// System-seed base for reproducible `rand`/`sample`.
+        seed: Option<u64>,
+        /// Variables to return; empty returns every scalar output.
+        outputs: Vec<String>,
+        /// Relative deadline in milliseconds (0 = server default).
+        deadline_ms: u64,
+    },
+    /// Does the routed shard hold a cached value for this lineage trace?
+    Probe {
+        tenant: String,
+        /// Serialized lineage log (`serialize_lineage` output).
+        lineage: String,
+        deadline_ms: u64,
+    },
+    /// Fetch the cached value for this lineage trace, if any.
+    Fetch {
+        tenant: String,
+        lineage: String,
+        deadline_ms: u64,
+    },
+    /// Cooperatively cancel a running session by server-assigned id.
+    Cancel {
+        /// Session id returned by a prior `Submitted` response.
+        session: u64,
+    },
+    /// Fetch the aggregated Prometheus metrics text.
+    Metrics,
+    /// Liveness check.
+    Ping,
+}
+
+const K_SUBMIT: u8 = 1;
+const K_PROBE: u8 = 2;
+const K_FETCH: u8 = 3;
+const K_CANCEL: u8 = 4;
+const K_METRICS: u8 = 5;
+const K_PING: u8 = 6;
+const K_RESP: u8 = 0x80;
+const K_ERROR: u8 = 0xFF;
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Script ran to completion.
+    Submitted {
+        /// Server-assigned session id (target for `Cancel`).
+        session: u64,
+        /// Requested output variables and their values.
+        values: Vec<(String, Value)>,
+        /// Collected `print` output.
+        stdout: Vec<String>,
+    },
+    /// Probe verdict.
+    Probed {
+        /// True when the routed shard holds a cached value.
+        hit: bool,
+    },
+    /// Fetched value (`None` = cache miss).
+    Fetched(Option<Value>),
+    /// Cancellation verdict (`false` = no such live session).
+    Cancelled {
+        /// True when the session was found and its token cancelled.
+        found: bool,
+    },
+    /// Aggregated Prometheus text exposition.
+    MetricsText(String),
+    /// Liveness response.
+    Pong,
+    /// Typed failure.
+    Error(ServiceError),
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Option<String> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let (s, rest) = buf.split_at(len);
+    let out = std::str::from_utf8(s).ok()?.to_string();
+    *buf = rest;
+    Some(out)
+}
+
+/// Appends a value in the wire encoding. Lists are not wire-transportable;
+/// they encode as tag 2 (absent) so a response can still mention them.
+fn put_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Matrix(m) => {
+            buf.put_u8(0);
+            buf.put_u64(m.rows() as u64);
+            buf.put_u64(m.cols() as u64);
+            for &v in m.data() {
+                buf.put_f64(v);
+            }
+        }
+        Value::Scalar(s) => {
+            buf.put_u8(1);
+            put_str(buf, &s.lineage_literal());
+        }
+        Value::List(_) => buf.put_u8(2),
+    }
+}
+
+fn get_value(buf: &mut &[u8]) -> Option<Option<Value>> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 16 {
+                return None;
+            }
+            let rows = buf.get_u64() as usize;
+            let cols = buf.get_u64() as usize;
+            let n = rows.checked_mul(cols)?;
+            if buf.remaining() < n.checked_mul(8)? {
+                return None;
+            }
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(buf.get_f64());
+            }
+            DenseMatrix::new(rows, cols, data)
+                .ok()
+                .map(|m| Some(Value::matrix(m)))
+        }
+        1 => {
+            let lit = get_str(buf)?;
+            ScalarValue::from_lineage_literal(&lit).map(|s| Some(Value::Scalar(s)))
+        }
+        2 => Some(None),
+        _ => None,
+    }
+}
+
+impl Request {
+    /// Frame kind byte plus encoded payload.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut buf = BytesMut::new();
+        let kind = match self {
+            Request::Submit {
+                tenant,
+                script,
+                seed,
+                outputs,
+                deadline_ms,
+            } => {
+                put_str(&mut buf, tenant);
+                buf.put_u64(*deadline_ms);
+                match seed {
+                    Some(s) => {
+                        buf.put_u8(1);
+                        buf.put_u64(*s);
+                    }
+                    None => buf.put_u8(0),
+                }
+                put_str(&mut buf, script);
+                buf.put_u32(outputs.len() as u32);
+                for o in outputs {
+                    put_str(&mut buf, o);
+                }
+                K_SUBMIT
+            }
+            Request::Probe {
+                tenant,
+                lineage,
+                deadline_ms,
+            } => {
+                put_str(&mut buf, tenant);
+                buf.put_u64(*deadline_ms);
+                put_str(&mut buf, lineage);
+                K_PROBE
+            }
+            Request::Fetch {
+                tenant,
+                lineage,
+                deadline_ms,
+            } => {
+                put_str(&mut buf, tenant);
+                buf.put_u64(*deadline_ms);
+                put_str(&mut buf, lineage);
+                K_FETCH
+            }
+            Request::Cancel { session } => {
+                buf.put_u64(*session);
+                K_CANCEL
+            }
+            Request::Metrics => K_METRICS,
+            Request::Ping => K_PING,
+        };
+        (kind, buf.to_vec())
+    }
+
+    /// Decodes a request payload; `None` on any structural violation (the
+    /// server answers `BadRequest` and keeps only that connection affected).
+    pub fn decode(kind: u8, payload: &[u8]) -> Option<Request> {
+        let mut p = payload;
+        let req = match kind {
+            K_SUBMIT => {
+                let tenant = get_str(&mut p)?;
+                if p.remaining() < 9 {
+                    return None;
+                }
+                let deadline_ms = p.get_u64();
+                let seed = match p.get_u8() {
+                    0 => None,
+                    1 => {
+                        if p.remaining() < 8 {
+                            return None;
+                        }
+                        Some(p.get_u64())
+                    }
+                    _ => return None,
+                };
+                let script = get_str(&mut p)?;
+                if p.remaining() < 4 {
+                    return None;
+                }
+                let n = p.get_u32() as usize;
+                let mut outputs = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    outputs.push(get_str(&mut p)?);
+                }
+                Request::Submit {
+                    tenant,
+                    script,
+                    seed,
+                    outputs,
+                    deadline_ms,
+                }
+            }
+            K_PROBE | K_FETCH => {
+                let tenant = get_str(&mut p)?;
+                if p.remaining() < 8 {
+                    return None;
+                }
+                let deadline_ms = p.get_u64();
+                let lineage = get_str(&mut p)?;
+                if kind == K_PROBE {
+                    Request::Probe {
+                        tenant,
+                        lineage,
+                        deadline_ms,
+                    }
+                } else {
+                    Request::Fetch {
+                        tenant,
+                        lineage,
+                        deadline_ms,
+                    }
+                }
+            }
+            K_CANCEL => {
+                if p.remaining() < 8 {
+                    return None;
+                }
+                Request::Cancel {
+                    session: p.get_u64(),
+                }
+            }
+            K_METRICS => Request::Metrics,
+            K_PING => Request::Ping,
+            _ => return None,
+        };
+        (p.remaining() == 0).then_some(req)
+    }
+}
+
+impl Response {
+    /// Frame kind byte plus encoded payload.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut buf = BytesMut::new();
+        let kind = match self {
+            Response::Submitted {
+                session,
+                values,
+                stdout,
+            } => {
+                buf.put_u64(*session);
+                buf.put_u32(values.len() as u32);
+                for (name, value) in values {
+                    put_str(&mut buf, name);
+                    put_value(&mut buf, value);
+                }
+                buf.put_u32(stdout.len() as u32);
+                for line in stdout {
+                    put_str(&mut buf, line);
+                }
+                K_RESP | K_SUBMIT
+            }
+            Response::Probed { hit } => {
+                buf.put_u8(u8::from(*hit));
+                K_RESP | K_PROBE
+            }
+            Response::Fetched(value) => {
+                match value {
+                    Some(v) => {
+                        buf.put_u8(1);
+                        put_value(&mut buf, v);
+                    }
+                    None => buf.put_u8(0),
+                }
+                K_RESP | K_FETCH
+            }
+            Response::Cancelled { found } => {
+                buf.put_u8(u8::from(*found));
+                K_RESP | K_CANCEL
+            }
+            Response::MetricsText(text) => {
+                put_str(&mut buf, text);
+                K_RESP | K_METRICS
+            }
+            Response::Pong => K_RESP | K_PING,
+            Response::Error(e) => {
+                buf.put_u8(e.code.as_u8());
+                buf.put_u64(e.retry_after_ms);
+                put_str(&mut buf, &e.msg);
+                K_ERROR
+            }
+        };
+        (kind, buf.to_vec())
+    }
+
+    /// Decodes a response payload; `None` on any structural violation.
+    pub fn decode(kind: u8, payload: &[u8]) -> Option<Response> {
+        let mut p = payload;
+        let resp = match kind {
+            k if k == K_RESP | K_SUBMIT => {
+                if p.remaining() < 12 {
+                    return None;
+                }
+                let session = p.get_u64();
+                let n = p.get_u32() as usize;
+                let mut values = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    let name = get_str(&mut p)?;
+                    // Tag-2 (non-transportable) outputs decode as absent and
+                    // are skipped rather than failing the whole response.
+                    if let Some(v) = get_value(&mut p)? {
+                        values.push((name, v));
+                    }
+                }
+                if p.remaining() < 4 {
+                    return None;
+                }
+                let n = p.get_u32() as usize;
+                let mut stdout = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    stdout.push(get_str(&mut p)?);
+                }
+                Response::Submitted {
+                    session,
+                    values,
+                    stdout,
+                }
+            }
+            k if k == K_RESP | K_PROBE => {
+                if p.remaining() < 1 {
+                    return None;
+                }
+                Response::Probed {
+                    hit: p.get_u8() != 0,
+                }
+            }
+            k if k == K_RESP | K_FETCH => {
+                if p.remaining() < 1 {
+                    return None;
+                }
+                match p.get_u8() {
+                    0 => Response::Fetched(None),
+                    1 => Response::Fetched(get_value(&mut p)?),
+                    _ => return None,
+                }
+            }
+            k if k == K_RESP | K_CANCEL => {
+                if p.remaining() < 1 {
+                    return None;
+                }
+                Response::Cancelled {
+                    found: p.get_u8() != 0,
+                }
+            }
+            k if k == K_RESP | K_METRICS => Response::MetricsText(get_str(&mut p)?),
+            k if k == K_RESP | K_PING => Response::Pong,
+            K_ERROR => {
+                if p.remaining() < 9 {
+                    return None;
+                }
+                let code = ErrorCode::from_u8(p.get_u8())?;
+                let retry_after_ms = p.get_u64();
+                let msg = get_str(&mut p)?;
+                Response::Error(ServiceError {
+                    code,
+                    retry_after_ms,
+                    msg,
+                })
+            }
+            _ => return None,
+        };
+        (p.remaining() == 0).then_some(resp)
+    }
+}
+
+/// Writes one frame. The caller is responsible for socket timeouts.
+pub fn write_frame(
+    w: &mut impl Write,
+    kind: u8,
+    req_id: u64,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + payload.len() + TRAILER_BYTES);
+    buf.put_u32(MAGIC);
+    buf.put_u8(kind);
+    buf.put_u64(req_id);
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    let checksum = fnv1a(&buf);
+    buf.put_u64(checksum);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing `max_payload` *before* allocating the body.
+/// Malformed frames (bad magic, oversized, checksum mismatch) return
+/// `InvalidData`; a cleanly closed peer returns `UnexpectedEof`.
+pub fn read_frame(r: &mut impl Read, max_payload: usize) -> std::io::Result<(u8, u64, Vec<u8>)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut header = [0u8; HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let mut h = &header[..];
+    if h.get_u32() != MAGIC {
+        return Err(bad("bad frame magic"));
+    }
+    let kind = h.get_u8();
+    let req_id = h.get_u64();
+    let len = h.get_u32() as usize;
+    if len > max_payload {
+        return Err(bad(&format!(
+            "frame payload {len} exceeds cap {max_payload}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut trailer = [0u8; TRAILER_BYTES];
+    r.read_exact(&mut trailer)?;
+    let mut whole = Vec::with_capacity(HEADER_BYTES + len);
+    whole.extend_from_slice(&header);
+    whole.extend_from_slice(&payload);
+    if fnv1a(&whole) != (&trailer[..]).get_u64() {
+        return Err(bad("frame checksum mismatch"));
+    }
+    Ok((kind, req_id, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        let (kind, payload) = req.encode();
+        assert_eq!(Request::decode(kind, &payload), Some(req));
+    }
+
+    fn round_trip_resp(resp: Response) {
+        let (kind, payload) = resp.encode();
+        assert_eq!(Response::decode(kind, &payload), Some(resp));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(Request::Submit {
+            tenant: "t0".into(),
+            script: "s = sum(X);".into(),
+            seed: Some(7),
+            outputs: vec!["s".into(), "X".into()],
+            deadline_ms: 1500,
+        });
+        round_trip_req(Request::Submit {
+            tenant: String::new(),
+            script: String::new(),
+            seed: None,
+            outputs: vec![],
+            deadline_ms: 0,
+        });
+        round_trip_req(Request::Probe {
+            tenant: "a".into(),
+            lineage: "(1) L f:2".into(),
+            deadline_ms: 9,
+        });
+        round_trip_req(Request::Fetch {
+            tenant: "a".into(),
+            lineage: "(1) L f:2".into(),
+            deadline_ms: 9,
+        });
+        round_trip_req(Request::Cancel { session: 42 });
+        round_trip_req(Request::Metrics);
+        round_trip_req(Request::Ping);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_resp(Response::Submitted {
+            session: 3,
+            values: vec![
+                ("s".into(), Value::f64(4.25)),
+                (
+                    "M".into(),
+                    Value::matrix(DenseMatrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64)),
+                ),
+            ],
+            stdout: vec!["hello".into()],
+        });
+        round_trip_resp(Response::Probed { hit: true });
+        round_trip_resp(Response::Fetched(Some(Value::f64(1.5))));
+        round_trip_resp(Response::Fetched(None));
+        round_trip_resp(Response::Cancelled { found: false });
+        round_trip_resp(Response::MetricsText("lima_probes 0\n".into()));
+        round_trip_resp(Response::Pong);
+        round_trip_resp(Response::Error(ServiceError {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: 250,
+            msg: "shard 2 at L4".into(),
+        }));
+    }
+
+    #[test]
+    fn frames_round_trip_and_detect_corruption() {
+        let (kind, payload) = Request::Probe {
+            tenant: "t".into(),
+            lineage: "(1) L f:1".into(),
+            deadline_ms: 100,
+        }
+        .encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, kind, 77, &payload).unwrap();
+        let (k, id, p) = read_frame(&mut &wire[..], MAX_FRAME_BYTES).unwrap();
+        assert_eq!((k, id), (kind, 77));
+        assert_eq!(p, payload);
+
+        // Any single-byte flip is caught by the checksum (or the magic).
+        for i in 0..wire.len() {
+            let mut bent = wire.clone();
+            bent[i] ^= 0x40;
+            let r = read_frame(&mut &bent[..], MAX_FRAME_BYTES);
+            assert!(r.is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn oversized_frames_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, K_PING, 1, &vec![0u8; 256]).unwrap();
+        let err = read_frame(&mut &wire[..], 64).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds cap"));
+    }
+
+    #[test]
+    fn truncated_frames_are_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, K_PING, 1, b"abc").unwrap();
+        wire.truncate(wire.len() - 3);
+        let err = read_frame(&mut &wire[..], MAX_FRAME_BYTES).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn garbage_decodes_to_none_not_panic() {
+        for kind in 0u8..=255 {
+            let _ = Request::decode(kind, b"\x01\x02\x03");
+            let _ = Response::decode(kind, b"\xFF\xFE");
+        }
+        assert_eq!(Request::decode(K_SUBMIT, b""), None);
+        assert_eq!(
+            Response::decode(K_ERROR, b"\x63\0\0\0\0\0\0\0\0\0\0\0\0"),
+            None
+        );
+    }
+
+    #[test]
+    fn error_codes_map_to_distinct_exit_codes() {
+        assert_eq!(ErrorCode::DeadlineExceeded.exit_code(), 4);
+        assert_eq!(ErrorCode::Cancelled.exit_code(), 5);
+        assert_eq!(ErrorCode::ResourceExhausted.exit_code(), 6);
+        assert_eq!(ErrorCode::Overloaded.exit_code(), 7);
+        assert_eq!(ErrorCode::Runtime.exit_code(), 1);
+        // Round-trip every code through the wire byte.
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::Compile,
+            ErrorCode::Runtime,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Cancelled,
+            ErrorCode::ResourceExhausted,
+            ErrorCode::Overloaded,
+            ErrorCode::NotFound,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), Some(code));
+            assert!(!code.as_str().is_empty());
+        }
+    }
+}

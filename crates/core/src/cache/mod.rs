@@ -3,7 +3,6 @@
 //! level entries, cost-based eviction, disk spilling, and partial-reuse
 //! rewrites.
 
-pub mod breaker;
 pub mod costs;
 pub mod entry;
 pub mod eviction;
@@ -16,9 +15,8 @@ use crate::governor::ResourceGovernor;
 use crate::interrupt::{Interrupt, InterruptKind};
 use crate::lineage::item::{LinKey, LinRef};
 use crate::obs::{EventKind, Obs};
-use crate::retry::RetryPolicy;
+use crate::resilience::{Attempt, CircuitBreaker, RetryPolicy};
 use crate::stats::LimaStats;
-use breaker::{Attempt, CircuitBreaker};
 use costs::IoCostModel;
 use entry::{CacheEntry, EntryState};
 use lima_matrix::Value;
@@ -949,6 +947,14 @@ impl LineageCache {
     /// succeeds. 0 disables the breaker.
     pub fn persist_disabled(&self) -> bool {
         self.persist_breaker.is_open()
+    }
+
+    /// True when a durable store backs this cache and is still writable
+    /// (i.e. the configured persist directory opened successfully and no
+    /// crash point has latched). `false` under a persistence-enabled
+    /// configuration means the cache degraded to memory-only.
+    pub fn persist_active(&self) -> bool {
+        self.persist_store.as_ref().is_some_and(|s| !s.crashed())
     }
 
     fn abort(&self, key: &LinKey) {

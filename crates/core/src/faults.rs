@@ -45,12 +45,23 @@ pub enum FaultSite {
     /// [`SLOW_SPILL_DELAY_MS`] before proceeding, so deadline checks during
     /// eviction-heavy phases are exercised.
     SlowSpill,
+    /// A `limad` connection is torn down after processing a request but
+    /// before its response frame is written — the client sees EOF and must
+    /// reconnect/retry. Consulted once per response.
+    ConnDrop,
+    /// A `limad` shard stalls for [`SLOW_SHARD_DELAY_MS`] before handling a
+    /// request. Consulted with the shard index as the explicit occurrence
+    /// key, so `fail_at(SlowShard, &[k])` makes exactly shard `k` slow.
+    SlowShard,
 }
 
 /// Latency (milliseconds) injected per fired [`FaultSite::SlowSpill`].
 pub const SLOW_SPILL_DELAY_MS: u64 = 25;
 
-const SITES: [FaultSite; 10] = [
+/// Latency (milliseconds) injected per fired [`FaultSite::SlowShard`].
+pub const SLOW_SHARD_DELAY_MS: u64 = 50;
+
+const SITES: [FaultSite; 12] = [
     FaultSite::SpillWrite,
     FaultSite::SpillCorrupt,
     FaultSite::SpillRead,
@@ -61,6 +72,8 @@ const SITES: [FaultSite; 10] = [
     FaultSite::PersistRename,
     FaultSite::AllocFail,
     FaultSite::SlowSpill,
+    FaultSite::ConnDrop,
+    FaultSite::SlowShard,
 ];
 
 /// The named crash points of the persistent cache store, in WAL commit-path
@@ -85,6 +98,8 @@ fn site_index(site: FaultSite) -> usize {
         FaultSite::PersistRename => 7,
         FaultSite::AllocFail => 8,
         FaultSite::SlowSpill => 9,
+        FaultSite::ConnDrop => 10,
+        FaultSite::SlowShard => 11,
     }
 }
 

@@ -20,7 +20,7 @@ pub mod interrupt;
 pub mod lineage;
 pub mod obs;
 pub mod opcodes;
-pub mod retry;
+pub mod resilience;
 pub mod stats;
 
 pub use cache::{ItemCost, LineageCache};
@@ -30,4 +30,5 @@ pub use governor::{PressureLevel, ResourceGovernor};
 pub use interrupt::{CancelToken, Interrupt, InterruptKind};
 pub use lineage::{LinRef, LineageItem, LineageMap};
 pub use obs::{Event, EventKind, Obs};
+pub use resilience::{CircuitBreaker, RetryBudget, RetryPolicy};
 pub use stats::LimaStats;

@@ -131,6 +131,17 @@ define_stats! {
     sessions_deadline_exceeded,
     /// Session admissions rejected by the governor (`ResourceExhausted`).
     sessions_rejected,
+    /// Requests received by the `limad` service (all protocol kinds).
+    srv_requests,
+    /// Malformed, oversized, or checksum-failed frames rejected by `limad`;
+    /// each is isolated to its connection, never the shard.
+    srv_malformed,
+    /// Requests shed with typed `Overloaded` responses (governor L3/L4).
+    srv_sheds,
+    /// Requests rejected by per-tenant quotas (`ResourceExhausted`).
+    srv_quota_rejects,
+    /// Connections torn by injected `ConnDrop` faults (chaos testing).
+    srv_conn_drops,
 }
 
 impl LimaStats {
@@ -211,6 +222,7 @@ impl LimaStats {
              governor: degrades={} recovers={} admission_rejects={} alloc_failures={} \
              persist_retries={} breaker_probes={}\n\
              session: started={} completed={} cancelled={} deadline_exceeded={} rejected={}\n\
+             service: requests={} malformed={} sheds={} quota_rejects={} conn_drops={}\n\
              time:    saved_compute={:.3}s compensation={:.3}s",
             Self::get(&self.items_traced),
             Self::get(&self.dedup_items),
@@ -252,6 +264,11 @@ impl LimaStats {
             Self::get(&self.sessions_cancelled),
             Self::get(&self.sessions_deadline_exceeded),
             Self::get(&self.sessions_rejected),
+            Self::get(&self.srv_requests),
+            Self::get(&self.srv_malformed),
+            Self::get(&self.srv_sheds),
+            Self::get(&self.srv_quota_rejects),
+            Self::get(&self.srv_conn_drops),
             Self::get(&self.saved_compute_ns) as f64 / 1e9,
             Self::get(&self.compensation_ns) as f64 / 1e9,
         )

@@ -1,0 +1,31 @@
+//! `limad`: a fault-tolerant, multi-tenant lineage-cache service.
+//!
+//! `limad` promotes the process-local [`lima_runtime::SessionPool`] +
+//! [`lima_core::ResourceGovernor`] stack into a long-running server of `N`
+//! lineage-hash-partitioned cache shards:
+//!
+//! * [`shard`] — each [`shard::CacheShard`] is a fully isolated LIMA stack
+//!   (own cache, governor, stats, persistence directory). Submits route by
+//!   script hash so identical scripts share lineage across tenants; probes
+//!   and fetches route by the lineage trace's own hash.
+//! * [`server`] — [`server::Server`] speaks the length-framed, checksummed
+//!   wire protocol from [`lima_client::proto`] with thread-per-connection
+//!   dispatch, per-tenant quotas, governor-driven overload shedding, and
+//!   deadline propagation into session execution. Malformed input isolates
+//!   to one connection; a shard that lost its WAL degrades to memory and
+//!   keeps serving while its siblings stay untouched.
+//! * [`metrics`] — one aggregated Prometheus exposition across all shards,
+//!   served as HTTP `GET /metrics` plus per-shard state gauges.
+//!
+//! The deterministic chaos hooks (`ConnDrop`, `SlowShard`,
+//! crash-mid-WAL-append) ride in through the shared
+//! [`lima_core::FaultInjector`] carried by the configuration template; the
+//! chaos harness in `crates/bench` drives them against hundreds of
+//! concurrent zipf-skewed sessions.
+
+pub mod metrics;
+pub mod server;
+pub mod shard;
+
+pub use server::{LimadConfig, Server};
+pub use shard::{CacheShard, ShardSet, ShardState};

@@ -1,0 +1,97 @@
+//! Metrics aggregation and the `GET /metrics` HTTP endpoint.
+//!
+//! Every shard owns an independent [`LimaStats`] block and the server keeps
+//! its own for the `srv_*` counters. The exporter sums them index-aligned
+//! (the `define_stats!` macro guarantees one shared declaration order) into
+//! one fresh block, renders the standard Prometheus text exposition, and
+//! appends a `limad_shard_state{shard="i"}` gauge per shard so dashboards
+//! can see a degraded shard at a glance.
+//!
+//! The endpoint is a deliberately tiny hand-rolled HTTP/1.0 responder: one
+//! request line, one response, close. No external dependency, no keep-alive.
+
+use crate::server::Inner;
+use lima_core::LimaStats;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The aggregated Prometheus text for the whole server.
+pub(crate) fn metrics_text(inner: &Inner) -> String {
+    let agg = LimaStats::new();
+    let mut blocks: Vec<Arc<LimaStats>> = inner.shards.iter().map(|s| s.stats()).collect();
+    // Count the server's own block too (srv_* counters live there).
+    let sums: Vec<u64> = {
+        let mut sums = vec![0u64; agg.counters().len()];
+        let server_counters = inner.stats.counters();
+        for (i, (_, c)) in server_counters.iter().enumerate() {
+            sums[i] += LimaStats::get(c);
+        }
+        for block in blocks.drain(..) {
+            for (i, (_, c)) in block.counters().iter().enumerate() {
+                sums[i] += LimaStats::get(c);
+            }
+        }
+        sums
+    };
+    for ((_, counter), sum) in agg.counters().into_iter().zip(&sums) {
+        counter.store(*sum, Ordering::Relaxed);
+    }
+
+    let mut out = agg.prometheus();
+    out.push_str(
+        "# HELP limad_shard_state Shard persistence posture (0=cold, 1=warm, 2=degraded).\n\
+         # TYPE limad_shard_state gauge\n",
+    );
+    for shard in inner.shards.iter() {
+        out.push_str(&format!(
+            "limad_shard_state{{shard=\"{}\"}} {}\n",
+            shard.index(),
+            shard.state().as_gauge()
+        ));
+    }
+    out
+}
+
+/// Accept loop for the metrics listener (runs on its own thread until the
+/// server's shutdown flag flips).
+pub(crate) fn serve_metrics(listener: &TcpListener, inner: &Arc<Inner>) {
+    const POLL: Duration = Duration::from_millis(25);
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => answer_http(stream, inner),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// One-shot HTTP exchange: parse the request line, answer, close.
+fn answer_http(mut stream: TcpStream, inner: &Inner) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 1024];
+    let n = match stream.read(&mut buf) {
+        Ok(n) if n > 0 => n,
+        _ => return,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let target = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("");
+    let (status, body) = if target == "/metrics" {
+        ("200 OK", metrics_text(inner))
+    } else {
+        ("404 Not Found", "only /metrics lives here\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}

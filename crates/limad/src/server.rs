@@ -1,0 +1,520 @@
+//! The `limad` TCP server: thread-per-connection frame loop, request
+//! dispatch, tenant quotas, and overload shedding.
+//!
+//! Failure semantics, in one place:
+//!
+//! * **Malformed frames** (bad magic, checksum mismatch, oversized payload,
+//!   undecodable payloads) earn a typed `BadRequest` response and close
+//!   *that connection only* — the shard behind it is untouched.
+//! * **Overload** is shed before execution: a submit routed to a shard whose
+//!   governor sits at L3 (`NoAdmission`) or above is answered with a typed
+//!   `Overloaded` error carrying a retry-after hint. A session admission
+//!   rejected by the pool at L4 maps to the same code. The server never
+//!   hangs or aborts under pressure.
+//! * **Tenant quotas** bound concurrent in-flight submits per tenant;
+//!   excess earns `ResourceExhausted` (a client bug or abuse, distinct from
+//!   `Overloaded` which is the server's own state).
+//! * **Deadlines** propagate from the wire into the session's cooperative
+//!   deadline; an expired session returns `DeadlineExceeded`, a cancelled
+//!   one `Cancelled`.
+//! * **Chaos hooks**: the configured fault injector's `ConnDrop` site tears
+//!   the connection instead of writing a response; `SlowShard` (keyed by
+//!   shard index) stalls one shard's dispatch so tail-latency and
+//!   sibling-isolation assertions have a deterministic target.
+
+use crate::metrics::{metrics_text, serve_metrics};
+use crate::shard::{CacheShard, ShardSet};
+use lima_client::proto::{
+    read_frame, write_frame, ErrorCode, Request, Response, ServiceError, MAX_FRAME_BYTES,
+};
+use lima_core::faults::{FaultSite, SLOW_SHARD_DELAY_MS};
+use lima_core::interrupt::CancelToken;
+use lima_core::{LimaConfig, LimaStats, PressureLevel};
+use lima_lang::compile_script;
+use lima_runtime::{RuntimeError, SessionOptions};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often blocked accept/read loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Read timeout applied while receiving the body of a frame whose first byte
+/// has arrived; a peer stalling longer mid-frame is treated as torn.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct LimadConfig {
+    /// Wire-protocol listen address (`"127.0.0.1:0"` picks a free port).
+    pub listen: String,
+    /// Metrics (HTTP `GET /metrics`) listen address.
+    pub metrics_listen: String,
+    /// Number of cache shards.
+    pub shards: usize,
+    /// Per-shard LIMA configuration template (faults ride along here).
+    pub template: LimaConfig,
+    /// Root directory for per-shard persistence (`shard-<i>` subdirs);
+    /// `None` runs memory-only.
+    pub persist_root: Option<PathBuf>,
+    /// Concurrent in-flight submits allowed per tenant; 0 = unlimited.
+    pub tenant_max_sessions: usize,
+    /// Deadline applied to submits that carry `deadline_ms == 0`.
+    pub default_deadline_ms: u64,
+    /// Retry-after hint attached to `Overloaded` responses.
+    pub retry_after_ms: u64,
+    /// Largest request frame accepted before the typed `BadRequest` cutoff.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for LimadConfig {
+    fn default() -> Self {
+        LimadConfig {
+            listen: "127.0.0.1:0".into(),
+            metrics_listen: "127.0.0.1:0".into(),
+            shards: 4,
+            template: LimaConfig::lima(),
+            persist_root: None,
+            tenant_max_sessions: 8,
+            default_deadline_ms: 30_000,
+            retry_after_ms: 50,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// State shared by every connection thread.
+pub(crate) struct Inner {
+    pub(crate) cfg: LimadConfig,
+    pub(crate) shards: ShardSet,
+    /// Server-level counters (`srv_*`); shard counters live in each shard.
+    pub(crate) stats: LimaStats,
+    /// In-flight submit count per tenant.
+    tenants: Mutex<HashMap<String, usize>>,
+    /// Cancel tokens of running sessions, by server-assigned id.
+    sessions: Mutex<HashMap<u64, Arc<CancelToken>>>,
+    next_session: AtomicU64,
+    pub(crate) shutdown: AtomicBool,
+}
+
+/// Decrements a tenant's in-flight count on drop, so every submit exit path
+/// (success, typed error, panic unwind) releases its quota slot.
+struct QuotaSlot<'a> {
+    inner: &'a Inner,
+    tenant: String,
+}
+
+impl Drop for QuotaSlot<'_> {
+    fn drop(&mut self) {
+        let mut tenants = self.inner.tenants.lock();
+        if let Some(count) = tenants.get_mut(&self.tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                tenants.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+/// Removes a session's cancel token from the registry on drop.
+struct SessionSlot<'a> {
+    inner: &'a Inner,
+    id: u64,
+}
+
+impl Drop for SessionSlot<'_> {
+    fn drop(&mut self) {
+        self.inner.sessions.lock().remove(&self.id);
+    }
+}
+
+fn err(code: ErrorCode, msg: impl Into<String>) -> Response {
+    Response::Error(ServiceError {
+        code,
+        retry_after_ms: 0,
+        msg: msg.into(),
+    })
+}
+
+impl Inner {
+    fn overloaded(&self, msg: impl Into<String>) -> Response {
+        Response::Error(ServiceError {
+            code: ErrorCode::Overloaded,
+            retry_after_ms: self.cfg.retry_after_ms,
+            msg: msg.into(),
+        })
+    }
+
+    /// Injected per-shard stall (chaos `SlowShard` site, keyed by index).
+    fn maybe_stall(&self, shard: &CacheShard) {
+        if let Some(faults) = &self.cfg.template.faults {
+            if faults.should_fail_at(FaultSite::SlowShard, shard.index() as u64) {
+                std::thread::sleep(Duration::from_millis(SLOW_SHARD_DELAY_MS));
+            }
+        }
+    }
+
+    fn dispatch(&self, req: Request) -> Response {
+        match req {
+            Request::Submit {
+                tenant,
+                script,
+                seed,
+                outputs,
+                deadline_ms,
+            } => self.submit(&tenant, &script, seed, &outputs, deadline_ms),
+            Request::Probe { lineage, .. } => {
+                match lima_core::lineage::deserialize_lineage(&lineage) {
+                    Ok(root) => Response::Probed {
+                        hit: self.lookup(&root).is_some(),
+                    },
+                    Err(e) => err(ErrorCode::BadRequest, format!("unparseable lineage: {e}")),
+                }
+            }
+            Request::Fetch { lineage, .. } => {
+                match lima_core::lineage::deserialize_lineage(&lineage) {
+                    Ok(root) => Response::Fetched(self.lookup(&root)),
+                    Err(e) => err(ErrorCode::BadRequest, format!("unparseable lineage: {e}")),
+                }
+            }
+            Request::Cancel { session } => {
+                let found = match self.sessions.lock().get(&session) {
+                    Some(token) => {
+                        token.cancel();
+                        true
+                    }
+                    None => false,
+                };
+                Response::Cancelled { found }
+            }
+            Request::Metrics => Response::MetricsText(metrics_text(self)),
+            Request::Ping => Response::Pong,
+        }
+    }
+
+    /// Cache lookup for one lineage trace. Submits route by *script* hash,
+    /// so an entry lives on whichever shard ran the creating script; the
+    /// lineage-routed shard is checked first (the stable address for
+    /// entries fetched repeatedly), then the peers.
+    fn lookup(&self, root: &lima_core::lineage::LinRef) -> Option<lima_matrix::Value> {
+        let preferred = self.shards.route_lineage(root);
+        self.maybe_stall(preferred);
+        if let Some(v) = preferred.cache().and_then(|c| c.peek(root)) {
+            return Some(v);
+        }
+        self.shards
+            .iter()
+            .filter(|s| s.index() != preferred.index())
+            .find_map(|s| s.cache().and_then(|c| c.peek(root)))
+    }
+
+    fn submit(
+        &self,
+        tenant: &str,
+        script: &str,
+        seed: Option<u64>,
+        outputs: &[String],
+        deadline_ms: u64,
+    ) -> Response {
+        // Tenant quota first: cheap, and abuse must not reach a shard.
+        let _slot = {
+            let max = self.cfg.tenant_max_sessions;
+            let mut tenants = self.tenants.lock();
+            let count = tenants.entry(tenant.to_string()).or_insert(0);
+            if max > 0 && *count >= max {
+                drop(tenants);
+                LimaStats::bump(&self.stats.srv_quota_rejects);
+                return err(
+                    ErrorCode::ResourceExhausted,
+                    format!("tenant '{tenant}' at its quota of {max} concurrent sessions"),
+                );
+            }
+            *count += 1;
+            drop(tenants);
+            QuotaSlot {
+                inner: self,
+                tenant: tenant.to_string(),
+            }
+        };
+
+        let shard = self.shards.route_script(script);
+        self.maybe_stall(shard);
+
+        // Shed before compiling: at L3 the shard's cache admits nothing new,
+        // so running more sessions only deepens the pressure.
+        if let Some(g) = shard.governor() {
+            if g.level() >= PressureLevel::NoAdmission {
+                LimaStats::bump(&self.stats.srv_sheds);
+                return self.overloaded(format!(
+                    "shard {} shedding at {}",
+                    shard.index(),
+                    g.level().as_str()
+                ));
+            }
+        }
+
+        let program = match compile_script(script, shard.config()) {
+            Ok(p) => Arc::new(p),
+            Err(e) => return err(ErrorCode::Compile, e.to_string()),
+        };
+
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let token = Arc::new(CancelToken::default());
+        self.sessions.lock().insert(id, Arc::clone(&token));
+        let _session_slot = SessionSlot { inner: self, id };
+
+        let deadline = if deadline_ms > 0 {
+            deadline_ms
+        } else {
+            self.cfg.default_deadline_ms
+        };
+        let mut opts = SessionOptions::new()
+            .with_token(token)
+            .with_timeout(Duration::from_millis(deadline));
+        opts.seed = seed;
+
+        let outcome = match shard.pool().spawn(program, opts) {
+            Ok(handle) => handle.join(),
+            Err(e) => return self.map_runtime_error(e),
+        };
+        match outcome {
+            Ok(outcome) => {
+                let mut values = Vec::with_capacity(outputs.len());
+                for name in outputs {
+                    match outcome.values.get(name) {
+                        Some(v) => values.push((name.clone(), v.clone())),
+                        None => {
+                            return err(
+                                ErrorCode::Runtime,
+                                format!("requested output '{name}' was not produced"),
+                            )
+                        }
+                    }
+                }
+                Response::Submitted {
+                    session: id,
+                    values,
+                    stdout: outcome.stdout,
+                }
+            }
+            Err(e) => self.map_runtime_error(e),
+        }
+    }
+
+    /// Maps the runtime's typed errors to wire codes. Governor rejections
+    /// become `Overloaded` (server state, retryable); everything else keeps
+    /// its own identity.
+    fn map_runtime_error(&self, e: RuntimeError) -> Response {
+        match e {
+            RuntimeError::DeadlineExceeded => err(ErrorCode::DeadlineExceeded, e.to_string()),
+            RuntimeError::Cancelled => err(ErrorCode::Cancelled, e.to_string()),
+            RuntimeError::ResourceExhausted(msg) => {
+                LimaStats::bump(&self.stats.srv_sheds);
+                self.overloaded(msg)
+            }
+            other => err(ErrorCode::Runtime, other.to_string()),
+        }
+    }
+}
+
+/// A running `limad` server. Dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loops, cancels in-flight
+/// sessions, and joins the listener threads; connection threads drain on
+/// their next poll tick.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    metrics_addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    metrics: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds both listeners and starts serving.
+    pub fn start(cfg: LimadConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics_listener = TcpListener::bind(&cfg.metrics_listen)?;
+        metrics_listener.set_nonblocking(true)?;
+        let metrics_addr = metrics_listener.local_addr()?;
+
+        let shards = ShardSet::new(cfg.shards, &cfg.template, cfg.persist_root.as_deref());
+        let inner = Arc::new(Inner {
+            cfg,
+            shards,
+            stats: LimaStats::new(),
+            tenants: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("limad-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_inner))?;
+        let metrics_inner = Arc::clone(&inner);
+        let metrics = std::thread::Builder::new()
+            .name("limad-metrics".into())
+            .spawn(move || serve_metrics(&metrics_listener, &metrics_inner))?;
+
+        Ok(Server {
+            inner,
+            addr,
+            metrics_addr,
+            accept: Some(accept),
+            metrics: Some(metrics),
+        })
+    }
+
+    /// The bound wire-protocol address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound metrics (HTTP) address.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.metrics_addr
+    }
+
+    /// The shard ring (test observability).
+    pub fn shards(&self) -> &ShardSet {
+        &self.inner.shards
+    }
+
+    /// Server-level `srv_*` counters (test observability).
+    pub fn server_stats(&self) -> &LimaStats {
+        &self.inner.stats
+    }
+
+    /// The aggregated metrics text also served at `GET /metrics`.
+    pub fn metrics_text(&self) -> String {
+        metrics_text(&self.inner)
+    }
+
+    /// Stops accepting, cancels in-flight sessions, joins listener threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for token in self.inner.sessions.lock().values() {
+            token.cancel();
+        }
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_inner = Arc::clone(inner);
+                let spawned = std::thread::Builder::new()
+                    .name("limad-conn".into())
+                    .spawn(move || handle_connection(stream, &conn_inner));
+                // Thread exhaustion sheds the connection, not the server.
+                drop(spawned);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// One connection's frame loop. Returns (closing the connection) on EOF,
+/// torn frames, malformed input, injected connection drops, and shutdown.
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        // Poll for the first byte so shutdown stays responsive, then switch
+        // to the frame timeout for the remainder of the frame.
+        if stream.set_read_timeout(Some(POLL)).is_err() {
+            return;
+        }
+        let mut first = [0u8; 1];
+        match Read::read(&mut stream, &mut first) {
+            Ok(0) => return, // clean EOF at a frame boundary
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        if stream.set_read_timeout(Some(FRAME_TIMEOUT)).is_err() {
+            return;
+        }
+        let frame = {
+            let mut chained = (&first[..]).chain(&stream);
+            read_frame(&mut chained, inner.cfg.max_frame_bytes)
+        };
+        let (kind, id, payload) = match frame {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Malformed frame: answer with a typed error, then isolate
+                // by closing this connection. Framing is unrecoverable.
+                LimaStats::bump(&inner.stats.srv_malformed);
+                let resp = err(ErrorCode::BadRequest, e.to_string());
+                let (rkind, rpayload) = resp.encode();
+                let _ = write_frame(&mut stream, rkind, 0, &rpayload);
+                return;
+            }
+            Err(_) => return, // torn mid-frame or timed out
+        };
+
+        LimaStats::bump(&inner.stats.srv_requests);
+        let resp = match Request::decode(kind, &payload) {
+            Some(req) => inner.dispatch(req),
+            None => {
+                LimaStats::bump(&inner.stats.srv_malformed);
+                err(
+                    ErrorCode::BadRequest,
+                    format!("undecodable request kind {kind:#x}"),
+                )
+            }
+        };
+        let close_after = matches!(
+            &resp,
+            Response::Error(e) if e.code == ErrorCode::BadRequest
+        );
+
+        // Chaos hook: tear the connection instead of responding.
+        if let Some(faults) = &inner.cfg.template.faults {
+            if faults.should_fail(FaultSite::ConnDrop) {
+                LimaStats::bump(&inner.stats.srv_conn_drops);
+                return;
+            }
+        }
+
+        let (rkind, rpayload) = resp.encode();
+        if write_frame(&mut stream, rkind, id, &rpayload).is_err() || close_after {
+            return;
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! End-to-end service tests: wire round-trips, cross-tenant reuse, typed
+//! interrupt errors, malformed-frame isolation, quotas, shedding, metrics.
+
+use lima_client::proto::{write_frame, ErrorCode, MAX_FRAME_BYTES};
+use lima_client::{ClientOptions, LimadClient, SubmitOptions};
+use lima_core::lineage::serialize_lineage;
+use lima_core::resilience::RetryPolicy;
+use lima_core::{LimaConfig, LimaStats, PressureLevel};
+use lima_lang::compile_script;
+use lima_matrix::Value;
+use lima_runtime::{execute_program, ExecutionContext};
+use limad::{LimadConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn start(cfg: LimadConfig) -> Server {
+    Server::start(cfg).expect("server starts on loopback")
+}
+
+fn client(server: &Server, tenant: &str) -> LimadClient {
+    LimadClient::new(&server.addr().to_string(), tenant, ClientOptions::default())
+}
+
+/// `sum(t(X) %*% X)` for X = 100x5 filled with 3: each of the 25 entries of
+/// the gram matrix is 100·9 = 900, so s = 22500.
+const GRAM_SCRIPT: &str = "X = matrix(3, 100, 5);\nG = t(X) %*% X;\ns = sum(G);\n";
+const GRAM_SUM: f64 = 22_500.0;
+
+fn outputs(names: &[&str]) -> SubmitOptions {
+    SubmitOptions {
+        outputs: names.iter().map(|s| s.to_string()).collect(),
+        ..SubmitOptions::default()
+    }
+}
+
+#[test]
+fn submit_returns_baseline_equal_values() {
+    let server = start(LimadConfig::default());
+    let mut c = client(&server, "alice");
+    let done = c.submit(GRAM_SCRIPT, &outputs(&["s", "G"])).unwrap();
+    assert_eq!(done.value("s"), Some(&Value::f64(GRAM_SUM)));
+    let g = done.value("G").unwrap().as_matrix().unwrap();
+    assert_eq!((g.rows(), g.cols()), (5, 5));
+    assert!(g.data().iter().all(|&v| v == 900.0));
+}
+
+#[test]
+fn lineage_probe_and_fetch_hit_after_submit() {
+    let server = start(LimadConfig::default());
+    let mut c = client(&server, "alice");
+    c.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+
+    // Recover the lineage trace of G by tracing the same script locally —
+    // identical script ⇒ identical lineage hash ⇒ same shard and cache key.
+    let config = LimaConfig::lima();
+    let program = compile_script(GRAM_SCRIPT, &config).unwrap();
+    let mut ctx = ExecutionContext::new(config);
+    execute_program(&program, &mut ctx).unwrap();
+    let lineage = serialize_lineage(ctx.lineage.get("G").unwrap());
+
+    assert!(c.probe(&lineage).unwrap(), "gram matrix should be cached");
+    let fetched = c.fetch(&lineage).unwrap().expect("fetch follows probe");
+    let g = fetched.as_matrix().unwrap();
+    assert!(g.data().iter().all(|&v| v == 900.0));
+
+    // A tenant that never submitted sees the same shard (lineage routing is
+    // tenant-blind): cross-tenant reuse by construction.
+    let mut other = client(&server, "bob");
+    assert!(other.probe(&lineage).unwrap());
+
+    // An unrelated lineage trace misses without error.
+    let mut ctx2 = ExecutionContext::new(LimaConfig::lima());
+    let p2 = compile_script("Y = matrix(4, 7, 7);\nh = sum(Y %*% Y);\n", &ctx2.config).unwrap();
+    execute_program(&p2, &mut ctx2).unwrap();
+    let missing = serialize_lineage(ctx2.lineage.get("Y").unwrap());
+    assert!(!c.probe(&missing).unwrap());
+}
+
+#[test]
+fn identical_scripts_reuse_across_tenants() {
+    let server = start(LimadConfig::default());
+    let mut alice = client(&server, "alice");
+    let mut bob = client(&server, "bob");
+    let a = alice.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    let b = bob.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    assert_eq!(a.value("s"), b.value("s"));
+
+    let hits: u64 = server.shards().iter().map(|s| s.stats().total_hits()).sum();
+    assert!(hits >= 1, "second tenant's run should hit the shared cache");
+}
+
+/// A script that runs long enough to interrupt but checks its deadline and
+/// token cooperatively at every instruction boundary.
+fn slow_script() -> String {
+    // `(X + i)` varies the matmul per iteration, so the cache cannot turn
+    // this loop into 2000 instant hits.
+    "X = matrix(2, 80, 80);\nacc = 0;\nfor (i in 1:2000) {\n  Y = (X + i) %*% X;\n  acc = acc + sum(Y) + i;\n}\ns = acc;\n".to_string()
+}
+
+#[test]
+fn deadlines_propagate_and_return_typed_errors() {
+    let server = start(LimadConfig::default());
+    let mut c = client(&server, "alice");
+    let t0 = Instant::now();
+    let err = c
+        .submit(
+            &slow_script(),
+            &SubmitOptions {
+                outputs: vec!["s".into()],
+                deadline: Some(Duration::from_millis(300)),
+                ..SubmitOptions::default()
+            },
+        )
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::DeadlineExceeded), "got {err}");
+    assert_eq!(err.exit_code(), 4);
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "deadline failure must be prompt, took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn cancel_interrupts_a_running_session() {
+    let server = start(LimadConfig::default());
+    let addr = server.addr().to_string();
+    // Session ids are assigned from 1; the only submit in this server gets 1.
+    let submitter = std::thread::spawn(move || {
+        let mut c = LimadClient::new(&addr, "alice", ClientOptions::default());
+        c.submit(&slow_script(), &outputs(&["s"]))
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let mut killer = client(&server, "ops");
+    assert!(killer.cancel(1).unwrap(), "session 1 should be running");
+    let err = submitter.join().unwrap().unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Cancelled), "got {err}");
+    assert_eq!(err.exit_code(), 5);
+    // Cancelling a finished/unknown session reports found=false, no error.
+    assert!(!killer.cancel(1).unwrap());
+    assert!(!killer.cancel(999).unwrap());
+}
+
+#[test]
+fn malformed_frames_isolate_to_their_connection() {
+    let server = start(LimadConfig {
+        max_frame_bytes: 4096,
+        ..LimadConfig::default()
+    });
+
+    // Garbage bytes: the server answers nothing useful to this socket but
+    // must keep serving fresh connections.
+    let mut garbage = TcpStream::connect(server.addr()).unwrap();
+    garbage.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut sink = Vec::new();
+    let _ = garbage.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = garbage.read_to_end(&mut sink); // server closes after typed error
+
+    // Oversized frame: length says 8 KiB against a 4 KiB cap.
+    let mut oversized = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut oversized, 6, 1, &vec![0u8; 8192]).unwrap();
+    let mut sink = Vec::new();
+    let _ = oversized.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = oversized.read_to_end(&mut sink);
+
+    // Torn frame: half a header, then hangup.
+    let mut torn = TcpStream::connect(server.addr()).unwrap();
+    torn.write_all(&[0x4C, 0x4D, 0x44]).unwrap();
+    drop(torn);
+
+    // The shards never saw any of it, and the server still serves.
+    let mut c = client(&server, "alice");
+    c.ping().unwrap();
+    let done = c.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    assert_eq!(done.value("s"), Some(&Value::f64(GRAM_SUM)));
+    assert!(
+        LimaStats::get(&server.server_stats().srv_malformed) >= 2,
+        "garbage and oversized frames must be counted"
+    );
+}
+
+#[test]
+fn tenant_quotas_bound_concurrent_submits() {
+    let server = start(LimadConfig {
+        tenant_max_sessions: 1,
+        ..LimadConfig::default()
+    });
+    let addr = server.addr().to_string();
+    let hog = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut c = LimadClient::new(&addr, "alice", ClientOptions::default());
+            c.submit(
+                &slow_script(),
+                &SubmitOptions {
+                    outputs: vec!["s".into()],
+                    deadline: Some(Duration::from_millis(1500)),
+                    ..SubmitOptions::default()
+                },
+            )
+        }
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Same tenant, second concurrent submit: quota reject with its own code
+    // (distinct from Overloaded — this is the tenant's fault, not load).
+    let mut alice2 = client(&server, "alice");
+    let err = alice2.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::ResourceExhausted), "got {err}");
+    assert_eq!(err.exit_code(), 6);
+
+    // A different tenant is not affected.
+    let mut bob = client(&server, "bob");
+    assert!(bob.submit(GRAM_SCRIPT, &outputs(&["s"])).is_ok());
+
+    let _ = hog.join().unwrap(); // deadline ends the hog either way
+    assert!(LimaStats::get(&server.server_stats().srv_quota_rejects) >= 1);
+
+    // Quota slot released: alice can submit again.
+    let done = alice2.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    assert_eq!(done.value("s"), Some(&Value::f64(GRAM_SUM)));
+}
+
+#[test]
+fn overload_sheds_with_retry_after_and_recovers() {
+    let server = start(LimadConfig {
+        template: LimaConfig::lima().with_governor(1024 * 1024),
+        retry_after_ms: 25,
+        ..LimadConfig::default()
+    });
+    // Push every shard's governor to L4.
+    for shard in server.shards().iter() {
+        let g = shard.governor().expect("governor configured");
+        g.adjust_session_bytes(2 * 1024 * 1024);
+        assert_eq!(g.level(), PressureLevel::RejectSessions);
+    }
+
+    // A non-retrying client sees the typed Overloaded error immediately.
+    let mut blunt = LimadClient::new(
+        &server.addr().to_string(),
+        "alice",
+        ClientOptions {
+            retry: RetryPolicy::new(0, 1, 7),
+            ..ClientOptions::default()
+        },
+    );
+    let err = blunt.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap_err();
+    match err.code() {
+        Some(ErrorCode::Overloaded) => {}
+        other => panic!("expected Overloaded, got {other:?}: {err}"),
+    }
+    assert_eq!(err.exit_code(), 7);
+    assert!(LimaStats::get(&server.server_stats().srv_sheds) >= 1);
+
+    // A retrying client rides out the pressure spike: release the governors
+    // shortly after the first attempt and the retry succeeds.
+    let releaser = std::thread::spawn({
+        let shards: Vec<_> = server
+            .shards()
+            .iter()
+            .filter_map(|s| s.governor())
+            .collect();
+        move || {
+            std::thread::sleep(Duration::from_millis(150));
+            for g in &shards {
+                g.adjust_session_bytes(-(2 * 1024 * 1024));
+            }
+        }
+    });
+    let mut patient = LimadClient::new(
+        &server.addr().to_string(),
+        "alice",
+        ClientOptions {
+            retry: RetryPolicy::new(6, 100, 7),
+            ..ClientOptions::default()
+        },
+    );
+    let done = patient.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    assert_eq!(done.value("s"), Some(&Value::f64(GRAM_SUM)));
+    releaser.join().unwrap();
+
+    // The walk back down is observable.
+    let recovers: u64 = server
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().governor_recovers))
+        .sum();
+    assert!(recovers >= 1, "governor recovery must be counted");
+}
+
+#[test]
+fn metrics_served_over_wire_and_http() {
+    let server = start(LimadConfig::default());
+    let mut c = client(&server, "alice");
+    c.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+
+    let text = c.metrics().unwrap();
+    assert!(text.contains("lima_srv_requests"), "wire metrics:\n{text}");
+    assert!(text.contains("limad_shard_state{shard=\"0\"}"));
+    assert!(text.contains("lima_sessions_completed"));
+
+    // The same text over plain HTTP/1.0.
+    let mut http = TcpStream::connect(server.metrics_addr()).unwrap();
+    http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut body = String::new();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.0 200 OK"), "got: {body}");
+    assert!(body.contains("lima_srv_requests"));
+    assert!(body.contains("limad_shard_state"));
+
+    // Unknown paths 404 without disturbing the server.
+    let mut http = TcpStream::connect(server.metrics_addr()).unwrap();
+    http.write_all(b"GET /nope HTTP/1.0\r\n\r\n").unwrap();
+    let mut body = String::new();
+    http.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.0 404"));
+    c.ping().unwrap();
+}
+
+#[test]
+fn compile_and_runtime_failures_are_typed_not_fatal() {
+    let server = start(LimadConfig::default());
+    let mut c = client(&server, "alice");
+
+    let err = c
+        .submit("this is not DML at all ((", &outputs(&["s"]))
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Compile), "got {err}");
+
+    let err = c
+        .submit("s = sum(undefined_var);", &outputs(&["s"]))
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Runtime), "got {err}");
+
+    let err = c
+        .submit("s = 1;", &outputs(&["not_an_output"]))
+        .unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::Runtime), "got {err}");
+
+    // The connection and the server both survive all three.
+    let done = c.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    assert_eq!(done.value("s"), Some(&Value::f64(GRAM_SUM)));
+}
+
+#[test]
+fn unparseable_lineage_is_bad_request() {
+    let server = start(LimadConfig::default());
+    let mut c = client(&server, "alice");
+    let err = c.probe("this is not a lineage log").unwrap_err();
+    assert_eq!(err.code(), Some(ErrorCode::BadRequest), "got {err}");
+    // BadRequest closes the connection; the client reconnects transparently
+    // for the next idempotent call.
+    c.ping().unwrap();
+}
+
+#[test]
+fn frame_cap_default_is_sane() {
+    // Guards against someone shrinking the shared cap under the sizes the
+    // tests and harness rely on.
+    let cfg = LimadConfig::default();
+    assert_eq!(cfg.max_frame_bytes, MAX_FRAME_BYTES);
+    assert!(cfg.max_frame_bytes >= 1024 * 1024);
+}

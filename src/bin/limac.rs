@@ -29,29 +29,64 @@
 //!
 //! Scripts `read(...)` matrix text/CSV files from disk and `write(...)`
 //! results (plus `<path>.lineage` logs) back.
+//!
+//! Failures exit with the same typed codes the `lima-client` crate maps for
+//! `limad` responses, so scripts driving either surface branch identically:
+//! 4 = deadline exceeded, 5 = cancelled, 6 = resource exhausted, 7 =
+//! overloaded, 2 = usage, 1 = everything else. The stderr line is
+//! machine-readable: `limac: error=<code> <message>`.
 
 use lima::prelude::*;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// A CLI failure: a typed code (shared with `lima_client::ErrorCode`) plus a
+/// human message. Untyped string errors map to `Internal` (exit 1).
+struct CliError {
+    code: ErrorCode,
+    msg: String,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError {
+            code: ErrorCode::Internal,
+            msg,
+        }
+    }
+}
+
+/// The exit-code mapping for runtime failures, shared in spirit (and in
+/// numbers, via [`ErrorCode::exit_code`]) with the `limad` wire protocol.
+fn runtime_code(e: &RuntimeError) -> ErrorCode {
+    match e {
+        RuntimeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        RuntimeError::Cancelled => ErrorCode::Cancelled,
+        RuntimeError::ResourceExhausted(_) => ErrorCode::ResourceExhausted,
+        _ => ErrorCode::Runtime,
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
-        Some("lineage-diff") => cmd_lineage_diff(&args[1..]),
-        Some("recompute") => cmd_recompute(&args[1..]),
+        Some("lineage-diff") => cmd_lineage_diff(&args[1..]).map_err(CliError::from),
+        Some("recompute") => cmd_recompute(&args[1..]).map_err(CliError::from),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             return ExitCode::from(2);
         }
-        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+        Some(other) => Err(CliError::from(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("limac: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("limac: error={} {}", e.code.as_str(), e.msg);
+            ExitCode::from(e.code.exit_code())
         }
     }
 }
@@ -151,7 +186,7 @@ struct RunFlags {
 /// Parses, compiles, and executes a `run` invocation; writes the trace file
 /// when requested and hands the finished context back to the caller for
 /// output rendering.
-fn execute_run(args: &[String]) -> Result<(ExecutionContext, RunFlags), String> {
+fn execute_run(args: &[String]) -> Result<(ExecutionContext, RunFlags), CliError> {
     let (path, mut config, flags) = parse_run_options(args)?;
     let obs = flags.trace_out.as_ref().map(|_| Arc::new(Obs::new()));
     if let Some(o) = &obs {
@@ -161,7 +196,10 @@ fn execute_run(args: &[String]) -> Result<(ExecutionContext, RunFlags), String> 
         config = config.with_obs(Arc::clone(o));
     }
     let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-    let program = compile_script(&src, &config).map_err(|e| e.to_string())?;
+    let program = compile_script(&src, &config).map_err(|e| CliError {
+        code: ErrorCode::Compile,
+        msg: e.to_string(),
+    })?;
     let mut ctx = ExecutionContext::new(config);
     if let Some(seed) = flags.seed {
         ctx.reset_seed_counter(seed);
@@ -169,11 +207,14 @@ fn execute_run(args: &[String]) -> Result<(ExecutionContext, RunFlags), String> 
     if let Some(ms) = flags.timeout_ms {
         ctx.arm_deadline(std::time::Duration::from_millis(ms));
     }
-    execute_program(&program, &mut ctx).map_err(|e| match (&e, flags.timeout_ms) {
-        (RuntimeError::DeadlineExceeded, Some(ms)) => {
-            format!("deadline exceeded: script did not finish within {ms} ms")
-        }
-        _ => e.to_string(),
+    execute_program(&program, &mut ctx).map_err(|e| CliError {
+        code: runtime_code(&e),
+        msg: match (&e, flags.timeout_ms) {
+            (RuntimeError::DeadlineExceeded, Some(ms)) => {
+                format!("deadline exceeded: script did not finish within {ms} ms")
+            }
+            _ => e.to_string(),
+        },
     })?;
     if let (Some(o), Some(out)) = (&obs, &flags.trace_out) {
         std::fs::write(out, o.chrome_trace()).map_err(|e| format!("{out}: {e}"))?;
@@ -181,7 +222,7 @@ fn execute_run(args: &[String]) -> Result<(ExecutionContext, RunFlags), String> 
     Ok((ctx, flags))
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let (ctx, flags) = execute_run(args)?;
     if !flags.quiet {
         for line in &ctx.stdout {
@@ -207,7 +248,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 }
             }
             None => {
-                return Err("--cost-top requires a reuse-enabled config (lt/ltd/lima)".into());
+                return Err("--cost-top requires a reuse-enabled config (lt/ltd/lima)"
+                    .to_string()
+                    .into());
             }
         }
     }
@@ -217,7 +260,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 /// `limac stats <script> [run options] [--format prom|text]`: runs the script
 /// and prints its statistics to stdout in the chosen format. Script print()
 /// output is suppressed so the exposition stays machine-readable.
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let mut format = "prom".to_string();
     let mut rest: Vec<String> = Vec::new();
     let mut i = 0;
@@ -234,9 +277,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         i += 1;
     }
     if !matches!(format.as_str(), "prom" | "text") {
-        return Err(format!(
-            "unknown stats format '{format}' (expected prom|text)"
-        ));
+        return Err(format!("unknown stats format '{format}' (expected prom|text)").into());
     }
     let (ctx, _) = execute_run(&rest)?;
     match format.as_str() {
@@ -379,6 +420,30 @@ mod tests {
         assert!(parse_run_options(&to_args(&["s", "--cost-top", "all"])).is_err());
         assert!(parse_run_options(&to_args(&["a", "b"])).is_err());
         assert!(parse_run_options(&to_args(&[])).is_err());
+    }
+
+    #[test]
+    fn interrupt_family_maps_to_distinct_exit_codes() {
+        let codes = [
+            runtime_code(&RuntimeError::DeadlineExceeded),
+            runtime_code(&RuntimeError::Cancelled),
+            runtime_code(&RuntimeError::ResourceExhausted("cap".into())),
+        ];
+        assert_eq!(
+            codes,
+            [
+                ErrorCode::DeadlineExceeded,
+                ErrorCode::Cancelled,
+                ErrorCode::ResourceExhausted,
+            ]
+        );
+        // Distinct nonzero exit codes, none colliding with the generic 1 or
+        // the usage 2.
+        let exits: Vec<u8> = codes.iter().map(|c| c.exit_code()).collect();
+        assert_eq!(exits, [4, 5, 6]);
+        // Everything else stays on the generic failure exit.
+        let panic = RuntimeError::WorkerPanic("boom".into());
+        assert_eq!(runtime_code(&panic).exit_code(), 1);
     }
 
     #[test]

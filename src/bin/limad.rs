@@ -1,0 +1,158 @@
+//! `limad` — the LIMA lineage-cache service daemon.
+//!
+//! ```text
+//! limad [options]
+//!     --listen <ADDR>        wire-protocol address (default 127.0.0.1:7461)
+//!     --metrics <ADDR>       metrics HTTP address (default 127.0.0.1:7462)
+//!     --shards <N>           cache shards (default 4)
+//!     --persist-dir <DIR>    per-shard WAL root (default: memory-only)
+//!     --budget-mb <N>        per-shard cache budget (default 256)
+//!     --governor-mb <N>      per-shard governor budget (default: off)
+//!     --tenant-quota <N>     concurrent submits per tenant, 0=unlimited (default 8)
+//!     --deadline-ms <N>      default submit deadline (default 30000)
+//! ```
+//!
+//! Runs until killed. Prints the bound addresses on startup (useful with
+//! `--listen 127.0.0.1:0` in scripts).
+
+use lima_core::LimaConfig;
+use limad::{LimadConfig, Server};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: limad [--listen ADDR] [--metrics ADDR] [--shards N] \
+[--persist-dir DIR] [--budget-mb N] [--governor-mb N] [--tenant-quota N] [--deadline-ms N]\n";
+
+fn parse_args(args: &[String]) -> Result<LimadConfig, String> {
+    let mut cfg = LimadConfig {
+        listen: "127.0.0.1:7461".into(),
+        metrics_listen: "127.0.0.1:7462".into(),
+        ..LimadConfig::default()
+    };
+    let mut template = LimaConfig::lima();
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => cfg.listen = take(args, &mut i, "--listen")?,
+            "--metrics" => cfg.metrics_listen = take(args, &mut i, "--metrics")?,
+            "--shards" => {
+                let v = take(args, &mut i, "--shards")?;
+                cfg.shards = v.parse().map_err(|_| format!("bad shard count '{v}'"))?;
+            }
+            "--persist-dir" => {
+                cfg.persist_root = Some(take(args, &mut i, "--persist-dir")?.into());
+            }
+            "--budget-mb" => {
+                let v = take(args, &mut i, "--budget-mb")?;
+                let mb: usize = v.parse().map_err(|_| format!("bad budget '{v}'"))?;
+                template.budget_bytes = mb * 1024 * 1024;
+            }
+            "--governor-mb" => {
+                let v = take(args, &mut i, "--governor-mb")?;
+                let mb: usize = v.parse().map_err(|_| format!("bad budget '{v}'"))?;
+                template.governor_budget_bytes = mb * 1024 * 1024;
+            }
+            "--tenant-quota" => {
+                let v = take(args, &mut i, "--tenant-quota")?;
+                cfg.tenant_max_sessions = v.parse().map_err(|_| format!("bad quota '{v}'"))?;
+            }
+            "--deadline-ms" => {
+                let v = take(args, &mut i, "--deadline-ms")?;
+                cfg.default_deadline_ms = v.parse().map_err(|_| format!("bad deadline '{v}'"))?;
+            }
+            other => return Err(format!("unknown option '{other}'\n{USAGE}")),
+        }
+        i += 1;
+    }
+    cfg.template = template;
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("limad: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("limad: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("limad listening on {}", server.addr());
+    println!("limad metrics on http://{}/metrics", server.metrics_addr());
+    for shard in server.shards().iter() {
+        println!(
+            "limad shard {} state {}",
+            shard.index(),
+            shard.state().as_str()
+        );
+    }
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides_parse() {
+        let cfg = parse_args(&[]).unwrap();
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.tenant_max_sessions, 8);
+        assert!(cfg.persist_root.is_none());
+
+        let cfg = parse_args(&to_args(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--persist-dir",
+            "/tmp/limad",
+            "--budget-mb",
+            "64",
+            "--governor-mb",
+            "128",
+            "--tenant-quota",
+            "3",
+            "--deadline-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.listen, "127.0.0.1:0");
+        assert_eq!(cfg.shards, 2);
+        assert!(cfg.persist_root.is_some());
+        assert_eq!(cfg.template.budget_bytes, 64 * 1024 * 1024);
+        assert_eq!(cfg.template.governor_budget_bytes, 128 * 1024 * 1024);
+        assert_eq!(cfg.tenant_max_sessions, 3);
+        assert_eq!(cfg.default_deadline_ms, 500);
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        assert!(parse_args(&to_args(&["--shards"])).is_err());
+        assert!(parse_args(&to_args(&["--shards", "many"])).is_err());
+        assert!(parse_args(&to_args(&["--frobnicate"])).is_err());
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`lima_lang`] — the DML-subset language front-end.
 //! * [`lima_algos`] — script-level builtins (`lm`, `pca`, ...), datasets,
 //!   and end-to-end pipelines.
+//! * [`lima_client`] — the `limad` wire protocol and a retrying,
+//!   deadline-aware client.
+//! * [`limad`] — the fault-tolerant multi-tenant lineage-cache service
+//!   (sharded session pools, overload shedding, `/metrics`).
 //!
 //! ## Quickstart
 //!
@@ -36,15 +40,18 @@
 //! ```
 
 pub use lima_algos;
+pub use lima_client;
 pub use lima_core;
 pub use lima_lang;
 pub use lima_matrix;
 pub use lima_runtime;
+pub use limad;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use lima_algos::runner::{run_script, run_script_with_cache, RunResult};
     pub use lima_algos::{datasets, pipelines, scripts};
+    pub use lima_client::{ClientOptions, ErrorCode, LimadClient, SubmitOptions};
     pub use lima_core::faults::{FaultInjector, FaultSite};
     pub use lima_core::lineage::serialize::{
         deserialize_lineage, serialize_lineage, LineageParseError,
@@ -61,4 +68,5 @@ pub mod prelude {
         execute_program, ExecutionContext, RuntimeError, SessionHandle, SessionOptions,
         SessionOutcome, SessionPool,
     };
+    pub use limad::{LimadConfig, Server, ShardState};
 }
