@@ -1,29 +1,89 @@
-//! `lima-lint` — lint serialized lineage logs.
+//! `lima-lint` — lint serialized lineage logs and verify persist directories.
 //!
 //! Usage: `lima-lint <log-file>... ` (or `-` for stdin). Prints one typed
 //! diagnostic per problem (`file: [kind] node (id): message`) and exits
 //! non-zero when any log fails; clean logs print nothing unless `--verbose`.
+//!
+//! `lima-lint fsck <dir>...` runs the offline persistence checker instead:
+//! WAL framing, value checksums, lineage parse/DAG checks, and orphan/debris
+//! detection over each persist directory (a `limad` shard dir or any
+//! `persist_dir`). Debris findings are informational; the exit code is
+//! non-zero only when committed data is damaged or lost.
 
 use lima_analysis::lint_log;
 use std::io::Read as _;
 use std::process::ExitCode;
 
+/// The `fsck` subcommand: read-only verification of persist directories.
+fn run_fsck(dirs: &[String], verbose: bool) -> ExitCode {
+    if dirs.is_empty() {
+        eprintln!("lima-lint: fsck needs at least one directory (try --help)");
+        return ExitCode::from(2);
+    }
+    let mut corrupt = false;
+    for dir in dirs {
+        let path = std::path::Path::new(dir);
+        if !path.is_dir() {
+            eprintln!("lima-lint: {dir}: not a directory");
+            corrupt = true;
+            continue;
+        }
+        let report = lima_core::fsck(path);
+        for finding in &report.findings {
+            println!("{dir}: {}", finding.render());
+        }
+        if report.has_corruption() {
+            corrupt = true;
+        }
+        if verbose || !report.findings.is_empty() {
+            let generation = report
+                .generation
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "none".to_string());
+            println!(
+                "{dir}: generation={generation} live_entries={} live_bytes={} findings={} {}",
+                report.live_entries,
+                report.live_bytes,
+                report.findings.len(),
+                if report.has_corruption() {
+                    "CORRUPT"
+                } else {
+                    "ok"
+                }
+            );
+        }
+    }
+    if corrupt {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut verbose = false;
-    for arg in std::env::args().skip(1) {
+    let mut fsck_mode = false;
+    for (i, arg) in std::env::args().skip(1).enumerate() {
         match arg.as_str() {
+            "fsck" if i == 0 => fsck_mode = true,
             "--verbose" | "-v" => verbose = true,
             "--help" | "-h" => {
                 println!(
                     "usage: lima-lint [--verbose] <lineage-log>...\n\
-                     Lints serialized lineage logs ('-' reads stdin). Exits 1 \
-                     when any log has diagnostics."
+                     \x20      lima-lint fsck [--verbose] <persist-dir>...\n\
+                     Lints serialized lineage logs ('-' reads stdin); exits 1 \
+                     when any log has diagnostics.\n\
+                     fsck verifies persist directories offline (WAL framing, \
+                     checksums, lineage, orphans); exits 1 on corruption."
                 );
                 return ExitCode::SUCCESS;
             }
             _ => paths.push(arg),
         }
+    }
+    if fsck_mode {
+        return run_fsck(&paths, verbose);
     }
     if paths.is_empty() {
         eprintln!("lima-lint: no input files (try --help)");

@@ -10,7 +10,11 @@
 //!    errors are the only acceptable non-successes.
 //!
 //! Scenarios (`--fault`): `none`, `conn-drop`, `slow-shard`, `crash-restart`,
-//! `all` (conn-drop + slow-shard; crash-restart runs as its own phase).
+//! `corrupt-at-rest` (bit-flips committed value files under a live server and
+//! requires the scrubber to repair them from lineage), `corrupt-restart`
+//! (corrupts the directory between runs and requires recovery-time repair),
+//! `all` (conn-drop + slow-shard; the persistence faults run as their own
+//! phases).
 //! Seeds come from `--seed` or the comma-separated `LIMA_FAULT_SEEDS`
 //! environment variable (the CI contract); every trigger decision is a pure
 //! function of the seed, so a failing run replays bit-identically.
@@ -48,6 +52,8 @@ enum Fault {
     ConnDrop,
     SlowShard,
     CrashRestart,
+    CorruptAtRest,
+    CorruptRestart,
     All,
 }
 
@@ -58,6 +64,8 @@ impl Fault {
             "conn-drop" => Some(Fault::ConnDrop),
             "slow-shard" => Some(Fault::SlowShard),
             "crash-restart" => Some(Fault::CrashRestart),
+            "corrupt-at-rest" => Some(Fault::CorruptAtRest),
+            "corrupt-restart" => Some(Fault::CorruptRestart),
             "all" => Some(Fault::All),
             _ => None,
         }
@@ -69,6 +77,8 @@ impl Fault {
             Fault::ConnDrop => "conn-drop",
             Fault::SlowShard => "slow-shard",
             Fault::CrashRestart => "crash-restart",
+            Fault::CorruptAtRest => "corrupt-at-rest",
+            Fault::CorruptRestart => "corrupt-restart",
             Fault::All => "all",
         }
     }
@@ -179,7 +189,9 @@ fn zipf(seed: u64, draw: u64, n: usize) -> usize {
 
 fn injector_for(fault: Fault, seed: u64) -> Option<Arc<FaultInjector>> {
     let inj = match fault {
-        Fault::None | Fault::CrashRestart => return None,
+        Fault::None | Fault::CrashRestart | Fault::CorruptAtRest | Fault::CorruptRestart => {
+            return None
+        }
         Fault::ConnDrop => {
             FaultInjector::new(seed).fail_with_probability(FaultSite::ConnDrop, 0.05)
         }
@@ -190,6 +202,21 @@ fn injector_for(fault: Fault, seed: u64) -> Option<Arc<FaultInjector>> {
             .fail_at(FaultSite::SlowShard, &[seed % 4]),
     };
     Some(Arc::new(inj))
+}
+
+/// Runs every script in-process (no service, no faults) and returns the
+/// expected `s` values — the oracle every served result is checked against.
+fn baseline_for(scripts: &[String]) -> Result<Vec<f64>, String> {
+    scripts
+        .iter()
+        .map(|s| {
+            run_script(s, &LimaConfig::lima(), &[])
+                .map_err(|e| format!("baseline failed: {e:?}"))?
+                .value("s")
+                .as_f64()
+                .map_err(|e| format!("baseline output: {e:?}"))
+        })
+        .collect()
 }
 
 fn approx_eq(a: f64, b: f64) -> bool {
@@ -320,16 +347,7 @@ fn drive_traffic(
 /// crash-restart). Returns an error string on any invariant violation.
 fn run_steady(args: &Args, seed: u64) -> Result<(), String> {
     let scripts = corpus(seed);
-    let baseline: Vec<f64> = scripts
-        .iter()
-        .map(|s| {
-            run_script(s, &LimaConfig::lima(), &[])
-                .map_err(|e| format!("baseline failed: {e:?}"))?
-                .value("s")
-                .as_f64()
-                .map_err(|e| format!("baseline output: {e:?}"))
-        })
-        .collect::<Result<_, String>>()?;
+    let baseline = baseline_for(&scripts)?;
 
     let mut template = LimaConfig::lima();
     template.faults = injector_for(args.fault, seed);
@@ -384,16 +402,7 @@ fn run_steady(args: &Args, seed: u64) -> Result<(), String> {
 /// one request is served from a recovered entry.
 fn run_crash_restart(args: &Args, seed: u64) -> Result<(), String> {
     let scripts = corpus(seed);
-    let baseline: Vec<f64> = scripts
-        .iter()
-        .map(|s| {
-            run_script(s, &LimaConfig::lima(), &[])
-                .map_err(|e| format!("baseline failed: {e:?}"))?
-                .value("s")
-                .as_f64()
-                .map_err(|e| format!("baseline output: {e:?}"))
-        })
-        .collect::<Result<_, String>>()?;
+    let baseline = baseline_for(&scripts)?;
     let dir = std::env::temp_dir().join(format!("lima-chaos-{}-{seed}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -479,12 +488,303 @@ fn run_crash_restart(args: &Args, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Flips one bit mid-file in every committed value file under every
+/// `shard-*/values` directory. Returns how many files were corrupted.
+fn flip_value_files(root: &std::path::Path) -> Result<usize, String> {
+    let mut flipped = 0;
+    let shards = std::fs::read_dir(root).map_err(|e| format!("read {root:?}: {e}"))?;
+    for shard in shards.flatten() {
+        let values = shard.path().join("values");
+        let Ok(entries) = std::fs::read_dir(&values) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("val") {
+                continue;
+            }
+            let mut raw = std::fs::read(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+            if raw.is_empty() {
+                continue;
+            }
+            let mid = raw.len() / 2;
+            raw[mid] ^= 0x01;
+            std::fs::write(&path, &raw).map_err(|e| format!("write {path:?}: {e}"))?;
+            flipped += 1;
+        }
+    }
+    Ok(flipped)
+}
+
+/// Flips one bit mid-file in every shard's active (highest-generation)
+/// manifest WAL. Returns how many WALs were corrupted.
+fn flip_wal_frames(root: &std::path::Path) -> Result<usize, String> {
+    let mut flipped = 0;
+    let shards = std::fs::read_dir(root).map_err(|e| format!("read {root:?}: {e}"))?;
+    for shard in shards.flatten() {
+        let mut best: Option<(u64, std::path::PathBuf)> = None;
+        let Ok(entries) = std::fs::read_dir(shard.path()) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(g) = name
+                .strip_prefix("manifest.")
+                .and_then(|s| s.strip_suffix(".wal"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                if best.as_ref().is_none_or(|(bg, _)| g > *bg) {
+                    best = Some((g, entry.path()));
+                }
+            }
+        }
+        let Some((_, path)) = best else {
+            continue;
+        };
+        let mut raw = std::fs::read(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+        if raw.is_empty() {
+            continue;
+        }
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x01;
+        std::fs::write(&path, &raw).map_err(|e| format!("write {path:?}: {e}"))?;
+        flipped += 1;
+    }
+    Ok(flipped)
+}
+
+/// Template for the corruption scenarios: multi-level reuse is disabled so
+/// every persisted lineage is built from primitive ops and therefore
+/// replayable by the repairer (opaque `fcall:` items are repair-ineligible
+/// by design — see DESIGN.md §13).
+fn repairable_template() -> LimaConfig {
+    let mut template = LimaConfig::lima();
+    template.multilevel = false;
+    template
+}
+
+/// Corrupt-at-rest: warm a persistent server, bit-flip every committed value
+/// file and every manifest WAL while the server keeps running, then drive a
+/// scrub pass through the admin wire op. The scrubber must detect every
+/// flip, repair it — values from lineage, WALs by compacting into a fresh
+/// generation — and the served values must stay baseline-equal.
+fn run_corrupt_at_rest(args: &Args, seed: u64) -> Result<(), String> {
+    let scripts = corpus(seed);
+    let baseline = baseline_for(&scripts)?;
+    let dir = std::env::temp_dir().join(format!("lima-chaos-car-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Background scrubbing is off: the admin wire op is the only scrubber,
+    // so the per-pass counters below are deterministic.
+    let server = Server::start(LimadConfig {
+        shards: args.shards,
+        template: repairable_template(),
+        persist_root: Some(dir.clone()),
+        scrub_interval_ms: 0,
+        ..LimadConfig::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+
+    let report = drive_traffic(&server, &scripts, &baseline, args.sessions, seed);
+    if !report.mismatches.is_empty() {
+        return Err(format!("warm-up mismatch: {}", report.mismatches[0]));
+    }
+    if !report.hard_errors.is_empty() {
+        return Err(format!("warm-up hard error: {}", report.hard_errors[0]));
+    }
+    let writes: u64 = server
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_writes))
+        .sum();
+    if writes == 0 {
+        return Err("warm-up persisted nothing; corruption proves nothing".into());
+    }
+
+    let flipped = flip_value_files(&dir)?;
+    if flipped == 0 {
+        return Err("no value files found to corrupt".into());
+    }
+    // Damage the WALs themselves too: every live record is resident, so the
+    // scrubber heals a bad frame by compacting into a fresh generation.
+    let flipped_wals = flip_wal_frames(&dir)?;
+    if flipped_wals == 0 {
+        return Err("no manifest WALs found to corrupt".into());
+    }
+
+    let mut admin = LimadClient::new(
+        &server.addr().to_string(),
+        "chaos-admin",
+        ClientOptions {
+            default_deadline: Duration::from_secs(60),
+            ..ClientOptions::default()
+        },
+    );
+    let reports = admin.scrub().map_err(|e| format!("scrub rpc: {e}"))?;
+    let corrupt: u64 = reports.iter().map(|r| r.corrupt).sum();
+    let repaired: u64 = reports.iter().map(|r| r.repaired).sum();
+    let repair_failures: u64 = reports.iter().map(|r| r.repair_failures).sum();
+    let quarantined: u64 = reports.iter().map(|r| r.quarantined).sum();
+    if reports.iter().any(|r| !r.completed) {
+        return Err("scrub pass did not complete a full sweep".into());
+    }
+    let expected = (flipped + flipped_wals) as u64;
+    if corrupt < expected {
+        return Err(format!(
+            "scrub found {corrupt} corruptions but {flipped} value files and \
+             {flipped_wals} WALs were flipped"
+        ));
+    }
+    if repaired < corrupt || repair_failures > 0 || quarantined > 0 {
+        return Err(format!(
+            "scrub dropped entries instead of healing them: corrupt={corrupt} \
+             repaired={repaired} repair_failures={repair_failures} quarantined={quarantined}"
+        ));
+    }
+
+    // The healed cache must keep serving baseline-equal values with no
+    // unexplained misses (every repaired entry is still resident).
+    let report = drive_traffic(&server, &scripts, &baseline, args.sessions, seed ^ 0xBEEF);
+    if !report.mismatches.is_empty() {
+        return Err(format!("post-repair mismatch: {}", report.mismatches[0]));
+    }
+    if !report.hard_errors.is_empty() {
+        return Err(format!("post-repair hard error: {}", report.hard_errors[0]));
+    }
+    let repairs: u64 = server
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_repairs))
+        .sum();
+    if repairs == 0 {
+        return Err("no persist_repairs recorded despite corrupt files".into());
+    }
+    scrape_metrics(&server)?;
+    println!(
+        "chaos: seed={seed} fault=corrupt-at-rest sessions={} ok flipped={flipped} \
+         flipped_wals={flipped_wals} corrupt={corrupt} repaired={repaired}",
+        args.sessions
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// Corrupt-restart: warm a persistent server, shut it down, bit-flip every
+/// committed value file offline, restart over the same directory. Recovery
+/// verifies checksums eagerly, so every flip must be found and repaired from
+/// lineage at startup — shards come up warm with nothing dropped.
+fn run_corrupt_restart(args: &Args, seed: u64) -> Result<(), String> {
+    let scripts = corpus(seed);
+    let baseline = baseline_for(&scripts)?;
+    let dir = std::env::temp_dir().join(format!("lima-chaos-cr-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let first = Server::start(LimadConfig {
+        shards: args.shards,
+        template: repairable_template(),
+        persist_root: Some(dir.clone()),
+        scrub_interval_ms: 0,
+        ..LimadConfig::default()
+    })
+    .map_err(|e| format!("phase-1 start: {e}"))?;
+    let report = drive_traffic(&first, &scripts, &baseline, args.sessions, seed);
+    if !report.mismatches.is_empty() {
+        return Err(format!("phase 1 mismatch: {}", report.mismatches[0]));
+    }
+    if !report.hard_errors.is_empty() {
+        return Err(format!("phase 1 hard error: {}", report.hard_errors[0]));
+    }
+    let writes: u64 = first
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_writes))
+        .sum();
+    if writes == 0 {
+        return Err("phase 1 persisted nothing; corruption proves nothing".into());
+    }
+    first.shutdown();
+
+    let flipped = flip_value_files(&dir)?;
+    if flipped == 0 {
+        return Err("no value files found to corrupt".into());
+    }
+
+    let second = Server::start(LimadConfig {
+        shards: args.shards,
+        template: repairable_template(),
+        persist_root: Some(dir.clone()),
+        scrub_interval_ms: 0,
+        ..LimadConfig::default()
+    })
+    .map_err(|e| format!("phase-2 start: {e}"))?;
+    let warm = second
+        .shards()
+        .iter()
+        .filter(|s| s.state() == ShardState::Warm)
+        .count();
+    if warm == 0 {
+        return Err("phase 2: no shard recovered after corruption".into());
+    }
+    let repairs: u64 = second
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_repairs))
+        .sum();
+    let repair_failures: u64 = second
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_repair_failures))
+        .sum();
+    let dropped: u64 = second
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_dropped))
+        .sum();
+    if repairs < flipped as u64 {
+        return Err(format!(
+            "recovery repaired {repairs} of {flipped} corrupted values"
+        ));
+    }
+    if repair_failures > 0 || dropped > 0 {
+        return Err(format!(
+            "recovery dropped entries instead of healing them: repairs={repairs} \
+             repair_failures={repair_failures} dropped={dropped}"
+        ));
+    }
+    let report = drive_traffic(&second, &scripts, &baseline, args.sessions, seed ^ 0xC0DE);
+    if !report.mismatches.is_empty() {
+        return Err(format!("phase 2 mismatch: {}", report.mismatches[0]));
+    }
+    if !report.hard_errors.is_empty() {
+        return Err(format!("phase 2 hard error: {}", report.hard_errors[0]));
+    }
+    let persist_hits: u64 = second
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_hits))
+        .sum();
+    if persist_hits == 0 {
+        return Err("phase 2 served zero persist hits after repair".into());
+    }
+    scrape_metrics(&second)?;
+    println!(
+        "chaos: seed={seed} fault=corrupt-restart sessions={} ok warm_shards={warm} \
+         flipped={flipped} repairs={repairs} persist_hits={persist_hits}",
+        args.sessions
+    );
+    drop(second);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!(
-                "chaos: {e}\nusage: chaos [--fault none|conn-drop|slow-shard|crash-restart|all] \
+                "chaos: {e}\nusage: chaos [--fault none|conn-drop|slow-shard|crash-restart\
+                 |corrupt-at-rest|corrupt-restart|all] \
                  [--sessions N] [--shards N] [--seed S] [--p99-cap-ms MS]"
             );
             return ExitCode::from(2);
@@ -494,6 +794,8 @@ fn main() -> ExitCode {
     for &seed in &args.seeds {
         let result = match args.fault {
             Fault::CrashRestart => run_crash_restart(&args, seed),
+            Fault::CorruptAtRest => run_corrupt_at_rest(&args, seed),
+            Fault::CorruptRestart => run_corrupt_restart(&args, seed),
             _ => run_steady(&args, seed),
         };
         if let Err(e) = result {

@@ -256,6 +256,19 @@ impl LimadClient {
         }
     }
 
+    /// Admin: runs one full integrity-scrub pass over every shard's
+    /// persistent store, returning per-shard findings. Idempotent — a scrub
+    /// repairs or quarantines, never invents state — so it retries like the
+    /// other read-side calls.
+    pub fn scrub(&mut self) -> Result<Vec<crate::proto::ShardScrub>, ClientError> {
+        let deadline = self.deadline(None);
+        let resp = self.call(true, deadline, |_| Request::Scrub)?;
+        match resp {
+            Response::Scrubbed(reports) => Ok(reports),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         let deadline = self.deadline(None);

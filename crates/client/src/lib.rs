@@ -19,4 +19,4 @@ pub mod client;
 pub mod proto;
 
 pub use client::{ClientError, ClientOptions, LimadClient, SubmitOptions, Submitted};
-pub use proto::{ErrorCode, Request, Response, ServiceError};
+pub use proto::{ErrorCode, Request, Response, ServiceError, ShardScrub};

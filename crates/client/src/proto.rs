@@ -190,6 +190,9 @@ pub enum Request {
     Metrics,
     /// Liveness check.
     Ping,
+    /// Admin: run one full integrity-scrub pass over every shard's
+    /// persistent store, repairing or quarantining what it finds.
+    Scrub,
 }
 
 const K_SUBMIT: u8 = 1;
@@ -198,8 +201,31 @@ const K_FETCH: u8 = 3;
 const K_CANCEL: u8 = 4;
 const K_METRICS: u8 = 5;
 const K_PING: u8 = 6;
+const K_SCRUB: u8 = 7;
 const K_RESP: u8 = 0x80;
 const K_ERROR: u8 = 0xFF;
+
+/// Per-shard result of an admin [`Request::Scrub`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardScrub {
+    /// Shard index.
+    pub shard: u32,
+    /// Bytes re-verified during this pass.
+    pub bytes: u64,
+    /// Entries whose checksums were re-verified.
+    pub entries: u64,
+    /// Corruptions detected.
+    pub corrupt: u64,
+    /// Corrupt entries recomputed from lineage and re-persisted.
+    pub repaired: u64,
+    /// Repair attempts that failed (the entry was quarantined instead).
+    pub repair_failures: u64,
+    /// Entries tombstoned and moved to `quarantine/`.
+    pub quarantined: u64,
+    /// True when the pass covered the whole store (false = cut short by
+    /// memory pressure or a degraded/disabled store).
+    pub completed: bool,
+}
 
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,6 +255,8 @@ pub enum Response {
     MetricsText(String),
     /// Liveness response.
     Pong,
+    /// Per-shard scrub results for an admin `Scrub` request.
+    Scrubbed(Vec<ShardScrub>),
     /// Typed failure.
     Error(ServiceError),
 }
@@ -358,6 +386,7 @@ impl Request {
             }
             Request::Metrics => K_METRICS,
             Request::Ping => K_PING,
+            Request::Scrub => K_SCRUB,
         };
         (kind, buf.to_vec())
     }
@@ -431,6 +460,7 @@ impl Request {
             }
             K_METRICS => Request::Metrics,
             K_PING => Request::Ping,
+            K_SCRUB => Request::Scrub,
             _ => return None,
         };
         (p.remaining() == 0).then_some(req)
@@ -482,6 +512,20 @@ impl Response {
                 K_RESP | K_METRICS
             }
             Response::Pong => K_RESP | K_PING,
+            Response::Scrubbed(reports) => {
+                buf.put_u32(reports.len() as u32);
+                for r in reports {
+                    buf.put_u32(r.shard);
+                    buf.put_u64(r.bytes);
+                    buf.put_u64(r.entries);
+                    buf.put_u64(r.corrupt);
+                    buf.put_u64(r.repaired);
+                    buf.put_u64(r.repair_failures);
+                    buf.put_u64(r.quarantined);
+                    buf.put_u8(u8::from(r.completed));
+                }
+                K_RESP | K_SCRUB
+            }
             Response::Error(e) => {
                 buf.put_u8(e.code.as_u8());
                 buf.put_u64(e.retry_after_ms);
@@ -553,6 +597,29 @@ impl Response {
             }
             k if k == K_RESP | K_METRICS => Response::MetricsText(get_str(&mut p)?),
             k if k == K_RESP | K_PING => Response::Pong,
+            k if k == K_RESP | K_SCRUB => {
+                if p.remaining() < 4 {
+                    return None;
+                }
+                let n = p.get_u32() as usize;
+                let mut reports = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    if p.remaining() < 4 + 6 * 8 + 1 {
+                        return None;
+                    }
+                    reports.push(ShardScrub {
+                        shard: p.get_u32(),
+                        bytes: p.get_u64(),
+                        entries: p.get_u64(),
+                        corrupt: p.get_u64(),
+                        repaired: p.get_u64(),
+                        repair_failures: p.get_u64(),
+                        quarantined: p.get_u64(),
+                        completed: p.get_u8() != 0,
+                    });
+                }
+                Response::Scrubbed(reports)
+            }
             K_ERROR => {
                 if p.remaining() < 9 {
                     return None;
@@ -666,6 +733,7 @@ mod tests {
         round_trip_req(Request::Cancel { session: 42 });
         round_trip_req(Request::Metrics);
         round_trip_req(Request::Ping);
+        round_trip_req(Request::Scrub);
     }
 
     #[test]
@@ -687,6 +755,29 @@ mod tests {
         round_trip_resp(Response::Cancelled { found: false });
         round_trip_resp(Response::MetricsText("lima_probes 0\n".into()));
         round_trip_resp(Response::Pong);
+        round_trip_resp(Response::Scrubbed(vec![]));
+        round_trip_resp(Response::Scrubbed(vec![
+            ShardScrub {
+                shard: 0,
+                bytes: 4096,
+                entries: 12,
+                corrupt: 1,
+                repaired: 1,
+                repair_failures: 0,
+                quarantined: 0,
+                completed: true,
+            },
+            ShardScrub {
+                shard: 3,
+                bytes: 0,
+                entries: 0,
+                corrupt: 0,
+                repaired: 0,
+                repair_failures: 0,
+                quarantined: 0,
+                completed: false,
+            },
+        ]));
         round_trip_resp(Response::Error(ServiceError {
             code: ErrorCode::Overloaded,
             retry_after_ms: 250,

@@ -26,7 +26,7 @@ use spill::SpillStore;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -191,6 +191,8 @@ pub struct LineageCache {
     /// Half-open breaker over durable writes; shares the spill limit and
     /// cooldown.
     persist_breaker: CircuitBreaker,
+    /// Latch so a disk-full/fsync degrade is counted exactly once.
+    disk_full_noted: AtomicBool,
     /// Memory-pressure governor; present when `config.governor_budget_bytes`
     /// is non-zero. Gates admissions, rewrites, and spilling by pressure
     /// level and is kept in sync with resident/spilled byte counts.
@@ -222,13 +224,27 @@ impl LineageCache {
         };
         let mut recovered = Vec::new();
         let persist_store = match (&config.persist_enabled, &config.persist_dir) {
-            (true, Some(dir)) => {
-                PersistentCacheStore::open(dir, config.persist_budget_bytes, config.faults.clone())
-                    .map(|(store, entries, report)| {
-                        recovered = entries;
-                        (store, report)
-                    })
-            }
+            (true, Some(dir)) => PersistentCacheStore::open_with(
+                dir,
+                persist::PersistOptions {
+                    budget_bytes: config.persist_budget_bytes,
+                    compact_min_bytes: config.persist_compact_min_bytes,
+                    compact_factor: config.persist_compact_factor,
+                    quarantine_max_age_secs: config.persist_quarantine_max_age_secs,
+                    repair: config.repair.clone(),
+                    repair_retry: RetryPolicy::new(
+                        config.persist_retry_attempts,
+                        config.persist_retry_base_ms,
+                        0,
+                    ),
+                    repair_budget: config.persist_repair_budget,
+                    faults: config.faults.clone(),
+                },
+            )
+            .map(|(store, entries, report)| {
+                recovered = entries;
+                (store, report)
+            }),
             _ => None,
         };
         let stats = Arc::new(LimaStats::new());
@@ -259,6 +275,7 @@ impl LineageCache {
             spill_breaker: CircuitBreaker::new(limit, cooldown),
             persist_store: None,
             persist_breaker: CircuitBreaker::new(limit, cooldown),
+            disk_full_noted: AtomicBool::new(false),
             governor,
         };
         if let Some((store, report)) = persist_store {
@@ -268,6 +285,9 @@ impl LineageCache {
                 LimaStats::bump(&cache.stats.persist_torn_truncations);
             }
             LimaStats::add(&cache.stats.persist_orphans_gcd, report.orphans_gcd);
+            LimaStats::add(&cache.stats.persist_repairs, report.repaired);
+            LimaStats::add(&cache.stats.persist_repair_failures, report.repair_failures);
+            LimaStats::add(&cache.stats.scrub_quarantined, report.quarantined);
             cache.persist_store = Some(store);
             let mut st = cache.state.lock();
             for e in recovered {
@@ -881,7 +901,7 @@ impl LineageCache {
         let Some(store) = &self.persist_store else {
             return;
         };
-        if store.crashed() {
+        if !store.usable() {
             return;
         }
         // Multi-level entries alias values cached at operation level and
@@ -906,7 +926,7 @@ impl LineageCache {
         );
         let persist_t0 = self.obs().map(|o| o.now_ns());
         let (result, retries) = policy.run(
-            |_| !store.crashed(),
+            |_| store.usable(),
             || store.persist(&key.0, value, compute_ns),
         );
         if retries > 0 {
@@ -936,9 +956,18 @@ impl LineageCache {
             Ok(None) => {} // value kind not persisted (lists)
             Err(_) => {
                 LimaStats::bump(&self.stats.persist_failures);
+                // A write failure that latched the store into degraded mode
+                // (ENOSPC / failed fsync) is counted once: the cache is now
+                // memory-only with a typed reason.
+                if store.degrade_reason().is_some()
+                    && !self.disk_full_noted.swap(true, Ordering::Relaxed)
+                {
+                    LimaStats::bump(&self.stats.persist_disk_full);
+                }
                 self.persist_breaker.record_failure();
             }
         }
+        self.drain_compaction_counters();
     }
 
     /// True while the persistence circuit breaker is open (or probing):
@@ -950,11 +979,87 @@ impl LineageCache {
     }
 
     /// True when a durable store backs this cache and is still writable
-    /// (i.e. the configured persist directory opened successfully and no
-    /// crash point has latched). `false` under a persistence-enabled
-    /// configuration means the cache degraded to memory-only.
+    /// (i.e. the configured persist directory opened successfully, no crash
+    /// point has latched, and no write failure degraded it). `false` under a
+    /// persistence-enabled configuration means the cache degraded to
+    /// memory-only.
     pub fn persist_active(&self) -> bool {
-        self.persist_store.as_ref().is_some_and(|s| !s.crashed())
+        self.persist_store.as_ref().is_some_and(|s| s.usable())
+    }
+
+    /// Why the durable store degraded to memory-only, if it has (ENOSPC or
+    /// a failed fsync); see [`persist::DegradeReason`].
+    pub fn persist_degrade_reason(&self) -> Option<persist::DegradeReason> {
+        self.persist_store.as_ref().and_then(|s| s.degrade_reason())
+    }
+
+    /// Rewrites the persistent manifest WAL into a fresh generation,
+    /// reclaiming tombstone and superseded-put space. Returns `None` without
+    /// a usable store (or when the compaction itself failed — the store then
+    /// reports why via [`LineageCache::persist_active`]).
+    pub fn compact_persist(&self) -> Option<persist::CompactOutcome> {
+        let store = self.persist_store.as_ref()?;
+        let out = store.compact().ok();
+        self.drain_compaction_counters();
+        out
+    }
+
+    /// One cooperative step of the background integrity scrubber: re-verifies
+    /// up to `max_bytes` of persisted value files (0 = the rest of the pass),
+    /// and, when a pass completes, the WAL's own framing. Corruption is
+    /// repaired from lineage where a repair hook is configured, otherwise the
+    /// entry is tombstoned and moved to `quarantine/`.
+    ///
+    /// The scrubber is the lowest-priority disk consumer: at governor
+    /// pressure L2+ (the same rung that pauses partial-reuse rewrites) the
+    /// step performs no I/O, bumps `scrub_pauses`, and returns `None` until
+    /// pressure recovers to L1 or below.
+    pub fn scrub_step(&self, max_bytes: u64) -> Option<persist::ScrubOutcome> {
+        let store = self.persist_store.as_ref()?;
+        if !store.usable() {
+            return None;
+        }
+        if let Some(g) = &self.governor {
+            if !g.rewrites_enabled() {
+                LimaStats::bump(&self.stats.scrub_pauses);
+                return None;
+            }
+        }
+        let out = store.scrub_chunk(max_bytes).ok()?;
+        LimaStats::add(&self.stats.scrub_bytes, out.bytes);
+        LimaStats::add(&self.stats.scrub_entries, out.entries);
+        LimaStats::add(&self.stats.scrub_corruptions, out.corrupt);
+        LimaStats::add(&self.stats.persist_repairs, out.repaired);
+        LimaStats::add(&self.stats.persist_repair_failures, out.repair_failures);
+        LimaStats::add(&self.stats.scrub_quarantined, out.quarantined);
+        if out.wrapped {
+            LimaStats::bump(&self.stats.scrub_passes);
+        }
+        if !out.quarantined_ids.is_empty() {
+            // Un-map quarantined persist IDs: the in-memory value (when still
+            // resident) remains valid, and clearing the ID lets a later
+            // fulfill re-persist a recomputed copy.
+            let mut st = self.state.lock();
+            for e in st.map.values_mut() {
+                if let Some(id) = e.persist_id {
+                    if out.quarantined_ids.contains(&id) {
+                        e.persist_id = None;
+                        e.from_persist = false;
+                    }
+                }
+            }
+        }
+        self.drain_compaction_counters();
+        Some(out)
+    }
+
+    /// Folds the store's compaction counters (auto- or explicit) into stats.
+    fn drain_compaction_counters(&self) {
+        if let Some(store) = &self.persist_store {
+            let (n, reclaimed) = store.take_compaction_counters();
+            LimaStats::add(&self.stats.persist_compactions, n);
+            LimaStats::add(&self.stats.persist_compact_reclaimed, reclaimed);
+        }
     }
 
     fn abort(&self, key: &LinKey) {
@@ -1154,6 +1259,7 @@ impl LineageCache {
         st.spilled_bytes = 0;
         self.sync_governor(&st);
         drop(st);
+        self.drain_compaction_counters();
         self.cond.notify_all();
     }
 }
@@ -1717,6 +1823,136 @@ mod tests {
             cache.acquire(&mk_item("ba+*", "C")).unwrap(),
             Probe::Reserved(_)
         ));
+    }
+
+    #[test]
+    fn scrubber_yields_under_pressure_and_resumes_after_recovery() {
+        use crate::governor::PressureLevel;
+        let dir = persist_dir("scrubpause");
+        let cache = LineageCache::new(LimaConfig {
+            spill: false,
+            ..LimaConfig::lima()
+                .with_persistence(&dir)
+                .with_governor(100_000)
+        });
+        match cache.acquire(&mk_item("ba+*", "X")).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(10), 1_000),
+            _ => panic!(),
+        }
+        // Baseline: scrubbing progresses at L0/L1.
+        assert!(cache.scrub_step(0).is_some());
+        let bytes_before = LimaStats::get(&cache.stats().scrub_bytes);
+        assert!(bytes_before > 0);
+        // Drive the governor to L2 (mat(100) ≈ 80 kB of the 100 kB budget).
+        match cache.acquire(&mk_item("ba+*", "P")).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(100), 1_000),
+            _ => panic!(),
+        }
+        assert_eq!(cache.governor().unwrap().level(), PressureLevel::NoRewrites);
+        // Scrub I/O pauses: no scrub_bytes progress until pressure recovers.
+        for _ in 0..3 {
+            assert!(cache.scrub_step(0).is_none());
+        }
+        assert_eq!(LimaStats::get(&cache.stats().scrub_bytes), bytes_before);
+        assert_eq!(LimaStats::get(&cache.stats().scrub_pauses), 3);
+        // Pressure release to ≤L1 resumes scrubbing.
+        cache.clear();
+        assert_eq!(cache.governor().unwrap().level(), PressureLevel::Normal);
+        assert!(cache.scrub_step(0).is_some());
+        assert!(LimaStats::get(&cache.stats().scrub_bytes) > bytes_before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scrub_step_repairs_corruption_via_config_hook() {
+        let dir = persist_dir("scrubhook");
+        let good = mat(6);
+        let hook_v = good.clone();
+        let config = LimaConfig {
+            spill: false,
+            ..LimaConfig::lima().with_persistence(&dir)
+        }
+        .with_repair(persist::RepairHook::new(move |_root| Ok(hook_v.clone())));
+        let cache = LineageCache::new(config);
+        match cache.acquire(&mk_item("ba+*", "X")).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&good, 1_000),
+            _ => panic!(),
+        }
+        // Bit-flip the persisted value file.
+        let victim = std::fs::read_dir(dir.join("values"))
+            .unwrap()
+            .flatten()
+            .find(|e| e.file_name().to_string_lossy().ends_with(".val"))
+            .unwrap()
+            .path();
+        let mut raw = std::fs::read(&victim).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        std::fs::write(&victim, &raw).unwrap();
+        let out = cache.scrub_step(0).unwrap();
+        assert_eq!(out.corrupt, 1);
+        assert_eq!(out.repaired, 1);
+        assert_eq!(out.quarantined, 0);
+        assert_eq!(LimaStats::get(&cache.stats().persist_repairs), 1);
+        assert_eq!(LimaStats::get(&cache.stats().scrub_corruptions), 1);
+        assert_eq!(LimaStats::get(&cache.stats().persist_repair_failures), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_full_degrades_cache_to_memory_only_and_counts_once() {
+        use crate::faults::{FaultInjector, FaultSite};
+        let dir = persist_dir("diskfull");
+        let inj = Arc::new(FaultInjector::new(0).fail_every(FaultSite::DiskFull, 1));
+        let config = LimaConfig {
+            spill: false,
+            ..LimaConfig::lima().with_persistence(&dir)
+        }
+        .with_faults(inj);
+        let cache = LineageCache::new(config);
+        match cache.acquire(&mk_item("ba+*", "X")).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(4), 100),
+            _ => panic!(),
+        }
+        assert_eq!(LimaStats::get(&cache.stats().persist_disk_full), 1);
+        assert!(!cache.persist_active());
+        assert_eq!(
+            cache.persist_degrade_reason(),
+            Some(persist::DegradeReason::DiskFull)
+        );
+        // The cache keeps serving from memory, and the degrade is counted
+        // exactly once even as later fulfills skip persistence.
+        assert!(matches!(
+            cache.acquire(&mk_item("ba+*", "X")).unwrap(),
+            Probe::Hit(_)
+        ));
+        match cache.acquire(&mk_item("ba+*", "Y")).unwrap() {
+            Probe::Reserved(r) => r.fulfill(&mat(4), 100),
+            _ => panic!(),
+        }
+        assert_eq!(LimaStats::get(&cache.stats().persist_disk_full), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_persist_reclaims_cleared_entries() {
+        let dir = persist_dir("compactcache");
+        let cache = LineageCache::new(LimaConfig {
+            spill: false,
+            ..LimaConfig::lima().with_persistence(&dir)
+        });
+        for s in ["A", "B", "C"] {
+            match cache.acquire(&mk_item("ba+*", s)).unwrap() {
+                Probe::Reserved(r) => r.fulfill(&mat(4), 100),
+                _ => panic!(),
+            }
+        }
+        cache.clear(); // tombstones all three durable entries
+        let out = cache.compact_persist().unwrap();
+        assert!(out.wal_bytes_after < out.wal_bytes_before);
+        assert!(LimaStats::get(&cache.stats().persist_compactions) >= 1);
+        assert!(LimaStats::get(&cache.stats().persist_compact_reclaimed) > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -120,6 +120,23 @@ pub struct LimaConfig {
     /// Disk budget for persisted value files; the oldest entries are
     /// tombstoned once the total exceeds it. 0 means unbounded.
     pub persist_budget_bytes: u64,
+    /// Manifest WAL size below which auto-compaction never triggers.
+    pub persist_compact_min_bytes: u64,
+    /// Auto-compact the manifest WAL into a fresh generation when it exceeds
+    /// the live-record footprint by this factor; 0 disables auto-compaction.
+    pub persist_compact_factor: u64,
+    /// Quarantined (corrupt) persist files older than this many seconds are
+    /// garbage-collected at startup recovery; 0 keeps them forever.
+    pub persist_quarantine_max_age_secs: u64,
+    /// Global token budget bounding how many lineage-driven repairs a flaky
+    /// disk can trigger (see [`crate::resilience::RetryBudget`]).
+    pub persist_repair_budget: u64,
+    /// Recomputes corrupt persisted values from their serialized lineage
+    /// (scrub- and recovery-time repair). The runtime installs its
+    /// reconstruction-based hook automatically when persistence is enabled;
+    /// `None` here with no runtime in the loop means corrupt entries are
+    /// quarantined instead of repaired.
+    pub repair: Option<crate::cache::persist::RepairHook>,
     /// Deterministic fault-injection harness; `None` (the default) injects
     /// nothing and is the production configuration.
     pub faults: Option<Arc<FaultInjector>>,
@@ -152,6 +169,11 @@ impl Default for LimaConfig {
             persist_enabled: false,
             persist_dir: None,
             persist_budget_bytes: 1 << 30,
+            persist_compact_min_bytes: 64 * 1024,
+            persist_compact_factor: 4,
+            persist_quarantine_max_age_secs: 86_400,
+            persist_repair_budget: 64,
+            repair: None,
             faults: None,
             obs: None,
         }
@@ -221,6 +243,13 @@ impl LimaConfig {
     pub fn with_persistence(mut self, dir: impl Into<PathBuf>) -> Self {
         self.persist_enabled = true;
         self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Installs a lineage-driven repair hook for the persistent store; see
+    /// [`crate::cache::persist::RepairHook`].
+    pub fn with_repair(mut self, hook: crate::cache::persist::RepairHook) -> Self {
+        self.repair = Some(hook);
         self
     }
 

@@ -53,6 +53,23 @@ pub enum FaultSite {
     /// request. Consulted with the shard index as the explicit occurrence
     /// key, so `fail_at(SlowShard, &[k])` makes exactly shard `k` slow.
     SlowShard,
+    /// Crash point: the process dies mid-write of a compacted WAL generation
+    /// — only a (possibly torn) `manifest.<gen>.wal.tmp` exists; recovery
+    /// stays on the previous generation and GCs the temp file.
+    PersistCompactWrite,
+    /// Crash point: the process dies at the generation switch. Consulted
+    /// twice per compaction — once *before* the rename (the new generation
+    /// is complete but uncommitted) and once *after* it (both generations
+    /// exist on disk); recovery must land on a single consistent generation
+    /// either way.
+    PersistCompactSwitch,
+    /// A persist/WAL write fails with `ENOSPC` (disk full). The store
+    /// degrades to memory-only with a typed reason; it never retries.
+    DiskFull,
+    /// An `fsync` of a persist artifact fails. Post-fsync-failure page state
+    /// is unknown (no retry-on-dirty-page assumption), so the store degrades
+    /// to memory-only with a typed reason.
+    FsyncFail,
 }
 
 /// Latency (milliseconds) injected per fired [`FaultSite::SlowSpill`].
@@ -61,7 +78,7 @@ pub const SLOW_SPILL_DELAY_MS: u64 = 25;
 /// Latency (milliseconds) injected per fired [`FaultSite::SlowShard`].
 pub const SLOW_SHARD_DELAY_MS: u64 = 50;
 
-const SITES: [FaultSite; 12] = [
+const SITES: [FaultSite; 16] = [
     FaultSite::SpillWrite,
     FaultSite::SpillCorrupt,
     FaultSite::SpillRead,
@@ -74,15 +91,21 @@ const SITES: [FaultSite; 12] = [
     FaultSite::SlowSpill,
     FaultSite::ConnDrop,
     FaultSite::SlowShard,
+    FaultSite::PersistCompactWrite,
+    FaultSite::PersistCompactSwitch,
+    FaultSite::DiskFull,
+    FaultSite::FsyncFail,
 ];
 
 /// The named crash points of the persistent cache store, in WAL commit-path
-/// order. The recovery harness iterates this list to simulate a crash at
-/// every site.
-pub const PERSIST_CRASH_POINTS: [FaultSite; 3] = [
+/// order followed by the compaction commit path. The recovery harness
+/// iterates this list to simulate a crash at every site.
+pub const PERSIST_CRASH_POINTS: [FaultSite; 5] = [
     FaultSite::PersistRename,
     FaultSite::PersistCommit,
     FaultSite::PersistWalAppend,
+    FaultSite::PersistCompactWrite,
+    FaultSite::PersistCompactSwitch,
 ];
 
 fn site_index(site: FaultSite) -> usize {
@@ -100,6 +123,10 @@ fn site_index(site: FaultSite) -> usize {
         FaultSite::SlowSpill => 9,
         FaultSite::ConnDrop => 10,
         FaultSite::SlowShard => 11,
+        FaultSite::PersistCompactWrite => 12,
+        FaultSite::PersistCompactSwitch => 13,
+        FaultSite::DiskFull => 14,
+        FaultSite::FsyncFail => 15,
     }
 }
 

@@ -23,6 +23,10 @@ pub mod opcodes;
 pub mod resilience;
 pub mod stats;
 
+pub use cache::persist::{
+    fsck, CompactOutcome, DegradeReason, FsckFinding, FsckReport, PersistOptions, RepairHook,
+    ScrubOutcome,
+};
 pub use cache::{ItemCost, LineageCache};
 pub use config::{EvictionPolicy, LimaConfig, ReuseMode};
 pub use faults::{FaultInjector, FaultSite};

@@ -103,6 +103,34 @@ define_stats! {
     persist_torn_truncations,
     /// Orphaned value files garbage-collected during recovery.
     persist_orphans_gcd,
+    /// WAL compactions committed (generation switches).
+    persist_compactions,
+    /// WAL bytes reclaimed by compaction (pre-compaction size minus
+    /// post-compaction size, summed over compactions).
+    persist_compact_reclaimed,
+    /// Corrupt persisted entries rebuilt from their serialized lineage and
+    /// re-persisted atomically (scrub-, fetch-, or recovery-time).
+    persist_repairs,
+    /// Lineage-driven repair attempts that failed; the entry was quarantined
+    /// (or dropped at recovery) instead.
+    persist_repair_failures,
+    /// Persistence degraded to memory-only after `ENOSPC` or an fsync
+    /// failure (post-fsync-failure page state is unknown).
+    persist_disk_full,
+    /// Bytes re-verified by the background integrity scrubber.
+    scrub_bytes,
+    /// Value files whose checksums the scrubber re-verified.
+    scrub_entries,
+    /// Corrupt artifacts (value files or WAL frames) detected by the
+    /// scrubber.
+    scrub_corruptions,
+    /// Corrupt entries quarantined (tombstoned and moved to `quarantine/`).
+    scrub_quarantined,
+    /// Completed full scrub passes over the store.
+    scrub_passes,
+    /// Scrub chunks skipped because the governor was at pressure level L2 or
+    /// higher (the scrubber yields I/O under pressure).
+    scrub_pauses,
     /// Instructions the static determinism analysis unmarked for caching
     /// (loop-carried, non-deterministic, or side-effecting; paper §4.3).
     ops_unmarked,
@@ -218,6 +246,8 @@ impl LimaStats {
              faults:  spill_failures={} restore_failures={} placeholder_timeouts={} worker_panics={}\n\
              persist: writes={} failures={} bytes={} tombstones={} hits={}\n\
              recover: recovered={} dropped={} torn_truncations={} orphans_gcd={}\n\
+             selfheal: compactions={} reclaimed={} repairs={} repair_failures={} disk_full={}\n\
+             scrub:   bytes={} entries={} corruptions={} quarantined={} passes={} pauses={}\n\
              analyze: ops_unmarked={} funcs_reuse_ineligible={}\n\
              governor: degrades={} recovers={} admission_rejects={} alloc_failures={} \
              persist_retries={} breaker_probes={}\n\
@@ -251,6 +281,17 @@ impl LimaStats {
             Self::get(&self.persist_dropped),
             Self::get(&self.persist_torn_truncations),
             Self::get(&self.persist_orphans_gcd),
+            Self::get(&self.persist_compactions),
+            Self::get(&self.persist_compact_reclaimed),
+            Self::get(&self.persist_repairs),
+            Self::get(&self.persist_repair_failures),
+            Self::get(&self.persist_disk_full),
+            Self::get(&self.scrub_bytes),
+            Self::get(&self.scrub_entries),
+            Self::get(&self.scrub_corruptions),
+            Self::get(&self.scrub_quarantined),
+            Self::get(&self.scrub_passes),
+            Self::get(&self.scrub_pauses),
             Self::get(&self.ops_unmarked),
             Self::get(&self.funcs_reuse_ineligible),
             Self::get(&self.governor_degrades),

@@ -52,6 +52,29 @@ pub(crate) fn metrics_text(inner: &Inner) -> String {
             shard.state().as_gauge()
         ));
     }
+    out.push_str(
+        "# HELP limad_scrub Per-shard integrity-scrubber progress and self-healing outcomes.\n\
+         # TYPE limad_scrub gauge\n",
+    );
+    for shard in inner.shards.iter() {
+        let stats = shard.stats();
+        let i = shard.index();
+        for (name, counter) in [
+            ("bytes", &stats.scrub_bytes),
+            ("entries", &stats.scrub_entries),
+            ("corruptions", &stats.scrub_corruptions),
+            ("quarantined", &stats.scrub_quarantined),
+            ("passes", &stats.scrub_passes),
+            ("pauses", &stats.scrub_pauses),
+            ("repairs", &stats.persist_repairs),
+            ("repair_failures", &stats.persist_repair_failures),
+        ] {
+            out.push_str(&format!(
+                "limad_scrub_{name}{{shard=\"{i}\"}} {}\n",
+                LimaStats::get(counter)
+            ));
+        }
+    }
     out
 }
 

@@ -25,7 +25,8 @@
 use crate::metrics::{metrics_text, serve_metrics};
 use crate::shard::{CacheShard, ShardSet};
 use lima_client::proto::{
-    read_frame, write_frame, ErrorCode, Request, Response, ServiceError, MAX_FRAME_BYTES,
+    read_frame, write_frame, ErrorCode, Request, Response, ServiceError, ShardScrub,
+    MAX_FRAME_BYTES,
 };
 use lima_core::faults::{FaultSite, SLOW_SHARD_DELAY_MS};
 use lima_core::interrupt::CancelToken;
@@ -70,6 +71,11 @@ pub struct LimadConfig {
     pub retry_after_ms: u64,
     /// Largest request frame accepted before the typed `BadRequest` cutoff.
     pub max_frame_bytes: usize,
+    /// Delay between background integrity-scrub chunks per shard; 0 disables
+    /// the background scrubber (admin `Scrub` requests still work).
+    pub scrub_interval_ms: u64,
+    /// Byte budget handed to each background scrub chunk.
+    pub scrub_chunk_bytes: u64,
 }
 
 impl Default for LimadConfig {
@@ -84,6 +90,8 @@ impl Default for LimadConfig {
             default_deadline_ms: 30_000,
             retry_after_ms: 50,
             max_frame_bytes: MAX_FRAME_BYTES,
+            scrub_interval_ms: 500,
+            scrub_chunk_bytes: 4 * 1024 * 1024,
         }
     }
 }
@@ -194,7 +202,19 @@ impl Inner {
             }
             Request::Metrics => Response::MetricsText(metrics_text(self)),
             Request::Ping => Response::Pong,
+            Request::Scrub => Response::Scrubbed(self.scrub_all()),
         }
+    }
+
+    /// One synchronous, full integrity pass over every shard (admin `Scrub`
+    /// wire op). Each shard's pass drives `scrub_step` until the cursor
+    /// wraps; a shard paused by its governor (or without an active store)
+    /// reports `completed: false` rather than blocking the connection.
+    fn scrub_all(&self) -> Vec<ShardScrub> {
+        self.shards
+            .iter()
+            .map(|shard| scrub_shard_pass(shard, self.cfg.scrub_chunk_bytes))
+            .collect()
     }
 
     /// Cache lookup for one lineage trace. Submits route by *script* hash,
@@ -322,6 +342,41 @@ impl Inner {
     }
 }
 
+/// Cap on chunks per synchronous scrub pass, so a store that keeps growing
+/// mid-pass cannot wedge an admin connection.
+const MAX_SCRUB_CHUNKS: u32 = 100_000;
+
+/// Drives one shard's scrub cursor through a complete wrap. Returns early
+/// (with `completed: false`) when the governor pauses scrubbing or the
+/// shard has no active persistent store.
+fn scrub_shard_pass(shard: &CacheShard, chunk_bytes: u64) -> ShardScrub {
+    let mut report = ShardScrub {
+        shard: shard.index() as u32,
+        ..ShardScrub::default()
+    };
+    let Some(cache) = shard.cache() else {
+        return report;
+    };
+    for _ in 0..MAX_SCRUB_CHUNKS {
+        match cache.scrub_step(chunk_bytes) {
+            Some(out) => {
+                report.bytes += out.bytes;
+                report.entries += out.entries;
+                report.corrupt += out.corrupt;
+                report.repaired += out.repaired;
+                report.repair_failures += out.repair_failures;
+                report.quarantined += out.quarantined;
+                if out.wrapped {
+                    report.completed = true;
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    report
+}
+
 /// A running `limad` server. Dropping it (or calling
 /// [`Server::shutdown`]) stops the accept loops, cancels in-flight
 /// sessions, and joins the listener threads; connection threads drain on
@@ -332,6 +387,7 @@ pub struct Server {
     metrics_addr: SocketAddr,
     accept: Option<std::thread::JoinHandle<()>>,
     metrics: Option<std::thread::JoinHandle<()>>,
+    scrubbers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -364,12 +420,28 @@ impl Server {
             .name("limad-metrics".into())
             .spawn(move || serve_metrics(&metrics_listener, &metrics_inner))?;
 
+        // One background scrubber per shard: each re-verifies its own store
+        // at the configured cadence, pausing automatically under governor
+        // pressure (scrub_step refuses I/O at L2+).
+        let mut scrubbers = Vec::new();
+        if inner.cfg.scrub_interval_ms > 0 && inner.cfg.persist_root.is_some() {
+            for i in 0..inner.shards.len() {
+                let scrub_inner = Arc::clone(&inner);
+                scrubbers.push(
+                    std::thread::Builder::new()
+                        .name(format!("limad-scrub-{i}"))
+                        .spawn(move || scrub_loop(&scrub_inner, i))?,
+                );
+            }
+        }
+
         Ok(Server {
             inner,
             addr,
             metrics_addr,
             accept: Some(accept),
             metrics: Some(metrics),
+            scrubbers,
         })
     }
 
@@ -414,12 +486,34 @@ impl Server {
         if let Some(t) = self.metrics.take() {
             let _ = t.join();
         }
+        for t in self.scrubbers.drain(..) {
+            let _ = t.join();
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Background scrubber for shard `index`: one byte-budgeted chunk per
+/// interval, shutdown-responsive between chunks.
+fn scrub_loop(inner: &Arc<Inner>, index: usize) {
+    let interval = Duration::from_millis(inner.cfg.scrub_interval_ms);
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let mut waited = Duration::ZERO;
+        while waited < interval && !inner.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL);
+            waited += POLL;
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(cache) = inner.shards.get(index).and_then(|s| s.cache()) {
+            let _ = cache.scrub_step(inner.cfg.scrub_chunk_bytes);
+        }
     }
 }
 

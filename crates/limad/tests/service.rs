@@ -362,3 +362,128 @@ fn frame_cap_default_is_sane() {
     assert_eq!(cfg.max_frame_bytes, MAX_FRAME_BYTES);
     assert!(cfg.max_frame_bytes >= 1024 * 1024);
 }
+
+/// Flips one bit in every committed value file under `root`; returns the
+/// number of files corrupted.
+fn flip_values(root: &std::path::Path) -> usize {
+    let mut flipped = 0;
+    for shard in std::fs::read_dir(root).unwrap().flatten() {
+        let values = shard.path().join("values");
+        let Ok(entries) = std::fs::read_dir(&values) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("val") {
+                continue;
+            }
+            let mut raw = std::fs::read(&path).unwrap();
+            let mid = raw.len() / 2;
+            raw[mid] ^= 0x20;
+            std::fs::write(&path, &raw).unwrap();
+            flipped += 1;
+        }
+    }
+    flipped
+}
+
+fn persist_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("limad-scrub-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn scrub_wire_op_heals_at_rest_corruption() {
+    let dir = persist_dir("wire");
+    // Multi-level reuse off so every persisted lineage is primitive and
+    // therefore repairable; background scrubbing off so the wire op's
+    // counters are deterministic.
+    let mut template = LimaConfig::lima();
+    template.multilevel = false;
+    let server = start(LimadConfig {
+        persist_root: Some(dir.clone()),
+        scrub_interval_ms: 0,
+        template,
+        ..LimadConfig::default()
+    });
+    let mut c = client(&server, "alice");
+    let done = c.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    assert_eq!(done.value("s").unwrap().as_f64().unwrap(), GRAM_SUM);
+
+    let flipped = flip_values(&dir);
+    assert!(flipped >= 1, "submit persisted nothing");
+
+    let reports = c.scrub().unwrap();
+    assert_eq!(reports.len(), server.shards().len());
+    assert!(reports.iter().all(|r| r.completed));
+    let corrupt: u64 = reports.iter().map(|r| r.corrupt).sum();
+    let repaired: u64 = reports.iter().map(|r| r.repaired).sum();
+    let quarantined: u64 = reports.iter().map(|r| r.quarantined).sum();
+    assert_eq!(corrupt, flipped as u64, "{reports:?}");
+    assert_eq!(repaired, flipped as u64, "healed, not dropped: {reports:?}");
+    assert_eq!(quarantined, 0, "{reports:?}");
+
+    // The healed cache still serves the baseline value, and the repair is
+    // visible in the exposition.
+    let done = c.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    assert_eq!(done.value("s").unwrap().as_f64().unwrap(), GRAM_SUM);
+    let text = c.metrics().unwrap();
+    assert!(text.contains("limad_scrub_repairs"), "metrics:\n{text}");
+    let repairs: u64 = server
+        .shards()
+        .iter()
+        .map(|s| LimaStats::get(&s.stats().persist_repairs))
+        .sum();
+    assert_eq!(repairs, flipped as u64);
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scrub_wire_op_is_a_noop_for_memory_only_servers() {
+    let server = start(LimadConfig::default());
+    let mut c = client(&server, "alice");
+    c.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+    let reports = c.scrub().unwrap();
+    assert_eq!(reports.len(), server.shards().len());
+    assert_eq!(reports.iter().map(|r| r.entries).sum::<u64>(), 0);
+    assert_eq!(reports.iter().map(|r| r.corrupt).sum::<u64>(), 0);
+}
+
+#[test]
+fn background_scrubber_makes_progress_and_exports_gauges() {
+    let dir = persist_dir("bg");
+    let server = start(LimadConfig {
+        persist_root: Some(dir.clone()),
+        scrub_interval_ms: 10,
+        scrub_chunk_bytes: 0, // unbounded: each tick is a full pass
+        ..LimadConfig::default()
+    });
+    let mut c = client(&server, "alice");
+    c.submit(GRAM_SCRIPT, &outputs(&["s"])).unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let passes: u64 = server
+            .shards()
+            .iter()
+            .map(|s| LimaStats::get(&s.stats().scrub_passes))
+            .sum();
+        if passes >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "background scrubber completed no pass in 10s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let text = c.metrics().unwrap();
+    assert!(text.contains("limad_scrub_passes"), "metrics:\n{text}");
+    assert!(text.contains("limad_scrub_bytes"), "metrics:\n{text}");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -97,12 +97,18 @@ impl ExecutionContext {
     /// Fresh context. A cache is created automatically when the configuration
     /// enables reuse.
     pub fn new(config: LimaConfig) -> Self {
+        // The repair hook closes over this context's registry, so `read`
+        // leaves in repaired lineage are served with the live datasets.
+        let data = Arc::new(DataRegistry::new());
+        let config = crate::repair::with_default_repair(config, &data);
         let cache = if config.tracing && config.reuse.any() {
             Some(LineageCache::new(config.clone()))
         } else {
             None
         };
-        Self::with_cache(config, cache)
+        let mut ctx = Self::with_cache(config, cache);
+        ctx.data = data;
+        ctx
     }
 
     /// Context sharing an existing cache (parfor workers, multi-script reuse).

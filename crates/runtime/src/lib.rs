@@ -24,6 +24,7 @@ pub mod lva;
 pub mod parfor;
 pub mod program;
 pub mod reconstruct;
+pub mod repair;
 pub mod session;
 
 pub use context::{DataRegistry, ExecutionContext};
@@ -32,4 +33,5 @@ pub use governor::SessionUsage;
 pub use instr::{Instr, Op, Operand};
 pub use interp::execute_program;
 pub use program::{Block, ExprProg, Function, Program};
+pub use repair::lineage_repairer;
 pub use session::{SessionCtl, SessionHandle, SessionOptions, SessionOutcome, SessionPool};

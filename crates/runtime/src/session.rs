@@ -195,7 +195,13 @@ pub struct SessionPool {
 impl SessionPool {
     /// A pool over `config`. The shared cache is created exactly when a
     /// solo [`ExecutionContext::new`] would create one (tracing + reuse).
+    /// Persistent caches get the lineage-driven repair hook installed
+    /// automatically unless the config already carries one.
     pub fn new(config: LimaConfig) -> Self {
+        // Repairs recompute against the pool's shared registry, so datasets
+        // registered by any session serve `read` leaves during repair.
+        let data = Arc::new(DataRegistry::new());
+        let config = crate::repair::with_default_repair(config, &data);
         let cache = if config.tracing && config.reuse.any() {
             Some(LineageCache::new(config.clone()))
         } else {
@@ -208,7 +214,7 @@ impl SessionPool {
         SessionPool {
             config,
             cache,
-            data: Arc::new(DataRegistry::new()),
+            data,
             stats,
             next_id: AtomicU64::new(1),
         }

@@ -10,6 +10,8 @@
 //!     --governor-mb <N>      per-shard governor budget (default: off)
 //!     --tenant-quota <N>     concurrent submits per tenant, 0=unlimited (default 8)
 //!     --deadline-ms <N>      default submit deadline (default 30000)
+//!     --scrub-interval-ms <N> background scrub cadence per shard, 0=off (default 500)
+//!     --scrub-chunk-kb <N>   byte budget per scrub chunk (default 4096)
 //! ```
 //!
 //! Runs until killed. Prints the bound addresses on startup (useful with
@@ -20,7 +22,8 @@ use limad::{LimadConfig, Server};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: limad [--listen ADDR] [--metrics ADDR] [--shards N] \
-[--persist-dir DIR] [--budget-mb N] [--governor-mb N] [--tenant-quota N] [--deadline-ms N]\n";
+[--persist-dir DIR] [--budget-mb N] [--governor-mb N] [--tenant-quota N] [--deadline-ms N] \
+[--scrub-interval-ms N] [--scrub-chunk-kb N]\n";
 
 fn parse_args(args: &[String]) -> Result<LimadConfig, String> {
     let mut cfg = LimadConfig {
@@ -64,6 +67,15 @@ fn parse_args(args: &[String]) -> Result<LimadConfig, String> {
             "--deadline-ms" => {
                 let v = take(args, &mut i, "--deadline-ms")?;
                 cfg.default_deadline_ms = v.parse().map_err(|_| format!("bad deadline '{v}'"))?;
+            }
+            "--scrub-interval-ms" => {
+                let v = take(args, &mut i, "--scrub-interval-ms")?;
+                cfg.scrub_interval_ms = v.parse().map_err(|_| format!("bad interval '{v}'"))?;
+            }
+            "--scrub-chunk-kb" => {
+                let v = take(args, &mut i, "--scrub-chunk-kb")?;
+                let kb: u64 = v.parse().map_err(|_| format!("bad chunk size '{v}'"))?;
+                cfg.scrub_chunk_bytes = kb * 1024;
             }
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
@@ -138,6 +150,10 @@ mod tests {
             "3",
             "--deadline-ms",
             "500",
+            "--scrub-interval-ms",
+            "250",
+            "--scrub-chunk-kb",
+            "512",
         ]))
         .unwrap();
         assert_eq!(cfg.listen, "127.0.0.1:0");
@@ -147,6 +163,8 @@ mod tests {
         assert_eq!(cfg.template.governor_budget_bytes, 128 * 1024 * 1024);
         assert_eq!(cfg.tenant_max_sessions, 3);
         assert_eq!(cfg.default_deadline_ms, 500);
+        assert_eq!(cfg.scrub_interval_ms, 250);
+        assert_eq!(cfg.scrub_chunk_bytes, 512 * 1024);
     }
 
     #[test]

@@ -63,8 +63,22 @@ fn assert_reconstructs_to_baseline(
             ctx.data.register(*name, v.clone());
             ctx.data.register(format!("var:{name}"), v.clone());
         }
-        let recomputed = recompute(&e.root, &mut ctx)
-            .unwrap_or_else(|err| panic!("{what}: recovered lineage must reconstruct: {err}"));
+        let recomputed = match recompute(&e.root, &mut ctx) {
+            Ok(v) => v,
+            Err(err) => {
+                // Lineage embedding opaque function-call items (traced with
+                // dedup off) persists and recovers fine but cannot be
+                // replayed; such entries are repair-ineligible by design and
+                // are exempt from the replay invariant. Anything else is a
+                // real recovery bug.
+                let msg = err.to_string();
+                assert!(
+                    msg.contains("unsupported opcode"),
+                    "{what}: recovered lineage must reconstruct: {msg}"
+                );
+                continue;
+            }
+        };
         assert!(
             recomputed.approx_eq(&e.value, 1e-9),
             "{what}: recovered value diverges from its lineage reconstruction"
@@ -129,10 +143,14 @@ fn crash_at_every_point_recovers_consistent_reconstructable_subset() {
                 }
                 if crashed {
                     // Every crash point leaves debris (a temp file, an
-                    // orphaned value file, or a torn record + orphan) that
+                    // orphaned value file, a torn record + orphan, or — for
+                    // compaction crashes — a stale WAL temp/generation) that
                     // recovery must have repaired, not served.
                     assert!(
-                        report.orphans_gcd >= 1 || report.torn_tail_truncated,
+                        report.orphans_gcd >= 1
+                            || report.torn_tail_truncated
+                            || report.stale_tmp_gcd >= 1
+                            || report.stale_generations_removed >= 1,
                         "{tag}: crash left no repaired debris? report: {report:?}"
                     );
                 }
@@ -147,11 +165,194 @@ fn crash_at_every_point_recovers_consistent_reconstructable_subset() {
                 assert!(!report2.torn_tail_truncated, "{tag}: torn tail resurfaced");
                 assert_eq!(report2.orphans_gcd, 0, "{tag}: orphans resurfaced");
                 assert_eq!(report2.dropped, 0, "{tag}: drops resurfaced");
+                assert_eq!(report2.stale_tmp_gcd, 0, "{tag}: stale tmps resurfaced");
+                assert_eq!(
+                    report2.stale_generations_removed, 0,
+                    "{tag}: stale generations resurfaced"
+                );
 
                 let _ = std::fs::remove_dir_all(&dir);
             }
         }
     }
+}
+
+/// Tombstone-heavy compaction under crash injection: a small persist budget
+/// forces evictions (tombstones), auto-compaction rewrites the WAL, and a
+/// crash at either compaction crash point (mid-rewrite, or around the
+/// generation switch) must land recovery on a consistent generation whose
+/// entries still reconstruct to the reuse-off baseline. A fault-free control
+/// proves compaction strictly shrinks the WAL for the same workload.
+#[test]
+fn compaction_crash_matrix_recovers_and_strictly_reclaims() {
+    let grid = pipelines::hyperparameter_grid(2, 2, 1);
+    for seed in seeds() {
+        let p = pipelines::hlm(40, 8, 2, 4, &grid, false, seed);
+        let inputs = p.input_refs();
+        let baseline = run_script(&p.script, &LimaConfig::base(), &inputs).unwrap();
+
+        // Control: same tombstone-heavy workload, auto-compaction disabled,
+        // then one explicit compaction — the WAL must strictly shrink.
+        let dir = tmp_dir("compact-ctl");
+        let ctl = LimaConfig {
+            persist_budget_bytes: 24 * 1024,
+            persist_compact_factor: 0,
+            ..LimaConfig::lima().with_persistence(&dir)
+        };
+        let run = run_script(&p.script, &ctl, &inputs).unwrap();
+        assert!(run.value("best").approx_eq(baseline.value("best"), 1e-9));
+        let out = run
+            .ctx
+            .cache
+            .as_ref()
+            .and_then(|c| c.compact_persist())
+            .expect("persistent store must be compactable");
+        assert!(
+            out.wal_bytes_after < out.wal_bytes_before,
+            "seed={seed}: compaction must strictly shrink a tombstone-heavy \
+             WAL ({} -> {} bytes)",
+            out.wal_bytes_before,
+            out.wal_bytes_after
+        );
+        assert!(
+            LimaStats::get(&run.ctx.stats.persist_compactions) >= 1
+                && LimaStats::get(&run.ctx.stats.persist_compact_reclaimed) >= 1,
+            "seed={seed}: compaction counters not recorded"
+        );
+        drop(run);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Crash matrix over the compaction-specific crash points, with
+        // auto-compaction armed aggressively so it fires mid-run.
+        for site in [
+            FaultSite::PersistCompactWrite,
+            FaultSite::PersistCompactSwitch,
+        ] {
+            for occ in [0u64, 1, 3] {
+                let dir = tmp_dir("compact-crash");
+                let inj = Arc::new(FaultInjector::new(seed).fail_at(site, &[occ]));
+                let config = LimaConfig {
+                    persist_budget_bytes: 24 * 1024,
+                    persist_compact_min_bytes: 1024,
+                    persist_compact_factor: 1,
+                    ..LimaConfig::lima()
+                        .with_persistence(&dir)
+                        .with_faults(Arc::clone(&inj))
+                };
+                let run = run_script(&p.script, &config, &inputs).unwrap();
+                let tag = format!("seed={seed} site={site:?} occ={occ}");
+                assert!(
+                    run.value("best").approx_eq(baseline.value("best"), 1e-9),
+                    "{tag}: best loss diverged from the reuse-off baseline"
+                );
+                assert!(
+                    run.value("L").approx_eq(baseline.value("L"), 1e-9),
+                    "{tag}: loss matrix diverged from the reuse-off baseline"
+                );
+                let crashed = inj.injected(site) > 0;
+                drop(run);
+
+                let (store, recovered, report) =
+                    PersistentCacheStore::open(&dir, 0, None).expect("dir is usable");
+                assert_eq!(
+                    store.live_entries(),
+                    recovered.len(),
+                    "{tag}: live entries disagree with recovered list"
+                );
+                if crashed {
+                    assert!(
+                        report.stale_tmp_gcd >= 1
+                            || report.stale_generations_removed >= 1
+                            || report.orphans_gcd >= 1,
+                        "{tag}: compaction crash left no repaired debris? {report:?}"
+                    );
+                }
+                assert_reconstructs_to_baseline(&recovered, &inputs, &tag);
+                drop(store);
+
+                let (_s2, recovered2, report2) =
+                    PersistentCacheStore::open(&dir, 0, None).expect("dir is usable");
+                assert_eq!(recovered2.len(), recovered.len(), "{tag}: not idempotent");
+                assert_eq!(report2.stale_tmp_gcd, 0, "{tag}: stale tmps resurfaced");
+                assert_eq!(
+                    report2.stale_generations_removed, 0,
+                    "{tag}: stale generations resurfaced"
+                );
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
+/// At-rest corruption across every persisted value file is repaired — not
+/// dropped — on restart when the repair hook can serve the workload's
+/// inputs: recovery recomputes each corrupt entry from its lineage, the
+/// restarted run still takes warm hits, and answers stay baseline-equal.
+#[test]
+fn corrupt_at_rest_values_are_repaired_from_lineage_on_restart() {
+    let dir = tmp_dir("repair");
+    let grid = pipelines::hyperparameter_grid(2, 2, 1);
+    let p = pipelines::hlm(40, 8, 2, 4, &grid, false, 11);
+    let inputs = p.input_refs();
+    let baseline = run_script(&p.script, &LimaConfig::base(), &inputs).unwrap();
+
+    // Multi-level tracing mints opaque `fcall` lineage items that cannot be
+    // replayed; with it disabled every persisted lineage is repairable.
+    let mkcfg = || LimaConfig {
+        multilevel: false,
+        ..LimaConfig::lima().with_persistence(&dir)
+    };
+    let r1 = run_script(&p.script, &mkcfg(), &inputs).unwrap();
+    let recovered_target = LimaStats::get(&r1.ctx.stats.persist_writes);
+    assert!(recovered_target >= 1, "first run persisted nothing");
+    drop(r1);
+
+    // Flip one bit in the middle of every persisted value file.
+    let mut corrupted = 0u64;
+    for e in std::fs::read_dir(dir.join("values")).unwrap().flatten() {
+        let path = e.path();
+        if path.extension().is_some_and(|x| x == "val") {
+            let mut raw = std::fs::read(&path).unwrap();
+            let mid = raw.len() / 2;
+            raw[mid] ^= 0x01;
+            std::fs::write(&path, &raw).unwrap();
+            corrupted += 1;
+        }
+    }
+    assert!(corrupted >= 1, "no value files on disk to corrupt");
+
+    // Restart with a repair hook that serves the workload inputs: every
+    // corrupt entry is recomputed from lineage instead of dropped.
+    let data = Arc::new(lima_runtime::DataRegistry::new());
+    for (name, v) in &inputs {
+        data.register(*name, v.clone());
+        data.register(format!("var:{name}"), v.clone());
+    }
+    let config = mkcfg().with_repair(lima_runtime::repair::registry_repairer(data));
+    let r2 = run_script(&p.script, &config, &inputs).unwrap();
+    let s2 = &r2.ctx.stats;
+    assert_eq!(
+        LimaStats::get(&s2.persist_repairs),
+        corrupted,
+        "every corrupt value must be repaired from lineage"
+    );
+    assert_eq!(
+        LimaStats::get(&s2.persist_repair_failures),
+        0,
+        "no repair may fail with inputs served"
+    );
+    assert!(
+        LimaStats::get(&s2.persist_recovered) >= corrupted,
+        "repaired entries must be recovered, not dropped"
+    );
+    assert!(
+        LimaStats::get(&s2.persist_hits) >= 1,
+        "repaired store must still serve warm hits"
+    );
+    assert!(r2.value("best").approx_eq(baseline.value("best"), 1e-9));
+    assert!(r2.value("L").approx_eq(baseline.value("L"), 1e-9));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A second process pointed at the same persist directory warm-starts: the
