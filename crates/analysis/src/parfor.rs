@@ -11,6 +11,7 @@
 //! decision procedure here is IR-agnostic.
 
 use crate::affine::Affine;
+use lima_core::Span;
 
 /// One write to a parfor result variable, as lowered by the runtime.
 #[derive(Debug, Clone)]
@@ -25,6 +26,9 @@ pub struct ResultWrite {
     /// assignment), or occurs somewhere the index cannot be reasoned about
     /// (e.g. under a nested loop over a different variable).
     pub whole: bool,
+    /// Byte span of the source statement performing the write, when known;
+    /// used to anchor dependence diagnostics on the offending write site.
+    pub span: Option<Span>,
 }
 
 impl ResultWrite {
@@ -35,6 +39,7 @@ impl ResultWrite {
             row,
             col,
             whole: false,
+            span: None,
         }
     }
 
@@ -45,7 +50,14 @@ impl ResultWrite {
             row: None,
             col: None,
             whole: true,
+            span: None,
         }
+    }
+
+    /// Attaches the source span of the write.
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
     }
 }
 

@@ -72,11 +72,7 @@ impl std::fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 fn deadline_error(msg: &str) -> ClientError {
-    ClientError::Service(ServiceError {
-        code: ErrorCode::DeadlineExceeded,
-        retry_after_ms: 0,
-        msg: msg.to_string(),
-    })
+    ClientError::Service(ServiceError::new(ErrorCode::DeadlineExceeded, 0, msg))
 }
 
 /// Tunables for a [`LimadClient`].
@@ -491,11 +487,7 @@ mod tests {
     fn overloaded_responses_are_retried_with_hint() {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
-        let overloaded = Response::Error(ServiceError {
-            code: ErrorCode::Overloaded,
-            retry_after_ms: 5,
-            msg: "shedding".into(),
-        });
+        let overloaded = Response::Error(ServiceError::new(ErrorCode::Overloaded, 5, "shedding"));
         serve(listener, 1, move |_, mut stream| {
             // Same connection: shed twice, then accept.
             for round in 0..3 {
@@ -522,11 +514,7 @@ mod tests {
         serve(listener, 1, |_, stream| {
             answer(
                 stream,
-                &Response::Error(ServiceError {
-                    code: ErrorCode::Cancelled,
-                    retry_after_ms: 0,
-                    msg: "cancelled".into(),
-                }),
+                &Response::Error(ServiceError::new(ErrorCode::Cancelled, 0, "cancelled")),
             );
         });
         let mut client = LimadClient::new(&addr, "t", options(3));

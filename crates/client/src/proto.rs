@@ -20,6 +20,7 @@
 //! [`ErrorCode`] and an optional retry-after hint.
 
 use bytes::{Buf, BufMut, BytesMut};
+use lima_core::{Diagnostic, Label, Severity, Span};
 use lima_matrix::{DenseMatrix, ScalarValue, Value};
 use std::io::{Read, Write};
 
@@ -143,6 +144,22 @@ pub struct ServiceError {
     pub retry_after_ms: u64,
     /// Human-readable detail.
     pub msg: String,
+    /// Source-anchored diagnostics (code, span, labels); populated on
+    /// `Compile` errors so clients can render caret snippets against the
+    /// script they submitted. Empty for other error classes.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ServiceError {
+    /// An error with no attached diagnostics (every class except `Compile`).
+    pub fn new(code: ErrorCode, retry_after_ms: u64, msg: impl Into<String>) -> ServiceError {
+        ServiceError {
+            code,
+            retry_after_ms,
+            msg: msg.into(),
+            diagnostics: Vec::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -278,6 +295,107 @@ fn get_str(buf: &mut &[u8]) -> Option<String> {
     let out = std::str::from_utf8(s).ok()?.to_string();
     *buf = rest;
     Some(out)
+}
+
+fn put_span(buf: &mut BytesMut, span: Option<Span>) {
+    match span {
+        Some(s) => {
+            buf.put_u8(1);
+            buf.put_u32(s.start);
+            buf.put_u32(s.end);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_span(buf: &mut &[u8]) -> Option<Option<Span>> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    match buf.get_u8() {
+        0 => Some(None),
+        1 => {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            let start = buf.get_u32();
+            let end = buf.get_u32();
+            Some(Some(Span::new(start, end)))
+        }
+        _ => None,
+    }
+}
+
+fn put_diag(buf: &mut BytesMut, d: &Diagnostic) {
+    buf.put_u8(match d.severity {
+        Severity::Error => 0,
+        Severity::Warning => 1,
+        Severity::Note => 2,
+    });
+    put_str(buf, &d.code);
+    put_str(buf, &d.message);
+    put_span(buf, d.primary);
+    buf.put_u32(d.labels.len() as u32);
+    for l in &d.labels {
+        buf.put_u32(l.span.start);
+        buf.put_u32(l.span.end);
+        put_str(buf, &l.message);
+    }
+    match &d.help {
+        Some(h) => {
+            buf.put_u8(1);
+            put_str(buf, h);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_diag(buf: &mut &[u8]) -> Option<Diagnostic> {
+    if buf.remaining() < 1 {
+        return None;
+    }
+    let severity = match buf.get_u8() {
+        0 => Severity::Error,
+        1 => Severity::Warning,
+        2 => Severity::Note,
+        _ => return None,
+    };
+    let code = get_str(buf)?;
+    let message = get_str(buf)?;
+    let primary = get_span(buf)?;
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n = buf.get_u32() as usize;
+    let mut labels = Vec::with_capacity(n.min(16));
+    for _ in 0..n {
+        if buf.remaining() < 8 {
+            return None;
+        }
+        let start = buf.get_u32();
+        let end = buf.get_u32();
+        let message = get_str(buf)?;
+        labels.push(Label {
+            span: Span::new(start, end),
+            message,
+        });
+    }
+    if buf.remaining() < 1 {
+        return None;
+    }
+    let help = match buf.get_u8() {
+        0 => None,
+        1 => Some(get_str(buf)?),
+        _ => return None,
+    };
+    Some(Diagnostic {
+        severity,
+        code,
+        message,
+        primary,
+        labels,
+        help,
+    })
 }
 
 /// Appends a value in the wire encoding. Lists are not wire-transportable;
@@ -530,6 +648,10 @@ impl Response {
                 buf.put_u8(e.code.as_u8());
                 buf.put_u64(e.retry_after_ms);
                 put_str(&mut buf, &e.msg);
+                buf.put_u32(e.diagnostics.len() as u32);
+                for d in &e.diagnostics {
+                    put_diag(&mut buf, d);
+                }
                 K_ERROR
             }
         };
@@ -627,10 +749,19 @@ impl Response {
                 let code = ErrorCode::from_u8(p.get_u8())?;
                 let retry_after_ms = p.get_u64();
                 let msg = get_str(&mut p)?;
+                if p.remaining() < 4 {
+                    return None;
+                }
+                let n = p.get_u32() as usize;
+                let mut diagnostics = Vec::with_capacity(n.min(16));
+                for _ in 0..n {
+                    diagnostics.push(get_diag(&mut p)?);
+                }
                 Response::Error(ServiceError {
                     code,
                     retry_after_ms,
                     msg,
+                    diagnostics,
                 })
             }
             _ => return None,
@@ -778,10 +909,23 @@ mod tests {
                 completed: false,
             },
         ]));
+        round_trip_resp(Response::Error(ServiceError::new(
+            ErrorCode::Overloaded,
+            250,
+            "shard 2 at L4",
+        )));
+        // Compile errors carry full source-anchored diagnostics.
         round_trip_resp(Response::Error(ServiceError {
-            code: ErrorCode::Overloaded,
-            retry_after_ms: 250,
-            msg: "shard 2 at L4".into(),
+            code: ErrorCode::Compile,
+            retry_after_ms: 0,
+            msg: "compile failed".into(),
+            diagnostics: vec![
+                Diagnostic::error("L0100", "parfor cannot run in parallel")
+                    .with_span(Span::of(10, 32))
+                    .with_label(Span::of(10, 16), "written here")
+                    .with_help("use a plain `for` loop"),
+                Diagnostic::warning("L0203", "dead store"),
+            ],
         }));
     }
 

@@ -14,6 +14,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod diag;
 pub mod faults;
 pub mod governor;
 pub mod interrupt;
@@ -29,6 +30,10 @@ pub use cache::persist::{
 };
 pub use cache::{ItemCost, LineageCache};
 pub use config::{EvictionPolicy, LimaConfig, ReuseMode};
+pub use diag::{
+    diagnostics_from_json, diagnostics_to_json, line_col, sort_diagnostics, Diagnostic, Label,
+    Severity, Span,
+};
 pub use faults::{FaultInjector, FaultSite};
 pub use governor::{PressureLevel, ResourceGovernor};
 pub use interrupt::{CancelToken, Interrupt, InterruptKind};

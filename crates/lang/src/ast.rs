@@ -1,5 +1,10 @@
 //! Abstract syntax tree of the DML subset.
+//!
+//! Every expression and statement carries a byte-offset [`Span`] into the
+//! original source; the lowering threads those spans onto runtime
+//! instructions so analysis findings render caret snippets (DESIGN.md §14).
 
+use lima_core::Span;
 use lima_matrix::ops::BinOp;
 
 /// A call argument, optionally named (`rand(rows=10, ...)`).
@@ -20,9 +25,22 @@ pub enum IndexSel {
     Range(Box<Expr>, Box<Expr>),
 }
 
-/// Expressions.
+/// A spanned expression.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
     Int(i64),
     Float(f64),
     Str(String),
@@ -49,12 +67,28 @@ pub enum Expr {
     },
 }
 
-/// Statements.
+/// A spanned statement. For compound statements the span covers the whole
+/// construct including the body.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Stmt {
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+}
+
+impl Stmt {
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
     /// `x = expr`
     Assign {
         target: String,
+        /// Span of the assignment target name.
+        target_span: Span,
         value: Expr,
     },
     /// `[a, b] = f(...)`
@@ -65,6 +99,8 @@ pub enum Stmt {
     /// `X[rows, cols] = expr`
     IndexAssign {
         target: String,
+        /// Span of the indexed target name.
+        target_span: Span,
         rows: IndexSel,
         cols: IndexSel,
         value: Expr,
@@ -76,6 +112,8 @@ pub enum Stmt {
     },
     For {
         var: String,
+        /// Span of the loop-variable name in the header.
+        var_span: Span,
         from: Expr,
         to: Expr,
         by: Option<Expr>,
@@ -96,6 +134,8 @@ pub enum Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionDef {
     pub name: String,
+    /// Span of the function name at the definition site.
+    pub name_span: Span,
     /// Parameter names with optional default expressions.
     pub params: Vec<(String, Option<Expr>)>,
     pub outputs: Vec<String>,

@@ -3,10 +3,14 @@
 //! builtins map onto the runtime's instruction set. The runtime's compiler
 //! passes (IDs, determinism, dedup, unmarking, reuse-aware rewrites) run as
 //! the final step.
+//!
+//! Source spans from the AST are threaded onto lowered instructions and
+//! `parfor` headers so analysis findings (DESIGN.md §14) can point back at
+//! the offending source construct.
 
-use crate::ast::{Arg, Expr, FunctionDef, IndexSel, Script, Stmt};
+use crate::ast::{Arg, Expr, ExprKind, FunctionDef, IndexSel, Script, Stmt, StmtKind};
 use crate::parser::{parse, ParseError};
-use lima_core::LimaConfig;
+use lima_core::{Diagnostic, LimaConfig, Span};
 use lima_matrix::ops::{AggFn, BinOp, TsmmSide, UnOp};
 use lima_runtime::instr::RandDistKind;
 use lima_runtime::{Block, ExprProg, Function, Instr, Op, Operand, Program};
@@ -14,15 +18,26 @@ use std::collections::HashSet;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-/// Compilation error (parse or lowering).
+/// Compilation error: the phase that failed plus enough structure to render
+/// a source-anchored diagnostic (DESIGN.md §14).
 #[derive(Debug, Clone, PartialEq)]
-pub struct CompileError {
-    pub msg: String,
+pub enum CompileError {
+    /// The script failed to lex or parse (codes `L0001`/`L0002`).
+    Parse(ParseError),
+    /// The AST could not be lowered onto the instruction set (code `L0003`):
+    /// unknown function, bad arity, malformed builtin arguments.
+    Lower { msg: String, span: Option<Span> },
+    /// Rejected by the runtime's static analysis passes (code `L0100`).
+    Analysis(lima_runtime::compiler::CompileError),
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.msg)
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Lower { msg, .. } => write!(f, "{msg}"),
+            CompileError::Analysis(e) => write!(f, "{e}"),
+        }
     }
 }
 
@@ -30,19 +45,58 @@ impl std::error::Error for CompileError {}
 
 impl From<ParseError> for CompileError {
     fn from(e: ParseError) -> Self {
-        CompileError { msg: e.to_string() }
+        CompileError::Parse(e)
     }
 }
 
-fn err<T>(msg: impl Into<String>) -> Result<T, CompileError> {
-    Err(CompileError { msg: msg.into() })
+impl From<lima_runtime::compiler::CompileError> for CompileError {
+    fn from(e: lima_runtime::compiler::CompileError) -> Self {
+        CompileError::Analysis(e)
+    }
+}
+
+impl CompileError {
+    /// The primary diagnostic for this error, with its source span when the
+    /// failing construct is known.
+    pub fn diagnostic(&self) -> Diagnostic {
+        match self {
+            CompileError::Parse(e) => e.diagnostic(),
+            CompileError::Lower { msg, span } => {
+                Diagnostic::error("L0003", msg.clone()).with_span_opt(*span)
+            }
+            CompileError::Analysis(e) => match e {
+                lima_runtime::compiler::CompileError::ParforDependence {
+                    violation, span, ..
+                } => Diagnostic::error(
+                    "L0100",
+                    format!("parfor cannot run in parallel: {violation}"),
+                )
+                .with_span_opt(*span)
+                .with_help(
+                    "parfor iterations must write provably disjoint cells; \
+                     use a plain `for` loop if the dependence is intended",
+                ),
+            },
+        }
+    }
+
+    /// All diagnostics carried by this error (currently always exactly one).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        vec![self.diagnostic()]
+    }
+}
+
+fn err<T>(span: Span, msg: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError::Lower {
+        msg: msg.into(),
+        span: Some(span),
+    })
 }
 
 /// Parses, lowers, and runs the runtime compiler passes on a script.
 pub fn compile_script(src: &str, config: &LimaConfig) -> Result<Program, CompileError> {
     let mut program = compile_script_uncompiled(src)?;
-    lima_runtime::compiler::compile(&mut program, config)
-        .map_err(|e| CompileError { msg: e.to_string() })?;
+    lima_runtime::compiler::compile(&mut program, config).map_err(CompileError::Analysis)?;
     Ok(program)
 }
 
@@ -50,7 +104,13 @@ pub fn compile_script(src: &str, config: &LimaConfig) -> Result<Program, Compile
 /// (tests and tooling).
 pub fn compile_script_uncompiled(src: &str) -> Result<Program, CompileError> {
     let ast = parse(src)?;
-    let mut lowerer = Lowerer::new(&ast);
+    lower_script(&ast, src)
+}
+
+/// Lowers an already-parsed script (the lint driver parses separately so it
+/// can also walk the AST).
+pub fn lower_script(ast: &Script, src: &str) -> Result<Program, CompileError> {
+    let mut lowerer = Lowerer::new(ast);
     let body = lowerer.lower_stmts(&ast.body)?;
     let mut program = Program::new(body);
     for fdef in &ast.functions {
@@ -72,6 +132,59 @@ fn fingerprint(src: &str) -> u64 {
     let mut h = lima_core::lineage::item::FxHasher::default();
     src.hash(&mut h);
     h.finish()
+}
+
+/// Structural expression equality ignoring spans (two occurrences of the
+/// same source text never share a span, so derived `PartialEq` on [`Expr`]
+/// is the wrong tool for pattern matching).
+fn same_expr(a: &Expr, b: &Expr) -> bool {
+    fn same_sel(a: &IndexSel, b: &IndexSel) -> bool {
+        match (a, b) {
+            (IndexSel::All, IndexSel::All) => true,
+            (IndexSel::Single(x), IndexSel::Single(y)) => same_expr(x, y),
+            (IndexSel::Range(x1, y1), IndexSel::Range(x2, y2)) => {
+                same_expr(x1, x2) && same_expr(y1, y2)
+            }
+            _ => false,
+        }
+    }
+    match (&a.kind, &b.kind) {
+        (ExprKind::Int(x), ExprKind::Int(y)) => x == y,
+        (ExprKind::Float(x), ExprKind::Float(y)) => x == y,
+        (ExprKind::Str(x), ExprKind::Str(y)) => x == y,
+        (ExprKind::Bool(x), ExprKind::Bool(y)) => x == y,
+        (ExprKind::Var(x), ExprKind::Var(y)) => x == y,
+        (ExprKind::Neg(x), ExprKind::Neg(y)) | (ExprKind::Not(x), ExprKind::Not(y)) => {
+            same_expr(x, y)
+        }
+        (ExprKind::Binary(o1, a1, b1), ExprKind::Binary(o2, a2, b2)) => {
+            o1 == o2 && same_expr(a1, a2) && same_expr(b1, b2)
+        }
+        (ExprKind::MatMul(a1, b1), ExprKind::MatMul(a2, b2)) => {
+            same_expr(a1, a2) && same_expr(b1, b2)
+        }
+        (ExprKind::Call { name: n1, args: a1 }, ExprKind::Call { name: n2, args: a2 }) => {
+            n1 == n2
+                && a1.len() == a2.len()
+                && a1
+                    .iter()
+                    .zip(a2)
+                    .all(|(x, y)| x.name == y.name && same_expr(&x.value, &y.value))
+        }
+        (
+            ExprKind::Index {
+                base: b1,
+                rows: r1,
+                cols: c1,
+            },
+            ExprKind::Index {
+                base: b2,
+                rows: r2,
+                cols: c2,
+            },
+        ) => same_expr(b1, b2) && same_sel(r1, r2) && same_sel(c1, c2),
+        _ => false,
+    }
 }
 
 struct Lowerer {
@@ -105,41 +218,42 @@ impl Lowerer {
             };
         }
         for stmt in stmts {
-            match stmt {
-                Stmt::Assign { target, value } => {
+            let sspan = stmt.span;
+            match &stmt.kind {
+                StmtKind::Assign { target, value, .. } => {
                     self.lower_expr_into(value, target, &mut current)?;
                 }
-                Stmt::MultiAssign { targets, call } => {
-                    let Expr::Call { name, args } = call else {
-                        return err("multi-assignment requires a call");
+                StmtKind::MultiAssign { targets, call } => {
+                    let ExprKind::Call { name, args } = &call.kind else {
+                        return err(call.span, "multi-assignment requires a call");
                     };
-                    self.lower_multi_call(name, args, targets, &mut current)?;
+                    self.lower_multi_call(name, args, targets, call.span, &mut current)?;
                 }
-                Stmt::IndexAssign {
+                StmtKind::IndexAssign {
                     target,
                     rows,
                     cols,
                     value,
+                    ..
                 } => {
                     let v = self.lower_expr(value, &mut current)?;
                     let rl = self.index_start(rows, &mut current)?;
                     let cl = self.index_start(cols, &mut current)?;
-                    current.push(Instr::new(
-                        Op::LeftIndex,
-                        vec![Operand::var(target), v, rl, cl],
-                        target,
-                    ));
+                    current.push(
+                        Instr::new(Op::LeftIndex, vec![Operand::var(target), v, rl, cl], target)
+                            .at(Some(sspan)),
+                    );
                 }
-                Stmt::Print(e) => {
+                StmtKind::Print(e) => {
                     let v = self.lower_expr(e, &mut current)?;
-                    current.push(Instr::effect(Op::Print, vec![v]));
+                    current.push(Instr::effect(Op::Print, vec![v]).at(Some(sspan)));
                 }
-                Stmt::Write(e, path) => {
+                StmtKind::Write(e, path) => {
                     let v = self.lower_expr(e, &mut current)?;
                     let p = self.lower_expr(path, &mut current)?;
-                    current.push(Instr::effect(Op::Write, vec![v, p]));
+                    current.push(Instr::effect(Op::Write, vec![v, p]).at(Some(sspan)));
                 }
-                Stmt::If {
+                StmtKind::If {
                     cond,
                     then_body,
                     else_body,
@@ -150,15 +264,19 @@ impl Lowerer {
                     let e = self.lower_stmts(else_body)?;
                     blocks.push(Block::if_else(pred, t, e));
                 }
-                Stmt::For {
+                StmtKind::For {
                     var,
                     from,
                     to,
                     by,
                     body,
                     parallel,
+                    ..
                 } => {
                     flush!();
+                    // Header span: from the loop keyword through the bounds.
+                    let header_end = by.as_ref().map(|b| b.span.end).unwrap_or(to.span.end);
+                    let header = Span::new(sspan.start, header_end);
                     let from = self.lower_expr_prog(from)?;
                     let to = self.lower_expr_prog(to)?;
                     let by = match by {
@@ -167,12 +285,12 @@ impl Lowerer {
                     };
                     let b = self.lower_stmts(body)?;
                     blocks.push(if *parallel {
-                        Block::parfor(var, from, to, by, b)
+                        Block::parfor(var, from, to, by, b).with_span(Some(header))
                     } else {
                         Block::for_loop(var, from, to, by, b)
                     });
                 }
-                Stmt::While { cond, body } => {
+                StmtKind::While { cond, body } => {
                     flush!();
                     let pred = self.lower_expr_prog(cond)?;
                     let b = self.lower_stmts(body)?;
@@ -211,43 +329,48 @@ impl Lowerer {
                     .find(|i| i.outputs.len() == 1 && i.outputs[0] == v);
                 match last {
                     Some(i) if v.starts_with("_t") => i.outputs[0] = target.to_string(),
-                    _ => instrs.push(Instr::new(Op::Assign, vec![Operand::Var(v)], target)),
+                    _ => instrs.push(
+                        Instr::new(Op::Assign, vec![Operand::Var(v)], target).at(Some(e.span)),
+                    ),
                 }
             }
-            other => instrs.push(Instr::new(Op::Assign, vec![other], target)),
+            other => instrs.push(Instr::new(Op::Assign, vec![other], target).at(Some(e.span))),
         }
         Ok(())
     }
 
     fn lower_expr(&mut self, e: &Expr, instrs: &mut Vec<Instr>) -> Result<Operand, CompileError> {
-        Ok(match e {
-            Expr::Int(v) => Operand::i64(*v),
-            Expr::Float(v) => Operand::f64(*v),
-            Expr::Str(s) => Operand::str(s),
-            Expr::Bool(b) => Operand::bool(*b),
-            Expr::Var(v) => Operand::var(v),
-            Expr::Neg(inner) => {
+        let span = e.span;
+        Ok(match &e.kind {
+            ExprKind::Int(v) => Operand::i64(*v),
+            ExprKind::Float(v) => Operand::f64(*v),
+            ExprKind::Str(s) => Operand::str(s),
+            ExprKind::Bool(b) => Operand::bool(*b),
+            ExprKind::Var(v) => Operand::var(v),
+            ExprKind::Neg(inner) => {
                 let v = self.lower_expr(inner, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Unary(UnOp::Neg), vec![v], &out));
+                instrs.push(Instr::new(Op::Unary(UnOp::Neg), vec![v], &out).at(Some(span)));
                 Operand::var(out)
             }
-            Expr::Not(inner) => {
+            ExprKind::Not(inner) => {
                 let v = self.lower_expr(inner, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Unary(UnOp::Not), vec![v], &out));
+                instrs.push(Instr::new(Op::Unary(UnOp::Not), vec![v], &out).at(Some(span)));
                 Operand::var(out)
             }
-            Expr::Binary(op, a, b) => {
+            ExprKind::Binary(op, a, b) => {
                 let va = self.lower_expr(a, instrs)?;
                 let vb = self.lower_expr(b, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Binary(*op), vec![va, vb], &out));
+                instrs.push(Instr::new(Op::Binary(*op), vec![va, vb], &out).at(Some(span)));
                 Operand::var(out)
             }
-            Expr::MatMul(a, b) => self.lower_matmul(a, b, instrs)?,
-            Expr::Call { name, args } => self.lower_call(name, args, instrs)?,
-            Expr::Index { base, rows, cols } => self.lower_index(base, rows, cols, instrs)?,
+            ExprKind::MatMul(a, b) => self.lower_matmul(a, b, span, instrs)?,
+            ExprKind::Call { name, args } => self.lower_call(name, args, span, instrs)?,
+            ExprKind::Index { base, rows, cols } => {
+                self.lower_index(base, rows, cols, span, instrs)?
+            }
         })
     }
 
@@ -257,11 +380,12 @@ impl Lowerer {
         &mut self,
         a: &Expr,
         b: &Expr,
+        span: Span,
         instrs: &mut Vec<Instr>,
     ) -> Result<Operand, CompileError> {
         fn transposed_of(e: &Expr) -> Option<&Expr> {
-            match e {
-                Expr::Call { name, args }
+            match &e.kind {
+                ExprKind::Call { name, args }
                     if name == "t" && args.len() == 1 && args[0].name.is_none() =>
                 {
                     Some(&args[0].value)
@@ -270,25 +394,25 @@ impl Lowerer {
             }
         }
         if let Some(inner) = transposed_of(a) {
-            if inner == b {
+            if same_expr(inner, b) {
                 let v = self.lower_expr(inner, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Tsmm(TsmmSide::Left), vec![v], &out));
+                instrs.push(Instr::new(Op::Tsmm(TsmmSide::Left), vec![v], &out).at(Some(span)));
                 return Ok(Operand::var(out));
             }
         }
         if let Some(inner) = transposed_of(b) {
-            if inner == a {
+            if same_expr(inner, a) {
                 let v = self.lower_expr(inner, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Tsmm(TsmmSide::Right), vec![v], &out));
+                instrs.push(Instr::new(Op::Tsmm(TsmmSide::Right), vec![v], &out).at(Some(span)));
                 return Ok(Operand::var(out));
             }
         }
         let va = self.lower_expr(a, instrs)?;
         let vb = self.lower_expr(b, instrs)?;
         let out = self.temp();
-        instrs.push(Instr::new(Op::MatMult, vec![va, vb], &out));
+        instrs.push(Instr::new(Op::MatMult, vec![va, vb], &out).at(Some(span)));
         Ok(Operand::var(out))
     }
 
@@ -309,6 +433,7 @@ impl Lowerer {
         base: &Expr,
         rows: &IndexSel,
         cols: &IndexSel,
+        span: Span,
         instrs: &mut Vec<Instr>,
     ) -> Result<Operand, CompileError> {
         let mut cur = self.lower_expr(base, instrs)?;
@@ -318,7 +443,7 @@ impl Lowerer {
             let (rl, ru) = self.range_ops(rows, instrs)?;
             let (cl, cu) = self.range_ops(cols, instrs)?;
             let out = self.temp();
-            instrs.push(Instr::new(Op::RightIndex, vec![cur, rl, ru, cl, cu], &out));
+            instrs.push(Instr::new(Op::RightIndex, vec![cur, rl, ru, cl, cu], &out).at(Some(span)));
             return Ok(Operand::var(out));
         }
         // Single selectors use select-rows/cols (scalar positions and
@@ -328,18 +453,21 @@ impl Lowerer {
             IndexSel::Single(e) => {
                 let idx = self.lower_expr(e, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(Op::SelectRows, vec![cur, idx], &out));
+                instrs.push(Instr::new(Op::SelectRows, vec![cur, idx], &out).at(Some(span)));
                 cur = Operand::var(out);
             }
             IndexSel::Range(a, b) => {
                 let rl = self.lower_expr(a, instrs)?;
                 let ru = self.lower_expr(b, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(
-                    Op::RightIndex,
-                    vec![cur, rl, ru, Operand::i64(1), Operand::i64(0)],
-                    &out,
-                ));
+                instrs.push(
+                    Instr::new(
+                        Op::RightIndex,
+                        vec![cur, rl, ru, Operand::i64(1), Operand::i64(0)],
+                        &out,
+                    )
+                    .at(Some(span)),
+                );
                 cur = Operand::var(out);
             }
         }
@@ -348,18 +476,21 @@ impl Lowerer {
             IndexSel::Single(e) => {
                 let idx = self.lower_expr(e, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(Op::SelectCols, vec![cur, idx], &out));
+                instrs.push(Instr::new(Op::SelectCols, vec![cur, idx], &out).at(Some(span)));
                 cur = Operand::var(out);
             }
             IndexSel::Range(a, b) => {
                 let cl = self.lower_expr(a, instrs)?;
                 let cu = self.lower_expr(b, instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(
-                    Op::RightIndex,
-                    vec![cur, Operand::i64(1), Operand::i64(0), cl, cu],
-                    &out,
-                ));
+                instrs.push(
+                    Instr::new(
+                        Op::RightIndex,
+                        vec![cur, Operand::i64(1), Operand::i64(0), cl, cu],
+                        &out,
+                    )
+                    .at(Some(span)),
+                );
                 cur = Operand::var(out);
             }
         }
@@ -385,26 +516,28 @@ impl Lowerer {
         name: &str,
         args: &[Arg],
         targets: &[String],
+        span: Span,
         instrs: &mut Vec<Instr>,
     ) -> Result<(), CompileError> {
         if name == "eigen" {
             if targets.len() != 2 || args.len() != 1 {
-                return err("eigen returns [values, vectors] and takes one argument");
+                return err(
+                    span,
+                    "eigen returns [values, vectors] and takes one argument",
+                );
             }
             let c = self.lower_expr(&args[0].value, instrs)?;
-            instrs.push(Instr::multi(Op::Eigen, vec![c], targets.to_vec()));
+            instrs.push(Instr::multi(Op::Eigen, vec![c], targets.to_vec()).at(Some(span)));
             return Ok(());
         }
         if self.user_functions.contains(name) {
-            let inputs = self.user_call_args(name, args, instrs)?;
-            instrs.push(Instr::multi(
-                Op::FCall(name.to_string()),
-                inputs,
-                targets.to_vec(),
-            ));
+            let inputs = self.user_call_args(name, args, span, instrs)?;
+            instrs.push(
+                Instr::multi(Op::FCall(name.to_string()), inputs, targets.to_vec()).at(Some(span)),
+            );
             return Ok(());
         }
-        err(format!("'{name}' is not a multi-return function"))
+        err(span, format!("'{name}' is not a multi-return function"))
     }
 
     /// Resolves user-function call arguments (positional + named + defaults)
@@ -413,6 +546,7 @@ impl Lowerer {
         &mut self,
         name: &str,
         args: &[Arg],
+        call_span: Span,
         instrs: &mut Vec<Instr>,
     ) -> Result<Vec<Operand>, CompileError> {
         let fdef = self
@@ -420,34 +554,38 @@ impl Lowerer {
             .iter()
             .find(|f| f.name == name)
             .cloned()
-            .ok_or_else(|| CompileError {
+            .ok_or(CompileError::Lower {
                 msg: format!("unknown function '{name}'"),
+                span: Some(call_span),
             })?;
         let mut slots: Vec<Option<Operand>> = vec![None; fdef.params.len()];
         let mut pos = 0usize;
         for arg in args {
             let idx = match &arg.name {
-                Some(n) => fdef
-                    .params
-                    .iter()
-                    .position(|(p, _)| p == n)
-                    .ok_or_else(|| CompileError {
-                        msg: format!("function '{name}' has no parameter '{n}'"),
-                    })?,
+                Some(n) => {
+                    fdef.params
+                        .iter()
+                        .position(|(p, _)| p == n)
+                        .ok_or(CompileError::Lower {
+                            msg: format!("function '{name}' has no parameter '{n}'"),
+                            span: Some(arg.value.span),
+                        })?
+                }
                 None => {
                     while pos < slots.len() && slots[pos].is_some() {
                         pos += 1;
                     }
                     if pos >= slots.len() {
-                        return err(format!("too many arguments for '{name}'"));
+                        return err(arg.value.span, format!("too many arguments for '{name}'"));
                     }
                     pos
                 }
             };
             if slots[idx].is_some() {
-                return err(format!(
-                    "duplicate argument for parameter {idx} of '{name}'"
-                ));
+                return err(
+                    arg.value.span,
+                    format!("duplicate argument for parameter {idx} of '{name}'"),
+                );
             }
             slots[idx] = Some(self.lower_expr(&arg.value, instrs)?);
         }
@@ -457,7 +595,10 @@ impl Lowerer {
                 (Some(v), _) => out.push(v),
                 (None, Some(d)) => out.push(self.lower_expr(d, instrs)?),
                 (None, None) => {
-                    return err(format!("missing argument '{pname}' for '{name}'"));
+                    return err(
+                        call_span,
+                        format!("missing argument '{pname}' for '{name}'"),
+                    );
                 }
             }
         }
@@ -468,17 +609,16 @@ impl Lowerer {
         &mut self,
         name: &str,
         args: &[Arg],
+        span: Span,
         instrs: &mut Vec<Instr>,
     ) -> Result<Operand, CompileError> {
         // User functions first: single-output call in expression position.
         if self.user_functions.contains(name) {
-            let inputs = self.user_call_args(name, args, instrs)?;
+            let inputs = self.user_call_args(name, args, span, instrs)?;
             let out = self.temp();
-            instrs.push(Instr::multi(
-                Op::FCall(name.to_string()),
-                inputs,
-                vec![out.clone()],
-            ));
+            instrs.push(
+                Instr::multi(Op::FCall(name.to_string()), inputs, vec![out.clone()]).at(Some(span)),
+            );
             return Ok(Operand::var(out));
         }
 
@@ -493,23 +633,23 @@ impl Lowerer {
         macro_rules! one {
             ($op:expr) => {{
                 if positional.len() != 1 || args.len() != 1 {
-                    return err(format!("'{name}' takes one argument"));
+                    return err(span, format!("'{name}' takes one argument"));
                 }
                 let v = self.lower_expr(positional[0], instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new($op, vec![v], &out));
+                instrs.push(Instr::new($op, vec![v], &out).at(Some(span)));
                 Ok(Operand::var(out))
             }};
         }
         macro_rules! two {
             ($op:expr) => {{
                 if positional.len() != 2 || args.len() != 2 {
-                    return err(format!("'{name}' takes two arguments"));
+                    return err(span, format!("'{name}' takes two arguments"));
                 }
                 let a = self.lower_expr(positional[0], instrs)?;
                 let b = self.lower_expr(positional[1], instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new($op, vec![a, b], &out));
+                instrs.push(Instr::new($op, vec![a, b], &out).at(Some(span)));
                 Ok(Operand::var(out))
             }};
         }
@@ -533,7 +673,7 @@ impl Lowerer {
                 match positional.len() {
                     1 => one!(Op::FullAgg(f)),
                     2 => two!(Op::Binary(b)),
-                    _ => err(format!("'{name}' takes one or two arguments")),
+                    _ => err(span, format!("'{name}' takes one or two arguments")),
                 }
             }
             "colSums" => one!(Op::ColAgg(AggFn::Sum)),
@@ -567,7 +707,7 @@ impl Lowerer {
             "read" => one!(Op::Read),
             "cbind" | "rbind" => {
                 if positional.len() < 2 {
-                    return err(format!("'{name}' takes at least two arguments"));
+                    return err(span, format!("'{name}' takes at least two arguments"));
                 }
                 let op = if name == "cbind" {
                     Op::Cbind
@@ -578,7 +718,7 @@ impl Lowerer {
                 for p in &positional[1..] {
                     let rhs = self.lower_expr(p, instrs)?;
                     let out = self.temp();
-                    instrs.push(Instr::new(op.clone(), vec![acc, rhs], &out));
+                    instrs.push(Instr::new(op.clone(), vec![acc, rhs], &out).at(Some(span)));
                     acc = Operand::var(out);
                 }
                 Ok(acc)
@@ -589,57 +729,59 @@ impl Lowerer {
                     let r = self.lower_expr(positional[1], instrs)?;
                     let c = self.lower_expr(positional[2], instrs)?;
                     let out = self.temp();
-                    instrs.push(Instr::new(Op::Fill, vec![v, r, c], &out));
+                    instrs.push(Instr::new(Op::Fill, vec![v, r, c], &out).at(Some(span)));
                     Ok(Operand::var(out))
                 } else if positional.len() == 1 {
                     // matrix(X, rows=, cols=): reshape
                     let x = self.lower_expr(positional[0], instrs)?;
                     let (Some(r), Some(c)) = (named("rows"), named("cols")) else {
-                        return err("matrix(X, rows=, cols=) requires named dims");
+                        return err(span, "matrix(X, rows=, cols=) requires named dims");
                     };
                     let r = self.lower_expr(&r.value, instrs)?;
                     let c = self.lower_expr(&c.value, instrs)?;
                     let out = self.temp();
-                    instrs.push(Instr::new(Op::Reshape, vec![x, r, c], &out));
+                    instrs.push(Instr::new(Op::Reshape, vec![x, r, c], &out).at(Some(span)));
                     Ok(Operand::var(out))
                 } else {
-                    err("matrix() takes (v, rows, cols) or (X, rows=, cols=)")
+                    err(span, "matrix() takes (v, rows, cols) or (X, rows=, cols=)")
                 }
             }
             "rand" => {
                 let get = |n: &str| named(n).map(|a| a.value.clone());
-                let rows = get("rows").ok_or_else(|| CompileError {
-                    msg: "rand requires rows=".into(),
-                })?;
-                let cols = get("cols").ok_or_else(|| CompileError {
-                    msg: "rand requires cols=".into(),
-                })?;
-                let kind = match get("pdf") {
-                    Some(Expr::Str(s)) if s == "normal" => RandDistKind::Normal,
-                    Some(Expr::Str(s)) if s == "uniform" => RandDistKind::Uniform,
-                    None => RandDistKind::Uniform,
-                    Some(other) => {
-                        return err(format!("rand pdf must be a string literal, got {other:?}"))
-                    }
+                let lit = |k: ExprKind| Expr::new(k, Span::point(span.end as usize));
+                let Some(rows) = get("rows") else {
+                    return err(span, "rand requires rows=");
                 };
-                let (p1_default, p2_default) = match kind {
-                    RandDistKind::Uniform => (Expr::Float(0.0), Expr::Float(1.0)),
-                    RandDistKind::Normal => (Expr::Float(0.0), Expr::Float(1.0)),
+                let Some(cols) = get("cols") else {
+                    return err(span, "rand requires cols=");
+                };
+                let kind = match get("pdf") {
+                    None => RandDistKind::Uniform,
+                    Some(e) => match &e.kind {
+                        ExprKind::Str(s) if s == "normal" => RandDistKind::Normal,
+                        ExprKind::Str(s) if s == "uniform" => RandDistKind::Uniform,
+                        other => {
+                            return err(
+                                e.span,
+                                format!("rand pdf must be a string literal, got {other:?}"),
+                            )
+                        }
+                    },
                 };
                 let p1 = get(if kind == RandDistKind::Uniform {
                     "min"
                 } else {
                     "mean"
                 })
-                .unwrap_or(p1_default);
+                .unwrap_or_else(|| lit(ExprKind::Float(0.0)));
                 let p2 = get(if kind == RandDistKind::Uniform {
                     "max"
                 } else {
                     "sd"
                 })
-                .unwrap_or(p2_default);
-                let sparsity = get("sparsity").unwrap_or(Expr::Float(1.0));
-                let seed = get("seed").unwrap_or(Expr::Int(-1));
+                .unwrap_or_else(|| lit(ExprKind::Float(1.0)));
+                let sparsity = get("sparsity").unwrap_or_else(|| lit(ExprKind::Float(1.0)));
+                let seed = get("seed").unwrap_or_else(|| lit(ExprKind::Int(-1)));
                 let ins = vec![
                     self.lower_expr(&rows, instrs)?,
                     self.lower_expr(&cols, instrs)?,
@@ -649,12 +791,12 @@ impl Lowerer {
                     self.lower_expr(&seed, instrs)?,
                 ];
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Rand(kind), ins, &out));
+                instrs.push(Instr::new(Op::Rand(kind), ins, &out).at(Some(span)));
                 Ok(Operand::var(out))
             }
             "sample" => {
                 if positional.len() < 2 || positional.len() > 3 {
-                    return err("sample takes (range, size[, seed])");
+                    return err(span, "sample takes (range, size[, seed])");
                 }
                 let range = self.lower_expr(positional[0], instrs)?;
                 let size = self.lower_expr(positional[1], instrs)?;
@@ -664,12 +806,12 @@ impl Lowerer {
                     Operand::i64(-1)
                 };
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Sample, vec![range, size, seed], &out));
+                instrs.push(Instr::new(Op::Sample, vec![range, size, seed], &out).at(Some(span)));
                 Ok(Operand::var(out))
             }
             "seq" => {
                 if positional.len() < 2 || positional.len() > 3 {
-                    return err("seq takes (from, to[, by])");
+                    return err(span, "seq takes (from, to[, by])");
                 }
                 let f = self.lower_expr(positional[0], instrs)?;
                 let t = self.lower_expr(positional[1], instrs)?;
@@ -679,12 +821,12 @@ impl Lowerer {
                     Operand::f64(1.0)
                 };
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Seq, vec![f, t, b], &out));
+                instrs.push(Instr::new(Op::Seq, vec![f, t, b], &out).at(Some(span)));
                 Ok(Operand::var(out))
             }
             "order" => {
                 if positional.is_empty() {
-                    return err("order takes (V[, decreasing])");
+                    return err(span, "order takes (V[, decreasing])");
                 }
                 let v = self.lower_expr(positional[0], instrs)?;
                 let dec = match named("decreasing") {
@@ -693,7 +835,7 @@ impl Lowerer {
                     None => Operand::bool(false),
                 };
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Order, vec![v, dec], &out));
+                instrs.push(Instr::new(Op::Order, vec![v, dec], &out).at(Some(span)));
                 Ok(Operand::var(out))
             }
             "list" => {
@@ -702,32 +844,35 @@ impl Lowerer {
                     ins.push(self.lower_expr(p, instrs)?);
                 }
                 let out = self.temp();
-                instrs.push(Instr::new(Op::ListNew, ins, &out));
+                instrs.push(Instr::new(Op::ListNew, ins, &out).at(Some(span)));
                 Ok(Operand::var(out))
             }
             "getElement" => two!(Op::ListGet),
             "toString" => {
                 if positional.len() != 1 {
-                    return err("toString takes one argument");
+                    return err(span, "toString takes one argument");
                 }
                 let v = self.lower_expr(positional[0], instrs)?;
                 let out = self.temp();
-                instrs.push(Instr::new(Op::Concat, vec![Operand::str(""), v], &out));
+                instrs.push(Instr::new(Op::Concat, vec![Operand::str(""), v], &out).at(Some(span)));
                 Ok(Operand::var(out))
             }
             "lineage" => {
                 if positional.len() != 1 {
-                    return err("lineage takes one variable argument");
+                    return err(span, "lineage takes one variable argument");
                 }
-                let Expr::Var(v) = positional[0] else {
-                    return err("lineage() requires a variable, not an expression");
+                let ExprKind::Var(v) = &positional[0].kind else {
+                    return err(
+                        positional[0].span,
+                        "lineage() requires a variable, not an expression",
+                    );
                 };
                 let out = self.temp();
-                instrs.push(Instr::new(Op::LineageOf, vec![Operand::var(v)], &out));
+                instrs.push(Instr::new(Op::LineageOf, vec![Operand::var(v)], &out).at(Some(span)));
                 Ok(Operand::var(out))
             }
-            "eigen" => err("eigen must be used as [evals, evects] = eigen(C)"),
-            other => err(format!("unknown function '{other}'")),
+            "eigen" => err(span, "eigen must be used as [evals, evects] = eigen(C)"),
+            other => err(span, format!("unknown function '{other}'")),
         }
     }
 }
@@ -917,6 +1062,41 @@ mod tests {
         .is_err());
         assert!(compile_script("x = eigen(C)", &LimaConfig::base()).is_err());
         assert!(compile_script("x = 1 +", &LimaConfig::base()).is_err());
+    }
+
+    #[test]
+    fn compile_errors_carry_spans_and_codes() {
+        // Lowering error: the unknown call's span is anchored on the call.
+        let src = "x = unknownFn(1);";
+        let err = compile_script(src, &LimaConfig::base()).unwrap_err();
+        let d = err.diagnostic();
+        assert_eq!(d.code, "L0003");
+        let span = d.primary.expect("lowering errors carry a span");
+        assert_eq!(&src[span.start as usize..span.end as usize], "unknownFn(1)");
+
+        // Parse errors survive the From conversion intact (no stringifying).
+        let err = compile_script("x = 1 +", &LimaConfig::base()).unwrap_err();
+        match &err {
+            CompileError::Parse(p) => {
+                assert_eq!(p.code, "L0002");
+                assert!(p.span.in_bounds("x = 1 +".len()));
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        assert_eq!(err.diagnostic().code, "L0002");
+
+        // Analysis errors keep the structured violation and gain a span.
+        let src = "R = matrix(0, 4, 1);\nparfor (i in 1:4) { R[1, 1] = as.matrix(i); }";
+        let err = compile_script(src, &LimaConfig::lima()).unwrap_err();
+        let d = err.diagnostic();
+        assert_eq!(d.code, "L0100");
+        let span = d.primary.expect("parfor dependence carries a span");
+        assert!(span.in_bounds(src.len()));
+        assert!(
+            &src[span.start as usize..span.end as usize].contains("R[1, 1]"),
+            "span should cover the racy write, got {:?}",
+            &src[span.start as usize..span.end as usize]
+        );
     }
 
     #[test]

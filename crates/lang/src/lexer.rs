@@ -1,5 +1,10 @@
 //! Lexer for the DML subset.
+//!
+//! Every token carries a byte-offset [`Span`] into the original source so
+//! parse errors and downstream lint diagnostics can render caret snippets
+//! (DESIGN.md §14). Lines are still tracked for legacy `line N:` messages.
 
+use lima_core::Span;
 use std::fmt;
 
 /// Token kinds.
@@ -48,18 +53,20 @@ pub enum TokenKind {
     Eof,
 }
 
-/// A token with its source line (1-based) for diagnostics.
+/// A token with its source line (1-based) and byte span for diagnostics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     pub kind: TokenKind,
     pub line: usize,
+    pub span: Span,
 }
 
-/// Lexing error.
+/// Lexing error, anchored to the offending byte range.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LexError {
     pub line: usize,
     pub msg: String,
+    pub span: Span,
 }
 
 impl fmt::Display for LexError {
@@ -73,10 +80,18 @@ impl std::error::Error for LexError {}
 /// Tokenizes a script. `#` starts a line comment.
 pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
-    let chars: Vec<char> = src.chars().collect();
+    // Parallel arrays: chars plus the byte offset of each char; a sentinel
+    // offset at the end maps `i == chars.len()` to `src.len()`.
+    let mut chars: Vec<char> = Vec::new();
+    let mut offs: Vec<usize> = Vec::new();
+    for (off, c) in src.char_indices() {
+        offs.push(off);
+        chars.push(c);
+    }
+    offs.push(src.len());
     let mut i = 0;
     let mut line = 1;
-    let err = |line: usize, msg: String| LexError { line, msg };
+    let err = |line: usize, msg: String, span: Span| LexError { line, msg, span };
     while i < chars.len() {
         let c = chars[i];
         match c {
@@ -113,19 +128,20 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
+                let span = Span::of(offs[start], offs[i]);
                 let text: String = chars[start..i].iter().collect();
                 let kind = if is_float {
                     TokenKind::Float(
                         text.parse()
-                            .map_err(|_| err(line, format!("bad number '{text}'")))?,
+                            .map_err(|_| err(line, format!("bad number '{text}'"), span))?,
                     )
                 } else {
                     TokenKind::Int(
                         text.parse()
-                            .map_err(|_| err(line, format!("bad integer '{text}'")))?,
+                            .map_err(|_| err(line, format!("bad integer '{text}'"), span))?,
                     )
                 };
-                tokens.push(Token { kind, line });
+                tokens.push(Token { kind, line, span });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
@@ -148,26 +164,40 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     "return" => TokenKind::Return,
                     _ => TokenKind::Ident(text),
                 };
-                tokens.push(Token { kind, line });
+                tokens.push(Token {
+                    kind,
+                    line,
+                    span: Span::of(offs[start], offs[i]),
+                });
             }
             '\'' | '"' => {
                 let quote = c;
+                let open = i;
                 i += 1;
                 let start = i;
                 while i < chars.len() && chars[i] != quote {
                     if chars[i] == '\n' {
-                        return Err(err(line, "unterminated string".into()));
+                        return Err(err(
+                            line,
+                            "unterminated string".into(),
+                            Span::of(offs[open], offs[i]),
+                        ));
                     }
                     i += 1;
                 }
                 if i >= chars.len() {
-                    return Err(err(line, "unterminated string".into()));
+                    return Err(err(
+                        line,
+                        "unterminated string".into(),
+                        Span::of(offs[open], src.len()),
+                    ));
                 }
                 let text: String = chars[start..i].iter().collect();
                 i += 1;
                 tokens.push(Token {
                     kind: TokenKind::Str(text),
                     line,
+                    span: Span::of(offs[open], offs[i]),
                 });
             }
             '%' => {
@@ -176,10 +206,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token {
                         kind: TokenKind::MatMul,
                         line,
+                        span: Span::of(offs[i], offs[i + 3]),
                     });
                     i += 3;
                 } else {
-                    return Err(err(line, "unsupported '%' operator (only %*%)".into()));
+                    return Err(err(
+                        line,
+                        "unsupported '%' operator (only %*%)".into(),
+                        Span::of(offs[i], offs[i + 1]),
+                    ));
                 }
             }
             _ => {
@@ -210,9 +245,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     ',' => (TokenKind::Comma, 1),
                     ':' => (TokenKind::Colon, 1),
                     ';' => (TokenKind::Semicolon, 1),
-                    other => return Err(err(line, format!("unexpected character '{other}'"))),
+                    other => {
+                        return Err(err(
+                            line,
+                            format!("unexpected character '{other}'"),
+                            Span::of(offs[i], offs[i + 1]),
+                        ))
+                    }
                 };
-                tokens.push(Token { kind, line });
+                tokens.push(Token {
+                    kind,
+                    line,
+                    span: Span::of(offs[i], offs[i + len]),
+                });
                 i += len;
             }
         }
@@ -220,6 +265,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
     tokens.push(Token {
         kind: TokenKind::Eof,
         line,
+        span: Span::point(src.len()),
     });
     Ok(tokens)
 }
@@ -314,5 +360,51 @@ mod tests {
     #[test]
     fn unexpected_characters_error() {
         assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let src = "ab = 12;\ncd = ab %*% ef";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks[0].span, Span::of(0, 2)); // ab
+        assert_eq!(toks[1].span, Span::of(3, 4)); // =
+        assert_eq!(toks[2].span, Span::of(5, 7)); // 12
+        assert_eq!(toks[3].span, Span::of(7, 8)); // ;
+        assert_eq!(toks[4].span, Span::of(9, 11)); // cd
+        assert_eq!(toks[7].span, Span::of(17, 20)); // %*%
+        let eof = toks.last().unwrap();
+        assert_eq!(eof.span, Span::point(src.len()));
+        // Every span is in bounds and ordered.
+        for t in &toks {
+            assert!(t.span.in_bounds(src.len()), "{:?}", t);
+        }
+    }
+
+    #[test]
+    fn spans_handle_multibyte_chars() {
+        // 'é' is 2 bytes; the string token's span must land on char
+        // boundaries of the original source.
+        let src = "s = 'éé'; t = 1";
+        let toks = tokenize(src).unwrap();
+        let str_tok = &toks[2];
+        assert!(matches!(str_tok.kind, TokenKind::Str(_)));
+        assert_eq!(
+            &src[str_tok.span.start as usize..str_tok.span.end as usize],
+            "'éé'"
+        );
+        for t in &toks {
+            assert!(src.is_char_boundary(t.span.start as usize));
+            assert!(src.is_char_boundary(t.span.end as usize));
+        }
+    }
+
+    #[test]
+    fn lex_errors_carry_spans() {
+        let e = tokenize("a @ b").unwrap_err();
+        assert_eq!(e.span, Span::of(2, 3));
+        let e = tokenize("x = 'oops").unwrap_err();
+        assert_eq!(e.span, Span::of(4, 9));
+        let e = tokenize("a %% b").unwrap_err();
+        assert_eq!(e.span, Span::of(2, 3));
     }
 }

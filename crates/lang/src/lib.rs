@@ -24,8 +24,10 @@
 pub mod ast;
 pub mod compile;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 
-pub use compile::{compile_script, compile_script_uncompiled, CompileError};
+pub use compile::{compile_script, compile_script_uncompiled, lower_script, CompileError};
 pub use lexer::{tokenize, LexError, Token, TokenKind};
+pub use lint::{build_model, lint_script};
 pub use parser::{parse, ParseError};

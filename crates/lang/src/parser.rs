@@ -3,17 +3,32 @@
 //! Operator precedence (loosest to tightest), following R:
 //! `|`, `&`, `!`, comparisons, `+ -`, `* /`, `%*%`, unary `-`, `^`
 //! (right-associative), postfix indexing.
+//!
+//! Every AST node carries the byte span of the source text it was parsed
+//! from; [`ParseError`] is likewise span-anchored and converts to a
+//! [`Diagnostic`] for caret rendering.
 
-use crate::ast::{Arg, Expr, FunctionDef, IndexSel, Script, Stmt};
+use crate::ast::{Arg, Expr, ExprKind, FunctionDef, IndexSel, Script, Stmt, StmtKind};
 use crate::lexer::{tokenize, Token, TokenKind};
+use lima_core::{Diagnostic, Span};
 use lima_matrix::ops::BinOp;
 use std::fmt;
 
-/// Parse error with source line.
+/// Parse error with source line, byte span, and diagnostic code
+/// (`L0001` lexical, `L0002` syntactic).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     pub line: usize,
     pub msg: String,
+    pub span: Span,
+    pub code: &'static str,
+}
+
+impl ParseError {
+    /// Converts to a renderable diagnostic.
+    pub fn diagnostic(&self) -> Diagnostic {
+        Diagnostic::error(self.code, self.msg.clone()).with_span(self.span)
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -29,6 +44,8 @@ impl From<crate::lexer::LexError> for ParseError {
         ParseError {
             line: e.line,
             msg: e.msg,
+            span: e.span,
+            code: "L0001",
         }
     }
 }
@@ -36,13 +53,19 @@ impl From<crate::lexer::LexError> for ParseError {
 /// Parses a script into an AST.
 pub fn parse(src: &str) -> Result<Script, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        last_end: 0,
+    };
     p.script()
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// End offset of the most recently consumed token.
+    last_end: u32,
 }
 
 impl Parser {
@@ -58,8 +81,25 @@ impl Parser {
         self.tokens[self.pos].line
     }
 
+    /// Span of the current (not yet consumed) token.
+    fn cur_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    /// Start offset of the current token — the start of whatever node is
+    /// about to be parsed.
+    fn start(&self) -> u32 {
+        self.cur_span().start
+    }
+
+    /// Span from `start` to the end of the last consumed token.
+    fn span_from(&self, start: u32) -> Span {
+        Span::new(start, self.last_end.max(start))
+    }
+
     fn next(&mut self) -> TokenKind {
         let t = self.tokens[self.pos].kind.clone();
+        self.last_end = self.tokens[self.pos].span.end;
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -70,6 +110,8 @@ impl Parser {
         Err(ParseError {
             line: self.line(),
             msg: msg.into(),
+            span: self.cur_span(),
+            code: "L0002",
         })
     }
 
@@ -82,14 +124,19 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+    fn ident_spanned(&mut self, what: &str) -> Result<(String, Span), ParseError> {
         match self.peek().clone() {
             TokenKind::Ident(name) => {
+                let span = self.cur_span();
                 self.next();
-                Ok(name)
+                Ok((name, span))
             }
             other => self.err(format!("expected {what}, found {other:?}")),
         }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        self.ident_spanned(what).map(|(n, _)| n)
     }
 
     fn skip_semis(&mut self) {
@@ -122,7 +169,7 @@ impl Parser {
     }
 
     fn function_def(&mut self) -> Result<FunctionDef, ParseError> {
-        let name = self.ident("function name")?;
+        let (name, name_span) = self.ident_spanned("function name")?;
         self.expect(&TokenKind::Assign, "'='")?;
         self.expect(&TokenKind::Function, "'function'")?;
         self.expect(&TokenKind::LParen, "'('")?;
@@ -154,6 +201,7 @@ impl Parser {
         let body = self.block()?;
         Ok(FunctionDef {
             name,
+            name_span,
             params,
             outputs,
             body,
@@ -178,6 +226,7 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.start();
         match self.peek().clone() {
             TokenKind::If => {
                 self.next();
@@ -195,17 +244,20 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If {
-                    cond,
-                    then_body,
-                    else_body,
-                })
+                Ok(Stmt::new(
+                    StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    },
+                    self.span_from(start),
+                ))
             }
             TokenKind::For | TokenKind::ParFor => {
                 let parallel = matches!(self.peek(), TokenKind::ParFor);
                 self.next();
                 self.expect(&TokenKind::LParen, "'('")?;
-                let var = self.ident("loop variable")?;
+                let (var, var_span) = self.ident_spanned("loop variable")?;
                 self.expect(&TokenKind::In, "'in'")?;
                 let from = self.expr()?;
                 self.expect(&TokenKind::Colon, "':'")?;
@@ -218,14 +270,18 @@ impl Parser {
                 };
                 self.expect(&TokenKind::RParen, "')'")?;
                 let body = self.block()?;
-                Ok(Stmt::For {
-                    var,
-                    from,
-                    to,
-                    by,
-                    body,
-                    parallel,
-                })
+                Ok(Stmt::new(
+                    StmtKind::For {
+                        var,
+                        var_span,
+                        from,
+                        to,
+                        by,
+                        body,
+                        parallel,
+                    },
+                    self.span_from(start),
+                ))
             }
             TokenKind::While => {
                 self.next();
@@ -233,7 +289,10 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&TokenKind::RParen, "')'")?;
                 let body = self.block()?;
-                Ok(Stmt::While { cond, body })
+                Ok(Stmt::new(
+                    StmtKind::While { cond, body },
+                    self.span_from(start),
+                ))
             }
             TokenKind::LBracket => {
                 // multi-assign: [a, b] = call
@@ -248,10 +307,13 @@ impl Parser {
                 self.next(); // ]
                 self.expect(&TokenKind::Assign, "'='")?;
                 let call = self.expr()?;
-                if !matches!(call, Expr::Call { .. }) {
+                if !matches!(call.kind, ExprKind::Call { .. }) {
                     return self.err("multi-assignment requires a function call");
                 }
-                Ok(Stmt::MultiAssign { targets, call })
+                Ok(Stmt::new(
+                    StmtKind::MultiAssign { targets, call },
+                    self.span_from(start),
+                ))
             }
             TokenKind::Ident(name) => {
                 // print/write statements, indexed assignment, or assignment
@@ -260,7 +322,7 @@ impl Parser {
                     self.next();
                     let e = self.expr()?;
                     self.expect(&TokenKind::RParen, "')'")?;
-                    return Ok(Stmt::Print(e));
+                    return Ok(Stmt::new(StmtKind::Print(e), self.span_from(start)));
                 }
                 if name == "write" && matches!(self.peek2(), TokenKind::LParen) {
                     self.next();
@@ -269,29 +331,38 @@ impl Parser {
                     self.expect(&TokenKind::Comma, "','")?;
                     let path = self.expr()?;
                     self.expect(&TokenKind::RParen, "')'")?;
-                    return Ok(Stmt::Write(e, path));
+                    return Ok(Stmt::new(StmtKind::Write(e, path), self.span_from(start)));
                 }
+                let target_span = self.cur_span();
                 self.next();
                 match self.peek().clone() {
                     TokenKind::Assign => {
                         self.next();
                         let value = self.expr()?;
-                        Ok(Stmt::Assign {
-                            target: name,
-                            value,
-                        })
+                        Ok(Stmt::new(
+                            StmtKind::Assign {
+                                target: name,
+                                target_span,
+                                value,
+                            },
+                            self.span_from(start),
+                        ))
                     }
                     TokenKind::LBracket => {
                         self.next();
                         let (rows, cols) = self.index_selectors()?;
                         self.expect(&TokenKind::Assign, "'='")?;
                         let value = self.expr()?;
-                        Ok(Stmt::IndexAssign {
-                            target: name,
-                            rows,
-                            cols,
-                            value,
-                        })
+                        Ok(Stmt::new(
+                            StmtKind::IndexAssign {
+                                target: name,
+                                target_span,
+                                rows,
+                                cols,
+                                value,
+                            },
+                            self.span_from(start),
+                        ))
                     }
                     other => self.err(format!(
                         "expected '=' or '[' after '{name}', found {other:?}"
@@ -347,12 +418,17 @@ impl Parser {
         self.or_expr()
     }
 
+    fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        let span = lhs.span.to(rhs.span);
+        Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span)
+    }
+
     fn or_expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.and_expr()?;
         while matches!(self.peek(), TokenKind::Or) {
             self.next();
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+            lhs = Self::binary(BinOp::Or, lhs, rhs);
         }
         Ok(lhs)
     }
@@ -362,15 +438,18 @@ impl Parser {
         while matches!(self.peek(), TokenKind::And) {
             self.next();
             let rhs = self.not_expr()?;
-            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+            lhs = Self::binary(BinOp::And, lhs, rhs);
         }
         Ok(lhs)
     }
 
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
         if matches!(self.peek(), TokenKind::Not) {
+            let start = self.start();
             self.next();
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+            let inner = self.not_expr()?;
+            let span = Span::new(start, inner.span.end);
+            Ok(Expr::new(ExprKind::Not(Box::new(inner)), span))
         } else {
             self.cmp_expr()
         }
@@ -389,7 +468,7 @@ impl Parser {
         };
         self.next();
         let rhs = self.add_expr()?;
-        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        Ok(Self::binary(op, lhs, rhs))
     }
 
     fn add_expr(&mut self) -> Result<Expr, ParseError> {
@@ -402,7 +481,7 @@ impl Parser {
             };
             self.next();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+            lhs = Self::binary(op, lhs, rhs);
         }
         Ok(lhs)
     }
@@ -417,7 +496,7 @@ impl Parser {
             };
             self.next();
             let rhs = self.matmul_expr()?;
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+            lhs = Self::binary(op, lhs, rhs);
         }
         Ok(lhs)
     }
@@ -427,20 +506,23 @@ impl Parser {
         while matches!(self.peek(), TokenKind::MatMul) {
             self.next();
             let rhs = self.unary_expr()?;
-            lhs = Expr::MatMul(Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(ExprKind::MatMul(Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
 
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
         if matches!(self.peek(), TokenKind::Minus) {
+            let start = self.start();
             self.next();
             let inner = self.unary_expr()?;
+            let span = Span::new(start, inner.span.end);
             // Fold negative literals.
-            return Ok(match inner {
-                Expr::Int(v) => Expr::Int(-v),
-                Expr::Float(v) => Expr::Float(-v),
-                other => Expr::Neg(Box::new(other)),
+            return Ok(match inner.kind {
+                ExprKind::Int(v) => Expr::new(ExprKind::Int(-v), span),
+                ExprKind::Float(v) => Expr::new(ExprKind::Float(-v), span),
+                other => Expr::new(ExprKind::Neg(Box::new(Expr::new(other, inner.span))), span),
             });
         }
         self.pow_expr()
@@ -451,7 +533,7 @@ impl Parser {
         if matches!(self.peek(), TokenKind::Caret) {
             self.next();
             let exp = self.unary_expr()?; // right-assoc, allows -1 exponents
-            Ok(Expr::Binary(BinOp::Pow, Box::new(base), Box::new(exp)))
+            Ok(Self::binary(BinOp::Pow, base, exp))
         } else {
             Ok(base)
         }
@@ -462,36 +544,42 @@ impl Parser {
         while matches!(self.peek(), TokenKind::LBracket) {
             self.next();
             let (rows, cols) = self.index_selectors()?;
-            e = Expr::Index {
-                base: Box::new(e),
-                rows,
-                cols,
-            };
+            let span = self.span_from(e.span.start);
+            e = Expr::new(
+                ExprKind::Index {
+                    base: Box::new(e),
+                    rows,
+                    cols,
+                },
+                span,
+            );
         }
         Ok(e)
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
+        let start = self.start();
+        let lit = |p: &Self, kind: ExprKind| Expr::new(kind, p.span_from(start));
         match self.peek().clone() {
             TokenKind::Int(v) => {
                 self.next();
-                Ok(Expr::Int(v))
+                Ok(lit(self, ExprKind::Int(v)))
             }
             TokenKind::Float(v) => {
                 self.next();
-                Ok(Expr::Float(v))
+                Ok(lit(self, ExprKind::Float(v)))
             }
             TokenKind::Str(s) => {
                 self.next();
-                Ok(Expr::Str(s))
+                Ok(lit(self, ExprKind::Str(s)))
             }
             TokenKind::True => {
                 self.next();
-                Ok(Expr::Bool(true))
+                Ok(lit(self, ExprKind::Bool(true)))
             }
             TokenKind::False => {
                 self.next();
-                Ok(Expr::Bool(false))
+                Ok(lit(self, ExprKind::Bool(false)))
             }
             TokenKind::LParen => {
                 self.next();
@@ -527,9 +615,12 @@ impl Parser {
                         }
                     }
                     self.next(); // )
-                    Ok(Expr::Call { name, args })
+                    Ok(Expr::new(
+                        ExprKind::Call { name, args },
+                        self.span_from(start),
+                    ))
                 } else {
-                    Ok(Expr::Var(name))
+                    Ok(Expr::new(ExprKind::Var(name), self.span_from(start)))
                 }
             }
             other => self.err(format!("unexpected token {other:?} in expression")),
@@ -545,14 +636,14 @@ mod tests {
     #[test]
     fn parses_assignments_and_precedence() {
         let s = parse("y = a + b * c ^ 2;").unwrap();
-        match &s.body[0] {
-            Stmt::Assign { target, value } => {
+        match &s.body[0].kind {
+            StmtKind::Assign { target, value, .. } => {
                 assert_eq!(target, "y");
                 // a + (b * (c ^ 2))
-                match value {
-                    Expr::Binary(BinOp::Add, _, rhs) => match rhs.as_ref() {
-                        Expr::Binary(BinOp::Mul, _, rhs) => {
-                            assert!(matches!(rhs.as_ref(), Expr::Binary(BinOp::Pow, _, _)));
+                match &value.kind {
+                    ExprKind::Binary(BinOp::Add, _, rhs) => match &rhs.kind {
+                        ExprKind::Binary(BinOp::Mul, _, rhs) => {
+                            assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Pow, _, _)));
                         }
                         _ => panic!("expected mul"),
                     },
@@ -566,10 +657,10 @@ mod tests {
     #[test]
     fn matmul_binds_tighter_than_mul() {
         let s = parse("z = a * b %*% c").unwrap();
-        match &s.body[0] {
-            Stmt::Assign { value, .. } => match value {
-                Expr::Binary(BinOp::Mul, _, rhs) => {
-                    assert!(matches!(rhs.as_ref(), Expr::MatMul(_, _)));
+        match &s.body[0].kind {
+            StmtKind::Assign { value, .. } => match &value.kind {
+                ExprKind::Binary(BinOp::Mul, _, rhs) => {
+                    assert!(matches!(rhs.kind, ExprKind::MatMul(_, _)));
                 }
                 _ => panic!("expected * at top"),
             },
@@ -581,21 +672,21 @@ mod tests {
     fn parses_indexing_forms() {
         let s = parse("a = X[1:10, 2]; b = X[, s]; c = X[i, ]; d = X[1:n, 1:k];").unwrap();
         assert_eq!(s.body.len(), 4);
-        match &s.body[1] {
-            Stmt::Assign { value, .. } => match value {
-                Expr::Index { rows, cols, .. } => {
+        match &s.body[1].kind {
+            StmtKind::Assign { value, .. } => match &value.kind {
+                ExprKind::Index { rows, cols, .. } => {
                     assert_eq!(*rows, IndexSel::All);
                     assert!(
-                        matches!(cols, IndexSel::Single(e) if matches!(e.as_ref(), Expr::Var(v) if v == "s"))
+                        matches!(cols, IndexSel::Single(e) if matches!(&e.kind, ExprKind::Var(v) if v == "s"))
                     );
                 }
                 _ => panic!(),
             },
             _ => panic!(),
         }
-        match &s.body[2] {
-            Stmt::Assign { value, .. } => match value {
-                Expr::Index { rows, cols, .. } => {
+        match &s.body[2].kind {
+            StmtKind::Assign { value, .. } => match &value.kind {
+                ExprKind::Index { rows, cols, .. } => {
                     assert!(matches!(rows, IndexSel::Single(_)));
                     assert_eq!(*cols, IndexSel::All);
                 }
@@ -615,24 +706,24 @@ mod tests {
         ";
         let s = parse(src).unwrap();
         assert_eq!(s.body.len(), 4);
-        assert!(matches!(&s.body[0], Stmt::If { else_body, .. } if else_body.len() == 1));
+        assert!(matches!(&s.body[0].kind, StmtKind::If { else_body, .. } if else_body.len() == 1));
         assert!(matches!(
-            &s.body[1],
-            Stmt::For {
+            &s.body[1].kind,
+            StmtKind::For {
                 parallel: false,
                 by: None,
                 ..
             }
         ));
         assert!(matches!(
-            &s.body[2],
-            Stmt::For {
+            &s.body[2].kind,
+            StmtKind::For {
                 parallel: true,
                 by: Some(_),
                 ..
             }
         ));
-        assert!(matches!(&s.body[3], Stmt::While { .. }));
+        assert!(matches!(&s.body[3].kind, StmtKind::While { .. }));
     }
 
     #[test]
@@ -653,16 +744,21 @@ mod tests {
         assert_eq!(f.outputs, vec!["B"]);
         assert_eq!(f.body.len(), 2);
         assert_eq!(s.body.len(), 1);
+        // The name span points at `lm` in the source.
+        let ns = f.name_span;
+        assert_eq!(&src[ns.start as usize..ns.end as usize], "lm");
     }
 
     #[test]
     fn parses_multi_assign_and_named_args() {
         let src = "[evals, evects] = eigen(C); R = rand(rows=10, cols=5, seed=42);";
         let s = parse(src).unwrap();
-        assert!(matches!(&s.body[0], Stmt::MultiAssign { targets, .. } if targets.len() == 2));
-        match &s.body[1] {
-            Stmt::Assign { value, .. } => match value {
-                Expr::Call { name, args } => {
+        assert!(
+            matches!(&s.body[0].kind, StmtKind::MultiAssign { targets, .. } if targets.len() == 2)
+        );
+        match &s.body[1].kind {
+            StmtKind::Assign { value, .. } => match &value.kind {
+                ExprKind::Call { name, args } => {
                     assert_eq!(name, "rand");
                     assert!(args.iter().all(|a| a.name.is_some()));
                 }
@@ -677,15 +773,15 @@ mod tests {
     fn parses_indexed_assignment() {
         let s = parse("B[i, ] = t(beta); C[1:2, 3] = x;").unwrap();
         assert!(matches!(
-            &s.body[0],
-            Stmt::IndexAssign {
+            &s.body[0].kind,
+            StmtKind::IndexAssign {
                 cols: IndexSel::All,
                 ..
             }
         ));
         assert!(matches!(
-            &s.body[1],
-            Stmt::IndexAssign {
+            &s.body[1].kind,
+            StmtKind::IndexAssign {
                 rows: IndexSel::Range(_, _),
                 ..
             }
@@ -695,25 +791,30 @@ mod tests {
     #[test]
     fn parses_print_write_and_comments() {
         let s = parse("# header\nprint('loss: ' + l);\nwrite(B, 'out.bin')").unwrap();
-        assert!(matches!(&s.body[0], Stmt::Print(_)));
-        assert!(matches!(&s.body[1], Stmt::Write(_, _)));
+        assert!(matches!(&s.body[0].kind, StmtKind::Print(_)));
+        assert!(matches!(&s.body[1].kind, StmtKind::Write(_, _)));
     }
 
     #[test]
     fn negative_literals_fold() {
         let s = parse("x = -3; y = -2.5; z = 2^-1").unwrap();
         assert!(matches!(
-            &s.body[0],
-            Stmt::Assign {
-                value: Expr::Int(-3),
+            &s.body[0].kind,
+            StmtKind::Assign {
+                value: Expr {
+                    kind: ExprKind::Int(-3),
+                    ..
+                },
                 ..
             }
         ));
-        assert!(matches!(&s.body[1], Stmt::Assign { value: Expr::Float(v), .. } if *v == -2.5));
-        match &s.body[2] {
-            Stmt::Assign { value, .. } => {
+        assert!(
+            matches!(&s.body[1].kind, StmtKind::Assign { value, .. } if matches!(value.kind, ExprKind::Float(v) if v == -2.5))
+        );
+        match &s.body[2].kind {
+            StmtKind::Assign { value, .. } => {
                 assert!(
-                    matches!(value, Expr::Binary(BinOp::Pow, _, e) if matches!(e.as_ref(), Expr::Int(-1)))
+                    matches!(&value.kind, ExprKind::Binary(BinOp::Pow, _, e) if matches!(e.kind, ExprKind::Int(-1)))
                 );
             }
             _ => panic!(),
@@ -726,5 +827,76 @@ mod tests {
         assert_eq!(e.line, 2);
         assert!(parse("if x > 1 { }").is_err());
         assert!(parse("x 5").is_err());
+    }
+
+    #[test]
+    fn statements_and_exprs_carry_spans() {
+        let src = "x = 1 + 2;\nparfor (i in 1:4) { R[i, 1] = x; }";
+        let s = parse(src).unwrap();
+        let assign = &s.body[0];
+        assert_eq!(
+            &src[assign.span.start as usize..assign.span.end as usize],
+            "x = 1 + 2"
+        );
+        match &assign.kind {
+            StmtKind::Assign {
+                target_span, value, ..
+            } => {
+                assert_eq!(
+                    &src[target_span.start as usize..target_span.end as usize],
+                    "x"
+                );
+                assert_eq!(
+                    &src[value.span.start as usize..value.span.end as usize],
+                    "1 + 2"
+                );
+            }
+            _ => panic!(),
+        }
+        let loop_stmt = &s.body[1];
+        assert_eq!(
+            &src[loop_stmt.span.start as usize..loop_stmt.span.end as usize],
+            "parfor (i in 1:4) { R[i, 1] = x; }"
+        );
+        match &loop_stmt.kind {
+            StmtKind::For {
+                var_span, parallel, ..
+            } => {
+                assert!(*parallel);
+                assert_eq!(&src[var_span.start as usize..var_span.end as usize], "i");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn call_spans_cover_name_and_args() {
+        let src = "y = solve(A, b)";
+        let s = parse(src).unwrap();
+        match &s.body[0].kind {
+            StmtKind::Assign { value, .. } => {
+                assert_eq!(
+                    &src[value.span.start as usize..value.span.end as usize],
+                    "solve(A, b)"
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_spans_and_codes() {
+        let e = parse("x = 1\ny = @").unwrap_err();
+        assert_eq!(e.code, "L0001"); // lexical: unexpected character
+        assert!(e.span.in_bounds("x = 1\ny = @".len()));
+        let e = parse("x 5").unwrap_err();
+        assert_eq!(e.code, "L0002");
+        assert_eq!(e.span, Span::of(2, 3)); // points at `5`
+        let d = e.diagnostic();
+        assert_eq!(d.code, "L0002");
+        assert_eq!(d.primary, Some(Span::of(2, 3)));
+        // EOF errors anchor to the end of input.
+        let e = parse("x = ").unwrap_err();
+        assert_eq!(e.span, Span::point(4));
     }
 }

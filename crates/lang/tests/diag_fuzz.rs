@@ -1,0 +1,97 @@
+//! Diagnostic totality fuzzing (S2): on *any* byte input — including
+//! sequences produced by truncating multi-byte UTF-8 codepoints — the
+//! front-end must never panic, and every error it reports must carry a
+//! diagnostic whose spans (primary and labels) lie inside the source.
+
+use lima_core::{LimaConfig, Span};
+use lima_lang::{lint_script, parse, tokenize};
+use proptest::prelude::*;
+
+/// Asserts every span a diagnostic carries stays inside `src`.
+fn assert_spans_in_bounds(src: &str, diags: &[lima_core::Diagnostic]) {
+    for d in diags {
+        assert!(!d.code.is_empty(), "diagnostic without a code: {d:?}");
+        if let Some(span) = d.primary {
+            assert!(
+                span.in_bounds(src.len()),
+                "primary span {span:?} escapes {}-byte source: {d:?}",
+                src.len()
+            );
+        }
+        for l in &d.labels {
+            assert!(
+                l.span.in_bounds(src.len()),
+                "label span {:?} escapes {}-byte source: {d:?}",
+                l.span,
+                src.len()
+            );
+        }
+    }
+}
+
+/// Runs the whole front-end (lex, parse, compile, lint) on one input and
+/// checks the diagnostic invariants on every failure path.
+fn front_end_is_total(src: &str) {
+    let _ = tokenize(src);
+    if let Err(e) = parse(src) {
+        let d = e.diagnostic();
+        assert_spans_in_bounds(src, std::slice::from_ref(&d));
+        // Rendering must also be panic-free on arbitrary sources.
+        let _ = d.render(src, "<fuzz>");
+    }
+    let diags = lint_script(src, &LimaConfig::lima());
+    assert_spans_in_bounds(src, &diags);
+    for d in &diags {
+        let _ = d.render(src, "<fuzz>");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (lossily decoded, as a file reader would) never
+    /// panic and never yield out-of-bounds spans.
+    #[test]
+    fn arbitrary_bytes_yield_bounded_diagnostics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        front_end_is_total(&src);
+    }
+
+    /// Truncating a unicode-bearing script at every byte offset — including
+    /// offsets inside multi-byte codepoints — must stay panic-free with
+    /// in-bounds spans. Lossy decoding models what `read_to_string`-style
+    /// ingestion of a torn file produces.
+    #[test]
+    fn unicode_truncations_yield_bounded_diagnostics(cut in 0usize..200) {
+        let script = "x = 1;\ns = 'héllo wörld — ünïcode';\nfor (i in 1:3) { x = x + i; }\nprint(x);\n";
+        let bytes = script.as_bytes();
+        let cut = cut.min(bytes.len());
+        let src = String::from_utf8_lossy(&bytes[..cut]).into_owned();
+        front_end_is_total(&src);
+    }
+
+    /// Fragment soup reaches deeper parser states than raw bytes; the same
+    /// span invariants must hold there.
+    #[test]
+    fn fragment_soup_yields_bounded_diagnostics(
+        parts in proptest::collection::vec(0usize..16, 0..24)
+    ) {
+        let frags = [
+            "x = ", "1 + ", "t(", ")", "[", "]", "parfor (i in 1:3) ", "{", "}",
+            "function(a) return (b) ", "%*%", "if (", "rand(rows=2, cols=2)",
+            "'str'", ";", "R[1, 1] = as.matrix(i)",
+        ];
+        let src: String = parts.iter().map(|&i| frags[i]).collect();
+        front_end_is_total(&src);
+    }
+}
+
+/// `Span` itself must tolerate degenerate construction orders.
+#[test]
+fn span_constructors_normalize() {
+    assert_eq!(Span::new(5, 2), Span::new(2, 5));
+    assert!(Span::of(0, 0).in_bounds(0));
+    assert!(!Span::of(0, 1).in_bounds(0));
+}

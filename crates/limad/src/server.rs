@@ -142,20 +142,27 @@ impl Drop for SessionSlot<'_> {
 }
 
 fn err(code: ErrorCode, msg: impl Into<String>) -> Response {
+    Response::Error(ServiceError::new(code, 0, msg))
+}
+
+/// A compile failure with its source-anchored diagnostics attached, so the
+/// client can render caret snippets against the script it submitted.
+fn compile_err(e: &lima_lang::CompileError) -> Response {
     Response::Error(ServiceError {
-        code,
+        code: ErrorCode::Compile,
         retry_after_ms: 0,
-        msg: msg.into(),
+        msg: e.to_string(),
+        diagnostics: e.diagnostics(),
     })
 }
 
 impl Inner {
     fn overloaded(&self, msg: impl Into<String>) -> Response {
-        Response::Error(ServiceError {
-            code: ErrorCode::Overloaded,
-            retry_after_ms: self.cfg.retry_after_ms,
-            msg: msg.into(),
-        })
+        Response::Error(ServiceError::new(
+            ErrorCode::Overloaded,
+            self.cfg.retry_after_ms,
+            msg,
+        ))
     }
 
     /// Injected per-shard stall (chaos `SlowShard` site, keyed by index).
@@ -280,7 +287,7 @@ impl Inner {
 
         let program = match compile_script(script, shard.config()) {
             Ok(p) => Arc::new(p),
-            Err(e) => return err(ErrorCode::Compile, e.to_string()),
+            Err(e) => return compile_err(&e),
         };
 
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);

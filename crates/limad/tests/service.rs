@@ -344,6 +344,38 @@ fn compile_and_runtime_failures_are_typed_not_fatal() {
 }
 
 #[test]
+fn compile_errors_carry_structured_diagnostics_over_the_wire() {
+    let server = start(LimadConfig::default());
+    let mut c = client(&server, "alice");
+
+    // Every parfor iteration writes R[1, 1]: a loop-invariant index race.
+    let script = "R = matrix(0, 1, 1);\nparfor (i in 1:4) {\n  R[1, 1] = as.matrix(i);\n}\n";
+    let err = c.submit(script, &outputs(&["R"])).unwrap_err();
+    let lima_client::ClientError::Service(service) = err else {
+        panic!("expected a typed service error, got {err:?}");
+    };
+    assert_eq!(service.code, ErrorCode::Compile);
+    assert_eq!(
+        service.diagnostics.len(),
+        1,
+        "got {:?}",
+        service.diagnostics
+    );
+    let diag = &service.diagnostics[0];
+    assert_eq!(diag.code, "L0100");
+    assert_eq!(diag.severity, lima_core::Severity::Error);
+    let span = diag
+        .primary
+        .expect("parfor dependence diagnostic has a span");
+    assert!(span.in_bounds(script.len()), "span {span:?} out of bounds");
+    assert_eq!(
+        &script[span.start as usize..span.end as usize],
+        "R[1, 1] = as.matrix(i)"
+    );
+    assert!(diag.help.is_some(), "diagnostic should carry help text");
+}
+
+#[test]
 fn unparseable_lineage_is_bad_request() {
     let server = start(LimadConfig::default());
     let mut c = client(&server, "alice");

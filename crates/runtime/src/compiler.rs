@@ -39,6 +39,10 @@ pub enum CompileError {
         block_id: u64,
         /// Why disjointness could not be established.
         violation: ParforViolation,
+        /// Byte span of the offending write (falling back to the parfor
+        /// header) when the program was lowered from source; `None` for
+        /// hand-built programs.
+        span: Option<lima_core::Span>,
     },
 }
 
@@ -48,6 +52,7 @@ impl std::fmt::Display for CompileError {
             CompileError::ParforDependence {
                 block_id,
                 violation,
+                ..
             } => write!(
                 f,
                 "parfor (block {block_id}) cannot run in parallel: {violation}"
@@ -352,14 +357,24 @@ fn check_parfor_blocks(blocks: &[Block]) -> Result<(), CompileError> {
                 by,
                 body,
                 results,
+                span,
                 ..
             } => {
                 let result_set: HashSet<String> = results.iter().cloned().collect();
                 let writes = lower_parfor_writes(var, body, &result_set);
                 check_parfor_writes(&writes, trip_at_most_one(from, to, by)).map_err(
-                    |violation| CompileError::ParforDependence {
-                        block_id: *id,
-                        violation,
+                    |violation| {
+                        // Anchor on the offending write when a span is known;
+                        // otherwise fall back to the parfor header.
+                        let write_span = writes
+                            .iter()
+                            .filter(|w| w.var == violation.var())
+                            .find_map(|w| w.span);
+                        CompileError::ParforDependence {
+                            block_id: *id,
+                            violation,
+                            span: write_span.or(*span),
+                        }
                     },
                 )?;
                 check_parfor_blocks(body)?;
@@ -542,11 +557,11 @@ fn visit_parfor_instr(
     if matches!(i.op, Op::LeftIndex) && i.outputs.len() == 1 && results.contains(&i.outputs[0]) {
         let row = operand_affine(&i.inputs[2], loop_var, body_writes, env);
         let col = operand_affine(&i.inputs[3], loop_var, body_writes, env);
-        out.push(ResultWrite::indexed(i.outputs[0].clone(), row, col));
+        out.push(ResultWrite::indexed(i.outputs[0].clone(), row, col).with_span(i.span));
     } else {
         for w in i.writes() {
             if results.contains(w) {
-                out.push(ResultWrite::whole(w.to_string()));
+                out.push(ResultWrite::whole(w.to_string()).with_span(i.span));
             }
         }
     }
@@ -1407,6 +1422,7 @@ mod tests {
         let CompileError::ParforDependence {
             block_id,
             violation,
+            ..
         } = &err;
         assert_ne!(*block_id, 0);
         assert_eq!(

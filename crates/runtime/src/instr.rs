@@ -251,6 +251,9 @@ pub struct Instr {
     /// Set by the compiler's *unmarking* rewrite (paper §4.4): this instance
     /// never interacts with the reuse cache even if its opcode qualifies.
     pub no_cache: bool,
+    /// Byte span of the source construct this instruction was lowered from
+    /// (`None` for synthesized instructions, e.g. rewrite plans).
+    pub span: Option<lima_core::Span>,
 }
 
 impl Instr {
@@ -261,6 +264,7 @@ impl Instr {
             inputs,
             outputs: vec![output.into()],
             no_cache: false,
+            span: None,
         }
     }
 
@@ -271,6 +275,7 @@ impl Instr {
             inputs,
             outputs,
             no_cache: false,
+            span: None,
         }
     }
 
@@ -281,7 +286,14 @@ impl Instr {
             inputs,
             outputs: Vec::new(),
             no_cache: false,
+            span: None,
         }
+    }
+
+    /// Attaches a source span (builder style, used by the lowering).
+    pub fn at(mut self, span: Option<lima_core::Span>) -> Self {
+        self.span = span;
+        self
     }
 
     /// Variables read by this instruction.

@@ -97,6 +97,9 @@ pub enum Block {
         results: Vec<String>,
         /// Worker threads; `None` picks a default.
         degree: Option<usize>,
+        /// Byte span of the `parfor` header in the original script (set by
+        /// the lowering; `None` for hand-built programs).
+        span: Option<lima_core::Span>,
     },
 }
 
@@ -167,7 +170,16 @@ impl Block {
             body,
             results: Vec::new(),
             degree: None,
+            span: None,
         }
+    }
+
+    /// Attaches a source span to a `ParFor` header (no-op for other blocks).
+    pub fn with_span(mut self, s: Option<lima_core::Span>) -> Block {
+        if let Block::ParFor { span, .. } = &mut self {
+            *span = s;
+        }
+        self
     }
 
     /// The block's stable ID.

@@ -196,9 +196,16 @@ fn execute_run(args: &[String]) -> Result<(ExecutionContext, RunFlags), CliError
         config = config.with_obs(Arc::clone(o));
     }
     let src = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-    let program = compile_script(&src, &config).map_err(|e| CliError {
-        code: ErrorCode::Compile,
-        msg: e.to_string(),
+    let program = compile_script(&src, &config).map_err(|e| {
+        // Render the source-anchored caret snippet up front; the one-line
+        // `limac: error=compile ...` summary still follows from main().
+        for d in e.diagnostics() {
+            eprint!("{}", d.render(&src, &path));
+        }
+        CliError {
+            code: ErrorCode::Compile,
+            msg: e.to_string(),
+        }
     })?;
     let mut ctx = ExecutionContext::new(config);
     if let Some(seed) = flags.seed {

@@ -306,11 +306,15 @@ fn racy_parfor_script_fails_compilation() {
         &LimaConfig::lima(),
     )
     .expect_err("racy parfor must be rejected");
+    let msg = err.to_string();
     assert!(
-        err.msg.contains("parfor") && err.msg.contains("cannot run in parallel"),
-        "unexpected error message: {}",
-        err.msg
+        msg.contains("parfor") && msg.contains("cannot run in parallel"),
+        "unexpected error message: {msg}"
     );
+    // The structured diagnostic anchors the race on the offending write.
+    let diag = err.diagnostic();
+    assert_eq!(diag.code, "L0100");
+    assert!(diag.primary.is_some(), "parfor dependence carries a span");
 
     // The disjoint variant of the same script compiles and runs correctly.
     let ok = lima_algos::runner::run_script(

@@ -1,0 +1,142 @@
+//! Golden-file snapshot tests for `lima-lint check` (S3), the shared
+//! exit-code contract (S6), and JSON output round-tripping (S5 support).
+//!
+//! Each `tests/corpus/<name>.dml` is a deliberately broken script; its
+//! byte-exact rendered diagnostics live in `tests/corpus/<name>.expected`.
+//! After an intentional renderer or message change, regenerate with:
+//!
+//! ```text
+//! LIMA_BLESS=1 cargo test --test lint_corpus
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+const LINT_BIN: &str = env!("CARGO_BIN_EXE_lima-lint");
+
+/// Runs `lima-lint` with the repo root as cwd so rendered paths (and thus
+/// the goldens) are stable relative paths.
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(LINT_BIN)
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("lima-lint runs")
+}
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn broken_corpus_matches_golden_renders() {
+    let mut cases = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("dml") {
+            continue;
+        }
+        cases += 1;
+        let rel = format!(
+            "tests/corpus/{}",
+            path.file_name().unwrap().to_str().unwrap()
+        );
+        let out = lint(&["check", &rel]);
+        let rendered = String::from_utf8(out.stdout).expect("renders are UTF-8");
+        let golden_path = path.with_extension("expected");
+        if std::env::var_os("LIMA_BLESS").is_some() {
+            std::fs::write(&golden_path, &rendered).expect("bless golden");
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run with LIMA_BLESS=1 to create)", rel));
+        assert_eq!(
+            rendered,
+            golden,
+            "{rel}: rendered diagnostics drifted from {} (LIMA_BLESS=1 regenerates)",
+            golden_path.display()
+        );
+    }
+    assert!(cases >= 4, "corpus should hold at least 4 broken scripts");
+}
+
+#[test]
+fn broken_corpus_reports_expected_codes() {
+    for (script, code) in [
+        ("parse_error", "L0002"),
+        ("racy_parfor", "L0100"),
+        ("reuse_ineligible", "L0201"),
+        ("shadowing", "L0204"),
+    ] {
+        let rel = format!("tests/corpus/{script}.dml");
+        let out = lint(&["check", "--format", "json", &rel]);
+        let line = String::from_utf8(out.stdout).unwrap();
+        let diags = lima_core::diagnostics_from_json(line.trim())
+            .unwrap_or_else(|| panic!("{rel}: JSON output must parse:\n{line}"));
+        assert!(
+            diags.iter().any(|d| d.code == code),
+            "{rel}: expected a {code} diagnostic, got {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn json_output_round_trips_losslessly() {
+    let rel = "tests/corpus/racy_parfor.dml";
+    let out = lint(&["check", "--format", "json", rel]);
+    let line = String::from_utf8(out.stdout).unwrap();
+    let diags = lima_core::diagnostics_from_json(line.trim()).expect("parses");
+    // Re-serialize and re-parse: the structured form must be a fixed point.
+    let again = lima_core::diagnostics_to_json(&diags);
+    assert_eq!(lima_core::diagnostics_from_json(&again).unwrap(), diags);
+    // And the span must anchor the racy write in the actual source.
+    let src = std::fs::read_to_string(corpus_dir().join("racy_parfor.dml")).unwrap();
+    let span = diags[0].primary.expect("racy parfor carries a span");
+    assert!(span.in_bounds(src.len()));
+    assert_eq!(
+        &src[span.start as usize..span.end as usize],
+        "R[1, 1] = as.matrix(i)"
+    );
+}
+
+/// S6: `0` clean, `1` findings, `2` usage/internal — shared by every mode.
+#[test]
+fn exit_code_contract_is_shared_across_modes() {
+    // check: clean example → 0.
+    let out = lint(&["check", "examples/dml/gram.dml"]);
+    assert_eq!(out.status.code(), Some(0), "clean script");
+    // check: error finding → 1.
+    let out = lint(&["check", "tests/corpus/racy_parfor.dml"]);
+    assert_eq!(out.status.code(), Some(1), "error finding");
+    // check: warning alone → 0, promoted by --deny warnings → 1.
+    let out = lint(&["check", "tests/corpus/shadowing.dml"]);
+    assert_eq!(out.status.code(), Some(0), "warning without --deny");
+    let out = lint(&["check", "--deny", "warnings", "tests/corpus/shadowing.dml"]);
+    assert_eq!(out.status.code(), Some(1), "warning with --deny");
+    // check: unreadable input → 2, even alongside findings.
+    let out = lint(&["check", "tests/corpus/no_such_file.dml"]);
+    assert_eq!(out.status.code(), Some(2), "unreadable input");
+    let out = lint(&[
+        "check",
+        "tests/corpus/no_such_file.dml",
+        "tests/corpus/racy_parfor.dml",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "usage outranks findings");
+    // check: bad flags → 2.
+    assert_eq!(lint(&["check", "--bogus"]).status.code(), Some(2));
+    assert_eq!(lint(&["check"]).status.code(), Some(2), "no inputs");
+    // log mode: no inputs → 2; a clean log (empty is vacuously clean is NOT
+    // true — an empty log is unparseable) exercised via a real trace below.
+    assert_eq!(lint(&[]).status.code(), Some(2), "log mode no inputs");
+    // fsck: missing directory → 2.
+    let out = lint(&["fsck", "/no/such/dir"]);
+    assert_eq!(out.status.code(), Some(2), "fsck non-directory");
+    // --help → 0 and documents the contract in every mode's reach.
+    let out = lint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let help = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        help.contains("0 clean, 1 findings, 2 usage/internal"),
+        "--help must document the exit-code contract:\n{help}"
+    );
+}
