@@ -18,5 +18,7 @@
 pub mod client;
 pub mod proto;
 
-pub use client::{ClientError, ClientOptions, LimadClient, SubmitOptions, Submitted};
-pub use proto::{ErrorCode, Request, Response, ServiceError, ShardScrub};
+pub use client::{
+    ClientError, ClientOptions, ClientStats, LimadClient, MemberStats, SubmitOptions, Submitted,
+};
+pub use proto::{BucketDigest, ErrorCode, ReplRecord, Request, Response, ServiceError, ShardScrub};

@@ -210,6 +210,27 @@ pub enum Request {
     /// Admin: run one full integrity-scrub pass over every shard's
     /// persistent store, repairing or quarantining what it finds.
     Scrub,
+    /// Replication: apply a batch of committed records forwarded by a peer
+    /// member (best-effort write replication).
+    ReplPut {
+        /// The forwarded records, each individually verified on receipt.
+        records: Vec<ReplRecord>,
+    },
+    /// Replication: return per-bucket digests of this member's replicable
+    /// lineage-hash keyspace, split into `buckets` buckets.
+    ReplDigest {
+        /// Bucket count (`1..=MAX_REPL_BUCKETS`); both sides must use the
+        /// same count for digests to be comparable.
+        buckets: u32,
+    },
+    /// Replication: return the records whose scrambled lineage hash lands in
+    /// `bucket` so the requester can repair a digest mismatch.
+    ReplPull {
+        /// Bucket index (`< buckets`).
+        bucket: u32,
+        /// Bucket count the index is relative to.
+        buckets: u32,
+    },
 }
 
 const K_SUBMIT: u8 = 1;
@@ -219,8 +240,72 @@ const K_CANCEL: u8 = 4;
 const K_METRICS: u8 = 5;
 const K_PING: u8 = 6;
 const K_SCRUB: u8 = 7;
+const K_REPL_PUT: u8 = 8;
+const K_REPL_DIGEST: u8 = 9;
+const K_REPL_PULL: u8 = 10;
 const K_RESP: u8 = 0x80;
 const K_ERROR: u8 = 0xFF;
+
+/// Upper bound on the anti-entropy bucket count a peer may request; a
+/// digest request outside `1..=MAX_REPL_BUCKETS` is a structural violation.
+pub const MAX_REPL_BUCKETS: u32 = 4096;
+
+/// One replicated cache record: a serialized lineage trace, the value it
+/// names, and the measured compute cost (for eviction scoring on the
+/// receiver). `check` is an end-to-end FNV-1a over the canonical encoding of
+/// `(lineage, value)` — it survives beyond the frame checksum so a receiver
+/// can detect payload corruption introduced *before* framing (a buggy peer,
+/// a bit flip in the replication queue) and fall back to lineage-driven
+/// recompute instead of caching bad bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplRecord {
+    /// `serialize_lineage` output for the value's root item.
+    pub lineage: String,
+    /// The cached value (matrices and scalars; lists never replicate).
+    pub value: Value,
+    /// Nanoseconds the value originally took to compute.
+    pub compute_ns: u64,
+    /// FNV-1a-64 over the encoded `(lineage, value)` pair.
+    pub check: u64,
+}
+
+impl ReplRecord {
+    /// A record with its integrity checksum computed from the payload.
+    pub fn new(lineage: String, value: Value, compute_ns: u64) -> ReplRecord {
+        let check = ReplRecord::checksum(&lineage, &value);
+        ReplRecord {
+            lineage,
+            value,
+            compute_ns,
+            check,
+        }
+    }
+
+    /// The canonical content checksum a receiver re-derives to verify bytes.
+    pub fn checksum(lineage: &str, value: &Value) -> u64 {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, lineage);
+        put_value(&mut buf, value);
+        fnv1a(&buf)
+    }
+
+    /// True when the carried bytes still match their checksum.
+    pub fn verify_bytes(&self) -> bool {
+        ReplRecord::checksum(&self.lineage, &self.value) == self.check
+    }
+}
+
+/// Summary of one anti-entropy bucket: how many lineage hashes landed in it
+/// and their order-independent XOR fingerprint. Two members whose buckets
+/// carry equal `(count, xor)` pairs hold the same keys with overwhelming
+/// probability; a mismatch names exactly which bucket to pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BucketDigest {
+    /// Number of replicable entries hashing into this bucket.
+    pub count: u64,
+    /// XOR of the scrambled lineage hashes in this bucket.
+    pub xor: u64,
+}
 
 /// Per-shard result of an admin [`Request::Scrub`] pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -274,6 +359,18 @@ pub enum Response {
     Pong,
     /// Per-shard scrub results for an admin `Scrub` request.
     Scrubbed(Vec<ShardScrub>),
+    /// Replication verdict for a `ReplPut` batch.
+    ReplAck {
+        /// Records applied into (or already present in) the local cache.
+        applied: u32,
+        /// Records rejected (bad lineage, failed verification, unrepairable).
+        rejected: u32,
+    },
+    /// Per-bucket keyspace digests for a `ReplDigest` request.
+    ReplDigests(Vec<BucketDigest>),
+    /// Records served for a `ReplPull` request (size-capped; a large bucket
+    /// converges over successive anti-entropy rounds).
+    ReplEntries(Vec<ReplRecord>),
     /// Typed failure.
     Error(ServiceError),
 }
@@ -450,6 +547,38 @@ fn get_value(buf: &mut &[u8]) -> Option<Option<Value>> {
     }
 }
 
+fn put_record(buf: &mut BytesMut, r: &ReplRecord) {
+    put_str(buf, &r.lineage);
+    put_value(buf, &r.value);
+    buf.put_u64(r.compute_ns);
+    buf.put_u64(r.check);
+}
+
+fn get_record(buf: &mut &[u8]) -> Option<ReplRecord> {
+    let lineage = get_str(buf)?;
+    // Tag-2 (list/absent) values never replicate: structural violation here.
+    let value = get_value(buf)??;
+    if buf.remaining() < 16 {
+        return None;
+    }
+    let compute_ns = buf.get_u64();
+    let check = buf.get_u64();
+    Some(ReplRecord {
+        lineage,
+        value,
+        compute_ns,
+        check,
+    })
+}
+
+fn get_bucket_count(buf: &mut &[u8]) -> Option<u32> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let n = buf.get_u32();
+    (1..=MAX_REPL_BUCKETS).contains(&n).then_some(n)
+}
+
 impl Request {
     /// Frame kind byte plus encoded payload.
     pub fn encode(&self) -> (u8, Vec<u8>) {
@@ -505,6 +634,22 @@ impl Request {
             Request::Metrics => K_METRICS,
             Request::Ping => K_PING,
             Request::Scrub => K_SCRUB,
+            Request::ReplPut { records } => {
+                buf.put_u32(records.len() as u32);
+                for r in records {
+                    put_record(&mut buf, r);
+                }
+                K_REPL_PUT
+            }
+            Request::ReplDigest { buckets } => {
+                buf.put_u32(*buckets);
+                K_REPL_DIGEST
+            }
+            Request::ReplPull { bucket, buckets } => {
+                buf.put_u32(*bucket);
+                buf.put_u32(*buckets);
+                K_REPL_PULL
+            }
         };
         (kind, buf.to_vec())
     }
@@ -579,6 +724,31 @@ impl Request {
             K_METRICS => Request::Metrics,
             K_PING => Request::Ping,
             K_SCRUB => Request::Scrub,
+            K_REPL_PUT => {
+                if p.remaining() < 4 {
+                    return None;
+                }
+                let n = p.get_u32() as usize;
+                let mut records = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    records.push(get_record(&mut p)?);
+                }
+                Request::ReplPut { records }
+            }
+            K_REPL_DIGEST => Request::ReplDigest {
+                buckets: get_bucket_count(&mut p)?,
+            },
+            K_REPL_PULL => {
+                if p.remaining() < 8 {
+                    return None;
+                }
+                let bucket = p.get_u32();
+                let buckets = get_bucket_count(&mut p)?;
+                if bucket >= buckets {
+                    return None;
+                }
+                Request::ReplPull { bucket, buckets }
+            }
             _ => return None,
         };
         (p.remaining() == 0).then_some(req)
@@ -643,6 +813,26 @@ impl Response {
                     buf.put_u8(u8::from(r.completed));
                 }
                 K_RESP | K_SCRUB
+            }
+            Response::ReplAck { applied, rejected } => {
+                buf.put_u32(*applied);
+                buf.put_u32(*rejected);
+                K_RESP | K_REPL_PUT
+            }
+            Response::ReplDigests(digests) => {
+                buf.put_u32(digests.len() as u32);
+                for d in digests {
+                    buf.put_u64(d.count);
+                    buf.put_u64(d.xor);
+                }
+                K_RESP | K_REPL_DIGEST
+            }
+            Response::ReplEntries(records) => {
+                buf.put_u32(records.len() as u32);
+                for r in records {
+                    put_record(&mut buf, r);
+                }
+                K_RESP | K_REPL_PULL
             }
             Response::Error(e) => {
                 buf.put_u8(e.code.as_u8());
@@ -741,6 +931,46 @@ impl Response {
                     });
                 }
                 Response::Scrubbed(reports)
+            }
+            k if k == K_RESP | K_REPL_PUT => {
+                if p.remaining() < 8 {
+                    return None;
+                }
+                Response::ReplAck {
+                    applied: p.get_u32(),
+                    rejected: p.get_u32(),
+                }
+            }
+            k if k == K_RESP | K_REPL_DIGEST => {
+                if p.remaining() < 4 {
+                    return None;
+                }
+                let n = p.get_u32() as usize;
+                if n > MAX_REPL_BUCKETS as usize {
+                    return None;
+                }
+                let mut digests = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    if p.remaining() < 16 {
+                        return None;
+                    }
+                    digests.push(BucketDigest {
+                        count: p.get_u64(),
+                        xor: p.get_u64(),
+                    });
+                }
+                Response::ReplDigests(digests)
+            }
+            k if k == K_RESP | K_REPL_PULL => {
+                if p.remaining() < 4 {
+                    return None;
+                }
+                let n = p.get_u32() as usize;
+                let mut records = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    records.push(get_record(&mut p)?);
+                }
+                Response::ReplEntries(records)
             }
             K_ERROR => {
                 if p.remaining() < 9 {
@@ -865,6 +1095,23 @@ mod tests {
         round_trip_req(Request::Metrics);
         round_trip_req(Request::Ping);
         round_trip_req(Request::Scrub);
+        round_trip_req(Request::ReplPut {
+            records: vec![
+                ReplRecord::new("(1) L f:1".into(), Value::f64(2.5), 1234),
+                ReplRecord::new(
+                    "(2) L f:2".into(),
+                    Value::matrix(DenseMatrix::from_fn(3, 2, |i, j| (i + j) as f64)),
+                    0,
+                ),
+            ],
+        });
+        round_trip_req(Request::ReplPut { records: vec![] });
+        round_trip_req(Request::ReplDigest { buckets: 64 });
+        round_trip_req(Request::ReplDigest { buckets: 1 });
+        round_trip_req(Request::ReplPull {
+            bucket: 63,
+            buckets: 64,
+        });
     }
 
     #[test]
@@ -909,6 +1156,23 @@ mod tests {
                 completed: false,
             },
         ]));
+        round_trip_resp(Response::ReplAck {
+            applied: 7,
+            rejected: 1,
+        });
+        round_trip_resp(Response::ReplDigests(vec![
+            BucketDigest { count: 0, xor: 0 },
+            BucketDigest {
+                count: 3,
+                xor: 0xDEAD_BEEF,
+            },
+        ]));
+        round_trip_resp(Response::ReplEntries(vec![ReplRecord::new(
+            "(9) L f:9".into(),
+            Value::f64(-1.25),
+            55,
+        )]));
+        round_trip_resp(Response::ReplEntries(vec![]));
         round_trip_resp(Response::Error(ServiceError::new(
             ErrorCode::Overloaded,
             250,
@@ -981,6 +1245,54 @@ mod tests {
             Response::decode(K_ERROR, b"\x63\0\0\0\0\0\0\0\0\0\0\0\0"),
             None
         );
+    }
+
+    #[test]
+    fn repl_payload_structural_violations_decode_to_none() {
+        // Out-of-range bucket counts are rejected outright.
+        assert_eq!(Request::decode(K_REPL_DIGEST, &0u32.to_be_bytes()), None);
+        assert_eq!(
+            Request::decode(K_REPL_DIGEST, &(MAX_REPL_BUCKETS + 1).to_be_bytes()),
+            None
+        );
+        // A pull whose bucket index is outside the bucket count is malformed.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&64u32.to_be_bytes());
+        bad.extend_from_slice(&64u32.to_be_bytes());
+        assert_eq!(Request::decode(K_REPL_PULL, &bad), None);
+        // Truncated and trailing-garbage records fail the whole frame.
+        let (kind, good) = Request::ReplPut {
+            records: vec![ReplRecord::new("(1) L f:1".into(), Value::f64(3.0), 9)],
+        }
+        .encode();
+        assert_eq!(Request::decode(kind, &good[..good.len() - 1]), None);
+        let mut padded = good.clone();
+        padded.push(0);
+        assert_eq!(Request::decode(kind, &padded), None);
+        // A record carrying a non-transportable (tag-2) value is malformed.
+        let mut listy = BytesMut::new();
+        listy.put_u32(1);
+        put_str(&mut listy, "(1) L f:1");
+        listy.put_u8(2); // list tag
+        listy.put_u64(0);
+        listy.put_u64(0);
+        assert_eq!(Request::decode(K_REPL_PUT, &listy), None);
+    }
+
+    #[test]
+    fn repl_record_checksum_detects_payload_corruption() {
+        let rec = ReplRecord::new("(4) L f:4".into(), Value::f64(8.5), 77);
+        assert!(rec.verify_bytes());
+        let mut bent = rec.clone();
+        bent.value = Value::f64(8.5000001);
+        assert!(!bent.verify_bytes());
+        let mut bent = rec.clone();
+        bent.lineage.push('x');
+        assert!(!bent.verify_bytes());
+        // compute_ns is metadata, not covered content.
+        let mut meta = rec.clone();
+        meta.compute_ns = 1;
+        assert!(meta.verify_bytes());
     }
 
     #[test]

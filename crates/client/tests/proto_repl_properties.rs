@@ -1,0 +1,140 @@
+//! Property tests for the replication wire payloads (`K_REPL_*`).
+//!
+//! The replication ops carry the largest and most structurally varied
+//! payloads in the protocol (batches of lineage + value + checksum records,
+//! digest vectors), and they are decoded from bytes produced by a *peer*
+//! process — so the decoder must hold up under arbitrary well-formed shapes
+//! and never panic on corrupted ones. Frame-layer checksums catch wire
+//! corruption; these tests target the payload layer beneath it.
+
+use lima_client::proto::{BucketDigest, ReplRecord, Request, Response, MAX_REPL_BUCKETS};
+use lima_matrix::{DenseMatrix, Value};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+/// Arbitrary transportable value: finite scalars and small matrices. Lists
+/// are deliberately absent — they are not wire-encodable and the encoder
+/// never receives them. Scalars stay finite because the wire form goes
+/// through the canonical lineage literal, which does not preserve NaN
+/// payload bits.
+fn value_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        (-1.0e12f64..1.0e12).prop_map(Value::f64),
+        (1usize..5, 1usize..5, any::<u64>()).prop_map(|(r, c, seed)| {
+            Value::matrix(DenseMatrix::from_fn(r, c, |i, j| {
+                ((seed.wrapping_add((i * 31 + j) as u64) % 1000) as f64) / 7.0
+            }))
+        }),
+    ]
+    .boxed()
+}
+
+fn record_strategy() -> BoxedStrategy<ReplRecord> {
+    ("[a-z0-9 (){}:]{0,60}", value_strategy(), any::<u64>())
+        .prop_map(|(lineage, value, compute_ns)| ReplRecord::new(lineage, value, compute_ns))
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn repl_put_round_trips(records in vec(record_strategy(), 0..8)) {
+        let req = Request::ReplPut { records: records.clone() };
+        let (kind, payload) = req.encode();
+        let decoded = Request::decode(kind, &payload).expect("well-formed ReplPut must decode");
+        let Request::ReplPut { records: got } = decoded else {
+            panic!("decoded to a different variant");
+        };
+        prop_assert_eq!(&records, &got);
+        // Every record survives the trip byte-identical, so the embedded
+        // checksum still verifies.
+        prop_assert!(got.iter().all(ReplRecord::verify_bytes));
+    }
+
+    #[test]
+    fn repl_digest_and_pull_round_trip(
+        buckets in 1u32..=MAX_REPL_BUCKETS,
+        bucket_seed in any::<u32>(),
+    ) {
+        let (kind, payload) = Request::ReplDigest { buckets }.encode();
+        prop_assert_eq!(
+            Request::decode(kind, &payload),
+            Some(Request::ReplDigest { buckets })
+        );
+
+        let bucket = bucket_seed % buckets;
+        let (kind, payload) = Request::ReplPull { bucket, buckets }.encode();
+        prop_assert_eq!(
+            Request::decode(kind, &payload),
+            Some(Request::ReplPull { bucket, buckets })
+        );
+    }
+
+    #[test]
+    fn repl_responses_round_trip(
+        digests in vec(
+            (any::<u64>(), any::<u64>()).prop_map(|(count, xor)| BucketDigest { count, xor }),
+            0..64,
+        ),
+        records in vec(record_strategy(), 0..6),
+        applied in any::<u32>(),
+        rejected in any::<u32>(),
+    ) {
+        let (kind, payload) = Response::ReplDigests(digests.clone()).encode();
+        let Some(Response::ReplDigests(got)) = Response::decode(kind, &payload) else {
+            panic!("digests response did not decode");
+        };
+        prop_assert_eq!(digests, got);
+
+        let (kind, payload) = Response::ReplEntries(records.clone()).encode();
+        let Some(Response::ReplEntries(got)) = Response::decode(kind, &payload) else {
+            panic!("entries response did not decode");
+        };
+        prop_assert_eq!(&records, &got);
+
+        let (kind, payload) = Response::ReplAck { applied, rejected }.encode();
+        prop_assert_eq!(
+            Response::decode(kind, &payload),
+            Some(Response::ReplAck { applied, rejected })
+        );
+    }
+
+    /// Corruption anywhere in an encoded ReplPut payload must never panic
+    /// the decoder; when the mutated bytes still parse structurally, the
+    /// per-record checksum is there to flag damage to lineage/value bytes
+    /// (timing metadata is deliberately outside the checksum).
+    #[test]
+    fn mutated_repl_put_never_panics(
+        records in vec(record_strategy(), 1..4),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let (kind, payload) = Request::ReplPut { records }.encode();
+        let mut bad = payload.clone();
+        let pos = (pos_seed as usize) % bad.len();
+        bad[pos] ^= flip;
+        match Request::decode(kind, &bad) {
+            None => {} // structural rejection: fine
+            Some(Request::ReplPut { records: got }) => {
+                for r in &got {
+                    let _ = r.verify_bytes(); // must not panic
+                }
+            }
+            Some(_) => panic!("ReplPut bytes decoded to a different variant"),
+        }
+    }
+
+    /// Truncating an encoded payload at any point must decode to None —
+    /// the protocol requires every byte accounted for and present.
+    #[test]
+    fn truncated_repl_payloads_decode_to_none(
+        records in vec(record_strategy(), 1..4),
+        cut_seed in any::<u64>(),
+    ) {
+        let (kind, payload) = Request::ReplPut { records }.encode();
+        let cut = (cut_seed as usize) % payload.len(); // strictly shorter
+        prop_assert_eq!(Request::decode(kind, &payload[..cut]), None);
+    }
+}

@@ -197,7 +197,17 @@ pub struct LineageCache {
     /// is non-zero. Gates admissions, rewrites, and spilling by pressure
     /// level and is kept in sync with resident/spilled byte counts.
     governor: Option<Arc<ResourceGovernor>>,
+    /// Observer invoked (outside the cache lock) after each locally computed
+    /// value is admitted — the replication tap. Deliberately *not* fired for
+    /// startup-recovered entries or values applied via
+    /// [`Self::put_replicated`], so replicas never echo records back.
+    put_watcher: Mutex<Option<PutWatcher>>,
 }
+
+/// Callback fired after a locally computed `(lineage, value, compute_ns)`
+/// record is admitted into the cache. Must be cheap and non-blocking: it runs
+/// on the session hot path.
+pub type PutWatcher = Arc<dyn Fn(&LinRef, &Value, u64) + Send + Sync>;
 
 impl std::fmt::Debug for LineageCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -277,6 +287,7 @@ impl LineageCache {
             persist_breaker: CircuitBreaker::new(limit, cooldown),
             disk_full_noted: AtomicBool::new(false),
             governor,
+            put_watcher: Mutex::new(None),
         };
         if let Some((store, report)) = persist_store {
             LimaStats::add(&cache.stats.persist_recovered, report.recovered);
@@ -816,6 +827,17 @@ impl LineageCache {
     /// Directly stores a value (used by compensation plans that want their
     /// probe item cached after partial reuse, and by tests).
     pub fn put(self: &Arc<Self>, item: &LinRef, value: &Value, compute_ns: u64) {
+        self.put_inner(item, value, compute_ns, true);
+    }
+
+    /// [`Self::put`] for values received from a replica peer: identical
+    /// admission, but the put watcher is *not* fired, so applied records are
+    /// never re-enqueued for replication (no echo loops between members).
+    pub fn put_replicated(self: &Arc<Self>, item: &LinRef, value: &Value, compute_ns: u64) {
+        self.put_inner(item, value, compute_ns, false);
+    }
+
+    fn put_inner(self: &Arc<Self>, item: &LinRef, value: &Value, compute_ns: u64, notify: bool) {
         if !self.reusable(item) {
             LimaStats::bump(&self.stats.rejected_puts);
             return;
@@ -829,10 +851,83 @@ impl LineageCache {
                 .entry(key.clone())
                 .or_insert_with(|| CacheEntry::computing(height, now));
         }
-        self.fulfill(&key, value, compute_ns);
+        self.fulfill_inner(&key, value, compute_ns, notify);
+    }
+
+    /// Installs (or clears) the post-admission observer. Replaces any
+    /// previous watcher; recovered-at-startup entries never fire it.
+    pub fn set_put_watcher(&self, watcher: Option<PutWatcher>) {
+        *self.put_watcher.lock() = watcher;
+    }
+
+    /// True when the cache holds `item`'s value, resident or spilled.
+    /// Side-effect free: no hit/miss accounting, no placeholder creation —
+    /// the replication apply path uses this to skip records it already has.
+    pub fn contains(&self, item: &LinRef) -> bool {
+        let key = LinKey(item.clone());
+        let st = self.state.lock();
+        matches!(
+            st.map.get(&key).map(|e| &e.state),
+            Some(EntryState::Cached(_) | EntryState::Spilled { .. })
+        )
+    }
+
+    /// Lineage hashes of every entry this member can vouch for (resident or
+    /// spilled values; composite/list values that cannot cross the wire are
+    /// excluded). The anti-entropy digest and convergence checks are built
+    /// from exactly this set.
+    pub fn replica_hashes(&self) -> Vec<u64> {
+        let st = self.state.lock();
+        st.map
+            .iter()
+            .filter(|(_, e)| match &e.state {
+                EntryState::Cached(v) => !matches!(v, Value::List(_)),
+                EntryState::Spilled { .. } => true,
+                _ => false,
+            })
+            .map(|(k, _)| k.0.hash_value())
+            .collect()
+    }
+
+    /// Clones the resident entries whose scrambled lineage hash lands in
+    /// `bucket` (of `nbuckets`), newest-access first, capped at `max_entries`
+    /// and ~`max_bytes` of value payload. Serving side of the anti-entropy
+    /// `K_REPL_PULL` op; serialization happens outside the lock.
+    pub fn export_bucket(
+        &self,
+        bucket: u64,
+        nbuckets: u64,
+        max_entries: usize,
+        max_bytes: usize,
+    ) -> Vec<(LinRef, Value, u64)> {
+        let nbuckets = nbuckets.max(1);
+        let st = self.state.lock();
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        for (k, e) in st.map.iter() {
+            if out.len() >= max_entries || bytes >= max_bytes {
+                break;
+            }
+            let EntryState::Cached(v) = &e.state else {
+                continue;
+            };
+            if matches!(v, Value::List(_)) {
+                continue;
+            }
+            if crate::faults::mix(k.0.hash_value()) % nbuckets != bucket {
+                continue;
+            }
+            bytes += e.size;
+            out.push((k.0.clone(), v.clone(), e.compute_ns));
+        }
+        out
     }
 
     fn fulfill(&self, key: &LinKey, value: &Value, compute_ns: u64) {
+        self.fulfill_inner(key, value, compute_ns, true);
+    }
+
+    fn fulfill_inner(&self, key: &LinKey, value: &Value, compute_ns: u64, notify: bool) {
         let children = self.composite_on_fulfill(key);
         let size = value.size_in_bytes();
         let admit = size <= self.effective_budget()
@@ -877,6 +972,12 @@ impl LineageCache {
         }
         if persistable {
             self.persist_entry(key, value, compute_ns);
+        }
+        if admit && notify {
+            let watcher = self.put_watcher.lock().clone();
+            if let Some(w) = watcher {
+                w(&key.0, value, compute_ns);
+            }
         }
     }
 

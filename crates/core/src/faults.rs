@@ -154,8 +154,10 @@ pub struct FaultInjector {
     injected: [AtomicU64; SITES.len()],
 }
 
-/// splitmix64 finalizer — the same mixer the vendored RNG seeds with.
-pub(crate) fn mix(mut z: u64) -> u64 {
+/// splitmix64 finalizer — the same mixer the vendored RNG seeds with. Public
+/// because replication digest bucketing (`limad`) and the chaos harness reuse
+/// it as the canonical cheap hash scrambler.
+pub fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

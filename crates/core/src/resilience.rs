@@ -269,6 +269,83 @@ impl CircuitBreaker {
     }
 }
 
+/// A small streaming quantile estimator over a sliding window of the most
+/// recent samples (e.g. per-request latencies in milliseconds).
+///
+/// Hedged reads need "the observed p99" cheaply and without unbounded
+/// memory: a fixed-capacity ring keeps the last `capacity` samples, and
+/// [`Self::quantile`] sorts a snapshot on demand (the window is small — a
+/// few hundred entries — so the sort is microseconds and only paid by the
+/// reader, never the recording hot path). Thread-safe; entirely
+/// deterministic given the same sample sequence.
+#[derive(Debug)]
+pub struct LatencyWindow {
+    ring: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<u64>,
+    next: usize,
+    filled: usize,
+}
+
+impl LatencyWindow {
+    /// A window retaining the most recent `capacity` samples (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LatencyWindow {
+            ring: Mutex::new(Ring {
+                buf: vec![0; capacity],
+                next: 0,
+                filled: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Records one sample, evicting the oldest once the window is full.
+    pub fn record(&self, sample: u64) {
+        let mut r = self.lock();
+        let cap = r.buf.len();
+        let at = r.next;
+        r.buf[at] = sample;
+        r.next = (at + 1) % cap;
+        r.filled = (r.filled + 1).min(cap);
+    }
+
+    /// Number of samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.lock().filled
+    }
+
+    /// True until the first sample is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the current window via
+    /// nearest-rank on a sorted snapshot, or `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let r = self.lock();
+        if r.filled == 0 {
+            return None;
+        }
+        let mut snap: Vec<u64> = r.buf[..r.filled].to_vec();
+        drop(r);
+        snap.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((snap.len() as f64 - 1.0) * q).round() as usize;
+        Some(snap[idx.min(snap.len() - 1)])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,5 +555,41 @@ mod tests {
         b.record_failure();
         std::thread::sleep(Duration::from_millis(5));
         assert_eq!(b.allow(), Attempt::Rejected);
+    }
+
+    #[test]
+    fn latency_window_quantiles_track_recent_samples() {
+        let w = LatencyWindow::new(100);
+        assert!(w.is_empty());
+        assert_eq!(w.quantile(0.99), None);
+        for v in 1..=100u64 {
+            w.record(v);
+        }
+        assert_eq!(w.len(), 100);
+        assert_eq!(w.quantile(0.0), Some(1));
+        assert_eq!(w.quantile(0.5), Some(51)); // nearest-rank on 1..=100
+        assert_eq!(w.quantile(1.0), Some(100));
+        assert_eq!(w.quantile(0.99), Some(99));
+    }
+
+    #[test]
+    fn latency_window_evicts_oldest_at_capacity() {
+        let w = LatencyWindow::new(4);
+        for v in [1000, 1, 2, 3, 4] {
+            w.record(v);
+        }
+        // The 1000 fell out of the 4-slot window.
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.quantile(1.0), Some(4));
+        assert_eq!(w.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn latency_window_zero_capacity_clamps_to_one() {
+        let w = LatencyWindow::new(0);
+        w.record(7);
+        w.record(9);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.quantile(0.5), Some(9));
     }
 }

@@ -170,6 +170,29 @@ define_stats! {
     srv_quota_rejects,
     /// Connections torn by injected `ConnDrop` faults (chaos testing).
     srv_conn_drops,
+    /// Committed records enqueued for asynchronous replication to followers.
+    repl_enqueued,
+    /// Records dropped instead of enqueued/sent: replication queue full or
+    /// governor pressure ≥ L2 (replication never blocks the submit path).
+    repl_queue_drops,
+    /// Records successfully forwarded to a follower (acked `K_REPL_PUT`).
+    repl_sent,
+    /// Records dropped at send time: peer unreachable, breaker open, or a
+    /// partition in effect (best-effort replication absorbs the loss).
+    repl_send_failures,
+    /// Replicated records applied into the local cache (write replication or
+    /// anti-entropy pulls).
+    repl_applied,
+    /// Replicated records rejected: unparseable lineage, DAG verification
+    /// failure, or unrepairable byte corruption.
+    repl_rejected,
+    /// Replicated records whose bytes failed their checksum and were
+    /// recomputed from lineage before applying.
+    repl_repaired,
+    /// Completed anti-entropy digest exchanges with a peer.
+    ae_rounds,
+    /// Entries pulled from a peer by anti-entropy bucket repair.
+    ae_pulled,
 }
 
 impl LimaStats {
@@ -253,6 +276,8 @@ impl LimaStats {
              persist_retries={} breaker_probes={}\n\
              session: started={} completed={} cancelled={} deadline_exceeded={} rejected={}\n\
              service: requests={} malformed={} sheds={} quota_rejects={} conn_drops={}\n\
+             repl:    enqueued={} queue_drops={} sent={} send_failures={} applied={} \
+             rejected={} repaired={} ae_rounds={} ae_pulled={}\n\
              time:    saved_compute={:.3}s compensation={:.3}s",
             Self::get(&self.items_traced),
             Self::get(&self.dedup_items),
@@ -310,6 +335,15 @@ impl LimaStats {
             Self::get(&self.srv_sheds),
             Self::get(&self.srv_quota_rejects),
             Self::get(&self.srv_conn_drops),
+            Self::get(&self.repl_enqueued),
+            Self::get(&self.repl_queue_drops),
+            Self::get(&self.repl_sent),
+            Self::get(&self.repl_send_failures),
+            Self::get(&self.repl_applied),
+            Self::get(&self.repl_rejected),
+            Self::get(&self.repl_repaired),
+            Self::get(&self.ae_rounds),
+            Self::get(&self.ae_pulled),
             Self::get(&self.saved_compute_ns) as f64 / 1e9,
             Self::get(&self.compensation_ns) as f64 / 1e9,
         )
@@ -356,6 +390,11 @@ mod tests {
         assert!(r.contains("degrades=1"));
         assert!(r.contains("deadline_exceeded=1"));
         assert!(r.contains("breaker_probes=0"));
+        LimaStats::bump(&s.repl_queue_drops);
+        LimaStats::add(&s.ae_pulled, 2);
+        let r = s.report();
+        assert!(r.contains("queue_drops=1"));
+        assert!(r.contains("ae_pulled=2"));
     }
 
     /// Satellite: `prometheus()` must round-trip *every* counter in

@@ -24,8 +24,12 @@
 //! concurrent zipf-skewed sessions.
 
 pub mod metrics;
+pub mod repl;
+pub mod replica;
 pub mod server;
 pub mod shard;
 
+pub use repl::{ReplOptions, Replicator};
+pub use replica::ReplicaGroup;
 pub use server::{LimadConfig, Server};
 pub use shard::{CacheShard, ShardSet, ShardState};

@@ -75,6 +75,28 @@ pub(crate) fn metrics_text(inner: &Inner) -> String {
             ));
         }
     }
+    if let Some(repl) = inner.repl.as_ref() {
+        out.push_str(
+            "# HELP limad_replica_state Peer member health (1=reachable, 0=breaker open).\n\
+             # TYPE limad_replica_state gauge\n",
+        );
+        // Peers are wired in ascending member order with self skipped, so
+        // the list index maps back to the peer's group-wide member index.
+        let me = repl.options().member;
+        for (i, (_, healthy)) in repl.peer_states().iter().enumerate() {
+            let peer_member = if i < me { i } else { i + 1 };
+            out.push_str(&format!(
+                "limad_replica_state{{member=\"{peer_member}\"}} {}\n",
+                u8::from(*healthy)
+            ));
+        }
+        out.push_str(&format!(
+            "# HELP limad_repl_queue_depth Entries waiting in the replication queue.\n\
+             # TYPE limad_repl_queue_depth gauge\n\
+             limad_repl_queue_depth {}\n",
+            repl.queue_depth()
+        ));
+    }
     out
 }
 

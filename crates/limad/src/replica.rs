@@ -1,0 +1,221 @@
+//! In-process replica groups: R independently killable `limad` members.
+//!
+//! A [`ReplicaGroup`] runs R full [`Server`] instances in one process, each
+//! with its own shard set, WAL root (`member-<i>` subdirectory), listen
+//! ports, and replicator, wired to each other as peers. Chaos harnesses and
+//! tests use it to kill, restart, and partition members deterministically;
+//! `limad --replicas R` uses it to serve a whole group from one process.
+//!
+//! A killed member's ports are remembered so [`ReplicaGroup::restart`] can
+//! rebind the *same* addresses (clients keep their replica lists); the
+//! rebind retries briefly because the dying listener's accept thread may
+//! still hold the socket for a poll tick.
+
+use crate::server::{LimadConfig, Server};
+use std::time::Duration;
+
+/// How many times a restart retries binding the member's old address.
+const REBIND_ATTEMPTS: u32 = 40;
+
+/// Delay between rebind attempts.
+const REBIND_DELAY: Duration = Duration::from_millis(50);
+
+/// R `limad` members forming one replica group.
+pub struct ReplicaGroup {
+    /// `None` marks a killed member awaiting restart.
+    members: Vec<Option<Server>>,
+    /// Each member's config with its *bound* addresses substituted in, so a
+    /// restart reclaims the same ports.
+    cfgs: Vec<LimadConfig>,
+}
+
+/// Offsets an explicit port by `i`; port 0 (ephemeral) stays 0.
+fn derive_addr(base: &str, i: usize) -> String {
+    match base.rsplit_once(':') {
+        Some((host, port)) => match port.parse::<u16>() {
+            Ok(0) | Err(_) => base.to_string(),
+            Ok(p) => format!("{host}:{}", p as usize + i),
+        },
+        None => base.to_string(),
+    }
+}
+
+impl ReplicaGroup {
+    /// Starts `replicas` members derived from `base` and wires them as
+    /// peers. Member `i` gets `base.listen`/`base.metrics_listen` offset by
+    /// `i` (ephemeral ports stay ephemeral), a `member-<i>` persistence
+    /// subdirectory, and `base.repl` (defaulted when `None`) with its
+    /// member index filled in.
+    pub fn start(base: &LimadConfig, replicas: usize) -> std::io::Result<ReplicaGroup> {
+        Self::start_with(base, replicas, |_, _| {})
+    }
+
+    /// [`ReplicaGroup::start`] with a per-member configuration hook, letting
+    /// chaos harnesses give one member a distinct fault template.
+    pub fn start_with(
+        base: &LimadConfig,
+        replicas: usize,
+        mut customize: impl FnMut(usize, &mut LimadConfig),
+    ) -> std::io::Result<ReplicaGroup> {
+        let replicas = replicas.max(1);
+        let mut members = Vec::with_capacity(replicas);
+        let mut cfgs = Vec::with_capacity(replicas);
+        for i in 0..replicas {
+            let mut cfg = base.clone();
+            cfg.listen = derive_addr(&base.listen, i);
+            cfg.metrics_listen = derive_addr(&base.metrics_listen, i);
+            cfg.persist_root = base
+                .persist_root
+                .as_ref()
+                .map(|root| root.join(format!("member-{i}")));
+            let mut repl = base.repl.clone().unwrap_or_default();
+            repl.member = i;
+            cfg.repl = Some(repl);
+            customize(i, &mut cfg);
+            let server = Server::start(cfg.clone())?;
+            // Record the *bound* addresses (ephemeral ports resolved) so
+            // restarts and peer wiring use stable endpoints.
+            cfg.listen = server.addr().to_string();
+            cfg.metrics_listen = server.metrics_addr().to_string();
+            members.push(Some(server));
+            cfgs.push(cfg);
+        }
+        let group = ReplicaGroup { members, cfgs };
+        group.wire_peers();
+        Ok(group)
+    }
+
+    /// Points every live member's replicator at all of its siblings' bound
+    /// addresses (dead members stay listed: the sender's breaker handles
+    /// their absence, and they heal via AE once restarted).
+    pub fn wire_peers(&self) {
+        for (i, member) in self.members.iter().enumerate() {
+            let Some(server) = member else { continue };
+            let peers: Vec<String> = self
+                .cfgs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, cfg)| cfg.listen.clone())
+                .collect();
+            server.connect_peers(peers);
+        }
+    }
+
+    /// Number of members (live or killed).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True only for an empty group (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Live member `i`, if it exists and is not killed.
+    pub fn get(&self, i: usize) -> Option<&Server> {
+        self.members.get(i).and_then(Option::as_ref)
+    }
+
+    /// Every member's bound wire address, index-aligned.
+    pub fn addrs(&self) -> Vec<String> {
+        self.cfgs.iter().map(|c| c.listen.clone()).collect()
+    }
+
+    /// Kills member `i`: full server shutdown (cancels sessions, joins
+    /// threads, releases ports). No-op if already dead.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(slot) = self.members.get_mut(i) {
+            if let Some(server) = slot.take() {
+                server.shutdown();
+            }
+        }
+    }
+
+    /// Restarts a killed member on its original addresses and re-wires
+    /// peers. Retries the bind briefly — the killed member's accept loop
+    /// releases the port within one poll tick.
+    pub fn restart(&mut self, i: usize) -> std::io::Result<()> {
+        let Some(slot) = self.members.get_mut(i) else {
+            return Err(std::io::Error::other(format!("no member {i}")));
+        };
+        if slot.is_some() {
+            return Ok(());
+        }
+        let cfg = self.cfgs[i].clone();
+        let mut last_err = None;
+        for _ in 0..REBIND_ATTEMPTS {
+            match Server::start(cfg.clone()) {
+                Ok(server) => {
+                    *slot = Some(server);
+                    self.wire_peers();
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                    last_err = Some(e);
+                    std::thread::sleep(REBIND_DELAY);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("rebind retries exhausted")))
+    }
+
+    /// Shuts every live member down.
+    pub fn shutdown(mut self) {
+        for slot in self.members.iter_mut() {
+            if let Some(server) = slot.take() {
+                server.shutdown();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicaGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let live: Vec<usize> = self
+            .members
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|_| i))
+            .collect();
+        f.debug_struct("ReplicaGroup")
+            .field("members", &self.members.len())
+            .field("live", &live)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_addr_offsets_explicit_ports_only() {
+        assert_eq!(derive_addr("127.0.0.1:7461", 2), "127.0.0.1:7463");
+        assert_eq!(derive_addr("127.0.0.1:0", 2), "127.0.0.1:0");
+        assert_eq!(derive_addr("nonsense", 1), "nonsense");
+    }
+
+    #[test]
+    fn group_starts_kills_and_restarts_members() {
+        let base = LimadConfig {
+            shards: 2,
+            scrub_interval_ms: 0,
+            ..LimadConfig::default()
+        };
+        let mut group = ReplicaGroup::start(&base, 2).unwrap();
+        assert_eq!(group.len(), 2);
+        let addrs = group.addrs();
+        assert_eq!(addrs.len(), 2);
+        assert_ne!(addrs[0], addrs[1]);
+        assert!(group.get(0).is_some());
+        group.kill(0);
+        assert!(group.get(0).is_none());
+        assert!(group.get(1).is_some());
+        group.restart(0).unwrap();
+        let server = group.get(0).expect("restarted member is live");
+        assert_eq!(server.addr().to_string(), addrs[0]);
+        group.shutdown();
+    }
+}

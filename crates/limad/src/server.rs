@@ -23,6 +23,7 @@
 //!   sibling-isolation assertions have a deterministic target.
 
 use crate::metrics::{metrics_text, serve_metrics};
+use crate::repl::{ReplOptions, Replicator};
 use crate::shard::{CacheShard, ShardSet};
 use lima_client::proto::{
     read_frame, write_frame, ErrorCode, Request, Response, ServiceError, ShardScrub,
@@ -76,6 +77,9 @@ pub struct LimadConfig {
     pub scrub_interval_ms: u64,
     /// Byte budget handed to each background scrub chunk.
     pub scrub_chunk_bytes: u64,
+    /// Replication tuning; `None` runs the member standalone (replication
+    /// wire ops still answer, so a standalone member can seed a new group).
+    pub repl: Option<ReplOptions>,
 }
 
 impl Default for LimadConfig {
@@ -92,6 +96,7 @@ impl Default for LimadConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             scrub_interval_ms: 500,
             scrub_chunk_bytes: 4 * 1024 * 1024,
+            repl: None,
         }
     }
 }
@@ -100,8 +105,11 @@ impl Default for LimadConfig {
 pub(crate) struct Inner {
     pub(crate) cfg: LimadConfig,
     pub(crate) shards: ShardSet,
-    /// Server-level counters (`srv_*`); shard counters live in each shard.
-    pub(crate) stats: LimaStats,
+    /// Server-level counters (`srv_*`, `repl_*`, `ae_*`); shard counters
+    /// live in each shard. Shared with the replicator's background threads.
+    pub(crate) stats: Arc<LimaStats>,
+    /// Replication state when this member runs in a replica group.
+    pub(crate) repl: Option<Arc<Replicator>>,
     /// In-flight submit count per tenant.
     tenants: Mutex<HashMap<String, usize>>,
     /// Cancel tokens of running sessions, by server-assigned id.
@@ -210,6 +218,27 @@ impl Inner {
             Request::Metrics => Response::MetricsText(metrics_text(self)),
             Request::Ping => Response::Pong,
             Request::Scrub => Response::Scrubbed(self.scrub_all()),
+            // Replication ops are served whether or not this member runs a
+            // replicator of its own: a standalone member can always be read
+            // from (digest/pull) or written to (put) by a peer.
+            Request::ReplPut { records } => {
+                let mut applied = 0u32;
+                let mut rejected = 0u32;
+                for rec in &records {
+                    if crate::repl::apply_record(self, rec, false) {
+                        applied += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                Response::ReplAck { applied, rejected }
+            }
+            Request::ReplDigest { buckets } => {
+                Response::ReplDigests(crate::repl::local_digests(&self.shards, buckets))
+            }
+            Request::ReplPull { bucket, buckets } => {
+                Response::ReplEntries(crate::repl::export_entries(&self.shards, bucket, buckets))
+            }
         }
     }
 
@@ -395,28 +424,131 @@ pub struct Server {
     accept: Option<std::thread::JoinHandle<()>>,
     metrics: Option<std::thread::JoinHandle<()>>,
     scrubbers: Vec<std::thread::JoinHandle<()>>,
+    repl_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Binds a TCP listener with `SO_REUSEADDR`, so a replica member restarted
+/// after a kill can rebind its advertised port immediately even while
+/// connections from its previous life still sit in TIME_WAIT. The std
+/// binder does not set the option, and the workspace vendors no socket
+/// crate, so the option is set through libc directly (std already links
+/// it); non-Linux targets fall back to the plain binder.
+#[cfg(target_os = "linux")]
+fn bind_listener(addr: &str) -> std::io::Result<TcpListener> {
+    use std::net::ToSocketAddrs;
+    use std::os::fd::FromRawFd;
+
+    let resolved = addr.to_socket_addrs()?.next();
+    let Some(SocketAddr::V4(v4)) = resolved else {
+        return TcpListener::bind(addr);
+    };
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0x8_0000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    /// `struct sockaddr_in`; port and addr in network byte order.
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let fail = |fd: i32| {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            Err(e)
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) != 0 {
+            return fail(fd);
+        }
+        let sa = SockaddrIn {
+            family: AF_INET as u16,
+            port: v4.port().to_be(),
+            addr: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        if bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) != 0 {
+            return fail(fd);
+        }
+        if listen(fd, 128) != 0 {
+            return fail(fd);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_listener(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
 }
 
 impl Server {
     /// Binds both listeners and starts serving.
     pub fn start(cfg: LimadConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.listen)?;
+        let listener = bind_listener(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let metrics_listener = TcpListener::bind(&cfg.metrics_listen)?;
+        let metrics_listener = bind_listener(&cfg.metrics_listen)?;
         metrics_listener.set_nonblocking(true)?;
         let metrics_addr = metrics_listener.local_addr()?;
 
         let shards = ShardSet::new(cfg.shards, &cfg.template, cfg.persist_root.as_deref());
+        let stats = Arc::new(LimaStats::new());
+        let repl = cfg
+            .repl
+            .clone()
+            .map(|opts| Arc::new(Replicator::new(opts, Arc::clone(&stats))));
         let inner = Arc::new(Inner {
             cfg,
             shards,
-            stats: LimaStats::new(),
+            stats,
+            repl,
             tenants: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
         });
+
+        // Replication: hang a put-watcher on every shard's cache so each
+        // committed entry is queued for forwarding. The watcher drops (and
+        // counts) under governor pressure instead of queueing — replication
+        // must never add pressure to a shard that is already shedding.
+        if let Some(repl) = inner.repl.as_ref() {
+            for shard in inner.shards.iter() {
+                let Some(cache) = shard.cache() else { continue };
+                let repl = Arc::clone(repl);
+                let governor = shard.governor();
+                cache.set_put_watcher(Some(Arc::new(move |root, value, compute_ns| {
+                    if matches!(value, lima_matrix::Value::List(_)) {
+                        return; // not wire-transportable
+                    }
+                    if let Some(g) = &governor {
+                        if g.level() >= PressureLevel::NoRewrites {
+                            LimaStats::bump(&repl.stats.repl_queue_drops);
+                            return;
+                        }
+                    }
+                    repl.enqueue(root.clone(), value.clone(), compute_ns);
+                })));
+            }
+        }
 
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
@@ -442,6 +574,27 @@ impl Server {
             }
         }
 
+        // Replication background threads: the batch sender always runs (it
+        // also drains queue entries accumulated while peers are away); the
+        // anti-entropy loop runs only with a non-zero interval.
+        let mut repl_threads = Vec::new();
+        if let Some(repl) = inner.repl.as_ref() {
+            let sender_inner = Arc::clone(&inner);
+            repl_threads.push(
+                std::thread::Builder::new()
+                    .name("limad-repl-send".into())
+                    .spawn(move || crate::repl::sender_loop(&sender_inner))?,
+            );
+            if repl.options().ae_interval_ms > 0 {
+                let ae_inner = Arc::clone(&inner);
+                repl_threads.push(
+                    std::thread::Builder::new()
+                        .name("limad-repl-ae".into())
+                        .spawn(move || crate::repl::ae_loop(&ae_inner))?,
+                );
+            }
+        }
+
         Ok(Server {
             inner,
             addr,
@@ -449,6 +602,7 @@ impl Server {
             accept: Some(accept),
             metrics: Some(metrics),
             scrubbers,
+            repl_threads,
         })
     }
 
@@ -477,6 +631,35 @@ impl Server {
         metrics_text(&self.inner)
     }
 
+    /// This member's replicator, when replication is configured.
+    pub fn replicator(&self) -> Option<Arc<Replicator>> {
+        self.inner.repl.clone()
+    }
+
+    /// Points this member's replicator at its peers (no-op standalone).
+    pub fn connect_peers(&self, addrs: Vec<String>) {
+        if let Some(repl) = self.inner.repl.as_ref() {
+            repl.set_peers(addrs);
+        }
+    }
+
+    /// Sorted, deduplicated hashes of every replicable resident entry across
+    /// all shards (the same lineage can be resident in several shards when
+    /// overlapping scripts route to different shards) — two members
+    /// converged iff their keyspace hashes are equal.
+    pub fn keyspace_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> = self
+            .inner
+            .shards
+            .iter()
+            .filter_map(|s| s.cache())
+            .flat_map(|c| c.replica_hashes())
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes
+    }
+
     /// Stops accepting, cancels in-flight sessions, joins listener threads.
     pub fn shutdown(mut self) {
         self.stop();
@@ -495,6 +678,16 @@ impl Server {
         }
         for t in self.scrubbers.drain(..) {
             let _ = t.join();
+        }
+        for t in self.repl_threads.drain(..) {
+            let _ = t.join();
+        }
+        // Watchers hold the replicator (stats + queue only — no cycle back
+        // to Inner), but clearing them makes teardown order obvious.
+        for shard in self.inner.shards.iter() {
+            if let Some(cache) = shard.cache() {
+                cache.set_put_watcher(None);
+            }
         }
     }
 }
@@ -589,6 +782,12 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
             Err(_) => return, // torn mid-frame or timed out
         };
 
+        // Shutdown may have flipped while we were blocked reading the frame;
+        // drop the connection instead of serving one last request on a
+        // half-torn-down server (the client's failover handles the close).
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         LimaStats::bump(&inner.stats.srv_requests);
         let resp = match Request::decode(kind, &payload) {
             Some(req) => inner.dispatch(req),

@@ -12,20 +12,24 @@
 //!     --deadline-ms <N>      default submit deadline (default 30000)
 //!     --scrub-interval-ms <N> background scrub cadence per shard, 0=off (default 500)
 //!     --scrub-chunk-kb <N>   byte budget per scrub chunk (default 4096)
+//!     --replicas <R>         run R replicated members in this process
+//!                            (default 1 = standalone; member i listens on
+//!                            listen-port + i, metrics-port + i)
 //! ```
 //!
 //! Runs until killed. Prints the bound addresses on startup (useful with
 //! `--listen 127.0.0.1:0` in scripts).
 
 use lima_core::LimaConfig;
-use limad::{LimadConfig, Server};
+use limad::{LimadConfig, ReplicaGroup, Server};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: limad [--listen ADDR] [--metrics ADDR] [--shards N] \
 [--persist-dir DIR] [--budget-mb N] [--governor-mb N] [--tenant-quota N] [--deadline-ms N] \
-[--scrub-interval-ms N] [--scrub-chunk-kb N]\n";
+[--scrub-interval-ms N] [--scrub-chunk-kb N] [--replicas R]\n";
 
-fn parse_args(args: &[String]) -> Result<LimadConfig, String> {
+fn parse_args(args: &[String]) -> Result<(LimadConfig, usize), String> {
+    let mut replicas = 1usize;
     let mut cfg = LimadConfig {
         listen: "127.0.0.1:7461".into(),
         metrics_listen: "127.0.0.1:7462".into(),
@@ -77,12 +81,19 @@ fn parse_args(args: &[String]) -> Result<LimadConfig, String> {
                 let kb: u64 = v.parse().map_err(|_| format!("bad chunk size '{v}'"))?;
                 cfg.scrub_chunk_bytes = kb * 1024;
             }
+            "--replicas" => {
+                let v = take(args, &mut i, "--replicas")?;
+                replicas = v.parse().map_err(|_| format!("bad replica count '{v}'"))?;
+                if replicas == 0 {
+                    return Err("--replicas must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
         i += 1;
     }
     cfg.template = template;
-    Ok(cfg)
+    Ok((cfg, replicas))
 }
 
 fn main() -> ExitCode {
@@ -91,13 +102,33 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     }
-    let cfg = match parse_args(&args) {
-        Ok(cfg) => cfg,
+    let (cfg, replicas) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("limad: {msg}");
             return ExitCode::from(2);
         }
     };
+    if replicas > 1 {
+        let group = match ReplicaGroup::start(&cfg, replicas) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("limad: failed to start replica group: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for i in 0..group.len() {
+            let server = group.get(i).expect("freshly started member");
+            println!("limad member {i} listening on {}", server.addr());
+            println!(
+                "limad member {i} metrics on http://{}/metrics",
+                server.metrics_addr()
+            );
+        }
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
     let server = match Server::start(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -130,12 +161,13 @@ mod tests {
 
     #[test]
     fn defaults_and_overrides_parse() {
-        let cfg = parse_args(&[]).unwrap();
+        let (cfg, replicas) = parse_args(&[]).unwrap();
         assert_eq!(cfg.shards, 4);
         assert_eq!(cfg.tenant_max_sessions, 8);
         assert!(cfg.persist_root.is_none());
+        assert_eq!(replicas, 1);
 
-        let cfg = parse_args(&to_args(&[
+        let (cfg, replicas) = parse_args(&to_args(&[
             "--listen",
             "127.0.0.1:0",
             "--shards",
@@ -154,8 +186,11 @@ mod tests {
             "250",
             "--scrub-chunk-kb",
             "512",
+            "--replicas",
+            "2",
         ]))
         .unwrap();
+        assert_eq!(replicas, 2);
         assert_eq!(cfg.listen, "127.0.0.1:0");
         assert_eq!(cfg.shards, 2);
         assert!(cfg.persist_root.is_some());
@@ -172,5 +207,7 @@ mod tests {
         assert!(parse_args(&to_args(&["--shards"])).is_err());
         assert!(parse_args(&to_args(&["--shards", "many"])).is_err());
         assert!(parse_args(&to_args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&to_args(&["--replicas", "0"])).is_err());
+        assert!(parse_args(&to_args(&["--replicas", "two"])).is_err());
     }
 }

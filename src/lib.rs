@@ -51,7 +51,9 @@ pub use limad;
 pub mod prelude {
     pub use lima_algos::runner::{run_script, run_script_with_cache, RunResult};
     pub use lima_algos::{datasets, pipelines, scripts};
-    pub use lima_client::{ClientOptions, ErrorCode, LimadClient, SubmitOptions};
+    pub use lima_client::{
+        ClientOptions, ClientStats, ErrorCode, LimadClient, MemberStats, SubmitOptions,
+    };
     pub use lima_core::faults::{FaultInjector, FaultSite};
     pub use lima_core::lineage::serialize::{
         deserialize_lineage, serialize_lineage, LineageParseError,
@@ -68,5 +70,5 @@ pub mod prelude {
         execute_program, ExecutionContext, RuntimeError, SessionHandle, SessionOptions,
         SessionOutcome, SessionPool,
     };
-    pub use limad::{LimadConfig, Server, ShardState};
+    pub use limad::{LimadConfig, ReplOptions, ReplicaGroup, Server, ShardState};
 }
