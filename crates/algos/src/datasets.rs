@@ -239,7 +239,7 @@ mod tests {
         assert_eq!(x.shape(), (200, 5));
         assert_eq!(y.shape(), (200, 1));
         // Solve normal equations; residual must be small (noise 0.1).
-        let xtx = lima_matrix::ops::tsmm(&x, lima_matrix::ops::TsmmSide::Left);
+        let xtx = lima_matrix::ops::tsmm(&x, lima_matrix::ops::TsmmSide::Left).unwrap();
         let xty = matmult(&lima_matrix::ops::transpose(&x), &y).unwrap();
         let b = lima_matrix::ops::solve(&xtx, &xty).unwrap();
         let yhat = matmult(&x, &b).unwrap();

@@ -36,7 +36,7 @@ fn bench_tsmm(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{rows}x{cols}")),
             &rows,
-            |bch, _| bch.iter(|| tsmm(black_box(&x), TsmmSide::Left)),
+            |bch, _| bch.iter(|| tsmm(black_box(&x), TsmmSide::Left).unwrap()),
         );
     }
     g.finish();
@@ -46,7 +46,7 @@ fn bench_solve_and_eigen(c: &mut Criterion) {
     let mut g = c.benchmark_group("solvers");
     g.sample_size(10);
     let x = mk(500, 60, 5);
-    let a = tsmm(&x, TsmmSide::Left);
+    let a = tsmm(&x, TsmmSide::Left).unwrap();
     let spd = {
         let mut m = a.clone();
         for i in 0..m.rows() {

@@ -1,0 +1,336 @@
+//! `bench-json`: machine-readable perf trajectory for CI.
+//!
+//! Emits two artifacts (hand-rolled JSON — no serde in the tree, same idiom
+//! as `chaos --bench-out`):
+//!
+//! * `BENCH_kernels.json` — per-kernel, per-backend `p50_ns`/`p99_ns` over
+//!   the shapes below, plus the Reference→Optimized speedup on the large
+//!   GEMM (the acceptance record: ≥ 2× at 512³ on multi-core hosts) and the
+//!   batched-vs-individual lineage-hashing comparison.
+//! * `BENCH_reuse.json` — end-to-end pipeline wall times under the paper's
+//!   `Base`/`LT`/`LIMA` configurations, plus the observability overhead
+//!   ratio guarded by the `obs_overhead` binary.
+//!
+//! Knobs: `--out-dir DIR` (default `.`), `LIMA_BENCH_REPS` (default 9),
+//! `LIMA_BENCH_GEMM_N` (default 512; lower it for smoke runs).
+
+use lima_algos::runner::run_script;
+use lima_bench::Config;
+use lima_core::lineage::item::{hash_batch, LinRef, LineageItem};
+use lima_core::{LimaConfig, Obs};
+use lima_matrix::backend::backend_for;
+use lima_matrix::ops::elementwise::BinOp;
+use lima_matrix::{BackendKind, DenseMatrix, KernelBackend, Value};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic dense matrix (splitmix-style hash of the cell index).
+fn det(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |i, j| {
+        let mut z = seed ^ (((i * cols + j) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z >> 40) as f64 / (1u64 << 24) as f64) * 8.0 - 4.0
+    })
+}
+
+/// `p`-th percentile of unsorted nanosecond samples (nearest-rank).
+fn percentile_ns(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+    samples[idx]
+}
+
+/// Times `f` for `reps` repetitions, returning (p50_ns, p99_ns).
+fn time_ns(reps: usize, mut f: impl FnMut()) -> (u64, u64) {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    (
+        percentile_ns(&mut samples, 0.50),
+        percentile_ns(&mut samples, 0.99),
+    )
+}
+
+/// One kernel/backend/shape measurement row.
+struct KernelRow {
+    kernel: &'static str,
+    backend: &'static str,
+    rows: usize,
+    inner: usize,
+    cols: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+    reps: usize,
+}
+
+impl KernelRow {
+    fn json(&self) -> String {
+        format!(
+            "    {{\"kernel\": \"{}\", \"backend\": \"{}\", \"rows\": {}, \"inner\": {}, \
+             \"cols\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"reps\": {}}}",
+            self.kernel,
+            self.backend,
+            self.rows,
+            self.inner,
+            self.cols,
+            self.p50_ns,
+            self.p99_ns,
+            self.reps
+        )
+    }
+}
+
+/// Measures every kernel of one backend on one shape family.
+#[allow(clippy::too_many_arguments)]
+fn bench_backend(
+    kind: BackendKind,
+    m: usize,
+    k: usize,
+    n: usize,
+    reps: usize,
+    out: &mut Vec<KernelRow>,
+) {
+    let be: &'static dyn KernelBackend = backend_for(kind);
+    let a = det(m, k, 1);
+    let b = det(k, n, 2);
+    let x = det(m, n, 3);
+
+    let mut row = |kernel, rows, inner, cols, (p50_ns, p99_ns)| {
+        out.push(KernelRow {
+            kernel,
+            backend: kind.name(),
+            rows,
+            inner,
+            cols,
+            p50_ns,
+            p99_ns,
+            reps,
+        });
+    };
+    row(
+        "gemm",
+        m,
+        k,
+        n,
+        time_ns(reps, || {
+            be.gemm(&a, &b).expect("gemm");
+        }),
+    );
+    row(
+        "tsmm_left",
+        m,
+        0,
+        n,
+        time_ns(reps, || {
+            be.tsmm_left(&x).expect("tsmm_left");
+        }),
+    );
+    row(
+        "tsmm_right",
+        m,
+        0,
+        n,
+        time_ns(reps, || {
+            be.tsmm_right(&x).expect("tsmm_right");
+        }),
+    );
+    row(
+        "transpose",
+        m,
+        0,
+        n,
+        time_ns(reps, || {
+            let _ = be.transpose(&x);
+        }),
+    );
+    row(
+        "ew_add",
+        m,
+        0,
+        n,
+        time_ns(reps, || {
+            let _ = be.ew_binary(BinOp::Add, &x, &x);
+        }),
+    );
+}
+
+/// Median wall time (ns) of hashing `chain` fresh lineage chains of length
+/// `len`, either batched (one `hash_batch` flush per chain) or per item.
+fn hash_chain_ns(reps: usize, len: usize, batched: bool) -> (u64, u64) {
+    time_ns(reps, || {
+        let mut roots: Vec<LinRef> = Vec::with_capacity(len);
+        let mut node = LineageItem::literal("f:0");
+        for _ in 0..len {
+            node = LineageItem::op("+", vec![node.clone()]);
+            roots.push(node.clone());
+        }
+        if batched {
+            hash_batch(&roots);
+        } else {
+            for r in &roots {
+                let _ = r.hash_value();
+            }
+        }
+    })
+}
+
+fn kernels_json(gemm_n: usize, reps: usize) -> String {
+    let mut rows: Vec<KernelRow> = Vec::new();
+    // Small shape: dispatch + tail handling; large shape: throughput.
+    for kind in [BackendKind::Reference, BackendKind::Optimized] {
+        bench_backend(kind, 96, 80, 112, reps, &mut rows);
+        bench_backend(kind, gemm_n, gemm_n, gemm_n, reps, &mut rows);
+    }
+
+    // The acceptance record: large-GEMM speedup of Optimized over Reference.
+    let pick = |backend: &str| {
+        rows.iter()
+            .find(|r| r.kernel == "gemm" && r.backend == backend && r.rows == gemm_n)
+            .map_or(0, |r| r.p50_ns)
+    };
+    let (ref_ns, opt_ns) = (pick("reference"), pick("optimized"));
+    let speedup = ref_ns as f64 / opt_ns.max(1) as f64;
+
+    let (batched_p50, batched_p99) = hash_chain_ns(reps, 4096, true);
+    let (single_p50, single_p99) = hash_chain_ns(reps, 4096, false);
+
+    let row_json: Vec<String> = rows.iter().map(KernelRow::json).collect();
+    format!(
+        "{{\n  \"schema\": \"lima-bench-kernels-v1\",\n  \"kernels\": [\n{}\n  ],\n  \
+         \"gemm_large\": {{\"n\": {gemm_n}, \"reference_p50_ns\": {ref_ns}, \
+         \"optimized_p50_ns\": {opt_ns}, \"speedup\": {speedup:.3}}},\n  \
+         \"lineage_hashing\": {{\"chain_len\": 4096, \
+         \"batched_p50_ns\": {batched_p50}, \"batched_p99_ns\": {batched_p99}, \
+         \"per_item_p50_ns\": {single_p50}, \"per_item_p99_ns\": {single_p99}}}\n}}\n",
+        row_json.join(",\n")
+    )
+}
+
+/// Instruction-dense reuse workload (same shape as the `obs_overhead` one:
+/// interpreter pre/post-processing dominates, kernels stay cheap).
+const REUSE_SCRIPT: &str = "
+    s = 0;
+    for (i in 1:60) {
+      A = X * (1 + i - i);
+      B = A + X;
+      C = B - X;
+      s = s + sum(C);
+    }
+";
+
+fn run_reuse_once(config: &LimaConfig, x: &Value) -> Result<u64, String> {
+    let t0 = Instant::now();
+    let r = run_script(REUSE_SCRIPT, config, &[("X", x.clone())])
+        .map_err(|e| format!("reuse workload failed: {e:?}"))?;
+    r.value("s")
+        .as_f64()
+        .map_err(|e| format!("reuse output: {e:?}"))?;
+    Ok(t0.elapsed().as_nanos() as u64)
+}
+
+fn reuse_json(reps: usize) -> Result<String, String> {
+    let x = Value::matrix(det(64, 64, 7));
+    let mut config_rows = Vec::new();
+    for cfg in [Config::Base, Config::LT, Config::Lima] {
+        let lima_cfg = cfg.to_config(lima_bench::DEFAULT_BUDGET);
+        run_reuse_once(&lima_cfg, &x)?; // warm-up
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            samples.push(run_reuse_once(&lima_cfg, &x)?);
+        }
+        let (p50, p99) = (
+            percentile_ns(&mut samples, 0.50),
+            percentile_ns(&mut samples, 0.99),
+        );
+        config_rows.push(format!(
+            "    {{\"config\": \"{}\", \"p50_ns\": {p50}, \"p99_ns\": {p99}, \"reps\": {reps}}}",
+            cfg.label()
+        ));
+    }
+
+    // Observability overhead, A/B alternated like the `obs_overhead` guard:
+    // attached-but-disabled hub vs no hub at all.
+    let detached = LimaConfig::lima();
+    let attached = LimaConfig::lima().with_obs(Arc::new(Obs::disabled()));
+    run_reuse_once(&detached, &x)?;
+    run_reuse_once(&attached, &x)?;
+    let (mut base, mut gated) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+    for _ in 0..reps {
+        base.push(run_reuse_once(&detached, &x)?);
+        gated.push(run_reuse_once(&attached, &x)?);
+    }
+    let base_p50 = percentile_ns(&mut base, 0.50);
+    let gated_p50 = percentile_ns(&mut gated, 0.50);
+    let ratio = gated_p50 as f64 / base_p50.max(1) as f64;
+
+    Ok(format!(
+        "{{\n  \"schema\": \"lima-bench-reuse-v1\",\n  \"configs\": [\n{}\n  ],\n  \
+         \"obs_overhead\": {{\"detached_p50_ns\": {base_p50}, \
+         \"attached_disabled_p50_ns\": {gated_p50}, \"ratio\": {ratio:.4}}}\n}}\n",
+        config_rows.join(",\n")
+    ))
+}
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out-dir" => match args.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out-dir requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}' (expected --out-dir PATH)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let reps: usize = env_parse("LIMA_BENCH_REPS", 9).max(1);
+    let gemm_n: usize = env_parse("LIMA_BENCH_GEMM_N", 512).max(16);
+
+    let kernels = kernels_json(gemm_n, reps);
+    let reuse = match reuse_json(reps) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench-json: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("bench-json: creating {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, body) in [
+        ("BENCH_kernels.json", &kernels),
+        ("BENCH_reuse.json", &reuse),
+    ] {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("bench-json: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench-json: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -260,7 +260,7 @@ fn try_tsmm_rewrites(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Opt
             let nx = x.shape().map(|(r, _)| r)?;
             if nx < cv.rows() && ts.cols() == cv.cols() {
                 let dxv = slice(cv, nx, cv.rows() - 1, 0, cv.cols() - 1).ok()?;
-                let comp = tsmm(&dxv, TsmmSide::Left);
+                let comp = tsmm(&dxv, TsmmSide::Left).ok()?;
                 let out = ew_matrix_matrix(BinOp::Add, &ts, &comp).ok()?;
                 return Some(PartialHit {
                     value: Value::matrix(out),
@@ -295,7 +295,7 @@ fn try_tsmm_rewrites(cache: &LineageCache, item: &LinRef, vals: &[Value]) -> Opt
             let dxv = slice(cv, 0, cv.rows() - 1, kx, cv.cols() - 1).ok()?;
             let xtdx = matmult(&transpose(&xv), &dxv).ok()?;
             let dxtx = transpose(&xtdx);
-            let dxtdx = tsmm(&dxv, TsmmSide::Left);
+            let dxtdx = tsmm(&dxv, TsmmSide::Left).ok()?;
             let top = cbind(&ts, &xtdx).ok()?;
             let bottom = cbind(&dxtx, &dxtdx).ok()?;
             let out = rbind(&top, &bottom).ok()?;
@@ -627,7 +627,7 @@ mod tests {
         let (xv, dxv) = (mat(6, 3, 1), mat(2, 3, 2));
         c.put(
             &probe_tsmm(&x),
-            &Value::matrix(tsmm(&xv, TsmmSide::Left)),
+            &Value::matrix(tsmm(&xv, TsmmSide::Left).unwrap()),
             1_000,
         );
 
@@ -636,7 +636,7 @@ mod tests {
         let rv = rbind(&xv, &dxv).unwrap();
         let hit = try_partial_reuse(&c, &item, &[Value::matrix(rv.clone())]).expect("fires");
         assert_eq!(hit.rewrite, "tsmm-rbind");
-        let expect = tsmm(&rv, TsmmSide::Left);
+        let expect = tsmm(&rv, TsmmSide::Left).unwrap();
         assert!(hit.value.as_matrix().unwrap().rel_eq(&expect, 1e-12));
     }
 
@@ -647,7 +647,7 @@ mod tests {
         let (xv, dxv) = (mat(8, 3, 1), mat(8, 2, 2));
         c.put(
             &probe_tsmm(&x),
-            &Value::matrix(tsmm(&xv, TsmmSide::Left)),
+            &Value::matrix(tsmm(&xv, TsmmSide::Left).unwrap()),
             1_000,
         );
 
@@ -656,7 +656,7 @@ mod tests {
         let cv = cbind(&xv, &dxv).unwrap();
         let hit = try_partial_reuse(&c, &item, &[Value::matrix(cv.clone())]).expect("fires");
         assert_eq!(hit.rewrite, "tsmm-cbind");
-        let expect = tsmm(&cv, TsmmSide::Left);
+        let expect = tsmm(&cv, TsmmSide::Left).unwrap();
         assert!(hit.value.as_matrix().unwrap().rel_eq(&expect, 1e-12));
     }
 
@@ -667,7 +667,7 @@ mod tests {
         let xv = mat(9, 4, 5);
         c.put(
             &probe_tsmm(&x),
-            &Value::matrix(tsmm(&xv, TsmmSide::Left)),
+            &Value::matrix(tsmm(&xv, TsmmSide::Left).unwrap()),
             1_000,
         );
 
@@ -678,7 +678,7 @@ mod tests {
         let cv = cbind(&xv, &DenseMatrix::filled(9, 1, 1.0)).unwrap();
         let hit = try_partial_reuse(&c, &item, &[Value::matrix(cv.clone())]).expect("fires");
         assert_eq!(hit.rewrite, "tsmm-cbind-ones");
-        let expect = tsmm(&cv, TsmmSide::Left);
+        let expect = tsmm(&cv, TsmmSide::Left).unwrap();
         assert!(hit.value.as_matrix().unwrap().rel_eq(&expect, 1e-12));
     }
 
@@ -881,7 +881,7 @@ mod tests {
         let xv = mat(6, 3, 1);
         c.put(
             &probe_tsmm(&x),
-            &Value::matrix(tsmm(&xv, TsmmSide::Left)),
+            &Value::matrix(tsmm(&xv, TsmmSide::Left).unwrap()),
             1_000,
         );
         let rb = LineageItem::op(op::RBIND, vec![x, dx]);

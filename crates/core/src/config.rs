@@ -144,6 +144,12 @@ pub struct LimaConfig {
     /// cache, governor, and runtime flow into its per-thread rings. `None`
     /// (the default) removes even the per-event gate check from most paths.
     pub obs: Option<Arc<crate::obs::Obs>>,
+    /// Kernel backend for dense matrix compute. `None` (the default) keeps
+    /// whatever the process already resolved (the `LIMA_BACKEND` env var, or
+    /// the Optimized engine); `Some(kind)` pins it when the runtime builds an
+    /// execution context from this config. Process-global, like the engine
+    /// registry itself.
+    pub backend: Option<lima_matrix::BackendKind>,
 }
 
 impl Default for LimaConfig {
@@ -176,6 +182,7 @@ impl Default for LimaConfig {
             repair: None,
             faults: None,
             obs: None,
+            backend: None,
         }
     }
 }
@@ -251,6 +258,22 @@ impl LimaConfig {
     pub fn with_repair(mut self, hook: crate::cache::persist::RepairHook) -> Self {
         self.repair = Some(hook);
         self
+    }
+
+    /// Pins the dense kernel backend (Reference for diff/debug runs,
+    /// Optimized for speed). Applied process-globally when a runtime context
+    /// is built from this config.
+    pub fn with_backend(mut self, kind: lima_matrix::BackendKind) -> Self {
+        self.backend = Some(kind);
+        self
+    }
+
+    /// Applies the backend selection, if any, to the process-global engine
+    /// registry. The runtime calls this when constructing execution contexts.
+    pub fn apply_backend(&self) {
+        if let Some(kind) = self.backend {
+            lima_matrix::backend::set_backend(kind);
+        }
     }
 
     /// True when `op` qualifies for caching under this configuration.

@@ -220,36 +220,34 @@ impl LineageItem {
 
     /// Memoized structural hash. Dedup items hash as their expansion would,
     /// computed parametrically over the patch (without materializing it).
+    ///
+    /// Fast path: on the instruction hot path every input is a previously
+    /// hashed item or leaf, so the node hashes locally with no traversal
+    /// stack and no allocation. The iterative post-order walk only runs for
+    /// DAGs with genuinely unhashed interior nodes (deserialized traces,
+    /// hand-built probes).
     pub fn hash_value(self: &Arc<Self>) -> u64 {
         if let Some(h) = self.hash.get() {
             return *h;
         }
-        // Iterative post-order: hash inputs before parents.
-        let mut stack: Vec<LinRef> = vec![Arc::clone(self)];
-        while let Some(top) = stack.last() {
-            if top.hash.get().is_some() {
-                stack.pop();
-                continue;
-            }
-            let pending: Vec<LinRef> = top
-                .inputs
-                .iter()
-                .filter(|i| i.hash.get().is_none())
-                .cloned()
-                .collect();
-            if pending.is_empty() {
-                let h = top.compute_local_hash();
-                let _ = top.hash.set(h);
-                stack.pop();
-            } else {
-                stack.extend(pending);
-            }
+        if self.inputs_hashed() {
+            let h = self.compute_local_hash();
+            let _ = self.hash.set(h);
+            return h;
         }
-        // The loop hashed every reachable node, including `self`.
+        let mut stack: Vec<LinRef> = Vec::new();
+        hash_into(self, &mut stack);
+        // The walk hashed every reachable node, including `self`.
         self.hash
             .get()
             .copied()
             .unwrap_or_else(|| self.compute_local_hash())
+    }
+
+    /// True when every immediate input already carries a memoized hash.
+    #[inline]
+    fn inputs_hashed(&self) -> bool {
+        self.inputs.iter().all(|i| i.hash.get().is_some())
     }
 
     /// Hash of this node assuming all inputs are hashed. For dedup items,
@@ -274,12 +272,27 @@ impl LineageItem {
                 h.finish()
             }
             _ => {
-                let input_hashes: Vec<u64> = self
-                    .inputs
-                    .iter()
-                    .map(|i| i.hash.get().copied().unwrap_or_else(|| i.hash_value()))
-                    .collect();
-                hash_parts(&self.opcode, self.data.as_deref(), &input_hashes)
+                // Nearly every op has <= 8 inputs; hash through an inline
+                // buffer so the per-instruction path allocates nothing.
+                const INLINE: usize = 8;
+                if self.inputs.len() <= INLINE {
+                    let mut buf = [0u64; INLINE];
+                    for (slot, i) in buf.iter_mut().zip(self.inputs.iter()) {
+                        *slot = i.hash.get().copied().unwrap_or_else(|| i.hash_value());
+                    }
+                    hash_parts(
+                        &self.opcode,
+                        self.data.as_deref(),
+                        &buf[..self.inputs.len()],
+                    )
+                } else {
+                    let input_hashes: Vec<u64> = self
+                        .inputs
+                        .iter()
+                        .map(|i| i.hash.get().copied().unwrap_or_else(|| i.hash_value()))
+                        .collect();
+                    hash_parts(&self.opcode, self.data.as_deref(), &input_hashes)
+                }
             }
         }
     }
@@ -392,6 +405,62 @@ impl LineageItem {
     }
 }
 
+/// Hashes every unhashed node reachable from `root`, reusing `stack` as the
+/// traversal scratch. Iterative post-order: inputs are hashed before parents.
+fn hash_into(root: &LinRef, stack: &mut Vec<LinRef>) {
+    if root.hash.get().is_some() {
+        return;
+    }
+    stack.push(Arc::clone(root));
+    while let Some(top) = stack.last() {
+        if top.hash.get().is_some() {
+            stack.pop();
+            continue;
+        }
+        let top = Arc::clone(top);
+        let before = stack.len();
+        for i in top.inputs.iter() {
+            if i.hash.get().is_none() {
+                stack.push(Arc::clone(i));
+            }
+        }
+        if stack.len() == before {
+            let h = top.compute_local_hash();
+            let _ = top.hash.set(h);
+            stack.pop();
+        }
+    }
+}
+
+/// Hashes a run of lineage roots in one pass, sharing a single traversal
+/// stack across the whole batch. The interpreter collects the items traced in
+/// a basic block and flushes them here at the block boundary, so the
+/// per-instruction observation path pays one FNV round-trip per *block*
+/// instead of one allocation-bearing round-trip per instruction. Roots whose
+/// inputs are already memoized (the common case: an instruction's inputs are
+/// earlier outputs) hash locally without touching the stack at all.
+///
+/// Returns the number of roots that were actually hashed by this call (the
+/// rest were already memoized); callers feed it into the
+/// `hash_batch_items` statistic.
+pub fn hash_batch(roots: &[LinRef]) -> usize {
+    let mut stack: Vec<LinRef> = Vec::new();
+    let mut hashed = 0usize;
+    for r in roots {
+        if r.hash.get().is_some() {
+            continue;
+        }
+        hashed += 1;
+        if r.inputs_hashed() {
+            let h = r.compute_local_hash();
+            let _ = r.hash.set(h);
+        } else {
+            hash_into(r, &mut stack);
+        }
+    }
+    hashed
+}
+
 /// Structural equality of two lineage DAGs, resolving dedup items on demand.
 /// Iterative with a memo set of already-matched node pairs; cheap hash
 /// pruning short-circuits the common mismatch case.
@@ -465,9 +534,22 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u64(u64::from(b));
+        // One mix round per 8-byte word instead of per byte. The trailing
+        // partial word is zero-padded, so the length is mixed in last to keep
+        // "ab" and "ab\0" distinct.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.write_u64(u64::from_le_bytes(w));
         }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+        self.write_u64(bytes.len() as u64);
     }
 
     #[inline]
@@ -483,6 +565,21 @@ impl Hasher for FxHasher {
     #[inline]
     fn write_usize(&mut self, v: usize) {
         self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`. Used for the
+/// variable/literal interning maps on the per-instruction path, which do not
+/// need DoS resistance.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct FxBuildHasher;
+
+impl std::hash::BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
     }
 }
 
@@ -610,6 +707,57 @@ mod tests {
         let b = LineageItem::op("+", vec![LineageItem::literal("i:1")]);
         map.insert(LinKey(a), 1);
         assert_eq!(map.get(&LinKey(b)), Some(&1));
+    }
+
+    #[test]
+    fn chunked_writes_distinguish_zero_padded_tails() {
+        // `write` zero-pads the trailing partial word, so the length mix must
+        // keep "abc" and "abc\0" (and empty vs "\0") distinct.
+        let h = |bytes: &[u8]| {
+            let mut f = FxHasher::default();
+            f.write(bytes);
+            f.finish()
+        };
+        assert_ne!(h(b"abc"), h(b"abc\0"));
+        assert_ne!(h(b""), h(b"\0"));
+        assert_ne!(h(b"12345678"), h(b"12345678\0"));
+        assert_ne!(h(b"0123456789abcdef"), h(b"0123456789abcdeF"));
+    }
+
+    #[test]
+    fn hash_batch_matches_individual_hashing() {
+        let build = || {
+            let x = LineageItem::op_with_data("read", "X.csv", vec![]);
+            let s = LineageItem::op("+", vec![x.clone(), x]);
+            LineageItem::op("*", vec![s.clone(), LineageItem::literal("f:2")])
+        };
+        let a = build();
+        let b = build();
+        // Batch-hash one copy, hash the other individually: same values.
+        assert_eq!(hash_batch(std::slice::from_ref(&a)), 1);
+        assert_eq!(a.hash_value(), b.hash_value());
+        // Second flush over the same roots finds everything memoized.
+        assert_eq!(hash_batch(std::slice::from_ref(&a)), 0);
+    }
+
+    #[test]
+    fn hash_batch_handles_deep_chains_and_shared_prefixes() {
+        // A batch shaped like a traced block: each root extends the previous
+        // one, so all but the first hash through the local fast path.
+        let mut node = LineageItem::literal("f:0");
+        let mut roots = Vec::new();
+        for _ in 0..100 {
+            node = LineageItem::op("+", vec![node.clone()]);
+            roots.push(node.clone());
+        }
+        assert_eq!(hash_batch(&roots), 100);
+        // Deep unhashed chain under a single root must not overflow the stack.
+        let mut deep = LineageItem::literal("f:1");
+        for _ in 0..100_000 {
+            deep = LineageItem::op("+", vec![deep]);
+        }
+        assert_eq!(hash_batch(std::slice::from_ref(&deep)), 1);
+        assert_eq!(deep.dag_size(), 100_001);
     }
 
     #[test]

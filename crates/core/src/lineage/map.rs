@@ -2,15 +2,17 @@
 //! execution context (paper §3.1). Thread- and function-local by
 //! construction: every interpreter context owns one.
 
-use crate::lineage::item::{LinRef, LineageItem};
+use crate::lineage::item::{FxBuildHasher, LinRef, LineageItem};
 use std::collections::HashMap;
 
 /// Maps live variable names to the lineage of their current values, and
-/// caches literal lineage items (the paper's `LineageMap`).
+/// caches literal lineage items (the paper's `LineageMap`). Both maps sit on
+/// the per-instruction path (every traced output re-binds a variable), so
+/// they use the same Fx hasher as lineage hashing instead of SipHash.
 #[derive(Debug, Default)]
 pub struct LineageMap {
-    vars: HashMap<String, LinRef>,
-    literals: HashMap<String, LinRef>,
+    vars: HashMap<String, LinRef, FxBuildHasher>,
+    literals: HashMap<String, LinRef, FxBuildHasher>,
 }
 
 impl LineageMap {

@@ -2,17 +2,45 @@
 
 use crate::error::{MatrixError, Result};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for "non-zero count not currently known".
+const NNZ_UNKNOWN: u64 = u64::MAX;
 
 /// A dense, row-major `f64` matrix.
 ///
 /// This is the workhorse data type of the LIMA reproduction. It is cheap to
 /// share (`Arc<DenseMatrix>`), and all kernels treat inputs as immutable,
 /// producing fresh outputs — the discipline the lineage cache depends on.
-#[derive(Clone, PartialEq)]
+///
+/// The non-zero count backing [`DenseMatrix::sparsity`] is cached: dense/
+/// sparse kernel dispatch consults sparsity on every multiply, and a full
+/// O(cells) rescan per call would dominate small GEMMs. The cache is
+/// maintained incrementally by cell-level mutators and invalidated by bulk
+/// mutable access; it never affects equality or the stored values.
 pub struct DenseMatrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+    /// Cached count of non-zero cells; `NNZ_UNKNOWN` until first computed.
+    nnz: AtomicU64,
+}
+
+impl Clone for DenseMatrix {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+            nnz: AtomicU64::new(self.nnz.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for DenseMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl DenseMatrix {
@@ -27,15 +55,23 @@ impl DenseMatrix {
                 cols
             )));
         }
-        Ok(Self { rows, cols, data })
+        Ok(Self {
+            rows,
+            cols,
+            data,
+            nnz: AtomicU64::new(NNZ_UNKNOWN),
+        })
     }
 
     /// Creates a matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        let cells = rows * cols;
+        let nnz = if value != 0.0 { cells as u64 } else { 0 };
         Self {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: vec![value; cells],
+            nnz: AtomicU64::new(nnz),
         }
     }
 
@@ -48,7 +84,7 @@ impl DenseMatrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);
         for i in 0..n {
-            m.data[i * n + i] = 1.0;
+            m.set(i, i, 1.0);
         }
         m
     }
@@ -59,6 +95,7 @@ impl DenseMatrix {
             rows: values.len(),
             cols: 1,
             data: values.to_vec(),
+            nnz: AtomicU64::new(NNZ_UNKNOWN),
         }
     }
 
@@ -68,18 +105,29 @@ impl DenseMatrix {
             rows: 1,
             cols: values.len(),
             data: values.to_vec(),
+            nnz: AtomicU64::new(NNZ_UNKNOWN),
         }
     }
 
     /// Builds a matrix from a closure evaluated at each `(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
+        let mut nnz = 0u64;
         for i in 0..rows {
             for j in 0..cols {
-                data.push(f(i, j));
+                let v = f(i, j);
+                if v != 0.0 {
+                    nnz += 1;
+                }
+                data.push(v);
             }
         }
-        Self { rows, cols, data }
+        Self {
+            rows,
+            cols,
+            data,
+            nnz: AtomicU64::new(nnz),
+        }
     }
 
     /// Number of rows.
@@ -144,11 +192,22 @@ impl DenseMatrix {
         Ok(self.get(row, col))
     }
 
-    /// Mutable cell accessor for construction-time code.
+    /// Mutable cell accessor for construction-time code. Maintains the cached
+    /// non-zero count incrementally when it is known.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         debug_assert!(row < self.rows && col < self.cols);
-        self.data[row * self.cols + col] = value;
+        let idx = row * self.cols + col;
+        let old = self.data[idx];
+        self.data[idx] = value;
+        let nnz = self.nnz.get_mut();
+        if *nnz != NNZ_UNKNOWN && (old != 0.0) != (value != 0.0) {
+            if value != 0.0 {
+                *nnz += 1;
+            } else {
+                *nnz -= 1;
+            }
+        }
     }
 
     /// Row-major view of the underlying buffer.
@@ -157,9 +216,11 @@ impl DenseMatrix {
         &self.data
     }
 
-    /// Mutable row-major view (construction-time only).
+    /// Mutable row-major view (construction-time only). Invalidates the
+    /// cached non-zero count: callers may rewrite arbitrary cells.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f64] {
+        *self.nnz.get_mut() = NNZ_UNKNOWN;
         &mut self.data
     }
 
@@ -174,9 +235,10 @@ impl DenseMatrix {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
-    /// A single row as a mutable slice.
+    /// A single row as a mutable slice. Invalidates the cached non-zero count.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        *self.nnz.get_mut() = NNZ_UNKNOWN;
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -185,13 +247,33 @@ impl DenseMatrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Count of non-zero cells, cached after the first scan. Kernel dispatch
+    /// consults this on every multiply, so repeated calls must be O(1): the
+    /// count is maintained by [`DenseMatrix::set`] and invalidated by the
+    /// bulk mutators ([`DenseMatrix::data_mut`] / [`DenseMatrix::row_mut`]).
+    pub fn nnz(&self) -> usize {
+        let cached = self.nnz.load(Ordering::Relaxed);
+        if cached != NNZ_UNKNOWN {
+            return cached as usize;
+        }
+        let counted = self.data.iter().filter(|v| **v != 0.0).count();
+        self.nnz.store(counted as u64, Ordering::Relaxed);
+        counted
+    }
+
+    /// True when the cached non-zero count is currently known (no scan would
+    /// be needed to answer [`DenseMatrix::sparsity`]). Exposed for dispatch
+    /// tests; not part of the numeric contract.
+    pub fn nnz_is_cached(&self) -> bool {
+        self.nnz.load(Ordering::Relaxed) != NNZ_UNKNOWN
+    }
+
     /// Fraction of non-zero cells; drives sparse-vs-dense cost estimates.
     pub fn sparsity(&self) -> f64 {
         if self.data.is_empty() {
             return 0.0;
         }
-        let nnz = self.data.iter().filter(|v| **v != 0.0).count();
-        nnz as f64 / self.data.len() as f64
+        self.nnz() as f64 / self.data.len() as f64
     }
 
     /// True when both shapes and all cells match within `tol` absolutely.
@@ -277,6 +359,47 @@ mod tests {
         let m = DenseMatrix::new(1, 4, vec![0.0, 1.0, 0.0, 2.0]).unwrap();
         assert_eq!(m.sparsity(), 0.5);
         assert_eq!(DenseMatrix::zeros(0, 0).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn nnz_cache_tracks_set_mutations() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        assert!(m.nnz_is_cached());
+        assert_eq!(m.nnz(), 0);
+        m.set(0, 0, 2.0);
+        m.set(1, 1, 3.0);
+        assert_eq!(m.nnz(), 2);
+        m.set(0, 0, 0.0);
+        assert_eq!(m.nnz(), 1);
+        m.set(1, 1, 5.0); // nonzero -> nonzero: count unchanged
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.sparsity(), 1.0 / 9.0);
+    }
+
+    #[test]
+    fn nnz_cache_invalidated_by_bulk_mutators() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        assert_eq!(m.nnz(), 0);
+        m.data_mut()[0] = 7.0;
+        assert!(!m.nnz_is_cached());
+        assert_eq!(m.nnz(), 1); // recomputed lazily, then cached again
+        assert!(m.nnz_is_cached());
+        m.row_mut(1)[0] = 1.0;
+        assert!(!m.nnz_is_cached());
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn nnz_cache_survives_clone_and_ignores_eq() {
+        let mut m = DenseMatrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        assert_eq!(m.nnz(), 3);
+        let c = m.clone();
+        assert!(c.nnz_is_cached());
+        assert_eq!(c.nnz(), 3);
+        // Equality compares values only, regardless of cache state.
+        m.data_mut();
+        assert!(!m.nnz_is_cached());
+        assert_eq!(m, c);
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub enum MatrixError {
     NoConvergence(&'static str),
     /// Catch-all for invalid arguments (bad probability, empty matrix, ...).
     InvalidArgument(String),
+    /// A parallel kernel worker thread panicked. Surfaced as a typed error so
+    /// the runtime can fail the script instead of aborting the process.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for MatrixError {
@@ -44,6 +47,7 @@ impl fmt::Display for MatrixError {
             MatrixError::Singular(op) => write!(f, "{op}: matrix is singular"),
             MatrixError::NoConvergence(op) => write!(f, "{op}: did not converge"),
             MatrixError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MatrixError::WorkerPanic(msg) => write!(f, "kernel worker panicked: {msg}"),
         }
     }
 }

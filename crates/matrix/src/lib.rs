@@ -10,6 +10,7 @@
 //! are handed around as `Arc<DenseMatrix>`), which matches the copy-on-write
 //! discipline LIMA relies on ("immutable files/RDDs", paper §3.4).
 
+pub mod backend;
 pub mod dense;
 pub mod error;
 pub mod frame;
@@ -19,6 +20,7 @@ pub mod rand_gen;
 pub mod sparse;
 pub mod value;
 
+pub use backend::{BackendKind, KernelBackend};
 pub use dense::DenseMatrix;
 pub use error::{MatrixError, Result};
 pub use sparse::CsrMatrix;

@@ -159,7 +159,7 @@ mod tests {
     fn moderately_sized_covariance_matrix() {
         // Gram matrix of a random-ish tall matrix is symmetric PSD.
         let x = DenseMatrix::from_fn(50, 12, |i, j| ((i * 13 + j * 29) % 23) as f64 / 23.0 - 0.5);
-        let g = crate::ops::matmult::tsmm(&x, crate::ops::matmult::TsmmSide::Left);
+        let g = crate::ops::matmult::tsmm(&x, crate::ops::matmult::TsmmSide::Left).unwrap();
         let r = eigen_symmetric(&g).unwrap();
         // All eigenvalues of a PSD matrix are >= 0 (numerically).
         for &v in r.values.data() {

@@ -174,7 +174,8 @@ impl UnOp {
 
 /// Matrix ⊕ matrix with SystemDS-style broadcasting: the right operand may be
 /// the same shape, a column vector with matching rows, a row vector with
-/// matching cols, or a 1×1 matrix.
+/// matching cols, or a 1×1 matrix. Shape resolution happens here; the dense
+/// cell-wise work routes to the active backend.
 pub fn ew_matrix_matrix(op: BinOp, a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     let (m, n) = a.shape();
     let mismatch = || MatrixError::DimensionMismatch {
@@ -183,13 +184,7 @@ pub fn ew_matrix_matrix(op: BinOp, a: &DenseMatrix, b: &DenseMatrix) -> Result<D
         rhs: b.shape(),
     };
     if b.shape() == (m, n) {
-        let data = a
-            .data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| op.apply(x, y))
-            .collect();
-        return DenseMatrix::new(m, n, data);
+        return Ok(crate::backend::active().ew_binary(op, a, b));
     }
     if b.shape() == (1, 1) {
         return Ok(ew_matrix_scalar(op, a, b.get(0, 0)));
@@ -247,20 +242,51 @@ pub fn ew_matrix_matrix(op: BinOp, a: &DenseMatrix, b: &DenseMatrix) -> Result<D
     Err(mismatch())
 }
 
-/// Matrix ⊕ scalar.
+/// Matrix ⊕ scalar, routed through the active backend.
 pub fn ew_matrix_scalar(op: BinOp, a: &DenseMatrix, s: f64) -> DenseMatrix {
+    crate::backend::active().ew_matrix_scalar(op, a, s)
+}
+
+/// Scalar ⊕ matrix (for non-commutative operators), routed through the
+/// active backend.
+pub fn ew_scalar_matrix(op: BinOp, s: f64, a: &DenseMatrix) -> DenseMatrix {
+    crate::backend::active().ew_scalar_matrix(op, s, a)
+}
+
+/// Cell-wise unary application, routed through the active backend.
+pub fn ew_unary(op: UnOp, a: &DenseMatrix) -> DenseMatrix {
+    crate::backend::active().ew_unary(op, a)
+}
+
+// ---------------------------------------------------------------------------
+// Reference backend kernels
+// ---------------------------------------------------------------------------
+
+/// Reference same-shape cell-wise binary.
+pub(crate) fn ref_ew_binary(op: BinOp, a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| op.apply(x, y))
+        .collect();
+    DenseMatrix::new(a.rows(), a.cols(), data).expect("shape preserved")
+}
+
+/// Reference matrix ⊕ scalar.
+pub(crate) fn ref_ew_matrix_scalar(op: BinOp, a: &DenseMatrix, s: f64) -> DenseMatrix {
     let data = a.data().iter().map(|&x| op.apply(x, s)).collect();
     DenseMatrix::new(a.rows(), a.cols(), data).expect("shape preserved")
 }
 
-/// Scalar ⊕ matrix (for non-commutative operators).
-pub fn ew_scalar_matrix(op: BinOp, s: f64, a: &DenseMatrix) -> DenseMatrix {
+/// Reference scalar ⊕ matrix.
+pub(crate) fn ref_ew_scalar_matrix(op: BinOp, s: f64, a: &DenseMatrix) -> DenseMatrix {
     let data = a.data().iter().map(|&x| op.apply(s, x)).collect();
     DenseMatrix::new(a.rows(), a.cols(), data).expect("shape preserved")
 }
 
-/// Cell-wise unary application.
-pub fn ew_unary(op: UnOp, a: &DenseMatrix) -> DenseMatrix {
+/// Reference cell-wise unary.
+pub(crate) fn ref_ew_unary(op: UnOp, a: &DenseMatrix) -> DenseMatrix {
     let data = a.data().iter().map(|&x| op.apply(x)).collect();
     DenseMatrix::new(a.rows(), a.cols(), data).expect("shape preserved")
 }

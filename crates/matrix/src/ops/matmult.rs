@@ -1,17 +1,26 @@
 //! Matrix multiplication kernels: GEMM, transpose, and `tsmm` (Xᵀ X).
 //!
-//! GEMM is cache-blocked and optionally multi-threaded over row panels using
-//! crossbeam scoped threads; `tsmm` exploits the symmetry of the result the
-//! way SystemDS' dedicated `tsmm` instruction does — it is the operator that
-//! dominates the `lmDS` workloads in the paper's evaluation.
+//! The public functions in this module are thin dispatchers: they validate
+//! shapes, apply SystemDS-style dense/sparse dispatch, and then route the
+//! dense work to the active [`crate::backend::KernelBackend`]. The kernel
+//! bodies below are the always-available *Reference* backend; the unrolled
+//! engine lives in [`crate::ops::optimized`]. Both backends share the
+//! parallel scaffolding in this module (row-panel partition, stripe
+//! partition, join order) so their outputs stay bit-identical.
+//!
+//! `tsmm` exploits the symmetry of the result the way SystemDS' dedicated
+//! `tsmm` instruction does — it is the operator that dominates the `lmDS`
+//! workloads in the paper's evaluation.
 
+use crate::backend;
 use crate::dense::DenseMatrix;
 use crate::error::{MatrixError, Result};
+use std::any::Any;
 
 /// Rows per parallel panel; below this GEMM stays single-threaded.
-const PAR_ROW_THRESHOLD: usize = 256;
+pub(crate) const PAR_ROW_THRESHOLD: usize = 256;
 /// Minimum FLOP count (m*n*k) before threads are spawned.
-const PAR_FLOP_THRESHOLD: usize = 2_000_000;
+pub(crate) const PAR_FLOP_THRESHOLD: usize = 2_000_000;
 /// Cache-blocking tile edge for the k dimension.
 const BLOCK_K: usize = 64;
 
@@ -30,8 +39,17 @@ const SPARSE_DISPATCH_THRESHOLD: f64 = 0.15;
 /// Minimum cell count before sparsity estimation is worth the scan.
 const SPARSE_DISPATCH_MIN_CELLS: usize = 64 * 64;
 
+/// True when `matmult` would route this left operand through the CSR kernel.
+/// The sparsity read is O(1) after the first scan thanks to the cached
+/// non-zero count in [`DenseMatrix`]; exposed so dispatch-parity tests can
+/// compare the cached decision against a fresh scan.
+pub fn uses_sparse_dispatch(a: &DenseMatrix) -> bool {
+    a.len() >= SPARSE_DISPATCH_MIN_CELLS && a.sparsity() < SPARSE_DISPATCH_THRESHOLD
+}
+
 /// Matrix multiply `A (m×k) %*% B (k×n)` with dense/sparse dispatch: very
-/// sparse left operands (e.g. PageRank link matrices) take a CSR kernel.
+/// sparse left operands (e.g. PageRank link matrices) take a CSR kernel,
+/// dense operands the active backend's GEMM.
 pub fn matmult(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     if a.cols() != b.rows() {
         return Err(MatrixError::DimensionMismatch {
@@ -40,30 +58,193 @@ pub fn matmult(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
             rhs: b.shape(),
         });
     }
-    if a.len() >= SPARSE_DISPATCH_MIN_CELLS && a.sparsity() < SPARSE_DISPATCH_THRESHOLD {
+    if uses_sparse_dispatch(a) {
         return crate::sparse::CsrMatrix::from_dense(a).matmult_dense(b);
     }
+    backend::active().gemm(a, b)
+}
+
+/// Transpose, routed through the active backend.
+pub fn transpose(a: &DenseMatrix) -> DenseMatrix {
+    backend::active().transpose(a)
+}
+
+/// Transpose-self matrix multiply `tsmm`: computes `Xᵀ X` (left) or `X Xᵀ`
+/// (right), exploiting the symmetry of the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TsmmSide {
+    /// `Xᵀ X` — SystemDS `tsmm ... LEFT`.
+    Left,
+    /// `X Xᵀ` — SystemDS `tsmm ... RIGHT`.
+    Right,
+}
+
+/// `tsmm(X)`: symmetric rank-k update via the active backend. Returns a
+/// `Result` because parallel kernels surface worker panics as typed errors.
+pub fn tsmm(x: &DenseMatrix, side: TsmmSide) -> Result<DenseMatrix> {
+    match side {
+        TsmmSide::Left => backend::active().tsmm_left(x),
+        TsmmSide::Right => backend::active().tsmm_right(x),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared parallel scaffolding (both backends)
+// ---------------------------------------------------------------------------
+
+/// Renders a worker panic payload into a human-readable message.
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Shared GEMM parallelization decision; both backends must agree so the
+/// row-panel partition (and therefore the output) is identical.
+pub(crate) fn gemm_parallel(m: usize, n: usize, k: usize) -> bool {
+    m >= PAR_ROW_THRESHOLD && m * n * k >= PAR_FLOP_THRESHOLD && kernel_threads() > 1
+}
+
+/// Runs `panel(out_chunk, row0, rows)` over row panels of `out`, in parallel
+/// when requested. Each output row is written by exactly one worker, so the
+/// partition never changes the computed values. Worker panics are joined
+/// explicitly and surfaced as [`MatrixError::WorkerPanic`] instead of
+/// unwinding through the scope (which would re-raise and abort the caller).
+pub(crate) fn run_row_panels<F>(out: &mut DenseMatrix, parallel: bool, panel: F) -> Result<()>
+where
+    F: Fn(&mut [f64], usize, usize) + Sync,
+{
+    let (m, n) = out.shape();
+    let threads = kernel_threads();
+    if !parallel || threads <= 1 || m == 0 || n == 0 {
+        panel(out.data_mut(), 0, m);
+        return Ok(());
+    }
+    let chunk = m.div_ceil(threads);
+    let data = out.data_mut();
+    let scoped: crossbeam::thread::Result<Result<()>> = crossbeam::thread::scope(|s| {
+        let panel = &panel;
+        let mut handles = Vec::new();
+        for (t, out_chunk) in data.chunks_mut(chunk * n).enumerate() {
+            let row0 = t * chunk;
+            handles.push(s.spawn(move |_| {
+                let rows = out_chunk.len() / n;
+                panel(out_chunk, row0, rows);
+            }));
+        }
+        // Join every worker: an unjoined panicked child would re-raise
+        // through the scope and take the whole process down.
+        let mut first_panic: Option<String> = None;
+        for h in handles {
+            if let Err(p) = h.join() {
+                first_panic.get_or_insert_with(|| panic_message(p));
+            }
+        }
+        match first_panic {
+            Some(msg) => Err(MatrixError::WorkerPanic(msg)),
+            None => Ok(()),
+        }
+    });
+    match scoped {
+        Ok(r) => r,
+        Err(p) => Err(MatrixError::WorkerPanic(panic_message(p))),
+    }
+}
+
+/// Shared `tsmm` left-side driver: stripes the rows of `X` across workers,
+/// each accumulating a partial Gram matrix via `gram(x, lo, hi, acc)`, then
+/// sums partials in stripe order and mirrors the upper triangle. Both
+/// backends use this driver with their own `gram` kernel, so the stripe
+/// partition and the join order — the only places threading could perturb
+/// floating-point results — are identical by construction.
+pub(crate) fn tsmm_left_with<G>(x: &DenseMatrix, gram: G) -> Result<DenseMatrix>
+where
+    G: Fn(&DenseMatrix, usize, usize, &mut [f64]) + Sync,
+{
+    let (m, n) = x.shape();
+    let threads = kernel_threads();
+    let mut out = DenseMatrix::zeros(n, n);
+    if m * n * n >= PAR_FLOP_THRESHOLD && threads > 1 && m >= threads {
+        // Each worker accumulates a partial Gram matrix over a row stripe;
+        // partials are summed afterwards. This mirrors SystemDS' parallel tsmm.
+        let chunk = m.div_ceil(threads);
+        let scoped: crossbeam::thread::Result<Result<Vec<Vec<f64>>>> =
+            crossbeam::thread::scope(|s| {
+                let gram = &gram;
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(m);
+                    if lo >= hi {
+                        break;
+                    }
+                    handles.push(s.spawn(move |_| {
+                        let mut acc = vec![0.0f64; n * n];
+                        gram(x, lo, hi, &mut acc);
+                        acc
+                    }));
+                }
+                let mut partials = Vec::with_capacity(handles.len());
+                let mut first_panic: Option<String> = None;
+                for h in handles {
+                    match h.join() {
+                        Ok(acc) => partials.push(acc),
+                        Err(p) => {
+                            first_panic.get_or_insert_with(|| panic_message(p));
+                        }
+                    }
+                }
+                match first_panic {
+                    Some(msg) => Err(MatrixError::WorkerPanic(msg)),
+                    None => Ok(partials),
+                }
+            });
+        let partials = match scoped {
+            Ok(r) => r?,
+            Err(p) => return Err(MatrixError::WorkerPanic(panic_message(p))),
+        };
+        let out_data = out.data_mut();
+        for p in partials {
+            for (o, v) in out_data.iter_mut().zip(p) {
+                *o += v;
+            }
+        }
+    } else {
+        gram(x, 0, m, out.data_mut());
+    }
+    mirror_upper(&mut out);
+    Ok(out)
+}
+
+/// Mirrors the upper triangle of a square matrix into the lower.
+pub(crate) fn mirror_upper(out: &mut DenseMatrix) {
+    let n = out.rows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = out.get(i, j);
+            out.set(j, i, v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference backend kernels
+// ---------------------------------------------------------------------------
+
+/// Reference GEMM: cache-blocked i-k-j loops, optionally parallel over row
+/// panels.
+pub(crate) fn ref_gemm(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = DenseMatrix::zeros(m, n);
-    let flops = m * n * k;
-    let threads = kernel_threads();
-    if m >= PAR_ROW_THRESHOLD && flops >= PAR_FLOP_THRESHOLD && threads > 1 {
-        let chunk = m.div_ceil(threads);
-        let out_data = out.data_mut();
-        crossbeam::thread::scope(|s| {
-            for (t, out_chunk) in out_data.chunks_mut(chunk * n).enumerate() {
-                let row0 = t * chunk;
-                s.spawn(move |_| {
-                    gemm_panel(a, b, out_chunk, row0, out_chunk.len() / n);
-                });
-            }
-        })
-        .expect("gemm worker panicked");
-    } else {
-        let rows = m;
-        gemm_panel(a, b, out.data_mut(), 0, rows);
-    }
+    let parallel = gemm_parallel(m, n, k);
+    run_row_panels(&mut out, parallel, |panel, row0, rows| {
+        gemm_panel(a, b, panel, row0, rows)
+    })?;
     Ok(out)
 }
 
@@ -92,11 +273,10 @@ fn gemm_panel(a: &DenseMatrix, b: &DenseMatrix, out_panel: &mut [f64], row0: usi
     }
 }
 
-/// Transpose.
-pub fn transpose(a: &DenseMatrix) -> DenseMatrix {
+/// Reference transpose: tiled for cache friendliness.
+pub(crate) fn ref_transpose(a: &DenseMatrix) -> DenseMatrix {
     let (m, n) = a.shape();
     let mut out = DenseMatrix::zeros(n, m);
-    // Tiled transpose for cache friendliness.
     const T: usize = 32;
     for ib in (0..m).step_by(T) {
         for jb in (0..n).step_by(T) {
@@ -110,76 +290,25 @@ pub fn transpose(a: &DenseMatrix) -> DenseMatrix {
     out
 }
 
-/// Transpose-self matrix multiply `tsmm`: computes `Xᵀ X` (left) or `X Xᵀ`
-/// (right), exploiting the symmetry of the result.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TsmmSide {
-    /// `Xᵀ X` — SystemDS `tsmm ... LEFT`.
-    Left,
-    /// `X Xᵀ` — SystemDS `tsmm ... RIGHT`.
-    Right,
+/// Reference `tsmm` left side.
+pub(crate) fn ref_tsmm_left(x: &DenseMatrix) -> Result<DenseMatrix> {
+    tsmm_left_with(x, gram_upper)
 }
 
-/// `tsmm(X)`: symmetric rank-k update.
-pub fn tsmm(x: &DenseMatrix, side: TsmmSide) -> DenseMatrix {
-    match side {
-        TsmmSide::Left => tsmm_left(x),
-        TsmmSide::Right => {
-            let xt = transpose(x);
-            tsmm_left(&xt)
-        }
-    }
-}
-
-fn tsmm_left(x: &DenseMatrix) -> DenseMatrix {
-    let (m, n) = x.shape();
-    let threads = kernel_threads();
-    let mut out = DenseMatrix::zeros(n, n);
-    if m * n * n >= PAR_FLOP_THRESHOLD && threads > 1 && m >= threads {
-        // Each worker accumulates a partial Gram matrix over a row stripe;
-        // partials are summed afterwards. This mirrors SystemDS' parallel tsmm.
-        let chunk = m.div_ceil(threads);
-        let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(m);
-                if lo >= hi {
-                    break;
-                }
-                handles.push(s.spawn(move |_| {
-                    let mut acc = vec![0.0f64; n * n];
-                    gram_upper(x, lo, hi, &mut acc);
-                    acc
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("tsmm worker"))
-                .collect()
-        })
-        .expect("tsmm scope");
-        let out_data = out.data_mut();
-        for p in partials {
-            for (o, v) in out_data.iter_mut().zip(p) {
-                *o += v;
-            }
-        }
-    } else {
-        gram_upper(x, 0, m, out.data_mut());
-    }
-    // Mirror the upper triangle into the lower.
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let v = out.get(i, j);
-            out.set(j, i, v);
-        }
-    }
-    out
+/// Reference `tsmm` right side: materializes `Xᵀ` and reuses the left-side
+/// kernel. This doubles peak memory — the Optimized backend computes `X·Xᵀ`
+/// directly; the transpose counter lets tests pin that difference.
+pub(crate) fn ref_tsmm_right(x: &DenseMatrix) -> Result<DenseMatrix> {
+    backend::note_tsmm_right_transpose();
+    let xt = ref_transpose(x);
+    ref_tsmm_left(&xt)
 }
 
 /// Accumulates the upper triangle of `X[lo..hi,:]ᵀ X[lo..hi,:]` into `acc`.
-fn gram_upper(x: &DenseMatrix, lo: usize, hi: usize, acc: &mut [f64]) {
+/// Shared with the Optimized backend: the rank-1 axpy update is already the
+/// form the auto-vectorizer handles best, so both engines run this kernel
+/// (keeping tsmm-left trivially bit-identical between them).
+pub(crate) fn gram_upper(x: &DenseMatrix, lo: usize, hi: usize, acc: &mut [f64]) {
     let n = x.cols();
     for r in lo..hi {
         let row = x.row(r);
@@ -263,6 +392,7 @@ mod tests {
             }
         });
         assert!(a.sparsity() < 0.15);
+        assert!(uses_sparse_dispatch(&a));
         let b = DenseMatrix::from_fn(100, 20, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
         let got = matmult(&a, &b).unwrap();
         let slow = naive_mm(&a, &b);
@@ -282,7 +412,7 @@ mod tests {
     fn tsmm_left_matches_explicit_product() {
         let x = DenseMatrix::from_fn(40, 9, |i, j| ((i * j + 3) % 5) as f64 - 2.0);
         let expect = naive_mm(&transpose(&x), &x);
-        let got = tsmm(&x, TsmmSide::Left);
+        let got = tsmm(&x, TsmmSide::Left).unwrap();
         assert!(got.approx_eq(&expect, 1e-9));
         // Result must be exactly symmetric by construction.
         for i in 0..9 {
@@ -296,15 +426,55 @@ mod tests {
     fn tsmm_right_matches_explicit_product() {
         let x = DenseMatrix::from_fn(6, 15, |i, j| (i as f64) - (j as f64) * 0.5);
         let expect = naive_mm(&x, &transpose(&x));
-        let got = tsmm(&x, TsmmSide::Right);
+        let got = tsmm(&x, TsmmSide::Right).unwrap();
         assert!(got.approx_eq(&expect, 1e-9));
     }
 
     #[test]
     fn parallel_tsmm_matches_serial() {
         let x = DenseMatrix::from_fn(2_000, 40, |i, j| ((i * 7 + j * 13) % 19) as f64 * 0.1);
-        let got = tsmm(&x, TsmmSide::Left);
+        let got = tsmm(&x, TsmmSide::Left).unwrap();
         let expect = naive_mm(&transpose(&x), &x);
         assert!(got.rel_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error_not_abort() {
+        if kernel_threads() <= 1 {
+            return; // parallel path unreachable on a single-core runner
+        }
+        // Drive run_row_panels directly with a panicking panel across the
+        // parallel path; the panic must come back as MatrixError::WorkerPanic.
+        let mut out = DenseMatrix::zeros(512, 8);
+        let r = run_row_panels(&mut out, true, |_panel, row0, _rows| {
+            if row0 > 0 {
+                panic!("injected kernel fault");
+            }
+        });
+        match r {
+            Err(MatrixError::WorkerPanic(msg)) => assert!(msg.contains("injected")),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // Serial path with a healthy panel still succeeds.
+        let mut out = DenseMatrix::zeros(4, 4);
+        assert!(run_row_panels(&mut out, false, |_p, _r0, _rs| {}).is_ok());
+    }
+
+    #[test]
+    fn tsmm_worker_panic_surfaces_as_typed_error() {
+        if kernel_threads() <= 1 {
+            return; // parallel path unreachable on a single-core runner
+        }
+        // Large enough to take the parallel stripe path.
+        let x = DenseMatrix::from_fn(2_000, 40, |i, j| (i + j) as f64);
+        let r = tsmm_left_with(&x, |_x, lo, _hi, _acc| {
+            if lo > 0 {
+                panic!("injected tsmm fault");
+            }
+        });
+        match r {
+            Err(MatrixError::WorkerPanic(msg)) => assert!(msg.contains("injected")),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
     }
 }

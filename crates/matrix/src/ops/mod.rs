@@ -13,6 +13,7 @@ pub mod agg;
 pub mod eigen;
 pub mod elementwise;
 pub mod matmult;
+pub(crate) mod optimized;
 pub mod reorg;
 pub mod solve;
 

@@ -1,0 +1,238 @@
+//! Differential suite: the Optimized backend must be **bit-identical** to the
+//! Reference backend on every kernel, for every shape the dispatch layer can
+//! hand it — including degenerate (0×N, N×0, 1×N), non-tile-multiple, and
+//! highly sparse operands. Reference is the ground truth; any drift here is a
+//! bug in the Optimized engine, never an acceptable rounding difference
+//! (both engines accumulate each output element in the same ascending-index
+//! chain, so for finite inputs the results agree to the last bit).
+//!
+//! Also pins the two dispatch-level guarantees that ride on the backend
+//! split: `matmult` routes identically (CSR vs dense GEMM) no matter which
+//! backend is active, and the Optimized right-side `tsmm` never materializes
+//! a transpose (`tsmm_right_transposes` counter stays flat).
+
+use lima_matrix::backend::{
+    backend_for, set_backend, tsmm_right_transposes, BackendKind, KernelBackend,
+};
+use lima_matrix::ops::elementwise::{BinOp, UnOp};
+use lima_matrix::ops::matmult::{matmult, uses_sparse_dispatch};
+use lima_matrix::DenseMatrix;
+use proptest::prelude::*;
+
+const REF: &dyn KernelBackend = &lima_matrix::backend::ReferenceBackend;
+const OPT: &dyn KernelBackend = &lima_matrix::backend::OptimizedBackend;
+
+/// Deterministic matrix with controllable density: `density` per mille of
+/// cells are non-zero (0 ⇒ all-zero matrix, 1000 ⇒ fully dense). Values span
+/// both signs and several magnitudes so accumulation order differences would
+/// actually show up in the low bits.
+fn det(rows: usize, cols: usize, seed: u64, density: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |i, j| {
+        let mut z = seed ^ (((i * cols.max(1) + j) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        if z % 1000 >= density {
+            0.0
+        } else {
+            ((z >> 40) as f64 / (1u64 << 24) as f64) * 8.0 - 4.0
+        }
+    })
+}
+
+/// Bit-exact equality with a first-divergence diagnostic.
+fn assert_bits_eq(got: &DenseMatrix, want: &DenseMatrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (idx, (g, w)) in got.data().iter().zip(want.data().iter()).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{what}: first bit divergence at flat index {idx}: \
+             optimized {g:?} ({:#018x}) vs reference {w:?} ({:#018x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// GEMM over random shapes — degenerate dims, tile tails, and sparsity
+    /// levels from all-zero through fully dense (the zero-skip in the scalar
+    /// kernel must not perturb the bit pattern).
+    #[test]
+    fn gemm_bit_exact((m, k, n) in (0usize..33, 0usize..33, 0usize..33),
+                      seed in 0u64..1_000,
+                      density in prop_oneof![Just(0u64), Just(30), Just(500), Just(1000)]) {
+        let a = det(m, k, seed, density);
+        let b = det(k, n, seed ^ 1, density.max(500));
+        let got = OPT.gemm(&a, &b).unwrap();
+        let want = REF.gemm(&a, &b).unwrap();
+        assert_bits_eq(&got, &want, &format!("gemm {m}x{k}x{n} density {density}"));
+    }
+
+    /// Both `tsmm` sides. Shapes stay under the parallel partial-sum
+    /// threshold, where the contract is bit-exactness (above it, Reference's
+    /// right-side split over the shared dimension reassociates and the
+    /// backends are only approximately equal — documented divergence).
+    #[test]
+    fn tsmm_bit_exact((m, n) in (0usize..33, 0usize..33),
+                      seed in 0u64..1_000,
+                      density in prop_oneof![Just(0u64), Just(30), Just(1000)]) {
+        let x = det(m, n, seed, density);
+        assert_bits_eq(
+            &OPT.tsmm_left(&x).unwrap(),
+            &REF.tsmm_left(&x).unwrap(),
+            &format!("tsmm_left {m}x{n}"),
+        );
+        assert_bits_eq(
+            &OPT.tsmm_right(&x).unwrap(),
+            &REF.tsmm_right(&x).unwrap(),
+            &format!("tsmm_right {m}x{n}"),
+        );
+    }
+
+    /// Transpose, including single-row/column and empty shapes.
+    #[test]
+    fn transpose_bit_exact((m, n) in (0usize..70, 0usize..70), seed in 0u64..1_000) {
+        let x = det(m, n, seed, 900);
+        assert_bits_eq(&OPT.transpose(&x), &REF.transpose(&x), &format!("transpose {m}x{n}"));
+    }
+
+    /// Every element-wise entry point, every operator.
+    #[test]
+    fn elementwise_bit_exact((m, n) in (0usize..20, 0usize..20),
+                             seed in 0u64..1_000,
+                             s in -4.0f64..4.0) {
+        let a = det(m, n, seed, 800);
+        let b = det(m, n, seed ^ 2, 800);
+        for op in [
+            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Pow,
+            BinOp::Min, BinOp::Max, BinOp::Eq, BinOp::Neq, BinOp::Lt,
+            BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::And, BinOp::Or,
+        ] {
+            assert_bits_eq(
+                &OPT.ew_binary(op, &a, &b),
+                &REF.ew_binary(op, &a, &b),
+                &format!("ew_binary {op:?} {m}x{n}"),
+            );
+            assert_bits_eq(
+                &OPT.ew_matrix_scalar(op, &a, s),
+                &REF.ew_matrix_scalar(op, &a, s),
+                &format!("ew_matrix_scalar {op:?}"),
+            );
+            assert_bits_eq(
+                &OPT.ew_scalar_matrix(op, s, &a),
+                &REF.ew_scalar_matrix(op, s, &a),
+                &format!("ew_scalar_matrix {op:?}"),
+            );
+        }
+        for op in [
+            UnOp::Neg, UnOp::Abs, UnOp::Exp, UnOp::Log, UnOp::Sqrt,
+            UnOp::Round, UnOp::Floor, UnOp::Ceil, UnOp::Sign,
+            UnOp::Sigmoid, UnOp::Not,
+        ] {
+            assert_bits_eq(
+                &OPT.ew_unary(op, &a),
+                &REF.ew_unary(op, &a),
+                &format!("ew_unary {op:?} {m}x{n}"),
+            );
+        }
+    }
+}
+
+/// Non-tile-multiple shapes around the GEMM register-block boundaries
+/// (MR = 4 rows, NR = 8 columns, k unrolled by 2): every combination of
+/// block-aligned, one-over, and one-under must agree bit-for-bit.
+#[test]
+fn gemm_bit_exact_on_tile_boundary_shapes() {
+    for &m in &[1usize, 3, 4, 5, 8, 9] {
+        for &k in &[1usize, 2, 3, 16, 17] {
+            for &n in &[1usize, 7, 8, 9, 16, 17, 24] {
+                let a = det(m, k, 42, 1000);
+                let b = det(k, n, 43, 1000);
+                assert_bits_eq(
+                    &OPT.gemm(&a, &b).unwrap(),
+                    &REF.gemm(&a, &b).unwrap(),
+                    &format!("gemm tile-boundary {m}x{k}x{n}"),
+                );
+            }
+        }
+    }
+}
+
+/// Above the parallel-GEMM threshold both backends split work across row
+/// panels; the join order is shared, so parity must still be bit-exact.
+#[test]
+fn gemm_bit_exact_above_parallel_threshold() {
+    let (m, k, n) = (160, 160, 160); // 160³ > PAR_FLOP_THRESHOLD
+    let a = det(m, k, 7, 900);
+    let b = det(k, n, 8, 900);
+    assert_bits_eq(
+        &OPT.gemm(&a, &b).unwrap(),
+        &REF.gemm(&a, &b).unwrap(),
+        "gemm parallel 160x160x160",
+    );
+}
+
+/// `matmult` dispatch parity: the CSR-vs-dense routing decision comes from
+/// the *cached* non-zero count and is backend-independent, so switching the
+/// active backend must not change results — sparse operands take the same
+/// CSR kernel either way, dense operands take bit-identical GEMMs.
+#[test]
+fn dispatch_parity_across_backends() {
+    // Highly sparse left operand (≥64×64 cells, ~2% density) → CSR route.
+    let sparse_a = det(70, 70, 11, 20);
+    assert!(
+        uses_sparse_dispatch(&sparse_a),
+        "sparse operand must route to CSR"
+    );
+    assert!(
+        sparse_a.nnz_is_cached(),
+        "from_fn must leave the nnz cache warm"
+    );
+    // Dense operand → backend GEMM route.
+    let dense_a = det(70, 70, 12, 1000);
+    assert!(!uses_sparse_dispatch(&dense_a));
+    let b = det(70, 70, 13, 1000);
+
+    let run = |kind: BackendKind| {
+        set_backend(kind);
+        let s = matmult(&sparse_a, &b).unwrap();
+        let d = matmult(&dense_a, &b).unwrap();
+        set_backend(BackendKind::Optimized); // restore process default
+        (s, d)
+    };
+    let (s_ref, d_ref) = run(BackendKind::Reference);
+    let (s_opt, d_opt) = run(BackendKind::Optimized);
+    assert_bits_eq(&s_opt, &s_ref, "matmult sparse route");
+    assert_bits_eq(&d_opt, &d_ref, "matmult dense route");
+
+    // The decision itself must match a fresh scan (cached nnz is not stale).
+    let rescanned = sparse_a.data().iter().filter(|v| **v != 0.0).count();
+    assert_eq!(
+        sparse_a.nnz(),
+        rescanned,
+        "cached nnz diverged from fresh scan"
+    );
+}
+
+/// The Optimized right-side `tsmm` computes `X·Xᵀ` directly; the Reference
+/// path materializes `Xᵀ` first. Pin both behaviors via the thread-local
+/// transpose counter.
+#[test]
+fn optimized_tsmm_right_never_materializes_transpose() {
+    let x = det(48, 36, 21, 1000);
+    let before = tsmm_right_transposes();
+    let direct = backend_for(BackendKind::Optimized).tsmm_right(&x).unwrap();
+    assert_eq!(
+        tsmm_right_transposes(),
+        before,
+        "Optimized tsmm_right must not materialize a transpose"
+    );
+    let via_ref = backend_for(BackendKind::Reference).tsmm_right(&x).unwrap();
+    assert!(
+        tsmm_right_transposes() > before,
+        "Reference tsmm_right is expected to materialize the transpose"
+    );
+    assert_bits_eq(&direct, &via_ref, "tsmm_right 48x36");
+}

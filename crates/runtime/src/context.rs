@@ -87,6 +87,11 @@ pub struct ExecutionContext {
     /// Live-variable byte accounting against the memory governor. Not shared
     /// with forked workers (their footprint is transient and merged back).
     pub usage: Option<SessionUsage>,
+    /// Lineage roots traced since the last batched-hash flush. Hashed in one
+    /// shared traversal at basic-block boundaries (or when the run reaches
+    /// [`Self::HASH_BATCH_CAP`]) instead of one FNV round-trip per
+    /// instruction; see `lima_core::lineage::item::hash_batch`.
+    hash_pending: Vec<LinRef>,
     /// Incremental structural verifier asserting lineage DAG invariants
     /// after every block (debug builds only).
     #[cfg(debug_assertions)]
@@ -113,6 +118,9 @@ impl ExecutionContext {
 
     /// Context sharing an existing cache (parfor workers, multi-script reuse).
     pub fn with_cache(config: LimaConfig, cache: Option<Arc<LineageCache>>) -> Self {
+        // Pin the requested kernel backend (no-op when the config leaves the
+        // process default in place).
+        config.apply_backend();
         // Share the cache's stats when present so hits/puts land in one place.
         let stats = match &cache {
             Some(c) => c.stats_arc(),
@@ -135,6 +143,7 @@ impl ExecutionContext {
             call_depth: 0,
             session: None,
             usage: None,
+            hash_pending: Vec::new(),
             #[cfg(debug_assertions)]
             verifier: Default::default(),
         }
@@ -162,6 +171,7 @@ impl ExecutionContext {
             call_depth: self.call_depth,
             session: self.session.clone(),
             usage: None,
+            hash_pending: Vec::new(),
             #[cfg(debug_assertions)]
             verifier: Default::default(),
         }
@@ -180,6 +190,32 @@ impl ExecutionContext {
     /// True when per-instruction lineage tracing is active right now.
     pub fn tracing(&self) -> bool {
         self.config.tracing && !self.suppress_tracing
+    }
+
+    /// Flush threshold for the batched-hash queue: long straight-line blocks
+    /// still hash in bounded runs.
+    pub const HASH_BATCH_CAP: usize = 64;
+
+    /// Queues a freshly traced lineage root for batched hashing. Hashing is
+    /// memoized and order-independent, so deferring it to the block-boundary
+    /// flush never changes a hash — it only amortizes the traversal.
+    pub fn note_traced(&mut self, item: &LinRef) {
+        self.hash_pending.push(Arc::clone(item));
+        if self.hash_pending.len() >= Self::HASH_BATCH_CAP {
+            self.flush_hash_batch();
+        }
+    }
+
+    /// Hashes every queued lineage root in one shared traversal and drains
+    /// the queue. Called at basic-block boundaries by the interpreter.
+    pub fn flush_hash_batch(&mut self) {
+        if self.hash_pending.is_empty() {
+            return;
+        }
+        let hashed = lima_core::lineage::item::hash_batch(&self.hash_pending);
+        self.hash_pending.clear();
+        LimaStats::bump(&self.stats.hash_batches);
+        LimaStats::add(&self.stats.hash_batch_items, hashed as u64);
     }
 
     /// Cooperative checkpoint: `Err` with the typed runtime error once the

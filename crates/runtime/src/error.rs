@@ -70,7 +70,13 @@ impl std::error::Error for RuntimeError {}
 
 impl From<MatrixError> for RuntimeError {
     fn from(e: MatrixError) -> Self {
-        RuntimeError::Kernel(e)
+        match e {
+            // A panicking kernel worker is an execution fault, not a shape
+            // error: route it to the same typed path as parfor worker panics
+            // so sessions fail the script instead of aborting the process.
+            MatrixError::WorkerPanic(msg) => RuntimeError::WorkerPanic(msg),
+            other => RuntimeError::Kernel(other),
+        }
     }
 }
 

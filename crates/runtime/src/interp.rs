@@ -108,6 +108,10 @@ fn execute_block(block: &Block, program: &Program, ctx: &mut ExecutionContext) -
             for i in instrs {
                 execute_instr(i, program, ctx)?;
             }
+            // Batched lineage hashing: hash the whole run of items traced in
+            // this block with one shared traversal (memoized + order-free, so
+            // deferral never changes a hash).
+            ctx.flush_hash_batch();
             Ok(())
         }
         Block::If {
@@ -928,6 +932,7 @@ fn trace_instr(
             (LineageItem::op(opcode, inputs), resolved.to_vec())
         }
     };
+    ctx.note_traced(&item.0);
     Ok(item)
 }
 

@@ -165,7 +165,7 @@ fn tsmm_left_checkpointed(x: &DenseMatrix, ctx: &ExecutionContext) -> Result<Den
         ctx.check_interrupt()?;
         let r1 = (r0 + KERNEL_CHUNK_ROWS).min(x.rows());
         let stripe = ops::slice(x, r0, r1 - 1, 0, n - 1)?;
-        let partial = ops::tsmm(&stripe, ops::TsmmSide::Left);
+        let partial = ops::tsmm(&stripe, ops::TsmmSide::Left)?;
         acc = ops::ew_matrix_matrix(BinOp::Add, &acc, &partial)?;
         r0 = r1;
     }
@@ -220,7 +220,7 @@ fn execute_kernel_inner(op: &Op, inputs: &[Value], ctx: &ExecutionContext) -> Re
             {
                 vec![Value::matrix(tsmm_left_checkpointed(x, ctx)?)]
             } else {
-                vec![Value::matrix(ops::tsmm(x, *side))]
+                vec![Value::matrix(ops::tsmm(x, *side)?)]
             }
         }
         Op::Transpose => {

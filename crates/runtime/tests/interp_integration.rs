@@ -160,7 +160,7 @@ fn partial_reuse_fires_for_tsmm_cbind() {
     );
     assert_eq!(LimaStats::get(&ctx.stats.partial_hits), 1);
     let z = lima_matrix::ops::cbind(&x, &d).unwrap();
-    let expect = lima_matrix::ops::tsmm(&z, TsmmSide::Left);
+    let expect = lima_matrix::ops::tsmm(&z, TsmmSide::Left).unwrap();
     assert!(ctx.symtab["W"].as_matrix().unwrap().rel_eq(&expect, 1e-12));
 }
 
@@ -423,7 +423,7 @@ fn function_calls_and_multilevel_reuse() {
     );
     assert_eq!(ctx.symtab["G1"], ctx.symtab["G2"]);
     assert_eq!(LimaStats::get(&ctx.stats.multilevel_hits), 1);
-    let expect = lima_matrix::ops::tsmm(&x, TsmmSide::Left);
+    let expect = lima_matrix::ops::tsmm(&x, TsmmSide::Left).unwrap();
     assert!(ctx.symtab["G1"].as_matrix().unwrap().rel_eq(&expect, 1e-12));
 }
 
@@ -578,7 +578,7 @@ fn partial_only_mode_rewrites_without_full_reuse() {
     // reuse, nothing was cached, so the rewrite cannot fire and results are
     // still correct.
     let z = lima_matrix::ops::cbind(&x, &d).unwrap();
-    let expect = lima_matrix::ops::tsmm(&z, TsmmSide::Left);
+    let expect = lima_matrix::ops::tsmm(&z, TsmmSide::Left).unwrap();
     assert!(ctx.symtab["W"].as_matrix().unwrap().rel_eq(&expect, 1e-12));
 }
 

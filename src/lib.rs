@@ -64,7 +64,7 @@ pub mod prelude {
         LineageCache, Obs, PressureLevel, ResourceGovernor, ReuseMode,
     };
     pub use lima_lang::compile_script;
-    pub use lima_matrix::{DenseMatrix, ScalarValue, Value};
+    pub use lima_matrix::{BackendKind, DenseMatrix, KernelBackend, ScalarValue, Value};
     pub use lima_runtime::reconstruct::{recompute, reconstruct};
     pub use lima_runtime::{
         execute_program, ExecutionContext, RuntimeError, SessionHandle, SessionOptions,

@@ -33,11 +33,11 @@ proptest! {
                            seed in 0u64..1000) {
         let a = det_matrix(m1, n, seed);
         let b = det_matrix(m2, n, seed ^ 1);
-        let whole = tsmm(&rbind(&a, &b).unwrap(), TsmmSide::Left);
+        let whole = tsmm(&rbind(&a, &b).unwrap(), TsmmSide::Left).unwrap();
         let parts = ew_matrix_matrix(
             BinOp::Add,
-            &tsmm(&a, TsmmSide::Left),
-            &tsmm(&b, TsmmSide::Left),
+            &tsmm(&a, TsmmSide::Left).unwrap(),
+            &tsmm(&b, TsmmSide::Left).unwrap(),
         ).unwrap();
         prop_assert!(whole.rel_eq(&parts, 1e-9));
     }
@@ -66,10 +66,10 @@ proptest! {
     fn tsmm_cbind_blocked_identity((m, k1, k2) in dims(), seed in 0u64..1000) {
         let x = det_matrix(m, k1, seed);
         let dx = det_matrix(m, k2, seed ^ 6);
-        let whole = tsmm(&cbind(&x, &dx).unwrap(), TsmmSide::Left);
+        let whole = tsmm(&cbind(&x, &dx).unwrap(), TsmmSide::Left).unwrap();
         let xtdx = matmult(&transpose(&x), &dx).unwrap();
-        let top = cbind(&tsmm(&x, TsmmSide::Left), &xtdx).unwrap();
-        let bottom = cbind(&transpose(&xtdx), &tsmm(&dx, TsmmSide::Left)).unwrap();
+        let top = cbind(&tsmm(&x, TsmmSide::Left).unwrap(), &xtdx).unwrap();
+        let bottom = cbind(&transpose(&xtdx), &tsmm(&dx, TsmmSide::Left).unwrap()).unwrap();
         let parts = rbind(&top, &bottom).unwrap();
         prop_assert!(whole.rel_eq(&parts, 1e-9));
     }
@@ -150,7 +150,7 @@ proptest! {
     fn solve_residual_is_small(n in 2usize..10, seed in 0u64..1000) {
         // SPD system: A = XᵀX + I.
         let x = det_matrix(n + 2, n, seed);
-        let mut a = tsmm(&x, TsmmSide::Left);
+        let mut a = tsmm(&x, TsmmSide::Left).unwrap();
         for i in 0..n { a.set(i, i, a.get(i, i) + 1.0); }
         let b = det_matrix(n, 1, seed ^ 15);
         let sol = lima_matrix::ops::solve(&a, &b).unwrap();

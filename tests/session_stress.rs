@@ -249,14 +249,17 @@ fn worker_panics_fail_typed_and_leave_the_pool_usable() {
 #[test]
 fn expired_session_mid_kernel_frees_placeholders_for_peers() {
     let src = "Y = X %*% X; s = sum(Y);";
-    let x = input(384, 384, 3);
+    let x = input(640, 640, 3);
     let baseline = run_script(src, &LimaConfig::base(), &[("X", x.clone())]).unwrap();
     let expect = baseline.value("s").as_f64().unwrap();
 
+    // Pin the scalar Reference backend so the 640³ multiply reliably outlasts
+    // the 30ms deadline regardless of how fast the Optimized engine gets.
     let config = LimaConfig {
         placeholder_timeout_ms: 60_000,
         ..LimaConfig::lima()
-    };
+    }
+    .with_backend(BackendKind::Reference);
     let pool = SessionPool::new(config.clone());
     let program = compile_arc(src, &config);
 
@@ -275,7 +278,7 @@ fn expired_session_mid_kernel_frees_placeholders_for_peers() {
 
     match doomed.join() {
         Err(RuntimeError::DeadlineExceeded) => {}
-        Ok(_) => panic!("the 30ms deadline must fire inside the 384x384 matmult"),
+        Ok(_) => panic!("the 30ms deadline must fire inside the 640x640 matmult"),
         Err(other) => panic!("expected DeadlineExceeded, got {other}"),
     }
     let out = peer.join().expect("peer session must complete");
@@ -364,7 +367,9 @@ fn deadline_under_slow_spill_fails_typed_and_peers_complete() {
     // fits the 1MB budget alone, but admitting the second one evicts the
     // first, and for an entry that costly the I/O model must choose spill
     // over delete — so the injected SlowSpill latency fires. The doomed
-    // session's deadline fires earlier, between kernel row chunks.
+    // session's 20ms deadline fires inside the 25ms injected spill stall (or
+    // earlier, between kernel row chunks); the scalar Reference backend is
+    // pinned so kernel speedups cannot shrink the window.
     let src = "B = X %*% X; C = X %*% t(X); s = sum(B) + sum(C);";
     let x = input(320, 320, 5);
     let baseline = run_script(src, &LimaConfig::base(), &[("X", x.clone())]).unwrap();
@@ -375,6 +380,7 @@ fn deadline_under_slow_spill_fails_typed_and_peers_complete() {
         budget_bytes: 1024 * 1024,
         ..LimaConfig::lima()
     }
+    .with_backend(BackendKind::Reference)
     .with_faults(Arc::clone(&inj));
     let pool = SessionPool::new(config.clone());
     let program = compile_arc(src, &config);
@@ -384,7 +390,7 @@ fn deadline_under_slow_spill_fails_typed_and_peers_complete() {
             Arc::clone(&program),
             SessionOptions::new()
                 .with_input("X", x.clone())
-                .with_timeout(Duration::from_millis(50)),
+                .with_timeout(Duration::from_millis(20)),
         )
         .unwrap_err();
     assert!(
